@@ -1,0 +1,73 @@
+package ccsdsldpc
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/densevo"
+	"ccsdsldpc/internal/graphana"
+	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/ldpc"
+)
+
+// GraphStats summarizes the Tanner graph of the system's code.
+type GraphStats struct {
+	// Girth is the length of the shortest cycle (6 for the built-in
+	// construction).
+	Girth int
+	// FourCycles is the exact 4-cycle count (0 by construction).
+	FourCycles int
+	// VariableDegree and CheckDegree are the regular degrees (4 and 32
+	// for the CCSDS code).
+	VariableDegree int
+	CheckDegree    int
+}
+
+// AnalyzeGraph computes cycle and degree statistics of the code's
+// Tanner graph. The full-size code takes well under a second.
+func (s *System) AnalyzeGraph() GraphStats {
+	st := graphana.Analyze(ldpc.NewGraph(s.code))
+	return GraphStats{
+		Girth:          st.Girth,
+		FourCycles:     st.FourCycles,
+		VariableDegree: st.MaxVNDegree,
+		CheckDegree:    st.MaxCNDegree,
+	}
+}
+
+// Threshold computes the density-evolution decoding threshold (dB) of
+// the regular ensemble the CCSDS code belongs to, for the configured
+// algorithm. Only SumProduct, MinSum and NormalizedMinSum are meaningful
+// at the ensemble level.
+func Threshold(cfg Config, samples int) (float64, error) {
+	e := densevo.Ensemble{Dv: 4, Dc: 32}
+	dcfg := densevo.Config{
+		Samples: samples,
+		Seed:    1,
+		Rate:    7156.0 / 8176,
+	}
+	switch cfg.Algorithm {
+	case SumProduct:
+		dcfg.Rule = densevo.BP
+	case NormalizedMinSum:
+		dcfg.Rule = densevo.NormalizedMinSum
+		dcfg.Alpha = cfg.Alpha
+		if dcfg.Alpha == 0 {
+			dcfg.Alpha = 4.0 / 3
+		}
+	case MinSum:
+		dcfg.Rule = densevo.NormalizedMinSum
+		dcfg.Alpha = 1
+	default:
+		return 0, fmt.Errorf("ccsdsldpc: no ensemble threshold for algorithm %d", int(cfg.Algorithm))
+	}
+	return densevo.Threshold(e, dcfg, 2.0, 6.5, 0.05)
+}
+
+// EnergyPerBit returns the relative dynamic-energy estimate per decoded
+// information bit for the architecture's last DecodeBatch (arbitrary
+// consistent units; see internal/hwsim). Call after DecodeBatch.
+func (a *Architecture) EnergyPerBit() float64 {
+	cfg := a.m.Config()
+	est := a.m.EstimateEnergy(hwsim.DefaultEnergyWeights(), a.m.CyclesPerBatch())
+	return est.PerInfoBit(a.code.K * cfg.Frames)
+}

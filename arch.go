@@ -1,0 +1,147 @@
+package ccsdsldpc
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/resource"
+	"ccsdsldpc/internal/throughput"
+)
+
+// ArchKind selects one of the paper's two decoder instantiations.
+type ArchKind int
+
+const (
+	// LowCost is the single-frame, 6-bit decoder mapped on a Cyclone II
+	// EP2C50F in the paper (Table 2, 70 Mbps at 18 iterations).
+	LowCost ArchKind = iota
+	// HighSpeed is the 8-frame-packed, 5-bit decoder mapped on a
+	// Stratix II EP2S180 (Table 3, 560 Mbps at 18 iterations).
+	HighSpeed
+)
+
+func (k ArchKind) String() string {
+	if k == HighSpeed {
+		return "high-speed"
+	}
+	return "low-cost"
+}
+
+// Architecture is the cycle-accurate decoder machine plus its resource
+// and throughput models.
+type Architecture struct {
+	kind ArchKind
+	code *code.Code
+	m    *hwsim.Machine
+	dev  resource.Device
+}
+
+// NewArchitecture instantiates the machine over the CCSDS code with the
+// given iteration count (0 selects the paper's 18).
+func NewArchitecture(kind ArchKind, iterations int) (*Architecture, error) {
+	c, err := code.CCSDS()
+	if err != nil {
+		return nil, err
+	}
+	var cfg hwsim.Config
+	var dev resource.Device
+	switch kind {
+	case LowCost:
+		cfg = hwsim.LowCost()
+		dev = resource.CycloneIIEP2C50
+	case HighSpeed:
+		cfg = hwsim.HighSpeed()
+		dev = resource.StratixIIEP2S180
+	default:
+		return nil, fmt.Errorf("ccsdsldpc: unknown architecture kind %d", int(kind))
+	}
+	if iterations > 0 {
+		cfg.Iterations = iterations
+	}
+	m, err := hwsim.New(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Architecture{kind: kind, code: c, m: m, dev: dev}, nil
+}
+
+// Kind returns the configuration family.
+func (a *Architecture) Kind() ArchKind { return a.kind }
+
+// FramesPerBatch returns the frame packing factor (1 or 8).
+func (a *Architecture) FramesPerBatch() int { return a.m.Config().Frames }
+
+// CyclesPerBatch returns the decode latency in clock cycles for one
+// batch of FramesPerBatch frames.
+func (a *Architecture) CyclesPerBatch() int { return a.m.CyclesPerBatch() }
+
+// ThroughputMbps returns the information throughput at the configured
+// clock (200 MHz) — the quantity of the paper's Table 1.
+func (a *Architecture) ThroughputMbps() float64 {
+	return throughput.MachineMbps(a.m, a.code)
+}
+
+// DecodeBatch runs quantized channel LLRs (FramesPerBatch vectors of
+// length N) through the cycle-accurate machine and returns the per-frame
+// hard decisions (one bit per byte element).
+func (a *Architecture) DecodeBatch(qllr [][]int16) ([][]byte, error) {
+	hard, _, err := a.m.DecodeBatch(qllr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(hard))
+	for i, h := range hard {
+		out[i] = h.Bits()
+	}
+	return out, nil
+}
+
+// Quantize converts real channel LLRs to the machine's fixed-point
+// format.
+func (a *Architecture) Quantize(llr []float64) []int16 {
+	return a.m.Config().Format.QuantizeSlice(nil, llr)
+}
+
+// MessageFormat returns the datapath quantization as a string, e.g.
+// "Q(6,2)".
+func (a *Architecture) MessageFormat() string { return a.m.Config().Format.String() }
+
+// ResourceReport returns the predicted FPGA utilization next to the
+// paper's published synthesis results (Tables 2 and 3).
+func (a *Architecture) ResourceReport() (string, error) {
+	est, err := resource.EstimateMachine(a.m, a.dev, resource.DefaultCoefficients())
+	if err != nil {
+		return "", err
+	}
+	paper := &resource.Table2Paper
+	if a.kind == HighSpeed {
+		paper = &resource.Table3Paper
+	}
+	return est.Report(paper), nil
+}
+
+// ThroughputRow is one row of the paper's Table 1.
+type ThroughputRow struct {
+	Iterations    int
+	LowCostMbps   float64
+	HighSpeedMbps float64
+}
+
+// GenerateTable1 regenerates the paper's Table 1 at the given clock
+// frequency (MHz) for the given iteration counts.
+func GenerateTable1(iterations []int, clockMHz float64) ([]ThroughputRow, error) {
+	c, err := code.CCSDS()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := throughput.Table1(c, iterations, clockMHz)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ThroughputRow, len(rows))
+	for i, r := range rows {
+		out[i] = ThroughputRow{Iterations: r.Iterations, LowCostMbps: r.LowCostMbps, HighSpeedMbps: r.HighSpeedMbps}
+	}
+	return out, nil
+}

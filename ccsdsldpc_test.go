@@ -1,0 +1,447 @@
+package ccsdsldpc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTestSystemRoundTrip(t *testing.T) {
+	sys, err := NewTestSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := make([]byte, sys.K())
+	for i := range info {
+		info[i] = byte(i % 2)
+	}
+	cw, err := sys.Encode(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cw) != sys.N() {
+		t.Fatalf("codeword length %d, want %d", len(cw), sys.N())
+	}
+	ok, err := sys.IsCodeword(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Encode output fails parity")
+	}
+	llr, err := sys.Corrupt(cw, 6.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("no convergence at 6 dB")
+	}
+	for i := range info {
+		if res.Info[i] != info[i] {
+			t.Fatalf("info bit %d wrong", i)
+		}
+	}
+}
+
+func TestFullSystemRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size system in -short mode")
+	}
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 8176 || sys.K() != 7156 {
+		t.Fatalf("code (%d, %d), want (8176, 7156)", sys.N(), sys.K())
+	}
+	if math.Abs(sys.Rate()-7156.0/8176) > 1e-12 {
+		t.Errorf("rate %v", sys.Rate())
+	}
+	info := make([]byte, sys.K())
+	info[0], info[100], info[7000] = 1, 1, 1
+	cw, err := sys.Encode(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llr, err := sys.Corrupt(cw, 4.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("full-size decode did not converge at 4.2 dB")
+	}
+	for i := range info {
+		if res.Info[i] != info[i] {
+			t.Fatalf("info bit %d wrong after decode", i)
+		}
+	}
+}
+
+func TestAllAlgorithmsConstruct(t *testing.T) {
+	for _, alg := range []Algorithm{SumProduct, MinSum, NormalizedMinSum, OffsetMinSum} {
+		cfg := Config{Algorithm: alg, Iterations: 5, Alpha: 1.25, Beta: 0.1}
+		if _, err := NewTestSystem(cfg); err != nil {
+			t.Errorf("algorithm %d: %v", int(alg), err)
+		}
+		cfg.Layered = true
+		if _, err := NewTestSystem(cfg); err != nil {
+			t.Errorf("algorithm %d layered: %v", int(alg), err)
+		}
+	}
+	if _, err := NewTestSystem(Config{Algorithm: Algorithm(77), Iterations: 5}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestQuantizedSystem(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Quantized = true
+	sys, err := NewTestSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := make([]byte, sys.K())
+	cw, err := sys.Encode(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llr, err := sys.Corrupt(cw, 6.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("quantized decode failed on easy channel")
+	}
+	// Quantized path only supports NMS.
+	bad := Config{Algorithm: SumProduct, Iterations: 5, Quantized: true}
+	if _, err := NewTestSystem(bad); err == nil {
+		t.Error("quantized sum-product accepted")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	sys, err := NewTestSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Encode(make([]byte, 3)); err == nil {
+		t.Error("wrong info length accepted")
+	}
+	if _, err := sys.IsCodeword(make([]byte, 3)); err == nil {
+		t.Error("wrong codeword length accepted")
+	}
+	if _, err := sys.Corrupt(make([]byte, 3), 4, 1); err == nil {
+		t.Error("wrong corrupt length accepted")
+	}
+}
+
+func TestParityOnes(t *testing.T) {
+	sys, err := NewTestSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := sys.ParityOnes()
+	if len(ones) != sys.InternalCode().NumEdges() {
+		t.Fatalf("ones %d, want %d", len(ones), sys.InternalCode().NumEdges())
+	}
+}
+
+func TestArchitectures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size architectures in -short mode")
+	}
+	lc, err := NewArchitecture(LowCost, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := NewArchitecture(HighSpeed, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.FramesPerBatch() != 1 || hs.FramesPerBatch() != 8 {
+		t.Fatalf("frames %d/%d", lc.FramesPerBatch(), hs.FramesPerBatch())
+	}
+	if r := hs.ThroughputMbps() / lc.ThroughputMbps(); math.Abs(r-8) > 1e-9 {
+		t.Errorf("HS/LC throughput ratio %v, want 8", r)
+	}
+	// Paper Table 1 @18 iterations: 70 / 560 Mbps; allow 12%.
+	if math.Abs(lc.ThroughputMbps()-70) > 0.12*70 {
+		t.Errorf("low-cost throughput %.1f, paper 70", lc.ThroughputMbps())
+	}
+	rep, err := lc.ResourceReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "ALUTs") || !strings.Contains(rep, "Cyclone") {
+		t.Errorf("resource report malformed:\n%s", rep)
+	}
+	if lc.Kind().String() != "low-cost" || hs.Kind().String() != "high-speed" {
+		t.Error("ArchKind strings wrong")
+	}
+	if lc.MessageFormat() != "Q(6,2)" {
+		t.Errorf("low-cost format %s", lc.MessageFormat())
+	}
+	if _, err := NewArchitecture(ArchKind(9), 0); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestArchitectureDecodeBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size machine in -short mode")
+	}
+	a, err := NewArchitecture(LowCost, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := make([]byte, sys.K())
+	cw, err := sys.Encode(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llr, err := sys.Corrupt(cw, 5.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := a.DecodeBatch([][]int16{a.Quantize(llr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range cw {
+		if hard[0][i] != cw[i] {
+			errs++
+		}
+	}
+	if errs != 0 {
+		t.Errorf("machine left %d bit errors at 5 dB", errs)
+	}
+}
+
+func TestGenerateTable1Facade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size code in -short mode")
+	}
+	rows, err := GenerateTable1([]int{10, 18, 50}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[1].Iterations != 18 {
+		t.Fatalf("rows %+v", rows)
+	}
+	if rows[1].HighSpeedMbps <= rows[1].LowCostMbps {
+		t.Error("high-speed not faster")
+	}
+}
+
+func TestMeasureBERFacade(t *testing.T) {
+	pts, err := MeasureBER(DefaultConfig(), []float64{3.0}, MeasureOptions{
+		MinFrameErrors: 8, MaxFrames: 1500, Seed: 1, TestCode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Frames == 0 {
+		t.Fatalf("points %+v", pts)
+	}
+	p := pts[0]
+	if !(p.BERLow <= p.BER && p.BER <= p.BERHigh) {
+		t.Errorf("interval [%v,%v] misses %v", p.BERLow, p.BERHigh, p.BER)
+	}
+	tbl := FormatBERTable(pts)
+	if !strings.Contains(tbl, "Eb/N0") || !strings.Contains(tbl, "3.00") {
+		t.Errorf("table: %s", tbl)
+	}
+}
+
+func TestEstimateCorrectionFactorFacade(t *testing.T) {
+	alphas, global, err := EstimateCorrectionFactor(3.8, 6, 20, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alphas) != 6 {
+		t.Fatalf("%d alphas", len(alphas))
+	}
+	if global < 1 || global > 2 {
+		t.Errorf("global alpha %v", global)
+	}
+}
+
+func TestHardDecisionAlgorithmsInFacade(t *testing.T) {
+	for _, alg := range []Algorithm{GallagerB, WBF} {
+		sys, err := NewTestSystem(Config{Algorithm: alg, Iterations: 30})
+		if err != nil {
+			t.Fatalf("alg %d: %v", int(alg), err)
+		}
+		info := make([]byte, sys.K())
+		info[0] = 1
+		cw, err := sys.Encode(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llr, err := sys.Corrupt(cw, 8.0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Decode(llr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Errorf("alg %d: no convergence at 8 dB", int(alg))
+		}
+	}
+}
+
+func TestDeepSpaceSystem(t *testing.T) {
+	sys, err := NewDeepSpaceSystem(DeepSpaceRate12, 512, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Rate() < 0.5 || sys.Rate() > 0.51 {
+		t.Errorf("rate %v, want ~1/2", sys.Rate())
+	}
+	info := make([]byte, sys.K())
+	for i := range info {
+		info[i] = byte((i * 7) % 2)
+	}
+	tx, err := sys.Encode(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx) != sys.N() {
+		t.Fatalf("transmitted %d bits, want %d", len(tx), sys.N())
+	}
+	// Clean channel round trip through puncture/expand.
+	llr := make([]float64, len(tx))
+	for i, b := range tx {
+		if b == 0 {
+			llr[i] = 8
+		} else {
+			llr[i] = -8
+		}
+	}
+	res, err := sys.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("clean deep-space decode did not converge")
+	}
+	for i := range info {
+		if res.Info[i] != info[i] {
+			t.Fatalf("info bit %d wrong", i)
+		}
+	}
+	// Wrong lengths rejected.
+	if _, err := sys.Encode(make([]byte, 3)); err == nil {
+		t.Error("wrong info length accepted")
+	}
+	if _, err := sys.Decode(make([]float64, 3)); err == nil {
+		t.Error("wrong LLR length accepted")
+	}
+	if _, err := NewDeepSpaceSystem(DeepSpaceRate(9), 512, DefaultConfig()); err == nil {
+		t.Error("unknown rate accepted")
+	}
+}
+
+func TestMeasureDeepSpaceBERFacade(t *testing.T) {
+	pts, err := MeasureDeepSpaceBER(DeepSpaceRate45, 512, Config{
+		Algorithm: NormalizedMinSum, Iterations: 20, Alpha: 1.25,
+	}, []float64{3.4}, MeasureOptions{MinFrameErrors: 8, MaxFrames: 600, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Frames == 0 {
+		t.Fatalf("points %+v", pts)
+	}
+}
+
+func TestAnalyzeGraphFacade(t *testing.T) {
+	sys, err := NewTestSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.AnalyzeGraph()
+	if st.FourCycles != 0 {
+		t.Errorf("4-cycles = %d", st.FourCycles)
+	}
+	if st.Girth < 6 {
+		t.Errorf("girth = %d", st.Girth)
+	}
+	if st.VariableDegree != 4 || st.CheckDegree != 8 {
+		t.Errorf("degrees (%d, %d), want (4, 8) for the test code", st.VariableDegree, st.CheckDegree)
+	}
+}
+
+func TestThresholdFacade(t *testing.T) {
+	th, err := Threshold(Config{Algorithm: NormalizedMinSum, Alpha: 4.0 / 3}, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th < 2.5 || th > 4.5 {
+		t.Errorf("NMS threshold %.2f dB implausible", th)
+	}
+	if _, err := Threshold(Config{Algorithm: GallagerB}, 4000); err == nil {
+		t.Error("threshold for hard-decision algorithm accepted")
+	}
+}
+
+func TestEnergyPerBitFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size machine in -short mode")
+	}
+	lc, err := NewArchitecture(LowCost, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := NewArchitecture(HighSpeed, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := sys.Encode(make([]byte, sys.K()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	llr, err := sys.Corrupt(cw, 4.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lc.DecodeBatch([][]int16{lc.Quantize(llr)}); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]int16, 8)
+	for i := range batch {
+		batch[i] = hs.Quantize(llr)
+	}
+	if _, err := hs.DecodeBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	e1, e8 := lc.EnergyPerBit(), hs.EnergyPerBit()
+	if e1 <= 0 || e8 <= 0 {
+		t.Fatalf("energies %v, %v", e1, e8)
+	}
+	if e8 >= e1 {
+		t.Errorf("high-speed energy/bit %v not below low-cost %v", e8, e1)
+	}
+}

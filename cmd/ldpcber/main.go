@@ -1,0 +1,191 @@
+// Command ldpcber measures bit and packet error rate curves over an
+// Eb/N0 sweep — the paper's Figure 4 — for any of the implemented
+// decoders, and renders them as a table, ASCII semilog plot, CSV or SVG.
+//
+// Examples:
+//
+//	ldpcber -from 3.0 -to 4.2 -step 0.2 -alg nms -iters 18
+//	ldpcber -alg ms -iters 50 -csv ms50.csv
+//	ldpcber -testcode -alg nms -iters 18 -fine -svg fig4.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/correction"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/plot"
+	"ccsdsldpc/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldpcber: ")
+	var (
+		from     = flag.Float64("from", 3.0, "sweep start Eb/N0 (dB)")
+		to       = flag.Float64("to", 4.2, "sweep end Eb/N0 (dB)")
+		step     = flag.Float64("step", 0.2, "sweep step (dB)")
+		alg      = flag.String("alg", "nms", "decoder: bp, ms, nms, oms, fixed, lmin, scms, gb, wbf")
+		iters    = flag.Int("iters", 18, "decoding iterations")
+		alpha    = flag.Float64("alpha", 4.0/3, "normalization factor for nms")
+		beta     = flag.Float64("beta", 0.15, "offset for oms")
+		fine     = flag.Bool("fine", false, "estimate and use the fine-scaled per-iteration correction factor")
+		layered  = flag.Bool("layered", false, "layered schedule instead of flooding")
+		quant    = flag.Int("quant", 6, "message bits for -alg fixed")
+		minErr   = flag.Int("minerrors", 50, "frame errors per point before stopping")
+		maxFr    = flag.Int("maxframes", 20000, "max frames per point")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		testCode = flag.Bool("testcode", false, "use the fast miniature code instead of the 8176-bit code")
+		csvPath  = flag.String("csv", "", "write points as CSV to this path")
+		svgPath  = flag.String("svg", "", "write the curves as SVG to this path")
+		ascii    = flag.Bool("ascii", true, "print ASCII curves")
+	)
+	flag.Parse()
+
+	var c *code.Code
+	var err error
+	if *testCode {
+		c, err = code.SmallTestCode(2, 4, 31, 1)
+	} else {
+		c, err = code.CCSDS()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var schedule []float64
+	if *fine {
+		fmt.Fprintln(os.Stderr, "estimating fine-scaled correction factor...")
+		est, err := correction.EstimateAlpha(c, correction.Config{
+			EbN0dB: (*from + *to) / 2, Iterations: *iters, Frames: 20, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		schedule = est.Alphas
+		fmt.Fprintf(os.Stderr, "fine schedule (first 5): %.3f, global %.3f\n", est.Alphas[:min(5, len(est.Alphas))], est.Global)
+	}
+
+	factory := func() (sim.FrameDecoder, error) {
+		switch *alg {
+		case "bp":
+			return ldpc.NewDecoder(c, ldpc.Options{Algorithm: ldpc.SumProduct, MaxIterations: *iters, Schedule: sched(*layered)})
+		case "ms":
+			return ldpc.NewDecoder(c, ldpc.Options{Algorithm: ldpc.MinSum, MaxIterations: *iters, Schedule: sched(*layered)})
+		case "nms":
+			return ldpc.NewDecoder(c, ldpc.Options{Algorithm: ldpc.NormalizedMinSum, MaxIterations: *iters, Alpha: *alpha, AlphaSchedule: schedule, Schedule: sched(*layered)})
+		case "oms":
+			return ldpc.NewDecoder(c, ldpc.Options{Algorithm: ldpc.OffsetMinSum, MaxIterations: *iters, Beta: *beta, Schedule: sched(*layered)})
+		case "fixed":
+			scale, err := fixed.ScaleForAlpha(*alpha, 4)
+			if err != nil {
+				return nil, err
+			}
+			frac := *quant - 4
+			if frac < 0 {
+				frac = 0
+			}
+			return fixed.NewDecoder(c, fixed.Params{
+				Format: fixed.Format{Bits: *quant, Frac: frac}, Scale: scale, MaxIterations: *iters,
+			})
+		case "lmin":
+			return ldpc.NewLambdaMin(c, 3, *iters)
+		case "scms":
+			return ldpc.NewSCMS(c, *iters)
+		case "gb":
+			return ldpc.NewGallagerB(c, *iters, 0)
+		case "wbf":
+			return ldpc.NewWBF(c, *iters*4)
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q", *alg)
+		}
+	}
+
+	cfg := sim.Config{
+		Code: c, NewDecoder: factory,
+		MinFrameErrors: *minErr, MaxFrames: *maxFr, Workers: *workers, Seed: *seed,
+	}
+	grid := sim.Sweep(*from, *to, *step)
+	fmt.Printf("%8s %12s %12s %10s %10s %8s %10s\n", "Eb/N0", "BER", "PER", "frames", "frameErr", "avgIter", "elapsed")
+	pts := make([]sim.Point, 0, len(grid))
+	for _, e := range grid {
+		p, err := sim.RunPoint(cfg, e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = append(pts, p)
+		fmt.Printf("%8.2f %12.3e %12.3e %10d %10d %8.2f %10s\n",
+			p.EbN0dB, p.BER(), p.PER(), p.Frames, p.FrameErrors, p.AvgIterations(), p.Elapsed.Round(1e6))
+	}
+
+	curves := toCurves(*alg, *iters, pts)
+	if *ascii {
+		fmt.Println()
+		fmt.Print(curves.ASCII(72, 20))
+	}
+	if *csvPath != "" {
+		if err := withFile(*csvPath, func(f *os.File) error { return curves.WriteCSV(f) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *svgPath != "" {
+		if err := withFile(*svgPath, func(f *os.File) error { return curves.WriteSVG(f, 720, 480) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func sched(layered bool) ldpc.Schedule {
+	if layered {
+		return ldpc.Layered
+	}
+	return ldpc.Flooding
+}
+
+func toCurves(alg string, iters int, pts []sim.Point) plot.Curves {
+	name := fmt.Sprintf("%s-%d", alg, iters)
+	var x, ber, per []float64
+	for _, p := range pts {
+		x = append(x, p.EbN0dB)
+		ber = append(ber, p.BER())
+		per = append(per, p.PER())
+	}
+	return plot.Curves{
+		Title:  "LDPC decoder performance (paper Figure 4)",
+		XLabel: "Eb/N0 (dB)",
+		YLabel: "error rate",
+		Series: []plot.Series{
+			{Name: "BER " + name, X: x, Y: ber, Marker: 'o'},
+			{Name: "PER " + name, X: x, Y: per, Marker: 'x'},
+		},
+	}
+}
+
+func withFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+// Command ldpcdeepspace explores the AR4JA-style deep-space protograph
+// family — the paper's stated future work — by building the three rates,
+// printing their structure, and sweeping BER/PER over Eb/N0 with the
+// punctured node erased at the receiver.
+//
+// Usage:
+//
+//	ldpcdeepspace [-k 1024] [-rates 1/2,2/3,4/5] [-from 2.6] [-to 4.0] [-step 0.4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/protograph"
+	"ccsdsldpc/internal/sim"
+	"ccsdsldpc/internal/throughput"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldpcdeepspace: ")
+	var (
+		k      = flag.Int("k", 1024, "information bits per frame")
+		rates  = flag.String("rates", "1/2,2/3,4/5", "comma-separated rates")
+		from   = flag.Float64("from", 2.6, "sweep start Eb/N0 (dB)")
+		to     = flag.Float64("to", 4.0, "sweep end Eb/N0 (dB)")
+		step   = flag.Float64("step", 0.4, "sweep step (dB)")
+		iters  = flag.Int("iters", 30, "decoding iterations")
+		minErr = flag.Int("minerrors", 30, "frame errors per point")
+		maxFr  = flag.Int("maxframes", 6000, "max frames per point")
+		seed   = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	for _, rs := range strings.Split(*rates, ",") {
+		var rate protograph.Rate
+		switch strings.TrimSpace(rs) {
+		case "1/2":
+			rate = protograph.Rate12
+		case "2/3":
+			rate = protograph.Rate23
+		case "4/5":
+			rate = protograph.Rate45
+		default:
+			log.Fatalf("unknown rate %q (want 1/2, 2/3 or 4/5)", rs)
+		}
+		pc, err := protograph.NewDeepSpaceCode(rate, *k, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := hwsim.New(pc.Inner, hwsim.LowCost())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", pc)
+		fmt.Printf("architecture: %d CN + %d BN units, %d banks, %.1f Mbps at 200 MHz (single frame)\n",
+			m.NumCNUnits(), m.NumBNUnits(), m.NumBanks(), throughput.MachineMbps(m, pc.Inner))
+		fmt.Printf("%8s %12s %12s %10s %8s\n", "Eb/N0", "BER", "PER", "frames", "avgIter")
+		cfg := sim.Config{
+			Code: pc.Inner,
+			NewDecoder: func() (sim.FrameDecoder, error) {
+				return ldpc.NewDecoder(pc.Inner, ldpc.Options{
+					Algorithm: ldpc.NormalizedMinSum, MaxIterations: *iters, Alpha: 1.25,
+				})
+			},
+			MinFrameErrors: *minErr,
+			MaxFrames:      *maxFr,
+			Seed:           *seed,
+			PuncturedCols:  pc.PuncturedCols,
+		}
+		for _, e := range sim.Sweep(*from, *to, *step) {
+			p, err := sim.RunPoint(cfg, e)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%8.2f %12.3e %12.3e %10d %8.2f\n", e, p.BER(), p.PER(), p.Frames, p.AvgIterations())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,128 @@
+// Command ldpcinfo prints the CCSDS C2 LDPC code parameters, validates
+// the construction, and renders the parity-check-matrix scatter chart of
+// the paper's Figure 2 (ASCII to stdout, or PGM/SVG to a file). With
+// -load it validates an external circulant position table instead — the
+// path for plugging in the genuine CCSDS Orange Book table. With
+// -analyze it adds Tanner-graph statistics (girth, 4-cycles, degrees).
+//
+// Usage:
+//
+//	ldpcinfo [-load table.tbl] [-analyze] [-scatter] [-width 128]
+//	         [-height 24] [-pgm H.pgm] [-svg H.svg] [-table H.tbl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/graphana"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/plot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldpcinfo: ")
+	var (
+		scatter  = flag.Bool("scatter", false, "render the Figure 2 scatter chart as ASCII")
+		width    = flag.Int("width", 128, "ASCII scatter width")
+		height   = flag.Int("height", 24, "ASCII scatter height")
+		pgmPath  = flag.String("pgm", "", "write the scatter as a PGM image to this path")
+		svgPath  = flag.String("svg", "", "write the scatter as an SVG to this path")
+		tblPath  = flag.String("table", "", "write the circulant position table to this path")
+		loadPath = flag.String("load", "", "load and validate a circulant position table instead of the built-in code")
+		analyze  = flag.Bool("analyze", false, "compute Tanner graph statistics (girth, short cycles, degrees)")
+		dotPath  = flag.String("dot", "", "write the Tanner graph (paper Figure 1) as Graphviz DOT to this path")
+	)
+	flag.Parse()
+
+	var c *code.Code
+	var err error
+	if *loadPath != "" {
+		f, ferr := os.Open(*loadPath)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		tab, perr := code.ParseTable(f)
+		f.Close()
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		c, err = code.NewCode(tab)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded table from %s\n", *loadPath)
+	} else {
+		c, err = code.CCSDS()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println(c)
+	fmt.Printf("block structure: %dx%d circulants of %d\n",
+		c.Table.BlockRows, c.Table.BlockCols, c.Table.B)
+	fmt.Printf("parity rows: %d (rank %d)\n", c.M, c.Rank)
+	fmt.Printf("row weight: %d, column weight: %d\n", len(c.RowIdx[0]), len(c.ColIdx[0]))
+	fmt.Printf("messages per iteration: %d\n", c.NumEdges())
+	fmt.Printf("girth >= 6 (no 4-cycles): %v\n", !c.HasFourCycle())
+	if *loadPath == "" {
+		sh, err := code.CCSDSShortened()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("shortened frame: (%d, %d)\n", sh.N(), sh.K())
+	}
+	if *analyze {
+		fmt.Printf("graph analysis: %v\n", graphana.Analyze(ldpc.NewGraph(c)))
+	}
+	if *dotPath != "" {
+		tg := plot.TannerGraph{N: c.N, M: c.M}
+		for _, p := range c.Ones() {
+			tg.Edges = append(tg.Edges, [2]int{p[0], p[1]})
+		}
+		if err := writeFile(*dotPath, func(f *os.File) error { return tg.WriteDOT(f) }); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dotPath)
+	}
+
+	s := plot.Scatter{Rows: c.M, Cols: c.N, Points: c.Ones()}
+	if *scatter {
+		fmt.Println()
+		fmt.Print(s.ASCII(*width, *height))
+	}
+	if *pgmPath != "" {
+		if err := writeFile(*pgmPath, func(f *os.File) error { return s.WritePGM(f, 4) }); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *pgmPath)
+	}
+	if *svgPath != "" {
+		if err := writeFile(*svgPath, func(f *os.File) error { return s.WriteSVG(f, 0.25) }); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+	if *tblPath != "" {
+		if err := writeFile(*tblPath, func(f *os.File) error { return code.WriteTable(f, c.Table) }); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *tblPath)
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,223 @@
+// Command ldpcrepro regenerates every artifact of the paper in one run,
+// writing a results directory: Table 1 (throughput), Tables 2-3
+// (resources), Figure 2 (H scatter), a Figure 4 BER sweep, the Section 5
+// correction-factor estimate, the density-evolution thresholds, and the
+// VHDL IP. The BER sweep depth is tunable; everything else is fast.
+//
+// Usage:
+//
+//	ldpcrepro [-out results] [-quick]
+//
+// With -quick the Figure 4 sweep uses few frames (minutes → seconds) and
+// is labelled accordingly; without it the sweep uses the EXPERIMENTS.md
+// recorded depth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/correction"
+	"ccsdsldpc/internal/densevo"
+	"ccsdsldpc/internal/hdl"
+	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/plot"
+	"ccsdsldpc/internal/resource"
+	"ccsdsldpc/internal/sim"
+	"ccsdsldpc/internal/throughput"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldpcrepro: ")
+	var (
+		outDir = flag.String("out", "results", "output directory")
+		quick  = flag.Bool("quick", false, "shallow Figure 4 sweep (seconds instead of minutes)")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	c, err := code.CCSDS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	step := func(name string, fn func() error) {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-28s done in %s\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+	write := func(name string, fn func(*os.File) error) error {
+		f, err := os.Create(filepath.Join(*outDir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	step("Table 1 (throughput)", func() error {
+		rows, err := throughput.Table1(c, []int{10, 18, 50}, 200)
+		if err != nil {
+			return err
+		}
+		return write("table1.txt", func(f *os.File) error {
+			_, err := fmt.Fprint(f, throughput.FormatTable(rows, throughput.PaperTable1))
+			return err
+		})
+	})
+
+	step("Tables 2-3 (resources)", func() error {
+		return write("tables23.txt", func(f *os.File) error {
+			for _, t := range []struct {
+				cfg   hwsim.Config
+				dev   resource.Device
+				paper *resource.PaperTable
+			}{
+				{hwsim.LowCost(), resource.CycloneIIEP2C50, &resource.Table2Paper},
+				{hwsim.HighSpeed(), resource.StratixIIEP2S180, &resource.Table3Paper},
+			} {
+				m, err := hwsim.New(c, t.cfg)
+				if err != nil {
+					return err
+				}
+				est, err := resource.EstimateMachine(m, t.dev, resource.DefaultCoefficients())
+				if err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintln(f, est.Report(t.paper)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+
+	step("Figure 2 (H scatter)", func() error {
+		s := plot.Scatter{Rows: c.M, Cols: c.N, Points: c.Ones()}
+		if err := write("figure2.txt", func(f *os.File) error {
+			_, err := fmt.Fprint(f, s.ASCII(128, 24))
+			return err
+		}); err != nil {
+			return err
+		}
+		return write("figure2.svg", func(f *os.File) error { return s.WriteSVG(f, 0.25) })
+	})
+
+	step("Figure 4 (BER/PER sweep)", func() error {
+		minErr, maxFrames := 20, 12000
+		if *quick {
+			minErr, maxFrames = 10, 400
+		}
+		cfg := sim.Config{
+			Code: c,
+			NewDecoder: func() (sim.FrameDecoder, error) {
+				return ldpc.NewDecoder(c, ldpc.Options{
+					Algorithm: ldpc.NormalizedMinSum, MaxIterations: 18, Alpha: 4.0 / 3,
+				})
+			},
+			MinFrameErrors: minErr,
+			MaxFrames:      maxFrames,
+			Seed:           1,
+		}
+		pts, err := sim.RunSweep(cfg, sim.Sweep(3.2, 4.2, 0.2))
+		if err != nil {
+			return err
+		}
+		var x, ber, per []float64
+		curvesOut := "figure4.txt"
+		if *quick {
+			curvesOut = "figure4_quick.txt"
+		}
+		return write(curvesOut, func(f *os.File) error {
+			fmt.Fprintf(f, "%8s %12s %12s %10s %10s\n", "Eb/N0", "BER", "PER", "frames", "frameErr")
+			for _, p := range pts {
+				fmt.Fprintf(f, "%8.2f %12.3e %12.3e %10d %10d\n", p.EbN0dB, p.BER(), p.PER(), p.Frames, p.FrameErrors)
+				x = append(x, p.EbN0dB)
+				ber = append(ber, p.BER())
+				per = append(per, p.PER())
+			}
+			cur := plot.Curves{
+				Title: "NMS-18 (paper Figure 4)", XLabel: "Eb/N0 (dB)", YLabel: "rate",
+				Series: []plot.Series{
+					{Name: "BER", X: x, Y: ber, Marker: 'o'},
+					{Name: "PER", X: x, Y: per, Marker: 'x'},
+				},
+			}
+			_, err := fmt.Fprint(f, "\n"+cur.ASCII(72, 20))
+			return err
+		})
+	})
+
+	step("Section 5 (correction factor)", func() error {
+		est, err := correction.EstimateAlpha(c, correction.Config{
+			EbN0dB: 3.8, Iterations: 18, Frames: 15, Seed: 1,
+		})
+		if err != nil {
+			return err
+		}
+		return write("correction_factor.txt", func(f *os.File) error {
+			fmt.Fprintf(f, "fine-scaled alpha at 3.8 dB; global %.4f\n", est.Global)
+			for i, a := range est.Alphas {
+				fmt.Fprintf(f, "iter %2d: %.4f\n", i, a)
+			}
+			return nil
+		})
+	})
+
+	step("DE thresholds", func() error {
+		e := densevo.Ensemble{Dv: 4, Dc: 32}
+		return write("thresholds.txt", func(f *os.File) error {
+			for _, run := range []struct {
+				name  string
+				rule  densevo.CNRule
+				alpha float64
+			}{
+				{"BP", densevo.BP, 0},
+				{"NMS(4/3)", densevo.NormalizedMinSum, 4.0 / 3},
+				{"MS", densevo.NormalizedMinSum, 1},
+			} {
+				th, err := densevo.Threshold(e, densevo.Config{
+					Rule: run.rule, Alpha: run.alpha, Samples: 10000, Seed: 1, Rate: c.Rate(),
+				}, 2.0, 6.0, 0.1)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(f, "%-10s threshold ~ %.2f dB\n", run.name, th)
+			}
+			return nil
+		})
+	})
+
+	step("VHDL IP", func() error {
+		files, err := hdl.Generate(c.Table, hwsim.LowCost())
+		if err != nil {
+			return err
+		}
+		dir := filepath.Join(*outDir, "rtl")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for _, hf := range files {
+			if err := os.WriteFile(filepath.Join(dir, hf.Name), []byte(hf.Content), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	fmt.Printf("\nall artifacts regenerated into %s in %s\n", *outDir, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,68 @@
+// Command ldpcresource regenerates the paper's Tables 2 and 3: predicted
+// FPGA resource usage of the low-cost decoder (Cyclone II EP2C50F) and
+// the high-speed decoder (Stratix II EP2S180), next to the published
+// synthesis results.
+//
+// Usage:
+//
+//	ldpcresource [-config lowcost|highspeed|both] [-frames N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/resource"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldpcresource: ")
+	var (
+		which  = flag.String("config", "both", "lowcost, highspeed, or both")
+		frames = flag.Int("frames", 0, "override the frame packing factor (ablation A4)")
+	)
+	flag.Parse()
+
+	c, err := code.CCSDS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	show := func(name string, cfg hwsim.Config, dev resource.Device, paper *resource.PaperTable) {
+		if *frames > 0 {
+			cfg.Frames = *frames
+			paper = nil // a non-paper operating point has no reference row
+		}
+		m, err := hwsim.New(c, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := resource.EstimateMachine(m, dev, resource.DefaultCoefficients())
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("=== %s decoder (paper Table %s) ===\n", name, tableNo(name))
+		fmt.Println(est.Report(paper))
+	}
+	switch *which {
+	case "lowcost":
+		show("low-cost", hwsim.LowCost(), resource.CycloneIIEP2C50, &resource.Table2Paper)
+	case "highspeed":
+		show("high-speed", hwsim.HighSpeed(), resource.StratixIIEP2S180, &resource.Table3Paper)
+	case "both":
+		show("low-cost", hwsim.LowCost(), resource.CycloneIIEP2C50, &resource.Table2Paper)
+		show("high-speed", hwsim.HighSpeed(), resource.StratixIIEP2S180, &resource.Table3Paper)
+	default:
+		log.Fatalf("unknown -config %q", *which)
+	}
+}
+
+func tableNo(name string) string {
+	if name == "low-cost" {
+		return "2"
+	}
+	return "3"
+}

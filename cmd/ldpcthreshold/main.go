@@ -1,0 +1,68 @@
+// Command ldpcthreshold computes decoding thresholds of regular LDPC
+// ensembles by Monte-Carlo density evolution. The CCSDS C2 code is
+// (4, 32)-regular; its threshold explains where the paper's Figure 4
+// waterfall sits, and comparing BP with normalized min-sum thresholds
+// quantifies what the paper's correction factor buys at the ensemble
+// level.
+//
+// Usage:
+//
+//	ldpcthreshold [-dv 4] [-dc 32] [-alpha 1.333] [-samples 20000]
+//	              [-lo 2.0] [-hi 6.0] [-tol 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ccsdsldpc/internal/densevo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldpcthreshold: ")
+	var (
+		dv      = flag.Int("dv", 4, "variable degree")
+		dc      = flag.Int("dc", 32, "check degree")
+		alpha   = flag.Float64("alpha", 4.0/3, "normalization factor for the min-sum threshold")
+		samples = flag.Int("samples", 20000, "population size")
+		lo      = flag.Float64("lo", 2.0, "bisection lower bound (dB)")
+		hi      = flag.Float64("hi", 6.0, "bisection upper bound (dB)")
+		tol     = flag.Float64("tol", 0.05, "bisection tolerance (dB)")
+		rate    = flag.Float64("rate", 0, "code rate for Eb/N0 conversion (0 = design rate)")
+		seed    = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	e := densevo.Ensemble{Dv: *dv, Dc: *dc}
+	if err := e.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(%d, %d)-regular ensemble, design rate %.4f\n", *dv, *dc, e.DesignRate())
+
+	base := densevo.Config{
+		Samples:       *samples,
+		MaxIterations: 300,
+		Seed:          *seed,
+		Rate:          *rate,
+	}
+	for _, run := range []struct {
+		name string
+		rule densevo.CNRule
+		a    float64
+	}{
+		{"belief propagation", densevo.BP, 0},
+		{fmt.Sprintf("normalized min-sum (alpha=%.3f)", *alpha), densevo.NormalizedMinSum, *alpha},
+		{"plain min-sum (alpha=1)", densevo.NormalizedMinSum, 1},
+	} {
+		cfg := base
+		cfg.Rule = run.rule
+		cfg.Alpha = run.a
+		th, err := densevo.Threshold(e, cfg, *lo, *hi, *tol)
+		if err != nil {
+			log.Fatalf("%s: %v", run.name, err)
+		}
+		fmt.Printf("%-36s threshold ≈ %.2f dB\n", run.name, th)
+	}
+}

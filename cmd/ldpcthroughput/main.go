@@ -1,0 +1,80 @@
+// Command ldpcthroughput regenerates the paper's Table 1: decoder output
+// data rate versus iteration count for the low-cost and high-speed
+// configurations, from the cycle-accurate architecture model.
+//
+// Usage:
+//
+//	ldpcthroughput [-iters 10,18,50] [-clock 200] [-detail]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/throughput"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldpcthroughput: ")
+	var (
+		itersFlag = flag.String("iters", "10,18,50", "comma-separated iteration counts")
+		clock     = flag.Float64("clock", 200, "system clock in MHz")
+		detail    = flag.Bool("detail", false, "print the cycle breakdown per configuration")
+	)
+	flag.Parse()
+
+	iters, err := parseInts(*itersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := code.CCSDS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := throughput.Table1(c, iters, *clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Table 1 — output data rate at %.0f MHz (paper values at 200 MHz)\n\n", *clock)
+	fmt.Print(throughput.FormatTable(rows, paperIfDefault(iters, *clock)))
+
+	if *detail {
+		fmt.Println("\nCycle breakdown at 18 iterations:")
+		for _, cfg := range []hwsim.Config{hwsim.LowCost(), hwsim.HighSpeed()} {
+			cfg.ClockMHz = *clock
+			m, err := hwsim.New(c, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %d frame(s), %s messages: %d cycles/batch (%d CN units, %d BN units, %d banks, %d messages/cycle)\n",
+				cfg.Frames, cfg.Format, m.CyclesPerBatch(), m.NumCNUnits(), m.NumBNUnits(), m.NumBanks(), m.MessagesPerCycle())
+		}
+	}
+}
+
+// paperIfDefault returns the paper comparison column only when the run
+// matches the paper's operating conditions.
+func paperIfDefault(iters []int, clock float64) []throughput.Row {
+	if clock != 200 || len(iters) != 3 || iters[0] != 10 || iters[1] != 18 || iters[2] != 50 {
+		return nil
+	}
+	return throughput.PaperTable1
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad iteration count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

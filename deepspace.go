@@ -1,0 +1,136 @@
+package ccsdsldpc
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/protograph"
+	"ccsdsldpc/internal/sim"
+)
+
+// DeepSpaceRate selects a member of the AR4JA-style protograph family
+// (the paper's stated future work for deep-space applications).
+type DeepSpaceRate int
+
+// The three family rates.
+const (
+	DeepSpaceRate12 DeepSpaceRate = iota // 1/2
+	DeepSpaceRate23                      // 2/3
+	DeepSpaceRate45                      // 4/5
+)
+
+func (r DeepSpaceRate) internal() (protograph.Rate, error) {
+	switch r {
+	case DeepSpaceRate12:
+		return protograph.Rate12, nil
+	case DeepSpaceRate23:
+		return protograph.Rate23, nil
+	case DeepSpaceRate45:
+		return protograph.Rate45, nil
+	}
+	return 0, fmt.Errorf("ccsdsldpc: unknown deep-space rate %d", int(r))
+}
+
+// DeepSpaceSystem bundles a lifted protograph code with a decoder,
+// handling the punctured node transparently: Encode emits only
+// transmitted bits, Decode takes only transmitted-bit LLRs.
+type DeepSpaceSystem struct {
+	pc  *protograph.Code
+	dec frameDecoder
+}
+
+// NewDeepSpaceSystem builds the family member with information length k
+// (divisible by twice the rate numerator; use 1024 like the smallest
+// AR4JA members).
+func NewDeepSpaceSystem(rate DeepSpaceRate, k int, cfg Config) (*DeepSpaceSystem, error) {
+	ir, err := rate.internal()
+	if err != nil {
+		return nil, err
+	}
+	pc, err := protograph.NewDeepSpaceCode(ir, k, 20090417)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := buildDecoder(pc.Inner, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DeepSpaceSystem{pc: pc, dec: dec}, nil
+}
+
+// K returns the information length.
+func (s *DeepSpaceSystem) K() int { return s.pc.Inner.K }
+
+// N returns the number of transmitted bits per codeword (punctured bits
+// excluded).
+func (s *DeepSpaceSystem) N() int { return s.pc.NTransmitted() }
+
+// Rate returns the transmitted code rate.
+func (s *DeepSpaceSystem) Rate() float64 { return s.pc.Rate() }
+
+// Encode maps information bits to the transmitted bits (punctured
+// positions are computed internally and withheld).
+func (s *DeepSpaceSystem) Encode(info []byte) ([]byte, error) {
+	if len(info) != s.pc.Inner.K {
+		return nil, fmt.Errorf("ccsdsldpc: %d info bits, want %d", len(info), s.pc.Inner.K)
+	}
+	cw := encodeBits(s.pc.Inner, info)
+	return s.pc.PunctureBits(cw)
+}
+
+// Decode runs the decoder on LLRs of the transmitted bits; the punctured
+// positions enter as erasures.
+func (s *DeepSpaceSystem) Decode(llrTx []float64) (Result, error) {
+	llr, err := s.pc.ExpandLLRs(llrTx)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := s.dec.Decode(llr)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Bits:       res.Bits.Bits(),
+		Info:       s.pc.Inner.ExtractInfo(res.Bits).Bits(),
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+	}, nil
+}
+
+// MeasureDeepSpaceBER runs the Monte-Carlo harness for a family member
+// (punctured positions erased at the receiver, channel at the
+// transmitted rate).
+func MeasureDeepSpaceBER(rate DeepSpaceRate, k int, cfg Config, ebn0s []float64, opts MeasureOptions) ([]BERPoint, error) {
+	ir, err := rate.internal()
+	if err != nil {
+		return nil, err
+	}
+	pc, err := protograph.NewDeepSpaceCode(ir, k, 20090417)
+	if err != nil {
+		return nil, err
+	}
+	scfg := sim.Config{
+		Code: pc.Inner,
+		NewDecoder: func() (sim.FrameDecoder, error) {
+			return buildDecoder(pc.Inner, cfg)
+		},
+		MinFrameErrors: opts.MinFrameErrors,
+		MaxFrames:      opts.MaxFrames,
+		Workers:        opts.Workers,
+		Seed:           opts.Seed,
+		PuncturedCols:  pc.PuncturedCols,
+	}
+	pts, err := sim.RunSweep(scfg, ebn0s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BERPoint, len(pts))
+	for i, p := range pts {
+		lo, hi := p.BERInterval()
+		out[i] = BERPoint{
+			EbN0dB: p.EbN0dB, BER: p.BER(), PER: p.PER(),
+			Frames: p.Frames, FrameErrors: p.FrameErrors,
+			AvgIterations: p.AvgIterations(), BERLow: lo, BERHigh: hi,
+		}
+	}
+	return out, nil
+}

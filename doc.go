@@ -1,0 +1,31 @@
+// Package ccsdsldpc is a complete software reproduction of "A Generic
+// Architecture of CCSDS Low Density Parity Check Decoder for Near-Earth
+// Applications" (Demangel, Fau, Drabik, Charot, Wolinski — DATE 2009).
+//
+// It provides:
+//
+//   - the CCSDS C2 near-earth (8176, 7156) Quasi-Cyclic LDPC code
+//     (construction, validation, systematic encoder, shortening to the
+//     (8160, 7136) transmitted frame);
+//   - message-passing decoders: belief propagation, min-sum, and the
+//     paper's normalized min-sum with a fine-scaled correction factor,
+//     in floating point and in bit-exact fixed point;
+//   - a cycle-accurate model of the paper's generic parallel decoder
+//     architecture in its low-cost (1 frame) and high-speed (8 packed
+//     frames) configurations, with conflict-checked banked message
+//     memories;
+//   - analytical FPGA resource and throughput models reproducing the
+//     paper's Tables 1-3, and a Monte-Carlo BER/PER harness reproducing
+//     Figure 4;
+//   - CCSDS framing (attached sync marker, pseudo-randomizer) for
+//     end-to-end telemetry simulation.
+//
+// This package is the public facade; subsystems live under internal/
+// and are documented in DESIGN.md. Quick start:
+//
+//	sys, err := ccsdsldpc.NewSystem(ccsdsldpc.DefaultConfig())
+//	info := make([]byte, sys.K()) // one bit per byte entry
+//	cw, _ := sys.Encode(info)
+//	llr := sys.Corrupt(cw, 4.0, 1) // Eb/N0 dB, seed
+//	res, _ := sys.Decode(llr)
+package ccsdsldpc

@@ -1,0 +1,93 @@
+// Convergence: visualize the decoder's iteration-by-iteration progress
+// on the full (8176, 7156) code — the paper's "very low error floor
+// achieved with a very fast iterative convergence". For several Eb/N0
+// points the example prints the unsatisfied-check trajectory of one
+// frame, showing why 10-18 iterations suffice well above threshold
+// while 50 are needed near it (the trade-off of Table 1 and Figure 4).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/rng"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	c, err := code.CCSDS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := ldpc.NewDecoder(c, ldpc.Options{
+		Algorithm:     ldpc.NormalizedMinSum,
+		MaxIterations: 50,
+		Alpha:         4.0 / 3,
+		TraceSyndrome: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rng.New(7)
+	info := bitvec.New(c.K)
+	for i := 0; i < c.K; i++ {
+		if r.Bool() {
+			info.Set(i)
+		}
+	}
+	cw := c.Encode(info)
+
+	fmt.Println("unsatisfied parity checks per iteration (of 1022), one frame per Eb/N0:")
+	fmt.Println()
+	for _, ebn0 := range []float64{3.4, 3.6, 3.8, 4.2} {
+		ch, err := channel.NewAWGN(ebn0, c.Rate())
+		if err != nil {
+			log.Fatal(err)
+		}
+		llr := ch.CorruptCodeword(cw, rng.New(42))
+		res, err := d.Decode(llr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := d.SyndromeTrace()
+		status := "converged"
+		if !res.Converged {
+			status = "NOT converged"
+		}
+		fmt.Printf("%.1f dB (%s in %d iterations):\n  ", ebn0, status, res.Iterations)
+		for i, w := range tr {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Print(w)
+		}
+		fmt.Println()
+		// A crude sparkline: each iteration's weight scaled to 0-40 cols.
+		max := tr[0]
+		if max == 0 {
+			max = 1
+		}
+		for i, w := range tr {
+			bars := w * 40 / max
+			fmt.Printf("  iter %2d |%s %d\n", i, strings.Repeat("#", bars), w)
+			if i >= 9 && w == 0 {
+				break
+			}
+			if i >= 14 {
+				fmt.Printf("  ... (%d more iterations)\n", len(tr)-i-1)
+				break
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("well above threshold the syndrome collapses within a handful of")
+	fmt.Println("iterations — the regime where the paper's 18-iteration operating")
+	fmt.Println("point delivers both the error rate of Figure 4 and the 70/560 Mbps")
+	fmt.Println("of Table 1.")
+}

@@ -1,0 +1,3 @@
+module ccsdsldpc
+
+go 1.23

@@ -1,0 +1,373 @@
+package ccsdsldpc_test
+
+// Integration tests spanning module boundaries: full telemetry chain
+// through the cycle-accurate machine, decoder-family cross-checks on
+// identical channels, and end-to-end facade flows. Unit tests live next
+// to each package; these exercise the seams.
+
+import (
+	"testing"
+
+	"ccsdsldpc"
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/frame"
+	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/rng"
+)
+
+// TestTelemetryThroughMachine runs the complete downlink — framing,
+// randomization, AWGN, sync, de-randomization — and hands the recovered
+// LLRs to the cycle-accurate hardware machine instead of a software
+// decoder. This is the full system of the paper as it would be deployed.
+func TestTelemetryThroughMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size chain in -short mode")
+	}
+	sh, err := code.CCSDSShortened()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := frame.NewFramer(sh)
+	cfg := hwsim.LowCost()
+	cfg.CheckConflicts = true
+	m, err := hwsim.New(sh.Code, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(4.2, sh.Code.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(123)
+
+	info := bitvec.New(fr.InfoBits())
+	for j := 0; j < info.Len(); j++ {
+		if r.Bool() {
+			info.Set(j)
+		}
+	}
+	f, err := fr.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := ch.Transmit(channel.Modulate(f), r)
+	off, score, err := fr.Sync(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 0 || score < 0.8 {
+		t.Fatalf("sync failed: offset %d, score %v", off, score)
+	}
+	scale := 2 / (ch.Sigma * ch.Sigma)
+	llr, err := fr.CodewordLLRs(samples, scale, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cfg.Format.QuantizeSlice(nil, llr)
+	hard, cycles, err := m.DecodeBatch([][]int16{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fr.ExtractInfo(hard[0])
+	if !got.Equal(info) {
+		t.Fatal("machine-decoded telemetry payload wrong")
+	}
+	if cycles.Total != m.CyclesPerBatch() {
+		t.Errorf("cycle count %d != analytic %d", cycles.Total, m.CyclesPerBatch())
+	}
+}
+
+// TestDecoderFamilyAgreesOnEasyChannel: every decoder in the repository
+// must fully recover the same set of mildly noisy frames — a mutual
+// consistency check across ldpc (4 algorithms × 2 schedules), λ-min,
+// fixed point and the machine.
+func TestDecoderFamilyAgreesOnEasyChannel(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ldpc.NewGraph(c)
+	ch, err := channel.NewAWGN(6.5, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+
+	type decoder struct {
+		name string
+		dec  interface {
+			Decode([]float64) (ldpc.Result, error)
+		}
+	}
+	var family []decoder
+	for _, alg := range []ldpc.Algorithm{ldpc.SumProduct, ldpc.MinSum, ldpc.NormalizedMinSum, ldpc.OffsetMinSum} {
+		for _, s := range []ldpc.Schedule{ldpc.Flooding, ldpc.Layered} {
+			d, err := ldpc.NewDecoderGraph(g, c, ldpc.Options{
+				Algorithm: alg, Schedule: s, MaxIterations: 30, Alpha: 1.25, Beta: 0.15,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			family = append(family, decoder{alg.String() + "/" + s.String(), d})
+		}
+	}
+	lm, err := ldpc.NewLambdaMin(c, 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	family = append(family, decoder{"lambda-min-3", lm})
+	fx, err := fixed.NewDecoder(c, fixed.DefaultLowCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	family = append(family, decoder{"fixed-6bit", fx})
+
+	const frames = 20
+	for trial := 0; trial < frames; trial++ {
+		info := bitvec.New(c.K)
+		for i := 0; i < c.K; i++ {
+			if r.Bool() {
+				info.Set(i)
+			}
+		}
+		cw := c.Encode(info)
+		llr := ch.CorruptCodeword(cw, r)
+		for _, d := range family {
+			res, err := d.dec.Decode(llr)
+			if err != nil {
+				t.Fatalf("%s: %v", d.name, err)
+			}
+			if !res.Bits.Equal(cw) {
+				t.Errorf("%s: failed on easy frame %d", d.name, trial)
+			}
+		}
+	}
+}
+
+// TestFacadeMatchesInternals: the public System must produce the same
+// decodes as driving the internal decoder directly.
+func TestFacadeMatchesInternals(t *testing.T) {
+	sys, err := ccsdsldpc.NewTestSystem(ccsdsldpc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.InternalCode()
+	d, err := ldpc.NewDecoder(c, ldpc.Options{
+		Algorithm: ldpc.NormalizedMinSum, MaxIterations: 18, Alpha: 4.0 / 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := make([]byte, sys.K())
+	info[3] = 1
+	cw, err := sys.Encode(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llr, err := sys.Corrupt(cw, 4.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFacade, err := sys.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromInternal, err := d.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range fromFacade.Bits {
+		if int(b) != fromInternal.Bits.Bit(i) {
+			t.Fatalf("facade and internal decoder disagree at bit %d", i)
+		}
+	}
+	if fromFacade.Iterations != fromInternal.Iterations {
+		t.Errorf("iterations differ: %d vs %d", fromFacade.Iterations, fromInternal.Iterations)
+	}
+}
+
+// TestShortenedFrameThroughFixedDecoder exercises shortening + the
+// quantized datapath together: the saturated LLRs of the shortened
+// positions must survive quantization with full confidence.
+func TestShortenedFrameThroughFixedDecoder(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := code.NewShortened(c, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := frame.NewFramer(sh)
+	fx, err := fixed.NewDecoder(c, fixed.DefaultLowCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(6.0, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	recovered := 0
+	const frames = 20
+	for trial := 0; trial < frames; trial++ {
+		info := bitvec.New(fr.InfoBits())
+		for j := 0; j < info.Len(); j++ {
+			if r.Bool() {
+				info.Set(j)
+			}
+		}
+		f, err := fr.Build(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples := ch.Transmit(channel.Modulate(f), r)
+		scale := 2 / (ch.Sigma * ch.Sigma)
+		llr, err := fr.CodewordLLRs(samples, scale, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fx.Decode(llr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.ExtractInfo(res.Bits).Equal(info) {
+			recovered++
+		}
+	}
+	if recovered < frames*8/10 {
+		t.Errorf("recovered %d/%d shortened frames through the fixed datapath", recovered, frames)
+	}
+}
+
+// TestBSCWithGallagerB: the hard-decision channel/decoder pairing —
+// Gallager-B over a BSC recovers frames at low crossover.
+func TestBSCWithGallagerB(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewBSC(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := ldpc.NewGallagerB(c, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(21)
+	ok := 0
+	const frames = 40
+	for trial := 0; trial < frames; trial++ {
+		info := bitvec.New(c.K)
+		for i := 0; i < c.K; i++ {
+			if r.Bool() {
+				info.Set(i)
+			}
+		}
+		cw := c.Encode(info)
+		rx := ch.Transmit(cw, r)
+		res, err := gb.DecodeBits(rx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Converged && res.Bits.Equal(cw) {
+			ok++
+		}
+	}
+	if ok < frames*8/10 {
+		t.Errorf("Gallager-B over BSC(0.01): %d/%d frames", ok, frames)
+	}
+}
+
+// TestBECWithPeeling: erasure channel + peeling decoder below the
+// erasure threshold.
+func TestBECWithPeeling(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewBEC(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ldpc.NewPeeling(c)
+	r := rng.New(22)
+	ok := 0
+	const frames = 40
+	for trial := 0; trial < frames; trial++ {
+		info := bitvec.New(c.K)
+		for i := 0; i < c.K; i++ {
+			if r.Bool() {
+				info.Set(i)
+			}
+		}
+		cw := c.Encode(info)
+		rx, erased := ch.Transmit(cw, r)
+		res, err := p.Decode(rx, erased)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Unresolved) == 0 && res.Bits.Equal(cw) {
+			ok++
+		}
+	}
+	if ok < frames*8/10 {
+		t.Errorf("peeling over BEC(0.08): %d/%d frames", ok, frames)
+	}
+}
+
+// TestIterationTradeoff is the paper's central operating-point argument
+// (Table 1 + Figure 4 together): more iterations help error correction
+// with diminishing returns — "eighteen iterations is a good trade-off
+// between error correction and output throughput".
+func TestIterationTradeoff(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ldpc.NewGraph(c)
+	ch, err := channel.NewAWGN(3.4, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := map[int]int{}
+	const frames = 500
+	for _, iters := range []int{10, 18, 50} {
+		d, err := ldpc.NewDecoderGraph(g, c, ldpc.Options{
+			Algorithm: ldpc.NormalizedMinSum, MaxIterations: iters, Alpha: 4.0 / 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(33)
+		for trial := 0; trial < frames; trial++ {
+			info := bitvec.New(c.K)
+			for i := 0; i < c.K; i++ {
+				if r.Bool() {
+					info.Set(i)
+				}
+			}
+			cw := c.Encode(info)
+			llr := ch.CorruptCodeword(cw, r)
+			if res, _ := d.Decode(llr); !res.Bits.Equal(cw) {
+				fails[iters]++
+			}
+		}
+	}
+	t.Logf("failures/%d: 10 iters %d, 18 iters %d, 50 iters %d", frames, fails[10], fails[18], fails[50])
+	if fails[18] > fails[10] {
+		t.Errorf("18 iterations (%d) worse than 10 (%d)", fails[18], fails[10])
+	}
+	if fails[50] > fails[18] {
+		t.Errorf("50 iterations (%d) worse than 18 (%d)", fails[50], fails[18])
+	}
+	// Diminishing returns: the 18→50 improvement is smaller than 10→18.
+	if gain1, gain2 := fails[10]-fails[18], fails[18]-fails[50]; gain2 > gain1 {
+		t.Logf("note: 18→50 gain (%d) exceeds 10→18 gain (%d) at this operating point", gain2, gain1)
+	}
+}

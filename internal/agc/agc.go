@@ -1,0 +1,104 @@
+// Package agc handles the receiver's LLR scaling ("automatic gain
+// control") in front of the fixed-point decoder.
+//
+// A hardware decoder does not receive ideal LLRs: the demodulator
+// applies some gain g before the channel quantizer, and the question is
+// how to load the Q(w, f) format. Two facts shape the answer, both
+// verified by this package's tests:
+//
+//  1. Min-sum-family decoders are scale-invariant in infinite precision
+//     (scaling every LLR by g > 0 scales every message by g and changes
+//     no sign or comparison), so only the *quantizer* makes gain matter.
+//  2. There is therefore a broad optimum: the gain that minimizes the
+//     quantization distortion of the LLR distribution. Too small wastes
+//     codes (granular noise), too large saturates the tails.
+//
+// OptimalGain computes the distortion-minimizing gain for the Gaussian
+// LLR distribution of a BPSK/AWGN channel by golden-section search.
+package agc
+
+import (
+	"fmt"
+	"math"
+
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/rng"
+)
+
+// Distortion estimates the normalized mean-squared quantization error
+// E[(Q(g·L)/g − L)²] / E[L²] for LLRs L of a BPSK/AWGN channel with
+// noise deviation sigma (all-zero codeword: L ~ N(2/σ², 4/σ²)), using n
+// Monte-Carlo samples.
+func Distortion(f fixed.Format, gain, sigma float64, n int, seed uint64) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if gain <= 0 || sigma <= 0 || n < 1 {
+		return 0, fmt.Errorf("agc: invalid gain %v, sigma %v or samples %d", gain, sigma, n)
+	}
+	r := rng.New(seed)
+	mean := 2 / (sigma * sigma)
+	std := 2 / sigma
+	var num, den float64
+	for i := 0; i < n; i++ {
+		l := mean + std*r.Normal()
+		q := f.Value(f.Quantize(gain*l)) / gain
+		d := q - l
+		num += d * d
+		den += l * l
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("agc: degenerate LLR distribution")
+	}
+	return num / den, nil
+}
+
+// OptimalGain finds the gain minimizing Distortion by golden-section
+// search over a broad bracket. Deterministic per seed.
+func OptimalGain(f fixed.Format, sigma float64, seed uint64) (gain, distortion float64, err error) {
+	if err := f.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if sigma <= 0 {
+		return 0, 0, fmt.Errorf("agc: sigma %v", sigma)
+	}
+	const samples = 20000
+	// Bracket: the gain mapping the LLR mean to codes spanning
+	// [1/16, 4]× of full scale.
+	mean := 2 / (sigma * sigma)
+	lo := f.MaxValue() / mean / 16
+	hi := f.MaxValue() / mean * 4
+	eval := func(g float64) float64 {
+		d, derr := Distortion(f, g, sigma, samples, seed)
+		if derr != nil {
+			return math.Inf(1)
+		}
+		return d
+	}
+	const phi = 1.6180339887498949
+	a, b := lo, hi
+	c := b - (b-a)/phi
+	d := a + (b-a)/phi
+	fc, fd := eval(c), eval(d)
+	for i := 0; i < 60 && (b-a) > 1e-4*(hi-lo); i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)/phi
+			fc = eval(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)/phi
+			fd = eval(d)
+		}
+	}
+	g := (a + b) / 2
+	dist := eval(g)
+	return g, dist, nil
+}
+
+// LoadFraction reports how the optimal gain loads the quantizer: the
+// LLR mean as a fraction of full scale after gain.
+func LoadFraction(f fixed.Format, gain, sigma float64) float64 {
+	mean := 2 / (sigma * sigma)
+	return gain * mean / f.MaxValue()
+}

@@ -1,0 +1,194 @@
+package agc
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/rng"
+)
+
+var q62 = fixed.Format{Bits: 6, Frac: 2}
+
+func TestDistortionValidation(t *testing.T) {
+	if _, err := Distortion(q62, 0, 0.5, 100, 1); err == nil {
+		t.Error("zero gain accepted")
+	}
+	if _, err := Distortion(q62, 1, -1, 100, 1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := Distortion(q62, 1, 0.5, 0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := Distortion(fixed.Format{Bits: 1}, 1, 0.5, 100, 1); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestDistortionShape(t *testing.T) {
+	// Distortion must be high for tiny gains (granular) and for huge
+	// gains (saturated), with a better value in between.
+	const sigma = 0.55
+	small, err := Distortion(q62, 0.005, sigma, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Distortion(q62, 10, sigma, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Distortion(q62, 0.6, sigma, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mid < small && mid < big) {
+		t.Errorf("distortion not U-shaped: small %v, mid %v, big %v", small, mid, big)
+	}
+}
+
+func TestOptimalGain(t *testing.T) {
+	const sigma = 0.55
+	g, dist, err := OptimalGain(q62, sigma, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= 0 {
+		t.Fatalf("gain %v", g)
+	}
+	if dist > 0.02 {
+		t.Errorf("optimal distortion %v suspiciously high for 6 bits", dist)
+	}
+	// The optimum should beat both bracket edges clearly.
+	for _, other := range []float64{g / 8, g * 8} {
+		d, err := Distortion(q62, other, sigma, 20000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < dist {
+			t.Errorf("gain %v (distortion %v) beats the 'optimum' %v (%v)", other, d, g, dist)
+		}
+	}
+	// Load: the LLR mean should land in the quantizer's upper region but
+	// not at the rail.
+	load := LoadFraction(q62, g, sigma)
+	if load < 0.15 || load > 1.0 {
+		t.Errorf("optimal load fraction %v outside (0.15, 1.0)", load)
+	}
+	t.Logf("sigma=%.2f: optimal gain %.3f, load %.2f of full scale, NMSE %.4f", sigma, g, load, dist)
+}
+
+func TestOptimalGainValidation(t *testing.T) {
+	if _, _, err := OptimalGain(q62, 0, 1); err == nil {
+		t.Error("zero sigma accepted")
+	}
+	if _, _, err := OptimalGain(fixed.Format{Bits: 40}, 0.5, 1); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+// TestMinSumScaleInvariance verifies fact (1) of the package comment:
+// in floating point, scaling all LLRs by any positive gain changes
+// nothing about a min-sum-family decode.
+func TestMinSumScaleInvariance(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ldpc.NewDecoder(c, ldpc.Options{Algorithm: ldpc.NormalizedMinSum, MaxIterations: 20, Alpha: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(3.8, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		info := bitvec.New(c.K)
+		for i := 0; i < c.K; i++ {
+			if r.Bool() {
+				info.Set(i)
+			}
+		}
+		cw := c.Encode(info)
+		llr := ch.CorruptCodeword(cw, r)
+		base, err := d.Decode(llr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseBits := base.Bits.Clone()
+		baseIters := base.Iterations
+		for _, g := range []float64{0.1, 3.7, 42} {
+			scaled := make([]float64, len(llr))
+			for i := range llr {
+				scaled[i] = g * llr[i]
+			}
+			res, err := d.Decode(scaled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Bits.Equal(baseBits) || res.Iterations != baseIters {
+				t.Fatalf("trial %d: gain %v changed the float min-sum decode", trial, g)
+			}
+		}
+	}
+}
+
+// TestQuantizedDecoderPrefersOptimalGain closes the loop: the fixed
+// decoder fed through the optimal gain must not lose frames versus a
+// badly loaded quantizer.
+func TestQuantizedDecoderPrefersOptimalGain(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(3.8, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gOpt, _, err := OptimalGain(q62, ch.Sigma, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := func(gain float64) int {
+		d, err := fixed.NewDecoder(c, fixed.Params{
+			Format: q62, Scale: fixed.Scale{Num: 3, Shift: 2}, MaxIterations: 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(9)
+		n := 0
+		const frames = 300
+		for trial := 0; trial < frames; trial++ {
+			info := bitvec.New(c.K)
+			for i := 0; i < c.K; i++ {
+				if r.Bool() {
+					info.Set(i)
+				}
+			}
+			cw := c.Encode(info)
+			llr := ch.CorruptCodeword(cw, r)
+			for i := range llr {
+				llr[i] *= gain
+			}
+			res, err := d.Decode(llr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Bits.Equal(cw) {
+				n++
+			}
+		}
+		return n
+	}
+	optFails := fails(gOpt)
+	tinyFails := fails(gOpt / 30) // severe granular loss
+	t.Logf("failures/300: optimal gain %d, gain/30 %d", optFails, tinyFails)
+	if optFails > tinyFails {
+		t.Errorf("optimal gain (%d failures) worse than underloaded quantizer (%d)", optFails, tinyFails)
+	}
+}

@@ -1,0 +1,346 @@
+// Package bitvec implements dense bit vectors over GF(2).
+//
+// A Vector is a fixed-length sequence of bits packed into 64-bit words.
+// It is the storage primitive for every GF(2) matrix and codeword in this
+// repository: rows of parity-check and generator matrices, hard-decision
+// buffers, syndromes, and circulant first rows all use Vector.
+//
+// Operations that combine two vectors (Xor, And, Or) require equal
+// lengths and panic otherwise: a length mismatch is always a programming
+// error in linear-algebra code, never a runtime condition to handle.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length bit vector. The zero value is an empty vector
+// of length 0; use New to create a vector of a given length.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed Vector of n bits. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromBits returns a Vector whose ith bit is bits[i] != 0.
+func FromBits(bs []byte) *Vector {
+	v := New(len(bs))
+	for i, b := range bs {
+		if b != 0 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// FromIndices returns a Vector of length n with ones exactly at the given
+// indices. Duplicate indices are idempotent. It panics if an index is out
+// of range.
+func FromIndices(n int, idx []int) *Vector {
+	v := New(n)
+	for _, i := range idx {
+		v.Set(i)
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Words exposes the backing words. The tail bits of the last word beyond
+// Len are always zero. Callers must not set those tail bits.
+func (v *Vector) Words() []uint64 { return v.words }
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Bit returns the bit at position i as 0 or 1.
+func (v *Vector) Bit(i int) int {
+	v.check(i)
+	return int(v.words[i/wordBits] >> (uint(i) % wordBits) & 1)
+}
+
+// Set sets the bit at position i to 1.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets the bit at position i to 0.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Flip toggles the bit at position i.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.words[i/wordBits] ^= 1 << (uint(i) % wordBits)
+}
+
+// SetBit sets the bit at position i to b (0 or 1).
+func (v *Vector) SetBit(i, b int) {
+	if b == 0 {
+		v.Clear(i)
+	} else {
+		v.Set(i)
+	}
+}
+
+// SetAll sets every bit to 1.
+func (v *Vector) SetAll() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.trim()
+}
+
+// Zero clears every bit.
+func (v *Vector) Zero() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// trim clears the unused tail bits of the last word.
+func (v *Vector) trim() {
+	if tail := uint(v.n % wordBits); tail != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << tail) - 1
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	w := &Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// CopyFrom overwrites v with the contents of src. Lengths must match.
+func (v *Vector) CopyFrom(src *Vector) {
+	v.mustMatch(src)
+	copy(v.words, src.words)
+}
+
+func (v *Vector) mustMatch(w *Vector) {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, w.n))
+	}
+}
+
+// Xor sets v ^= w. Lengths must match.
+func (v *Vector) Xor(w *Vector) {
+	v.mustMatch(w)
+	for i, x := range w.words {
+		v.words[i] ^= x
+	}
+}
+
+// And sets v &= w. Lengths must match.
+func (v *Vector) And(w *Vector) {
+	v.mustMatch(w)
+	for i, x := range w.words {
+		v.words[i] &= x
+	}
+}
+
+// Or sets v |= w. Lengths must match.
+func (v *Vector) Or(w *Vector) {
+	v.mustMatch(w)
+	for i, x := range w.words {
+		v.words[i] |= x
+	}
+}
+
+// Not sets v to its bitwise complement.
+func (v *Vector) Not() {
+	for i := range v.words {
+		v.words[i] = ^v.words[i]
+	}
+	v.trim()
+}
+
+// PopCount returns the number of 1 bits.
+func (v *Vector) PopCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsZero reports whether every bit is 0.
+func (v *Vector) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and w have the same length and bits.
+func (v *Vector) Equal(w *Vector) bool {
+	if v.n != w.n {
+		return false
+	}
+	for i, x := range v.words {
+		if x != w.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dot returns the GF(2) inner product of v and w (parity of the AND).
+// Lengths must match.
+func (v *Vector) Dot(w *Vector) int {
+	v.mustMatch(w)
+	var acc uint64
+	for i, x := range v.words {
+		acc ^= x & w.words[i]
+	}
+	return bits.OnesCount64(acc) & 1
+}
+
+// FirstSet returns the index of the lowest set bit, or -1 if none.
+func (v *Vector) FirstSet() int {
+	for i, w := range v.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextSet returns the index of the lowest set bit >= from, or -1 if none.
+func (v *Vector) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= v.n {
+		return -1
+	}
+	wi := from / wordBits
+	w := v.words[wi] >> (uint(from) % wordBits)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for i := wi + 1; i < len(v.words); i++ {
+		if v.words[i] != 0 {
+			return i*wordBits + bits.TrailingZeros64(v.words[i])
+		}
+	}
+	return -1
+}
+
+// Indices returns the positions of all set bits in increasing order.
+func (v *Vector) Indices() []int {
+	out := make([]int, 0, v.PopCount())
+	for i := v.FirstSet(); i >= 0; i = v.NextSet(i + 1) {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Bits returns the vector as a byte-per-bit slice (each element 0 or 1).
+func (v *Vector) Bits() []byte {
+	out := make([]byte, v.n)
+	for i := v.FirstSet(); i >= 0; i = v.NextSet(i + 1) {
+		out[i] = 1
+	}
+	return out
+}
+
+// Slice returns a new vector holding bits [lo, hi).
+func (v *Vector) Slice(lo, hi int) *Vector {
+	if lo < 0 || hi > v.n || lo > hi {
+		panic(fmt.Sprintf("bitvec: bad slice [%d,%d) of %d", lo, hi, v.n))
+	}
+	out := New(hi - lo)
+	for i := lo; i < hi; i++ {
+		if v.Bit(i) == 1 {
+			out.Set(i - lo)
+		}
+	}
+	return out
+}
+
+// Paste copies src into v starting at offset at.
+func (v *Vector) Paste(at int, src *Vector) {
+	if at < 0 || at+src.n > v.n {
+		panic(fmt.Sprintf("bitvec: paste of %d bits at %d overflows %d", src.n, at, v.n))
+	}
+	for i := 0; i < src.n; i++ {
+		v.SetBit(at+i, src.Bit(i))
+	}
+}
+
+// Concat returns the concatenation of the given vectors.
+func Concat(vs ...*Vector) *Vector {
+	n := 0
+	for _, v := range vs {
+		n += v.n
+	}
+	out := New(n)
+	at := 0
+	for _, v := range vs {
+		out.Paste(at, v)
+		at += v.n
+	}
+	return out
+}
+
+// RotateRight returns v rotated right by k positions: the bit at index i
+// of the result is the bit at index (i-k) mod n of v. For a circulant
+// first row this is the row k rows below the first.
+func (v *Vector) RotateRight(k int) *Vector {
+	if v.n == 0 {
+		return v.Clone()
+	}
+	k = ((k % v.n) + v.n) % v.n
+	out := New(v.n)
+	for i := v.FirstSet(); i >= 0; i = v.NextSet(i + 1) {
+		out.Set((i + k) % v.n)
+	}
+	return out
+}
+
+// String renders the vector as a 0/1 string, bit 0 first.
+func (v *Vector) String() string {
+	var b strings.Builder
+	b.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		b.WriteByte('0' + byte(v.Bit(i)))
+	}
+	return b.String()
+}
+
+// Parse converts a 0/1 string (as produced by String) into a Vector.
+func Parse(s string) (*Vector, error) {
+	v := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			v.Set(i)
+		default:
+			return nil, fmt.Errorf("bitvec: invalid character %q at %d", s[i], i)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,349 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	if !v.IsZero() {
+		t.Fatal("new vector not zero")
+	}
+	if v.PopCount() != 0 {
+		t.Fatalf("PopCount = %d, want 0", v.PopCount())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetClearFlip(t *testing.T) {
+	v := New(100)
+	v.Set(0)
+	v.Set(63)
+	v.Set(64)
+	v.Set(99)
+	for _, i := range []int{0, 63, 64, 99} {
+		if v.Bit(i) != 1 {
+			t.Errorf("Bit(%d) = 0, want 1", i)
+		}
+	}
+	if v.PopCount() != 4 {
+		t.Fatalf("PopCount = %d, want 4", v.PopCount())
+	}
+	v.Clear(63)
+	if v.Bit(63) != 0 {
+		t.Error("Clear(63) failed")
+	}
+	v.Flip(63)
+	if v.Bit(63) != 1 {
+		t.Error("Flip(63) failed")
+	}
+	v.Flip(63)
+	if v.Bit(63) != 0 {
+		t.Error("double Flip(63) failed")
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	v := New(10)
+	for name, f := range map[string]func(){
+		"Bit(-1)":   func() { v.Bit(-1) },
+		"Bit(10)":   func() { v.Bit(10) },
+		"Set(10)":   func() { v.Set(10) },
+		"Clear(10)": func() { v.Clear(10) },
+		"Flip(-5)":  func() { v.Flip(-5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSetAllRespectsTail(t *testing.T) {
+	v := New(70)
+	v.SetAll()
+	if v.PopCount() != 70 {
+		t.Fatalf("PopCount = %d, want 70", v.PopCount())
+	}
+	// Tail bits of the last word must stay zero so PopCount/Equal work.
+	if v.Words()[1]>>6 != 0 {
+		t.Fatal("tail bits set beyond Len")
+	}
+}
+
+func TestNotRespectsTail(t *testing.T) {
+	v := New(70)
+	v.Set(3)
+	v.Not()
+	if v.PopCount() != 69 {
+		t.Fatalf("PopCount = %d, want 69", v.PopCount())
+	}
+	if v.Bit(3) != 0 {
+		t.Fatal("Not did not flip bit 3")
+	}
+}
+
+func TestXorAndOr(t *testing.T) {
+	a := FromIndices(10, []int{1, 3, 5})
+	b := FromIndices(10, []int{3, 4, 5})
+	x := a.Clone()
+	x.Xor(b)
+	if got := x.Indices(); len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Errorf("Xor = %v, want [1 4]", got)
+	}
+	y := a.Clone()
+	y.And(b)
+	if got := y.Indices(); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Errorf("And = %v, want [3 5]", got)
+	}
+	z := a.Clone()
+	z.Or(b)
+	if got := z.PopCount(); got != 4 {
+		t.Errorf("Or popcount = %d, want 4", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Xor with mismatched lengths did not panic")
+		}
+	}()
+	a.Xor(b)
+}
+
+func TestDot(t *testing.T) {
+	a := FromIndices(8, []int{0, 2, 4})
+	b := FromIndices(8, []int{2, 4, 6})
+	if got := a.Dot(b); got != 0 {
+		t.Errorf("Dot = %d, want 0 (two common bits)", got)
+	}
+	b.Set(0)
+	if got := a.Dot(b); got != 1 {
+		t.Errorf("Dot = %d, want 1 (three common bits)", got)
+	}
+}
+
+func TestFirstNextSet(t *testing.T) {
+	v := FromIndices(200, []int{5, 64, 130, 199})
+	if got := v.FirstSet(); got != 5 {
+		t.Errorf("FirstSet = %d, want 5", got)
+	}
+	want := []int{5, 64, 130, 199}
+	var got []int
+	for i := v.FirstSet(); i >= 0; i = v.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterated %v, want %v", got, want)
+		}
+	}
+	if got := New(50).FirstSet(); got != -1 {
+		t.Errorf("FirstSet on zero vector = %d, want -1", got)
+	}
+	if got := v.NextSet(200); got != -1 {
+		t.Errorf("NextSet(200) = %d, want -1", got)
+	}
+}
+
+func TestSlicePaste(t *testing.T) {
+	v := FromIndices(20, []int{0, 5, 10, 19})
+	s := v.Slice(4, 12)
+	if got := s.Indices(); len(got) != 2 || got[0] != 1 || got[1] != 6 {
+		t.Errorf("Slice indices = %v, want [1 6]", got)
+	}
+	w := New(20)
+	w.Paste(8, s)
+	if got := w.Indices(); len(got) != 2 || got[0] != 9 || got[1] != 14 {
+		t.Errorf("Paste indices = %v, want [9 14]", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromIndices(3, []int{0})
+	b := FromIndices(4, []int{3})
+	c := Concat(a, b)
+	if c.Len() != 7 {
+		t.Fatalf("Concat len = %d, want 7", c.Len())
+	}
+	if got := c.Indices(); len(got) != 2 || got[0] != 0 || got[1] != 6 {
+		t.Errorf("Concat indices = %v, want [0 6]", got)
+	}
+}
+
+func TestRotateRight(t *testing.T) {
+	v := FromIndices(5, []int{0, 1})
+	r := v.RotateRight(2)
+	if got := r.Indices(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("RotateRight(2) = %v, want [2 3]", got)
+	}
+	r = v.RotateRight(4)
+	if got := r.Indices(); len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Errorf("RotateRight(4) = %v, want [0 4]", got)
+	}
+	// Negative and wrap-around rotations.
+	if !v.RotateRight(-3).Equal(v.RotateRight(2)) {
+		t.Error("RotateRight(-3) != RotateRight(2) on length 5")
+	}
+	if !v.RotateRight(7).Equal(v.RotateRight(2)) {
+		t.Error("RotateRight(7) != RotateRight(2) on length 5")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	v := FromIndices(9, []int{1, 4, 8})
+	s := v.String()
+	if s != "010010001" {
+		t.Fatalf("String = %q", s)
+	}
+	w, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Equal(v) {
+		t.Fatal("Parse(String()) != original")
+	}
+	if _, err := Parse("01x"); err == nil {
+		t.Fatal("Parse accepted invalid character")
+	}
+}
+
+func TestFromBitsBits(t *testing.T) {
+	in := []byte{1, 0, 0, 1, 1}
+	v := FromBits(in)
+	out := v.Bits()
+	if len(out) != len(in) {
+		t.Fatalf("Bits len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("Bits[%d] = %d, want %d", i, out[i], in[i])
+		}
+	}
+}
+
+func randomVector(r *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestPropertyXorSelfIsZero(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%500 + 1
+		v := randomVector(rand.New(rand.NewSource(seed)), n)
+		w := v.Clone()
+		w.Xor(v)
+		return w.IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyXorCommutes(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%500 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVector(r, n), randomVector(r, n)
+		x := a.Clone()
+		x.Xor(b)
+		y := b.Clone()
+		y.Xor(a)
+		return x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRotateComposes(t *testing.T) {
+	f := func(seed int64, nRaw uint16, j, k int16) bool {
+		n := int(nRaw)%300 + 1
+		v := randomVector(rand.New(rand.NewSource(seed)), n)
+		a := v.RotateRight(int(j)).RotateRight(int(k))
+		b := v.RotateRight(int(j) + int(k))
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRotatePreservesPopCount(t *testing.T) {
+	f := func(seed int64, nRaw uint16, k int16) bool {
+		n := int(nRaw)%300 + 1
+		v := randomVector(rand.New(rand.NewSource(seed)), n)
+		return v.RotateRight(int(k)).PopCount() == v.PopCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDotSymmetric(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%500 + 1
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomVector(r, n), randomVector(r, n)
+		return a.Dot(b) == b.Dot(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyIndicesRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%500 + 1
+		v := randomVector(rand.New(rand.NewSource(seed)), n)
+		return FromIndices(n, v.Indices()).Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkXor8176(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randomVector(r, 8176)
+	y := randomVector(r, 8176)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Xor(y)
+	}
+}
+
+func BenchmarkPopCount8176(b *testing.B) {
+	v := randomVector(rand.New(rand.NewSource(1)), 8176)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.PopCount()
+	}
+}

@@ -1,0 +1,25 @@
+package bitvec
+
+import "testing"
+
+// FuzzParse checks the string parser never panics and round-trips on
+// valid input.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("0")
+	f.Add("0101101")
+	f.Add("2")
+	f.Add("01x10")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if v.Len() != len(s) {
+			t.Fatalf("parsed length %d, input %d", v.Len(), len(s))
+		}
+		if v.String() != s {
+			t.Fatalf("round trip %q -> %q", s, v.String())
+		}
+	})
+}

@@ -1,0 +1,114 @@
+// Package channel models the transmission chain of the paper's
+// evaluation: BPSK modulation over an AWGN channel with exact LLR
+// computation at the receiver.
+//
+// Bit mapping: bit 0 → +1, bit 1 → −1 (so the LLR sign convention of
+// package ldpc holds: positive LLR favours bit 0). For BPSK with noise
+// variance σ², the channel LLR of a received sample y is 2y/σ².
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/rng"
+)
+
+// AWGN is a binary-input additive white Gaussian noise channel at a
+// fixed Eb/N0 operating point for a given code rate.
+type AWGN struct {
+	// EbN0dB is the information-bit SNR in dB.
+	EbN0dB float64
+	// Rate is the code rate used to convert Eb/N0 to Es/N0.
+	Rate float64
+	// Sigma is the per-dimension noise standard deviation.
+	Sigma float64
+}
+
+// NewAWGN returns a channel at the given Eb/N0 (dB) for a rate-R code.
+// With unit symbol energy, σ² = 1 / (2 · R · 10^(EbN0/10)).
+func NewAWGN(ebn0dB, rate float64) (*AWGN, error) {
+	if rate <= 0 || rate > 1 {
+		return nil, fmt.Errorf("channel: invalid rate %v", rate)
+	}
+	ebn0 := math.Pow(10, ebn0dB/10)
+	sigma := math.Sqrt(1 / (2 * rate * ebn0))
+	return &AWGN{EbN0dB: ebn0dB, Rate: rate, Sigma: sigma}, nil
+}
+
+// Modulate maps codeword bits to BPSK symbols (+1 for 0, −1 for 1).
+func Modulate(cw *bitvec.Vector) []float64 {
+	out := make([]float64, cw.Len())
+	for i := range out {
+		if cw.Bit(i) == 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Transmit adds Gaussian noise to symbols in place using the given RNG
+// and returns the same slice.
+func (ch *AWGN) Transmit(symbols []float64, r *rng.RNG) []float64 {
+	for i := range symbols {
+		symbols[i] += ch.Sigma * r.Normal()
+	}
+	return symbols
+}
+
+// LLR computes channel LLRs from received samples: 2y/σ².
+func (ch *AWGN) LLR(received []float64) []float64 {
+	out := make([]float64, len(received))
+	scale := 2 / (ch.Sigma * ch.Sigma)
+	for i, y := range received {
+		out[i] = scale * y
+	}
+	return out
+}
+
+// LLRInto is LLR writing into a caller-provided slice to avoid
+// allocation in the Monte-Carlo inner loop.
+func (ch *AWGN) LLRInto(dst, received []float64) {
+	if len(dst) != len(received) {
+		panic(fmt.Sprintf("channel: LLRInto length %d != %d", len(dst), len(received)))
+	}
+	scale := 2 / (ch.Sigma * ch.Sigma)
+	for i, y := range received {
+		dst[i] = scale * y
+	}
+}
+
+// CorruptCodeword is the full chain for one frame: modulate, add noise,
+// compute LLRs. Convenience for examples and tests.
+func (ch *AWGN) CorruptCodeword(cw *bitvec.Vector, r *rng.RNG) []float64 {
+	return ch.LLR(ch.Transmit(Modulate(cw), r))
+}
+
+// HardBits returns the hard decisions of received samples (sample < 0 →
+// bit 1), for measuring the raw channel error rate.
+func HardBits(received []float64) *bitvec.Vector {
+	v := bitvec.New(len(received))
+	for i, y := range received {
+		if y < 0 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// EbN0ToEsN0dB converts information-bit SNR to symbol SNR for a rate-R
+// code: Es/N0 = R · Eb/N0, i.e. +10·log10(R) in dB.
+func EbN0ToEsN0dB(ebn0dB, rate float64) float64 {
+	return ebn0dB + 10*math.Log10(rate)
+}
+
+// TheoreticalBERUncoded returns the BPSK bit error probability
+// Q(sqrt(2·Eb/N0)) of an uncoded link, used as a sanity baseline in
+// tests and plots.
+func TheoreticalBERUncoded(ebn0dB float64) float64 {
+	ebn0 := math.Pow(10, ebn0dB/10)
+	return 0.5 * math.Erfc(math.Sqrt(ebn0))
+}

@@ -1,0 +1,199 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/rng"
+)
+
+func TestNewAWGNSigma(t *testing.T) {
+	// At Eb/N0 = 0 dB and rate 1/2: σ² = 1/(2·0.5·1) = 1.
+	ch, err := NewAWGN(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ch.Sigma-1) > 1e-12 {
+		t.Errorf("sigma = %v, want 1", ch.Sigma)
+	}
+	// Higher SNR means smaller sigma.
+	hi, err := NewAWGN(6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Sigma >= ch.Sigma {
+		t.Error("sigma did not shrink with SNR")
+	}
+	// Higher rate concentrates less energy per symbol: larger sigma...
+	// actually σ² = 1/(2·R·EbN0), so higher rate gives *smaller* sigma.
+	r9, err := NewAWGN(0, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r9.Sigma >= ch.Sigma {
+		t.Error("sigma should shrink with rate at fixed Eb/N0")
+	}
+}
+
+func TestNewAWGNRejectsBadRate(t *testing.T) {
+	for _, r := range []float64{0, -0.1, 1.5} {
+		if _, err := NewAWGN(3, r); err == nil {
+			t.Errorf("rate %v accepted", r)
+		}
+	}
+}
+
+func TestModulateMapping(t *testing.T) {
+	cw := bitvec.FromBits([]byte{0, 1, 1, 0})
+	s := Modulate(cw)
+	want := []float64{1, -1, -1, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("symbol %d = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestLLRSignMatchesBits(t *testing.T) {
+	// Without noise, LLR sign must encode the bit: positive for 0.
+	ch, err := NewAWGN(4, 0.875)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := bitvec.FromBits([]byte{0, 1, 0, 1, 1})
+	llr := ch.LLR(Modulate(cw))
+	for i := 0; i < cw.Len(); i++ {
+		if cw.Bit(i) == 0 && llr[i] <= 0 {
+			t.Errorf("bit 0 at %d has LLR %v", i, llr[i])
+		}
+		if cw.Bit(i) == 1 && llr[i] >= 0 {
+			t.Errorf("bit 1 at %d has LLR %v", i, llr[i])
+		}
+	}
+}
+
+func TestLLRIntoMatchesLLR(t *testing.T) {
+	ch, err := NewAWGN(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := []float64{0.3, -1.2, 2.5}
+	want := ch.LLR(rx)
+	got := make([]float64, 3)
+	ch.LLRInto(got, rx)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LLRInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLLRIntoLengthPanics(t *testing.T) {
+	ch, _ := NewAWGN(2, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LLRInto length mismatch did not panic")
+		}
+	}()
+	ch.LLRInto(make([]float64, 2), make([]float64, 3))
+}
+
+func TestTransmitNoiseStatistics(t *testing.T) {
+	ch, err := NewAWGN(3, 0.875)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(42)
+	const n = 200000
+	symbols := make([]float64, n) // all-zero transmitted as +1... use 0 to isolate noise
+	ch.Transmit(symbols, r)
+	var sum, sumSq float64
+	for _, y := range symbols {
+		sum += y
+		sumSq += y * y
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("noise mean = %v", mean)
+	}
+	if math.Abs(variance-ch.Sigma*ch.Sigma) > 0.02*ch.Sigma*ch.Sigma {
+		t.Errorf("noise variance = %v, want %v", variance, ch.Sigma*ch.Sigma)
+	}
+}
+
+func TestChannelBERMatchesTheory(t *testing.T) {
+	// The empirical uncoded BER must match Q(sqrt(2 Eb/N0)) at rate 1.
+	const ebn0 = 4.0
+	ch, err := NewAWGN(ebn0, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	const n = 500000
+	cw := bitvec.New(n) // all zeros -> all +1
+	rx := ch.Transmit(Modulate(cw), r)
+	errs := HardBits(rx).PopCount()
+	got := float64(errs) / n
+	want := TheoreticalBERUncoded(ebn0)
+	if math.Abs(got-want) > 0.15*want {
+		t.Errorf("empirical BER %.4e, theory %.4e", got, want)
+	}
+}
+
+func TestEbN0ToEsN0(t *testing.T) {
+	if got := EbN0ToEsN0dB(4, 1); got != 4 {
+		t.Errorf("rate-1 Es/N0 = %v, want 4", got)
+	}
+	got := EbN0ToEsN0dB(4, 0.5)
+	if math.Abs(got-(4-3.0103)) > 0.001 {
+		t.Errorf("rate-1/2 Es/N0 = %v, want ~0.99", got)
+	}
+}
+
+func TestHardBits(t *testing.T) {
+	v := HardBits([]float64{1.5, -0.2, 0.0, -3})
+	want := []int{0, 1, 0, 1}
+	for i, w := range want {
+		if v.Bit(i) != w {
+			t.Errorf("HardBits[%d] = %d, want %d", i, v.Bit(i), w)
+		}
+	}
+}
+
+func TestPropertyLLRMonotone(t *testing.T) {
+	// LLR is a strictly increasing function of the received sample.
+	f := func(a, b float64) bool {
+		// Physical receive samples are O(1); huge magnitudes overflow the
+		// LLR scale multiplication and are out of scope.
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e30 || math.Abs(b) > 1e30 {
+			return true
+		}
+		if a == b {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		ch, err := NewAWGN(3, 0.875)
+		if err != nil {
+			return false
+		}
+		l := ch.LLR([]float64{lo, hi})
+		return l[0] < l[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheoreticalBERDecreasing(t *testing.T) {
+	prev := 1.0
+	for _, db := range []float64{0, 2, 4, 6, 8, 10} {
+		p := TheoreticalBERUncoded(db)
+		if p >= prev {
+			t.Fatalf("theoretical BER not decreasing at %v dB", db)
+		}
+		prev = p
+	}
+}

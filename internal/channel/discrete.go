@@ -1,0 +1,117 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/rng"
+)
+
+// Discrete channels: the binary symmetric channel (hard decisions with
+// crossover probability p) and the binary erasure channel (erasure
+// probability ε). They complete the channel family: BSC is the natural
+// setting of Gallager-B, BEC the setting of the peeling decoder and the
+// analysis model for punctured bits.
+
+// BSC is a binary symmetric channel with crossover probability P.
+type BSC struct {
+	P float64
+}
+
+// NewBSC validates the crossover probability.
+func NewBSC(p float64) (*BSC, error) {
+	if p < 0 || p >= 0.5 {
+		return nil, fmt.Errorf("channel: BSC crossover %v outside [0, 0.5)", p)
+	}
+	return &BSC{P: p}, nil
+}
+
+// Transmit flips each bit independently with probability P and returns
+// the received word.
+func (ch *BSC) Transmit(cw *bitvec.Vector, r *rng.RNG) *bitvec.Vector {
+	rx := cw.Clone()
+	for i := 0; i < rx.Len(); i++ {
+		if r.Float64() < ch.P {
+			rx.Flip(i)
+		}
+	}
+	return rx
+}
+
+// LLR converts received hard bits to channel LLRs: ±log((1−p)/p).
+func (ch *BSC) LLR(rx *bitvec.Vector) []float64 {
+	mag := math.Log((1 - ch.P) / ch.P)
+	out := make([]float64, rx.Len())
+	for i := range out {
+		if rx.Bit(i) == 0 {
+			out[i] = mag
+		} else {
+			out[i] = -mag
+		}
+	}
+	return out
+}
+
+// Capacity returns the BSC capacity 1 − H2(p) in bits per channel use.
+func (ch *BSC) Capacity() float64 { return 1 - binaryEntropy(ch.P) }
+
+// BEC is a binary erasure channel with erasure probability Epsilon.
+type BEC struct {
+	Epsilon float64
+}
+
+// NewBEC validates the erasure probability.
+func NewBEC(eps float64) (*BEC, error) {
+	if eps < 0 || eps > 1 {
+		return nil, fmt.Errorf("channel: BEC erasure probability %v outside [0, 1]", eps)
+	}
+	return &BEC{Epsilon: eps}, nil
+}
+
+// Transmit erases each bit independently with probability Epsilon; it
+// returns the received bits (unchanged where known) and the erasure
+// mask.
+func (ch *BEC) Transmit(cw *bitvec.Vector, r *rng.RNG) (*bitvec.Vector, []bool) {
+	rx := cw.Clone()
+	erased := make([]bool, cw.Len())
+	for i := range erased {
+		if r.Float64() < ch.Epsilon {
+			erased[i] = true
+		}
+	}
+	return rx, erased
+}
+
+// LLR converts a received word and erasure mask into LLRs: erasures get
+// 0, known bits ±sat.
+func (ch *BEC) LLR(rx *bitvec.Vector, erased []bool, sat float64) ([]float64, error) {
+	if rx.Len() != len(erased) {
+		return nil, fmt.Errorf("channel: BEC word %d bits, mask %d", rx.Len(), len(erased))
+	}
+	if sat <= 0 {
+		return nil, fmt.Errorf("channel: non-positive saturation %v", sat)
+	}
+	out := make([]float64, rx.Len())
+	for i := range out {
+		switch {
+		case erased[i]:
+			out[i] = 0
+		case rx.Bit(i) == 0:
+			out[i] = sat
+		default:
+			out[i] = -sat
+		}
+	}
+	return out, nil
+}
+
+// Capacity returns the BEC capacity 1 − ε.
+func (ch *BEC) Capacity() float64 { return 1 - ch.Epsilon }
+
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}

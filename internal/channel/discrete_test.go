@@ -1,0 +1,126 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/rng"
+)
+
+func TestBSCValidation(t *testing.T) {
+	for _, p := range []float64{-0.1, 0.5, 0.9} {
+		if _, err := NewBSC(p); err == nil {
+			t.Errorf("crossover %v accepted", p)
+		}
+	}
+	if _, err := NewBSC(0); err != nil {
+		t.Error("noiseless BSC rejected")
+	}
+}
+
+func TestBSCFlipRate(t *testing.T) {
+	ch, err := NewBSC(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	const n = 100000
+	cw := bitvec.New(n)
+	rx := ch.Transmit(cw, r)
+	flips := rx.PopCount()
+	if math.Abs(float64(flips)/n-0.1) > 0.01 {
+		t.Errorf("flip rate %v, want ~0.1", float64(flips)/n)
+	}
+}
+
+func TestBSCLLRSigns(t *testing.T) {
+	ch, err := NewBSC(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := bitvec.FromBits([]byte{0, 1, 0})
+	llr := ch.LLR(rx)
+	wantMag := math.Log(0.95 / 0.05)
+	if llr[0] <= 0 || llr[1] >= 0 || llr[2] <= 0 {
+		t.Errorf("LLR signs wrong: %v", llr)
+	}
+	if math.Abs(math.Abs(llr[0])-wantMag) > 1e-12 {
+		t.Errorf("LLR magnitude %v, want %v", llr[0], wantMag)
+	}
+}
+
+func TestBSCCapacity(t *testing.T) {
+	ch, _ := NewBSC(0)
+	if ch.Capacity() != 1 {
+		t.Errorf("noiseless capacity %v", ch.Capacity())
+	}
+	ch, _ = NewBSC(0.11)
+	if c := ch.Capacity(); c < 0.49 || c > 0.51 {
+		t.Errorf("capacity at p=0.11 is %v, want ~0.5", c)
+	}
+}
+
+func TestBECValidation(t *testing.T) {
+	for _, e := range []float64{-0.1, 1.1} {
+		if _, err := NewBEC(e); err == nil {
+			t.Errorf("epsilon %v accepted", e)
+		}
+	}
+}
+
+func TestBECErasureRate(t *testing.T) {
+	ch, err := NewBEC(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	const n = 100000
+	cw := bitvec.New(n)
+	rx, erased := ch.Transmit(cw, r)
+	if !rx.Equal(cw) {
+		t.Error("BEC altered known bits")
+	}
+	count := 0
+	for _, e := range erased {
+		if e {
+			count++
+		}
+	}
+	if math.Abs(float64(count)/n-0.3) > 0.01 {
+		t.Errorf("erasure rate %v, want ~0.3", float64(count)/n)
+	}
+	if math.Abs(ch.Capacity()-0.7) > 1e-12 {
+		t.Errorf("capacity %v", ch.Capacity())
+	}
+}
+
+func TestBECLLR(t *testing.T) {
+	ch, err := NewBEC(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := bitvec.FromBits([]byte{0, 1, 0})
+	llr, err := ch.LLR(rx, []bool{false, false, true}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llr[0] != 10 || llr[1] != -10 || llr[2] != 0 {
+		t.Errorf("LLRs %v", llr)
+	}
+	if _, err := ch.LLR(rx, []bool{true}, 10); err == nil {
+		t.Error("mask length mismatch accepted")
+	}
+	if _, err := ch.LLR(rx, []bool{false, false, true}, 0); err == nil {
+		t.Error("zero saturation accepted")
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if h := binaryEntropy(0.5); math.Abs(h-1) > 1e-12 {
+		t.Errorf("H2(0.5) = %v", h)
+	}
+	if binaryEntropy(0) != 0 || binaryEntropy(1) != 0 {
+		t.Error("H2 at endpoints nonzero")
+	}
+}

@@ -1,0 +1,182 @@
+// Package circulant implements binary circulant matrices and the ring
+// they form, GF(2)[x]/(x^b − 1).
+//
+// A b×b binary circulant is fully determined by its first row: row i is
+// the first row rotated right by i positions. Identifying the first row
+// (c0, c1, …, c_{b−1}) with the polynomial c0 + c1·x + … gives a ring
+// isomorphism — circulant addition and multiplication are polynomial
+// addition and multiplication modulo x^b − 1. Quasi-cyclic LDPC codes
+// such as the CCSDS C2 near-earth code are block matrices of circulants,
+// and both the encoder and the decoder architecture of the reproduced
+// paper exploit exactly this structure.
+package circulant
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/gf2"
+)
+
+// Circulant is a b×b binary circulant matrix represented by its first
+// row. The zero value is unusable; create values with New or FromOffsets.
+type Circulant struct {
+	b   int
+	row *bitvec.Vector // first row
+}
+
+// New returns the b×b zero circulant.
+func New(b int) *Circulant {
+	if b <= 0 {
+		panic(fmt.Sprintf("circulant: non-positive size %d", b))
+	}
+	return &Circulant{b: b, row: bitvec.New(b)}
+}
+
+// FromRow returns the circulant whose first row is row (copied).
+func FromRow(row *bitvec.Vector) *Circulant {
+	return &Circulant{b: row.Len(), row: row.Clone()}
+}
+
+// FromOffsets returns the b×b circulant whose first row has ones exactly
+// at the given column offsets. This matches how QC-LDPC standards
+// tabulate their circulants.
+func FromOffsets(b int, offsets ...int) *Circulant {
+	c := New(b)
+	for _, o := range offsets {
+		if o < 0 || o >= b {
+			panic(fmt.Sprintf("circulant: offset %d out of range [0,%d)", o, b))
+		}
+		c.row.Set(o)
+	}
+	return c
+}
+
+// Identity returns the b×b identity circulant (x^0).
+func Identity(b int) *Circulant { return FromOffsets(b, 0) }
+
+// Size returns the dimension b.
+func (c *Circulant) Size() int { return c.b }
+
+// FirstRow returns a copy of the first row.
+func (c *Circulant) FirstRow() *bitvec.Vector { return c.row.Clone() }
+
+// Row returns a copy of row i (the first row rotated right i places).
+func (c *Circulant) Row(i int) *bitvec.Vector {
+	if i < 0 || i >= c.b {
+		panic(fmt.Sprintf("circulant: row %d out of range [0,%d)", i, c.b))
+	}
+	return c.row.RotateRight(i)
+}
+
+// At returns the entry at (i, j). Row i has ones at (offset+i) mod b for
+// each first-row offset.
+func (c *Circulant) At(i, j int) int {
+	if i < 0 || i >= c.b || j < 0 || j >= c.b {
+		panic(fmt.Sprintf("circulant: index (%d,%d) out of range for size %d", i, j, c.b))
+	}
+	return c.row.Bit((((j - i) % c.b) + c.b) % c.b)
+}
+
+// Weight returns the number of ones per row (= per column).
+func (c *Circulant) Weight() int { return c.row.PopCount() }
+
+// Offsets returns the first-row one positions in increasing order.
+func (c *Circulant) Offsets() []int { return c.row.Indices() }
+
+// IsZero reports whether the circulant is the zero matrix.
+func (c *Circulant) IsZero() bool { return c.row.IsZero() }
+
+// Equal reports whether two circulants have identical size and first row.
+func (c *Circulant) Equal(o *Circulant) bool {
+	return c.b == o.b && c.row.Equal(o.row)
+}
+
+// Clone returns a deep copy.
+func (c *Circulant) Clone() *Circulant { return &Circulant{b: c.b, row: c.row.Clone()} }
+
+func (c *Circulant) mustMatch(o *Circulant) {
+	if c.b != o.b {
+		panic(fmt.Sprintf("circulant: size mismatch %d != %d", c.b, o.b))
+	}
+}
+
+// Add returns c + o (entrywise XOR; polynomial addition).
+func (c *Circulant) Add(o *Circulant) *Circulant {
+	c.mustMatch(o)
+	out := c.Clone()
+	out.row.Xor(o.row)
+	return out
+}
+
+// Mul returns the product c·o, which is again a circulant: the product of
+// the first-row polynomials modulo x^b − 1.
+func (c *Circulant) Mul(o *Circulant) *Circulant {
+	c.mustMatch(o)
+	out := New(c.b)
+	for _, i := range c.row.Indices() {
+		// x^i · o(x) is o's row rotated right by i.
+		out.row.Xor(o.row.RotateRight(i))
+	}
+	return out
+}
+
+// Transpose returns the transposed circulant: offset k maps to (b−k) mod b.
+func (c *Circulant) Transpose() *Circulant {
+	out := New(c.b)
+	for _, k := range c.row.Indices() {
+		out.row.Set((c.b - k) % c.b)
+	}
+	return out
+}
+
+// Rotate returns x^k · c — the circulant whose first row is c's rotated
+// right by k.
+func (c *Circulant) Rotate(k int) *Circulant {
+	return &Circulant{b: c.b, row: c.row.RotateRight(k)}
+}
+
+// MulVec returns c · v for a length-b column vector v.
+//
+// Entry i of the result is Σ_j c[i,j]·v[j] = Σ_off v[(off+i) mod b] over
+// the first-row offsets, i.e. the correlation of v with the offset set.
+func (c *Circulant) MulVec(v *bitvec.Vector) *bitvec.Vector {
+	if v.Len() != c.b {
+		panic(fmt.Sprintf("circulant: MulVec length %d, want %d", v.Len(), c.b))
+	}
+	out := bitvec.New(c.b)
+	for _, off := range c.row.Indices() {
+		// Column j contributes v[j] to rows i with (j-i) ≡ off, i.e.
+		// i = (j-off) mod b: the result accumulates v rotated left by off.
+		out.Xor(v.RotateRight(c.b - off))
+	}
+	return out
+}
+
+// Dense expands the circulant into a dense gf2.Matrix. Intended for
+// validation and small sizes; the b=511 CCSDS circulants expand to
+// 511×511 which is still cheap.
+func (c *Circulant) Dense() *gf2.Matrix {
+	m := gf2.NewMatrix(c.b, c.b)
+	for i := 0; i < c.b; i++ {
+		m.Row(i).CopyFrom(c.row.RotateRight(i))
+	}
+	return m
+}
+
+// Inverse returns the multiplicative inverse of c in GF(2)[x]/(x^b − 1)
+// if it exists. A circulant is invertible iff gcd(c(x), x^b − 1) = 1;
+// notably any circulant with even row weight is singular, because
+// (x+1) | c(x) and (x+1) | x^b − 1.
+func (c *Circulant) Inverse() (*Circulant, error) {
+	inv, err := polyInverse(c.row, c.b)
+	if err != nil {
+		return nil, err
+	}
+	return &Circulant{b: c.b, row: inv}, nil
+}
+
+// String summarizes the circulant by size and offsets.
+func (c *Circulant) String() string {
+	return fmt.Sprintf("circulant(b=%d, offsets=%v)", c.b, c.Offsets())
+}

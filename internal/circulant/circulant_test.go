@@ -1,0 +1,264 @@
+package circulant
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccsdsldpc/internal/bitvec"
+)
+
+func randomCirculant(r *rand.Rand, b int) *Circulant {
+	c := New(b)
+	for i := 0; i < b; i++ {
+		if r.Intn(2) == 1 {
+			c.row.Set(i)
+		}
+	}
+	return c
+}
+
+func randomVec(r *rand.Rand, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestFromOffsetsAt(t *testing.T) {
+	c := FromOffsets(5, 1, 3)
+	// Row 0: ones at columns 1 and 3. Row 2: ones at columns 3 and 0.
+	wantRow0 := []int{0, 1, 0, 1, 0}
+	wantRow2 := []int{1, 0, 0, 1, 0}
+	for j := 0; j < 5; j++ {
+		if c.At(0, j) != wantRow0[j] {
+			t.Errorf("At(0,%d) = %d, want %d", j, c.At(0, j), wantRow0[j])
+		}
+		if c.At(2, j) != wantRow2[j] {
+			t.Errorf("At(2,%d) = %d, want %d", j, c.At(2, j), wantRow2[j])
+		}
+	}
+	if c.Weight() != 2 {
+		t.Errorf("Weight = %d, want 2", c.Weight())
+	}
+}
+
+func TestIdentityBehaviour(t *testing.T) {
+	id := Identity(7)
+	r := rand.New(rand.NewSource(2))
+	c := randomCirculant(r, 7)
+	if !id.Mul(c).Equal(c) {
+		t.Error("I · c != c")
+	}
+	if !c.Mul(id).Equal(c) {
+		t.Error("c · I != c")
+	}
+	v := randomVec(r, 7)
+	if !id.MulVec(v).Equal(v) {
+		t.Error("I · v != v")
+	}
+}
+
+func TestDenseAgreesWithAt(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	c := randomCirculant(r, 11)
+	d := c.Dense()
+	for i := 0; i < 11; i++ {
+		for j := 0; j < 11; j++ {
+			if d.At(i, j) != c.At(i, j) {
+				t.Fatalf("Dense[%d,%d] = %d, At = %d", i, j, d.At(i, j), c.At(i, j))
+			}
+		}
+	}
+	// Every row and column has the same weight.
+	w := c.Weight()
+	for i := 0; i < 11; i++ {
+		if got := d.Row(i).PopCount(); got != w {
+			t.Fatalf("row %d weight %d, want %d", i, got, w)
+		}
+	}
+	dt := d.Transpose()
+	for j := 0; j < 11; j++ {
+		if got := dt.Row(j).PopCount(); got != w {
+			t.Fatalf("col %d weight %d, want %d", j, got, w)
+		}
+	}
+}
+
+func TestMulMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		a := randomCirculant(r, 13)
+		b := randomCirculant(r, 13)
+		got := a.Mul(b).Dense()
+		want := a.Dense().Mul(b.Dense())
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: circulant product disagrees with dense product", trial)
+		}
+	}
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCirculant(r, 17)
+		v := randomVec(r, 17)
+		got := c.MulVec(v)
+		want := c.Dense().MulVec(v)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: MulVec disagrees with dense MulVec", trial)
+		}
+	}
+}
+
+func TestTransposeMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCirculant(r, 9)
+		if !c.Transpose().Dense().Equal(c.Dense().Transpose()) {
+			t.Fatalf("trial %d: Transpose disagrees with dense transpose", trial)
+		}
+	}
+}
+
+func TestEvenWeightCirculantSingular(t *testing.T) {
+	// Weight-2 circulants (the CCSDS building block) are always singular:
+	// (x+1) divides both the polynomial and x^b + 1.
+	c := FromOffsets(511, 17, 342)
+	if _, err := c.Inverse(); err == nil {
+		t.Fatal("weight-2 circulant reported invertible")
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	// Odd-weight circulants are often invertible; verify a known case:
+	// over b=7, c(x) = 1 + x + x^2. x^7+1 = (x+1)(x^3+x+1)(x^3+x^2+1),
+	// so gcd(1+x+x^2, x^7+1) = 1 and the circulant is invertible.
+	c := FromOffsets(7, 0, 1, 2)
+	inv, err := c.Inverse()
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	if !c.Mul(inv).Equal(Identity(7)) {
+		t.Fatal("c · c⁻¹ != I")
+	}
+	if !inv.Mul(c).Equal(Identity(7)) {
+		t.Fatal("c⁻¹ · c != I")
+	}
+}
+
+func TestInverseRandomOddWeight(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	found := 0
+	for trial := 0; trial < 200 && found < 10; trial++ {
+		c := randomCirculant(r, 15)
+		if c.Weight()%2 == 0 || c.IsZero() {
+			continue
+		}
+		inv, err := c.Inverse()
+		if err != nil {
+			continue // not invertible, legal for odd weight too
+		}
+		found++
+		if !c.Mul(inv).Equal(Identity(15)) {
+			t.Fatalf("inverse check failed for %v", c)
+		}
+	}
+	if found == 0 {
+		t.Fatal("found no invertible circulants in 200 trials")
+	}
+}
+
+func TestRotate(t *testing.T) {
+	c := FromOffsets(6, 0, 2)
+	got := c.Rotate(1).Offsets()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Rotate(1) offsets = %v, want [1 3]", got)
+	}
+	// Rotation by k equals multiplication by x^k.
+	xk := FromOffsets(6, 3)
+	if !c.Rotate(3).Equal(xk.Mul(c)) {
+		t.Error("Rotate(3) != x^3 · c")
+	}
+}
+
+func TestPropertyMulCommutes(t *testing.T) {
+	// The circulant ring is commutative — a structural fact the encoder
+	// construction relies on.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomCirculant(r, 19)
+		b := randomCirculant(r, 19)
+		return a.Mul(b).Equal(b.Mul(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMulDistributes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomCirculant(r, 16)
+		b := randomCirculant(r, 16)
+		c := randomCirculant(r, 16)
+		return a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTransposeOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomCirculant(r, 14)
+		b := randomCirculant(r, 14)
+		// (ab)ᵀ = bᵀaᵀ; with commutativity also aᵀbᵀ.
+		return a.Mul(b).Transpose().Equal(b.Transpose().Mul(a.Transpose()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyDivmod(t *testing.T) {
+	// (x^3 + x + 1) = (x+1)(x^2+x) + 1  over GF(2): check divmod identity.
+	p := poly{1, 1, 0, 1}
+	q := poly{1, 1}
+	quo, rem := p.divmod(q)
+	recon := quo.mul(q).add(rem)
+	if len(recon) != len(p) {
+		t.Fatalf("reconstruction length %d, want %d", len(recon), len(p))
+	}
+	for i := range p {
+		if recon[i] != p[i] {
+			t.Fatalf("reconstruction mismatch at %d", i)
+		}
+	}
+	if !rem.isZero() && rem.degree() >= q.degree() {
+		t.Fatal("remainder degree not reduced")
+	}
+}
+
+func TestPolyDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("division by zero polynomial did not panic")
+		}
+	}()
+	poly{1}.divmod(nil)
+}
+
+func BenchmarkMul511(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randomCirculant(r, 511)
+	y := randomCirculant(r, 511)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Mul(y)
+	}
+}

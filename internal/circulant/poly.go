@@ -1,0 +1,129 @@
+package circulant
+
+import (
+	"errors"
+	"fmt"
+
+	"ccsdsldpc/internal/bitvec"
+)
+
+// Polynomial arithmetic over GF(2), used for circulant inversion via the
+// extended Euclidean algorithm in GF(2)[x] modulo x^b − 1 (= x^b + 1 over
+// GF(2)). Polynomials are represented as coefficient bit slices with the
+// coefficient of x^i at index i; they are kept trimmed (no trailing
+// zeros) so that degree = len − 1.
+
+// poly is a trimmed coefficient vector; the zero polynomial is len 0.
+type poly []byte
+
+func polyFromVector(v *bitvec.Vector) poly {
+	p := poly(v.Bits())
+	return p.trim()
+}
+
+func (p poly) trim() poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+func (p poly) isZero() bool { return len(p) == 0 }
+
+func (p poly) degree() int { return len(p) - 1 }
+
+func (p poly) clone() poly {
+	q := make(poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// add returns p + q over GF(2).
+func (p poly) add(q poly) poly {
+	if len(q) > len(p) {
+		p, q = q, p
+	}
+	out := p.clone()
+	for i := range q {
+		out[i] ^= q[i]
+	}
+	return out.trim()
+}
+
+// mul returns p · q over GF(2) (no modulus).
+func (p poly) mul(q poly) poly {
+	if p.isZero() || q.isZero() {
+		return nil
+	}
+	out := make(poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			out[i+j] ^= b
+		}
+	}
+	return out.trim()
+}
+
+// divmod returns quotient and remainder of p / q over GF(2).
+func (p poly) divmod(q poly) (quo, rem poly) {
+	if q.isZero() {
+		panic("circulant: polynomial division by zero")
+	}
+	rem = p.clone()
+	if rem.degree() < q.degree() {
+		return nil, rem
+	}
+	quo = make(poly, rem.degree()-q.degree()+1)
+	for !rem.isZero() && rem.degree() >= q.degree() {
+		shift := rem.degree() - q.degree()
+		quo[shift] = 1
+		for i, b := range q {
+			rem[i+shift] ^= b
+		}
+		rem = rem.trim()
+	}
+	return quo.trim(), rem
+}
+
+// xbPlusOne returns the modulus polynomial x^b + 1.
+func xbPlusOne(b int) poly {
+	m := make(poly, b+1)
+	m[0], m[b] = 1, 1
+	return m
+}
+
+// polyInverse computes the inverse of the polynomial encoded by v in
+// GF(2)[x]/(x^b + 1) using the extended Euclidean algorithm. It returns
+// an error when gcd(v, x^b + 1) ≠ 1.
+func polyInverse(v *bitvec.Vector, b int) (*bitvec.Vector, error) {
+	a := polyFromVector(v)
+	if a.isZero() {
+		return nil, errors.New("circulant: zero polynomial has no inverse")
+	}
+	// Extended Euclid on (m, a): maintain r0 = m, r1 = a and Bézout
+	// coefficients t0, t1 with ti·a ≡ ri (mod m).
+	r0, r1 := xbPlusOne(b), a
+	var t0, t1 poly = nil, poly{1}
+	for !r1.isZero() {
+		q, r := r0.divmod(r1)
+		r0, r1 = r1, r
+		t0, t1 = t1, t0.add(q.mul(t1))
+	}
+	// gcd is r0; invertible iff gcd == 1.
+	if r0.degree() != 0 {
+		return nil, fmt.Errorf("circulant: polynomial not invertible mod x^%d+1 (gcd degree %d)", b, r0.degree())
+	}
+	// Reduce t0 mod x^b + 1 and pack into a vector.
+	_, t := t0.divmod(xbPlusOne(b))
+	out := bitvec.New(b)
+	for i, c := range t {
+		if c == 1 {
+			out.Set(i)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package code
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CCSDS C2 near-earth code geometry (CCSDS 131.1-O-2): a 2×16 array of
+// 511×511 circulants with two ones per circulant row, giving the
+// (8176, 7156) code the reproduced paper decodes.
+const (
+	CCSDSBlockRows       = 2
+	CCSDSBlockCols       = 16
+	CCSDSCirculantSize   = 511
+	CCSDSCirculantWeight = 2
+
+	// CCSDSN and CCSDSK are the resulting code parameters.
+	CCSDSN = CCSDSBlockCols * CCSDSCirculantSize // 8176
+	CCSDSK = 7156
+
+	// CCSDSShortenedN and CCSDSShortenedK are the shortened frame
+	// parameters used on the air interface (Section 2.2 of the paper
+	// refers to the code as "a shortened code based on (8176, 7156)").
+	CCSDSShortenedN = 8160
+	CCSDSShortenedK = 7136
+
+	// ccsdsTableSeed is the fixed seed of the built-in synthetic position
+	// table. Changing it changes the code; it is part of the repository's
+	// reproducibility contract.
+	ccsdsTableSeed = 20090417 // DATE 2009 conference week
+)
+
+var (
+	ccsdsOnce  sync.Once
+	ccsdsCode  *Code
+	ccsdsErr   error
+	ccsdsTOnce sync.Once
+	ccsdsTable *Table
+	ccsdsTErr  error
+)
+
+// CCSDSTable returns the built-in CCSDS-C2-like position table: the
+// documented geometry and weights with deterministic synthetic offsets
+// (see the package comment for why this substitution is sound). The
+// table is generated once and cached.
+func CCSDSTable() (*Table, error) {
+	ccsdsTOnce.Do(func() {
+		ccsdsTable, ccsdsTErr = GenerateTable(CCSDSBlockRows, CCSDSBlockCols,
+			CCSDSCirculantSize, CCSDSCirculantWeight, ccsdsTableSeed)
+	})
+	return ccsdsTable, ccsdsTErr
+}
+
+// CCSDS returns the constructed (8176, 7156) code. Construction (table
+// generation plus GF(2) elimination for the encoder) runs once per
+// process and is cached; it takes on the order of a second.
+func CCSDS() (*Code, error) {
+	ccsdsOnce.Do(func() {
+		t, err := CCSDSTable()
+		if err != nil {
+			ccsdsErr = err
+			return
+		}
+		c, err := NewCode(t)
+		if err != nil {
+			ccsdsErr = err
+			return
+		}
+		if c.K != CCSDSK {
+			ccsdsErr = fmt.Errorf("code: built-in table yields k=%d, want %d (rank %d)", c.K, CCSDSK, c.Rank)
+			return
+		}
+		ccsdsCode = c
+	})
+	return ccsdsCode, ccsdsErr
+}
+
+// MustCCSDS returns the CCSDS code or panics. Intended for tools and
+// examples where construction failure is unrecoverable.
+func MustCCSDS() *Code {
+	c, err := CCSDS()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SmallTestCode returns a miniature QC-LDPC code with the same block
+// geometry family as the CCSDS code (blockRows×blockCols circulants of
+// odd size b, weight-2), for fast unit tests of decoders and the
+// architecture model. The construction is deterministic per seed.
+func SmallTestCode(blockRows, blockCols, b int, seed uint64) (*Code, error) {
+	t, err := GenerateTable(blockRows, blockCols, b, 2, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewCode(t)
+}

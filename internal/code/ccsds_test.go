@@ -1,0 +1,108 @@
+package code
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/rng"
+)
+
+// TestCCSDSConstruction validates every structural claim Section 2.2 of
+// the paper makes about the code. This is the slowest test in the
+// package (one GF(2) elimination of a 1022×8176 matrix) and is shared
+// via the package-level cache.
+func TestCCSDSConstruction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full-size code construction in -short mode")
+	}
+	c, err := CCSDS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 8176 {
+		t.Errorf("N = %d, want 8176", c.N)
+	}
+	if c.M != 1022 {
+		t.Errorf("M = %d, want 1022", c.M)
+	}
+	if c.K != 7156 {
+		t.Errorf("K = %d, want 7156", c.K)
+	}
+	if c.Rank != 1020 {
+		t.Errorf("rank = %d, want 1020", c.Rank)
+	}
+	// "The total row weight of the parity check matrix is 2 × 16, or 32."
+	for i, idx := range c.RowIdx {
+		if len(idx) != 32 {
+			t.Fatalf("row %d weight %d, want 32", i, len(idx))
+		}
+	}
+	// "The total column weight of the parity check matrix is four."
+	for j, idx := range c.ColIdx {
+		if len(idx) != 4 {
+			t.Fatalf("col %d weight %d, want 4", j, len(idx))
+		}
+	}
+	// "more than 32k messages ... updated at each iteration".
+	if got := c.NumEdges(); got != 32704 {
+		t.Errorf("edges = %d, want 32704", got)
+	}
+	if c.HasFourCycle() {
+		t.Error("CCSDS-like code has 4-cycles")
+	}
+}
+
+func TestCCSDSEncode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full-size encode in -short mode")
+	}
+	c := MustCCSDS()
+	r := rng.New(77)
+	for trial := 0; trial < 3; trial++ {
+		info := bitvec.New(c.K)
+		for i := 0; i < c.K; i++ {
+			if r.Bool() {
+				info.Set(i)
+			}
+		}
+		cw := c.Encode(info)
+		if !c.IsCodeword(cw) {
+			t.Fatalf("trial %d: CCSDS encode fails parity", trial)
+		}
+		if !c.ExtractInfo(cw).Equal(info) {
+			t.Fatalf("trial %d: info round trip failed", trial)
+		}
+	}
+}
+
+func TestCCSDSShortenedParameters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full-size code construction in -short mode")
+	}
+	sh, err := CCSDSShortened()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.K() != 7136 {
+		t.Errorf("shortened K = %d, want 7136", sh.K())
+	}
+	if sh.N() != 8160 {
+		t.Errorf("shortened N = %d, want 8160", sh.N())
+	}
+}
+
+func TestCCSDSTableStructure(t *testing.T) {
+	tab, err := CCSDSTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(CCSDSCirculantWeight); err != nil {
+		t.Fatal(err)
+	}
+	if tab.BlockRows != 2 || tab.BlockCols != 16 || tab.B != 511 {
+		t.Fatalf("geometry %dx%d of %d, want 2x16 of 511", tab.BlockRows, tab.BlockCols, tab.B)
+	}
+	if tab.hasFourCycleBlock() {
+		t.Fatal("built-in table has 4-cycles")
+	}
+}

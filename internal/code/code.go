@@ -1,0 +1,291 @@
+package code
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/gf2"
+)
+
+// Code is a constructed QC-LDPC code: the parity-check matrix in sparse
+// row/column form, its rank, and a systematic encoder derived from the
+// reduced row echelon form of H.
+//
+// Encoding places information bits at the "free" columns of the
+// elimination (InfoCols) and computes the pivot-column bits so that
+// H·c = 0. Pivots are chosen from the rightmost columns first, so for the
+// CCSDS geometry the information positions are concentrated at the left
+// of the codeword as in the standard's systematic form.
+type Code struct {
+	// Table is the block-circulant specification H was built from.
+	Table *Table
+	// N is the code length, M the number of parity-check rows, K the code
+	// dimension (N − rank(H)).
+	N, M, K int
+	// Rank is the GF(2) rank of H; for the CCSDS geometry it is M−2.
+	Rank int
+
+	// RowIdx[i] lists the column indices of the ones in row i of H.
+	// ColIdx[j] lists the row indices of the ones in column j.
+	RowIdx [][]int32
+	ColIdx [][]int32
+
+	// InfoCols are the K codeword positions that carry information bits,
+	// in increasing order. PivotCols are the Rank parity positions, in
+	// increasing order; PivotCols[i] is solved by encRows[i].
+	InfoCols  []int
+	PivotCols []int
+
+	// encRows[i] is a K-bit vector: parity bit at PivotCols[i] equals the
+	// GF(2) dot product of encRows[i] with the information vector.
+	encRows []*bitvec.Vector
+}
+
+// NewCode builds a Code from a table: assembles sparse H, computes the
+// rank and the systematic encoder. It returns an error if the table is
+// structurally invalid.
+func NewCode(t *Table) (*Code, error) {
+	if err := t.Validate(0); err != nil {
+		return nil, err
+	}
+	c := &Code{Table: t, N: t.N(), M: t.M()}
+	c.buildSparse()
+	if err := c.buildEncoder(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// buildSparse fills RowIdx/ColIdx from the circulant table. Row i of
+// block row r (i = r·B + s) has ones at column c·B + (o+s) mod B for each
+// offset o of circulant (r, c).
+func (c *Code) buildSparse() {
+	t := c.Table
+	b := t.B
+	c.RowIdx = make([][]int32, c.M)
+	c.ColIdx = make([][]int32, c.N)
+	for r := 0; r < t.BlockRows; r++ {
+		for s := 0; s < b; s++ {
+			row := r*b + s
+			var idx []int32
+			for cb := 0; cb < t.BlockCols; cb++ {
+				for _, o := range t.Offsets[r][cb] {
+					idx = append(idx, int32(cb*b+(o+s)%b))
+				}
+			}
+			sortInt32(idx)
+			c.RowIdx[row] = idx
+			for _, j := range idx {
+				c.ColIdx[j] = append(c.ColIdx[j], int32(row))
+			}
+		}
+	}
+}
+
+func sortInt32(xs []int32) {
+	// Insertion sort: row degree is tiny (32 for CCSDS).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// DenseH expands H into a dense matrix (M×N). Used for validation and
+// for elimination during construction.
+func (c *Code) DenseH() *gf2.Matrix {
+	h := gf2.NewMatrix(c.M, c.N)
+	for i, idx := range c.RowIdx {
+		row := h.Row(i)
+		for _, j := range idx {
+			row.Set(int(j))
+		}
+	}
+	return h
+}
+
+// buildEncoder eliminates H with pivots chosen from the rightmost
+// columns, records pivot/info positions and the parity equations.
+func (c *Code) buildEncoder() error {
+	h := c.DenseH()
+	// Gauss-Jordan scanning columns right-to-left so that parity bits end
+	// up at the tail of the codeword.
+	var pivots []int
+	r := 0
+	for col := c.N - 1; col >= 0 && r < c.M; col-- {
+		p := -1
+		for i := r; i < c.M; i++ {
+			if h.At(i, col) == 1 {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		h.SwapRows(r, p)
+		for i := 0; i < c.M; i++ {
+			if i != r && h.At(i, col) == 1 {
+				h.AddRow(i, r)
+			}
+		}
+		pivots = append(pivots, col)
+		r++
+	}
+	c.Rank = len(pivots)
+	c.K = c.N - c.Rank
+	if c.K <= 0 {
+		return fmt.Errorf("code: degenerate code, rank %d of length %d", c.Rank, c.N)
+	}
+
+	isPivot := make([]bool, c.N)
+	rowOfPivot := make(map[int]int, len(pivots))
+	for i, col := range pivots {
+		isPivot[col] = true
+		rowOfPivot[col] = i
+	}
+	c.InfoCols = make([]int, 0, c.K)
+	for j := 0; j < c.N; j++ {
+		if !isPivot[j] {
+			c.InfoCols = append(c.InfoCols, j)
+		}
+	}
+	c.PivotCols = make([]int, 0, c.Rank)
+	for j := 0; j < c.N; j++ {
+		if isPivot[j] {
+			c.PivotCols = append(c.PivotCols, j)
+		}
+	}
+	// Parity equation for pivot column p (solved by elimination row
+	// rowOfPivot[p]): x_p = Σ_{info col f} h[row, f] · x_f.
+	infoPos := make(map[int]int, c.K)
+	for k, f := range c.InfoCols {
+		infoPos[f] = k
+	}
+	c.encRows = make([]*bitvec.Vector, c.Rank)
+	for i, p := range c.PivotCols {
+		row := h.Row(rowOfPivot[p])
+		eq := bitvec.New(c.K)
+		for j := row.FirstSet(); j >= 0; j = row.NextSet(j + 1) {
+			if j == p {
+				continue
+			}
+			k, ok := infoPos[j]
+			if !ok {
+				// Reduced form guarantees pivot rows touch only their own
+				// pivot column among pivot columns.
+				return fmt.Errorf("code: internal: pivot row %d touches pivot column %d", i, j)
+			}
+			eq.Set(k)
+		}
+		c.encRows[i] = eq
+	}
+	return nil
+}
+
+// Rate returns the code rate K/N.
+func (c *Code) Rate() float64 { return float64(c.K) / float64(c.N) }
+
+// Encode maps K information bits to an N-bit codeword with H·cw = 0.
+func (c *Code) Encode(info *bitvec.Vector) *bitvec.Vector {
+	if info.Len() != c.K {
+		panic(fmt.Sprintf("code: Encode with %d info bits, want %d", info.Len(), c.K))
+	}
+	cw := bitvec.New(c.N)
+	for k, f := range c.InfoCols {
+		if info.Bit(k) == 1 {
+			cw.Set(f)
+		}
+	}
+	for i, p := range c.PivotCols {
+		if c.encRows[i].Dot(info) == 1 {
+			cw.Set(p)
+		}
+	}
+	return cw
+}
+
+// ExtractInfo recovers the K information bits from a codeword.
+func (c *Code) ExtractInfo(cw *bitvec.Vector) *bitvec.Vector {
+	if cw.Len() != c.N {
+		panic(fmt.Sprintf("code: ExtractInfo with %d bits, want %d", cw.Len(), c.N))
+	}
+	info := bitvec.New(c.K)
+	for k, f := range c.InfoCols {
+		if cw.Bit(f) == 1 {
+			info.Set(k)
+		}
+	}
+	return info
+}
+
+// Syndrome returns H·x for an N-bit word x (length M; zero iff x is a
+// codeword).
+func (c *Code) Syndrome(x *bitvec.Vector) *bitvec.Vector {
+	if x.Len() != c.N {
+		panic(fmt.Sprintf("code: Syndrome with %d bits, want %d", x.Len(), c.N))
+	}
+	s := bitvec.New(c.M)
+	for i, idx := range c.RowIdx {
+		parity := 0
+		for _, j := range idx {
+			parity ^= x.Bit(int(j))
+		}
+		if parity == 1 {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+// IsCodeword reports whether H·x = 0.
+func (c *Code) IsCodeword(x *bitvec.Vector) bool { return c.Syndrome(x).IsZero() }
+
+// HasFourCycle checks the realized Tanner graph for 4-cycles: two rows
+// sharing two columns. It is the ground-truth validation of the
+// block-level difference conditions in the table generator.
+func (c *Code) HasFourCycle() bool {
+	// For each column, every pair of its rows "claims" that row pair; a
+	// pair claimed twice is a 4-cycle.
+	seen := make(map[[2]int32]bool)
+	for _, rows := range c.ColIdx {
+		for a := 0; a < len(rows); a++ {
+			for b := a + 1; b < len(rows); b++ {
+				key := [2]int32{rows[a], rows[b]}
+				if seen[key] {
+					return true
+				}
+				seen[key] = true
+			}
+		}
+	}
+	return false
+}
+
+// Ones returns the (row, col) coordinates of all ones of H in row-major
+// order — the scatter-chart data of the paper's Figure 2.
+func (c *Code) Ones() [][2]int {
+	var pts [][2]int
+	for i, idx := range c.RowIdx {
+		for _, j := range idx {
+			pts = append(pts, [2]int{i, int(j)})
+		}
+	}
+	return pts
+}
+
+// NumEdges returns the number of ones in H (messages per decoding
+// direction per iteration).
+func (c *Code) NumEdges() int {
+	n := 0
+	for _, idx := range c.RowIdx {
+		n += len(idx)
+	}
+	return n
+}
+
+// String summarizes the code parameters.
+func (c *Code) String() string {
+	return fmt.Sprintf("QC-LDPC(n=%d, k=%d, rate=%.4f, B=%d, blocks=%dx%d, edges=%d)",
+		c.N, c.K, c.Rate(), c.Table.B, c.Table.BlockRows, c.Table.BlockCols, c.NumEdges())
+}

@@ -1,0 +1,283 @@
+package code
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/rng"
+)
+
+// smallCode returns a cached miniature code for fast tests.
+func smallCode(t *testing.T) *Code {
+	t.Helper()
+	c, err := SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randomInfo(r *rng.RNG, k int) *bitvec.Vector {
+	v := bitvec.New(k)
+	for i := 0; i < k; i++ {
+		if r.Bool() {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestSmallCodeParameters(t *testing.T) {
+	c := smallCode(t)
+	if c.N != 124 || c.M != 62 {
+		t.Fatalf("N,M = %d,%d, want 124,62", c.N, c.M)
+	}
+	// Weight-2 circulants: each block row sums to zero, so rank = M−2.
+	if c.Rank != c.M-2 {
+		t.Errorf("rank = %d, want %d", c.Rank, c.M-2)
+	}
+	if c.K != c.N-c.Rank {
+		t.Errorf("K = %d, want %d", c.K, c.N-c.Rank)
+	}
+	if got := c.NumEdges(); got != c.M*8 {
+		t.Errorf("edges = %d, want %d", got, c.M*8)
+	}
+}
+
+func TestSparseStructure(t *testing.T) {
+	c := smallCode(t)
+	for i, idx := range c.RowIdx {
+		if len(idx) != 8 {
+			t.Fatalf("row %d degree %d, want 8", i, len(idx))
+		}
+		for k := 1; k < len(idx); k++ {
+			if idx[k] <= idx[k-1] {
+				t.Fatalf("row %d indices not strictly increasing: %v", i, idx)
+			}
+		}
+	}
+	for j, idx := range c.ColIdx {
+		if len(idx) != 4 {
+			t.Fatalf("col %d degree %d, want 4", j, len(idx))
+		}
+	}
+	// Sparse and dense views agree.
+	h := c.DenseH()
+	ones := 0
+	for i := 0; i < c.M; i++ {
+		ones += h.Row(i).PopCount()
+	}
+	if ones != c.NumEdges() {
+		t.Fatalf("dense ones %d != edges %d", ones, c.NumEdges())
+	}
+	for i, idx := range c.RowIdx {
+		for _, j := range idx {
+			if h.At(i, int(j)) != 1 {
+				t.Fatalf("dense H missing one at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestEncodeProducesCodewords(t *testing.T) {
+	c := smallCode(t)
+	r := rng.New(2)
+	for trial := 0; trial < 50; trial++ {
+		info := randomInfo(r, c.K)
+		cw := c.Encode(info)
+		if !c.IsCodeword(cw) {
+			t.Fatalf("trial %d: encoded word fails parity check", trial)
+		}
+		back := c.ExtractInfo(cw)
+		if !back.Equal(info) {
+			t.Fatalf("trial %d: ExtractInfo(Encode(u)) != u", trial)
+		}
+	}
+}
+
+func TestEncodeZeroAndLinear(t *testing.T) {
+	c := smallCode(t)
+	zero := bitvec.New(c.K)
+	if !c.Encode(zero).IsZero() {
+		t.Fatal("Encode(0) != 0")
+	}
+	// Linearity: Encode(u ^ v) = Encode(u) ^ Encode(v).
+	r := rng.New(3)
+	u, v := randomInfo(r, c.K), randomInfo(r, c.K)
+	sum := u.Clone()
+	sum.Xor(v)
+	lhs := c.Encode(sum)
+	rhs := c.Encode(u)
+	rhs.Xor(c.Encode(v))
+	if !lhs.Equal(rhs) {
+		t.Fatal("encoder is not linear")
+	}
+}
+
+func TestSyndromeDetectsErrors(t *testing.T) {
+	c := smallCode(t)
+	r := rng.New(4)
+	cw := c.Encode(randomInfo(r, c.K))
+	// Any single-bit error must be detected (column weight 4 > 0).
+	for j := 0; j < c.N; j++ {
+		bad := cw.Clone()
+		bad.Flip(j)
+		if c.IsCodeword(bad) {
+			t.Fatalf("single-bit error at %d undetected", j)
+		}
+	}
+}
+
+func TestInfoPivotPartition(t *testing.T) {
+	c := smallCode(t)
+	if len(c.InfoCols)+len(c.PivotCols) != c.N {
+		t.Fatal("info + pivot columns do not partition the codeword")
+	}
+	seen := make([]bool, c.N)
+	for _, j := range c.InfoCols {
+		seen[j] = true
+	}
+	for _, j := range c.PivotCols {
+		if seen[j] {
+			t.Fatalf("column %d is both info and pivot", j)
+		}
+		seen[j] = true
+	}
+	// Right-first pivoting concentrates parity at the tail: the last
+	// column must be a pivot for any code with a one in the last column.
+	last := c.PivotCols[len(c.PivotCols)-1]
+	if last != c.N-1 {
+		t.Logf("note: last pivot at %d (last column has no pivot)", last)
+	}
+}
+
+func TestOnesMatchesEdges(t *testing.T) {
+	c := smallCode(t)
+	pts := c.Ones()
+	if len(pts) != c.NumEdges() {
+		t.Fatalf("Ones returned %d points, want %d", len(pts), c.NumEdges())
+	}
+	for _, p := range pts {
+		if p[0] < 0 || p[0] >= c.M || p[1] < 0 || p[1] >= c.N {
+			t.Fatalf("point %v out of range", p)
+		}
+	}
+}
+
+func TestGeneratedCodeGirth(t *testing.T) {
+	c := smallCode(t)
+	if c.HasFourCycle() {
+		t.Fatal("generated code has 4-cycles")
+	}
+}
+
+func TestPropertyEncodeAlwaysCodeword(t *testing.T) {
+	c := smallCode(t)
+	f := func(seed uint64) bool {
+		info := randomInfo(rng.New(seed), c.K)
+		return c.IsCodeword(c.Encode(info))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodewordSpaceDimension(t *testing.T) {
+	// The encoder must generate 2^K distinct codewords; equivalently its
+	// K unit-vector images are linearly independent. Check via rank of
+	// stacked basis codewords.
+	c, err := SmallTestCode(2, 3, 17, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := make([]*bitvec.Vector, c.K)
+	for i := 0; i < c.K; i++ {
+		u := bitvec.New(c.K)
+		u.Set(i)
+		basis[i] = c.Encode(u)
+	}
+	// Rank via gf2 would re-import; inline elimination over the basis.
+	rank := 0
+	work := make([]*bitvec.Vector, len(basis))
+	for i := range basis {
+		work[i] = basis[i].Clone()
+	}
+	for col := 0; col < c.N && rank < len(work); col++ {
+		p := -1
+		for i := rank; i < len(work); i++ {
+			if work[i].Bit(col) == 1 {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		work[rank], work[p] = work[p], work[rank]
+		for i := 0; i < len(work); i++ {
+			if i != rank && work[i].Bit(col) == 1 {
+				work[i].Xor(work[rank])
+			}
+		}
+		rank++
+	}
+	if rank != c.K {
+		t.Fatalf("generator rank %d, want %d", rank, c.K)
+	}
+}
+
+func TestShortened(t *testing.T) {
+	c := smallCode(t)
+	sh, err := NewShortened(c, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.K() != c.K-4 {
+		t.Errorf("K = %d, want %d", sh.K(), c.K-4)
+	}
+	if sh.N() != c.N-4+2 {
+		t.Errorf("N = %d, want %d", sh.N(), c.N-4+2)
+	}
+	pos := sh.TransmittedPositions()
+	if len(pos) != sh.N() {
+		t.Fatalf("TransmittedPositions length %d, want %d", len(pos), sh.N())
+	}
+	// Fill bits at the end, marked -1.
+	for i := 0; i < 2; i++ {
+		if pos[len(pos)-1-i] != -1 {
+			t.Error("fill bits not marked -1 at tail")
+		}
+	}
+	// No shortened position appears.
+	shortSet := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		shortSet[c.InfoCols[i]] = true
+	}
+	for _, p := range pos[:len(pos)-2] {
+		if shortSet[p] {
+			t.Fatalf("shortened position %d transmitted", p)
+		}
+	}
+}
+
+func TestShortenedValidation(t *testing.T) {
+	c := smallCode(t)
+	if _, err := NewShortened(c, -1, 0); err == nil {
+		t.Error("negative S accepted")
+	}
+	if _, err := NewShortened(c, c.K+1, 0); err == nil {
+		t.Error("S > K accepted")
+	}
+	if _, err := NewShortened(c, 0, -1); err == nil {
+		t.Error("negative P accepted")
+	}
+}
+
+func TestNewCodeRejectsBadTable(t *testing.T) {
+	tab := NewTable(1, 2, 7)
+	tab.Offsets[0][0] = []int{9} // out of range
+	if _, err := NewCode(tab); err == nil {
+		t.Fatal("NewCode accepted invalid table")
+	}
+}

@@ -1,0 +1,42 @@
+package code
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTable hardens the external-table entry point: arbitrary input
+// must either parse into a table that validates and round-trips, or
+// return an error — never panic.
+func FuzzParseTable(f *testing.F) {
+	f.Add("qcldpc 2 4 31\n0 0 3 7\n1 3 5 11\n")
+	f.Add("qcldpc 1 1 5\n0 0 0\n")
+	f.Add("qcldpc 2 16 511\n")
+	f.Add("")
+	f.Add("garbage\n")
+	f.Add("qcldpc 2 4 31\n0 0 -1\n")
+	f.Add("qcldpc 0 0 0\n")
+	f.Add("qcldpc 2 4 31\n0 0 99\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tab, err := ParseTable(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := tab.Validate(0); err != nil {
+			t.Fatalf("parsed table fails validation: %v", err)
+		}
+		// Round trip: write then re-parse must preserve the table.
+		var buf bytes.Buffer
+		if err := WriteTable(&buf, tab); err != nil {
+			t.Fatalf("write of parsed table failed: %v", err)
+		}
+		again, err := ParseTable(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of written table failed: %v", err)
+		}
+		if again.BlockRows != tab.BlockRows || again.BlockCols != tab.BlockCols || again.B != tab.B {
+			t.Fatal("round trip changed geometry")
+		}
+	})
+}

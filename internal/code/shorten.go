@@ -1,0 +1,77 @@
+package code
+
+import "fmt"
+
+// Shortened adapts a Code to a shortened frame format: the first S
+// information positions are fixed to zero and never transmitted, and P
+// zero fill bits are appended to the transmitted frame for alignment.
+// The CCSDS C2 standard transmits the (8176, 7156) code as a shortened
+// (8160, 7136) frame; with S = 20 and P = 4 the transmitted length is
+// 8176 − 20 + 4 = 8160 carrying 7156 − 20 = 7136 information bits.
+//
+// A receiver knows the shortened positions are zero, which the decoder
+// exploits by giving them maximally confident LLRs (see the ldpc and
+// channel packages).
+type Shortened struct {
+	Code *Code
+	// S is the number of leading information positions fixed to zero.
+	S int
+	// P is the number of zero fill bits appended after the codeword.
+	P int
+}
+
+// NewShortened validates the parameters and returns the adapter.
+func NewShortened(c *Code, s, p int) (*Shortened, error) {
+	if s < 0 || s > c.K {
+		return nil, fmt.Errorf("code: shorten %d of %d info bits", s, c.K)
+	}
+	if p < 0 {
+		return nil, fmt.Errorf("code: negative fill %d", p)
+	}
+	return &Shortened{Code: c, S: s, P: p}, nil
+}
+
+// CCSDSShortened returns the (8160, 7136) shortened frame format over
+// the built-in CCSDS code: S = 7156 − 7136 = 20 shortened information
+// bits and P = 8160 − (8176 − 20) = 4 alignment fill bits.
+func CCSDSShortened() (*Shortened, error) {
+	c, err := CCSDS()
+	if err != nil {
+		return nil, err
+	}
+	s := CCSDSK - CCSDSShortenedK
+	p := CCSDSShortenedN - (CCSDSN - s)
+	return NewShortened(c, s, p)
+}
+
+// K returns the number of information bits per shortened frame.
+func (s *Shortened) K() int { return s.Code.K - s.S }
+
+// N returns the number of transmitted bits per shortened frame.
+func (s *Shortened) N() int { return s.Code.N - s.S + s.P }
+
+// shortenedSet reports whether codeword position j is one of the
+// untransmitted (shortened) information positions.
+func (s *Shortened) shortenedPositions() map[int]bool {
+	set := make(map[int]bool, s.S)
+	for i := 0; i < s.S; i++ {
+		set[s.Code.InfoCols[i]] = true
+	}
+	return set
+}
+
+// TransmittedPositions returns, in transmission order, the codeword
+// position carried by each transmitted bit; fill bits are marked -1.
+func (s *Shortened) TransmittedPositions() []int {
+	set := s.shortenedPositions()
+	out := make([]int, 0, s.N())
+	for j := 0; j < s.Code.N; j++ {
+		if !set[j] {
+			out = append(out, j)
+		}
+	}
+	for i := 0; i < s.P; i++ {
+		out = append(out, -1)
+	}
+	return out
+}

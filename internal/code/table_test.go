@@ -1,0 +1,187 @@
+package code
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateTableSmall(t *testing.T) {
+	tab, err := GenerateTable(2, 4, 31, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if tab.hasFourCycleBlock() {
+		t.Fatal("generated table has a 4-cycle by its own check")
+	}
+	if tab.RowWeight() != 8 {
+		t.Errorf("RowWeight = %d, want 8", tab.RowWeight())
+	}
+	if tab.ColWeight() != 4 {
+		t.Errorf("ColWeight = %d, want 4", tab.ColWeight())
+	}
+	if tab.N() != 124 || tab.M() != 62 {
+		t.Errorf("N,M = %d,%d want 124,62", tab.N(), tab.M())
+	}
+}
+
+func TestGenerateTableDeterministic(t *testing.T) {
+	a, err := GenerateTable(2, 4, 31, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTable(2, 4, 31, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := WriteTable(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTable(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Fatal("same seed produced different tables")
+	}
+	c, err := GenerateTable(2, 4, 31, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufC bytes.Buffer
+	if err := WriteTable(&bufC, c); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() == bufC.String() {
+		t.Fatal("different seeds produced the same table")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tab, err := GenerateTable(2, 5, 61, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BlockRows != tab.BlockRows || got.BlockCols != tab.BlockCols || got.B != tab.B {
+		t.Fatal("geometry not preserved")
+	}
+	for r := 0; r < tab.BlockRows; r++ {
+		for c := 0; c < tab.BlockCols; c++ {
+			a, b := tab.Offsets[r][c], got.Offsets[r][c]
+			if len(a) != len(b) {
+				t.Fatalf("block (%d,%d) offsets %v != %v", r, c, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("block (%d,%d) offsets %v != %v", r, c, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestParseTableErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "nonsense 1 2 3\n",
+		"bad geometry":  "qcldpc 0 4 31\n",
+		"short line":    "qcldpc 2 4 31\n0 0\n",
+		"bad int":       "qcldpc 2 4 31\n0 0 zz\n",
+		"block range":   "qcldpc 2 4 31\n5 0 3\n",
+		"offset range":  "qcldpc 2 4 31\n0 0 31\n",
+		"neg offset":    "qcldpc 2 4 31\n0 0 -1\n",
+		"neg block col": "qcldpc 2 4 31\n0 -2 3\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseTable(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ParseTable accepted %q", name, in)
+		}
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	tab := NewTable(1, 1, 7)
+	tab.Offsets[0][0] = []int{3, 3}
+	if err := tab.Validate(0); err == nil {
+		t.Fatal("Validate accepted duplicate offsets")
+	}
+}
+
+func TestFourCycleDetectionKnownPositive(t *testing.T) {
+	// Two block columns with identical circulants in both block rows give
+	// an immediate 4-cycle (all differences shared).
+	tab := NewTable(2, 2, 11)
+	tab.Offsets[0][0] = []int{0, 1}
+	tab.Offsets[0][1] = []int{0, 1}
+	tab.Offsets[1][0] = []int{0, 1}
+	tab.Offsets[1][1] = []int{0, 1}
+	if !tab.hasFourCycleBlock() {
+		t.Fatal("block check missed an obvious 4-cycle")
+	}
+	c, err := NewCode(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasFourCycle() {
+		t.Fatal("graph check missed an obvious 4-cycle")
+	}
+}
+
+func TestBlockCheckAgreesWithGraphCheck(t *testing.T) {
+	// Property: the closed-form block-level 4-cycle condition must agree
+	// with brute-force detection on the realized Tanner graph.
+	f := func(seed uint64) bool {
+		tab := randomWeight2Table(seed, 2, 3, 13)
+		c, err := NewCode(tab)
+		if err != nil {
+			return false
+		}
+		return tab.hasFourCycleBlock() == c.HasFourCycle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomWeight2Table builds an arbitrary (not 4-cycle-free) weight-2
+// table for adversarial testing.
+func randomWeight2Table(seed uint64, br, bc, b int) *Table {
+	t := NewTable(br, bc, b)
+	s := seed
+	next := func() int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(b))
+	}
+	for r := 0; r < br; r++ {
+		for c := 0; c < bc; c++ {
+			a := next()
+			e := next()
+			for e == a {
+				e = next()
+			}
+			t.Offsets[r][c] = []int{a, e}
+		}
+	}
+	return t
+}
+
+func TestGenerateTableBadWeight(t *testing.T) {
+	if _, err := GenerateTable(2, 4, 7, 0, 1); err == nil {
+		t.Error("weight 0 accepted")
+	}
+	if _, err := GenerateTable(2, 4, 7, 8, 1); err == nil {
+		t.Error("weight > B accepted")
+	}
+}

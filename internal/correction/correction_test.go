@@ -1,0 +1,137 @@
+package correction
+
+import (
+	"math"
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/rng"
+)
+
+func smallCode(t testing.TB) *code.Code {
+	t.Helper()
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEstimateAlphaBasics(t *testing.T) {
+	c := smallCode(t)
+	est, err := EstimateAlpha(c, Config{EbN0dB: 4.0, Iterations: 8, Frames: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Alphas) != 8 {
+		t.Fatalf("got %d alphas, want 8", len(est.Alphas))
+	}
+	// Min-sum overestimates BP magnitudes, so every factor is >= 1, and
+	// for high-degree checks it should be clearly above 1 early on.
+	for i, a := range est.Alphas {
+		if a < 1 || a > 3 || math.IsNaN(a) {
+			t.Errorf("alpha[%d] = %v out of plausible range", i, a)
+		}
+	}
+	if est.Alphas[0] <= 1.05 {
+		t.Errorf("first-iteration alpha %v suspiciously close to 1 for degree-8 checks", est.Alphas[0])
+	}
+	if est.Global < 1 || est.Global > 3 {
+		t.Errorf("global alpha = %v", est.Global)
+	}
+}
+
+func TestEstimateAlphaDeterministic(t *testing.T) {
+	c := smallCode(t)
+	cfg := Config{EbN0dB: 3.5, Iterations: 4, Frames: 10, Seed: 7}
+	a, err := EstimateAlpha(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateAlpha(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Alphas {
+		if a.Alphas[i] != b.Alphas[i] {
+			t.Fatal("same seed produced different estimates")
+		}
+	}
+	if a.Global != b.Global {
+		t.Fatal("same seed produced different global alpha")
+	}
+}
+
+func TestEstimateAlphaValidation(t *testing.T) {
+	c := smallCode(t)
+	if _, err := EstimateAlpha(c, Config{EbN0dB: 4, Iterations: 0, Frames: 5}); err == nil {
+		t.Error("iterations 0 accepted")
+	}
+	if _, err := EstimateAlpha(c, Config{EbN0dB: 4, Iterations: 5, Frames: 0}); err == nil {
+		t.Error("frames 0 accepted")
+	}
+}
+
+// TestFineScheduleHelps is the paper's Section 5 claim in miniature:
+// normalized min-sum with the estimated fine schedule should perform at
+// least as well as plain min-sum, and the schedule should be usable in
+// the decoder.
+func TestFineScheduleHelps(t *testing.T) {
+	c := smallCode(t)
+	est, err := EstimateAlpha(c, Config{EbN0dB: 3.6, Iterations: 12, Frames: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ldpc.NewGraph(c)
+	ms, err := ldpc.NewDecoderGraph(g, c, ldpc.Options{Algorithm: ldpc.MinSum, MaxIterations: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := ldpc.NewDecoderGraph(g, c, ldpc.Options{
+		Algorithm: ldpc.NormalizedMinSum, MaxIterations: 12, AlphaSchedule: est.Alphas,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(3.6, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	const frames = 400
+	msFail, fineFail := 0, 0
+	for i := 0; i < frames; i++ {
+		info := bitvec.New(c.K)
+		for j := 0; j < c.K; j++ {
+			if r.Bool() {
+				info.Set(j)
+			}
+		}
+		cw := c.Encode(info)
+		llr := ch.CorruptCodeword(cw, r)
+		if res, _ := ms.Decode(llr); !res.Bits.Equal(cw) {
+			msFail++
+		}
+		if res, _ := fine.Decode(llr); !res.Bits.Equal(cw) {
+			fineFail++
+		}
+	}
+	t.Logf("failures/%d: min-sum %d, fine-scaled NMS %d (schedule %v)", frames, msFail, fineFail, est.Alphas[:4])
+	// The gain on this tiny degree-8 test code is small, so allow
+	// binomial noise: the fine schedule must not be meaningfully worse.
+	slack := 3 + msFail/5
+	if fineFail > msFail+slack {
+		t.Errorf("fine-scaled NMS (%d) clearly worse than min-sum (%d)", fineFail, msFail)
+	}
+}
+
+func TestPhiSelfInverse(t *testing.T) {
+	for _, x := range []float64{0.05, 0.3, 1, 3, 10} {
+		if got := phi(phi(x)); math.Abs(got-x) > 1e-6*math.Max(1, x) {
+			t.Errorf("phi(phi(%v)) = %v", x, got)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package densevo implements Monte-Carlo density evolution for regular
+// LDPC ensembles on the BPSK/AWGN channel.
+//
+// Density evolution tracks the distribution of messages exchanged by an
+// infinite, cycle-free decoder; the smallest Eb/N0 at which the error
+// probability is driven to zero is the ensemble's decoding threshold.
+// The CCSDS C2 code is (4, 32)-regular, so its waterfall (Figure 4)
+// sits a finite-length gap above the (4, 32) threshold this package
+// computes — connecting the paper's measured curves to ensemble theory.
+// It is also the machinery behind the Chen–Fossorier correction factor
+// (package correction applies the same idea on the real graph).
+package densevo
+
+import (
+	"fmt"
+	"math"
+
+	"ccsdsldpc/internal/rng"
+)
+
+// Ensemble is a regular (dv, dc) LDPC ensemble.
+type Ensemble struct {
+	// Dv is the variable degree, Dc the check degree.
+	Dv, Dc int
+}
+
+// DesignRate returns 1 − dv/dc, the rate of a full-rank regular code.
+func (e Ensemble) DesignRate() float64 { return 1 - float64(e.Dv)/float64(e.Dc) }
+
+// Validate checks the ensemble parameters.
+func (e Ensemble) Validate() error {
+	if e.Dv < 2 || e.Dc <= e.Dv {
+		return fmt.Errorf("densevo: invalid ensemble (dv=%d, dc=%d)", e.Dv, e.Dc)
+	}
+	return nil
+}
+
+// CNRule selects the check-node update being evolved.
+type CNRule int
+
+const (
+	// BP is the exact sum-product rule.
+	BP CNRule = iota
+	// NormalizedMinSum is sign-min with magnitude divided by Alpha.
+	NormalizedMinSum
+)
+
+// Config controls the evolution.
+type Config struct {
+	Rule CNRule
+	// Alpha is the normalization divisor for NormalizedMinSum.
+	Alpha float64
+	// Samples is the population size per iteration (default 20000).
+	Samples int
+	// MaxIterations bounds the evolution (default 200).
+	MaxIterations int
+	// TargetErr declares convergence when the message error probability
+	// falls below it (default 1e-4, bounded below by 1/Samples).
+	TargetErr float64
+	// Seed makes the evolution reproducible.
+	Seed uint64
+	// Rate converts Eb/N0 to noise variance; 0 uses the design rate.
+	Rate float64
+	// ClampLLR saturates message magnitudes (default 25), matching
+	// implementations and keeping the φ domain numerically sane.
+	ClampLLR float64
+}
+
+func (c *Config) setDefaults(e Ensemble) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if c.Samples <= 0 {
+		c.Samples = 20000
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 200
+	}
+	if c.TargetErr <= 0 {
+		c.TargetErr = 1e-4
+	}
+	if c.Rule == NormalizedMinSum && c.Alpha <= 0 {
+		return fmt.Errorf("densevo: NormalizedMinSum needs Alpha > 0")
+	}
+	if c.ClampLLR == 0 {
+		c.ClampLLR = 25
+	}
+	if c.ClampLLR < 0 {
+		return fmt.Errorf("densevo: negative clamp %v", c.ClampLLR)
+	}
+	return nil
+}
+
+// Evolution reports one density-evolution run.
+type Evolution struct {
+	// Converged is true when the error probability reached TargetErr.
+	Converged bool
+	// Iterations executed.
+	Iterations int
+	// ErrTrajectory[i] is the message error probability after iteration
+	// i.
+	ErrTrajectory []float64
+}
+
+// Evolve runs density evolution at one Eb/N0 (dB).
+func Evolve(e Ensemble, cfg Config, ebn0dB float64) (Evolution, error) {
+	if err := cfg.setDefaults(e); err != nil {
+		return Evolution{}, err
+	}
+	rate := cfg.Rate
+	if rate == 0 {
+		rate = e.DesignRate()
+	}
+	sigma := math.Sqrt(1 / (2 * rate * math.Pow(10, ebn0dB/10)))
+	scale := 2 / (sigma * sigma)
+	r := rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+
+	s := cfg.Samples
+	// All-zero codeword: transmit +1; channel LLR = 2(1+σz)/σ².
+	channelSample := func() float64 { return scale * (1 + sigma*r.Normal()) }
+
+	vc := make([]float64, s) // variable→check message population
+	for i := range vc {
+		vc[i] = channelSample()
+	}
+	cv := make([]float64, s)
+	ev := Evolution{}
+	clamp := cfg.ClampLLR
+	for it := 0; it < cfg.MaxIterations; it++ {
+		// CN population: each sample combines dc−1 draws from vc.
+		for i := range cv {
+			cv[i] = cnSample(vc, r, e.Dc-1, cfg)
+		}
+		// VN population and error probability: channel + dv−1 draws for
+		// the outgoing message; error measured on the posterior
+		// (channel + dv draws).
+		errCount := 0
+		for i := range vc {
+			sum := channelSample()
+			for k := 0; k < e.Dv-1; k++ {
+				sum += cv[r.Intn(s)]
+			}
+			post := sum + cv[r.Intn(s)]
+			if post < 0 {
+				errCount++
+			}
+			if sum > clamp {
+				sum = clamp
+			} else if sum < -clamp {
+				sum = -clamp
+			}
+			vc[i] = sum
+		}
+		pe := float64(errCount) / float64(s)
+		ev.ErrTrajectory = append(ev.ErrTrajectory, pe)
+		ev.Iterations = it + 1
+		if pe <= cfg.TargetErr {
+			ev.Converged = true
+			break
+		}
+		// Stall detection: if the error probability has not improved over
+		// the last 20 iterations, the evolution is stuck at a fixpoint.
+		if it >= 20 {
+			prev := ev.ErrTrajectory[it-20]
+			if pe >= prev*0.995 {
+				break
+			}
+		}
+	}
+	return ev, nil
+}
+
+// cnSample draws one check-node output from n incoming samples.
+func cnSample(pop []float64, r *rng.RNG, n int, cfg Config) float64 {
+	switch cfg.Rule {
+	case BP:
+		sign := 1.0
+		phiSum := 0.0
+		for k := 0; k < n; k++ {
+			x := pop[r.Intn(len(pop))]
+			if x < 0 {
+				sign = -sign
+				x = -x
+			}
+			phiSum += phiDE(x)
+		}
+		return sign * phiDE(phiSum)
+	case NormalizedMinSum:
+		sign := 1.0
+		min := math.Inf(1)
+		for k := 0; k < n; k++ {
+			x := pop[r.Intn(len(pop))]
+			if x < 0 {
+				sign = -sign
+				x = -x
+			}
+			if x < min {
+				min = x
+			}
+		}
+		return sign * min / cfg.Alpha
+	}
+	panic(fmt.Sprintf("densevo: unknown rule %d", int(cfg.Rule)))
+}
+
+// phiDE is φ(x) = −ln tanh(x/2), self-inverse for x > 0.
+func phiDE(x float64) float64 {
+	if x < 1e-12 {
+		x = 1e-12
+	}
+	if x > 40 {
+		return 2 * math.Exp(-x)
+	}
+	return -math.Log(math.Tanh(x / 2))
+}
+
+// Threshold locates the ensemble decoding threshold by bisection on
+// Eb/N0 between loDB (expected failing) and hiDB (expected converging),
+// to tolDB precision.
+func Threshold(e Ensemble, cfg Config, loDB, hiDB, tolDB float64) (float64, error) {
+	if err := cfg.setDefaults(e); err != nil {
+		return 0, err
+	}
+	if tolDB <= 0 || hiDB <= loDB {
+		return 0, fmt.Errorf("densevo: bad bisection range [%v, %v] tol %v", loDB, hiDB, tolDB)
+	}
+	evLo, err := Evolve(e, cfg, loDB)
+	if err != nil {
+		return 0, err
+	}
+	if evLo.Converged {
+		return loDB, nil // threshold below the range
+	}
+	evHi, err := Evolve(e, cfg, hiDB)
+	if err != nil {
+		return 0, err
+	}
+	if !evHi.Converged {
+		return 0, fmt.Errorf("densevo: no convergence even at %v dB", hiDB)
+	}
+	for hiDB-loDB > tolDB {
+		mid := (loDB + hiDB) / 2
+		ev, err := Evolve(e, cfg, mid)
+		if err != nil {
+			return 0, err
+		}
+		if ev.Converged {
+			hiDB = mid
+		} else {
+			loDB = mid
+		}
+	}
+	return hiDB, nil
+}

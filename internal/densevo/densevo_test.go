@@ -1,0 +1,143 @@
+package densevo
+
+import (
+	"math"
+	"testing"
+)
+
+// ccsdsEnsemble is the (4, 32)-regular ensemble of the CCSDS C2 code.
+var ccsdsEnsemble = Ensemble{Dv: 4, Dc: 32}
+
+func fastConfig(rule CNRule) Config {
+	return Config{
+		Rule:          rule,
+		Alpha:         4.0 / 3,
+		Samples:       6000,
+		MaxIterations: 150,
+		TargetErr:     1e-3,
+		Seed:          1,
+		Rate:          7156.0 / 8176,
+	}
+}
+
+func TestEnsembleBasics(t *testing.T) {
+	if got := ccsdsEnsemble.DesignRate(); got != 0.875 {
+		t.Errorf("design rate = %v, want 0.875", got)
+	}
+	if err := ccsdsEnsemble.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, e := range []Ensemble{{Dv: 1, Dc: 8}, {Dv: 8, Dc: 4}, {Dv: 0, Dc: 0}} {
+		if err := e.Validate(); err == nil {
+			t.Errorf("ensemble %+v accepted", e)
+		}
+	}
+}
+
+func TestEvolveHighSNRConverges(t *testing.T) {
+	ev, err := Evolve(ccsdsEnsemble, fastConfig(BP), 6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Converged {
+		t.Fatalf("BP DE did not converge at 6 dB (trajectory %v...)", ev.ErrTrajectory[:min(5, len(ev.ErrTrajectory))])
+	}
+	if ev.Iterations > 30 {
+		t.Errorf("convergence at 6 dB took %d iterations", ev.Iterations)
+	}
+}
+
+func TestEvolveLowSNRFails(t *testing.T) {
+	ev, err := Evolve(ccsdsEnsemble, fastConfig(BP), 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Converged {
+		t.Fatal("BP DE converged at 1.5 dB — below capacity for rate 0.875")
+	}
+}
+
+func TestErrTrajectoryMonotoneish(t *testing.T) {
+	ev, err := Evolve(ccsdsEnsemble, fastConfig(BP), 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Above threshold the trajectory should be (noisily) decreasing:
+	// last point well below first.
+	if len(ev.ErrTrajectory) < 2 {
+		t.Fatal("trajectory too short")
+	}
+	first, last := ev.ErrTrajectory[0], ev.ErrTrajectory[len(ev.ErrTrajectory)-1]
+	if last >= first/2 {
+		t.Errorf("error probability did not fall: %v -> %v", first, last)
+	}
+}
+
+// TestThresholdLocatesWaterfall is the headline: the (4,32) BP threshold
+// must sit where the measured Figure 4 waterfall begins, ~3.0-4.0 dB
+// (our full-code NMS-18 curve crosses PER 0.5 near 3.5 dB; the infinite-
+// length threshold is below the finite-length waterfall).
+func TestThresholdLocatesWaterfall(t *testing.T) {
+	th, err := Threshold(ccsdsEnsemble, fastConfig(BP), 2.0, 6.0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("(4,32) BP threshold ≈ %.2f dB", th)
+	if th < 2.5 || th > 4.2 {
+		t.Errorf("BP threshold %.2f dB outside the plausible window", th)
+	}
+}
+
+// TestNMSThresholdNearBP: normalized min-sum with the paper's α should
+// track BP within a few tenths of a dB (why the paper can claim BP-class
+// performance from a sign-min datapath), and be no better than BP.
+func TestNMSThresholdNearBP(t *testing.T) {
+	bp, err := Threshold(ccsdsEnsemble, fastConfig(BP), 2.0, 6.0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nms, err := Threshold(ccsdsEnsemble, fastConfig(NormalizedMinSum), 2.0, 6.0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("thresholds: BP %.2f dB, NMS(4/3) %.2f dB", bp, nms)
+	if nms < bp-0.25 {
+		t.Errorf("NMS threshold %.2f dB better than BP %.2f dB — impossible", nms, bp)
+	}
+	if nms > bp+0.8 {
+		t.Errorf("NMS threshold %.2f dB too far from BP %.2f dB", nms, bp)
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	if _, err := Threshold(ccsdsEnsemble, fastConfig(BP), 5, 2, 0.1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := Threshold(ccsdsEnsemble, fastConfig(BP), 2, 5, 0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	// A range entirely below threshold errors out.
+	if _, err := Threshold(ccsdsEnsemble, fastConfig(BP), 0.5, 1.0, 0.2); err == nil {
+		t.Error("unconvergeable range accepted")
+	}
+	bad := fastConfig(NormalizedMinSum)
+	bad.Alpha = 0
+	if _, err := Evolve(ccsdsEnsemble, bad, 4); err == nil {
+		t.Error("NMS without alpha accepted")
+	}
+}
+
+func TestPhiDESelfInverse(t *testing.T) {
+	for _, x := range []float64{0.1, 1, 5, 15} {
+		if got := phiDE(phiDE(x)); math.Abs(got-x) > 1e-6*math.Max(1, x) {
+			t.Errorf("phi(phi(%v)) = %v", x, got)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+// Package encoder models the hardware encoder of a QC-LDPC code.
+//
+// The paper's Section 2.2 notes that the circulant construction "reduces
+// the encoder complexity which is linear to the number of parity bits".
+// The standard realization is a bank of shift-register-add-accumulate
+// (SRAA) circuits: information bits stream in, each conditionally XORing
+// a (rotating) generator column into a parity accumulator of exactly
+// parity-length bits. This package provides
+//
+//   - a functional bit-serial simulation of that datapath, verified
+//     against the algebraic encoder of package code (they must agree on
+//     every frame), and
+//   - cycle and resource models: cycles = ⌈K/w⌉ input beats plus a
+//     parity flush, registers/logic linear in the number of parity bits
+//     — the paper's linearity claim, checkable across code sizes.
+package encoder
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+)
+
+// Config selects the encoder datapath width and clock.
+type Config struct {
+	// InputBits is the number of information bits consumed per clock
+	// cycle (w). The decoder's 16-bit input path is the natural match.
+	InputBits int
+	// ClockMHz is the system clock.
+	ClockMHz float64
+}
+
+// DefaultConfig matches the decoder's 200 MHz, 16-bit I/O interface.
+func DefaultConfig() Config { return Config{InputBits: 16, ClockMHz: 200} }
+
+// Model is an encoder instance bound to one code.
+type Model struct {
+	c   *code.Code
+	cfg Config
+	// cols[i] is the parity contribution of information bit i — column i
+	// of the parity generator, the vector an SRAA lane accumulates.
+	cols []*bitvec.Vector
+}
+
+// New builds the model and precomputes the generator columns.
+func New(c *code.Code, cfg Config) (*Model, error) {
+	if cfg.InputBits < 1 {
+		return nil, fmt.Errorf("encoder: input width %d < 1", cfg.InputBits)
+	}
+	if cfg.ClockMHz <= 0 {
+		return nil, fmt.Errorf("encoder: clock %v MHz", cfg.ClockMHz)
+	}
+	m := &Model{c: c, cfg: cfg}
+	// Column i of the parity generator: encode the i-th unit vector and
+	// read the parity positions. One pass per information bit.
+	m.cols = make([]*bitvec.Vector, c.K)
+	u := bitvec.New(c.K)
+	for i := 0; i < c.K; i++ {
+		u.Set(i)
+		cw := c.Encode(u)
+		col := bitvec.New(c.Rank)
+		for p, pos := range c.PivotCols {
+			if cw.Bit(pos) == 1 {
+				col.Set(p)
+			}
+		}
+		m.cols[i] = col
+		u.Clear(i)
+	}
+	return m, nil
+}
+
+// EncodeSerial runs the SRAA datapath functionally: information bits
+// stream in InputBits per cycle, each set bit XORs its generator column
+// into the parity accumulator; the codeword is the systematic placement
+// of both. The result must be bit-identical to code.Encode — the model's
+// correctness test.
+func (m *Model) EncodeSerial(info *bitvec.Vector) (*bitvec.Vector, error) {
+	if info.Len() != m.c.K {
+		return nil, fmt.Errorf("encoder: %d info bits, want %d", info.Len(), m.c.K)
+	}
+	acc := bitvec.New(m.c.Rank)
+	for i := 0; i < m.c.K; i++ {
+		if info.Bit(i) == 1 {
+			acc.Xor(m.cols[i])
+		}
+	}
+	cw := bitvec.New(m.c.N)
+	for k, pos := range m.c.InfoCols {
+		cw.SetBit(pos, info.Bit(k))
+	}
+	for p, pos := range m.c.PivotCols {
+		cw.SetBit(pos, acc.Bit(p))
+	}
+	return cw, nil
+}
+
+// CyclesPerFrame returns the encode latency: ⌈K/w⌉ input beats plus a
+// parity writeback of ⌈rank/w⌉ beats.
+func (m *Model) CyclesPerFrame() int {
+	w := m.cfg.InputBits
+	return (m.c.K+w-1)/w + (m.c.Rank+w-1)/w
+}
+
+// ThroughputMbps returns the information throughput of the encoder.
+func (m *Model) ThroughputMbps() float64 {
+	return float64(m.c.K) / (float64(m.CyclesPerFrame()) / (m.cfg.ClockMHz * 1e6)) / 1e6
+}
+
+// Resources is the SRAA inventory for a quasi-cyclic generator:
+// everything scales linearly with the number of parity bits, which is
+// the paper's point.
+type Resources struct {
+	// AccumulatorRegs is the parity accumulator (rank bits).
+	AccumulatorRegs int
+	// GeneratorRegs holds the rotating generator rows (rank bits).
+	GeneratorRegs int
+	// XorAluts is the AND-XOR network: one per parity bit per parallel
+	// input bit.
+	XorAluts int
+	// ROMBits stores the circulant first rows: one rank-bit row per
+	// information block column.
+	ROMBits int
+}
+
+// Total returns registers and ALUTs.
+func (r Resources) Total() (regs, aluts int) {
+	return r.AccumulatorRegs + r.GeneratorRegs, r.XorAluts
+}
+
+// Estimate computes the inventory.
+func (m *Model) Estimate() Resources {
+	rank := m.c.Rank
+	infoBlocks := (m.c.K + m.c.Table.B - 1) / m.c.Table.B
+	return Resources{
+		AccumulatorRegs: rank,
+		GeneratorRegs:   rank,
+		XorAluts:        rank * m.cfg.InputBits,
+		ROMBits:         rank * infoBlocks,
+	}
+}

@@ -1,0 +1,147 @@
+package encoder
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/rng"
+)
+
+func smallCode(t testing.TB) *code.Code {
+	t.Helper()
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSerialMatchesAlgebraic(t *testing.T) {
+	c := smallCode(t)
+	m, err := New(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		info := bitvec.New(c.K)
+		for i := 0; i < c.K; i++ {
+			if r.Bool() {
+				info.Set(i)
+			}
+		}
+		want := c.Encode(info)
+		got, err := m.EncodeSerial(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: SRAA model disagrees with algebraic encoder", trial)
+		}
+	}
+}
+
+func TestSerialValidation(t *testing.T) {
+	c := smallCode(t)
+	m, err := New(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EncodeSerial(bitvec.New(3)); err == nil {
+		t.Error("wrong info length accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := smallCode(t)
+	if _, err := New(c, Config{InputBits: 0, ClockMHz: 200}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New(c, Config{InputBits: 8, ClockMHz: 0}); err == nil {
+		t.Error("zero clock accepted")
+	}
+}
+
+func TestCyclesAndThroughput(t *testing.T) {
+	c := smallCode(t)
+	m, err := New(c, Config{InputBits: 16, ClockMHz: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCycles := (c.K+15)/16 + (c.Rank+15)/16
+	if got := m.CyclesPerFrame(); got != wantCycles {
+		t.Errorf("cycles = %d, want %d", got, wantCycles)
+	}
+	// The encoder must comfortably outrun the decoder (paper: encoding
+	// is the cheap side of the QC construction).
+	if m.ThroughputMbps() < 1000 {
+		t.Errorf("encoder throughput %.1f Mbps suspiciously low", m.ThroughputMbps())
+	}
+}
+
+// TestLinearInParityBits is the paper's complexity claim: encoder
+// registers and logic grow linearly with the number of parity bits
+// across code sizes, at fixed input width.
+func TestLinearInParityBits(t *testing.T) {
+	sizes := []struct{ cols, b int }{{4, 31}, {6, 61}, {4, 61}}
+	type point struct{ rank, regs, aluts int }
+	var pts []point
+	for _, s := range sizes {
+		c, err := code.SmallTestCode(2, s.cols, s.b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(c, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.Estimate()
+		regs, aluts := res.Total()
+		pts = append(pts, point{c.Rank, regs, aluts})
+	}
+	for _, p := range pts {
+		if p.regs != 2*p.rank {
+			t.Errorf("registers = %d, want 2×rank = %d", p.regs, 2*p.rank)
+		}
+		if p.aluts != p.rank*16 {
+			t.Errorf("ALUTs = %d, want rank×w = %d", p.aluts, p.rank*16)
+		}
+	}
+}
+
+func TestFullSizeEncoderModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size SRAA model in -short mode")
+	}
+	c := code.MustCCSDS()
+	m, err := New(c, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One frame through the serial datapath.
+	r := rng.New(3)
+	info := bitvec.New(c.K)
+	for i := 0; i < c.K; i++ {
+		if r.Bool() {
+			info.Set(i)
+		}
+	}
+	got, err := m.EncodeSerial(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(c.Encode(info)) {
+		t.Fatal("full-size SRAA disagrees with algebraic encoder")
+	}
+	// 7156 bits in 448+64 cycles at 200 MHz ≈ 2.8 Gbps: the encoder is
+	// never the link bottleneck, consistent with the paper discussing
+	// only decoder throughput.
+	if m.ThroughputMbps() < 2000 {
+		t.Errorf("encoder throughput %.0f Mbps, expected multi-Gbps", m.ThroughputMbps())
+	}
+	res := m.Estimate()
+	if res.AccumulatorRegs != 1020 {
+		t.Errorf("accumulator = %d bits, want rank 1020", res.AccumulatorRegs)
+	}
+}

@@ -1,0 +1,184 @@
+package fixed
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/ldpc"
+)
+
+// Params configures the fixed-point normalized min-sum decoder.
+type Params struct {
+	// Format is the message and channel-LLR quantization. The paper's
+	// low-cost decoder uses 6-bit messages; the high-speed decoder packs
+	// 5-bit messages (see internal/resource).
+	Format Format
+	// Scale is the dyadic realization of the 1/α normalization.
+	Scale Scale
+	// MaxIterations is the fixed decoding period.
+	MaxIterations int
+	// DisableEarlyStop runs all iterations regardless of the syndrome,
+	// matching the fixed-latency hardware schedule.
+	DisableEarlyStop bool
+}
+
+// DefaultLowCostParams returns the 6-bit Q(6,2) datapath with ×3/4
+// normalization (α = 4/3) and the paper's 18-iteration operating point.
+func DefaultLowCostParams() Params {
+	return Params{
+		Format:        Format{Bits: 6, Frac: 2},
+		Scale:         Scale{Num: 3, Shift: 2},
+		MaxIterations: 18,
+	}
+}
+
+// DefaultHighSpeedParams returns the 5-bit Q(5,1) datapath used by the
+// frame-packed high-speed configuration.
+func DefaultHighSpeedParams() Params {
+	return Params{
+		Format:        Format{Bits: 5, Frac: 1},
+		Scale:         Scale{Num: 3, Shift: 2},
+		MaxIterations: 18,
+	}
+}
+
+// Decoder is a bit-exact fixed-point flooding NMS decoder. Not safe for
+// concurrent use.
+type Decoder struct {
+	g *ldpc.Graph
+	p Params
+
+	qllr []int16
+	vc   []int16
+	cv   []int16
+	post []int16
+	hard *bitvec.Vector
+	buf  []int16
+}
+
+// NewDecoder builds the decoder for a code.
+func NewDecoder(c *code.Code, p Params) (*Decoder, error) {
+	return NewDecoderGraph(ldpc.NewGraph(c), p)
+}
+
+// NewDecoderGraph builds the decoder over a shared graph.
+func NewDecoderGraph(g *ldpc.Graph, p Params) (*Decoder, error) {
+	if err := p.Format.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Scale.Validate(); err != nil {
+		return nil, err
+	}
+	if p.MaxIterations < 1 {
+		return nil, fmt.Errorf("fixed: MaxIterations %d < 1", p.MaxIterations)
+	}
+	maxDeg := 0
+	for i := 0; i < g.M; i++ {
+		if d := g.CNDegree(i); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	for j := 0; j < g.N; j++ {
+		if d := g.VNDegree(j); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return &Decoder{
+		g: g, p: p,
+		qllr: make([]int16, g.N),
+		vc:   make([]int16, g.E),
+		cv:   make([]int16, g.E),
+		post: make([]int16, g.N),
+		hard: bitvec.New(g.N),
+		buf:  make([]int16, maxDeg),
+	}, nil
+}
+
+// Params returns the decoder configuration.
+func (d *Decoder) Params() Params { return d.p }
+
+// Decode quantizes real LLRs and decodes.
+func (d *Decoder) Decode(llr []float64) (ldpc.Result, error) {
+	if len(llr) != d.g.N {
+		return ldpc.Result{}, fmt.Errorf("fixed: %d LLRs for code length %d", len(llr), d.g.N)
+	}
+	d.p.Format.QuantizeSlice(d.qllr, llr)
+	return d.DecodeQ(d.qllr), nil
+}
+
+// DecodeQ decodes already-quantized channel LLRs (length N). The input
+// is not modified; codes outside the format range are used as-is, which
+// models a saturated channel quantizer feeding the datapath.
+func (d *Decoder) DecodeQ(qllr []int16) ldpc.Result {
+	g := d.g
+	if len(qllr) != g.N {
+		panic(fmt.Sprintf("fixed: DecodeQ with %d LLRs for code length %d", len(qllr), g.N))
+	}
+	if &d.qllr[0] != &qllr[0] {
+		copy(d.qllr, qllr)
+	}
+	for e := 0; e < g.E; e++ {
+		d.vc[e] = d.qllr[g.EdgeVN[e]]
+		d.cv[e] = 0
+	}
+	it := 0
+	converged := false
+	for it = 0; it < d.p.MaxIterations; it++ {
+		// CN phase: equation (2) per check node.
+		for i := 0; i < g.M; i++ {
+			lo, hi := g.CNOff[i], g.CNOff[i+1]
+			CNMinSum(d.vc[lo:hi], d.cv[lo:hi], d.p.Scale)
+		}
+		// BN phase: equation (3) per bit node.
+		for j := 0; j < g.N; j++ {
+			lo, hi := g.VNOff[j], g.VNOff[j+1]
+			in := d.buf[:hi-lo]
+			for k := lo; k < hi; k++ {
+				in[k-lo] = d.cv[g.VNEdges[k]]
+			}
+			post := BNUpdate(d.qllr[j], in, in, d.p.Format)
+			d.post[j] = post
+			for k := lo; k < hi; k++ {
+				d.vc[g.VNEdges[k]] = in[k-lo]
+			}
+		}
+		d.harden()
+		if !d.p.DisableEarlyStop && d.syndromeZero() {
+			converged = true
+			it++
+			break
+		}
+	}
+	if d.p.DisableEarlyStop || !converged {
+		converged = d.syndromeZero()
+	}
+	return ldpc.Result{Bits: d.hard, Iterations: it, Converged: converged}
+}
+
+func (d *Decoder) harden() {
+	d.hard.Zero()
+	for j, p := range d.post {
+		if p < 0 {
+			d.hard.Set(j)
+		}
+	}
+}
+
+func (d *Decoder) syndromeZero() bool {
+	g := d.g
+	for i := 0; i < g.M; i++ {
+		parity := 0
+		for e := g.CNOff[i]; e < g.CNOff[i+1]; e++ {
+			parity ^= d.hard.Bit(int(g.EdgeVN[e]))
+		}
+		if parity == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Posterior returns the quantized posteriors of the last decode (aliases
+// decoder state).
+func (d *Decoder) Posterior() []int16 { return d.post }

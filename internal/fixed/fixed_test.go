@@ -1,0 +1,447 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/rng"
+)
+
+func TestFormatBasics(t *testing.T) {
+	f := Format{Bits: 6, Frac: 2}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Max() != 31 {
+		t.Errorf("Max = %d, want 31", f.Max())
+	}
+	if f.LSB() != 0.25 {
+		t.Errorf("LSB = %v, want 0.25", f.LSB())
+	}
+	if f.MaxValue() != 7.75 {
+		t.Errorf("MaxValue = %v, want 7.75", f.MaxValue())
+	}
+	if f.String() != "Q(6,2)" {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestFormatValidation(t *testing.T) {
+	bad := []Format{{Bits: 1, Frac: 0}, {Bits: 16, Frac: 2}, {Bits: 6, Frac: 6}, {Bits: 6, Frac: -1}}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("format %+v accepted", f)
+		}
+	}
+}
+
+func TestQuantizeRounding(t *testing.T) {
+	f := Format{Bits: 6, Frac: 2}
+	cases := []struct {
+		in   float64
+		want int16
+	}{
+		{0, 0}, {0.25, 1}, {0.3, 1}, {0.374, 1}, {0.38, 2},
+		{-0.25, -1}, {100, 31}, {-100, -31}, {7.75, 31}, {-7.75, -31},
+	}
+	for _, c := range cases {
+		if got := f.Quantize(c.in); got != c.want {
+			t.Errorf("Quantize(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeValueRoundTrip(t *testing.T) {
+	f := Format{Bits: 6, Frac: 2}
+	for q := -f.Max(); q <= f.Max(); q++ {
+		if got := f.Quantize(f.Value(q)); got != q {
+			t.Fatalf("round trip of code %d gave %d", q, got)
+		}
+	}
+}
+
+func TestSat(t *testing.T) {
+	f := Format{Bits: 5, Frac: 1}
+	if f.Sat(100) != 15 || f.Sat(-100) != -15 || f.Sat(7) != 7 {
+		t.Error("Sat behaviour wrong")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Scale{Num: 3, Shift: 2}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Factor() != 0.75 {
+		t.Errorf("Factor = %v", s.Factor())
+	}
+	if math.Abs(s.Alpha()-4.0/3) > 1e-12 {
+		t.Errorf("Alpha = %v", s.Alpha())
+	}
+	if s.Apply(8) != 6 {
+		t.Errorf("Apply(8) = %d, want 6", s.Apply(8))
+	}
+	// Truncation, not rounding: 3*5/4 = 3.75 -> 3.
+	if s.Apply(5) != 3 {
+		t.Errorf("Apply(5) = %d, want 3", s.Apply(5))
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	bad := []Scale{{Num: 0, Shift: 2}, {Num: 5, Shift: 2}, {Num: 1, Shift: -1}, {Num: 1, Shift: 15}}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("scale %+v accepted", s)
+		}
+	}
+}
+
+func TestScaleForAlpha(t *testing.T) {
+	s, err := ScaleForAlpha(4.0/3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Num != 12 || s.Shift != 4 {
+		t.Errorf("ScaleForAlpha(4/3, 4) = %v", s)
+	}
+	if _, err := ScaleForAlpha(0.5, 4); err == nil {
+		t.Error("alpha < 1 accepted")
+	}
+	// alpha = 1 gives the identity scale.
+	s, err = ScaleForAlpha(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Factor() != 1 {
+		t.Errorf("alpha=1 factor = %v", s.Factor())
+	}
+}
+
+func TestCNMinSumKnown(t *testing.T) {
+	in := []int16{4, -8, 2, 12}
+	out := make([]int16, 4)
+	CNMinSum(in, out, Scale{Num: 1, Shift: 0})
+	// Sign product is negative (one negative input).
+	// out[0]: others {-8,2,12}: min 2, signs of others negative -> -2.
+	// out[1]: others {4,2,12}: min 2, signs positive -> +2.
+	// out[2]: others {4,-8,12}: min 4, negative -> -4.
+	// out[3]: others {4,-8,2}: min 2, negative -> -2.
+	want := []int16{-2, 2, -4, -2}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestCNMinSumScaled(t *testing.T) {
+	in := []int16{4, 8, 12}
+	out := make([]int16, 3)
+	CNMinSum(in, out, Scale{Num: 3, Shift: 2})
+	want := []int16{6, 3, 3} // mins 8,4,4 scaled by 3/4
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestCNMinSumParityProperty(t *testing.T) {
+	// Property: output signs repair parity — the sign of out[i] equals
+	// the XOR of the signs of all inputs except i.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(10)
+		in := make([]int16, n)
+		for i := range in {
+			in[i] = int16(r.Intn(63) - 31)
+			if in[i] == 0 {
+				in[i] = 1
+			}
+		}
+		out := make([]int16, n)
+		CNMinSum(in, out, Scale{Num: 3, Shift: 2})
+		for i := range in {
+			negOthers := 0
+			minOthers := int16(32767)
+			for j := range in {
+				if j == i {
+					continue
+				}
+				m := in[j]
+				if m < 0 {
+					negOthers ^= 1
+					m = -m
+				}
+				if m < minOthers {
+					minOthers = m
+				}
+			}
+			wantMag := int16((int32(minOthers) * 3) >> 2)
+			want := wantMag
+			if negOthers == 1 {
+				want = -wantMag
+			}
+			if out[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBNUpdate(t *testing.T) {
+	f := Format{Bits: 6, Frac: 2}
+	in := []int16{5, -3, 10}
+	out := make([]int16, 3)
+	post := BNUpdate(2, in, out, f)
+	if post != 14 {
+		t.Errorf("posterior = %d, want 14", post)
+	}
+	want := []int16{9, 17, 4}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+	// Saturation: big inputs clamp at ±31.
+	in2 := []int16{31, 31, 31}
+	post = BNUpdate(31, in2, out, f)
+	if post != 31 {
+		t.Errorf("saturated posterior = %d, want 31", post)
+	}
+	for i := range out {
+		if out[i] != 31 {
+			t.Errorf("saturated out[%d] = %d, want 31", i, out[i])
+		}
+	}
+}
+
+func smallCode(t testing.TB) *code.Code {
+	t.Helper()
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFixedDecodeClean(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewDecoder(c, DefaultLowCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		info := bitvec.New(c.K)
+		for i := 0; i < c.K; i++ {
+			if r.Bool() {
+				info.Set(i)
+			}
+		}
+		cw := c.Encode(info)
+		llr := make([]float64, c.N)
+		for i := range llr {
+			if cw.Bit(i) == 0 {
+				llr[i] = 7
+			} else {
+				llr[i] = -7
+			}
+		}
+		res, err := d.Decode(llr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged || !res.Bits.Equal(cw) {
+			t.Fatalf("trial %d: clean fixed decode failed", trial)
+		}
+	}
+}
+
+func TestFixedDecodeAWGN(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewDecoder(c, Params{
+		Format:        Format{Bits: 6, Frac: 2},
+		Scale:         Scale{Num: 3, Shift: 2},
+		MaxIterations: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(5.0, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	ok := 0
+	const frames = 60
+	for trial := 0; trial < frames; trial++ {
+		info := bitvec.New(c.K)
+		for i := 0; i < c.K; i++ {
+			if r.Bool() {
+				info.Set(i)
+			}
+		}
+		cw := c.Encode(info)
+		res, err := d.Decode(ch.CorruptCodeword(cw, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Converged && res.Bits.Equal(cw) {
+			ok++
+		}
+	}
+	if ok < frames*85/100 {
+		t.Errorf("fixed decoder recovered %d/%d frames at 5 dB", ok, frames)
+	}
+}
+
+func TestFixedCloseToFloat(t *testing.T) {
+	// The 6-bit datapath should track the float NMS decoder closely: on
+	// the same noisy frames their failure counts should be similar.
+	c := smallCode(t)
+	g := ldpc.NewGraph(c)
+	fd, err := NewDecoderGraph(g, Params{
+		Format: Format{Bits: 6, Frac: 2}, Scale: Scale{Num: 3, Shift: 2}, MaxIterations: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := ldpc.NewDecoderGraph(g, c, ldpc.Options{
+		Algorithm: ldpc.NormalizedMinSum, MaxIterations: 15, Alpha: 4.0 / 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(4.2, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	const frames = 300
+	fixFail, floatFail := 0, 0
+	for trial := 0; trial < frames; trial++ {
+		info := bitvec.New(c.K)
+		for i := 0; i < c.K; i++ {
+			if r.Bool() {
+				info.Set(i)
+			}
+		}
+		cw := c.Encode(info)
+		llr := ch.CorruptCodeword(cw, r)
+		if res, err := fd.Decode(llr); err != nil || !res.Bits.Equal(cw) {
+			fixFail++
+		}
+		if res, err := fl.Decode(llr); err != nil || !res.Bits.Equal(cw) {
+			floatFail++
+		}
+	}
+	t.Logf("failures out of %d: fixed %d, float %d", frames, fixFail, floatFail)
+	// Quantization loss should be mild: allow 2x degradation plus slack.
+	if fixFail > 2*floatFail+10 {
+		t.Errorf("fixed point degrades too much: fixed %d vs float %d", fixFail, floatFail)
+	}
+}
+
+func TestFixedDeterministic(t *testing.T) {
+	c := smallCode(t)
+	d1, err := NewDecoder(c, DefaultLowCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDecoder(c, DefaultLowCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(3.5, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	cw := c.Encode(bitvec.New(c.K))
+	llr := ch.CorruptCodeword(cw, r)
+	r1, err := d1.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits1 := r1.Bits.Clone()
+	r2, err := d2.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits1.Equal(r2.Bits) || r1.Iterations != r2.Iterations {
+		t.Fatal("identical decoders disagree on identical input")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	c := smallCode(t)
+	bad := []Params{
+		{Format: Format{Bits: 1, Frac: 0}, Scale: Scale{Num: 1, Shift: 0}, MaxIterations: 5},
+		{Format: Format{Bits: 6, Frac: 2}, Scale: Scale{Num: 9, Shift: 2}, MaxIterations: 5},
+		{Format: Format{Bits: 6, Frac: 2}, Scale: Scale{Num: 3, Shift: 2}, MaxIterations: 0},
+	}
+	for i, p := range bad {
+		if _, err := NewDecoder(c, p); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	lc := DefaultLowCostParams()
+	if lc.Format.Bits != 6 || lc.MaxIterations != 18 {
+		t.Errorf("low-cost params %+v", lc)
+	}
+	hs := DefaultHighSpeedParams()
+	if hs.Format.Bits != 5 {
+		t.Errorf("high-speed params %+v", hs)
+	}
+	if err := lc.Format.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := hs.Scale.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFixedDecode18(b *testing.B) {
+	c := smallCode(b)
+	p := DefaultLowCostParams()
+	p.DisableEarlyStop = true
+	d, err := NewDecoder(c, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, _ := channel.NewAWGN(4.0, c.Rate())
+	r := rng.New(1)
+	llr := ch.CorruptCodeword(c.Encode(bitvec.New(c.K)), r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(llr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestQuantizeNaNAndInf(t *testing.T) {
+	f := Format{Bits: 6, Frac: 2}
+	if got := f.Quantize(math.NaN()); got != 0 {
+		t.Errorf("Quantize(NaN) = %d, want 0 (erasure)", got)
+	}
+	if got := f.Quantize(math.Inf(1)); got != f.Max() {
+		t.Errorf("Quantize(+Inf) = %d, want %d", got, f.Max())
+	}
+	if got := f.Quantize(math.Inf(-1)); got != -f.Max() {
+		t.Errorf("Quantize(-Inf) = %d, want %d", got, -f.Max())
+	}
+}

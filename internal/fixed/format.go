@@ -1,0 +1,149 @@
+// Package fixed implements the quantized arithmetic of the hardware
+// decoder: saturating two's-complement fixed-point LLRs and a bit-exact
+// normalized min-sum decoder over them.
+//
+// The architecture model in package hwsim reuses the kernels defined
+// here, so "the software reference decoder and the cycle-accurate
+// machine agree bit for bit" is checkable by construction.
+//
+// Formats are Q(w, f): w total bits including sign, f fraction bits.
+// Magnitudes saturate symmetrically at ±(2^(w−1) − 1); the most negative
+// code is never produced, matching common decoder datapaths where |x|
+// must be representable.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a Q(Bits, Frac) fixed-point representation stored in
+// an int16.
+type Format struct {
+	// Bits is the total width including the sign bit (2..15).
+	Bits int
+	// Frac is the number of fraction bits (0..Bits-1).
+	Frac int
+}
+
+// Validate reports whether the format is representable.
+func (f Format) Validate() error {
+	if f.Bits < 2 || f.Bits > 15 {
+		return fmt.Errorf("fixed: width %d out of range [2,15]", f.Bits)
+	}
+	if f.Frac < 0 || f.Frac >= f.Bits {
+		return fmt.Errorf("fixed: %d fraction bits in a %d-bit format", f.Frac, f.Bits)
+	}
+	return nil
+}
+
+// Max returns the largest representable code, 2^(Bits−1) − 1.
+func (f Format) Max() int16 { return int16(1)<<(f.Bits-1) - 1 }
+
+// LSB returns the value of one code step, 2^−Frac.
+func (f Format) LSB() float64 { return math.Ldexp(1, -f.Frac) }
+
+// MaxValue returns the largest representable magnitude as a float.
+func (f Format) MaxValue() float64 { return float64(f.Max()) * f.LSB() }
+
+// Sat clamps a wide intermediate value into the representable range.
+func (f Format) Sat(x int32) int16 {
+	m := int32(f.Max())
+	if x > m {
+		return int16(m)
+	}
+	if x < -m {
+		return int16(-m)
+	}
+	return int16(x)
+}
+
+// Quantize converts a real LLR to the nearest representable code,
+// saturating at the range limits. NaN quantizes to 0 (a full erasure),
+// the only value that does not invent confidence.
+func (f Format) Quantize(x float64) int16 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	scaled := math.Round(math.Ldexp(x, f.Frac))
+	if scaled > float64(f.Max()) {
+		return f.Max()
+	}
+	if scaled < -float64(f.Max()) {
+		return -f.Max()
+	}
+	return int16(scaled)
+}
+
+// QuantizeSlice quantizes a whole LLR vector into dst (allocated if nil).
+func (f Format) QuantizeSlice(dst []int16, llr []float64) []int16 {
+	if dst == nil {
+		dst = make([]int16, len(llr))
+	}
+	if len(dst) != len(llr) {
+		panic(fmt.Sprintf("fixed: QuantizeSlice dst %d, src %d", len(dst), len(llr)))
+	}
+	for i, x := range llr {
+		dst[i] = f.Quantize(x)
+	}
+	return dst
+}
+
+// Value converts a code back to its real value.
+func (f Format) Value(q int16) float64 { return float64(q) * f.LSB() }
+
+func (f Format) String() string { return fmt.Sprintf("Q(%d,%d)", f.Bits, f.Frac) }
+
+// Scale is a dyadic approximation of the paper's 1/α normalization:
+// x ↦ (x·Num) >> Shift, the form a hardware datapath implements with an
+// add and a shift. Num/2^Shift should approximate 1/α (e.g. 3/4 for
+// α = 4/3).
+type Scale struct {
+	Num   int
+	Shift int
+}
+
+// Validate checks that the scale is a contraction (hardware never
+// amplifies the min magnitude) and well-formed.
+func (s Scale) Validate() error {
+	if s.Num <= 0 || s.Shift < 0 || s.Shift > 14 {
+		return fmt.Errorf("fixed: bad scale %d/2^%d", s.Num, s.Shift)
+	}
+	if s.Num > 1<<s.Shift {
+		return fmt.Errorf("fixed: scale %d/2^%d amplifies", s.Num, s.Shift)
+	}
+	return nil
+}
+
+// Apply scales a non-negative magnitude, truncating like hardware.
+func (s Scale) Apply(m int16) int16 {
+	return int16((int32(m) * int32(s.Num)) >> uint(s.Shift))
+}
+
+// Factor returns the real scaling factor Num/2^Shift.
+func (s Scale) Factor() float64 { return float64(s.Num) / math.Ldexp(1, s.Shift) }
+
+// Alpha returns the equivalent normalization divisor α = 1/Factor.
+func (s Scale) Alpha() float64 { return 1 / s.Factor() }
+
+func (s Scale) String() string { return fmt.Sprintf("×%d/2^%d", s.Num, s.Shift) }
+
+// ScaleForAlpha returns the dyadic scale with the given shift precision
+// closest to 1/alpha.
+func ScaleForAlpha(alpha float64, shift int) (Scale, error) {
+	if alpha < 1 {
+		return Scale{}, fmt.Errorf("fixed: alpha %v < 1", alpha)
+	}
+	num := int(math.Round(math.Ldexp(1/alpha, shift)))
+	if num < 1 {
+		num = 1
+	}
+	if num > 1<<shift {
+		num = 1 << shift
+	}
+	s := Scale{Num: num, Shift: shift}
+	if err := s.Validate(); err != nil {
+		return Scale{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,67 @@
+package fixed
+
+// Datapath kernels shared between the reference fixed-point decoder and
+// the cycle-accurate architecture model (package hwsim). Keeping them in
+// one place makes bit-exactness between the two a structural property
+// rather than a testing goal.
+
+// CNMinSum computes the normalized sign-min check-node update of paper
+// equation (2) in fixed point: for each input message in[i], out[i] gets
+// (product of the other signs) × scale(min magnitude of the others).
+// in and out may alias. Inputs must be > −2^15 (symmetric saturation
+// guarantees this).
+func CNMinSum(in, out []int16, scale Scale) {
+	if len(in) != len(out) {
+		panic("fixed: CNMinSum length mismatch")
+	}
+	var min1, min2 int16 = 32767, 32767
+	minPos := -1
+	negParity := 0
+	for i, x := range in {
+		m := x
+		if m < 0 {
+			negParity ^= 1
+			m = -m
+		}
+		if m < min1 {
+			min2, min1, minPos = min1, m, i
+		} else if m < min2 {
+			min2 = m
+		}
+	}
+	for i, x := range in {
+		m := min1
+		if i == minPos {
+			m = min2
+		}
+		v := scale.Apply(m)
+		neg := negParity
+		if x < 0 {
+			neg ^= 1
+		}
+		if neg == 1 {
+			out[i] = -v
+		} else {
+			out[i] = v
+		}
+	}
+}
+
+// BNUpdate computes the bit-node update of paper equation (3) in fixed
+// point: given the channel LLR and the incoming check messages, it
+// returns the saturated posterior and writes the extrinsic outputs
+// (posterior minus own contribution, saturated) into out. in and out may
+// alias.
+func BNUpdate(llr int16, in, out []int16, f Format) (posterior int16) {
+	if len(in) != len(out) {
+		panic("fixed: BNUpdate length mismatch")
+	}
+	sum := int32(llr)
+	for _, x := range in {
+		sum += int32(x)
+	}
+	for i, x := range in {
+		out[i] = f.Sat(sum - int32(x))
+	}
+	return f.Sat(sum)
+}

@@ -1,0 +1,208 @@
+// Package frame implements the CCSDS telemetry channel-coding sublayer
+// pieces around the LDPC codeblock: the 32-bit attached sync marker
+// (ASM), the CCSDS pseudo-randomizer, and the mapping between shortened
+// (8160, 7136) transmitted frames and full (8176, 7156) codewords. It is
+// the substrate for the end-to-end telemetry example.
+//
+// Transmitted layout per frame: ASM (not randomized), followed by the
+// randomized shortened codeblock. The receiver locates the ASM by sign
+// correlation on the soft samples, de-randomizes in the LLR domain, and
+// re-inserts the untransmitted shortened bits with maximal confidence.
+package frame
+
+import (
+	"fmt"
+	"math"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+)
+
+// ASM is the CCSDS 32-bit attached sync marker 0x1ACFFC1D.
+const ASM = 0x1ACFFC1D
+
+// ASMBits is the marker length in bits.
+const ASMBits = 32
+
+// asmBit returns bit i of the ASM, MSB first (the transmission order).
+func asmBit(i int) int {
+	return int(ASM>>(ASMBits-1-i)) & 1
+}
+
+// Randomizer generates the CCSDS pseudo-randomization sequence defined
+// by h(x) = x⁸ + x⁷ + x⁵ + x³ + 1 with an all-ones initial state. The
+// sequence begins 0xFF 0x48 0x0E ... and repeats every 255 bits.
+type Randomizer struct {
+	state [8]int // x_{n}..x_{n+7}
+}
+
+// NewRandomizer returns a generator at the start of the sequence.
+func NewRandomizer() *Randomizer {
+	r := &Randomizer{}
+	r.Reset()
+	return r
+}
+
+// Reset returns the generator to the all-ones initial state.
+func (r *Randomizer) Reset() {
+	for i := range r.state {
+		r.state[i] = 1
+	}
+}
+
+// Next returns the next sequence bit.
+func (r *Randomizer) Next() int {
+	out := r.state[0]
+	// x_{n+8} = x_{n+7} ⊕ x_{n+5} ⊕ x_{n+3} ⊕ x_n.
+	fb := r.state[7] ^ r.state[5] ^ r.state[3] ^ r.state[0]
+	copy(r.state[:], r.state[1:])
+	r.state[7] = fb
+	return out
+}
+
+// Sequence returns the first n bits of the randomization sequence.
+func Sequence(n int) []int {
+	r := NewRandomizer()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Next()
+	}
+	return out
+}
+
+// Framer builds and parses the on-air frame format for a shortened code.
+type Framer struct {
+	sh *code.Shortened
+	// pn is the randomization sequence for one codeblock.
+	pn []int
+	// txPos maps each transmitted codeblock bit to its codeword
+	// position, -1 for fill.
+	txPos []int
+}
+
+// NewFramer constructs a framer over a shortened code.
+func NewFramer(sh *code.Shortened) *Framer {
+	return &Framer{
+		sh:    sh,
+		pn:    Sequence(sh.N()),
+		txPos: sh.TransmittedPositions(),
+	}
+}
+
+// FrameBits returns the total transmitted bits per frame (ASM +
+// codeblock).
+func (f *Framer) FrameBits() int { return ASMBits + f.sh.N() }
+
+// InfoBits returns the information bits carried per frame.
+func (f *Framer) InfoBits() int { return f.sh.K() }
+
+// Build maps information bits to one transmitted frame: ASM, then the
+// randomized shortened codeword.
+func (f *Framer) Build(info *bitvec.Vector) (*bitvec.Vector, error) {
+	if info.Len() != f.sh.K() {
+		return nil, fmt.Errorf("frame: %d info bits, want %d", info.Len(), f.sh.K())
+	}
+	// Prepend the shortened zeros to form the full information word.
+	full := bitvec.New(f.sh.Code.K)
+	for i := 0; i < info.Len(); i++ {
+		full.SetBit(f.sh.S+i, info.Bit(i))
+	}
+	cw := f.sh.Code.Encode(full)
+	out := bitvec.New(f.FrameBits())
+	for i := 0; i < ASMBits; i++ {
+		out.SetBit(i, asmBit(i))
+	}
+	for t, pos := range f.txPos {
+		bit := 0
+		if pos >= 0 {
+			bit = cw.Bit(pos)
+		}
+		out.SetBit(ASMBits+t, bit^f.pn[t])
+	}
+	return out, nil
+}
+
+// Sync acquires the first ASM in a soft sample stream by sign
+// correlation (bit 0 ↦ positive sample). Since frames are contiguous,
+// the first marker must start within the first frame length, so the
+// search window is one frame; this finds the first marker rather than
+// an arbitrary later one. It returns the offset of the best marker
+// start in that window and its correlation score in [-1, 1]; a score
+// near 1 means a clean lock. The stream must hold at least one whole
+// frame past the search window.
+func (f *Framer) Sync(samples []float64) (offset int, score float64, err error) {
+	need := f.FrameBits()
+	if len(samples) < need {
+		return 0, 0, fmt.Errorf("frame: %d samples, need at least %d", len(samples), need)
+	}
+	window := need
+	if window > len(samples)-need {
+		window = len(samples) - need + 1
+	}
+	best, bestScore := -1, math.Inf(-1)
+	for off := 0; off < window; off++ {
+		s := 0.0
+		for i := 0; i < ASMBits; i++ {
+			v := samples[off+i]
+			if asmBit(i) == 1 {
+				v = -v
+			}
+			s += v
+		}
+		if s > bestScore {
+			bestScore = s
+			best = off
+		}
+	}
+	// Normalize by the mean magnitude of the marker samples.
+	mag := 0.0
+	for i := 0; i < ASMBits; i++ {
+		mag += math.Abs(samples[best+i])
+	}
+	if mag == 0 {
+		return best, 0, nil
+	}
+	return best, bestScore / mag, nil
+}
+
+// CodewordLLRs converts the soft samples of one frame's codeblock
+// (frameSamples[ASMBits:]) into full-codeword channel LLRs: the samples
+// are scaled by llrScale (2/σ²), de-randomized by flipping signs where
+// the PN bit is 1, mapped to codeword positions, and the untransmitted
+// shortened bits get the maximally confident LLR satLLR.
+func (f *Framer) CodewordLLRs(frameSamples []float64, llrScale, satLLR float64) ([]float64, error) {
+	if len(frameSamples) != f.FrameBits() {
+		return nil, fmt.Errorf("frame: %d samples, want %d", len(frameSamples), f.FrameBits())
+	}
+	llr := make([]float64, f.sh.Code.N)
+	// Shortened information bits are known zeros: strong positive LLR.
+	set := make([]bool, f.sh.Code.N)
+	for t, pos := range f.txPos {
+		if pos < 0 {
+			continue // fill bit, carries no codeword information
+		}
+		v := frameSamples[ASMBits+t] * llrScale
+		if f.pn[t] == 1 {
+			v = -v
+		}
+		llr[pos] = v
+		set[pos] = true
+	}
+	for j := 0; j < f.sh.Code.N; j++ {
+		if !set[j] {
+			llr[j] = satLLR
+		}
+	}
+	return llr, nil
+}
+
+// ExtractInfo recovers the frame's information bits from a decoded full
+// codeword.
+func (f *Framer) ExtractInfo(cw *bitvec.Vector) *bitvec.Vector {
+	full := f.sh.Code.ExtractInfo(cw)
+	out := bitvec.New(f.sh.K())
+	for i := 0; i < out.Len(); i++ {
+		out.SetBit(i, full.Bit(f.sh.S+i))
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package frame
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/rng"
+)
+
+func testFramer(t testing.TB) (*Framer, *code.Code) {
+	t.Helper()
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := code.NewShortened(c, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFramer(sh), c
+}
+
+func TestRandomizerKnownPrefix(t *testing.T) {
+	// CCSDS randomizer sequence begins 0xFF 0x48 (1111 1111 0100 1000).
+	want := []int{1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 0, 0, 1, 0, 0, 0}
+	got := Sequence(16)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence bit %d = %d, want %d (got %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestRandomizerPeriod255(t *testing.T) {
+	s := Sequence(510)
+	for i := 0; i < 255; i++ {
+		if s[i] != s[i+255] {
+			t.Fatalf("sequence not periodic with 255 at %d", i)
+		}
+	}
+	// Maximal-length property: 128 ones, 127 zeros per period.
+	ones := 0
+	for i := 0; i < 255; i++ {
+		ones += s[i]
+	}
+	if ones != 128 {
+		t.Errorf("period has %d ones, want 128", ones)
+	}
+}
+
+func TestRandomizerReset(t *testing.T) {
+	r := NewRandomizer()
+	a := make([]int, 20)
+	for i := range a {
+		a[i] = r.Next()
+	}
+	r.Reset()
+	for i := range a {
+		if got := r.Next(); got != a[i] {
+			t.Fatalf("Reset did not restart the sequence at bit %d", i)
+		}
+	}
+}
+
+func TestASMBits(t *testing.T) {
+	// 0x1ACFFC1D MSB-first: 0001 1010 1100 1111 1111 1100 0001 1101.
+	want := []int{0, 0, 0, 1, 1, 0, 1, 0, 1, 1, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 1, 1, 0, 1}
+	for i, w := range want {
+		if asmBit(i) != w {
+			t.Fatalf("asmBit(%d) = %d, want %d", i, asmBit(i), w)
+		}
+	}
+}
+
+func TestBuildLayout(t *testing.T) {
+	f, _ := testFramer(t)
+	info := bitvec.New(f.InfoBits())
+	fr, err := f.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Len() != f.FrameBits() {
+		t.Fatalf("frame length %d, want %d", fr.Len(), f.FrameBits())
+	}
+	for i := 0; i < ASMBits; i++ {
+		if fr.Bit(i) != asmBit(i) {
+			t.Fatalf("ASM bit %d wrong", i)
+		}
+	}
+	// All-zero info on an all-zero codeword: codeblock bits equal the PN
+	// sequence.
+	pn := Sequence(f.sh.N())
+	for t2 := 0; t2 < f.sh.N(); t2++ {
+		if fr.Bit(ASMBits+t2) != pn[t2] {
+			t.Fatalf("codeblock bit %d not randomized", t2)
+		}
+	}
+}
+
+func TestBuildRejectsWrongLength(t *testing.T) {
+	f, _ := testFramer(t)
+	if _, err := f.Build(bitvec.New(f.InfoBits() + 1)); err == nil {
+		t.Fatal("wrong info length accepted")
+	}
+}
+
+// TestEndToEndCleanChannel runs build → modulate → sync → extract →
+// decode → info round trip without noise, with the frame embedded at a
+// nonzero offset.
+func TestEndToEndCleanChannel(t *testing.T) {
+	f, c := testFramer(t)
+	r := rng.New(2)
+	info := bitvec.New(f.InfoBits())
+	for i := 0; i < info.Len(); i++ {
+		if r.Bool() {
+			info.Set(i)
+		}
+	}
+	fr, err := f.Build(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Embed with 17 random bits before the frame and some after.
+	lead := 17
+	stream := make([]float64, lead+fr.Len()+9)
+	for i := range stream {
+		if r.Bool() {
+			stream[i] = 1
+		} else {
+			stream[i] = -1
+		}
+	}
+	for i := 0; i < fr.Len(); i++ {
+		if fr.Bit(i) == 0 {
+			stream[lead+i] = 1
+		} else {
+			stream[lead+i] = -1
+		}
+	}
+	off, score, err := f.Sync(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != lead {
+		t.Fatalf("sync at %d, want %d (score %v)", off, lead, score)
+	}
+	if score < 0.99 {
+		t.Errorf("clean sync score %v", score)
+	}
+	llr, err := f.CodewordLLRs(stream[off:off+f.FrameBits()], 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ldpc.NewDecoder(c, ldpc.Options{Algorithm: ldpc.NormalizedMinSum, MaxIterations: 20, Alpha: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dec.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("clean frame did not converge")
+	}
+	got := f.ExtractInfo(res.Bits)
+	if !got.Equal(info) {
+		t.Fatal("info round trip failed")
+	}
+}
+
+// TestEndToEndNoisyChannel repeats the round trip through AWGN at a
+// comfortable SNR.
+func TestEndToEndNoisyChannel(t *testing.T) {
+	f, c := testFramer(t)
+	ch, err := channel.NewAWGN(5.5, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	dec, err := ldpc.NewDecoder(c, ldpc.Options{Algorithm: ldpc.NormalizedMinSum, MaxIterations: 30, Alpha: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := 0
+	const frames = 30
+	for trial := 0; trial < frames; trial++ {
+		info := bitvec.New(f.InfoBits())
+		for i := 0; i < info.Len(); i++ {
+			if r.Bool() {
+				info.Set(i)
+			}
+		}
+		fr, err := f.Build(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples := ch.Transmit(channel.Modulate(fr), r)
+		off, _, err := f.Sync(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != 0 {
+			continue // sync slip counts as a lost frame
+		}
+		scale := 2 / (ch.Sigma * ch.Sigma)
+		llr, err := f.CodewordLLRs(samples, scale, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dec.Decode(llr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.ExtractInfo(res.Bits).Equal(info) {
+			recovered++
+		}
+	}
+	if recovered < frames*8/10 {
+		t.Errorf("recovered %d/%d noisy frames", recovered, frames)
+	}
+}
+
+func TestSyncTooShort(t *testing.T) {
+	f, _ := testFramer(t)
+	if _, _, err := f.Sync(make([]float64, 10)); err == nil {
+		t.Fatal("short stream accepted")
+	}
+}
+
+func TestCodewordLLRsWrongLength(t *testing.T) {
+	f, _ := testFramer(t)
+	if _, err := f.CodewordLLRs(make([]float64, 3), 1, 10); err == nil {
+		t.Fatal("wrong sample count accepted")
+	}
+}
+
+func TestShortenedPositionsGetSaturatedLLR(t *testing.T) {
+	f, c := testFramer(t)
+	samples := make([]float64, f.FrameBits())
+	for i := range samples {
+		samples[i] = 1
+	}
+	llr, err := f.CodewordLLRs(samples, 2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(llr) != c.N {
+		t.Fatalf("LLR length %d, want %d", len(llr), c.N)
+	}
+	sat := 0
+	for _, v := range llr {
+		if v == 77 {
+			sat++
+		}
+	}
+	if sat != f.sh.S {
+		t.Errorf("%d saturated positions, want %d", sat, f.sh.S)
+	}
+}

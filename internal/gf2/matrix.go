@@ -1,0 +1,349 @@
+// Package gf2 implements dense linear algebra over GF(2).
+//
+// Matrices are stored row-major as bitvec.Vector rows, which makes row
+// operations (the workhorse of Gaussian elimination) single XOR sweeps.
+// The package provides exactly what code construction needs: products,
+// transposes, rank, row reduction with recorded pivots, inversion, and
+// null-space computation. Matrices in this repository are at most a few
+// thousand rows/columns, so dense bit-packed storage is both the simplest
+// and the fastest representation.
+package gf2
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/bitvec"
+)
+
+// Matrix is a dense GF(2) matrix of fixed shape.
+type Matrix struct {
+	rows, cols int
+	row        []*bitvec.Vector
+}
+
+// NewMatrix returns a zeroed rows×cols matrix. It panics if either
+// dimension is negative.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("gf2: negative shape %dx%d", rows, cols))
+	}
+	m := &Matrix{rows: rows, cols: cols, row: make([]*bitvec.Vector, rows)}
+	for i := range m.row {
+		m.row[i] = bitvec.New(cols)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from existing rows. All rows must have the
+// same length; the rows are used directly (not copied).
+func FromRows(rows []*bitvec.Vector) *Matrix {
+	if len(rows) == 0 {
+		return &Matrix{}
+	}
+	cols := rows[0].Len()
+	for i, r := range rows {
+		if r.Len() != cols {
+			panic(fmt.Sprintf("gf2: row %d has length %d, want %d", i, r.Len(), cols))
+		}
+	}
+	return &Matrix{rows: len(rows), cols: cols, row: rows}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Row returns row i. The returned vector aliases the matrix storage.
+func (m *Matrix) Row(i int) *bitvec.Vector {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("gf2: row %d out of range [0,%d)", i, m.rows))
+	}
+	return m.row[i]
+}
+
+// At returns the bit at (i, j).
+func (m *Matrix) At(i, j int) int { return m.Row(i).Bit(j) }
+
+// Set sets the bit at (i, j) to b.
+func (m *Matrix) Set(i, j, b int) { m.Row(i).SetBit(j, b) }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, row: make([]*bitvec.Vector, m.rows)}
+	for i, r := range m.row {
+		c.row[i] = r.Clone()
+	}
+	return c
+}
+
+// Equal reports whether the matrices have identical shape and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.row {
+		if !m.row[i].Equal(o.row[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Transpose returns the transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i, r := range m.row {
+		for j := r.FirstSet(); j >= 0; j = r.NextSet(j + 1) {
+			t.row[j].Set(i)
+		}
+	}
+	return t
+}
+
+// MulVec returns m · x for a column vector x of length Cols. The result
+// has length Rows.
+func (m *Matrix) MulVec(x *bitvec.Vector) *bitvec.Vector {
+	if x.Len() != m.cols {
+		panic(fmt.Sprintf("gf2: MulVec length %d, want %d", x.Len(), m.cols))
+	}
+	out := bitvec.New(m.rows)
+	for i, r := range m.row {
+		if r.Dot(x) == 1 {
+			out.Set(i)
+		}
+	}
+	return out
+}
+
+// VecMul returns xᵀ · m for a row vector x of length Rows. The result has
+// length Cols. This is the codeword-generation primitive: c = u·G is one
+// XOR of G's rows per set bit of u.
+func (m *Matrix) VecMul(x *bitvec.Vector) *bitvec.Vector {
+	if x.Len() != m.rows {
+		panic(fmt.Sprintf("gf2: VecMul length %d, want %d", x.Len(), m.rows))
+	}
+	out := bitvec.New(m.cols)
+	for i := x.FirstSet(); i >= 0; i = x.NextSet(i + 1) {
+		out.Xor(m.row[i])
+	}
+	return out
+}
+
+// Mul returns the matrix product m · o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("gf2: Mul shape %dx%d · %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	out := NewMatrix(m.rows, o.cols)
+	for i, r := range m.row {
+		dst := out.row[i]
+		for k := r.FirstSet(); k >= 0; k = r.NextSet(k + 1) {
+			dst.Xor(o.row[k])
+		}
+	}
+	return out
+}
+
+// Add returns m + o (entrywise XOR).
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	if m.rows != o.rows || m.cols != o.cols {
+		panic(fmt.Sprintf("gf2: Add shape %dx%d + %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	out := m.Clone()
+	for i := range out.row {
+		out.row[i].Xor(o.row[i])
+	}
+	return out
+}
+
+// SwapRows exchanges rows i and j.
+func (m *Matrix) SwapRows(i, j int) {
+	m.row[i], m.row[j] = m.row[j], m.row[i]
+}
+
+// AddRow XORs row src into row dst.
+func (m *Matrix) AddRow(dst, src int) {
+	m.Row(dst).Xor(m.Row(src))
+}
+
+// HStack returns [m | o] (horizontal concatenation).
+func HStack(m, o *Matrix) *Matrix {
+	if m.rows != o.rows {
+		panic(fmt.Sprintf("gf2: HStack rows %d != %d", m.rows, o.rows))
+	}
+	out := NewMatrix(m.rows, m.cols+o.cols)
+	for i := 0; i < m.rows; i++ {
+		out.row[i].Paste(0, m.row[i])
+		out.row[i].Paste(m.cols, o.row[i])
+	}
+	return out
+}
+
+// VStack returns the vertical concatenation of m on top of o.
+func VStack(m, o *Matrix) *Matrix {
+	if m.cols != o.cols {
+		panic(fmt.Sprintf("gf2: VStack cols %d != %d", m.cols, o.cols))
+	}
+	rows := make([]*bitvec.Vector, 0, m.rows+o.rows)
+	for _, r := range m.row {
+		rows = append(rows, r.Clone())
+	}
+	for _, r := range o.row {
+		rows = append(rows, r.Clone())
+	}
+	return FromRows(rows)
+}
+
+// SubMatrix returns the submatrix of rows [r0,r1) and columns [c0,c1).
+func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) *Matrix {
+	if r0 < 0 || r1 > m.rows || r0 > r1 || c0 < 0 || c1 > m.cols || c0 > c1 {
+		panic(fmt.Sprintf("gf2: bad submatrix [%d:%d, %d:%d] of %dx%d", r0, r1, c0, c1, m.rows, m.cols))
+	}
+	out := NewMatrix(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		out.row[i-r0] = m.row[i].Slice(c0, c1)
+	}
+	return out
+}
+
+// SelectColumns returns the matrix formed by the given columns, in order.
+func (m *Matrix) SelectColumns(cols []int) *Matrix {
+	out := NewMatrix(m.rows, len(cols))
+	for i, r := range m.row {
+		for k, j := range cols {
+			if r.Bit(j) == 1 {
+				out.row[i].Set(k)
+			}
+		}
+	}
+	return out
+}
+
+// RowReduce transforms m in place to reduced row echelon form and returns
+// the pivot column of each pivot row, in order. After the call the first
+// len(pivots) rows are the nonzero rows; remaining rows are zero.
+func (m *Matrix) RowReduce() (pivots []int) {
+	r := 0
+	for c := 0; c < m.cols && r < m.rows; c++ {
+		// Find a pivot at or below row r in column c.
+		p := -1
+		for i := r; i < m.rows; i++ {
+			if m.row[i].Bit(c) == 1 {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		m.SwapRows(r, p)
+		// Eliminate column c from every other row (reduced form).
+		for i := 0; i < m.rows; i++ {
+			if i != r && m.row[i].Bit(c) == 1 {
+				m.row[i].Xor(m.row[r])
+			}
+		}
+		pivots = append(pivots, c)
+		r++
+	}
+	return pivots
+}
+
+// Rank returns the rank of m. m is not modified.
+func (m *Matrix) Rank() int {
+	c := m.Clone()
+	return len(c.RowReduce())
+}
+
+// Inverse returns the inverse of a square matrix, or an error if the
+// matrix is singular. m is not modified.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("gf2: inverse of non-square %dx%d matrix", m.rows, m.cols)
+	}
+	aug := HStack(m, Identity(m.rows))
+	pivots := aug.RowReduce()
+	// m is invertible only if all n pivots land in the left (m) half;
+	// a pivot in the identity half means a rank deficiency in m.
+	if len(pivots) < m.rows || pivots[m.rows-1] >= m.cols {
+		return nil, fmt.Errorf("gf2: matrix is singular")
+	}
+	return aug.SubMatrix(0, m.rows, m.cols, 2*m.cols), nil
+}
+
+// NullSpace returns a basis for the right null space of m: every returned
+// vector x satisfies m·x = 0. The basis has dimension Cols − Rank.
+func (m *Matrix) NullSpace() []*bitvec.Vector {
+	r := m.Clone()
+	pivots := r.RowReduce()
+	isPivot := make([]bool, m.cols)
+	pivotRowOf := make([]int, m.cols)
+	for i, c := range pivots {
+		isPivot[c] = true
+		pivotRowOf[c] = i
+	}
+	var basis []*bitvec.Vector
+	for free := 0; free < m.cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		x := bitvec.New(m.cols)
+		x.Set(free)
+		// Back-substitute: pivot variable c takes the value of row(c)·x
+		// restricted to free columns, which after reduction is just the
+		// entry at column `free`.
+		for _, c := range pivots {
+			if r.row[pivotRowOf[c]].Bit(free) == 1 {
+				x.Set(c)
+			}
+		}
+		basis = append(basis, x)
+	}
+	return basis
+}
+
+// IsZero reports whether every entry is zero.
+func (m *Matrix) IsZero() bool {
+	for _, r := range m.row {
+		if !r.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// Density returns the fraction of entries that are 1.
+func (m *Matrix) Density() float64 {
+	if m.rows == 0 || m.cols == 0 {
+		return 0
+	}
+	ones := 0
+	for _, r := range m.row {
+		ones += r.PopCount()
+	}
+	return float64(ones) / float64(m.rows*m.cols)
+}
+
+// String renders small matrices for debugging; large matrices render as a
+// shape summary to keep logs readable.
+func (m *Matrix) String() string {
+	if m.rows > 32 || m.cols > 128 {
+		return fmt.Sprintf("gf2.Matrix(%dx%d, density %.4f)", m.rows, m.cols, m.Density())
+	}
+	s := ""
+	for _, r := range m.row {
+		s += r.String() + "\n"
+	}
+	return s
+}

@@ -1,0 +1,316 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccsdsldpc/internal/bitvec"
+)
+
+func randomMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if r.Intn(2) == 1 {
+				m.Set(i, j, 1)
+			}
+		}
+	}
+	return m
+}
+
+func randomVec(r *rand.Rand, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(5)[%d,%d] = %d, want %d", i, j, id.At(i, j), want)
+			}
+		}
+	}
+	if id.Rank() != 5 {
+		t.Fatalf("Identity rank = %d, want 5", id.Rank())
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := randomMatrix(r, 8, 8)
+	if !m.Mul(Identity(8)).Equal(m) {
+		t.Error("m · I != m")
+	}
+	if !Identity(8).Mul(m).Equal(m) {
+		t.Error("I · m != m")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	// [1 1; 0 1] · [1 0; 1 1] = [0 1; 1 1] over GF(2).
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 1, 1)
+	b := NewMatrix(2, 2)
+	b.Set(0, 0, 1)
+	b.Set(1, 0, 1)
+	b.Set(1, 1, 1)
+	c := a.Mul(b)
+	want := [][]int{{0, 1}, {1, 1}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c[%d,%d] = %d, want %d", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m := randomMatrix(r, 7, 13)
+	if !m.Transpose().Transpose().Equal(m) {
+		t.Error("double transpose != original")
+	}
+	tr := m.Transpose()
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVecMatchesVecMulTranspose(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	m := randomMatrix(r, 9, 14)
+	x := randomVec(r, 14)
+	a := m.MulVec(x)
+	b := m.Transpose().VecMul(x)
+	if !a.Equal(b) {
+		t.Error("MulVec(x) != Transpose().VecMul(x)")
+	}
+}
+
+func TestRankProperties(t *testing.T) {
+	if got := NewMatrix(4, 6).Rank(); got != 0 {
+		t.Errorf("zero matrix rank = %d, want 0", got)
+	}
+	// A matrix with a repeated row loses rank.
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1)
+	m.Row(2).CopyFrom(m.Row(0))
+	if got := m.Rank(); got != 2 {
+		t.Errorf("rank = %d, want 2", got)
+	}
+}
+
+func TestRowReduceProducesRREF(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	m := randomMatrix(r, 10, 15)
+	c := m.Clone()
+	pivots := c.RowReduce()
+	// Pivot columns must be strictly increasing and each pivot column has
+	// exactly one 1 (at the pivot row).
+	for i, col := range pivots {
+		if i > 0 && pivots[i-1] >= col {
+			t.Fatalf("pivots not increasing: %v", pivots)
+		}
+		count := 0
+		for row := 0; row < c.Rows(); row++ {
+			count += c.At(row, col)
+		}
+		if count != 1 || c.At(i, col) != 1 {
+			t.Fatalf("pivot column %d not reduced", col)
+		}
+	}
+	// Rows beyond the pivots are zero.
+	for i := len(pivots); i < c.Rows(); i++ {
+		if !c.Row(i).IsZero() {
+			t.Fatalf("row %d nonzero after reduction", i)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	// Find a random invertible 12x12 matrix (about 29% of random GF(2)
+	// matrices are invertible, so a few tries suffice).
+	var m *Matrix
+	for {
+		m = randomMatrix(r, 12, 12)
+		if m.Rank() == 12 {
+			break
+		}
+	}
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Mul(inv).Equal(Identity(12)) {
+		t.Error("m · m⁻¹ != I")
+	}
+	if !inv.Mul(m).Equal(Identity(12)) {
+		t.Error("m⁻¹ · m != I")
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := NewMatrix(3, 3) // zero matrix
+	if _, err := m.Inverse(); err == nil {
+		t.Error("Inverse of singular matrix returned nil error")
+	}
+	if _, err := NewMatrix(2, 3).Inverse(); err == nil {
+		t.Error("Inverse of non-square matrix returned nil error")
+	}
+}
+
+func TestNullSpace(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	m := randomMatrix(r, 6, 10)
+	basis := m.NullSpace()
+	if len(basis) != m.Cols()-m.Rank() {
+		t.Fatalf("null space dim = %d, want %d", len(basis), m.Cols()-m.Rank())
+	}
+	for i, x := range basis {
+		if !m.MulVec(x).IsZero() {
+			t.Errorf("basis vector %d not in null space", i)
+		}
+	}
+	// Basis vectors are linearly independent: stacking them gives full rank.
+	if len(basis) > 0 {
+		b := FromRows(basis)
+		if b.Rank() != len(basis) {
+			t.Error("null space basis not independent")
+		}
+	}
+}
+
+func TestHStackVStackSubMatrix(t *testing.T) {
+	a := Identity(3)
+	b := NewMatrix(3, 2)
+	b.Set(1, 0, 1)
+	h := HStack(a, b)
+	if h.Rows() != 3 || h.Cols() != 5 {
+		t.Fatalf("HStack shape %dx%d", h.Rows(), h.Cols())
+	}
+	if h.At(1, 3) != 1 || h.At(1, 1) != 1 {
+		t.Error("HStack content wrong")
+	}
+	if !h.SubMatrix(0, 3, 0, 3).Equal(a) {
+		t.Error("SubMatrix left != a")
+	}
+	if !h.SubMatrix(0, 3, 3, 5).Equal(b) {
+		t.Error("SubMatrix right != b")
+	}
+	v := VStack(a, a)
+	if v.Rows() != 6 || v.Cols() != 3 {
+		t.Fatalf("VStack shape %dx%d", v.Rows(), v.Cols())
+	}
+	if !v.SubMatrix(3, 6, 0, 3).Equal(a) {
+		t.Error("VStack bottom != a")
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	m := NewMatrix(2, 4)
+	m.Set(0, 1, 1)
+	m.Set(1, 3, 1)
+	s := m.SelectColumns([]int{3, 1})
+	if s.At(0, 1) != 1 || s.At(1, 0) != 1 || s.At(0, 0) != 0 {
+		t.Error("SelectColumns content wrong")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m := randomMatrix(r, 5, 5)
+	if !m.Add(m).IsZero() {
+		t.Error("m + m != 0")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	if got := m.Density(); got != 0.25 {
+		t.Errorf("Density = %v, want 0.25", got)
+	}
+}
+
+func TestPropertyMulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMatrix(r, 5, 6)
+		b := randomMatrix(r, 6, 4)
+		c := randomMatrix(r, 4, 7)
+		return a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMulVecLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMatrix(r, 8, 12)
+		x, y := randomVec(r, 12), randomVec(r, 12)
+		sum := x.Clone()
+		sum.Xor(y)
+		lhs := m.MulVec(sum)
+		rhs := m.MulVec(x)
+		rhs.Xor(m.MulVec(y))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRankBoundedAndStable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMatrix(r, 9, 7)
+		rk := m.Rank()
+		if rk > 7 || rk > 9 || rk < 0 {
+			return false
+		}
+		// Row operations do not change rank.
+		c := m.Clone()
+		c.AddRow(0, 1)
+		c.SwapRows(2, 3)
+		return c.Rank() == rk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTransposeProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMatrix(r, 5, 8)
+		b := randomMatrix(r, 8, 6)
+		return a.Mul(b).Transpose().Equal(b.Transpose().Mul(a.Transpose()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package graphana analyzes Tanner-graph structure: exact girth, local
+// girth distribution, and short-cycle counts.
+//
+// The paper attributes the code family's quality to "a very low error
+// floor achieved with a very fast iterative convergence"; both
+// properties are governed by the cycle structure this package measures.
+// The code generator guarantees girth ≥ 6 by construction (no
+// 4-cycles); graphana verifies the girth the construction actually
+// achieved and where the short cycles concentrate.
+package graphana
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ccsdsldpc/internal/ldpc"
+)
+
+// LocalGirth returns the length of the shortest cycle through variable
+// node v, or 0 if no cycle passes through it. Tanner graphs are
+// bipartite, so all cycles have even length; the search is a BFS from v
+// that stops at the first cross-edge.
+func LocalGirth(g *ldpc.Graph, v int) int {
+	if v < 0 || v >= g.N {
+		panic(fmt.Sprintf("graphana: variable %d out of range [0,%d)", v, g.N))
+	}
+	// Node ids: variables [0, N), checks [N, N+M).
+	const unvisited = -1
+	dist := make([]int32, g.N+g.M)
+	parent := make([]int32, g.N+g.M)
+	for i := range dist {
+		dist[i] = unvisited
+	}
+	type qe struct{ node int32 }
+	queue := make([]qe, 0, 64)
+	dist[v] = 0
+	parent[v] = -1
+	queue = append(queue, qe{int32(v)})
+	best := math.MaxInt32
+
+	neighbors := func(node int32, visit func(next int32)) {
+		if int(node) < g.N {
+			j := int(node)
+			for k := g.VNOff[j]; k < g.VNOff[j+1]; k++ {
+				e := g.VNEdges[k]
+				visit(int32(g.N) + checkOfEdge(g, int(e)))
+			}
+		} else {
+			i := int(node) - g.N
+			for e := g.CNOff[i]; e < g.CNOff[i+1]; e++ {
+				visit(int32(g.EdgeVN[e]))
+			}
+		}
+	}
+
+	for head := 0; head < len(queue); head++ {
+		node := queue[head].node
+		d := dist[node]
+		if 2*int(d)+1 >= best {
+			break // no shorter cycle can be found deeper
+		}
+		neighbors(node, func(next int32) {
+			if next == parent[node] {
+				// In a simple bipartite graph the only length-2 return is
+				// via the same neighbour; multi-edges cannot occur since
+				// circulant offsets are distinct.
+				return
+			}
+			if dist[next] == unvisited {
+				dist[next] = d + 1
+				parent[next] = node
+				queue = append(queue, qe{next})
+				return
+			}
+			// Cross edge: cycle through v of length d + dist[next] + 1.
+			if l := int(d) + int(dist[next]) + 1; l < best && l >= 4 {
+				best = l
+			}
+		})
+	}
+	if best == math.MaxInt32 {
+		return 0
+	}
+	return best
+}
+
+// checkOfEdge maps an edge id to its check node (binary search on the
+// CN offsets).
+func checkOfEdge(g *ldpc.Graph, e int) int32 {
+	lo, hi := 0, g.M
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(g.CNOff[mid+1]) <= e {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// Girth returns the girth of the whole graph: the minimum local girth
+// over all variable nodes (0 for a forest).
+func Girth(g *ldpc.Graph) int {
+	best := 0
+	for v := 0; v < g.N; v++ {
+		l := LocalGirth(g, v)
+		if l == 0 {
+			continue
+		}
+		if best == 0 || l < best {
+			best = l
+			if best == 4 {
+				return 4 // bipartite minimum; cannot improve
+			}
+		}
+	}
+	return best
+}
+
+// GirthHistogram returns the distribution of local girths over variable
+// nodes (key 0 = acyclic node).
+func GirthHistogram(g *ldpc.Graph) map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.N; v++ {
+		h[LocalGirth(g, v)]++
+	}
+	return h
+}
+
+// CountFourCycles returns the exact number of 4-cycles: for every pair
+// of checks sharing s ≥ 2 variables, C(s, 2) cycles.
+func CountFourCycles(g *ldpc.Graph) int {
+	// For each variable, record its checks; count pair co-occurrences.
+	pairCount := make(map[[2]int32]int)
+	for v := 0; v < g.N; v++ {
+		var checks []int32
+		for k := g.VNOff[v]; k < g.VNOff[v+1]; k++ {
+			checks = append(checks, checkOfEdge(g, int(g.VNEdges[k])))
+		}
+		sort.Slice(checks, func(a, b int) bool { return checks[a] < checks[b] })
+		for a := 0; a < len(checks); a++ {
+			for b := a + 1; b < len(checks); b++ {
+				pairCount[[2]int32{checks[a], checks[b]}]++
+			}
+		}
+	}
+	cycles := 0
+	for _, s := range pairCount {
+		cycles += s * (s - 1) / 2
+	}
+	return cycles
+}
+
+// Stats summarizes a Tanner graph.
+type Stats struct {
+	N, M, E      int
+	Girth        int
+	FourCycles   int
+	MinVNDegree  int
+	MaxVNDegree  int
+	MinCNDegree  int
+	MaxCNDegree  int
+	MeanVNDegree float64
+	MeanCNDegree float64
+}
+
+// Analyze computes the summary.
+func Analyze(g *ldpc.Graph) Stats {
+	s := Stats{N: g.N, M: g.M, E: g.E, Girth: Girth(g), FourCycles: CountFourCycles(g)}
+	s.MinVNDegree, s.MaxVNDegree = math.MaxInt32, 0
+	for j := 0; j < g.N; j++ {
+		d := g.VNDegree(j)
+		if d < s.MinVNDegree {
+			s.MinVNDegree = d
+		}
+		if d > s.MaxVNDegree {
+			s.MaxVNDegree = d
+		}
+	}
+	s.MinCNDegree, s.MaxCNDegree = math.MaxInt32, 0
+	for i := 0; i < g.M; i++ {
+		d := g.CNDegree(i)
+		if d < s.MinCNDegree {
+			s.MinCNDegree = d
+		}
+		if d > s.MaxCNDegree {
+			s.MaxCNDegree = d
+		}
+	}
+	s.MeanVNDegree = float64(g.E) / float64(g.N)
+	s.MeanCNDegree = float64(g.E) / float64(g.M)
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("tanner(N=%d, M=%d, E=%d, girth=%d, 4-cycles=%d, dv=[%d,%d] mean %.2f, dc=[%d,%d] mean %.2f)",
+		s.N, s.M, s.E, s.Girth, s.FourCycles,
+		s.MinVNDegree, s.MaxVNDegree, s.MeanVNDegree,
+		s.MinCNDegree, s.MaxCNDegree, s.MeanCNDegree)
+}

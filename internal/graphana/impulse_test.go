@@ -1,0 +1,100 @@
+package graphana
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/ldpc"
+)
+
+func impulseDecoder(t *testing.T, c *code.Code) *ldpc.Decoder {
+	t.Helper()
+	d, err := ldpc.NewDecoder(c, ldpc.Options{
+		Algorithm: ldpc.SumProduct, MaxIterations: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestImpulseScanBasics(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := impulseDecoder(t, c)
+	// Scan a sample of positions to keep the test fast.
+	positions := []int{0, 17, 40, 77, 100, 123}
+	res, err := ImpulseScan(c.N, positions, 10, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Critical) != len(positions) {
+		t.Fatalf("%d criticals for %d positions", len(res.Critical), len(positions))
+	}
+	for i, a := range res.Critical {
+		// A single impulse of amplitude 1 merely erases the bit (LLR 0);
+		// any iterative decoder on a dv>=2 code must survive that, and
+		// well beyond.
+		if a < 1 {
+			t.Errorf("position %d: critical amplitude %v < 1", positions[i], a)
+		}
+	}
+	if res.ArgMin < 0 || res.Min <= 0 {
+		t.Errorf("min %v at %d", res.Min, res.ArgMin)
+	}
+	found := false
+	for _, p := range positions {
+		if p == res.ArgMin {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ArgMin %d not among scanned positions", res.ArgMin)
+	}
+	t.Logf("critical amplitudes %v, min %.2f at %d", res.Critical, res.Min, res.ArgMin)
+}
+
+func TestImpulseScanValidation(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := impulseDecoder(t, c)
+	if _, err := ImpulseScan(c.N, []int{0}, 0, d); err == nil {
+		t.Error("zero clean LLR accepted")
+	}
+	if _, err := ImpulseScan(c.N, []int{c.N}, 10, d); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+}
+
+func TestImpulseMonotoneInDecoderStrength(t *testing.T) {
+	// BP with more iterations should tolerate impulses at least as large
+	// as a 3-iteration decoder at every scanned position.
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := ldpc.NewDecoder(c, ldpc.Options{Algorithm: ldpc.SumProduct, MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong := impulseDecoder(t, c)
+	positions := []int{3, 50, 90}
+	rw, err := ImpulseScan(c.N, positions, 10, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ImpulseScan(c.N, positions, 10, strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range positions {
+		if rs.Critical[i] < rw.Critical[i]-1e-6 {
+			t.Errorf("position %d: strong decoder weaker (%v) than 2-iteration decoder (%v)",
+				positions[i], rs.Critical[i], rw.Critical[i])
+		}
+	}
+}

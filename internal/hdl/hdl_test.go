@@ -1,0 +1,190 @@
+package hdl
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/hwsim"
+)
+
+func genFiles(t *testing.T) []File {
+	t.Helper()
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := Generate(c.Table, func() hwsim.Config {
+		cfg := hwsim.LowCost()
+		cfg.Iterations = 18
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func TestGenerateFileSet(t *testing.T) {
+	files := genFiles(t)
+	want := map[string]bool{
+		"decoder_pkg.vhd": false, "message_bank.vhd": false,
+		"cn_unit.vhd": false, "bn_unit.vhd": false, "decoder_top.vhd": false,
+	}
+	for _, f := range files {
+		if _, ok := want[f.Name]; !ok {
+			t.Errorf("unexpected file %s", f.Name)
+		}
+		want[f.Name] = true
+		if len(f.Content) < 100 {
+			t.Errorf("%s suspiciously short (%d bytes)", f.Name, len(f.Content))
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("missing file %s", name)
+		}
+	}
+}
+
+func TestEntitiesBalanced(t *testing.T) {
+	for _, f := range genFiles(t) {
+		ents := regexp.MustCompile(`(?m)^entity (\w+) is`).FindAllStringSubmatch(f.Content, -1)
+		ends := regexp.MustCompile(`(?m)^end entity (\w+);`).FindAllStringSubmatch(f.Content, -1)
+		if len(ents) != len(ends) {
+			t.Errorf("%s: %d entity declarations, %d ends", f.Name, len(ents), len(ends))
+		}
+		for i := range ents {
+			if i < len(ends) && ents[i][1] != ends[i][1] {
+				t.Errorf("%s: entity %q ended as %q", f.Name, ents[i][1], ends[i][1])
+			}
+		}
+		archs := strings.Count(f.Content, "architecture rtl of")
+		archEnds := strings.Count(f.Content, "end architecture rtl;")
+		if archs != archEnds {
+			t.Errorf("%s: %d architectures, %d ends", f.Name, archs, archEnds)
+		}
+	}
+}
+
+func TestPackageConstantsMatchConfig(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hwsim.HighSpeed()
+	cfg.Iterations = 10
+	files, err := Generate(c.Table, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := files[0].Content
+	for _, want := range []string{
+		"constant BLOCK_ROWS   : natural := 2;",
+		"constant BLOCK_COLS   : natural := 4;",
+		"constant CIRC_SIZE    : natural := 31;",
+		fmt.Sprintf("constant MSG_BITS     : natural := %d;", cfg.Format.Bits),
+		fmt.Sprintf("constant FRAMES       : natural := %d;", cfg.Frames),
+		"constant NUM_BANKS    : natural := 16;",
+		"constant ITERATIONS   : natural := 10;",
+		fmt.Sprintf("constant SCALE_NUM    : natural := %d;", cfg.Scale.Num),
+	} {
+		if !strings.Contains(pkg, want) {
+			t.Errorf("package missing %q", want)
+		}
+	}
+}
+
+func TestOffsetROMMatchesTable(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := Generate(c.Table, hwsim.LowCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := files[0].Content
+	// Extract the BANK_OFFSET ROM and compare with the table, in hwsim
+	// bank order (row-major blocks, sorted offsets).
+	m := regexp.MustCompile(`(?s)constant BANK_OFFSET : offset_rom_t := \((.*?)\);`).FindStringSubmatch(pkg)
+	if m == nil {
+		t.Fatal("BANK_OFFSET ROM not found")
+	}
+	var got []string
+	for _, tok := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == '\n' || r == ' ' }) {
+		if tok != "" {
+			got = append(got, tok)
+		}
+	}
+	var want []string
+	for r := 0; r < c.Table.BlockRows; r++ {
+		for cc := 0; cc < c.Table.BlockCols; cc++ {
+			offs := append([]int(nil), c.Table.Offsets[r][cc]...)
+			if len(offs) == 2 && offs[0] > offs[1] {
+				offs[0], offs[1] = offs[1], offs[0]
+			}
+			for _, o := range offs {
+				want = append(want, fmt.Sprint(o))
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ROM has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ROM[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genFiles(t)
+	b := genFiles(t)
+	for i := range a {
+		if a[i].Content != b[i].Content {
+			t.Fatalf("%s not deterministic", a[i].Name)
+		}
+	}
+}
+
+func TestGenerateRejectsBadInputs(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := hwsim.LowCost()
+	bad.Iterations = 0
+	if _, err := Generate(c.Table, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+	badTab := code.NewTable(1, 1, 7)
+	badTab.Offsets[0][0] = []int{9}
+	if _, err := Generate(badTab, hwsim.LowCost()); err == nil {
+		t.Error("invalid table accepted")
+	}
+}
+
+func TestFullSizeGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size HDL in -short mode")
+	}
+	tab, err := code.CCSDSTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := Generate(tab, hwsim.LowCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := files[0].Content
+	if !strings.Contains(pkg, "constant NUM_BANKS    : natural := 64;") {
+		t.Error("full-size package lacks 64 banks")
+	}
+	if !strings.Contains(pkg, "constant CIRC_SIZE    : natural := 511;") {
+		t.Error("full-size package lacks CIRC_SIZE 511")
+	}
+}

@@ -1,0 +1,67 @@
+// Package hexbits converts between hex strings and bit-per-byte slices,
+// the frame interchange format of the command-line tools (MSB-first
+// within each hex digit, zero-padded tail).
+package hexbits
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToBits expands a hex string into exactly n bits. The string must have
+// ⌈n/4⌉ digits and any pad bits beyond n must be zero.
+func ToBits(s string, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("hexbits: negative bit count %d", n)
+	}
+	need := (n + 3) / 4
+	if len(s) != need {
+		return nil, fmt.Errorf("hexbits: got %d hex digits, want %d for %d bits", len(s), need, n)
+	}
+	bits := make([]byte, 0, need*4)
+	for _, r := range s {
+		v, err := digit(r)
+		if err != nil {
+			return nil, err
+		}
+		for k := 3; k >= 0; k-- {
+			bits = append(bits, byte(v>>k)&1)
+		}
+	}
+	for i, b := range bits[n:] {
+		if b != 0 {
+			return nil, fmt.Errorf("hexbits: nonzero padding bit at position %d", n+i)
+		}
+	}
+	return bits[:n], nil
+}
+
+// FromBits packs bits (MSB-first per digit) into hex, zero-padding the
+// final digit.
+func FromBits(bits []byte) string {
+	var b strings.Builder
+	b.Grow((len(bits) + 3) / 4)
+	for i := 0; i < len(bits); i += 4 {
+		v := 0
+		for k := 0; k < 4; k++ {
+			v <<= 1
+			if i+k < len(bits) && bits[i+k] != 0 {
+				v |= 1
+			}
+		}
+		fmt.Fprintf(&b, "%x", v)
+	}
+	return b.String()
+}
+
+func digit(r rune) (int, error) {
+	switch {
+	case r >= '0' && r <= '9':
+		return int(r - '0'), nil
+	case r >= 'a' && r <= 'f':
+		return int(r-'a') + 10, nil
+	case r >= 'A' && r <= 'F':
+		return int(r-'A') + 10, nil
+	}
+	return 0, fmt.Errorf("hexbits: invalid hex digit %q", r)
+}

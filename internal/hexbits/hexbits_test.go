@@ -1,0 +1,109 @@
+package hexbits
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccsdsldpc/internal/rng"
+)
+
+func TestToBitsKnown(t *testing.T) {
+	bits, err := ToBits("a5", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 0, 1, 0, 0, 1, 0, 1}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bits = %v, want %v", bits, want)
+		}
+	}
+}
+
+func TestToBitsPartialDigit(t *testing.T) {
+	// 6 bits need 2 digits; the last 2 bits of the second digit must be
+	// zero. "ac" = 1010 11|00.
+	bits, err := ToBits("ac", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 0, 1, 0, 1, 1}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bits = %v, want %v", bits, want)
+		}
+	}
+	// "ad" = 1010 11|01 has a nonzero pad bit.
+	if _, err := ToBits("ad", 6); err == nil {
+		t.Fatal("nonzero padding accepted")
+	}
+}
+
+func TestToBitsErrors(t *testing.T) {
+	if _, err := ToBits("abc", 8); err == nil {
+		t.Error("wrong digit count accepted")
+	}
+	if _, err := ToBits("zz", 8); err == nil {
+		t.Error("invalid digit accepted")
+	}
+	if _, err := ToBits("", -1); err == nil {
+		t.Error("negative bit count accepted")
+	}
+	if bits, err := ToBits("", 0); err != nil || len(bits) != 0 {
+		t.Error("empty round trip broken")
+	}
+}
+
+func TestFromBitsKnown(t *testing.T) {
+	if got := FromBits([]byte{1, 0, 1, 0, 0, 1, 0, 1}); got != "a5" {
+		t.Fatalf("FromBits = %q, want a5", got)
+	}
+	if got := FromBits([]byte{1, 1}); got != "c" {
+		t.Fatalf("FromBits = %q, want c", got)
+	}
+	if got := FromBits(nil); got != "" {
+		t.Fatalf("FromBits(nil) = %q", got)
+	}
+}
+
+func TestUppercaseAccepted(t *testing.T) {
+	lo, err := ToBits("ff", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := ToBits("FF", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lo {
+		if lo[i] != hi[i] {
+			t.Fatal("case sensitivity in hex digits")
+		}
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw) % 1000
+		r := rng.New(seed)
+		bits := make([]byte, n)
+		for i := range bits {
+			if r.Bool() {
+				bits[i] = 1
+			}
+		}
+		back, err := ToBits(FromBits(bits), n)
+		if err != nil {
+			return false
+		}
+		for i := range bits {
+			if bits[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

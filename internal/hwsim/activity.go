@@ -1,0 +1,134 @@
+package hwsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Activity counts the datapath events of one DecodeBatch: the quantities
+// a dynamic-power estimate aggregates. Counts are per batch (all packed
+// frames together); message-word accesses count once per word regardless
+// of packing, matching how a wide RAM port consumes access energy once
+// per cycle.
+type Activity struct {
+	// BankReads and BankWrites are message-bank word accesses.
+	BankReads  int64
+	BankWrites int64
+	// LLRReads are channel-memory word reads.
+	LLRReads int64
+	// CNUpdates and BNUpdates are node computations, counted per frame
+	// lane (each lane has its own arithmetic).
+	CNUpdates int64
+	BNUpdates int64
+	// OutputWrites are hard-decision memory writes (per frame lane).
+	OutputWrites int64
+}
+
+// Add accumulates another activity record.
+func (a *Activity) Add(o Activity) {
+	a.BankReads += o.BankReads
+	a.BankWrites += o.BankWrites
+	a.LLRReads += o.LLRReads
+	a.CNUpdates += o.CNUpdates
+	a.BNUpdates += o.BNUpdates
+	a.OutputWrites += o.OutputWrites
+}
+
+// LastActivity returns the event counts of the most recent DecodeBatch.
+func (m *Machine) LastActivity() Activity { return m.activity }
+
+// EnergyWeights assigns a relative energy cost to each event class, in
+// arbitrary consistent units (e.g. normalized to one message-bank word
+// access = 1). Absolute joules require silicon characterization the
+// paper does not provide; the *relative* model still orders design
+// choices correctly (iterations, frame packing, early stop).
+type EnergyWeights struct {
+	// BankAccessPerBit is the cost of one RAM word access per bit of
+	// word width.
+	BankAccessPerBit float64
+	// CNUpdatePerEdge is the arithmetic cost of one check update per
+	// edge processed; BNUpdatePerEdge likewise.
+	CNUpdatePerEdge float64
+	BNUpdatePerEdge float64
+	// ControlPerCycle is the controller/addressing overhead per clock.
+	ControlPerCycle float64
+}
+
+// DefaultEnergyWeights normalizes to one RAM bit-access = 1 and uses
+// typical relative magnitudes for small adders/comparators vs SRAM
+// access.
+func DefaultEnergyWeights() EnergyWeights {
+	return EnergyWeights{
+		BankAccessPerBit: 1.0,
+		CNUpdatePerEdge:  2.5,
+		BNUpdatePerEdge:  1.5,
+		ControlPerCycle:  4.0,
+	}
+}
+
+// EnergyEstimate breaks down the relative energy of one batch.
+type EnergyEstimate struct {
+	Memory  float64
+	CNLogic float64
+	BNLogic float64
+	Control float64
+}
+
+// Total returns the summed estimate.
+func (e EnergyEstimate) Total() float64 { return e.Memory + e.CNLogic + e.BNLogic + e.Control }
+
+// PerInfoBit divides the total by the delivered information bits.
+func (e EnergyEstimate) PerInfoBit(infoBits int) float64 {
+	if infoBits <= 0 {
+		panic(fmt.Sprintf("hwsim: non-positive info bits %d", infoBits))
+	}
+	return e.Total() / float64(infoBits)
+}
+
+// Describe renders the base parallel architecture as a text block
+// diagram — the paper's Figure 3 with this machine's actual parameters.
+func (m *Machine) Describe() string {
+	var b strings.Builder
+	q := m.cfg.Format.Bits
+	f := m.cfg.Frames
+	line := func(s string, args ...any) { fmt.Fprintf(&b, s+"\n", args...) }
+	line("+--------------------------------------------------------------+")
+	line("| controller: %2d-iteration schedule, CN/BN phases of %4d cycles |", m.cfg.Iterations, m.b)
+	line("+--------------------------------------------------------------+")
+	line("        |                      |                       |")
+	line("+---------------+   +-------------------+   +------------------+")
+	line("| input memory  |   | message memories  |   | output memory    |")
+	line("| %2d x %4d x%3db |   | %3d banks         |   | %2d x %4d x%3db    |", m.cols, m.b, q*f, len(m.banks), m.cols, m.b, f)
+	line("| (double buff) |   | %4d x %2db each    |   | (hard decisions) |", m.b, q*f)
+	line("+---------------+   +-------------------+   +------------------+")
+	line("        |                      |                       |")
+	line("+--------------------------------------------------------------+")
+	line("| processing block: %d CN units (degree %d)                      |", m.rows, len(m.cnRefs[0]))
+	line("|                   %d BN units (degree %d)                     |", m.cols, len(m.bnRefs[0]))
+	line("|                   %d messages/cycle, %d frame lane(s)         |", m.MessagesPerCycle(), f)
+	line("+--------------------------------------------------------------+")
+	return b.String()
+}
+
+// EstimateEnergy converts the last batch's activity into relative
+// energy. cycles should be the batch's Total cycle count.
+func (m *Machine) EstimateEnergy(w EnergyWeights, cycles int) EnergyEstimate {
+	a := m.activity
+	wordBits := float64(m.cfg.Format.Bits * m.cfg.Frames)
+	cnDeg := 0.0
+	for _, refs := range m.cnRefs {
+		cnDeg += float64(len(refs))
+	}
+	cnDeg /= float64(len(m.cnRefs))
+	bnDeg := 0.0
+	for _, refs := range m.bnRefs {
+		bnDeg += float64(len(refs))
+	}
+	bnDeg /= float64(len(m.bnRefs))
+	return EnergyEstimate{
+		Memory:  float64(a.BankReads+a.BankWrites+a.LLRReads) * wordBits * w.BankAccessPerBit,
+		CNLogic: float64(a.CNUpdates) * cnDeg * w.CNUpdatePerEdge,
+		BNLogic: float64(a.BNUpdates) * bnDeg * w.BNUpdatePerEdge,
+		Control: float64(cycles) * w.ControlPerCycle,
+	}
+}

@@ -1,0 +1,165 @@
+package hwsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestActivityCountsAnalytic(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(1, 5)
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := noisyFrames(t, c, cfg.Format, 1, 1)
+	_, _, err = m.DecodeBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.LastActivity()
+	b := c.Table.B
+	iters := int64(cfg.Iterations)
+	// Per iteration: CN phase touches every bank once per sub-row for
+	// read and write (banks × B words), BN phase the same again.
+	wantBank := iters * 2 * int64(m.NumBanks()) * int64(b)
+	if a.BankReads != wantBank {
+		t.Errorf("BankReads = %d, want %d", a.BankReads, wantBank)
+	}
+	if a.BankWrites != wantBank {
+		t.Errorf("BankWrites = %d, want %d", a.BankWrites, wantBank)
+	}
+	// Node updates: M checks and N bits per iteration per frame.
+	if want := iters * int64(c.M); a.CNUpdates != want {
+		t.Errorf("CNUpdates = %d, want %d", a.CNUpdates, want)
+	}
+	if want := iters * int64(c.N); a.BNUpdates != want {
+		t.Errorf("BNUpdates = %d, want %d", a.BNUpdates, want)
+	}
+	if want := iters * int64(c.N); a.LLRReads != want {
+		t.Errorf("LLRReads = %d, want %d", a.LLRReads, want)
+	}
+	if want := iters * int64(c.N); a.OutputWrites != want {
+		t.Errorf("OutputWrites = %d, want %d", a.OutputWrites, want)
+	}
+}
+
+func TestActivityScalesWithFrames(t *testing.T) {
+	c := smallCode(t)
+	run := func(frames int) Activity {
+		cfg := smallConfig(frames, 4)
+		m, err := New(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, _ := noisyFrames(t, c, cfg.Format, frames, 2)
+		if _, _, err := m.DecodeBatch(q); err != nil {
+			t.Fatal(err)
+		}
+		return m.LastActivity()
+	}
+	a1, a8 := run(1), run(8)
+	// Word accesses are per-word: identical counts regardless of packing.
+	if a1.BankReads != a8.BankReads || a1.LLRReads != a8.LLRReads {
+		t.Errorf("word accesses changed with packing: %+v vs %+v", a1, a8)
+	}
+	// Arithmetic is per lane: 8x.
+	if a8.CNUpdates != 8*a1.CNUpdates || a8.BNUpdates != 8*a1.BNUpdates {
+		t.Errorf("lane ops not 8x: %+v vs %+v", a1, a8)
+	}
+}
+
+func TestEnergyEstimate(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(1, 6)
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := noisyFrames(t, c, cfg.Format, 1, 3)
+	_, cy, err := m.DecodeBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.EstimateEnergy(DefaultEnergyWeights(), cy.Total)
+	if e.Memory <= 0 || e.CNLogic <= 0 || e.BNLogic <= 0 || e.Control <= 0 {
+		t.Fatalf("degenerate estimate %+v", e)
+	}
+	if e.Total() != e.Memory+e.CNLogic+e.BNLogic+e.Control {
+		t.Error("Total inconsistent")
+	}
+	per := e.PerInfoBit(c.K)
+	if per <= 0 {
+		t.Errorf("PerInfoBit = %v", per)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PerInfoBit(0) did not panic")
+		}
+	}()
+	e.PerInfoBit(0)
+}
+
+// TestEnergyPerBitImprovesWithPacking is the architectural energy story:
+// packing amortizes control and memory access over 8 frames, so energy
+// per delivered bit falls even though lane arithmetic is unchanged per
+// frame.
+func TestEnergyPerBitImprovesWithPacking(t *testing.T) {
+	c := smallCode(t)
+	perBit := func(frames int) float64 {
+		cfg := smallConfig(frames, 6)
+		m, err := New(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, _ := noisyFrames(t, c, cfg.Format, frames, 4)
+		_, cy, err := m.DecodeBatch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.EstimateEnergy(DefaultEnergyWeights(), cy.Total).PerInfoBit(c.K * frames)
+	}
+	e1, e8 := perBit(1), perBit(8)
+	if e8 >= e1 {
+		t.Errorf("energy/bit did not improve with packing: F=1 %v, F=8 %v", e1, e8)
+	}
+	t.Logf("relative energy per info bit: F=1 %.2f, F=8 %.2f", e1, e8)
+}
+
+// TestEnergyScalesWithIterations: energy per batch is linear in the
+// iteration count (the other half of the Table 1 trade-off).
+func TestEnergyScalesWithIterations(t *testing.T) {
+	c := smallCode(t)
+	total := func(iters int) float64 {
+		cfg := smallConfig(1, iters)
+		m, err := New(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, _ := noisyFrames(t, c, cfg.Format, 1, 5)
+		_, cy, err := m.DecodeBatch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.EstimateEnergy(DefaultEnergyWeights(), cy.Total).Total()
+	}
+	e10, e50 := total(10), total(50)
+	ratio := e50 / e10
+	if ratio < 4.5 || ratio > 5.5 {
+		t.Errorf("50/10 iteration energy ratio %v, want ~5", ratio)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := smallCode(t)
+	m, err := New(c, smallConfig(8, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Describe()
+	for _, want := range []string{"controller", "message memories", "16 banks", "2 CN units", "4 BN units", "8 frame lane(s)"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diagram missing %q:\n%s", want, d)
+		}
+	}
+}

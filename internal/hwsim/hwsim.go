@@ -1,0 +1,491 @@
+// Package hwsim is a cycle-accurate software model of the paper's
+// generic parallel LDPC decoder architecture (Figure 3): a controller,
+// input/output memories, multi-block message memories, and a processing
+// block of CN and BN units.
+//
+// # Architecture
+//
+// For a QC code built from blockRows×blockCols circulants of size B and
+// weight w, the machine instantiates blockRows check-node units and
+// blockCols bit-node units, exactly the paper's low-cost operating point
+// ("we process 16 BN (/2 CN) concurrently thanks to the regularity and
+// the parallelism of the QC LDPC code").
+//
+// Messages live in blockRows·blockCols·w memory banks of depth B. The
+// message of the edge at sub-row s of circulant (r, c, o) is stored in
+// bank (r, c, o) at address s. Both decoding phases then touch every
+// bank exactly once per clock cycle:
+//
+//   - CN phase, cycle t: the CN unit of block row r consumes the
+//     messages of check node r·B + t — bank (r, c, o) address t for all
+//     (c, o).
+//   - BN phase, cycle t: the BN unit of block column c consumes the
+//     messages of bit node c·B + t — bank (r, c, o) address (t − o) mod
+//     B for all (r, o).
+//
+// This conflict-freedom is the QC property the paper's "optimized
+// storage of the data" exploits; the machine asserts it every cycle when
+// CheckConflicts is set.
+//
+// # Genericity: frame packing
+//
+// The high-speed decoder widens every memory word and processing unit to
+// F frames ("the messages corresponding to the different input frames
+// are stored in the same memory word and are accessed concurrently").
+// The controller and addressing are unchanged, so the cycle count per
+// F-frame batch equals the single-frame count — an F-fold throughput
+// increase, which is how the paper gets 8× from the same architecture.
+//
+// The datapath uses the kernels of package fixed, so the machine is
+// bit-exact with the fixed-point reference decoder by construction.
+package hwsim
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+)
+
+// Config selects an operating point of the generic architecture.
+type Config struct {
+	// Format is the message/LLR quantization of the datapath.
+	Format fixed.Format
+	// Scale is the dyadic normalization (1/α) applied by CN units.
+	Scale fixed.Scale
+	// Iterations is the fixed decoding period (the hardware runs a
+	// programmable but fixed number of iterations; Table 1).
+	Iterations int
+	// Frames is the frame-packing factor F (1 = low-cost, 8 =
+	// high-speed).
+	Frames int
+	// ClockMHz is the system clock, 200 MHz in the paper.
+	ClockMHz float64
+	// CNLatency and BNLatency model the processing-unit pipeline depth;
+	// each phase pays its latency once as drain.
+	CNLatency int
+	BNLatency int
+	// PhaseGap models controller turnaround cycles between phases.
+	PhaseGap int
+	// CheckConflicts enables per-cycle memory bank conflict assertions.
+	CheckConflicts bool
+	// EarlyStop enables the optional syndrome-check termination: the
+	// controller evaluates all parity checks on the hard decisions
+	// latched during each BN phase (the syndrome accumulates in parallel
+	// with BN processing, costing only SyndromeOverhead flush cycles per
+	// iteration) and stops the batch once every packed frame is clean.
+	// The paper's throughput figures (Table 1) assume the fixed-period
+	// schedule; early stop trades deterministic latency for
+	// SNR-dependent average throughput (ablation A5 in DESIGN.md).
+	EarlyStop bool
+	// SyndromeOverhead is the per-iteration cycle cost of the syndrome
+	// evaluation flush when EarlyStop is set.
+	SyndromeOverhead int
+}
+
+// LowCost returns the paper's low-cost operating point: single frame,
+// 6-bit messages, 18 iterations at 200 MHz (Cyclone II target).
+func LowCost() Config {
+	return Config{
+		Format:     fixed.Format{Bits: 6, Frac: 2},
+		Scale:      fixed.Scale{Num: 3, Shift: 2},
+		Iterations: 18,
+		Frames:     1,
+		ClockMHz:   200,
+		CNLatency:  12,
+		BNLatency:  8,
+		PhaseGap:   2,
+	}
+}
+
+// HighSpeed returns the paper's high-speed operating point: 8 packed
+// frames, 5-bit messages ("memories ... more optimized and more
+// filled"), 18 iterations at 200 MHz (Stratix II target).
+func HighSpeed() Config {
+	c := LowCost()
+	c.Format = fixed.Format{Bits: 5, Frac: 1}
+	c.Frames = 8
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Format.Validate(); err != nil {
+		return err
+	}
+	if err := c.Scale.Validate(); err != nil {
+		return err
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("hwsim: iterations %d < 1", c.Iterations)
+	}
+	if c.Frames < 1 || c.Frames > 64 {
+		return fmt.Errorf("hwsim: frame packing %d out of range [1,64]", c.Frames)
+	}
+	if c.ClockMHz <= 0 {
+		return fmt.Errorf("hwsim: clock %v MHz", c.ClockMHz)
+	}
+	if c.CNLatency < 0 || c.BNLatency < 0 || c.PhaseGap < 0 || c.SyndromeOverhead < 0 {
+		return fmt.Errorf("hwsim: negative pipeline parameters")
+	}
+	return nil
+}
+
+// bank is one message memory bank: depth B words of Frames lanes each.
+type bank struct {
+	// data[f*B + addr] is lane f's message at the given address.
+	data []int16
+	// acc counts accesses in the current cycle for conflict checking.
+	acc int
+}
+
+// edgeRef locates one circulant's bank and offset.
+type edgeRef struct {
+	bankID int
+	offset int
+}
+
+// Machine is an instance of the architecture bound to one code.
+type Machine struct {
+	cfg  Config
+	c    *code.Code
+	b    int // circulant size
+	rows int // block rows = CN units
+	cols int // block columns = BN units
+
+	banks []bank
+	// cnRefs[r] lists, in edge order, the banks holding check row r's
+	// messages (offset irrelevant in CN phase: address = t).
+	cnRefs [][]edgeRef
+	// bnRefs[c] lists the banks and offsets of block column c's edges.
+	bnRefs [][]edgeRef
+
+	// llrMem[c][f*B+t] is the channel LLR of bit node c·B+t, lane f.
+	llrMem [][]int16
+	// hardMem[f] is the hard-decision output memory of lane f.
+	hardMem []*bitvec.Vector
+
+	// scratch buffers sized to the widest unit.
+	cnBuf []int16
+	bnBuf []int16
+
+	// cycles accumulates the running cycle count of the last DecodeBatch.
+	cycles CycleBreakdown
+	// activity accumulates datapath event counts of the last DecodeBatch.
+	activity Activity
+}
+
+// CycleBreakdown itemizes where the clock cycles of one decode of F
+// packed frames went.
+type CycleBreakdown struct {
+	// CNPhase and BNPhase are issue+drain cycles summed over iterations.
+	CNPhase int
+	BNPhase int
+	// Control is controller turnaround (phase gaps).
+	Control int
+	// Output is the hard-decision writeback (B cycles, one sub-column
+	// slice per cycle).
+	Output int
+	// IterationsRun is the number of iterations actually executed (less
+	// than the configured period only with EarlyStop).
+	IterationsRun int
+	// Total is the complete decode latency in cycles for the batch.
+	Total int
+}
+
+// New builds a machine for a code. The code must be block-circulant with
+// the geometry recorded in its table.
+func New(c *code.Code, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := c.Table
+	m := &Machine{cfg: cfg, c: c, b: t.B, rows: t.BlockRows, cols: t.BlockCols}
+
+	// Allocate one bank per circulant one-offset.
+	type key struct{ r, c, o int }
+	bankOf := map[key]int{}
+	for r := 0; r < m.rows; r++ {
+		for cb := 0; cb < m.cols; cb++ {
+			for oi := range t.Offsets[r][cb] {
+				bankOf[key{r, cb, oi}] = len(m.banks)
+				m.banks = append(m.banks, bank{data: make([]int16, cfg.Frames*m.b)})
+			}
+		}
+	}
+	m.cnRefs = make([][]edgeRef, m.rows)
+	for r := 0; r < m.rows; r++ {
+		for cb := 0; cb < m.cols; cb++ {
+			for oi, o := range t.Offsets[r][cb] {
+				m.cnRefs[r] = append(m.cnRefs[r], edgeRef{bankID: bankOf[key{r, cb, oi}], offset: o})
+			}
+		}
+	}
+	m.bnRefs = make([][]edgeRef, m.cols)
+	for cb := 0; cb < m.cols; cb++ {
+		for r := 0; r < m.rows; r++ {
+			for oi, o := range t.Offsets[r][cb] {
+				m.bnRefs[cb] = append(m.bnRefs[cb], edgeRef{bankID: bankOf[key{r, cb, oi}], offset: o})
+			}
+		}
+	}
+	m.llrMem = make([][]int16, m.cols)
+	for cb := range m.llrMem {
+		m.llrMem[cb] = make([]int16, cfg.Frames*m.b)
+	}
+	m.hardMem = make([]*bitvec.Vector, cfg.Frames)
+	for f := range m.hardMem {
+		m.hardMem[f] = bitvec.New(c.N)
+	}
+	maxCN, maxBN := 0, 0
+	for r := range m.cnRefs {
+		if len(m.cnRefs[r]) > maxCN {
+			maxCN = len(m.cnRefs[r])
+		}
+	}
+	for cb := range m.bnRefs {
+		if len(m.bnRefs[cb]) > maxBN {
+			maxBN = len(m.bnRefs[cb])
+		}
+	}
+	m.cnBuf = make([]int16, maxCN)
+	m.bnBuf = make([]int16, maxBN)
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumCNUnits returns the number of check-node processing units.
+func (m *Machine) NumCNUnits() int { return m.rows }
+
+// NumBNUnits returns the number of bit-node processing units.
+func (m *Machine) NumBNUnits() int { return m.cols }
+
+// NumBanks returns the number of message memory banks.
+func (m *Machine) NumBanks() int { return len(m.banks) }
+
+// MessagesPerCycle returns the number of messages touched per clock:
+// the paper's 64 for the CCSDS geometry (16 BN × 4 or 2 CN × 32).
+func (m *Machine) MessagesPerCycle() int { return len(m.banks) }
+
+// DecodeBatch decodes cfg.Frames frames presented as quantized channel
+// LLR vectors (each of length N). It returns the hard decisions (one
+// vector per frame, aliasing machine state) and the cycle breakdown.
+// The schedule is fixed-iteration with no early stop, like the hardware.
+func (m *Machine) DecodeBatch(qllr [][]int16) ([]*bitvec.Vector, CycleBreakdown, error) {
+	if len(qllr) != m.cfg.Frames {
+		return nil, CycleBreakdown{}, fmt.Errorf("hwsim: %d frames for packing factor %d", len(qllr), m.cfg.Frames)
+	}
+	for f, l := range qllr {
+		if len(l) != m.c.N {
+			return nil, CycleBreakdown{}, fmt.Errorf("hwsim: frame %d has %d LLRs, want %d", f, len(l), m.c.N)
+		}
+	}
+	m.load(qllr)
+	m.cycles = CycleBreakdown{}
+	m.activity = Activity{}
+
+	for it := 0; it < m.cfg.Iterations; it++ {
+		m.cnPhase()
+		m.cycles.Control += m.cfg.PhaseGap
+		m.bnPhase(it == m.cfg.Iterations-1)
+		m.cycles.Control += m.cfg.PhaseGap
+		if m.cfg.EarlyStop {
+			m.cycles.Control += m.cfg.SyndromeOverhead
+			m.cycles.IterationsRun = it + 1
+			if m.allFramesClean() {
+				break
+			}
+		} else {
+			m.cycles.IterationsRun = it + 1
+		}
+	}
+	// Output streaming: one sub-column slice (cols bits × F frames) per
+	// cycle, B cycles. The hard decisions were latched during the last
+	// BN phase.
+	m.cycles.Output = m.b
+	m.cycles.Total = m.cycles.CNPhase + m.cycles.BNPhase + m.cycles.Control + m.cycles.Output
+	return m.hardMem, m.cycles, nil
+}
+
+// load initializes message banks and LLR memory from the channel LLRs:
+// every edge message starts as its bit node's channel LLR (the paper's
+// first step: "all messages are sent from all BN nodes ... to all CN
+// nodes"). Loading overlaps the previous frame's decode through the
+// double-buffered input memory, so it contributes no cycles here.
+func (m *Machine) load(qllr [][]int16) {
+	b := m.b
+	for cb := 0; cb < m.cols; cb++ {
+		for f := 0; f < m.cfg.Frames; f++ {
+			base := f * b
+			for t := 0; t < b; t++ {
+				m.llrMem[cb][base+t] = qllr[f][cb*b+t]
+			}
+		}
+	}
+	for cb := 0; cb < m.cols; cb++ {
+		for _, ref := range m.bnRefs[cb] {
+			bk := &m.banks[ref.bankID]
+			for f := 0; f < m.cfg.Frames; f++ {
+				base := f * b
+				for t := 0; t < b; t++ {
+					// Bit node c·B+t stores into address (t − o) mod B.
+					bk.data[base+((t-ref.offset)%b+b)%b] = m.llrMem[cb][base+t]
+				}
+			}
+		}
+	}
+}
+
+// cnPhase executes B issue cycles (+ drain) of check-node processing.
+func (m *Machine) cnPhase() {
+	b := m.b
+	for t := 0; t < b; t++ {
+		if m.cfg.CheckConflicts {
+			m.resetAccess()
+		}
+		for r := 0; r < m.rows; r++ {
+			refs := m.cnRefs[r]
+			in := m.cnBuf[:len(refs)]
+			for f := 0; f < m.cfg.Frames; f++ {
+				base := f * b
+				for k, ref := range refs {
+					in[k] = m.banks[ref.bankID].data[base+t]
+				}
+				fixed.CNMinSum(in, in, m.cfg.Scale)
+				for k, ref := range refs {
+					m.banks[ref.bankID].data[base+t] = in[k]
+				}
+			}
+			m.activity.BankReads += int64(len(refs))
+			m.activity.BankWrites += int64(len(refs))
+			m.activity.CNUpdates += int64(m.cfg.Frames)
+			if m.cfg.CheckConflicts {
+				for _, ref := range refs {
+					m.banks[ref.bankID].acc++
+				}
+			}
+		}
+		if m.cfg.CheckConflicts {
+			m.assertSingleAccess("CN", t)
+		}
+	}
+	m.cycles.CNPhase += b + m.cfg.CNLatency
+}
+
+// bnPhase executes B issue cycles (+ drain) of bit-node processing; on
+// the final iteration it also latches hard decisions into the output
+// memory.
+func (m *Machine) bnPhase(last bool) {
+	b := m.b
+	for t := 0; t < b; t++ {
+		if m.cfg.CheckConflicts {
+			m.resetAccess()
+		}
+		for cb := 0; cb < m.cols; cb++ {
+			refs := m.bnRefs[cb]
+			in := m.bnBuf[:len(refs)]
+			for f := 0; f < m.cfg.Frames; f++ {
+				base := f * b
+				llr := m.llrMem[cb][base+t]
+				for k, ref := range refs {
+					in[k] = m.banks[ref.bankID].data[base+((t-ref.offset)%b+b)%b]
+				}
+				post := fixed.BNUpdate(llr, in, in, m.cfg.Format)
+				for k, ref := range refs {
+					m.banks[ref.bankID].data[base+((t-ref.offset)%b+b)%b] = in[k]
+				}
+				if post < 0 {
+					m.hardMem[f].Set(cb*b + t)
+				} else {
+					m.hardMem[f].Clear(cb*b + t)
+				}
+			}
+			m.activity.BankReads += int64(len(refs))
+			m.activity.BankWrites += int64(len(refs))
+			m.activity.LLRReads++
+			m.activity.BNUpdates += int64(m.cfg.Frames)
+			m.activity.OutputWrites += int64(m.cfg.Frames)
+			if m.cfg.CheckConflicts {
+				for _, ref := range refs {
+					m.banks[ref.bankID].acc++
+				}
+			}
+		}
+		if m.cfg.CheckConflicts {
+			m.assertSingleAccess("BN", t)
+		}
+	}
+	_ = last
+	m.cycles.BNPhase += b + m.cfg.BNLatency
+}
+
+// allFramesClean evaluates every parity check on the latched hard
+// decisions of every packed frame.
+func (m *Machine) allFramesClean() bool {
+	for f := 0; f < m.cfg.Frames; f++ {
+		hard := m.hardMem[f]
+		for _, idx := range m.c.RowIdx {
+			parity := 0
+			for _, j := range idx {
+				parity ^= hard.Bit(int(j))
+			}
+			if parity == 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *Machine) resetAccess() {
+	for i := range m.banks {
+		m.banks[i].acc = 0
+	}
+}
+
+// assertSingleAccess panics if any bank was touched other than exactly
+// once in the cycle — the property the QC storage scheme guarantees.
+func (m *Machine) assertSingleAccess(phase string, t int) {
+	for i := range m.banks {
+		if m.banks[i].acc != 1 {
+			panic(fmt.Sprintf("hwsim: %s phase cycle %d: bank %d accessed %d times", phase, t, i, m.banks[i].acc))
+		}
+	}
+}
+
+// CyclesPerBatch returns the decode latency in cycles for one batch of
+// cfg.Frames frames, without running data through the machine:
+// iterations × (CN issue+drain + BN issue+drain + 2 gaps) + output.
+func (m *Machine) CyclesPerBatch() int {
+	perIter := (m.b + m.cfg.CNLatency) + (m.b + m.cfg.BNLatency) + 2*m.cfg.PhaseGap
+	return m.cfg.Iterations*perIter + m.b
+}
+
+// RAM describes one physical memory of the machine, for the resource
+// model.
+type RAM struct {
+	// Name identifies the memory's role.
+	Name string
+	// Words is the depth, WidthBits the word width, Instances the count.
+	Words, WidthBits, Instances int
+}
+
+// Bits returns the total storage of this RAM group.
+func (r RAM) Bits() int { return r.Words * r.WidthBits * r.Instances }
+
+// Memories itemizes the machine's storage: message banks, channel LLR
+// memory, and the double-buffered I/O memories. This inventory is what
+// the resource model (and Tables 2–3) count.
+func (m *Machine) Memories() []RAM {
+	q := m.cfg.Format.Bits
+	f := m.cfg.Frames
+	return []RAM{
+		{Name: "message banks", Words: m.b, WidthBits: q * f, Instances: len(m.banks)},
+		{Name: "channel LLR", Words: m.b, WidthBits: q * f, Instances: m.cols},
+		{Name: "input buffer", Words: m.b, WidthBits: q * f, Instances: m.cols},
+		{Name: "output buffer", Words: m.b, WidthBits: 1 * f, Instances: m.cols},
+	}
+}

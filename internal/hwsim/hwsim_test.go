@@ -1,0 +1,462 @@
+package hwsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/rng"
+)
+
+func smallCode(t testing.TB) *code.Code {
+	t.Helper()
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// smallConfig shrinks the paper's low-cost config for the test code.
+func smallConfig(frames, iters int) Config {
+	c := LowCost()
+	c.Frames = frames
+	c.Iterations = iters
+	c.CheckConflicts = true
+	return c
+}
+
+func noisyFrames(t testing.TB, c *code.Code, f fixed.Format, n int, seed uint64) ([][]int16, []*bitvec.Vector) {
+	t.Helper()
+	ch, err := channel.NewAWGN(4.5, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	qllrs := make([][]int16, n)
+	cws := make([]*bitvec.Vector, n)
+	for i := 0; i < n; i++ {
+		info := bitvec.New(c.K)
+		for j := 0; j < c.K; j++ {
+			if r.Bool() {
+				info.Set(j)
+			}
+		}
+		cws[i] = c.Encode(info)
+		qllrs[i] = f.QuantizeSlice(nil, ch.CorruptCodeword(cws[i], r))
+	}
+	return qllrs, cws
+}
+
+func TestMachineGeometry(t *testing.T) {
+	c := smallCode(t)
+	m, err := New(c, smallConfig(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCNUnits() != 2 {
+		t.Errorf("CN units = %d, want 2", m.NumCNUnits())
+	}
+	if m.NumBNUnits() != 4 {
+		t.Errorf("BN units = %d, want 4", m.NumBNUnits())
+	}
+	// 2×4 circulants of weight 2 = 16 banks = messages per cycle.
+	if m.NumBanks() != 16 {
+		t.Errorf("banks = %d, want 16", m.NumBanks())
+	}
+	if m.MessagesPerCycle() != 16 {
+		t.Errorf("messages/cycle = %d, want 16", m.MessagesPerCycle())
+	}
+}
+
+// TestBitExactWithReference is the central hwsim test: the machine and
+// the fixed-point reference decoder must produce identical hard
+// decisions on identical quantized inputs, for both the single-frame
+// and the frame-packed configurations.
+func TestBitExactWithReference(t *testing.T) {
+	c := smallCode(t)
+	for _, frames := range []int{1, 2, 8} {
+		cfg := smallConfig(frames, 12)
+		m, err := New(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := fixed.NewDecoder(c, fixed.Params{
+			Format:           cfg.Format,
+			Scale:            cfg.Scale,
+			MaxIterations:    cfg.Iterations,
+			DisableEarlyStop: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qllrs, _ := noisyFrames(t, c, cfg.Format, frames, uint64(100+frames))
+		hard, _, err := m.DecodeBatch(qllrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < frames; f++ {
+			res := ref.DecodeQ(qllrs[f])
+			if !hard[f].Equal(res.Bits) {
+				t.Fatalf("frames=%d: machine and reference disagree on frame %d", frames, f)
+			}
+		}
+	}
+}
+
+func TestMachineDecodesCleanFrames(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(2, 8)
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	qllrs := make([][]int16, 2)
+	cws := make([]*bitvec.Vector, 2)
+	for f := range qllrs {
+		info := bitvec.New(c.K)
+		for j := 0; j < c.K; j++ {
+			if r.Bool() {
+				info.Set(j)
+			}
+		}
+		cws[f] = c.Encode(info)
+		q := make([]int16, c.N)
+		for j := 0; j < c.N; j++ {
+			if cws[f].Bit(j) == 0 {
+				q[j] = cfg.Format.Max()
+			} else {
+				q[j] = -cfg.Format.Max()
+			}
+		}
+		qllrs[f] = q
+	}
+	hard, _, err := m.DecodeBatch(qllrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range hard {
+		if !hard[f].Equal(cws[f]) {
+			t.Fatalf("clean frame %d decoded wrong", f)
+		}
+	}
+}
+
+func TestCycleBreakdown(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(1, 10)
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qllrs, _ := noisyFrames(t, c, cfg.Format, 1, 9)
+	_, cy, err := m.DecodeBatch(qllrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := c.Table.B
+	wantCN := cfg.Iterations * (b + cfg.CNLatency)
+	wantBN := cfg.Iterations * (b + cfg.BNLatency)
+	wantCtl := cfg.Iterations * 2 * cfg.PhaseGap
+	if cy.CNPhase != wantCN {
+		t.Errorf("CNPhase = %d, want %d", cy.CNPhase, wantCN)
+	}
+	if cy.BNPhase != wantBN {
+		t.Errorf("BNPhase = %d, want %d", cy.BNPhase, wantBN)
+	}
+	if cy.Control != wantCtl {
+		t.Errorf("Control = %d, want %d", cy.Control, wantCtl)
+	}
+	if cy.Output != b {
+		t.Errorf("Output = %d, want %d", cy.Output, b)
+	}
+	if cy.Total != wantCN+wantBN+wantCtl+b {
+		t.Errorf("Total = %d inconsistent", cy.Total)
+	}
+	if got := m.CyclesPerBatch(); got != cy.Total {
+		t.Errorf("CyclesPerBatch = %d, simulated %d", got, cy.Total)
+	}
+}
+
+// TestFramePackingKeepsCycles verifies the paper's genericity claim: the
+// 8-frame machine needs the same cycle count as the 1-frame machine, so
+// throughput scales by the packing factor.
+func TestFramePackingKeepsCycles(t *testing.T) {
+	c := smallCode(t)
+	m1, err := New(c, smallConfig(1, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8, err := New(c, smallConfig(8, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.CyclesPerBatch() != m8.CyclesPerBatch() {
+		t.Fatalf("cycles differ: 1-frame %d, 8-frame %d", m1.CyclesPerBatch(), m8.CyclesPerBatch())
+	}
+	q1, _ := noisyFrames(t, c, m1.cfg.Format, 1, 5)
+	q8, _ := noisyFrames(t, c, m8.cfg.Format, 8, 6)
+	_, cy1, err := m1.DecodeBatch(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cy8, err := m8.DecodeBatch(q8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cy1.Total != cy8.Total {
+		t.Fatalf("simulated cycles differ: %d vs %d", cy1.Total, cy8.Total)
+	}
+}
+
+// TestConflictFreedomRandomTables is the property test of the banking
+// scheme: for arbitrary 4-cycle-free QC tables the access pattern must
+// touch every bank exactly once per cycle (the machine panics
+// otherwise).
+func TestConflictFreedomRandomTables(t *testing.T) {
+	f := func(seed uint64) bool {
+		c, err := code.SmallTestCode(2, 3, 31, seed%1000)
+		if err != nil {
+			return false
+		}
+		cfg := smallConfig(1, 2)
+		m, err := New(c, cfg)
+		if err != nil {
+			return false
+		}
+		q := make([]int16, c.N)
+		for i := range q {
+			q[i] = int16(int(seed+uint64(i))%15 - 7)
+		}
+		_, _, err = m.DecodeBatch([][]int16{q})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeBatchValidation(t *testing.T) {
+	c := smallCode(t)
+	m, err := New(c, smallConfig(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.DecodeBatch(make([][]int16, 1)); err == nil {
+		t.Error("wrong frame count accepted")
+	}
+	bad := [][]int16{make([]int16, c.N), make([]int16, c.N-1)}
+	if _, _, err := m.DecodeBatch(bad); err == nil {
+		t.Error("wrong LLR length accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := smallCode(t)
+	bad := []Config{
+		{},
+		func() Config { c := LowCost(); c.Iterations = 0; return c }(),
+		func() Config { c := LowCost(); c.Frames = 0; return c }(),
+		func() Config { c := LowCost(); c.Frames = 100; return c }(),
+		func() Config { c := LowCost(); c.ClockMHz = 0; return c }(),
+		func() Config { c := LowCost(); c.CNLatency = -1; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := New(c, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMemoriesInventory(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(1, 18)
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rams := m.Memories()
+	if len(rams) == 0 {
+		t.Fatal("no memories reported")
+	}
+	var total int
+	var msgBits int
+	for _, r := range rams {
+		if r.Words <= 0 || r.WidthBits <= 0 || r.Instances <= 0 {
+			t.Errorf("degenerate RAM %+v", r)
+		}
+		total += r.Bits()
+		if r.Name == "message banks" {
+			msgBits = r.Bits()
+		}
+	}
+	// Message storage = edges × q bits × frames.
+	want := c.NumEdges() * cfg.Format.Bits * cfg.Frames
+	if msgBits != want {
+		t.Errorf("message bank bits = %d, want %d", msgBits, want)
+	}
+	if total <= msgBits {
+		t.Error("total memory does not include LLR/I-O buffers")
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	lc := LowCost()
+	if err := lc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if lc.Frames != 1 || lc.Iterations != 18 || lc.ClockMHz != 200 || lc.Format.Bits != 6 {
+		t.Errorf("low-cost config %+v", lc)
+	}
+	hs := HighSpeed()
+	if err := hs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if hs.Frames != 8 || hs.Format.Bits != 5 {
+		t.Errorf("high-speed config %+v", hs)
+	}
+}
+
+// TestCCSDSMachineFullSize runs one batch through the full 8176-bit
+// machine in both configurations and checks bit-exactness against the
+// reference decoder.
+func TestCCSDSMachineFullSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size machine decode in -short mode")
+	}
+	c := code.MustCCSDS()
+	for _, cfg := range []Config{LowCost(), HighSpeed()} {
+		cfg.Iterations = 4 // keep the test fast; iteration count is orthogonal
+		cfg.CheckConflicts = true
+		m, err := New(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.MessagesPerCycle() != 64 {
+			t.Errorf("messages/cycle = %d, want 64 (paper: 16 BN × 4 = 2 CN × 32)", m.MessagesPerCycle())
+		}
+		ref, err := fixed.NewDecoder(c, fixed.Params{
+			Format: cfg.Format, Scale: cfg.Scale,
+			MaxIterations: cfg.Iterations, DisableEarlyStop: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qllrs, _ := noisyFrames(t, c, cfg.Format, cfg.Frames, 42)
+		hard, cy, err := m.DecodeBatch(qllrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := range hard {
+			res := ref.DecodeQ(qllrs[f])
+			if !hard[f].Equal(res.Bits) {
+				t.Fatalf("frames=%d: full-size machine disagrees with reference on frame %d", cfg.Frames, f)
+			}
+		}
+		if cy.Total != m.CyclesPerBatch() {
+			t.Errorf("cycles %d != analytic %d", cy.Total, m.CyclesPerBatch())
+		}
+	}
+}
+
+func TestEarlyStopSavesCycles(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(1, 18)
+	cfg.EarlyStop = true
+	cfg.SyndromeOverhead = 4
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean frame: must converge after the first iterations, far below
+	// the fixed-period cycle count.
+	q := make([]int16, c.N)
+	info := bitvec.New(c.K)
+	cw := c.Encode(info)
+	for j := 0; j < c.N; j++ {
+		if cw.Bit(j) == 0 {
+			q[j] = cfg.Format.Max()
+		} else {
+			q[j] = -cfg.Format.Max()
+		}
+	}
+	hard, cy, err := m.DecodeBatch([][]int16{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hard[0].Equal(cw) {
+		t.Fatal("clean early-stop decode wrong")
+	}
+	if cy.IterationsRun != 1 {
+		t.Errorf("IterationsRun = %d, want 1", cy.IterationsRun)
+	}
+	fixedCfg := smallConfig(1, 18)
+	mf, err := New(c, fixedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cy.Total >= mf.CyclesPerBatch() {
+		t.Errorf("early stop used %d cycles, fixed period %d", cy.Total, mf.CyclesPerBatch())
+	}
+}
+
+func TestEarlyStopBatchWaitsForWorstFrame(t *testing.T) {
+	// In a packed batch the controller can only stop when EVERY frame is
+	// clean: one hard frame holds the batch.
+	c := smallCode(t)
+	cfg := smallConfig(2, 18)
+	cfg.EarlyStop = true
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame 0 clean, frame 1 noisy.
+	clean := make([]int16, c.N)
+	for j := range clean {
+		clean[j] = cfg.Format.Max()
+	}
+	noisy, _ := noisyFrames(t, c, cfg.Format, 1, 77)
+	hard, cy, err := m.DecodeBatch([][]int16{clean, noisy[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = hard
+	if cy.IterationsRun < 2 {
+		t.Errorf("batch stopped after %d iterations despite a noisy frame", cy.IterationsRun)
+	}
+	// Single clean frame alone stops in 1 iteration.
+	cfg1 := smallConfig(1, 18)
+	cfg1.EarlyStop = true
+	m1, err := New(c, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cy1, err := m1.DecodeBatch([][]int16{clean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cy1.IterationsRun != 1 {
+		t.Errorf("clean solo frame ran %d iterations", cy1.IterationsRun)
+	}
+}
+
+func TestFixedPeriodReportsIterationsRun(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(1, 7)
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := noisyFrames(t, c, cfg.Format, 1, 3)
+	_, cy, err := m.DecodeBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cy.IterationsRun != 7 {
+		t.Errorf("IterationsRun = %d, want 7", cy.IterationsRun)
+	}
+}

@@ -1,0 +1,79 @@
+package hwsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteVCDStructure(t *testing.T) {
+	c := smallCode(t)
+	m, err := New(c, smallConfig(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteVCD(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$var wire 2 p phase $end",
+		"$var wire 16 s subrow $end",
+		"$enddefinitions $end",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// Full schedule: load + 2 iterations × 2 phases + output = 6 phase
+	// segments of B cycles each → B×6 timestamps plus the final marker.
+	stamps := strings.Count(out, "#")
+	want := c.Table.B*6 + 1
+	if stamps != want {
+		t.Errorf("%d timestamps, want %d", stamps, want)
+	}
+	// Phase signal takes all four values.
+	for _, code := range []string{"b00 p", "b01 p", "b10 p", "b11 p"} {
+		if !strings.Contains(out, code) {
+			t.Errorf("phase value %q never traced", code)
+		}
+	}
+}
+
+func TestWriteVCDTruncated(t *testing.T) {
+	c := smallCode(t)
+	m, err := New(c, smallConfig(1, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteVCD(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if stamps := strings.Count(buf.String(), "#"); stamps != 11 {
+		t.Errorf("truncated trace has %d timestamps, want 11", stamps)
+	}
+	if err := m.WriteVCD(&buf, -1); err == nil {
+		t.Error("negative limit accepted")
+	}
+}
+
+func TestWriteVCDDeterministic(t *testing.T) {
+	c := smallCode(t)
+	m, err := New(c, smallConfig(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := m.WriteVCD(&a, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteVCD(&b, 50); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("VCD not deterministic")
+	}
+}

@@ -1,0 +1,453 @@
+package ldpc
+
+import (
+	"fmt"
+	"math"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+)
+
+// Algorithm selects the check-node update rule.
+type Algorithm int
+
+const (
+	// SumProduct is exact belief propagation (the "BP/SP" algorithm of
+	// paper Section 2.1) using the numerically stable φ-function form.
+	SumProduct Algorithm = iota
+	// MinSum is the plain sign-min simplification (α = 1).
+	MinSum
+	// NormalizedMinSum is the paper's decoder: sign-min with the
+	// normalization factor α > 1 of equation (2), optionally fine-scaled
+	// per iteration.
+	NormalizedMinSum
+	// OffsetMinSum subtracts a constant β from the minimum magnitude
+	// (Chen & Fossorier's other improved BP-based variant).
+	OffsetMinSum
+)
+
+// String returns the conventional name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case SumProduct:
+		return "sum-product"
+	case MinSum:
+		return "min-sum"
+	case NormalizedMinSum:
+		return "normalized-min-sum"
+	case OffsetMinSum:
+		return "offset-min-sum"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Schedule selects the message-passing order within an iteration.
+type Schedule int
+
+const (
+	// Flooding is the classical four-step schedule the paper describes:
+	// all BN→CN messages, then all CN updates, then all CN→BN messages,
+	// then all BN updates.
+	Flooding Schedule = iota
+	// Layered processes check nodes sequentially against a running
+	// posterior, converging in roughly half the iterations.
+	Layered
+)
+
+func (s Schedule) String() string {
+	if s == Layered {
+		return "layered"
+	}
+	return "flooding"
+}
+
+// Options configures a Decoder.
+type Options struct {
+	Algorithm Algorithm
+	Schedule  Schedule
+	// MaxIterations is the decoding period (paper Table 1 uses 10, 18
+	// and 50). Must be >= 1.
+	MaxIterations int
+	// Alpha is the normalization factor of equation (2) for
+	// NormalizedMinSum, used when AlphaSchedule is nil. Messages are
+	// divided by Alpha; values slightly above 1 compensate the min-sum
+	// overestimate. Ignored by other algorithms.
+	Alpha float64
+	// AlphaSchedule optionally gives a fine-scaled per-iteration factor
+	// (paper Section 5); entry i is the divisor for iteration i, and the
+	// last entry is reused if the schedule is shorter than
+	// MaxIterations.
+	AlphaSchedule []float64
+	// Beta is the offset for OffsetMinSum.
+	Beta float64
+	// DisableEarlyStop forces all MaxIterations to run even after the
+	// syndrome reaches zero. The hardware architecture runs a fixed
+	// number of iterations (throughput in Table 1 is deterministic), so
+	// the architecture model sets this.
+	DisableEarlyStop bool
+	// TraceSyndrome records the number of unsatisfied checks after each
+	// iteration (SyndromeTrace), the convergence trajectory behind the
+	// paper's "very fast iterative convergence" claim. Costs one full
+	// syndrome evaluation per iteration when early stop is disabled.
+	TraceSyndrome bool
+}
+
+// Result reports the outcome of a decode.
+type Result struct {
+	// Bits is the hard decision for all N codeword bits.
+	Bits *bitvec.Vector
+	// Iterations is the number of iterations executed.
+	Iterations int
+	// Converged reports whether the syndrome was zero at exit.
+	Converged bool
+}
+
+// Decoder is a message-passing decoder bound to one code. A Decoder is
+// not safe for concurrent use; create one per goroutine (construction is
+// cheap — the graph is shared).
+type Decoder struct {
+	g    *Graph
+	c    *code.Code
+	opts Options
+
+	// Message state, indexed by edge.
+	vc []float64 // variable→check
+	cv []float64 // check→variable
+	// posterior per variable node.
+	post []float64
+	hard *bitvec.Vector
+	// trace holds per-iteration unsatisfied-check counts when
+	// Options.TraceSyndrome is set.
+	trace []int
+}
+
+// NewDecoder builds a decoder over the code's Tanner graph.
+func NewDecoder(c *code.Code, opts Options) (*Decoder, error) {
+	return NewDecoderGraph(NewGraph(c), c, opts)
+}
+
+// NewDecoderGraph builds a decoder over a pre-built (shareable) graph.
+func NewDecoderGraph(g *Graph, c *code.Code, opts Options) (*Decoder, error) {
+	if opts.MaxIterations < 1 {
+		return nil, fmt.Errorf("ldpc: MaxIterations %d < 1", opts.MaxIterations)
+	}
+	switch opts.Algorithm {
+	case SumProduct, MinSum, NormalizedMinSum, OffsetMinSum:
+	default:
+		return nil, fmt.Errorf("ldpc: unknown algorithm %d", int(opts.Algorithm))
+	}
+	if opts.Algorithm == NormalizedMinSum {
+		if opts.AlphaSchedule == nil && opts.Alpha <= 0 {
+			return nil, fmt.Errorf("ldpc: NormalizedMinSum needs Alpha > 0 or an AlphaSchedule")
+		}
+		for i, a := range opts.AlphaSchedule {
+			if a <= 0 {
+				return nil, fmt.Errorf("ldpc: AlphaSchedule[%d] = %v <= 0", i, a)
+			}
+		}
+	}
+	if opts.Algorithm == OffsetMinSum && opts.Beta < 0 {
+		return nil, fmt.Errorf("ldpc: negative Beta %v", opts.Beta)
+	}
+	return &Decoder{
+		g: g, c: c, opts: opts,
+		vc:   make([]float64, g.E),
+		cv:   make([]float64, g.E),
+		post: make([]float64, g.N),
+		hard: bitvec.New(g.N),
+	}, nil
+}
+
+// Options returns the decoder configuration.
+func (d *Decoder) Options() Options { return d.opts }
+
+// alphaFor returns the normalization divisor for iteration it.
+func (d *Decoder) alphaFor(it int) float64 {
+	if s := d.opts.AlphaSchedule; len(s) > 0 {
+		if it < len(s) {
+			return s[it]
+		}
+		return s[len(s)-1]
+	}
+	return d.opts.Alpha
+}
+
+// Decode runs message passing on channel LLRs (length N) and returns the
+// hard decision. The returned Bits vector is reused across calls to the
+// same Decoder; clone it to retain.
+func (d *Decoder) Decode(llr []float64) (Result, error) {
+	if len(llr) != d.g.N {
+		return Result{}, fmt.Errorf("ldpc: %d LLRs for code length %d", len(llr), d.g.N)
+	}
+	for j, v := range llr {
+		if math.IsNaN(v) {
+			return Result{}, fmt.Errorf("ldpc: NaN LLR at position %d", j)
+		}
+	}
+	if d.opts.Schedule == Layered {
+		return d.decodeLayered(llr), nil
+	}
+	return d.decodeFlooding(llr), nil
+}
+
+// decodeFlooding runs the classical schedule of paper Section 2.1.
+func (d *Decoder) decodeFlooding(llr []float64) Result {
+	g := d.g
+	d.trace = d.trace[:0]
+	// Step 0: BN nodes send the channel LLR on every edge.
+	for e := 0; e < g.E; e++ {
+		d.cv[e] = 0
+		d.vc[e] = llr[g.EdgeVN[e]]
+	}
+	it := 0
+	converged := false
+	for it = 0; it < d.opts.MaxIterations; it++ {
+		// Steps 1-3: CN processing and message return, equation (1)-(2).
+		d.checkNodeUpdate(d.alphaFor(it))
+		// Step 4: BN processing, equation (3), producing both the next
+		// vc messages and the posterior for hard decision.
+		for j := 0; j < g.N; j++ {
+			sum := llr[j]
+			for k := g.VNOff[j]; k < g.VNOff[j+1]; k++ {
+				sum += d.cv[g.VNEdges[k]]
+			}
+			d.post[j] = sum
+			for k := g.VNOff[j]; k < g.VNOff[j+1]; k++ {
+				e := g.VNEdges[k]
+				d.vc[e] = sum - d.cv[e]
+			}
+		}
+		d.harden()
+		if d.opts.TraceSyndrome {
+			d.trace = append(d.trace, d.syndromeWeight())
+		}
+		if !d.opts.DisableEarlyStop && d.syndromeZero() {
+			converged = true
+			it++
+			break
+		}
+	}
+	if d.opts.DisableEarlyStop || !converged {
+		converged = d.syndromeZero()
+	}
+	return Result{Bits: d.hard, Iterations: it, Converged: converged}
+}
+
+// decodeLayered processes check nodes one at a time against a running
+// posterior (turbo-decoding message passing).
+func (d *Decoder) decodeLayered(llr []float64) Result {
+	g := d.g
+	d.trace = d.trace[:0]
+	copy(d.post, llr)
+	for e := range d.cv {
+		d.cv[e] = 0
+	}
+	scratchIdx := make([]int32, 0, 64)
+	it := 0
+	converged := false
+	for it = 0; it < d.opts.MaxIterations; it++ {
+		alpha := d.alphaFor(it)
+		for i := 0; i < g.M; i++ {
+			lo, hi := g.CNOff[i], g.CNOff[i+1]
+			scratchIdx = scratchIdx[:0]
+			// Peel old contribution and form extrinsic inputs.
+			for e := lo; e < hi; e++ {
+				d.vc[e] = d.post[g.EdgeVN[e]] - d.cv[e]
+				scratchIdx = append(scratchIdx, e)
+			}
+			d.updateOneCheck(int(lo), int(hi), alpha)
+			for _, e := range scratchIdx {
+				d.post[g.EdgeVN[e]] = d.vc[e] + d.cv[e]
+			}
+		}
+		d.harden()
+		if d.opts.TraceSyndrome {
+			d.trace = append(d.trace, d.syndromeWeight())
+		}
+		if !d.opts.DisableEarlyStop && d.syndromeZero() {
+			converged = true
+			it++
+			break
+		}
+	}
+	if d.opts.DisableEarlyStop || !converged {
+		converged = d.syndromeZero()
+	}
+	return Result{Bits: d.hard, Iterations: it, Converged: converged}
+}
+
+// harden writes the sign of the posterior into the hard-decision vector.
+func (d *Decoder) harden() {
+	d.hard.Zero()
+	for j, p := range d.post {
+		if p < 0 {
+			d.hard.Set(j)
+		}
+	}
+}
+
+// syndromeZero evaluates all parity checks on the current hard decision.
+func (d *Decoder) syndromeZero() bool {
+	g := d.g
+	for i := 0; i < g.M; i++ {
+		parity := 0
+		for e := g.CNOff[i]; e < g.CNOff[i+1]; e++ {
+			parity ^= d.hard.Bit(int(g.EdgeVN[e]))
+		}
+		if parity == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// syndromeWeight counts unsatisfied parity checks on the current hard
+// decision.
+func (d *Decoder) syndromeWeight() int {
+	g := d.g
+	w := 0
+	for i := 0; i < g.M; i++ {
+		parity := 0
+		for e := g.CNOff[i]; e < g.CNOff[i+1]; e++ {
+			parity ^= d.hard.Bit(int(g.EdgeVN[e]))
+		}
+		w += parity
+	}
+	return w
+}
+
+// SyndromeTrace returns the per-iteration unsatisfied-check counts of
+// the last decode (empty unless Options.TraceSyndrome). The slice
+// aliases decoder state.
+func (d *Decoder) SyndromeTrace() []int { return d.trace }
+
+// checkNodeUpdate applies the configured CN rule to every check node.
+func (d *Decoder) checkNodeUpdate(alpha float64) {
+	g := d.g
+	for i := 0; i < g.M; i++ {
+		d.updateOneCheck(int(g.CNOff[i]), int(g.CNOff[i+1]), alpha)
+	}
+}
+
+// updateOneCheck computes cv messages for the edges [lo, hi) of one
+// check node from the vc messages on the same edges.
+func (d *Decoder) updateOneCheck(lo, hi int, alpha float64) {
+	switch d.opts.Algorithm {
+	case SumProduct:
+		d.cnSumProduct(lo, hi)
+	case MinSum:
+		d.cnMinSum(lo, hi, 1)
+	case NormalizedMinSum:
+		d.cnMinSum(lo, hi, alpha)
+	case OffsetMinSum:
+		d.cnOffsetMinSum(lo, hi)
+	}
+}
+
+// phi is the involution φ(x) = −ln(tanh(x/2)) used by the stable
+// sum-product CN update. φ(φ(x)) = x for x > 0.
+func phi(x float64) float64 {
+	// Clamp to keep tanh away from 0 and 1; beyond these the message is
+	// saturated anyway.
+	if x < 1e-12 {
+		x = 1e-12
+	}
+	if x > 40 {
+		return 2 * math.Exp(-x) // asymptotic form, avoids log(1) = 0 rounding
+	}
+	return -math.Log(math.Tanh(x / 2))
+}
+
+// cnSumProduct: cv_e = sign · φ(Σ_{e'≠e} φ(|vc_{e'}|)).
+func (d *Decoder) cnSumProduct(lo, hi int) {
+	sum := 0.0
+	signProd := 1.0
+	for e := lo; e < hi; e++ {
+		x := d.vc[e]
+		if x < 0 {
+			signProd = -signProd
+			x = -x
+		}
+		sum += phi(x)
+	}
+	for e := lo; e < hi; e++ {
+		x := d.vc[e]
+		s := signProd
+		if x < 0 {
+			s = -s
+			x = -x
+		}
+		d.cv[e] = s * phi(sum-phi(x))
+	}
+}
+
+// cnMinSum implements equation (2): sign product times the minimum
+// magnitude of the other inputs, divided by α. Computed with the
+// standard min1/min2 trick.
+func (d *Decoder) cnMinSum(lo, hi int, alpha float64) {
+	min1, min2 := math.Inf(1), math.Inf(1)
+	minPos := -1
+	signProd := 1.0
+	for e := lo; e < hi; e++ {
+		x := d.vc[e]
+		if x < 0 {
+			signProd = -signProd
+			x = -x
+		}
+		if x < min1 {
+			min2, min1, minPos = min1, x, e
+		} else if x < min2 {
+			min2 = x
+		}
+	}
+	inv := 1 / alpha
+	for e := lo; e < hi; e++ {
+		m := min1
+		if e == minPos {
+			m = min2
+		}
+		s := signProd
+		if d.vc[e] < 0 {
+			s = -s
+		}
+		d.cv[e] = s * m * inv
+	}
+}
+
+// cnOffsetMinSum: like min-sum with magnitude max(m − β, 0).
+func (d *Decoder) cnOffsetMinSum(lo, hi int) {
+	min1, min2 := math.Inf(1), math.Inf(1)
+	minPos := -1
+	signProd := 1.0
+	for e := lo; e < hi; e++ {
+		x := d.vc[e]
+		if x < 0 {
+			signProd = -signProd
+			x = -x
+		}
+		if x < min1 {
+			min2, min1, minPos = min1, x, e
+		} else if x < min2 {
+			min2 = x
+		}
+	}
+	for e := lo; e < hi; e++ {
+		m := min1
+		if e == minPos {
+			m = min2
+		}
+		m -= d.opts.Beta
+		if m < 0 {
+			m = 0
+		}
+		s := signProd
+		if d.vc[e] < 0 {
+			s = -s
+		}
+		d.cv[e] = s * m
+	}
+}
+
+// Posterior returns the per-bit posterior LLRs of the last decode. The
+// slice aliases decoder state.
+func (d *Decoder) Posterior() []float64 { return d.post }

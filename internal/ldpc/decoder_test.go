@@ -1,0 +1,495 @@
+package ldpc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/rng"
+)
+
+func smallCode(t *testing.T) *code.Code {
+	t.Helper()
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randomCodeword(t *testing.T, c *code.Code, r *rng.RNG) *bitvec.Vector {
+	t.Helper()
+	info := bitvec.New(c.K)
+	for i := 0; i < c.K; i++ {
+		if r.Bool() {
+			info.Set(i)
+		}
+	}
+	return c.Encode(info)
+}
+
+func TestGraphStructure(t *testing.T) {
+	c := smallCode(t)
+	g := NewGraph(c)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != c.N || g.M != c.M || g.E != c.NumEdges() {
+		t.Fatalf("graph dims (%d,%d,%d), want (%d,%d,%d)", g.N, g.M, g.E, c.N, c.M, c.NumEdges())
+	}
+	for i := 0; i < g.M; i++ {
+		if g.CNDegree(i) != 8 {
+			t.Fatalf("CN %d degree %d, want 8", i, g.CNDegree(i))
+		}
+	}
+	for j := 0; j < g.N; j++ {
+		if g.VNDegree(j) != 4 {
+			t.Fatalf("VN %d degree %d, want 4", j, g.VNDegree(j))
+		}
+	}
+}
+
+// cleanLLRs returns strongly confident LLRs for a codeword.
+func cleanLLRs(cw *bitvec.Vector) []float64 {
+	out := make([]float64, cw.Len())
+	for i := range out {
+		if cw.Bit(i) == 0 {
+			out[i] = 10
+		} else {
+			out[i] = -10
+		}
+	}
+	return out
+}
+
+func allConfigs() []Options {
+	return []Options{
+		{Algorithm: SumProduct, Schedule: Flooding, MaxIterations: 30},
+		{Algorithm: SumProduct, Schedule: Layered, MaxIterations: 30},
+		{Algorithm: MinSum, Schedule: Flooding, MaxIterations: 30},
+		{Algorithm: MinSum, Schedule: Layered, MaxIterations: 30},
+		{Algorithm: NormalizedMinSum, Schedule: Flooding, MaxIterations: 30, Alpha: 1.25},
+		{Algorithm: NormalizedMinSum, Schedule: Layered, MaxIterations: 30, Alpha: 1.25},
+		{Algorithm: OffsetMinSum, Schedule: Flooding, MaxIterations: 30, Beta: 0.15},
+		{Algorithm: OffsetMinSum, Schedule: Layered, MaxIterations: 30, Beta: 0.15},
+	}
+}
+
+func TestDecodeCleanChannel(t *testing.T) {
+	c := smallCode(t)
+	g := NewGraph(c)
+	r := rng.New(1)
+	for _, opts := range allConfigs() {
+		d, err := NewDecoderGraph(g, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			cw := randomCodeword(t, c, r)
+			res, err := d.Decode(cleanLLRs(cw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("%v/%v: no convergence on clean channel", opts.Algorithm, opts.Schedule)
+			}
+			if !res.Bits.Equal(cw) {
+				t.Fatalf("%v/%v: wrong decode on clean channel", opts.Algorithm, opts.Schedule)
+			}
+			if res.Iterations != 1 {
+				t.Errorf("%v/%v: clean decode took %d iterations, want 1", opts.Algorithm, opts.Schedule, res.Iterations)
+			}
+		}
+	}
+}
+
+func TestDecodeCorrectsErrors(t *testing.T) {
+	c := smallCode(t)
+	g := NewGraph(c)
+	r := rng.New(2)
+	for _, opts := range allConfigs() {
+		d, err := NewDecoderGraph(g, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixed := 0
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			cw := randomCodeword(t, c, r)
+			llr := cleanLLRs(cw)
+			// Flip three spread-out bits hard.
+			for _, j := range []int{5, 40, 90} {
+				llr[j] = -llr[j]
+			}
+			res, err := d.Decode(llr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Converged && res.Bits.Equal(cw) {
+				fixed++
+			}
+		}
+		if fixed < trials*8/10 {
+			t.Errorf("%v/%v: corrected only %d/%d three-error patterns", opts.Algorithm, opts.Schedule, fixed, trials)
+		}
+	}
+}
+
+func TestDecodeAWGN(t *testing.T) {
+	// At a comfortable SNR the decoder should fix nearly every frame and
+	// beat the raw channel by a wide margin.
+	c := smallCode(t)
+	g := NewGraph(c)
+	ch, err := channel.NewAWGN(5.0, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for _, opts := range []Options{
+		{Algorithm: SumProduct, Schedule: Flooding, MaxIterations: 50},
+		{Algorithm: NormalizedMinSum, Schedule: Flooding, MaxIterations: 50, Alpha: 1.25},
+	} {
+		d, err := NewDecoderGraph(g, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames, ok := 60, 0
+		rawErrs := 0
+		for trial := 0; trial < frames; trial++ {
+			cw := randomCodeword(t, c, r)
+			rx := ch.Transmit(channel.Modulate(cw), r)
+			hard := channel.HardBits(rx)
+			hard.Xor(cw)
+			rawErrs += hard.PopCount()
+			res, err := d.Decode(ch.LLR(rx))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Converged && res.Bits.Equal(cw) {
+				ok++
+			}
+		}
+		if rawErrs == 0 {
+			t.Fatal("channel produced no raw errors; SNR too high for the test to mean anything")
+		}
+		if ok < frames*9/10 {
+			t.Errorf("%v: decoded %d/%d frames at 5 dB", opts.Algorithm, ok, frames)
+		}
+	}
+}
+
+func TestEarlyStopVsFixedIterations(t *testing.T) {
+	c := smallCode(t)
+	g := NewGraph(c)
+	r := rng.New(4)
+	cw := randomCodeword(t, c, r)
+	llr := cleanLLRs(cw)
+
+	early, err := NewDecoderGraph(g, c, Options{Algorithm: NormalizedMinSum, MaxIterations: 18, Alpha: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := NewDecoderGraph(g, c, Options{Algorithm: NormalizedMinSum, MaxIterations: 18, Alpha: 1.25, DisableEarlyStop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := early.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fixed.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Iterations != 1 {
+		t.Errorf("early stop ran %d iterations on clean input, want 1", re.Iterations)
+	}
+	if rf.Iterations != 18 {
+		t.Errorf("fixed schedule ran %d iterations, want 18", rf.Iterations)
+	}
+	if !rf.Converged || !rf.Bits.Equal(cw) {
+		t.Error("fixed schedule failed on clean input")
+	}
+}
+
+func TestNormalizationImprovesMinSum(t *testing.T) {
+	// The paper's key decoding claim: normalized min-sum outperforms
+	// plain min-sum at equal iteration count. Measure frame errors at an
+	// SNR where min-sum struggles.
+	c := smallCode(t)
+	g := NewGraph(c)
+	ch, err := channel.NewAWGN(3.6, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewDecoderGraph(g, c, Options{Algorithm: MinSum, MaxIterations: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nms, err := NewDecoderGraph(g, c, Options{Algorithm: NormalizedMinSum, MaxIterations: 12, Alpha: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	const frames = 400
+	msFail, nmsFail := 0, 0
+	for trial := 0; trial < frames; trial++ {
+		cw := randomCodeword(t, c, r)
+		llr := ch.CorruptCodeword(cw, r)
+		if res, _ := ms.Decode(llr); !res.Bits.Equal(cw) {
+			msFail++
+		}
+		if res, _ := nms.Decode(llr); !res.Bits.Equal(cw) {
+			nmsFail++
+		}
+	}
+	if nmsFail > msFail {
+		t.Errorf("normalized min-sum (%d/%d failures) worse than min-sum (%d/%d)", nmsFail, frames, msFail, frames)
+	}
+	t.Logf("min-sum failures: %d/%d, normalized: %d/%d", msFail, frames, nmsFail, frames)
+}
+
+func TestLayeredConvergesFaster(t *testing.T) {
+	c := smallCode(t)
+	g := NewGraph(c)
+	ch, err := channel.NewAWGN(4.5, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flood, err := NewDecoderGraph(g, c, Options{Algorithm: NormalizedMinSum, MaxIterations: 50, Alpha: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := NewDecoderGraph(g, c, Options{Algorithm: NormalizedMinSum, Schedule: Layered, MaxIterations: 50, Alpha: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	var itF, itL int
+	const frames = 150
+	for trial := 0; trial < frames; trial++ {
+		cw := randomCodeword(t, c, r)
+		llr := ch.CorruptCodeword(cw, r)
+		rf, _ := flood.Decode(llr)
+		rl, _ := lay.Decode(llr)
+		itF += rf.Iterations
+		itL += rl.Iterations
+	}
+	if itL >= itF {
+		t.Errorf("layered used %d total iterations, flooding %d; expected fewer", itL, itF)
+	}
+	t.Logf("avg iterations: flooding %.2f, layered %.2f", float64(itF)/frames, float64(itL)/frames)
+}
+
+func TestAlphaScheduleUsed(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewDecoder(c, Options{Algorithm: NormalizedMinSum, MaxIterations: 5, AlphaSchedule: []float64{2.0, 1.5, 1.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.alphaFor(0); got != 2.0 {
+		t.Errorf("alphaFor(0) = %v, want 2.0", got)
+	}
+	if got := d.alphaFor(2); got != 1.2 {
+		t.Errorf("alphaFor(2) = %v, want 1.2", got)
+	}
+	// Past the schedule end the last entry holds.
+	if got := d.alphaFor(4); got != 1.2 {
+		t.Errorf("alphaFor(4) = %v, want 1.2", got)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	c := smallCode(t)
+	cases := []Options{
+		{Algorithm: SumProduct, MaxIterations: 0},
+		{Algorithm: Algorithm(99), MaxIterations: 10},
+		{Algorithm: NormalizedMinSum, MaxIterations: 10},            // no alpha
+		{Algorithm: NormalizedMinSum, MaxIterations: 10, Alpha: -1}, // bad alpha
+		{Algorithm: OffsetMinSum, MaxIterations: 10, Beta: -0.5},    // bad beta
+		{Algorithm: NormalizedMinSum, MaxIterations: 10, AlphaSchedule: []float64{1.2, 0}},
+	}
+	for i, opts := range cases {
+		if _, err := NewDecoder(c, opts); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, opts)
+		}
+	}
+}
+
+func TestDecodeWrongLength(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewDecoder(c, Options{Algorithm: MinSum, MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decode(make([]float64, c.N-1)); err == nil {
+		t.Fatal("Decode accepted wrong-length LLRs")
+	}
+}
+
+func TestPhiInvolution(t *testing.T) {
+	for _, x := range []float64{0.01, 0.1, 0.5, 1, 2, 5, 10, 20} {
+		got := phi(phi(x))
+		if math.Abs(got-x) > 1e-6*math.Max(1, x) {
+			t.Errorf("phi(phi(%v)) = %v", x, got)
+		}
+	}
+}
+
+func TestPropertyCodewordLLRsDecodeToThemselves(t *testing.T) {
+	c := smallCode(t)
+	g := NewGraph(c)
+	d, err := NewDecoderGraph(g, c, Options{Algorithm: NormalizedMinSum, MaxIterations: 10, Alpha: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		info := bitvec.New(c.K)
+		for i := 0; i < c.K; i++ {
+			if r.Bool() {
+				info.Set(i)
+			}
+		}
+		cw := c.Encode(info)
+		res, err := d.Decode(cleanLLRs(cw))
+		return err == nil && res.Converged && res.Bits.Equal(cw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgorithmScheduleStrings(t *testing.T) {
+	if SumProduct.String() != "sum-product" || NormalizedMinSum.String() != "normalized-min-sum" {
+		t.Error("Algorithm.String wrong")
+	}
+	if Flooding.String() != "flooding" || Layered.String() != "layered" {
+		t.Error("Schedule.String wrong")
+	}
+	if Algorithm(42).String() == "" {
+		t.Error("unknown algorithm string empty")
+	}
+}
+
+func BenchmarkDecodeNMS18Small(b *testing.B) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := NewDecoder(c, Options{Algorithm: NormalizedMinSum, MaxIterations: 18, Alpha: 1.25, DisableEarlyStop: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	ch, _ := channel.NewAWGN(4.0, c.Rate())
+	info := bitvec.New(c.K)
+	cw := c.Encode(info)
+	llr := ch.CorruptCodeword(cw, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(llr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDecodeRejectsNaN(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewDecoder(c, Options{Algorithm: MinSum, MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	llr := make([]float64, c.N)
+	llr[7] = math.NaN()
+	if _, err := d.Decode(llr); err == nil {
+		t.Fatal("NaN LLR accepted")
+	}
+	// Infinities are legal (saturated confidence) and must not break the
+	// decode.
+	for i := range llr {
+		llr[i] = math.Inf(1)
+	}
+	res, err := d.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !res.Bits.IsZero() {
+		t.Error("all-+Inf LLRs should decode to the zero codeword")
+	}
+}
+
+func TestSyndromeTrace(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewDecoder(c, Options{
+		Algorithm: NormalizedMinSum, MaxIterations: 25, Alpha: 1.25, TraceSyndrome: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(4.5, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(14)
+	cw := randomCodeword(t, c, r)
+	res, err := d.Decode(ch.CorruptCodeword(cw, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := d.SyndromeTrace()
+	if len(tr) != res.Iterations {
+		t.Fatalf("trace has %d entries, decode took %d iterations", len(tr), res.Iterations)
+	}
+	if res.Converged && tr[len(tr)-1] != 0 {
+		t.Errorf("converged but final syndrome weight %d", tr[len(tr)-1])
+	}
+	for _, w := range tr {
+		if w < 0 || w > c.M {
+			t.Fatalf("syndrome weight %d out of range", w)
+		}
+	}
+	// The paper's "very fast iterative convergence": on a comfortably
+	// decodable frame the trajectory should collapse, not wander — the
+	// final weight is far below the first.
+	if len(tr) > 1 && tr[0] > 0 && tr[len(tr)-1] > tr[0]/2 {
+		t.Errorf("trajectory did not collapse: %v", tr)
+	}
+	// Without tracing the slice is empty.
+	d2, err := NewDecoder(c, Options{Algorithm: NormalizedMinSum, MaxIterations: 5, Alpha: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Decode(cleanLLRs(cw)); err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.SyndromeTrace()) != 0 {
+		t.Error("trace recorded without TraceSyndrome")
+	}
+}
+
+func TestSyndromeTraceLayered(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewDecoder(c, Options{
+		Algorithm: NormalizedMinSum, Schedule: Layered, MaxIterations: 25, Alpha: 1.25, TraceSyndrome: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(4.5, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(15)
+	cw := randomCodeword(t, c, r)
+	res, err := d.Decode(ch.CorruptCodeword(cw, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SyndromeTrace()) != res.Iterations {
+		t.Fatalf("layered trace has %d entries for %d iterations", len(d.SyndromeTrace()), res.Iterations)
+	}
+}

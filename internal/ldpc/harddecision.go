@@ -1,0 +1,253 @@
+package ldpc
+
+import (
+	"fmt"
+	"math"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+)
+
+// Hard-decision decoders: Gallager-B (from the 1963 monograph the paper
+// cites as reference [6]) and weighted bit-flipping. They need no
+// message memories or LLR datapaths, which makes them the natural
+// lower-bound baselines for the soft decoders' coding gain and for the
+// architecture's resource trade-offs.
+
+// GallagerB is Gallager's algorithm B: binary messages, with a bit's
+// outgoing message flipped when at least Threshold of its other
+// incoming check messages disagree with the channel bit.
+type GallagerB struct {
+	g *Graph
+	// MaxIterations is the decoding period.
+	MaxIterations int
+	// Threshold is the disagreement count required to flip; 0 selects
+	// the standard majority threshold ⌈(dv−1)/2⌉+… computed per node.
+	Threshold int
+
+	vc   []byte // variable→check bit messages
+	cv   []byte // check→variable bit messages
+	hard *bitvec.Vector
+}
+
+// NewGallagerB builds the decoder for a code.
+func NewGallagerB(c *code.Code, maxIterations, threshold int) (*GallagerB, error) {
+	if maxIterations < 1 {
+		return nil, fmt.Errorf("ldpc: MaxIterations %d < 1", maxIterations)
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("ldpc: negative threshold %d", threshold)
+	}
+	g := NewGraph(c)
+	return &GallagerB{
+		g: g, MaxIterations: maxIterations, Threshold: threshold,
+		vc: make([]byte, g.E), cv: make([]byte, g.E), hard: bitvec.New(g.N),
+	}, nil
+}
+
+// DecodeBits runs the algorithm on hard channel bits.
+func (d *GallagerB) DecodeBits(rx *bitvec.Vector) (Result, error) {
+	if rx.Len() != d.g.N {
+		return Result{}, fmt.Errorf("ldpc: %d bits for code length %d", rx.Len(), d.g.N)
+	}
+	g := d.g
+	for e := 0; e < g.E; e++ {
+		d.vc[e] = byte(rx.Bit(int(g.EdgeVN[e])))
+	}
+	it := 0
+	for it = 0; it < d.MaxIterations; it++ {
+		// Check side: message to each edge is the XOR of the others.
+		for i := 0; i < g.M; i++ {
+			lo, hi := g.CNOff[i], g.CNOff[i+1]
+			var total byte
+			for e := lo; e < hi; e++ {
+				total ^= d.vc[e]
+			}
+			for e := lo; e < hi; e++ {
+				d.cv[e] = total ^ d.vc[e]
+			}
+		}
+		// Variable side: flip the outgoing message when enough other
+		// checks disagree with the channel bit.
+		for j := 0; j < g.N; j++ {
+			ch := byte(rx.Bit(j))
+			lo, hi := g.VNOff[j], g.VNOff[j+1]
+			deg := int(hi - lo)
+			thr := d.Threshold
+			if thr == 0 {
+				// Majority of the other dv−1 messages.
+				thr = (deg-1)/2 + 1
+			}
+			disagreeTotal := 0
+			for k := lo; k < hi; k++ {
+				if d.cv[g.VNEdges[k]] != ch {
+					disagreeTotal++
+				}
+			}
+			for k := lo; k < hi; k++ {
+				e := g.VNEdges[k]
+				disagree := disagreeTotal
+				if d.cv[e] != ch {
+					disagree--
+				}
+				if disagree >= thr {
+					d.vc[e] = ch ^ 1
+				} else {
+					d.vc[e] = ch
+				}
+			}
+			// Posterior decision: full majority including the channel.
+			if 2*disagreeTotal > deg {
+				d.hard.SetBit(j, int(ch^1))
+			} else {
+				d.hard.SetBit(j, int(ch))
+			}
+		}
+		if d.syndromeZero() {
+			it++
+			return Result{Bits: d.hard, Iterations: it, Converged: true}, nil
+		}
+	}
+	return Result{Bits: d.hard, Iterations: it, Converged: d.syndromeZero()}, nil
+}
+
+// Decode adapts soft LLRs by hard-slicing them, satisfying the common
+// decoder interface (sim.FrameDecoder).
+func (d *GallagerB) Decode(llr []float64) (Result, error) {
+	if len(llr) != d.g.N {
+		return Result{}, fmt.Errorf("ldpc: %d LLRs for code length %d", len(llr), d.g.N)
+	}
+	rx := bitvec.New(d.g.N)
+	for j, v := range llr {
+		if v < 0 {
+			rx.Set(j)
+		}
+	}
+	return d.DecodeBits(rx)
+}
+
+func (d *GallagerB) syndromeZero() bool {
+	g := d.g
+	for i := 0; i < g.M; i++ {
+		parity := 0
+		for e := g.CNOff[i]; e < g.CNOff[i+1]; e++ {
+			parity ^= d.hard.Bit(int(g.EdgeVN[e]))
+		}
+		if parity == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// WBF is weighted bit-flipping: each iteration flips the bit with the
+// largest weighted sum of failed-check reliabilities. It uses soft
+// channel magnitudes but flips hard bits, sitting between Gallager-B
+// and min-sum in both complexity and performance.
+type WBF struct {
+	g *Graph
+	// MaxIterations bounds the number of single-bit flips.
+	MaxIterations int
+
+	hard    *bitvec.Vector
+	synd    []byte
+	minMag  []float64 // per check: smallest |LLR| among its bits
+	measure []float64
+}
+
+// NewWBF builds the decoder for a code.
+func NewWBF(c *code.Code, maxIterations int) (*WBF, error) {
+	if maxIterations < 1 {
+		return nil, fmt.Errorf("ldpc: MaxIterations %d < 1", maxIterations)
+	}
+	g := NewGraph(c)
+	return &WBF{
+		g: g, MaxIterations: maxIterations,
+		hard:    bitvec.New(g.N),
+		synd:    make([]byte, g.M),
+		minMag:  make([]float64, g.M),
+		measure: make([]float64, g.N),
+	}, nil
+}
+
+// Decode runs weighted bit-flipping on channel LLRs.
+func (d *WBF) Decode(llr []float64) (Result, error) {
+	g := d.g
+	if len(llr) != g.N {
+		return Result{}, fmt.Errorf("ldpc: %d LLRs for code length %d", len(llr), g.N)
+	}
+	d.hard.Zero()
+	for j, v := range llr {
+		if v < 0 {
+			d.hard.Set(j)
+		}
+	}
+	// Per-check reliability: the least reliable member bit.
+	for i := 0; i < g.M; i++ {
+		min := math.Inf(1)
+		var parity byte
+		for e := g.CNOff[i]; e < g.CNOff[i+1]; e++ {
+			j := int(g.EdgeVN[e])
+			if m := math.Abs(llr[j]); m < min {
+				min = m
+			}
+			parity ^= byte(d.hard.Bit(j))
+		}
+		d.minMag[i] = min
+		d.synd[i] = parity
+	}
+	it := 0
+	for it = 0; it < d.MaxIterations; it++ {
+		if allZero(d.synd) {
+			return Result{Bits: d.hard, Iterations: it, Converged: true}, nil
+		}
+		// Flip the bit whose failed checks are most reliable relative to
+		// its own channel confidence.
+		best, bestVal := -1, math.Inf(-1)
+		for j := 0; j < g.N; j++ {
+			v := -math.Abs(llr[j])
+			for k := g.VNOff[j]; k < g.VNOff[j+1]; k++ {
+				e := g.VNEdges[k]
+				// Edge e belongs to the check whose range contains it.
+				i := d.checkOf(int(e))
+				if d.synd[i] == 1 {
+					v += d.minMag[i]
+				} else {
+					v -= d.minMag[i]
+				}
+			}
+			if v > bestVal {
+				bestVal, best = v, j
+			}
+		}
+		d.hard.Flip(best)
+		for k := g.VNOff[best]; k < g.VNOff[best+1]; k++ {
+			i := d.checkOf(int(g.VNEdges[k]))
+			d.synd[i] ^= 1
+		}
+	}
+	return Result{Bits: d.hard, Iterations: it, Converged: allZero(d.synd)}, nil
+}
+
+// checkOf maps an edge id to its check node by binary search on CNOff.
+func (d *WBF) checkOf(e int) int {
+	lo, hi := 0, d.g.M
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(d.g.CNOff[mid+1]) <= e {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,232 @@
+package ldpc
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/rng"
+)
+
+func TestGallagerBClean(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewGallagerB(c, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		cw := randomCodeword(t, c, r)
+		res, err := d.DecodeBits(cw.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged || !res.Bits.Equal(cw) {
+			t.Fatalf("trial %d: clean Gallager-B decode failed", trial)
+		}
+		if res.Iterations != 1 {
+			t.Errorf("clean decode took %d iterations", res.Iterations)
+		}
+	}
+}
+
+func TestGallagerBCorrectsFewErrors(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewGallagerB(c, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	ok := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		cw := randomCodeword(t, c, r)
+		rx := cw.Clone()
+		// Two random flips — within hard-decision correction reach.
+		a := r.Intn(c.N)
+		b := (a + 1 + r.Intn(c.N-1)) % c.N
+		rx.Flip(a)
+		rx.Flip(b)
+		res, err := d.DecodeBits(rx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Converged && res.Bits.Equal(cw) {
+			ok++
+		}
+	}
+	if ok < trials*5/10 {
+		t.Errorf("Gallager-B corrected only %d/%d double errors", ok, trials)
+	}
+	t.Logf("Gallager-B corrected %d/%d double errors", ok, trials)
+}
+
+func TestGallagerBSoftInterface(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewGallagerB(c, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	cw := randomCodeword(t, c, r)
+	llr := cleanLLRs(cw)
+	res, err := d.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Bits.Equal(cw) {
+		t.Fatal("soft-interface decode failed")
+	}
+	if _, err := d.Decode(make([]float64, 3)); err == nil {
+		t.Error("wrong LLR length accepted")
+	}
+	if _, err := d.DecodeBits(bitvec.New(3)); err == nil {
+		t.Error("wrong bit length accepted")
+	}
+}
+
+func TestGallagerBValidation(t *testing.T) {
+	c := smallCode(t)
+	if _, err := NewGallagerB(c, 0, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := NewGallagerB(c, 5, -1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestWBFClean(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewWBF(c, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	cw := randomCodeword(t, c, r)
+	res, err := d.Decode(cleanLLRs(cw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !res.Bits.Equal(cw) {
+		t.Fatal("clean WBF decode failed")
+	}
+	if res.Iterations != 0 {
+		t.Errorf("clean WBF flipped %d bits", res.Iterations)
+	}
+}
+
+func TestWBFCorrectsWithSoftInfo(t *testing.T) {
+	// WBF should fix errors that hard Gallager-B cannot, because it
+	// knows which received bits were unreliable.
+	c := smallCode(t)
+	d, err := NewWBF(c, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	ok := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		cw := randomCodeword(t, c, r)
+		llr := cleanLLRs(cw)
+		// Three weak flipped bits (low magnitude, wrong sign).
+		for n := 0; n < 3; n++ {
+			j := r.Intn(c.N)
+			sign := 1.0
+			if cw.Bit(j) == 0 {
+				sign = -1.0
+			}
+			llr[j] = sign * 0.5
+		}
+		res, err := d.Decode(llr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Converged && res.Bits.Equal(cw) {
+			ok++
+		}
+	}
+	if ok < trials*7/10 {
+		t.Errorf("WBF corrected only %d/%d weak-triple errors", ok, trials)
+	}
+}
+
+func TestWBFValidation(t *testing.T) {
+	c := smallCode(t)
+	if _, err := NewWBF(c, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	d, err := NewWBF(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decode(make([]float64, 2)); err == nil {
+		t.Error("wrong LLR length accepted")
+	}
+}
+
+func TestWBFCheckOf(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewWBF(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.g
+	for i := 0; i < g.M; i++ {
+		for e := g.CNOff[i]; e < g.CNOff[i+1]; e++ {
+			if got := d.checkOf(int(e)); got != i {
+				t.Fatalf("checkOf(%d) = %d, want %d", e, got, i)
+			}
+		}
+	}
+}
+
+// TestHardVsSoftHierarchy measures the expected coding-performance
+// ordering on one channel: sum-product >= normalized min-sum >= WBF >=
+// Gallager-B (hard decisions lose the most).
+func TestHardVsSoftHierarchy(t *testing.T) {
+	c := smallCode(t)
+	g := NewGraph(c)
+	ch, err := channel.NewAWGN(5.0, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nms, err := NewDecoderGraph(g, c, Options{Algorithm: NormalizedMinSum, MaxIterations: 30, Alpha: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := NewGallagerB(c, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wbf, err := NewWBF(c, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	const frames = 300
+	var failNMS, failGB, failWBF int
+	for trial := 0; trial < frames; trial++ {
+		cw := randomCodeword(t, c, r)
+		llr := ch.CorruptCodeword(cw, r)
+		if res, _ := nms.Decode(llr); !res.Bits.Equal(cw) {
+			failNMS++
+		}
+		if res, _ := gb.Decode(llr); !res.Bits.Equal(cw) {
+			failGB++
+		}
+		if res, _ := wbf.Decode(llr); !res.Bits.Equal(cw) {
+			failWBF++
+		}
+	}
+	t.Logf("failures/%d: NMS %d, WBF %d, Gallager-B %d", frames, failNMS, failWBF, failGB)
+	if failNMS > failWBF {
+		t.Errorf("NMS (%d) worse than WBF (%d)", failNMS, failWBF)
+	}
+	if failWBF > failGB {
+		t.Errorf("WBF (%d) worse than Gallager-B (%d)", failWBF, failGB)
+	}
+	if failGB <= failNMS {
+		t.Errorf("hard decisions (%d) not worse than soft (%d) — no coding-gain hierarchy", failGB, failNMS)
+	}
+}

@@ -1,0 +1,173 @@
+package ldpc
+
+import (
+	"fmt"
+	"math"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+)
+
+// LambdaMin is the λ-min decoder: a check-node simplification between
+// the paper's sign-min (λ = 1, up to normalization) and full belief
+// propagation. Each check node computes the exact sum-product update
+// using only its λ least reliable inputs; all other edges receive the
+// value computed from that subset. With λ = 2 or 3 the loss versus BP
+// is small while the CN hardware shrinks from degree-32 to degree-λ —
+// the standard alternative trade-off to the normalized min-sum the
+// paper chose.
+type LambdaMin struct {
+	g *Graph
+	// Lambda is the number of least-reliable inputs used (>= 2).
+	Lambda int
+	// MaxIterations is the decoding period.
+	MaxIterations int
+
+	vc   []float64
+	cv   []float64
+	post []float64
+	hard *bitvec.Vector
+	// scratch for per-check selection.
+	idx []int
+	mag []float64
+}
+
+// NewLambdaMin builds the decoder.
+func NewLambdaMin(c *code.Code, lambda, maxIterations int) (*LambdaMin, error) {
+	if lambda < 2 {
+		return nil, fmt.Errorf("ldpc: lambda %d < 2", lambda)
+	}
+	if maxIterations < 1 {
+		return nil, fmt.Errorf("ldpc: MaxIterations %d < 1", maxIterations)
+	}
+	g := NewGraph(c)
+	maxDeg := 0
+	for i := 0; i < g.M; i++ {
+		if d := g.CNDegree(i); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if lambda > maxDeg {
+		return nil, fmt.Errorf("ldpc: lambda %d exceeds max check degree %d", lambda, maxDeg)
+	}
+	return &LambdaMin{
+		g: g, Lambda: lambda, MaxIterations: maxIterations,
+		vc: make([]float64, g.E), cv: make([]float64, g.E),
+		post: make([]float64, g.N), hard: bitvec.New(g.N),
+		idx: make([]int, maxDeg), mag: make([]float64, maxDeg),
+	}, nil
+}
+
+// Decode runs flooding λ-min message passing.
+func (d *LambdaMin) Decode(llr []float64) (Result, error) {
+	g := d.g
+	if len(llr) != g.N {
+		return Result{}, fmt.Errorf("ldpc: %d LLRs for code length %d", len(llr), g.N)
+	}
+	for j, v := range llr {
+		if math.IsNaN(v) {
+			return Result{}, fmt.Errorf("ldpc: NaN LLR at position %d", j)
+		}
+	}
+	for e := 0; e < g.E; e++ {
+		d.vc[e] = llr[g.EdgeVN[e]]
+		d.cv[e] = 0
+	}
+	it := 0
+	converged := false
+	for it = 0; it < d.MaxIterations; it++ {
+		for i := 0; i < g.M; i++ {
+			d.updateCheck(int(g.CNOff[i]), int(g.CNOff[i+1]))
+		}
+		for j := 0; j < g.N; j++ {
+			sum := llr[j]
+			for k := g.VNOff[j]; k < g.VNOff[j+1]; k++ {
+				sum += d.cv[g.VNEdges[k]]
+			}
+			d.post[j] = sum
+			for k := g.VNOff[j]; k < g.VNOff[j+1]; k++ {
+				e := g.VNEdges[k]
+				d.vc[e] = sum - d.cv[e]
+			}
+		}
+		d.hard.Zero()
+		for j, p := range d.post {
+			if p < 0 {
+				d.hard.Set(j)
+			}
+		}
+		if d.syndromeZero() {
+			converged = true
+			it++
+			break
+		}
+	}
+	if !converged {
+		converged = d.syndromeZero()
+	}
+	return Result{Bits: d.hard, Iterations: it, Converged: converged}, nil
+}
+
+// updateCheck computes λ-min outputs for the edges [lo, hi).
+func (d *LambdaMin) updateCheck(lo, hi int) {
+	deg := hi - lo
+	signProd := 1.0
+	for e := lo; e < hi; e++ {
+		x := d.vc[e]
+		d.mag[e-lo] = math.Abs(x)
+		if x < 0 {
+			signProd = -signProd
+		}
+	}
+	// Select the λ smallest magnitudes (selection by repeated minimum —
+	// λ is tiny, degree modest).
+	n := d.Lambda
+	sel := d.idx[:0]
+	taken := make([]bool, deg)
+	for s := 0; s < n; s++ {
+		best, bestVal := -1, math.Inf(1)
+		for k := 0; k < deg; k++ {
+			if !taken[k] && d.mag[k] < bestVal {
+				bestVal, best = d.mag[k], k
+			}
+		}
+		taken[best] = true
+		sel = append(sel, best)
+	}
+	// Exact sum-product over the selected subset in the φ domain.
+	phiSum := 0.0
+	for _, k := range sel {
+		phiSum += phi(d.mag[k])
+	}
+	// Outputs: an edge inside the subset uses the other λ−1 members; an
+	// edge outside uses all λ.
+	outAll := phi(phiSum)
+	for e := lo; e < hi; e++ {
+		k := e - lo
+		var magOut float64
+		if taken[k] {
+			magOut = phi(phiSum - phi(d.mag[k]))
+		} else {
+			magOut = outAll
+		}
+		s := signProd
+		if d.vc[e] < 0 {
+			s = -s
+		}
+		d.cv[e] = s * magOut
+	}
+}
+
+func (d *LambdaMin) syndromeZero() bool {
+	g := d.g
+	for i := 0; i < g.M; i++ {
+		parity := 0
+		for e := g.CNOff[i]; e < g.CNOff[i+1]; e++ {
+			parity ^= d.hard.Bit(int(g.EdgeVN[e]))
+		}
+		if parity == 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package ldpc
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/rng"
+)
+
+func TestLambdaMinClean(t *testing.T) {
+	c := smallCode(t)
+	for _, lambda := range []int{2, 3, 4} {
+		d, err := NewLambdaMin(c, lambda, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(lambda))
+		for trial := 0; trial < 5; trial++ {
+			cw := randomCodeword(t, c, r)
+			res, err := d.Decode(cleanLLRs(cw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged || !res.Bits.Equal(cw) {
+				t.Fatalf("lambda=%d trial %d: clean decode failed", lambda, trial)
+			}
+		}
+	}
+}
+
+func TestLambdaMinValidation(t *testing.T) {
+	c := smallCode(t)
+	if _, err := NewLambdaMin(c, 1, 10); err == nil {
+		t.Error("lambda 1 accepted")
+	}
+	if _, err := NewLambdaMin(c, 100, 10); err == nil {
+		t.Error("lambda > degree accepted")
+	}
+	if _, err := NewLambdaMin(c, 3, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	d, err := NewLambdaMin(c, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decode(make([]float64, 3)); err == nil {
+		t.Error("wrong LLR length accepted")
+	}
+}
+
+// TestLambdaMinBetweenMinSumAndBP checks the defining property of the
+// family: λ-min at λ=3 should not lose more frames than plain min-sum,
+// and full-degree λ equals BP performance-wise.
+func TestLambdaMinBetweenMinSumAndBP(t *testing.T) {
+	c := smallCode(t)
+	g := NewGraph(c)
+	ch, err := channel.NewAWGN(3.7, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewDecoderGraph(g, c, Options{Algorithm: MinSum, MaxIterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := NewDecoderGraph(g, c, Options{Algorithm: SumProduct, MaxIterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3, err := NewLambdaMin(c, 3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	const frames = 300
+	var failMS, failBP, failL3 int
+	for trial := 0; trial < frames; trial++ {
+		cw := randomCodeword(t, c, r)
+		llr := ch.CorruptCodeword(cw, r)
+		if res, _ := ms.Decode(llr); !res.Bits.Equal(cw) {
+			failMS++
+		}
+		if res, _ := bp.Decode(llr); !res.Bits.Equal(cw) {
+			failBP++
+		}
+		if res, _ := l3.Decode(llr); !res.Bits.Equal(cw) {
+			failL3++
+		}
+	}
+	t.Logf("failures/%d: BP %d, lambda-3 %d, min-sum %d", frames, failBP, failL3, failMS)
+	slack := 3 + failMS/5
+	if failL3 > failMS+slack {
+		t.Errorf("lambda-min (%d) clearly worse than min-sum (%d)", failL3, failMS)
+	}
+	if failBP > failL3+slack {
+		t.Errorf("BP (%d) clearly worse than lambda-min (%d): ordering broken", failBP, failL3)
+	}
+}
+
+func BenchmarkLambdaMin3(b *testing.B) {
+	c, err := codeForBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := NewLambdaMin(c, 3, 18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, _ := channel.NewAWGN(4.0, c.Rate())
+	r := rng.New(1)
+	cw := c.Encode(randomInfoForBench(c, r))
+	llr := ch.CorruptCodeword(cw, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(llr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// bench helpers shared by this file only.
+func codeForBench() (*code.Code, error) { return code.SmallTestCode(2, 4, 31, 1) }
+
+func randomInfoForBench(c *code.Code, r *rng.RNG) *bitvec.Vector {
+	v := bitvec.New(c.K)
+	for i := 0; i < c.K; i++ {
+		if r.Bool() {
+			v.Set(i)
+		}
+	}
+	return v
+}

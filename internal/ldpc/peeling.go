@@ -1,0 +1,161 @@
+package ldpc
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+)
+
+// Peeling is the iterative erasure decoder for the binary erasure
+// channel: any check with exactly one erased variable resolves it; the
+// process repeats until no erasure remains or the residual erasures form
+// a stopping set. Besides being the right decoder for an erasure link,
+// it is the analysis tool for puncturing (an erased punctured node is
+// recoverable iff peeling resolves it) and its failures *identify*
+// stopping sets — the combinatorial objects behind iterative-decoding
+// error floors.
+type Peeling struct {
+	g *Graph
+
+	erased    []bool
+	value     *bitvec.Vector
+	cnErased  []int32 // erased-variable count per check
+	cnParity  []byte  // parity of known variables per check
+	worklist  []int32
+	inWorkQ   []bool
+	edgeCheck []int32 // check of each edge (precomputed)
+}
+
+// NewPeeling builds the decoder for a code.
+func NewPeeling(c *code.Code) *Peeling {
+	g := NewGraph(c)
+	p := &Peeling{
+		g:         g,
+		erased:    make([]bool, g.N),
+		value:     bitvec.New(g.N),
+		cnErased:  make([]int32, g.M),
+		cnParity:  make([]byte, g.M),
+		inWorkQ:   make([]bool, g.M),
+		edgeCheck: make([]int32, g.E),
+	}
+	for i := 0; i < g.M; i++ {
+		for e := g.CNOff[i]; e < g.CNOff[i+1]; e++ {
+			p.edgeCheck[e] = int32(i)
+		}
+	}
+	return p
+}
+
+// PeelResult reports an erasure decode.
+type PeelResult struct {
+	// Bits is the recovered word (valid where Unresolved is empty).
+	Bits *bitvec.Vector
+	// Unresolved lists variables still erased at fixpoint — a stopping
+	// set (possibly empty).
+	Unresolved []int
+	// Iterations is the number of variables resolved.
+	Iterations int
+}
+
+// Decode recovers a codeword from known bits and an erasure mask.
+// known holds the received values (ignored at erased positions).
+func (p *Peeling) Decode(known *bitvec.Vector, erasures []bool) (PeelResult, error) {
+	g := p.g
+	if known.Len() != g.N || len(erasures) != g.N {
+		return PeelResult{}, fmt.Errorf("ldpc: peeling input lengths (%d,%d) for code length %d", known.Len(), len(erasures), g.N)
+	}
+	copy(p.erased, erasures)
+	p.value.CopyFrom(known)
+	for j := 0; j < g.N; j++ {
+		if p.erased[j] {
+			p.value.Clear(j)
+		}
+	}
+	// Initialize per-check state.
+	p.worklist = p.worklist[:0]
+	for i := 0; i < g.M; i++ {
+		var cnt int32
+		var parity byte
+		for e := g.CNOff[i]; e < g.CNOff[i+1]; e++ {
+			j := int(g.EdgeVN[e])
+			if p.erased[j] {
+				cnt++
+			} else {
+				parity ^= byte(p.value.Bit(j))
+			}
+		}
+		p.cnErased[i] = cnt
+		p.cnParity[i] = parity
+		p.inWorkQ[i] = cnt == 1
+		if cnt == 1 {
+			p.worklist = append(p.worklist, int32(i))
+		}
+	}
+	resolved := 0
+	for len(p.worklist) > 0 {
+		i := p.worklist[len(p.worklist)-1]
+		p.worklist = p.worklist[:len(p.worklist)-1]
+		p.inWorkQ[i] = false
+		if p.cnErased[i] != 1 {
+			continue
+		}
+		// Find the single erased member and solve it from the parity.
+		var target int32 = -1
+		for e := g.CNOff[i]; e < g.CNOff[i+1]; e++ {
+			if p.erased[g.EdgeVN[e]] {
+				target = g.EdgeVN[e]
+				break
+			}
+		}
+		bit := int(p.cnParity[i]) // value making the check even
+		p.erased[target] = false
+		p.value.SetBit(int(target), bit)
+		resolved++
+		// Update the target's other checks.
+		for k := g.VNOff[target]; k < g.VNOff[target+1]; k++ {
+			ci := p.edgeCheck[g.VNEdges[k]]
+			p.cnErased[ci]--
+			if bit == 1 {
+				p.cnParity[ci] ^= 1
+			}
+			if p.cnErased[ci] == 1 && !p.inWorkQ[ci] {
+				p.inWorkQ[ci] = true
+				p.worklist = append(p.worklist, ci)
+			}
+		}
+	}
+	var unresolved []int
+	for j := 0; j < g.N; j++ {
+		if p.erased[j] {
+			unresolved = append(unresolved, j)
+		}
+	}
+	return PeelResult{Bits: p.value, Unresolved: unresolved, Iterations: resolved}, nil
+}
+
+// IsStoppingSet reports whether the given variable set is a stopping
+// set: every check touching the set touches it at least twice. The
+// empty set is trivially a stopping set.
+func (p *Peeling) IsStoppingSet(vars []int) bool {
+	g := p.g
+	inSet := make(map[int32]bool, len(vars))
+	for _, v := range vars {
+		if v < 0 || v >= g.N {
+			return false
+		}
+		inSet[int32(v)] = true
+	}
+	counts := make(map[int32]int)
+	for v := range inSet {
+		for k := g.VNOff[v]; k < g.VNOff[v+1]; k++ {
+			counts[p.edgeCheck[g.VNEdges[k]]]++
+		}
+	}
+	for _, c := range counts {
+		if c == 1 {
+			return false
+		}
+	}
+	return true
+}

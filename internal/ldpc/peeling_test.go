@@ -1,0 +1,181 @@
+package ldpc
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/rng"
+)
+
+func TestPeelingNoErasures(t *testing.T) {
+	c := smallCode(t)
+	p := NewPeeling(c)
+	r := rng.New(1)
+	cw := randomCodeword(t, c, r)
+	res, err := p.Decode(cw, make([]bool, c.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unresolved) != 0 {
+		t.Fatal("unresolved variables with no erasures")
+	}
+	if !res.Bits.Equal(cw) {
+		t.Fatal("peeling altered known bits")
+	}
+}
+
+func TestPeelingRecoversSparseErasures(t *testing.T) {
+	c := smallCode(t)
+	p := NewPeeling(c)
+	r := rng.New(2)
+	ok := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		cw := randomCodeword(t, c, r)
+		erasures := make([]bool, c.N)
+		// Erase 10% of positions — far below the erasure threshold of a
+		// (4, 8)-regular code.
+		for n := 0; n < c.N/10; n++ {
+			erasures[r.Intn(c.N)] = true
+		}
+		res, err := p.Decode(cw, erasures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Unresolved) == 0 && res.Bits.Equal(cw) {
+			ok++
+		}
+	}
+	if ok < trials*9/10 {
+		t.Errorf("recovered %d/%d sparse-erasure frames", ok, trials)
+	}
+}
+
+func TestPeelingMassiveErasuresFail(t *testing.T) {
+	// Erasing far above capacity must leave a stopping set, and the
+	// reported residual must satisfy the stopping-set property.
+	c := smallCode(t)
+	p := NewPeeling(c)
+	r := rng.New(3)
+	cw := randomCodeword(t, c, r)
+	erasures := make([]bool, c.N)
+	for j := 0; j < c.N; j++ {
+		erasures[j] = r.Float64() < 0.8
+	}
+	res, err := p.Decode(cw, erasures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unresolved) == 0 {
+		t.Skip("decoder got lucky at 80% erasures; astronomically unlikely")
+	}
+	if !p.IsStoppingSet(res.Unresolved) {
+		t.Fatal("residual erasures are not a stopping set")
+	}
+}
+
+func TestPeelingKnownBitsUnchanged(t *testing.T) {
+	c := smallCode(t)
+	p := NewPeeling(c)
+	r := rng.New(4)
+	cw := randomCodeword(t, c, r)
+	erasures := make([]bool, c.N)
+	erasures[5] = true
+	erasures[60] = true
+	res, err := p.Decode(cw, erasures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < c.N; j++ {
+		if !erasures[j] && res.Bits.Bit(j) != cw.Bit(j) {
+			t.Fatalf("known bit %d changed", j)
+		}
+	}
+	if len(res.Unresolved) != 0 {
+		t.Fatal("two isolated erasures not recovered")
+	}
+}
+
+func TestPeelingValidation(t *testing.T) {
+	c := smallCode(t)
+	p := NewPeeling(c)
+	if _, err := p.Decode(randomCodeword(t, c, rng.New(1)), make([]bool, 3)); err == nil {
+		t.Fatal("wrong erasure mask length accepted")
+	}
+}
+
+func TestIsStoppingSet(t *testing.T) {
+	c := smallCode(t)
+	p := NewPeeling(c)
+	if !p.IsStoppingSet(nil) {
+		t.Error("empty set should be a stopping set")
+	}
+	// A single variable can never be a stopping set (its checks see it
+	// exactly once).
+	if p.IsStoppingSet([]int{0}) {
+		t.Error("singleton reported as stopping set")
+	}
+	if p.IsStoppingSet([]int{-1}) {
+		t.Error("out-of-range variable accepted")
+	}
+	// The support of any nonzero codeword is a stopping set.
+	r := rng.New(5)
+	var cw interface{ Indices() []int }
+	for {
+		w := randomCodeword(t, c, r)
+		if w.PopCount() > 0 {
+			cw = w
+			break
+		}
+	}
+	if !p.IsStoppingSet(cw.Indices()) {
+		t.Error("codeword support not recognized as stopping set")
+	}
+}
+
+// TestPuncturedColumnsPeelable links the protograph design rule to
+// erasure decoding: for our codes, a single block-column erasure (the
+// punctured pattern) must be recoverable by pure peeling when every
+// check sees the erased column at most... — here, for the near-earth
+// code, erasing one full block column IS recoverable because each check
+// meets the column twice but the paired structure leaves degree-1
+// checks elsewhere. We assert only the weaker, design-relevant fact:
+// peeling on one erased block column terminates and classifies.
+func TestPuncturedColumnsPeelable(t *testing.T) {
+	c := smallCode(t)
+	p := NewPeeling(c)
+	r := rng.New(6)
+	cw := randomCodeword(t, c, r)
+	erasures := make([]bool, c.N)
+	b := c.Table.B
+	for i := 0; i < b; i++ {
+		erasures[i] = true // erase block column 0
+	}
+	res, err := p.Decode(cw, erasures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unresolved) > 0 && !p.IsStoppingSet(res.Unresolved) {
+		t.Fatal("residual is not a stopping set")
+	}
+	t.Logf("block-column erasure: %d of %d unresolved", len(res.Unresolved), b)
+}
+
+func BenchmarkPeeling(b *testing.B) {
+	c, err := codeForBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPeeling(c)
+	r := rng.New(1)
+	cw := c.Encode(randomInfoForBench(c, r))
+	erasures := make([]bool, c.N)
+	for n := 0; n < c.N/10; n++ {
+		erasures[r.Intn(c.N)] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Decode(cw, erasures); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

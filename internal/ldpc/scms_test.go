@@ -1,0 +1,79 @@
+package ldpc
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/rng"
+)
+
+func TestSCMSClean(t *testing.T) {
+	c := smallCode(t)
+	d, err := NewSCMS(c, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		cw := randomCodeword(t, c, r)
+		res, err := d.Decode(cleanLLRs(cw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged || !res.Bits.Equal(cw) {
+			t.Fatalf("trial %d: clean SCMS decode failed", trial)
+		}
+	}
+}
+
+func TestSCMSValidation(t *testing.T) {
+	c := smallCode(t)
+	if _, err := NewSCMS(c, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	d, err := NewSCMS(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decode(make([]float64, 2)); err == nil {
+		t.Error("wrong LLR length accepted")
+	}
+}
+
+// TestSCMSBeatsPlainMinSum is the variant's defining claim: the
+// self-correction closes part of the min-sum gap with no correction
+// factor at all.
+func TestSCMSBeatsPlainMinSum(t *testing.T) {
+	c := smallCode(t)
+	g := NewGraph(c)
+	ch, err := channel.NewAWGN(3.6, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewDecoderGraph(g, c, Options{Algorithm: MinSum, MaxIterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scms, err := NewSCMS(c, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	const frames = 400
+	msFail, scmsFail := 0, 0
+	for trial := 0; trial < frames; trial++ {
+		cw := randomCodeword(t, c, r)
+		llr := ch.CorruptCodeword(cw, r)
+		if res, _ := ms.Decode(llr); !res.Bits.Equal(cw) {
+			msFail++
+		}
+		if res, _ := scms.Decode(llr); !res.Bits.Equal(cw) {
+			scmsFail++
+		}
+	}
+	t.Logf("failures/%d: min-sum %d, SCMS %d", frames, msFail, scmsFail)
+	slack := 3 + msFail/5
+	if scmsFail > msFail+slack {
+		t.Errorf("SCMS (%d) clearly worse than plain min-sum (%d)", scmsFail, msFail)
+	}
+}

@@ -1,0 +1,100 @@
+// Package linkbudget computes the received Eb/N0 of a space-to-ground
+// telemetry link — the quantity the decoder's Figure 4 curves are
+// plotted against. It closes the loop between the paper's motivation
+// ("near-earth applications where very high data rates and high
+// reliability are the driving requirements") and its decoder: given a
+// mission geometry and RF parameters, the budget says where on the
+// BER/PER curve the link operates and how much margin the chosen
+// iteration count leaves.
+//
+// Standard link equation, all terms in dB:
+//
+//	Eb/N0 = EIRP − FSPL − L_misc + G/T − 10·log10(k) − 10·log10(R_b)
+//
+// with Boltzmann's constant k = 1.380649e−23 J/K (−228.599 dBW/K/Hz)
+// and R_b the information bit rate.
+package linkbudget
+
+import (
+	"fmt"
+	"math"
+)
+
+// boltzmannDB is 10·log10(k) for k in J/K.
+const boltzmannDB = -228.59916963875672
+
+// SpeedOfLight in m/s.
+const speedOfLight = 299792458.0
+
+// Link describes one direction of a telemetry link.
+type Link struct {
+	// FrequencyHz is the carrier frequency (e.g. 8.2 GHz X-band, 26 GHz
+	// Ka-band for near-earth missions).
+	FrequencyHz float64
+	// RangeMeters is the slant range (e.g. ~2,000 km LEO pass edge,
+	// ~40,000 km GEO).
+	RangeMeters float64
+	// EIRPdBW is the spacecraft's effective isotropic radiated power.
+	EIRPdBW float64
+	// GTdBK is the ground station figure of merit G/T in dB/K.
+	GTdBK float64
+	// MiscLossesDB lumps pointing, polarization, atmosphere and
+	// implementation losses.
+	MiscLossesDB float64
+	// BitRate is the information rate in bits/s.
+	BitRate float64
+}
+
+// Validate checks physical sanity.
+func (l Link) Validate() error {
+	if l.FrequencyHz <= 0 {
+		return fmt.Errorf("linkbudget: frequency %v Hz", l.FrequencyHz)
+	}
+	if l.RangeMeters <= 0 {
+		return fmt.Errorf("linkbudget: range %v m", l.RangeMeters)
+	}
+	if l.BitRate <= 0 {
+		return fmt.Errorf("linkbudget: bit rate %v", l.BitRate)
+	}
+	if l.MiscLossesDB < 0 {
+		return fmt.Errorf("linkbudget: negative losses %v dB", l.MiscLossesDB)
+	}
+	return nil
+}
+
+// FSPLdB returns the free-space path loss 20·log10(4πd/λ).
+func (l Link) FSPLdB() float64 {
+	lambda := speedOfLight / l.FrequencyHz
+	return 20 * math.Log10(4*math.Pi*l.RangeMeters/lambda)
+}
+
+// EbN0dB returns the received information-bit SNR.
+func (l Link) EbN0dB() (float64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	return l.EIRPdBW - l.FSPLdB() - l.MiscLossesDB + l.GTdBK -
+		boltzmannDB - 10*math.Log10(l.BitRate), nil
+}
+
+// Margin returns the link margin against a decoder operating threshold
+// (the Eb/N0 at which the decoder delivers the required PER, from the
+// measured Figure 4 curves).
+func (l Link) Margin(requiredEbN0dB float64) (float64, error) {
+	got, err := l.EbN0dB()
+	if err != nil {
+		return 0, err
+	}
+	return got - requiredEbN0dB, nil
+}
+
+// MaxBitRate returns the highest information rate (bits/s) the link
+// supports at the given required Eb/N0 with the given margin reserve:
+// every 3 dB of surplus doubles the rate.
+func (l Link) MaxBitRate(requiredEbN0dB, reserveDB float64) (float64, error) {
+	margin, err := l.Margin(requiredEbN0dB)
+	if err != nil {
+		return 0, err
+	}
+	return l.BitRate * math.Pow(10, (margin-reserveDB)/10), nil
+}

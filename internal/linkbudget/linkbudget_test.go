@@ -1,0 +1,116 @@
+package linkbudget
+
+import (
+	"math"
+	"testing"
+)
+
+// leoXBand is a typical near-earth scenario: X-band LEO downlink at the
+// edge of a ground-station pass.
+func leoXBand() Link {
+	return Link{
+		FrequencyHz:  8.2e9,
+		RangeMeters:  2.0e6, // 2000 km slant range
+		EIRPdBW:      12,    // ~10 W into a small medium-gain antenna
+		GTdBK:        31,    // 11-m class ground station
+		MiscLossesDB: 3,
+		BitRate:      150e6, // the decoder family's regime
+	}
+}
+
+func TestFSPLKnownValue(t *testing.T) {
+	// FSPL at 8.2 GHz over 2000 km: 20log10(4π·2e6/0.036564) ≈ 176.7 dB.
+	l := leoXBand()
+	got := l.FSPLdB()
+	if math.Abs(got-176.73) > 0.05 {
+		t.Errorf("FSPL = %.2f dB, want ~176.73", got)
+	}
+}
+
+func TestFSPLScaling(t *testing.T) {
+	l := leoXBand()
+	base := l.FSPLdB()
+	l.RangeMeters *= 2
+	if got := l.FSPLdB() - base; math.Abs(got-6.02) > 0.01 {
+		t.Errorf("doubling range added %.2f dB, want 6.02", got)
+	}
+	l = leoXBand()
+	l.FrequencyHz *= 10
+	if got := l.FSPLdB() - base; math.Abs(got-20) > 0.01 {
+		t.Errorf("10x frequency added %.2f dB, want 20", got)
+	}
+}
+
+func TestEbN0HandComputed(t *testing.T) {
+	// Eb/N0 = 12 − 176.73 − 3 + 31 + 228.599 − 10log10(150e6)
+	//       = 12 − 176.73 − 3 + 31 + 228.599 − 81.761 ≈ 10.11 dB.
+	l := leoXBand()
+	got, err := l.EbN0dB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10.11) > 0.05 {
+		t.Errorf("Eb/N0 = %.2f dB, want ~10.11", got)
+	}
+}
+
+func TestMarginAgainstDecoderThreshold(t *testing.T) {
+	// Our measured Figure 4: NMS-18 reaches PER 5e-5 at 4.0 dB. The LEO
+	// scenario then has ~6 dB of margin at 150 Mbps.
+	l := leoXBand()
+	m, err := l.Margin(4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 5.5 || m > 6.7 {
+		t.Errorf("margin = %.2f dB, want ~6.1", m)
+	}
+}
+
+func TestMaxBitRate(t *testing.T) {
+	l := leoXBand()
+	// With a 3 dB reserve, surplus margin converts to rate at 3 dB per
+	// doubling.
+	max, err := l.MaxBitRate(4.0, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max < l.BitRate {
+		t.Errorf("max rate %.0f below nominal %.0f despite positive margin", max, l.BitRate)
+	}
+	// Internal consistency: running AT max rate leaves exactly the
+	// reserve.
+	l2 := l
+	l2.BitRate = max
+	m, err := l2.Margin(4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-3.0) > 1e-9 {
+		t.Errorf("margin at max rate = %v, want 3.0", m)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Link{
+		{},
+		{FrequencyHz: 8e9, RangeMeters: -1, BitRate: 1e6},
+		{FrequencyHz: 8e9, RangeMeters: 1e6, BitRate: 0},
+		{FrequencyHz: 8e9, RangeMeters: 1e6, BitRate: 1e6, MiscLossesDB: -2},
+	}
+	for i, l := range bad {
+		if _, err := l.EbN0dB(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, l)
+		}
+	}
+	l := leoXBand()
+	if _, err := (Link{}).Margin(4); err == nil {
+		t.Error("Margin on invalid link accepted")
+	}
+	if _, err := (Link{}).MaxBitRate(4, 3); err == nil {
+		t.Error("MaxBitRate on invalid link accepted")
+	}
+	if _, err := l.EbN0dB(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package plot renders the paper's graphics without external tooling:
+// the parity-check-matrix scatter chart (Figure 2) as ASCII art, PGM or
+// SVG, and semi-log BER/PER curves (Figure 4) as ASCII or SVG, plus CSV
+// export for downstream plotting.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Scatter is a set of (row, col) points in an rows×cols grid — the ones
+// of a parity-check matrix.
+type Scatter struct {
+	Rows, Cols int
+	Points     [][2]int
+}
+
+// ASCII renders the scatter downsampled into a width×height character
+// grid; cells containing at least one point print '#'.
+func (s Scatter) ASCII(width, height int) string {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("plot: bad ASCII size %dx%d", width, height))
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, p := range s.Points {
+		y := p[0] * height / max(1, s.Rows)
+		x := p[1] * width / max(1, s.Cols)
+		if y >= height {
+			y = height - 1
+		}
+		if x >= width {
+			x = width - 1
+		}
+		grid[y][x] = '#'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "parity-check matrix %dx%d (%d ones), downsampled to %dx%d\n", s.Rows, s.Cols, len(s.Points), width, height)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WritePGM writes the scatter as a binary PGM image, one pixel per
+// matrix cell scaled down by the given factor (>=1); dark pixels are
+// ones.
+func (s Scatter) WritePGM(w io.Writer, scale int) error {
+	if scale < 1 {
+		return fmt.Errorf("plot: scale %d < 1", scale)
+	}
+	width := (s.Cols + scale - 1) / scale
+	height := (s.Rows + scale - 1) / scale
+	img := make([]byte, width*height)
+	for i := range img {
+		img[i] = 255
+	}
+	for _, p := range s.Points {
+		y, x := p[0]/scale, p[1]/scale
+		img[y*width+x] = 0
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	_, err := w.Write(img)
+	return err
+}
+
+// WriteSVG writes the scatter as an SVG with one small rect per point.
+func (s Scatter) WriteSVG(w io.Writer, pixel float64) error {
+	if pixel <= 0 {
+		return fmt.Errorf("plot: pixel %v <= 0", pixel)
+	}
+	width := float64(s.Cols) * pixel
+	height := float64(s.Rows) * pixel
+	if _, err := fmt.Fprintf(w,
+		"<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"black\"/>\n",
+			float64(p[1])*pixel, float64(p[0])*pixel, pixel, pixel); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "</svg>\n")
+	return err
+}
+
+// Series is one named curve of (x, y) samples; y is plotted on a log10
+// axis, so values must be positive (zero samples are skipped).
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// Curves renders semi-log plots (the form of the paper's Figure 4).
+type Curves struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// ASCII renders the curves on a width×height grid with a log10 y-axis.
+func (c Curves) ASCII(width, height int) string {
+	if width <= 8 || height <= 2 {
+		panic(fmt.Sprintf("plot: bad curve size %dx%d", width, height))
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if s.Y[i] <= 0 {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ly := math.Log10(s.Y[i])
+			ymin = math.Min(ymin, ly)
+			ymax = math.Max(ymax, ly)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return c.Title + "\n(no positive samples)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Round the log range outward to whole decades for readable labels.
+	ymin = math.Floor(ymin)
+	ymax = math.Ceil(ymax)
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.Series {
+		mark := s.Marker
+		if mark == 0 {
+			mark = '*'
+		}
+		for i := range s.X {
+			if s.Y[i] <= 0 {
+				continue
+			}
+			x := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			y := int((math.Log10(s.Y[i]) - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - y
+			grid[row][x] = mark
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	for i, row := range grid {
+		// Decade label on the left edge.
+		frac := float64(height-1-i) / float64(height-1)
+		dec := ymin + frac*(ymax-ymin)
+		fmt.Fprintf(&b, "%6.1f |%s\n", dec, string(row))
+	}
+	fmt.Fprintf(&b, "%6s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%6s  %-*.2f%*.2f\n", "", width/2, xmin, width-width/2, xmax)
+	fmt.Fprintf(&b, "   y: log10(%s), x: %s\n", c.YLabel, c.XLabel)
+	for _, s := range c.Series {
+		mark := s.Marker
+		if mark == 0 {
+			mark = '*'
+		}
+		fmt.Fprintf(&b, "   %c = %s\n", mark, s.Name)
+	}
+	return b.String()
+}
+
+// WriteSVG renders the curves as an SVG with a log y-axis, decade grid
+// lines and a legend.
+func (c Curves) WriteSVG(w io.Writer, width, height int) error {
+	if width <= 40 || height <= 40 {
+		return fmt.Errorf("plot: SVG size %dx%d too small", width, height)
+	}
+	const margin = 50.0
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if s.Y[i] <= 0 {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ly := math.Log10(s.Y[i])
+			ymin = math.Min(ymin, ly)
+			ymax = math.Max(ymax, ly)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("plot: no positive samples")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	ymin = math.Floor(ymin)
+	ymax = math.Ceil(ymax)
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	plotW := float64(width) - 2*margin
+	plotH := float64(height) - 2*margin
+	px := func(x float64) float64 { return margin + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return margin + (ymax-math.Log10(y))/(ymax-ymin)*plotH }
+
+	colors := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	if _, err := fmt.Fprintf(w, "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\">\n<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n", width, height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "<text x=\"%d\" y=\"20\" font-size=\"14\" text-anchor=\"middle\">%s</text>\n", width/2, c.Title)
+	// Decade grid.
+	for d := ymin; d <= ymax+1e-9; d++ {
+		y := margin + (ymax-d)/(ymax-ymin)*plotH
+		fmt.Fprintf(w, "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#ddd\"/>\n", margin, y, margin+plotW, y)
+		fmt.Fprintf(w, "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" text-anchor=\"end\">1e%.0f</text>\n", margin-4, y+3, d)
+	}
+	fmt.Fprintf(w, "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"none\" stroke=\"black\"/>\n", margin, margin, plotW, plotH)
+	fmt.Fprintf(w, "<text x=\"%d\" y=\"%d\" font-size=\"12\" text-anchor=\"middle\">%s</text>\n", width/2, height-8, c.XLabel)
+	for si, s := range c.Series {
+		color := colors[si%len(colors)]
+		var pts []string
+		for i := range s.X {
+			if s.Y[i] <= 0 {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(w, "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\"/>\n", strings.Join(pts, " "), color)
+		}
+		for _, p := range pts {
+			var x, y float64
+			fmt.Sscanf(p, "%f,%f", &x, &y)
+			fmt.Fprintf(w, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" fill=\"%s\"/>\n", x, y, color)
+		}
+		fmt.Fprintf(w, "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" fill=\"%s\">%s</text>\n",
+			margin+plotW-150, margin+14*float64(si+1), color, s.Name)
+	}
+	_, err := fmt.Fprint(w, "</svg>\n")
+	return err
+}
+
+// WriteCSV emits the series as tidy CSV: x, series name, y.
+func (c Curves) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s,series,%s\n", sanitizeCSV(c.XLabel), sanitizeCSV(c.YLabel)); err != nil {
+		return err
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%g,%s,%g\n", s.X[i], sanitizeCSV(s.Name), s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sanitizeCSV(s string) string {
+	s = strings.ReplaceAll(s, ",", ";")
+	if s == "" {
+		return "value"
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

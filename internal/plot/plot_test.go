@@ -1,0 +1,172 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccsdsldpc/internal/code"
+)
+
+func testScatter(t *testing.T) Scatter {
+	t.Helper()
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Scatter{Rows: c.M, Cols: c.N, Points: c.Ones()}
+}
+
+func TestScatterASCII(t *testing.T) {
+	s := testScatter(t)
+	out := s.ASCII(64, 16)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 17 { // header + 16 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no points rendered")
+	}
+	if !strings.Contains(lines[0], "496 ones") {
+		t.Errorf("header %q missing ones count", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if len(l) != 64 {
+			t.Fatalf("row width %d, want 64", len(l))
+		}
+	}
+}
+
+func TestScatterASCIIBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	testScatter(t).ASCII(0, 5)
+}
+
+func TestScatterPGM(t *testing.T) {
+	s := testScatter(t)
+	var buf bytes.Buffer
+	if err := s.WritePGM(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n124 62\n255\n")) {
+		t.Fatalf("bad PGM header: %q", out[:20])
+	}
+	pixels := out[len("P5\n124 62\n255\n"):]
+	if len(pixels) != 124*62 {
+		t.Fatalf("pixel count %d, want %d", len(pixels), 124*62)
+	}
+	dark := 0
+	for _, p := range pixels {
+		if p == 0 {
+			dark++
+		}
+	}
+	if dark != len(s.Points) {
+		t.Errorf("dark pixels %d, want %d (4-cycle-free H has no overlap at scale 1)", dark, len(s.Points))
+	}
+	if err := s.WritePGM(&buf, 0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}
+
+func TestScatterSVG(t *testing.T) {
+	s := testScatter(t)
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if got := strings.Count(out, "<rect"); got != len(s.Points)+1 { // +1 background
+		t.Errorf("rect count %d, want %d", got, len(s.Points)+1)
+	}
+	if err := s.WriteSVG(&buf, 0); err == nil {
+		t.Error("pixel 0 accepted")
+	}
+}
+
+func testCurves() Curves {
+	return Curves{
+		Title:  "BER",
+		XLabel: "Eb/N0 (dB)",
+		YLabel: "BER",
+		Series: []Series{
+			{Name: "NMS-18", X: []float64{3, 3.5, 4}, Y: []float64{1e-2, 1e-4, 1e-6}, Marker: 'o'},
+			{Name: "MS-50", X: []float64{3, 3.5, 4}, Y: []float64{2e-2, 5e-4, 1e-5}, Marker: 'x'},
+		},
+	}
+}
+
+func TestCurvesASCII(t *testing.T) {
+	out := testCurves().ASCII(60, 20)
+	for _, want := range []string{"BER", "o = NMS-18", "x = MS-50", "Eb/N0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Error("markers not rendered")
+	}
+}
+
+func TestCurvesASCIIEmpty(t *testing.T) {
+	c := Curves{Title: "empty", Series: []Series{{Name: "none", X: []float64{1}, Y: []float64{0}}}}
+	out := c.ASCII(60, 20)
+	if !strings.Contains(out, "no positive samples") {
+		t.Errorf("empty curve output: %q", out)
+	}
+}
+
+func TestCurvesSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testCurves().WriteSVG(&buf, 600, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("polyline count %d, want 2", strings.Count(out, "<polyline"))
+	}
+	if !strings.Contains(out, "NMS-18") || !strings.Contains(out, "1e-6") {
+		t.Error("legend or decade labels missing")
+	}
+	if err := testCurves().WriteSVG(&buf, 10, 10); err == nil {
+		t.Error("tiny SVG accepted")
+	}
+	empty := Curves{Series: []Series{{X: []float64{1}, Y: []float64{0}}}}
+	if err := empty.WriteSVG(&buf, 600, 400); err == nil {
+		t.Error("empty curves accepted")
+	}
+}
+
+func TestCurvesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testCurves().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 7 { // header + 2 series × 3 points
+		t.Fatalf("got %d CSV lines", len(lines))
+	}
+	if lines[0] != "Eb/N0 (dB);series... " && !strings.Contains(lines[0], "series") {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "NMS-18") {
+		t.Errorf("row %q", lines[1])
+	}
+	// Commas inside labels must be sanitized.
+	c := Curves{XLabel: "a,b", YLabel: "", Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}}}
+	buf.Reset()
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a;b,series,value") {
+		t.Errorf("sanitized header %q", buf.String())
+	}
+}

@@ -1,0 +1,71 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TannerGraph is the edge list of a bipartite Tanner graph for
+// rendering, independent of the ldpc package's internal layout
+// (the paper's Figure 1).
+type TannerGraph struct {
+	// N bit nodes (drawn as circles), M check nodes (squares).
+	N, M int
+	// Edges are (checkNode, bitNode) pairs.
+	Edges [][2]int
+}
+
+// WriteDOT emits the graph in Graphviz DOT form: bit nodes as circles,
+// check nodes as squares, matching the paper's Figure 1 conventions.
+func (t TannerGraph) WriteDOT(w io.Writer) error {
+	if t.N <= 0 || t.M <= 0 {
+		return fmt.Errorf("plot: degenerate Tanner graph %dx%d", t.N, t.M)
+	}
+	if _, err := fmt.Fprintf(w, "graph tanner {\n  rankdir=TB;\n"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  subgraph bits { rank=same;\n")
+	for j := 0; j < t.N; j++ {
+		fmt.Fprintf(w, "    b%d [shape=circle, label=\"b%d\"];\n", j, j)
+	}
+	fmt.Fprintf(w, "  }\n  subgraph checks { rank=same;\n")
+	for i := 0; i < t.M; i++ {
+		fmt.Fprintf(w, "    c%d [shape=square, label=\"c%d\"];\n", i, i)
+	}
+	fmt.Fprintf(w, "  }\n")
+	for _, e := range t.Edges {
+		if e[0] < 0 || e[0] >= t.M || e[1] < 0 || e[1] >= t.N {
+			return fmt.Errorf("plot: edge (%d,%d) out of range", e[0], e[1])
+		}
+		fmt.Fprintf(w, "  c%d -- b%d;\n", e[0], e[1])
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// ASCII renders a small Tanner graph as an adjacency picture: one row
+// per check node, one column per bit node, '#' at each edge — readable
+// up to a few dozen nodes.
+func (t TannerGraph) ASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tanner graph: %d bit nodes (columns), %d check nodes (rows), %d edges\n", t.N, t.M, len(t.Edges))
+	grid := make([][]byte, t.M)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", t.N))
+	}
+	for _, e := range t.Edges {
+		if e[0] >= 0 && e[0] < t.M && e[1] >= 0 && e[1] < t.N {
+			grid[e[0]][e[1]] = '#'
+		}
+	}
+	b.WriteString("      ")
+	for j := 0; j < t.N; j++ {
+		b.WriteByte('0' + byte(j%10))
+	}
+	b.WriteByte('\n')
+	for i, row := range grid {
+		fmt.Fprintf(&b, "c%-4d %s\n", i, row)
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testTanner() TannerGraph {
+	return TannerGraph{
+		N: 6, M: 3,
+		Edges: [][2]int{{0, 0}, {0, 1}, {0, 2}, {1, 2}, {1, 3}, {1, 4}, {2, 4}, {2, 5}, {2, 0}},
+	}
+}
+
+func TestTannerDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testTanner().WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph tanner {") {
+		t.Fatalf("not a DOT graph: %q", out[:20])
+	}
+	if got := strings.Count(out, "shape=circle"); got != 6 {
+		t.Errorf("%d circles, want 6", got)
+	}
+	if got := strings.Count(out, "shape=square"); got != 3 {
+		t.Errorf("%d squares, want 3", got)
+	}
+	if got := strings.Count(out, " -- "); got != 9 {
+		t.Errorf("%d edges, want 9", got)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("unterminated graph")
+	}
+}
+
+func TestTannerDOTValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (TannerGraph{N: 0, M: 2}).WriteDOT(&buf); err == nil {
+		t.Error("degenerate graph accepted")
+	}
+	bad := TannerGraph{N: 2, M: 2, Edges: [][2]int{{5, 0}}}
+	if err := bad.WriteDOT(&buf); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestTannerASCII(t *testing.T) {
+	out := testTanner().ASCII()
+	if !strings.Contains(out, "6 bit nodes") || !strings.Contains(out, "3 check nodes") {
+		t.Errorf("header wrong: %s", out)
+	}
+	if got := strings.Count(out, "#"); got != 9 {
+		t.Errorf("%d edge marks, want 9", got)
+	}
+}

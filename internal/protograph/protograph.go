@@ -1,0 +1,297 @@
+// Package protograph implements protograph-based LDPC code families of
+// the kind the paper's conclusion names as future work: "applying the
+// principles of this generic parallel architecture to other CCSDS
+// recommendation such as the several rates AR4JA LDPC codes for
+// deep-space applications".
+//
+// A protograph is a small base matrix of edge multiplicities; the code
+// is obtained by lifting every base edge into a circulant of that
+// weight. This is exactly the block-circulant Table form the rest of
+// the repository is generic over, so the lifted codes decode on the
+// same message-passing engines and run on the same cycle-accurate
+// architecture model — which is the point the future-work claim makes.
+//
+// Like AR4JA, the deep-space family here has three rates (1/2, 2/3,
+// 4/5) built by extending one base matrix with column pairs, and one
+// high-degree punctured variable-node column that is never transmitted.
+// The exact CCSDS AR4JA base matrices are not reproduced in the paper
+// (and not available offline), so the family uses documented stand-in
+// protographs with the same structural signatures: 3 base checks, a
+// degree-6 punctured column, transmitted degrees 2–3, and two
+// information nodes per protograph. See DESIGN.md for the substitution
+// note.
+package protograph
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/code"
+)
+
+// Rate identifies a member of the deep-space family.
+type Rate int
+
+// The three AR4JA-style rates.
+const (
+	Rate12 Rate = iota // 1/2
+	Rate23             // 2/3
+	Rate45             // 4/5
+)
+
+func (r Rate) String() string {
+	switch r {
+	case Rate12:
+		return "1/2"
+	case Rate23:
+		return "2/3"
+	case Rate45:
+		return "4/5"
+	}
+	return fmt.Sprintf("Rate(%d)", int(r))
+}
+
+// Value returns the nominal code rate (information bits per transmitted
+// bit, with the punctured column excluded from the denominator).
+func (r Rate) Value() float64 {
+	switch r {
+	case Rate12:
+		return 0.5
+	case Rate23:
+		return 2.0 / 3
+	case Rate45:
+		return 0.8
+	}
+	return 0
+}
+
+// Base is a protograph: a base matrix of edge multiplicities plus the
+// set of punctured (untransmitted) base columns.
+type Base struct {
+	// Weights[r][c] is the number of parallel edges between base check r
+	// and base variable c.
+	Weights [][]int
+	// Punctured lists base columns whose lifted bits are not
+	// transmitted.
+	Punctured []int
+}
+
+// Checks returns the number of base check nodes.
+func (b Base) Checks() int { return len(b.Weights) }
+
+// Variables returns the number of base variable nodes.
+func (b Base) Variables() int {
+	if len(b.Weights) == 0 {
+		return 0
+	}
+	return len(b.Weights[0])
+}
+
+// Validate checks structural sanity.
+func (b Base) Validate() error {
+	if b.Checks() == 0 || b.Variables() == 0 {
+		return fmt.Errorf("protograph: empty base matrix")
+	}
+	cols := b.Variables()
+	for r, row := range b.Weights {
+		if len(row) != cols {
+			return fmt.Errorf("protograph: ragged base matrix at row %d", r)
+		}
+		for c, w := range row {
+			if w < 0 {
+				return fmt.Errorf("protograph: negative multiplicity at (%d,%d)", r, c)
+			}
+		}
+	}
+	seen := map[int]bool{}
+	for _, p := range b.Punctured {
+		if p < 0 || p >= cols {
+			return fmt.Errorf("protograph: punctured column %d out of range", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("protograph: punctured column %d repeated", p)
+		}
+		seen[p] = true
+	}
+	// Every variable must have at least one edge, every check at least two.
+	for c := 0; c < cols; c++ {
+		deg := 0
+		for r := range b.Weights {
+			deg += b.Weights[r][c]
+		}
+		if deg == 0 {
+			return fmt.Errorf("protograph: variable %d has degree 0", c)
+		}
+	}
+	for r, row := range b.Weights {
+		deg := 0
+		for _, w := range row {
+			deg += w
+		}
+		if deg < 2 {
+			return fmt.Errorf("protograph: check %d has degree %d < 2", r, deg)
+		}
+	}
+	return nil
+}
+
+// DeepSpaceBase returns the stand-in AR4JA-style protograph for a rate.
+// Column layout: [info0, info1, extension pairs..., parity0, parity1,
+// punctured]. The punctured column has degree 6 like AR4JA's; the
+// extension pairs raise the rate from 1/2 to 2/3 to 4/5 by adding two
+// information columns per step.
+func DeepSpaceBase(r Rate) (Base, error) {
+	// Core rate-1/2 protograph: 3 checks × 5 variables, last punctured.
+	// The punctured column has multiplicities [1, 3, 2] (degree 6 like
+	// AR4JA's). The multiplicity-1 row is essential for min-sum
+	// decodability: a check with two or more erased (LLR-0) neighbours
+	// outputs zero to all of them, so if every check saw the punctured
+	// column at least twice the erasures would be a decoding fixed
+	// point; the weight-1 row resolves every punctured bit in the first
+	// iteration and bootstraps the rest — the same structural trick the
+	// real AR4JA protograph uses.
+	core := [][]int{
+		{2, 1, 1, 0, 1},
+		{1, 2, 0, 1, 3},
+		{0, 1, 2, 1, 2},
+	}
+	pairs := 0
+	switch r {
+	case Rate12:
+	case Rate23:
+		pairs = 2
+	case Rate45:
+		pairs = 6
+	default:
+		return Base{}, fmt.Errorf("protograph: unknown rate %d", int(r))
+	}
+	// Extension columns alternate two degree-3 patterns, matching the
+	// jagged-accumulate structure of the AR4JA extensions.
+	patterns := [][]int{{1, 2, 0}, {0, 1, 2}, {2, 0, 1}}
+	weights := make([][]int, 3)
+	for row := range weights {
+		w := []int{core[row][0], core[row][1]}
+		for p := 0; p < pairs; p++ {
+			w = append(w, patterns[p%3][row])
+		}
+		w = append(w, core[row][2], core[row][3], core[row][4])
+		weights[row] = w
+	}
+	b := Base{Weights: weights, Punctured: []int{len(weights[0]) - 1}}
+	if err := b.Validate(); err != nil {
+		return Base{}, err
+	}
+	return b, nil
+}
+
+// Code is a lifted protograph code: the underlying block-circulant code
+// plus the puncturing pattern.
+type Code struct {
+	// Inner is the lifted code over all base columns (including
+	// punctured ones).
+	Inner *code.Code
+	// Base is the protograph it was lifted from.
+	Base Base
+	// Z is the lifting (circulant) size.
+	Z int
+	// PuncturedCols lists the codeword positions that are never
+	// transmitted, in increasing order.
+	PuncturedCols []int
+
+	punctured []bool
+}
+
+// Lift expands a base protograph by circulants of size z, choosing
+// shifts greedily so the lifted graph has girth ≥ 6. Deterministic per
+// seed.
+func Lift(b Base, z int, seed uint64) (*Code, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if z < 2 {
+		return nil, fmt.Errorf("protograph: lifting size %d < 2", z)
+	}
+	t, err := code.GenerateTableWeights(z, b.Weights, seed)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := code.NewCode(t)
+	if err != nil {
+		return nil, err
+	}
+	pc := &Code{Inner: inner, Base: b, Z: z, punctured: make([]bool, inner.N)}
+	for _, bc := range b.Punctured {
+		for i := 0; i < z; i++ {
+			j := bc*z + i
+			pc.punctured[j] = true
+			pc.PuncturedCols = append(pc.PuncturedCols, j)
+		}
+	}
+	return pc, nil
+}
+
+// NewDeepSpaceCode lifts the stand-in family member with information
+// length k (which must be divisible by the number of information base
+// columns, i.e. by Variables − Checks).
+func NewDeepSpaceCode(r Rate, k int, seed uint64) (*Code, error) {
+	b, err := DeepSpaceBase(r)
+	if err != nil {
+		return nil, err
+	}
+	infoCols := b.Variables() - b.Checks()
+	if infoCols <= 0 || k <= 0 || k%infoCols != 0 {
+		return nil, fmt.Errorf("protograph: k=%d not divisible by %d info columns", k, infoCols)
+	}
+	return Lift(b, k/infoCols, seed)
+}
+
+// K returns the information length of the lifted code.
+func (c *Code) K() int { return c.Inner.K }
+
+// NTransmitted returns the number of transmitted bits per codeword.
+func (c *Code) NTransmitted() int { return c.Inner.N - len(c.PuncturedCols) }
+
+// Rate returns the transmitted code rate K / NTransmitted.
+func (c *Code) Rate() float64 { return float64(c.Inner.K) / float64(c.NTransmitted()) }
+
+// IsPunctured reports whether codeword position j is punctured.
+func (c *Code) IsPunctured(j int) bool { return c.punctured[j] }
+
+// ExpandLLRs maps channel LLRs of the transmitted bits (in codeword
+// order, punctured positions skipped) to a full-length LLR vector with
+// zeros (erasures) at punctured positions.
+func (c *Code) ExpandLLRs(tx []float64) ([]float64, error) {
+	if len(tx) != c.NTransmitted() {
+		return nil, fmt.Errorf("protograph: %d transmitted LLRs, want %d", len(tx), c.NTransmitted())
+	}
+	out := make([]float64, c.Inner.N)
+	at := 0
+	for j := 0; j < c.Inner.N; j++ {
+		if c.punctured[j] {
+			out[j] = 0
+			continue
+		}
+		out[j] = tx[at]
+		at++
+	}
+	return out, nil
+}
+
+// PunctureBits extracts the transmitted bits of a full codeword, in
+// codeword order.
+func (c *Code) PunctureBits(cw []byte) ([]byte, error) {
+	if len(cw) != c.Inner.N {
+		return nil, fmt.Errorf("protograph: %d codeword bits, want %d", len(cw), c.Inner.N)
+	}
+	out := make([]byte, 0, c.NTransmitted())
+	for j, b := range cw {
+		if !c.punctured[j] {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+func (c *Code) String() string {
+	return fmt.Sprintf("protograph(rate=%.3f, k=%d, n_tx=%d, Z=%d, base %dx%d, punctured %d)",
+		c.Rate(), c.Inner.K, c.NTransmitted(), c.Z, c.Base.Checks(), c.Base.Variables(), len(c.PuncturedCols))
+}

@@ -1,0 +1,274 @@
+package protograph
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/rng"
+	"ccsdsldpc/internal/sim"
+)
+
+func TestDeepSpaceBases(t *testing.T) {
+	for _, r := range []Rate{Rate12, Rate23, Rate45} {
+		b, err := DeepSpaceBase(r)
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if b.Checks() != 3 {
+			t.Errorf("%v: %d checks, want 3", r, b.Checks())
+		}
+		infoCols := b.Variables() - b.Checks()
+		tx := b.Variables() - len(b.Punctured)
+		gotRate := float64(infoCols) / float64(tx)
+		if gotRate != r.Value() {
+			t.Errorf("%v: nominal rate %v, want %v", r, gotRate, r.Value())
+		}
+		// The punctured column mirrors AR4JA's degree-6 node.
+		pcol := b.Punctured[0]
+		deg := 0
+		for row := range b.Weights {
+			deg += b.Weights[row][pcol]
+		}
+		if deg != 6 {
+			t.Errorf("%v: punctured column degree %d, want 6", r, deg)
+		}
+	}
+	if _, err := DeepSpaceBase(Rate(9)); err == nil {
+		t.Error("unknown rate accepted")
+	}
+}
+
+func TestBaseValidation(t *testing.T) {
+	bad := []Base{
+		{},
+		{Weights: [][]int{{1, 2}, {1}}},
+		{Weights: [][]int{{1, -1}}},
+		{Weights: [][]int{{1, 1}}, Punctured: []int{5}},
+		{Weights: [][]int{{1, 1}}, Punctured: []int{0, 0}},
+		{Weights: [][]int{{1, 0}, {1, 0}}}, // degree-0 variable
+		{Weights: [][]int{{1, 0}, {1, 2}}}, // degree-1 check
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestLiftParameters(t *testing.T) {
+	for _, r := range []Rate{Rate12, Rate23, Rate45} {
+		// k = 512 keeps the lifting size Z >= 64 for every rate; much
+		// smaller Z cannot satisfy the 4-cycle-free shift constraints of
+		// the 11-column rate-4/5 base.
+		k := 512
+		c, err := NewDeepSpaceCode(r, k, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if c.K() < k {
+			t.Errorf("%v: K = %d, want >= %d", r, c.K(), k)
+		}
+		// Rank deficiency can make K slightly above nominal; it must not
+		// be below, and the realized rate must be within 2%% of nominal.
+		if got := c.Rate(); got < r.Value() || got > r.Value()*1.02 {
+			t.Errorf("%v: realized rate %v vs nominal %v", r, got, r.Value())
+		}
+		if c.Inner.HasFourCycle() {
+			t.Errorf("%v: lifted code has 4-cycles", r)
+		}
+		if len(c.PuncturedCols) != c.Z {
+			t.Errorf("%v: %d punctured bits, want Z=%d", r, len(c.PuncturedCols), c.Z)
+		}
+		for _, j := range c.PuncturedCols {
+			if !c.IsPunctured(j) {
+				t.Errorf("%v: IsPunctured(%d) false", r, j)
+			}
+		}
+	}
+}
+
+func TestNewDeepSpaceCodeValidation(t *testing.T) {
+	if _, err := NewDeepSpaceCode(Rate12, 127, 1); err == nil {
+		t.Error("k not divisible by info columns accepted")
+	}
+	if _, err := NewDeepSpaceCode(Rate12, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Lift(Base{Weights: [][]int{{2, 2}}}, 1, 1); err == nil {
+		t.Error("z=1 accepted")
+	}
+}
+
+func TestExpandPunctureRoundTrip(t *testing.T) {
+	c, err := NewDeepSpaceCode(Rate12, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	info := bitvec.New(c.Inner.K)
+	for i := 0; i < info.Len(); i++ {
+		if r.Bool() {
+			info.Set(i)
+		}
+	}
+	cw := c.Inner.Encode(info).Bits()
+	tx, err := c.PunctureBits(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx) != c.NTransmitted() {
+		t.Fatalf("transmitted %d bits, want %d", len(tx), c.NTransmitted())
+	}
+	// Clean transmitted LLRs + erased punctured bits must decode back to
+	// the full codeword.
+	llrTx := make([]float64, len(tx))
+	for i, b := range tx {
+		if b == 0 {
+			llrTx[i] = 8
+		} else {
+			llrTx[i] = -8
+		}
+	}
+	llr, err := c.ExpandLLRs(llrTx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, v := range llr {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros != len(c.PuncturedCols) {
+		t.Fatalf("%d erasures, want %d", zeros, len(c.PuncturedCols))
+	}
+	dec, err := ldpc.NewDecoder(c.Inner, ldpc.Options{Algorithm: ldpc.SumProduct, MaxIterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dec.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("punctured decode did not converge on clean channel")
+	}
+	if !res.Bits.Equal(bitvec.FromBits(cw)) {
+		t.Fatal("punctured bits not recovered")
+	}
+
+	if _, err := c.ExpandLLRs(make([]float64, 3)); err == nil {
+		t.Error("wrong transmitted length accepted")
+	}
+	if _, err := c.PunctureBits(make([]byte, 3)); err == nil {
+		t.Error("wrong codeword length accepted")
+	}
+}
+
+// TestRateOrdering is the deep-space family's Figure-4-style check:
+// higher-rate members need more SNR, so at a fixed Eb/N0 in the
+// waterfall the frame error rate must increase with the rate.
+func TestRateOrdering(t *testing.T) {
+	pers := make([]float64, 0, 3)
+	for _, r := range []Rate{Rate12, Rate23, Rate45} {
+		pc, err := NewDeepSpaceCode(r, 512, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.Config{
+			Code: pc.Inner,
+			NewDecoder: func() (sim.FrameDecoder, error) {
+				return ldpc.NewDecoder(pc.Inner, ldpc.Options{
+					Algorithm: ldpc.NormalizedMinSum, MaxIterations: 30, Alpha: 1.25,
+				})
+			},
+			MinFrameErrors: 60,
+			MaxFrames:      4000,
+			Seed:           5,
+			PuncturedCols:  pc.PuncturedCols,
+		}
+		p, err := sim.RunPoint(cfg, 3.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pers = append(pers, p.PER())
+		t.Logf("rate %v: PER %.3e over %d frames", r, p.PER(), p.Frames)
+	}
+	// Rate 4/5 must be clearly worst; rates 1/2 and 2/3 are close at
+	// this short blocklength, so only require 1/2 not meaningfully worse.
+	if !(pers[1] < pers[2] && pers[0] < pers[2]) {
+		t.Errorf("high rate not worst: %v", pers)
+	}
+	if pers[0] > 2*pers[1] {
+		t.Errorf("rate 1/2 much worse than 2/3: %v", pers)
+	}
+}
+
+// TestGenericArchitectureRunsProtograph is the future-work claim: the
+// paper's generic machine, built for the near-earth code, accepts the
+// lifted deep-space tables unchanged — conflict-free banking and
+// bit-exact against the reference datapath.
+func TestGenericArchitectureRunsProtograph(t *testing.T) {
+	for _, r := range []Rate{Rate12, Rate45} {
+		pc, err := NewDeepSpaceCode(r, 512, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := hwsim.LowCost()
+		cfg.Iterations = 8
+		cfg.CheckConflicts = true
+		m, err := hwsim.New(pc.Inner, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if m.NumCNUnits() != 3 {
+			t.Errorf("%v: %d CN units, want 3 (one per base check)", r, m.NumCNUnits())
+		}
+		ref, err := fixed.NewDecoder(pc.Inner, fixed.Params{
+			Format: cfg.Format, Scale: cfg.Scale,
+			MaxIterations: cfg.Iterations, DisableEarlyStop: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := channel.NewAWGN(3.0, pc.Rate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg := rng.New(9)
+		zero := bitvec.New(pc.Inner.N)
+		llr := ch.CorruptCodeword(zero, rg)
+		for _, j := range pc.PuncturedCols {
+			llr[j] = 0
+		}
+		q := cfg.Format.QuantizeSlice(nil, llr)
+		hard, _, err := m.DecodeBatch([][]int16{q})
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		res := ref.DecodeQ(q)
+		if !hard[0].Equal(res.Bits) {
+			t.Errorf("%v: machine disagrees with reference on protograph code", r)
+		}
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	c, err := NewDeepSpaceCode(Rate23, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.String(); s == "" {
+		t.Error("empty String")
+	}
+	if Rate12.String() != "1/2" || Rate45.String() != "4/5" || Rate(7).String() == "" {
+		t.Error("Rate.String wrong")
+	}
+}

@@ -1,0 +1,173 @@
+// Package resource is an analytical FPGA resource model for the generic
+// decoder architecture, reproducing the paper's Tables 2 and 3.
+//
+// The model has the structure a synthesis report aggregates:
+//
+//	logic  = control (shared, independent of frame packing)
+//	       + F · per-lane datapath (CN units, BN units, memory interface),
+//	         proportional to the message width q
+//	memory = the RAM inventory of the machine (hwsim.Memories)
+//
+// Per-component coefficients cannot be derived from first principles
+// without running the authors' VHDL through Quartus, so they are
+// calibrated against the paper's two synthesis results (Table 2:
+// low-cost on a Cyclone II EP2C50F; Table 3: high-speed on a Stratix II
+// EP2S180). What the model then adds over the raw tables is structure:
+// it exposes how resources scale with frame packing F and message width
+// q (ablation A4 in DESIGN.md), and it reproduces the paper's headline
+// observation that ×8 throughput costs only ~×4-5 logic because control
+// and addressing are shared.
+package resource
+
+import (
+	"fmt"
+	"strings"
+
+	"ccsdsldpc/internal/hwsim"
+)
+
+// Device describes an FPGA's capacity.
+type Device struct {
+	// Name is the part number.
+	Name string
+	// LogicCells is the ALUT (Stratix II) or LE (Cyclone II) count. The
+	// paper quotes both families in "ALUTs"; we keep its terminology.
+	LogicCells int
+	// Registers is the flip-flop count.
+	Registers int
+	// MemoryBits is the total block RAM capacity in bits.
+	MemoryBits int
+}
+
+// The paper's two targets. Capacities are the vendors' published totals:
+// EP2C50 has 50,528 LEs and 129 M4K blocks (594,432 bits); EP2S180 has
+// 143,520 ALUTs and 9,383,040 bits of TriMatrix memory.
+var (
+	CycloneIIEP2C50 = Device{
+		Name:       "Altera Cyclone II EP2C50F",
+		LogicCells: 50528,
+		Registers:  50528,
+		MemoryBits: 594432,
+	}
+	StratixIIEP2S180 = Device{
+		Name:       "Altera Stratix II EP2S180",
+		LogicCells: 143520,
+		Registers:  143520,
+		MemoryBits: 9383040,
+	}
+)
+
+// Coefficients are the calibrated per-component logic costs.
+type Coefficients struct {
+	// ControlALUTs and ControlRegs cover the controller, address
+	// generators, offset ROMs and I/O sequencing — shared across frame
+	// lanes.
+	ControlALUTs float64
+	ControlRegs  float64
+	// LaneALUTsPerBit and LaneRegsPerBit cover one frame lane's datapath
+	// (CN units, BN units, bank interfaces) per message bit q.
+	LaneALUTsPerBit float64
+	LaneRegsPerBit  float64
+}
+
+// DefaultCoefficients are calibrated so the model reproduces the paper's
+// Table 2 (q=6, F=1 → ~8k ALUTs, ~6k registers) and Table 3 (q=5, F=8 →
+// ~38k ALUTs, ~30k registers); see the package comment.
+func DefaultCoefficients() Coefficients {
+	return Coefficients{
+		ControlALUTs:    2706,
+		ControlRegs:     1765,
+		LaneALUTsPerBit: 882.4,
+		LaneRegsPerBit:  705.9,
+	}
+}
+
+// Estimate is a predicted synthesis result.
+type Estimate struct {
+	Config hwsim.Config
+	Device Device
+
+	ALUTs      int
+	Registers  int
+	MemoryBits int
+	// Memories is the itemized RAM inventory behind MemoryBits.
+	Memories []hwsim.RAM
+
+	// Utilization fractions against the device.
+	ALUTUtil   float64
+	RegUtil    float64
+	MemoryUtil float64
+}
+
+// EstimateMachine predicts the resources of a machine on a device.
+func EstimateMachine(m *hwsim.Machine, dev Device, coef Coefficients) (Estimate, error) {
+	cfg := m.Config()
+	if dev.LogicCells <= 0 || dev.Registers <= 0 || dev.MemoryBits <= 0 {
+		return Estimate{}, fmt.Errorf("resource: degenerate device %+v", dev)
+	}
+	q := float64(cfg.Format.Bits)
+	f := float64(cfg.Frames)
+	e := Estimate{
+		Config:    cfg,
+		Device:    dev,
+		ALUTs:     int(coef.ControlALUTs + f*q*coef.LaneALUTsPerBit),
+		Registers: int(coef.ControlRegs + f*q*coef.LaneRegsPerBit),
+		Memories:  m.Memories(),
+	}
+	for _, r := range e.Memories {
+		e.MemoryBits += r.Bits()
+	}
+	e.ALUTUtil = float64(e.ALUTs) / float64(dev.LogicCells)
+	e.RegUtil = float64(e.Registers) / float64(dev.Registers)
+	e.MemoryUtil = float64(e.MemoryBits) / float64(dev.MemoryBits)
+	if e.ALUTUtil > 1 || e.RegUtil > 1 || e.MemoryUtil > 1 {
+		return e, fmt.Errorf("resource: configuration does not fit %s (ALUT %.0f%%, reg %.0f%%, mem %.0f%%)",
+			dev.Name, 100*e.ALUTUtil, 100*e.RegUtil, 100*e.MemoryUtil)
+	}
+	return e, nil
+}
+
+// PaperTable holds the published numbers for comparison.
+type PaperTable struct {
+	ALUTs, Registers, MemoryBits int
+	ALUTPct, RegPct, MemPct      int
+}
+
+// Table2Paper is the paper's low-cost synthesis result.
+var Table2Paper = PaperTable{ALUTs: 8000, Registers: 6000, MemoryBits: 290000, ALUTPct: 16, RegPct: 12, MemPct: 50}
+
+// Table3Paper is the paper's high-speed synthesis result.
+var Table3Paper = PaperTable{ALUTs: 38000, Registers: 30000, MemoryBits: 1300000, ALUTPct: 27, RegPct: 20, MemPct: 20}
+
+// Report renders an estimate as a table next to the paper's numbers.
+func (e Estimate) Report(paper *PaperTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Configuration: %d frame(s), %s messages, %d iterations\n",
+		e.Config.Frames, e.Config.Format, e.Config.Iterations)
+	fmt.Fprintf(&b, "Target device: %s\n\n", e.Device.Name)
+	fmt.Fprintf(&b, "%-14s %12s %8s", "resource", "estimate", "util")
+	if paper != nil {
+		fmt.Fprintf(&b, " %14s %8s", "paper", "paper%")
+	}
+	b.WriteByte('\n')
+	row := func(name string, est int, util float64, paperVal, paperPct int) {
+		fmt.Fprintf(&b, "%-14s %12d %7.1f%%", name, est, 100*util)
+		if paper != nil {
+			fmt.Fprintf(&b, " %14d %7d%%", paperVal, paperPct)
+		}
+		b.WriteByte('\n')
+	}
+	pv := PaperTable{}
+	if paper != nil {
+		pv = *paper
+	}
+	row("ALUTs", e.ALUTs, e.ALUTUtil, pv.ALUTs, pv.ALUTPct)
+	row("registers", e.Registers, e.RegUtil, pv.Registers, pv.RegPct)
+	row("memory bits", e.MemoryBits, e.MemoryUtil, pv.MemoryBits, pv.MemPct)
+	b.WriteString("\nMemory inventory:\n")
+	for _, r := range e.Memories {
+		fmt.Fprintf(&b, "  %-14s %4d x %4d words x %3d bits = %8d bits\n",
+			r.Name, r.Instances, r.Words, r.WidthBits, r.Bits())
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/ldpc"
+)
+
+func pairedArms(c *code.Code) []Arm {
+	return []Arm{
+		{Name: "nms-18", NewDecoder: nmsFactory(c, 18)},
+		{Name: "ms-18", NewDecoder: func() (FrameDecoder, error) {
+			return ldpc.NewDecoder(c, ldpc.Options{Algorithm: ldpc.MinSum, MaxIterations: 18})
+		}},
+	}
+}
+
+func TestRunPairedBasics(t *testing.T) {
+	c := smallCode(t)
+	cfg := Config{Code: c, NewDecoder: nmsFactory(c, 18), Seed: 1, Workers: 3}
+	res, err := RunPaired(cfg, pairedArms(c), 3.4, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 600 {
+		t.Fatalf("frames = %d, want 600", res.Frames)
+	}
+	if len(res.FrameErrors) != 2 {
+		t.Fatalf("arms = %d", len(res.FrameErrors))
+	}
+	// On the same noise, normalized min-sum must not lose more frames
+	// than plain min-sum.
+	if res.FrameErrors[0] > res.FrameErrors[1] {
+		t.Errorf("nms errors %d > ms errors %d on identical noise", res.FrameErrors[0], res.FrameErrors[1])
+	}
+	// Discordant counts must reconcile with the marginals:
+	// err_i − err_j = disc[i][j] − disc[j][i].
+	if res.FrameErrors[0]-res.FrameErrors[1] != res.Discordant[0][1]-res.Discordant[1][0] {
+		t.Errorf("discordant counts inconsistent: %+v", res)
+	}
+	out := res.Format([]string{"nms-18", "ms-18"})
+	for _, want := range []string{"paired comparison", "nms-18", "failed where"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestRunPairedDeterministic(t *testing.T) {
+	c := smallCode(t)
+	cfg := Config{Code: c, NewDecoder: nmsFactory(c, 10), Seed: 9}
+	a, err := RunPaired(cfg, pairedArms(c), 3.2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 5
+	b, err := RunPaired(cfg, pairedArms(c), 3.2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.FrameErrors {
+		if a.FrameErrors[i] != b.FrameErrors[i] {
+			t.Fatalf("worker count changed paired counts: %v vs %v", a.FrameErrors, b.FrameErrors)
+		}
+	}
+}
+
+func TestRunPairedValidation(t *testing.T) {
+	c := smallCode(t)
+	cfg := Config{Code: c, NewDecoder: nmsFactory(c, 10), Seed: 1}
+	if _, err := RunPaired(cfg, pairedArms(c)[:1], 3.2, 100); err == nil {
+		t.Error("single arm accepted")
+	}
+	if _, err := RunPaired(cfg, pairedArms(c), 3.2, 0); err == nil {
+		t.Error("zero frames accepted")
+	}
+	if _, err := RunPaired(Config{}, pairedArms(c), 3.2, 10); err == nil {
+		t.Error("nil code accepted")
+	}
+}

@@ -1,0 +1,307 @@
+// Package sim is the Monte-Carlo BER/PER harness that regenerates the
+// paper's Figure 4: bit and packet error rates of the decoder versus
+// Eb/N0 on a BPSK/AWGN channel.
+//
+// Frames are simulated in parallel by worker goroutines, each with its
+// own decoder instance and split RNG stream, so a run is a deterministic
+// function of (config, seed, worker count is irrelevant to the set of
+// frames only to their interleaving — statistics are exact counts and
+// order-independent).
+//
+// A point stops when it has seen MinFrameErrors frame errors (sound
+// relative precision) or MaxFrames frames, whichever comes first.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/rng"
+	"ccsdsldpc/internal/stats"
+)
+
+// FrameDecoder is the decoding interface the harness drives. Both
+// ldpc.Decoder and fixed.Decoder satisfy it.
+type FrameDecoder interface {
+	Decode(llr []float64) (ldpc.Result, error)
+}
+
+// Config describes one measurement campaign.
+type Config struct {
+	// Code under test.
+	Code *code.Code
+	// NewDecoder creates a per-worker decoder instance.
+	NewDecoder func() (FrameDecoder, error)
+	// MinFrameErrors stops a point once this many frame errors have been
+	// observed (default 50).
+	MinFrameErrors int
+	// MaxFrames bounds the work per point (default 100_000).
+	MaxFrames int
+	// Workers is the parallelism (default GOMAXPROCS).
+	Workers int
+	// Seed makes the campaign reproducible.
+	Seed uint64
+	// RandomData encodes random information words instead of simulating
+	// the all-zero codeword. The all-zero shortcut is exact for
+	// symmetric channels and linear codes; RandomData exercises the
+	// encoder too.
+	RandomData bool
+	// PuncturedCols lists codeword positions that are never transmitted
+	// (protograph-punctured nodes). Their channel LLRs are erased to
+	// zero, and the channel operates at the effective transmitted rate
+	// K / (N − len(PuncturedCols)).
+	PuncturedCols []int
+}
+
+func (c *Config) setDefaults() error {
+	if c.Code == nil {
+		return fmt.Errorf("sim: nil code")
+	}
+	if c.NewDecoder == nil {
+		return fmt.Errorf("sim: nil decoder factory")
+	}
+	if c.MinFrameErrors <= 0 {
+		c.MinFrameErrors = 50
+	}
+	if c.MaxFrames <= 0 {
+		c.MaxFrames = 100000
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// Point is the measurement at one Eb/N0.
+type Point struct {
+	EbN0dB float64
+
+	// Frames simulated and frame (packet) errors observed. A frame is in
+	// error if any decoded information bit differs from the transmitted
+	// one.
+	Frames      int64
+	FrameErrors int64
+	// InfoBits / InfoBitErrors count information-bit errors (the BER the
+	// paper plots); CodeBits counts over the whole codeword.
+	InfoBits      int64
+	InfoBitErrors int64
+	CodeBits      int64
+	CodeBitErrors int64
+	// Converged counts frames whose syndrome reached zero.
+	Converged int64
+	// TotalIterations across frames (for average-iteration statistics).
+	TotalIterations int64
+
+	Elapsed time.Duration
+}
+
+// BER returns the information-bit error rate.
+func (p Point) BER() float64 {
+	if p.InfoBits == 0 {
+		return 0
+	}
+	return float64(p.InfoBitErrors) / float64(p.InfoBits)
+}
+
+// PER returns the packet (frame) error rate.
+func (p Point) PER() float64 {
+	if p.Frames == 0 {
+		return 0
+	}
+	return float64(p.FrameErrors) / float64(p.Frames)
+}
+
+// AvgIterations returns the mean decoding iterations per frame.
+func (p Point) AvgIterations() float64 {
+	if p.Frames == 0 {
+		return 0
+	}
+	return float64(p.TotalIterations) / float64(p.Frames)
+}
+
+// BERInterval returns the 95% Wilson interval of the BER.
+func (p Point) BERInterval() (lo, hi float64) {
+	r := stats.Rate{Events: p.InfoBitErrors, Trials: p.InfoBits}
+	return r.Wilson(1.96)
+}
+
+// PERInterval returns the 95% Wilson interval of the PER.
+func (p Point) PERInterval() (lo, hi float64) {
+	r := stats.Rate{Events: p.FrameErrors, Trials: p.Frames}
+	return r.Wilson(1.96)
+}
+
+// RunPoint measures one Eb/N0 operating point.
+func RunPoint(cfg Config, ebn0dB float64) (Point, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return Point{}, err
+	}
+	nTx := cfg.Code.N - len(cfg.PuncturedCols)
+	if nTx <= 0 || nTx < cfg.Code.K {
+		return Point{}, fmt.Errorf("sim: puncturing leaves %d transmitted bits for k=%d", nTx, cfg.Code.K)
+	}
+	ch, err := channel.NewAWGN(ebn0dB, float64(cfg.Code.K)/float64(nTx))
+	if err != nil {
+		return Point{}, err
+	}
+	var punctured []bool
+	if len(cfg.PuncturedCols) > 0 {
+		punctured = make([]bool, cfg.Code.N)
+		for _, j := range cfg.PuncturedCols {
+			if j < 0 || j >= cfg.Code.N {
+				return Point{}, fmt.Errorf("sim: punctured column %d out of range", j)
+			}
+			punctured[j] = true
+		}
+	}
+	start := time.Now()
+	pointSeed := cfg.Seed ^ uint64(int64(ebn0dB*1000))*0x9e3779b97f4a7c15
+
+	var mu sync.Mutex
+	total := Point{EbN0dB: ebn0dB}
+	// stopErrs is set once enough frame errors have accumulated; frame
+	// indices are claimed atomically so that a MaxFrames-bounded run
+	// simulates exactly frames [0, MaxFrames) regardless of scheduling.
+	var stopErrs atomic.Bool
+	var nextFrame atomic.Int64
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dec, err := cfg.NewDecoder()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			local := Point{}
+			c := cfg.Code
+			zero := bitvec.New(c.N)
+			flush := func() {
+				mu.Lock()
+				accumulate(&total, &local)
+				if total.FrameErrors >= int64(cfg.MinFrameErrors) {
+					stopErrs.Store(true)
+				}
+				mu.Unlock()
+				local = Point{}
+			}
+			defer flush()
+			for batch := 0; ; batch++ {
+				if stopErrs.Load() {
+					return
+				}
+				idx := nextFrame.Add(1) - 1
+				if idx >= int64(cfg.MaxFrames) {
+					return
+				}
+				// Every frame is a pure function of (seed, index).
+				r := rng.New(pointSeed ^ uint64(idx)*0xd1b54a32d192ed03)
+				var cw *bitvec.Vector
+				if cfg.RandomData {
+					info := bitvec.New(c.K)
+					for i := 0; i < c.K; i++ {
+						if r.Bool() {
+							info.Set(i)
+						}
+					}
+					cw = c.Encode(info)
+				} else {
+					cw = zero
+				}
+				llr := ch.CorruptCodeword(cw, r)
+				// Punctured positions are never transmitted: the decoder
+				// sees an erasure (LLR 0) regardless of the noise draw.
+				for j, p := range punctured {
+					if p {
+						llr[j] = 0
+					}
+				}
+				res, err := dec.Decode(llr)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				diff := res.Bits.Clone()
+				diff.Xor(cw)
+				codeErrs := diff.PopCount()
+				infoErrs := 0
+				if codeErrs > 0 {
+					for _, j := range c.InfoCols {
+						infoErrs += diff.Bit(j)
+					}
+				}
+				local.Frames++
+				local.CodeBits += int64(c.N)
+				local.InfoBits += int64(c.K)
+				local.CodeBitErrors += int64(codeErrs)
+				local.InfoBitErrors += int64(infoErrs)
+				local.TotalIterations += int64(res.Iterations)
+				if res.Converged {
+					local.Converged++
+				}
+				if infoErrs > 0 {
+					local.FrameErrors++
+				}
+				// Flush every few frames so the error-stop condition is
+				// responsive without lock contention.
+				if batch%8 == 7 || infoErrs > 0 {
+					flush()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Point{}, err
+		}
+	}
+	total.Elapsed = time.Since(start)
+	return total, nil
+}
+
+func accumulate(dst, src *Point) {
+	dst.Frames += src.Frames
+	dst.FrameErrors += src.FrameErrors
+	dst.InfoBits += src.InfoBits
+	dst.InfoBitErrors += src.InfoBitErrors
+	dst.CodeBits += src.CodeBits
+	dst.CodeBitErrors += src.CodeBitErrors
+	dst.Converged += src.Converged
+	dst.TotalIterations += src.TotalIterations
+}
+
+// RunSweep measures a whole Eb/N0 curve.
+func RunSweep(cfg Config, ebn0s []float64) ([]Point, error) {
+	pts := make([]Point, 0, len(ebn0s))
+	for _, e := range ebn0s {
+		p, err := RunPoint(cfg, e)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// Sweep builds a uniformly spaced Eb/N0 grid.
+func Sweep(from, to, step float64) []float64 {
+	if step <= 0 || to < from {
+		panic(fmt.Sprintf("sim: bad sweep [%v,%v] step %v", from, to, step))
+	}
+	var out []float64
+	for x := from; x <= to+1e-9; x += step {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/ldpc"
+)
+
+func smallCode(t testing.TB) *code.Code {
+	t.Helper()
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func nmsFactory(c *code.Code, iters int) func() (FrameDecoder, error) {
+	g := ldpc.NewGraph(c)
+	return func() (FrameDecoder, error) {
+		return ldpc.NewDecoderGraph(g, c, ldpc.Options{
+			Algorithm: ldpc.NormalizedMinSum, MaxIterations: iters, Alpha: 1.25,
+		})
+	}
+}
+
+func TestRunPointBasics(t *testing.T) {
+	c := smallCode(t)
+	cfg := Config{
+		Code:           c,
+		NewDecoder:     nmsFactory(c, 20),
+		MinFrameErrors: 10,
+		MaxFrames:      3000,
+		Workers:        4,
+		Seed:           1,
+	}
+	p, err := RunPoint(cfg, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Frames == 0 {
+		t.Fatal("no frames simulated")
+	}
+	if p.FrameErrors < 10 && p.Frames < 3000 {
+		t.Fatalf("stopped early: %d errors in %d frames", p.FrameErrors, p.Frames)
+	}
+	if p.InfoBits != p.Frames*int64(c.K) {
+		t.Errorf("InfoBits = %d, want %d", p.InfoBits, p.Frames*int64(c.K))
+	}
+	if p.CodeBits != p.Frames*int64(c.N) {
+		t.Errorf("CodeBits = %d, want %d", p.CodeBits, p.Frames*int64(c.N))
+	}
+	if p.BER() <= 0 || p.BER() >= 1 {
+		t.Errorf("BER = %v", p.BER())
+	}
+	if p.PER() < p.BER() {
+		t.Errorf("PER %v < BER %v; impossible", p.PER(), p.BER())
+	}
+	lo, hi := p.BERInterval()
+	if !(lo <= p.BER() && p.BER() <= hi) {
+		t.Errorf("BER %v outside its interval [%v, %v]", p.BER(), lo, hi)
+	}
+	if p.AvgIterations() <= 0 || p.AvgIterations() > 20 {
+		t.Errorf("AvgIterations = %v", p.AvgIterations())
+	}
+}
+
+func TestBERDecreasesWithSNR(t *testing.T) {
+	c := smallCode(t)
+	cfg := Config{
+		Code:           c,
+		NewDecoder:     nmsFactory(c, 20),
+		MinFrameErrors: 25,
+		MaxFrames:      4000,
+		Seed:           2,
+	}
+	pts, err := RunSweep(cfg, []float64{2.0, 3.0, 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if !(pts[0].PER() > pts[1].PER() && pts[1].PER() >= pts[2].PER()) {
+		t.Errorf("PER not decreasing: %v %v %v", pts[0].PER(), pts[1].PER(), pts[2].PER())
+	}
+}
+
+func TestAllZeroMatchesRandomData(t *testing.T) {
+	// Channel symmetry: the all-zero shortcut and random-data simulation
+	// must agree within statistics.
+	c := smallCode(t)
+	base := Config{
+		Code:           c,
+		NewDecoder:     nmsFactory(c, 20),
+		MinFrameErrors: 60,
+		MaxFrames:      6000,
+		Seed:           3,
+	}
+	zero, err := RunPoint(base, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randCfg := base
+	randCfg.RandomData = true
+	randCfg.Seed = 4
+	randPt, err := RunPoint(randCfg, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zl, zh := randPt.PERInterval()
+	// The all-zero PER point estimate should fall in (a widened version
+	// of) the random-data interval.
+	margin := (zh - zl)
+	if zero.PER() < zl-margin || zero.PER() > zh+margin {
+		t.Errorf("all-zero PER %v outside random-data interval [%v,%v]", zero.PER(), zl, zh)
+	}
+}
+
+func TestFixedDecoderWorksInHarness(t *testing.T) {
+	c := smallCode(t)
+	cfg := Config{
+		Code: c,
+		NewDecoder: func() (FrameDecoder, error) {
+			return fixed.NewDecoder(c, fixed.Params{
+				Format: fixed.Format{Bits: 6, Frac: 2}, Scale: fixed.Scale{Num: 3, Shift: 2}, MaxIterations: 18,
+			})
+		},
+		MinFrameErrors: 10,
+		MaxFrames:      2000,
+		Seed:           5,
+	}
+	p, err := RunPoint(cfg, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Frames == 0 {
+		t.Fatal("no frames")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	// Frames are pure functions of (seed, index), so a MaxFrames-bounded
+	// run simulates exactly the same frame set for ANY worker count.
+	c := smallCode(t)
+	mk := func(seed uint64, workers int) Point {
+		cfg := Config{
+			Code:           c,
+			NewDecoder:     nmsFactory(c, 10),
+			MinFrameErrors: 1 << 30,
+			MaxFrames:      500,
+			Workers:        workers,
+			Seed:           seed,
+		}
+		p, err := RunPoint(cfg, 3.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := mk(7, 2), mk(7, 5)
+	if a.InfoBitErrors != b.InfoBitErrors || a.Frames != b.Frames || a.FrameErrors != b.FrameErrors {
+		t.Errorf("same seed differs across worker counts: %+v vs %+v", a, b)
+	}
+	c2 := mk(8, 2)
+	if a.InfoBitErrors == c2.InfoBitErrors && a.FrameErrors == c2.FrameErrors {
+		t.Error("different seeds produced identical error counts (suspicious)")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := RunPoint(Config{}, 3); err == nil {
+		t.Error("nil code accepted")
+	}
+	c := smallCode(t)
+	if _, err := RunPoint(Config{Code: c}, 3); err == nil {
+		t.Error("nil factory accepted")
+	}
+}
+
+func TestSweepGrid(t *testing.T) {
+	g := Sweep(3.0, 4.0, 0.5)
+	if len(g) != 3 || g[0] != 3.0 || g[2] != 4.0 {
+		t.Errorf("Sweep = %v", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad sweep did not panic")
+		}
+	}()
+	Sweep(4, 3, 0.5)
+}
+
+func TestPointZeroValues(t *testing.T) {
+	var p Point
+	if p.BER() != 0 || p.PER() != 0 || p.AvgIterations() != 0 {
+		t.Error("zero point rates not zero")
+	}
+}

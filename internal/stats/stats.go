@@ -1,0 +1,142 @@
+// Package stats provides the small statistical helpers the Monte-Carlo
+// harness needs: streaming moments, binomial error-rate estimates with
+// confidence intervals, and histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Running accumulates count, mean and variance in one pass (Welford).
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean (0 for no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Rate is a binomial error-rate estimator: events out of trials.
+type Rate struct {
+	Events int64
+	Trials int64
+}
+
+// AddN records events out of n new trials.
+func (r *Rate) AddN(events, n int64) {
+	r.Events += events
+	r.Trials += n
+}
+
+// Estimate returns the point estimate events/trials (0 if no trials).
+func (r *Rate) Estimate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Events) / float64(r.Trials)
+}
+
+// Wilson returns the Wilson score interval at the given z (1.96 for
+// 95%). It is well-behaved at very low event counts, which is the
+// regime of BER measurement.
+func (r *Rate) Wilson(z float64) (lo, hi float64) {
+	n := float64(r.Trials)
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(r.Events) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// RelHalfWidth returns the 95% interval half-width relative to the
+// estimate; +Inf when the estimate is zero. Stopping rules use it.
+func (r *Rate) RelHalfWidth() float64 {
+	p := r.Estimate()
+	if p == 0 {
+		return math.Inf(1)
+	}
+	lo, hi := r.Wilson(1.96)
+	return (hi - lo) / 2 / p
+}
+
+func (r *Rate) String() string {
+	lo, hi := r.Wilson(1.96)
+	return fmt.Sprintf("%.3e (%d/%d, 95%% CI [%.2e, %.2e])", r.Estimate(), r.Events, r.Trials, lo, hi)
+}
+
+// Histogram counts observations in uniform bins over [Min, Max); values
+// outside are clamped into the edge bins.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int64
+}
+
+// NewHistogram creates a histogram with the given bin count.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins <= 0 || max <= min {
+		panic(fmt.Sprintf("stats: bad histogram [%v,%v) with %d bins", min, max, bins))
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	b := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + w*(float64(i)+0.5)
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic set is 4; unbiased = 32/7.
+	if math.Abs(r.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %v, want %v", r.Variance(), 32.0/7)
+	}
+	if math.Abs(r.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("stddev = %v", r.StdDev())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.N() != 0 {
+		t.Error("empty Running not zeroed")
+	}
+}
+
+func TestRateEstimate(t *testing.T) {
+	var r Rate
+	if r.Estimate() != 0 {
+		t.Error("empty rate estimate not 0")
+	}
+	r.AddN(3, 100)
+	r.AddN(1, 100)
+	if got := r.Estimate(); got != 0.02 {
+		t.Errorf("estimate = %v, want 0.02", got)
+	}
+}
+
+func TestWilsonProperties(t *testing.T) {
+	var r Rate
+	r.AddN(5, 1000)
+	lo, hi := r.Wilson(1.96)
+	p := r.Estimate()
+	if !(lo < p && p < hi) {
+		t.Errorf("interval [%v,%v] does not contain %v", lo, hi, p)
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("interval [%v,%v] outside [0,1]", lo, hi)
+	}
+	// Zero events still gives a sensible nonzero upper bound.
+	var z Rate
+	z.AddN(0, 100)
+	lo, hi = z.Wilson(1.96)
+	if lo != 0 || hi <= 0 {
+		t.Errorf("zero-event interval [%v,%v]", lo, hi)
+	}
+	// No trials: fully uninformative.
+	var e Rate
+	lo, hi = e.Wilson(1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("no-trial interval [%v,%v], want [0,1]", lo, hi)
+	}
+}
+
+func TestWilsonShrinksWithN(t *testing.T) {
+	a := Rate{Events: 10, Trials: 100}
+	b := Rate{Events: 100, Trials: 1000}
+	alo, ahi := a.Wilson(1.96)
+	blo, bhi := b.Wilson(1.96)
+	if bhi-blo >= ahi-alo {
+		t.Error("interval did not shrink with more trials at same rate")
+	}
+}
+
+func TestRelHalfWidth(t *testing.T) {
+	var r Rate
+	if !math.IsInf(r.RelHalfWidth(), 1) {
+		t.Error("RelHalfWidth of empty rate not +Inf")
+	}
+	r.AddN(100, 10000)
+	w := r.RelHalfWidth()
+	if w <= 0 || w > 1 {
+		t.Errorf("RelHalfWidth = %v", w)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	r := Rate{Events: 2, Trials: 1000}
+	if s := r.String(); s == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 3, 9.9, -4, 15} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 3 { // 0.5, 1, and clamped -4
+		t.Errorf("bin 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.9 and clamped 15
+		t.Errorf("bin 4 = %d, want 2", h.Counts[4])
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+}
+
+func TestHistogramBadArgsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestPropertyRunningMeanWithinRange(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		min, max := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, x := range xs {
+			// Restrict to magnitudes where the variance accumulator
+			// cannot overflow; BER statistics live in [0, 1] anyway.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue
+			}
+			r.Add(x)
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		return r.Mean() >= min-1e-9 && r.Mean() <= max+1e-9 && r.Variance() >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyWilsonContainsEstimate(t *testing.T) {
+	f := func(events uint16, extra uint16) bool {
+		r := Rate{Events: int64(events), Trials: int64(events) + int64(extra) + 1}
+		lo, hi := r.Wilson(1.96)
+		p := r.Estimate()
+		return lo <= p+1e-12 && p <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package ccsdsldpc
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/correction"
+	"ccsdsldpc/internal/sim"
+)
+
+// BERPoint is one Monte-Carlo measurement at a single Eb/N0, the unit of
+// the paper's Figure 4.
+type BERPoint struct {
+	EbN0dB        float64
+	BER           float64 // information-bit error rate
+	PER           float64 // packet (frame) error rate
+	Frames        int64
+	FrameErrors   int64
+	AvgIterations float64
+	// BERLow/BERHigh are the 95% confidence bounds on BER.
+	BERLow, BERHigh float64
+}
+
+// MeasureOptions controls a BER campaign.
+type MeasureOptions struct {
+	// MinFrameErrors per point before stopping (default 50).
+	MinFrameErrors int
+	// MaxFrames per point (default 100000).
+	MaxFrames int
+	// Workers (default GOMAXPROCS).
+	Workers int
+	// Seed for reproducibility.
+	Seed uint64
+	// TestCode measures on the fast miniature code instead of the full
+	// 8176-bit code.
+	TestCode bool
+}
+
+// MeasureBER runs the Monte-Carlo harness at each Eb/N0 for a decoder
+// configuration.
+func MeasureBER(cfg Config, ebn0s []float64, opts MeasureOptions) ([]BERPoint, error) {
+	var c *code.Code
+	var err error
+	if opts.TestCode {
+		c, err = code.SmallTestCode(2, 4, 31, 1)
+	} else {
+		c, err = code.CCSDS()
+	}
+	if err != nil {
+		return nil, err
+	}
+	scfg := sim.Config{
+		Code: c,
+		NewDecoder: func() (sim.FrameDecoder, error) {
+			return buildDecoder(c, cfg)
+		},
+		MinFrameErrors: opts.MinFrameErrors,
+		MaxFrames:      opts.MaxFrames,
+		Workers:        opts.Workers,
+		Seed:           opts.Seed,
+	}
+	pts, err := sim.RunSweep(scfg, ebn0s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BERPoint, len(pts))
+	for i, p := range pts {
+		lo, hi := p.BERInterval()
+		out[i] = BERPoint{
+			EbN0dB:        p.EbN0dB,
+			BER:           p.BER(),
+			PER:           p.PER(),
+			Frames:        p.Frames,
+			FrameErrors:   p.FrameErrors,
+			AvgIterations: p.AvgIterations(),
+			BERLow:        lo,
+			BERHigh:       hi,
+		}
+	}
+	return out, nil
+}
+
+// EstimateCorrectionFactor runs the Chen–Fossorier matching procedure
+// the paper uses for its fine-scaled correction factor: it returns the
+// per-iteration α schedule and the global α fitted at the given Eb/N0.
+func EstimateCorrectionFactor(ebn0dB float64, iterations, frames int, seed uint64, testCode bool) (alphas []float64, global float64, err error) {
+	var c *code.Code
+	if testCode {
+		c, err = code.SmallTestCode(2, 4, 31, 1)
+	} else {
+		c, err = code.CCSDS()
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	est, err := correction.EstimateAlpha(c, correction.Config{
+		EbN0dB: ebn0dB, Iterations: iterations, Frames: frames, Seed: seed,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return est.Alphas, est.Global, nil
+}
+
+// FormatBERTable renders measured points as a fixed-width table.
+func FormatBERTable(pts []BERPoint) string {
+	s := fmt.Sprintf("%8s %12s %12s %10s %10s %8s\n", "Eb/N0", "BER", "PER", "frames", "frameErr", "avgIter")
+	for _, p := range pts {
+		s += fmt.Sprintf("%8.2f %12.3e %12.3e %10d %10d %8.2f\n",
+			p.EbN0dB, p.BER, p.PER, p.Frames, p.FrameErrors, p.AvgIterations)
+	}
+	return s
+}
