@@ -19,6 +19,7 @@ import (
 	"sync"
 	"testing"
 
+	"ccsdsldpc/internal/batch"
 	"ccsdsldpc/internal/bitvec"
 	"ccsdsldpc/internal/channel"
 	"ccsdsldpc/internal/code"
@@ -377,6 +378,74 @@ func BenchmarkSoftwareDecodeNMS18FullCode(b *testing.B) {
 	// Software throughput for comparison with the architecture model.
 	nsPerFrame := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	b.ReportMetric(float64(c.K)/nsPerFrame*1000, "sw_mbps")
+}
+
+// --- Frame-packed SWAR batch decoding (paper's high-speed trick in
+// software): 8 frames as int8 lanes of uint64 words. The pair
+// BenchmarkScalarFixedDecode8 / BenchmarkBatchDecode8 measures the same
+// work — 8 noisy frames through the Q(5,1) fixed-latency datapath — so
+// frames_per_sec is directly comparable (the acceptance target is ≥3×).
+
+func batchBenchFrames(b *testing.B, c *code.Code, f fixed.Format) [][]int16 {
+	b.Helper()
+	qs := make([][]int16, batch.Lanes)
+	for i := range qs {
+		llr, _ := noisyLLR(b, c, 4.2, uint64(100+i))
+		qs[i] = f.QuantizeSlice(nil, llr)
+	}
+	return qs
+}
+
+func batchBenchParams() fixed.Params {
+	p := fixed.DefaultHighSpeedParams()
+	p.DisableEarlyStop = true // the hardware's fixed-period schedule
+	return p
+}
+
+func BenchmarkScalarFixedDecode8(b *testing.B) {
+	c := ccsdsCode(b)
+	p := batchBenchParams()
+	d, err := fixed.NewDecoderGraph(sharedGraph(b, c), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := batchBenchFrames(b, c, p.Format)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			d.DecodeQ(q)
+		}
+	}
+	b.StopTimer()
+	reportFramesPerSec(b, batch.Lanes, c)
+}
+
+func BenchmarkBatchDecode8(b *testing.B) {
+	c := ccsdsCode(b)
+	p := batchBenchParams()
+	d, err := batch.NewDecoderGraph(sharedGraph(b, c), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := batchBenchFrames(b, c, p.Format)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.DecodeQ(qs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportFramesPerSec(b, batch.Lanes, c)
+}
+
+// reportFramesPerSec attaches decoded frames/sec and the software
+// info-bit throughput to a benchmark that decodes `frames` frames per
+// iteration.
+func reportFramesPerSec(b *testing.B, frames int, c *code.Code) {
+	nsPerIter := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	fps := float64(frames) / (nsPerIter / 1e9)
+	b.ReportMetric(fps, "frames_per_sec")
+	b.ReportMetric(fps*float64(c.K)/1e6, "sw_mbps")
 }
 
 func BenchmarkEncodeFullCode(b *testing.B) {

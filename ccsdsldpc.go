@@ -3,12 +3,14 @@ package ccsdsldpc
 import (
 	"fmt"
 
+	"ccsdsldpc/internal/batch"
 	"ccsdsldpc/internal/bitvec"
 	"ccsdsldpc/internal/channel"
 	"ccsdsldpc/internal/code"
 	"ccsdsldpc/internal/fixed"
 	"ccsdsldpc/internal/ldpc"
 	"ccsdsldpc/internal/rng"
+	"ccsdsldpc/internal/sim"
 )
 
 // Algorithm selects the decoding rule.
@@ -159,6 +161,39 @@ func buildDecoder(c *code.Code, cfg Config) (frameDecoder, error) {
 		Alpha:         cfg.Alpha,
 		AlphaSchedule: cfg.AlphaSchedule,
 		Beta:          cfg.Beta,
+	})
+}
+
+// buildBatchDecoder builds the frame-packed SWAR decoder for a config.
+// Batch decoding packs the quantized normalized-min-sum datapath only:
+// it is the software analogue of the paper's high-speed memory layout,
+// which stores one fixed-point message per frame side by side in a
+// wide word. QuantBits defaults to 5 here (the high-speed format); the
+// packed int8 lanes cannot hold the 6-bit low-cost format's sums.
+func buildBatchDecoder(c *code.Code, cfg Config) (sim.BatchDecoder, error) {
+	if !cfg.Quantized || cfg.Algorithm != NormalizedMinSum {
+		return nil, fmt.Errorf("ccsdsldpc: batch decoding requires the quantized NormalizedMinSum datapath")
+	}
+	bits := cfg.QuantBits
+	if bits == 0 {
+		bits = 5
+	}
+	frac := bits - 4
+	if frac < 0 {
+		frac = 0
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 4.0 / 3
+	}
+	scale, err := fixed.ScaleForAlpha(alpha, 4)
+	if err != nil {
+		return nil, err
+	}
+	return batch.NewDecoder(c, fixed.Params{
+		Format:        fixed.Format{Bits: bits, Frac: frac},
+		Scale:         scale,
+		MaxIterations: cfg.Iterations,
 	})
 }
 

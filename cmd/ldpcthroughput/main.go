@@ -2,9 +2,14 @@
 // data rate versus iteration count for the low-cost and high-speed
 // configurations, from the cycle-accurate architecture model.
 //
+// With -batch n it additionally measures this machine's software
+// decoding throughput, scalar versus frame-packed SWAR (n frames' int8
+// messages per 64-bit word, the software analogue of the paper's
+// high-speed frame-packed memory).
+//
 // Usage:
 //
-//	ldpcthroughput [-iters 10,18,50] [-clock 200] [-detail]
+//	ldpcthroughput [-iters 10,18,50] [-clock 200] [-detail] [-batch 8]
 package main
 
 import (
@@ -13,9 +18,15 @@ import (
 	"log"
 	"strconv"
 	"strings"
+	"time"
 
+	"ccsdsldpc/internal/batch"
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
 	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
 	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/rng"
 	"ccsdsldpc/internal/throughput"
 )
 
@@ -26,6 +37,8 @@ func main() {
 		itersFlag = flag.String("iters", "10,18,50", "comma-separated iteration counts")
 		clock     = flag.Float64("clock", 200, "system clock in MHz")
 		detail    = flag.Bool("detail", false, "print the cycle breakdown per configuration")
+		batchN    = flag.Int("batch", 0, "also measure software throughput, scalar vs n-frame packed SWAR (2..8)")
+		batchFr   = flag.Int("batchframes", 64, "frames per software throughput measurement")
 	)
 	flag.Parse()
 
@@ -56,6 +69,73 @@ func main() {
 				cfg.Frames, cfg.Format, m.CyclesPerBatch(), m.NumCNUnits(), m.NumBNUnits(), m.NumBanks(), m.MessagesPerCycle())
 		}
 	}
+
+	if *batchN > 0 {
+		if err := softwareBatchReport(c, *batchN, *batchFr); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// softwareBatchReport times the software reference decoders on this
+// machine: the scalar fixed-point decoder frame by frame versus the
+// frame-packed SWAR decoder at `lanes` frames per word, over the same
+// deterministic noisy frames (4.2 dB, Q(5,1), 18 iterations at a fixed
+// decoding period like the architecture model).
+func softwareBatchReport(c *code.Code, lanes, frames int) error {
+	if lanes < 2 || lanes > batch.Lanes {
+		return fmt.Errorf("-batch must be in [2,%d]", batch.Lanes)
+	}
+	if frames < lanes {
+		frames = lanes
+	}
+	p := fixed.DefaultHighSpeedParams()
+	p.DisableEarlyStop = true
+	sd, err := fixed.NewDecoder(c, p)
+	if err != nil {
+		return err
+	}
+	bd, err := batch.NewDecoder(c, p)
+	if err != nil {
+		return err
+	}
+	ch, err := channel.NewAWGN(4.2, c.Rate())
+	if err != nil {
+		return err
+	}
+	zero := bitvec.New(c.N)
+	qs := make([][]int16, frames)
+	for i := range qs {
+		r := rng.New(uint64(i)*0x9e3779b97f4a7c15 + 1)
+		qs[i] = make([]int16, c.N)
+		p.Format.QuantizeSlice(qs[i], ch.CorruptCodeword(zero, r))
+	}
+
+	start := time.Now()
+	for _, q := range qs {
+		sd.DecodeQ(q)
+	}
+	scalarFPS := float64(frames) / time.Since(start).Seconds()
+
+	start = time.Now()
+	for i := 0; i < frames; i += lanes {
+		j := i + lanes
+		if j > frames {
+			j = frames
+		}
+		if _, err := bd.DecodeQ(qs[i:j]); err != nil {
+			return err
+		}
+	}
+	packedFPS := float64(frames) / time.Since(start).Seconds()
+
+	mbps := func(fps float64) float64 { return fps * float64(c.K) / 1e6 }
+	fmt.Printf("\nSoftware throughput on this machine — %d frames, Q(%d,%d), %d iterations, fixed period:\n",
+		frames, p.Format.Bits, p.Format.Frac, p.MaxIterations)
+	fmt.Printf("  scalar fixed-point        %10.1f frames/s %10.2f Mbit/s\n", scalarFPS, mbps(scalarFPS))
+	fmt.Printf("  packed SWAR x%d            %10.1f frames/s %10.2f Mbit/s   speedup x%.1f\n",
+		lanes, packedFPS, mbps(packedFPS), packedFPS/scalarFPS)
+	return nil
 }
 
 // paperIfDefault returns the paper comparison column only when the run

@@ -321,6 +321,45 @@ func TestBECWithPeeling(t *testing.T) {
 	}
 }
 
+// TestMeasureBERBatchMatchesScalar: the facade's batched measurement
+// path (MeasureOptions.BatchSize, routed through the frame-packed SWAR
+// decoder) must reproduce the scalar quantized path's statistics
+// exactly — the packed decoder is bit-compatible lane by lane and the
+// simulated frame set depends only on (seed, index).
+func TestMeasureBERBatchMatchesScalar(t *testing.T) {
+	cfg := ccsdsldpc.Config{
+		Algorithm: ccsdsldpc.NormalizedMinSum, Iterations: 18, Alpha: 4.0 / 3,
+		Quantized: true, QuantBits: 5,
+	}
+	opts := ccsdsldpc.MeasureOptions{
+		MinFrameErrors: 1 << 30, MaxFrames: 60, Seed: 4, TestCode: true,
+	}
+	want, err := ccsdsldpc.MeasureBER(cfg, []float64{2.5}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.BatchSize = 8
+	got, err := ccsdsldpc.MeasureBER(cfg, []float64{2.5}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].BER != want[0].BER || got[0].PER != want[0].PER ||
+		got[0].Frames != want[0].Frames || got[0].FrameErrors != want[0].FrameErrors ||
+		got[0].AvgIterations != want[0].AvgIterations {
+		t.Fatalf("batched point %+v != scalar point %+v", got[0], want[0])
+	}
+	if want[0].FrameErrors == 0 || want[0].FrameErrors == want[0].Frames {
+		t.Fatalf("operating point degenerate: %d/%d frame errors", want[0].FrameErrors, want[0].Frames)
+	}
+	// The batch path refuses non-quantized configs rather than silently
+	// measuring a different decoder.
+	bad := cfg
+	bad.Quantized = false
+	if _, err := ccsdsldpc.MeasureBER(bad, []float64{2.5}, opts); err == nil {
+		t.Fatal("BatchSize with a float config accepted")
+	}
+}
+
 // TestIterationTradeoff is the paper's central operating-point argument
 // (Table 1 + Figure 4 together): more iterations help error correction
 // with diminishing returns — "eighteen iterations is a good trade-off

@@ -1,0 +1,340 @@
+package batch
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/ldpc"
+)
+
+// Decoder is a frame-packed quantized normalized min-sum decoder: up to
+// Lanes independent frames are decoded per call, their messages stored
+// as int8 lanes of shared uint64 words. One pass over the Tanner graph
+// advances all lanes at once; lanes never interact.
+//
+// Lane f of a decode is bit-compatible with fixed.Decoder configured
+// with the same Params: identical hard decisions, iteration counts and
+// convergence flags (see the cross-check tests). A Decoder is not safe
+// for concurrent use.
+type Decoder struct {
+	g *ldpc.Graph
+	p fixed.Params
+
+	// Packed per-lane state: one uint64 holds the int8 values of all
+	// Lanes frames (lane f = byte f).
+	qw    []uint64 // channel LLRs, per VN
+	vcw   []uint64 // variable→check messages, per edge
+	cvw   []uint64 // check→variable messages, per edge
+	postw []uint64 // posteriors, per VN
+
+	hard [Lanes]*bitvec.Vector
+	q16  []int16 // quantization scratch for Decode
+
+	// Precomputed lane constants.
+	maxVec    uint64 // +Format.Max() in every lane
+	negMaxVec uint64 // −Format.Max() in every lane
+	num       uint64 // Scale.Num
+	shift     uint   // Scale.Shift
+	shiftMask uint64 // (0xFF >> shift) in every lane
+}
+
+// NewDecoder builds a packed decoder for a code.
+func NewDecoder(c *code.Code, p fixed.Params) (*Decoder, error) {
+	return NewDecoderGraph(ldpc.NewGraph(c), p)
+}
+
+// NewDecoderGraph builds a packed decoder over a shared graph. The
+// format must be narrow enough for the int8 lanes: every bit-node sum
+// (degree+2 terms of magnitude ≤ Max) must fit in int8, and scaled
+// magnitudes must fit in a byte. The paper's high-speed Q(5,1) format
+// on the column-weight-4 CCSDS code satisfies both; the low-cost Q(6,2)
+// format does not (which is exactly why the paper's high-speed decoder
+// narrows its messages to 5 bits before packing 8 per word).
+func NewDecoderGraph(g *ldpc.Graph, p fixed.Params) (*Decoder, error) {
+	if err := p.Format.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Scale.Validate(); err != nil {
+		return nil, err
+	}
+	if p.MaxIterations < 1 {
+		return nil, fmt.Errorf("batch: MaxIterations %d < 1", p.MaxIterations)
+	}
+	maxVN, maxCN, minCN := 0, 0, g.E+1
+	for i := 0; i < g.M; i++ {
+		dcn := g.CNDegree(i)
+		if dcn > maxCN {
+			maxCN = dcn
+		}
+		if dcn < minCN {
+			minCN = dcn
+		}
+	}
+	for j := 0; j < g.N; j++ {
+		if d := g.VNDegree(j); d > maxVN {
+			maxVN = d
+		}
+	}
+	max := int(p.Format.Max())
+	if (maxVN+2)*max > 127 {
+		return nil, fmt.Errorf("batch: %s with column weight %d overflows int8 lanes ((%d+2)×%d > 127); use a ≤5-bit format",
+			p.Format, maxVN, maxVN, max)
+	}
+	if max*p.Scale.Num > 255 {
+		return nil, fmt.Errorf("batch: scale %s overflows a lane product (%d×%d > 255)", p.Scale, max, p.Scale.Num)
+	}
+	if maxCN > 127 {
+		return nil, fmt.Errorf("batch: check degree %d exceeds the 127-edge lane index range", maxCN)
+	}
+	if minCN < 2 {
+		return nil, fmt.Errorf("batch: degree-%d check node; packed min1/min2 needs degree ≥ 2", minCN)
+	}
+	d := &Decoder{
+		g: g, p: p,
+		qw:        make([]uint64, g.N),
+		vcw:       make([]uint64, g.E),
+		cvw:       make([]uint64, g.E),
+		postw:     make([]uint64, g.N),
+		q16:       make([]int16, g.N),
+		maxVec:    broadcast8(uint8(int8(max))),
+		negMaxVec: broadcast8(uint8(int8(-max))),
+		num:       uint64(p.Scale.Num),
+		shift:     uint(p.Scale.Shift),
+		shiftMask: broadcast8(0xFF >> uint(p.Scale.Shift)),
+	}
+	for f := 0; f < Lanes; f++ {
+		d.hard[f] = bitvec.New(g.N)
+	}
+	return d, nil
+}
+
+// Params returns the decoder configuration.
+func (d *Decoder) Params() fixed.Params { return d.p }
+
+// Decode quantizes up to Lanes frames of real LLRs and decodes them
+// together. Result f corresponds to llrs[f]; the returned Bits vectors
+// are reused across calls, clone to retain.
+func (d *Decoder) Decode(llrs [][]float64) ([]ldpc.Result, error) {
+	if len(llrs) < 1 || len(llrs) > Lanes {
+		return nil, fmt.Errorf("batch: %d frames per call, want 1..%d", len(llrs), Lanes)
+	}
+	for f, llr := range llrs {
+		if len(llr) != d.g.N {
+			return nil, fmt.Errorf("batch: frame %d has %d LLRs for code length %d", f, len(llr), d.g.N)
+		}
+	}
+	for f, llr := range llrs {
+		d.p.Format.QuantizeSlice(d.q16, llr)
+		d.packLane(f, d.q16)
+	}
+	d.zeroTailLanes(len(llrs))
+	return d.decode(len(llrs)), nil
+}
+
+// DecodeQ decodes up to Lanes frames of already-quantized channel LLRs
+// (each length N). Values outside the format range are saturated into
+// it during packing, so equality with fixed.Decoder.DecodeQ holds for
+// inputs within the format range (which Format.Quantize guarantees).
+func (d *Decoder) DecodeQ(qllrs [][]int16) ([]ldpc.Result, error) {
+	if len(qllrs) < 1 || len(qllrs) > Lanes {
+		return nil, fmt.Errorf("batch: %d frames per call, want 1..%d", len(qllrs), Lanes)
+	}
+	for f, q := range qllrs {
+		if len(q) != d.g.N {
+			return nil, fmt.Errorf("batch: frame %d has %d LLRs for code length %d", f, len(q), d.g.N)
+		}
+	}
+	for f, q := range qllrs {
+		d.packLane(f, q)
+	}
+	d.zeroTailLanes(len(qllrs))
+	return d.decode(len(qllrs)), nil
+}
+
+// packLane writes one frame's quantized LLRs into lane f of qw,
+// saturating into the format range.
+func (d *Decoder) packLane(f int, q []int16) {
+	max := d.p.Format.Max()
+	for j, v := range q {
+		if v > max {
+			v = max
+		} else if v < -max {
+			v = -max
+		}
+		d.qw[j] = putLane(d.qw[j], f, int8(v))
+	}
+}
+
+// zeroTailLanes erases the lanes beyond the supplied frames so a
+// partial batch computes on all-zero (trivially converged) tail lanes.
+func (d *Decoder) zeroTailLanes(nf int) {
+	if nf == Lanes {
+		return
+	}
+	keep := ^uint64(0) >> (8 * uint(Lanes-nf))
+	for j := range d.qw {
+		d.qw[j] &= keep
+	}
+}
+
+// decode runs the packed iteration loop and unpacks per-lane results.
+func (d *Decoder) decode(nf int) []ldpc.Result {
+	g := d.g
+	for e := 0; e < g.E; e++ {
+		d.vcw[e] = d.qw[g.EdgeVN[e]]
+		d.cvw[e] = 0
+	}
+	// done holds 0xFF in every frozen lane. Tail lanes beyond the batch
+	// are frozen from the start; their state is all zero.
+	var done uint64
+	if nf < Lanes {
+		done = ^(^uint64(0) >> (8 * uint(Lanes-nf)))
+	}
+	var iters [Lanes]int
+	var conv [Lanes]bool
+	earlyStop := !d.p.DisableEarlyStop
+
+	for it := 0; it < d.p.MaxIterations; it++ {
+		d.cnPhase(done)
+		d.bnPhase()
+		if !earlyStop {
+			continue
+		}
+		unsat := d.unsatLanes(done)
+		if newly := ^unsat &^ done; newly != 0 {
+			for f := 0; f < nf; f++ {
+				if newly&(0xFF<<(8*uint(f))) != 0 {
+					iters[f] = it + 1
+					conv[f] = true
+				}
+			}
+			done |= newly
+			if done == ^uint64(0) {
+				break
+			}
+		}
+	}
+	if earlyStop {
+		for f := 0; f < nf; f++ {
+			if !conv[f] {
+				iters[f] = d.p.MaxIterations
+			}
+		}
+	} else {
+		unsat := d.unsatLanes(done)
+		for f := 0; f < nf; f++ {
+			iters[f] = d.p.MaxIterations
+			conv[f] = unsat&(0xFF<<(8*uint(f))) == 0
+		}
+	}
+	res := make([]ldpc.Result, nf)
+	for f := 0; f < nf; f++ {
+		d.unpackHard(f)
+		res[f] = ldpc.Result{Bits: d.hard[f], Iterations: iters[f], Converged: conv[f]}
+	}
+	return res
+}
+
+// cnPhase runs the packed check-node update (paper equation (2)) over
+// every check node: per lane, the sign product and scaled min of the
+// other inputs, computed with the min1/min2 trick on all 8 lanes at
+// once. Lanes flagged in done keep their previous messages, which
+// freezes the whole lane trajectory (the bit-node pass is a pure
+// function of cv and the channel word).
+func (d *Decoder) cnPhase(done uint64) {
+	g := d.g
+	vcw, cvw := d.vcw, d.cvw
+	num, shift, shiftMask := d.num, d.shift, d.shiftMask
+	for i := 0; i < g.M; i++ {
+		lo, hi := int(g.CNOff[i]), int(g.CNOff[i+1])
+		// Pass 1: per-lane sign parity, min1, min2 and min1's position.
+		var signAcc, minIdx uint64
+		min1 := ^laneMSB // +127 in every lane: above any magnitude
+		min2 := ^laneMSB
+		idx := uint64(0)
+		for e := lo; e < hi; e++ {
+			x := vcw[e]
+			signAcc ^= x & laneMSB
+			m := abs8(x)
+			lt1 := ltMask8(m, min1)
+			min2 = blend8(min8(min2, m), min1, lt1)
+			minIdx = blend8(minIdx, idx, lt1)
+			min1 = blend8(min1, m, lt1)
+			idx += laneLSB
+		}
+		// Pass 2: each edge outputs min1 — or min2 in the lanes where
+		// this edge is the minimum — scaled by Num/2^Shift, with the
+		// extrinsic sign.
+		idx = 0
+		for e := lo; e < hi; e++ {
+			x := vcw[e]
+			eq := eqMask8(minIdx, idx)
+			m := blend8(min1, min2, eq)
+			v := m * num >> shift & shiftMask
+			sf := boolMask8(signAcc ^ x)
+			out := sub8(v^sf, sf)
+			if done != 0 {
+				out = blend8(out, cvw[e], done)
+			}
+			cvw[e] = out
+			idx += laneLSB
+		}
+	}
+}
+
+// bnPhase runs the packed bit-node update (paper equation (3)): the
+// posterior is the channel word plus all incoming messages; each
+// outgoing message is the posterior minus the edge's own input,
+// saturated into the format range.
+func (d *Decoder) bnPhase() {
+	g := d.g
+	vcw, cvw, postw := d.vcw, d.cvw, d.postw
+	copy(postw, d.qw)
+	for e := 0; e < g.E; e++ {
+		j := g.EdgeVN[e]
+		postw[j] = add8(postw[j], cvw[e])
+	}
+	maxVec, negMaxVec := d.maxVec, d.negMaxVec
+	for e := 0; e < g.E; e++ {
+		x := sub8(postw[g.EdgeVN[e]], cvw[e])
+		x = blend8(x, maxVec, ltMask8(maxVec, x))
+		x = blend8(x, negMaxVec, ltMask8(x, negMaxVec))
+		vcw[e] = x
+	}
+}
+
+// unsatLanes evaluates all parity checks on the packed posterior signs
+// and returns 0xFF in every lane with at least one unsatisfied check.
+// It exits early once every lane not in done is known unsatisfied.
+func (d *Decoder) unsatLanes(done uint64) uint64 {
+	g := d.g
+	postw := d.postw
+	doneMSB := done & laneMSB
+	var acc uint64
+	for i := 0; i < g.M; i++ {
+		var par uint64
+		for e := int(g.CNOff[i]); e < int(g.CNOff[i+1]); e++ {
+			par ^= postw[g.EdgeVN[e]]
+		}
+		acc |= par & laneMSB
+		if acc|doneMSB == laneMSB {
+			break
+		}
+	}
+	return boolMask8(acc)
+}
+
+// unpackHard extracts lane f's hard decision (posterior sign) into the
+// lane's bit vector.
+func (d *Decoder) unpackHard(f int) {
+	h := d.hard[f]
+	h.Zero()
+	sh := uint(8*f + 7)
+	for j, w := range d.postw {
+		if w>>sh&1 == 1 {
+			h.Set(j)
+		}
+	}
+}

@@ -87,8 +87,9 @@ type Options struct {
 	DisableEarlyStop bool
 	// TraceSyndrome records the number of unsatisfied checks after each
 	// iteration (SyndromeTrace), the convergence trajectory behind the
-	// paper's "very fast iterative convergence" claim. Costs one full
-	// syndrome evaluation per iteration when early stop is disabled.
+	// paper's "very fast iterative convergence" claim. The recorded
+	// weight doubles as the early-stop zero test, so tracing costs one
+	// syndrome evaluation per iteration in every mode.
 	TraceSyndrome bool
 }
 
@@ -119,6 +120,9 @@ type Decoder struct {
 	// trace holds per-iteration unsatisfied-check counts when
 	// Options.TraceSyndrome is set.
 	trace []int
+	// cn is the check-node update for opts.Algorithm, resolved at
+	// construction so the per-check loops avoid a per-node dispatch.
+	cn func(lo, hi int, alpha float64)
 }
 
 // NewDecoder builds a decoder over the code's Tanner graph.
@@ -149,13 +153,27 @@ func NewDecoderGraph(g *Graph, c *code.Code, opts Options) (*Decoder, error) {
 	if opts.Algorithm == OffsetMinSum && opts.Beta < 0 {
 		return nil, fmt.Errorf("ldpc: negative Beta %v", opts.Beta)
 	}
-	return &Decoder{
+	d := &Decoder{
 		g: g, c: c, opts: opts,
 		vc:   make([]float64, g.E),
 		cv:   make([]float64, g.E),
 		post: make([]float64, g.N),
 		hard: bitvec.New(g.N),
-	}, nil
+	}
+	// Resolve the CN update rule once: the per-check hot loops call
+	// through d.cn instead of re-dispatching on opts.Algorithm for every
+	// check node.
+	switch opts.Algorithm {
+	case SumProduct:
+		d.cn = func(lo, hi int, _ float64) { d.cnSumProduct(lo, hi) }
+	case MinSum:
+		d.cn = func(lo, hi int, _ float64) { d.cnMinSum(lo, hi, 1) }
+	case NormalizedMinSum:
+		d.cn = d.cnMinSum
+	case OffsetMinSum:
+		d.cn = func(lo, hi int, _ float64) { d.cnOffsetMinSum(lo, hi) }
+	}
+	return d, nil
 }
 
 // Options returns the decoder configuration.
@@ -218,10 +236,7 @@ func (d *Decoder) decodeFlooding(llr []float64) Result {
 			}
 		}
 		d.harden()
-		if d.opts.TraceSyndrome {
-			d.trace = append(d.trace, d.syndromeWeight())
-		}
-		if !d.opts.DisableEarlyStop && d.syndromeZero() {
+		if d.checkConvergence() {
 			converged = true
 			it++
 			break
@@ -255,16 +270,13 @@ func (d *Decoder) decodeLayered(llr []float64) Result {
 				d.vc[e] = d.post[g.EdgeVN[e]] - d.cv[e]
 				scratchIdx = append(scratchIdx, e)
 			}
-			d.updateOneCheck(int(lo), int(hi), alpha)
+			d.cn(int(lo), int(hi), alpha)
 			for _, e := range scratchIdx {
 				d.post[g.EdgeVN[e]] = d.vc[e] + d.cv[e]
 			}
 		}
 		d.harden()
-		if d.opts.TraceSyndrome {
-			d.trace = append(d.trace, d.syndromeWeight())
-		}
-		if !d.opts.DisableEarlyStop && d.syndromeZero() {
+		if d.checkConvergence() {
 			converged = true
 			it++
 			break
@@ -284,6 +296,19 @@ func (d *Decoder) harden() {
 			d.hard.Set(j)
 		}
 	}
+}
+
+// checkConvergence records the syndrome trace when requested and
+// reports whether early stopping should fire. The syndrome is evaluated
+// at most once per iteration: with TraceSyndrome set, the recorded
+// weight doubles as the zero test instead of a second full pass.
+func (d *Decoder) checkConvergence() bool {
+	if d.opts.TraceSyndrome {
+		w := d.syndromeWeight()
+		d.trace = append(d.trace, w)
+		return !d.opts.DisableEarlyStop && w == 0
+	}
+	return !d.opts.DisableEarlyStop && d.syndromeZero()
 }
 
 // syndromeZero evaluates all parity checks on the current hard decision.
@@ -325,22 +350,7 @@ func (d *Decoder) SyndromeTrace() []int { return d.trace }
 func (d *Decoder) checkNodeUpdate(alpha float64) {
 	g := d.g
 	for i := 0; i < g.M; i++ {
-		d.updateOneCheck(int(g.CNOff[i]), int(g.CNOff[i+1]), alpha)
-	}
-}
-
-// updateOneCheck computes cv messages for the edges [lo, hi) of one
-// check node from the vc messages on the same edges.
-func (d *Decoder) updateOneCheck(lo, hi int, alpha float64) {
-	switch d.opts.Algorithm {
-	case SumProduct:
-		d.cnSumProduct(lo, hi)
-	case MinSum:
-		d.cnMinSum(lo, hi, 1)
-	case NormalizedMinSum:
-		d.cnMinSum(lo, hi, alpha)
-	case OffsetMinSum:
-		d.cnOffsetMinSum(lo, hi)
+		d.cn(int(g.CNOff[i]), int(g.CNOff[i+1]), alpha)
 	}
 }
 

@@ -1,0 +1,209 @@
+package ldpc
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/rng"
+)
+
+// noiselessLLR maps a codeword to strong channel LLRs (+8 for bit 0,
+// −8 for bit 1).
+func noiselessLLR(cw *bitvec.Vector) []float64 {
+	llr := make([]float64, cw.Len())
+	for j := range llr {
+		if cw.Bit(j) == 1 {
+			llr[j] = -8
+		} else {
+			llr[j] = 8
+		}
+	}
+	return llr
+}
+
+// TestLayeredFloodingEquivalenceNoiseless: on noiseless input both
+// schedules must converge to the transmitted codeword — the layered
+// schedule changes the message order, not the fixed point.
+func TestLayeredFloodingEquivalenceNoiseless(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(c)
+	r := rng.New(42)
+	for trial := 0; trial < 5; trial++ {
+		info := bitvec.New(c.K)
+		for i := 0; i < c.K; i++ {
+			if r.Bool() {
+				info.Set(i)
+			}
+		}
+		cw := c.Encode(info)
+		llr := noiselessLLR(cw)
+		var decoded [2]*bitvec.Vector
+		for s, sched := range []Schedule{Flooding, Layered} {
+			d, err := NewDecoderGraph(g, c, Options{
+				Algorithm: NormalizedMinSum, Schedule: sched, MaxIterations: 20, Alpha: 4.0 / 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := d.Decode(llr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("trial %d: %s did not converge on noiseless input", trial, sched)
+			}
+			diff := res.Bits.Clone()
+			diff.Xor(cw)
+			if w := diff.PopCount(); w != 0 {
+				t.Fatalf("trial %d: %s decoded %d bits away from the codeword", trial, sched, w)
+			}
+			decoded[s] = res.Bits.Clone()
+		}
+		diff := decoded[0].Clone()
+		diff.Xor(decoded[1])
+		if diff.PopCount() != 0 {
+			t.Fatalf("trial %d: schedules disagree", trial)
+		}
+	}
+}
+
+// TestPosteriorSyndromeTraceAliasSemantics pins the documented
+// clone-to-retain contract: Posterior(), SyndromeTrace() and
+// Result.Bits alias decoder state and are overwritten by the next
+// Decode on the same decoder.
+func TestPosteriorSyndromeTraceAliasSemantics(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(c, Options{
+		Algorithm: NormalizedMinSum, MaxIterations: 8, Alpha: 4.0 / 3,
+		TraceSyndrome: true, DisableEarlyStop: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(1.0, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	llrA := ch.CorruptCodeword(bitvec.New(c.N), r)
+	llrB := ch.CorruptCodeword(bitvec.New(c.N), r)
+
+	resA, err := d.Decode(llrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postA := d.Posterior()
+	traceA := d.SyndromeTrace()
+	// Snapshots taken the documented way: clone/copy to retain.
+	bitsACopy := resA.Bits.Clone()
+	postACopy := append([]float64(nil), postA...)
+	traceACopy := append([]int(nil), traceA...)
+
+	resB, err := d.Decode(llrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &postA[0] != &d.Posterior()[0] {
+		t.Fatal("Posterior() returned a fresh slice; it is documented to alias decoder state")
+	}
+	if resA.Bits != resB.Bits {
+		t.Fatal("Result.Bits vectors differ between decodes; documented to be reused")
+	}
+	same := func(a, b []float64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(postA, postACopy) {
+		t.Fatal("posterior did not change across decodes of different noisy frames")
+	}
+	diff := resA.Bits.Clone()
+	diff.Xor(bitsACopy)
+	if diff.PopCount() == 0 {
+		t.Fatal("hard decision did not change across decodes of different noisy frames")
+	}
+	// The retained clones, by contrast, must still hold frame A's data.
+	if len(traceACopy) != 8 || len(d.SyndromeTrace()) != 8 {
+		t.Fatalf("trace lengths %d/%d, want 8 (DisableEarlyStop)", len(traceACopy), len(d.SyndromeTrace()))
+	}
+	sameInt := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if sameInt(traceA, traceACopy) {
+		// Aliasing means traceA now shows frame B's trajectory; two
+		// different noisy frames at 1 dB virtually never share it.
+		t.Fatal("syndrome trace did not change across decodes; aliasing contract broken?")
+	}
+}
+
+// TestTraceMatchesEarlyStop: with TraceSyndrome set, the trace's final
+// entry must be 0 exactly when the decoder reports convergence, and the
+// early-stop iteration count must equal the trace length — the
+// convergence test and the trace now share one syndrome evaluation.
+func TestTraceMatchesEarlyStop(t *testing.T) {
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(4.0, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []Schedule{Flooding, Layered} {
+		traced, err := NewDecoder(c, Options{
+			Algorithm: NormalizedMinSum, Schedule: sched, MaxIterations: 30, Alpha: 4.0 / 3,
+			TraceSyndrome: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := NewDecoder(c, Options{
+			Algorithm: NormalizedMinSum, Schedule: sched, MaxIterations: 30, Alpha: 4.0 / 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(3)
+		for trial := 0; trial < 20; trial++ {
+			llr := ch.CorruptCodeword(bitvec.New(c.N), r)
+			rt, err := traced.Decode(llr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := plain.Decode(llr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rt.Iterations != rp.Iterations || rt.Converged != rp.Converged {
+				t.Fatalf("%s trial %d: tracing changed the decode (%d/%v vs %d/%v)",
+					sched, trial, rt.Iterations, rt.Converged, rp.Iterations, rp.Converged)
+			}
+			tr := traced.SyndromeTrace()
+			if len(tr) != rt.Iterations {
+				t.Fatalf("%s trial %d: %d trace entries for %d iterations", sched, trial, len(tr), rt.Iterations)
+			}
+			if rt.Converged != (tr[len(tr)-1] == 0) {
+				t.Fatalf("%s trial %d: converged %v but final trace weight %d", sched, trial, rt.Converged, tr[len(tr)-1])
+			}
+		}
+	}
+}

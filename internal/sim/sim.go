@@ -8,6 +8,11 @@
 // frames only to their interleaving — statistics are exact counts and
 // order-independent).
 //
+// With Config.BatchSize > 1 each worker fills and decodes whole frame
+// batches through a BatchDecoder (the frame-packed SWAR decoder of
+// internal/batch), with a shorter tail batch at the MaxFrames boundary;
+// every frame is still a pure function of (seed, index).
+//
 // A point stops when it has seen MinFrameErrors frame errors (sound
 // relative precision) or MaxFrames frames, whichever comes first.
 package sim
@@ -33,12 +38,29 @@ type FrameDecoder interface {
 	Decode(llr []float64) (ldpc.Result, error)
 }
 
+// BatchDecoder decodes several frames per call — the software analogue
+// of the paper's frame-packed high-speed memory layout. batch.Decoder
+// satisfies it. Result i corresponds to llrs[i]; implementations may
+// reuse the Bits vectors across calls.
+type BatchDecoder interface {
+	Decode(llrs [][]float64) ([]ldpc.Result, error)
+}
+
 // Config describes one measurement campaign.
 type Config struct {
 	// Code under test.
 	Code *code.Code
 	// NewDecoder creates a per-worker decoder instance.
 	NewDecoder func() (FrameDecoder, error)
+	// BatchSize > 1 makes every worker fill and decode BatchSize-frame
+	// batches through NewBatchDecoder (with a shorter tail batch at the
+	// MaxFrames boundary). Frames remain a pure function of
+	// (seed, index), so the set of simulated frames — and therefore the
+	// statistics — is independent of the batch size.
+	BatchSize int
+	// NewBatchDecoder creates a per-worker batch decoder; required when
+	// BatchSize > 1, ignored otherwise.
+	NewBatchDecoder func() (BatchDecoder, error)
 	// MinFrameErrors stops a point once this many frame errors have been
 	// observed (default 50).
 	MinFrameErrors int
@@ -64,7 +86,14 @@ func (c *Config) setDefaults() error {
 	if c.Code == nil {
 		return fmt.Errorf("sim: nil code")
 	}
-	if c.NewDecoder == nil {
+	if c.BatchSize < 1 {
+		c.BatchSize = 1
+	}
+	if c.BatchSize > 1 {
+		if c.NewBatchDecoder == nil {
+			return fmt.Errorf("sim: BatchSize %d without a batch decoder factory", c.BatchSize)
+		}
+	} else if c.NewDecoder == nil {
 		return fmt.Errorf("sim: nil decoder factory")
 	}
 	if c.MinFrameErrors <= 0 {
@@ -178,7 +207,14 @@ func RunPoint(cfg Config, ebn0dB float64) (Point, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			dec, err := cfg.NewDecoder()
+			var dec FrameDecoder
+			var bdec BatchDecoder
+			var err error
+			if cfg.BatchSize > 1 {
+				bdec, err = cfg.NewBatchDecoder()
+			} else {
+				dec, err = cfg.NewDecoder()
+			}
 			if err != nil {
 				errs[w] = err
 				return
@@ -196,66 +232,100 @@ func RunPoint(cfg Config, ebn0dB float64) (Point, error) {
 				local = Point{}
 			}
 			defer flush()
-			for batch := 0; ; batch++ {
+			bs := cfg.BatchSize
+			llrs := make([][]float64, 0, bs)
+			cws := make([]*bitvec.Vector, 0, bs)
+			results := make([]ldpc.Result, 0, bs)
+			sinceFlush := 0
+			for {
 				if stopErrs.Load() {
 					return
 				}
-				idx := nextFrame.Add(1) - 1
-				if idx >= int64(cfg.MaxFrames) {
+				// Claim a contiguous run of frame indices; a tail run
+				// shorter than the batch size keeps the simulated set
+				// exactly [0, MaxFrames).
+				base := nextFrame.Add(int64(bs)) - int64(bs)
+				if base >= int64(cfg.MaxFrames) {
 					return
 				}
-				// Every frame is a pure function of (seed, index).
-				r := rng.New(pointSeed ^ uint64(idx)*0xd1b54a32d192ed03)
-				var cw *bitvec.Vector
-				if cfg.RandomData {
-					info := bitvec.New(c.K)
-					for i := 0; i < c.K; i++ {
-						if r.Bool() {
-							info.Set(i)
+				n := bs
+				if rem := int64(cfg.MaxFrames) - base; int64(n) > rem {
+					n = int(rem)
+				}
+				llrs, cws = llrs[:0], cws[:0]
+				for t := 0; t < n; t++ {
+					// Every frame is a pure function of (seed, index).
+					r := rng.New(pointSeed ^ uint64(base+int64(t))*0xd1b54a32d192ed03)
+					cw := zero
+					if cfg.RandomData {
+						info := bitvec.New(c.K)
+						for i := 0; i < c.K; i++ {
+							if r.Bool() {
+								info.Set(i)
+							}
+						}
+						cw = c.Encode(info)
+					}
+					llr := ch.CorruptCodeword(cw, r)
+					// Punctured positions are never transmitted: the
+					// decoder sees an erasure (LLR 0) regardless of the
+					// noise draw.
+					for j, p := range punctured {
+						if p {
+							llr[j] = 0
 						}
 					}
-					cw = c.Encode(info)
+					llrs = append(llrs, llr)
+					cws = append(cws, cw)
+				}
+				if bdec != nil {
+					results, err = bdec.Decode(llrs)
+					if err != nil {
+						errs[w] = err
+						return
+					}
 				} else {
-					cw = zero
-				}
-				llr := ch.CorruptCodeword(cw, r)
-				// Punctured positions are never transmitted: the decoder
-				// sees an erasure (LLR 0) regardless of the noise draw.
-				for j, p := range punctured {
-					if p {
-						llr[j] = 0
+					results = results[:0]
+					for _, llr := range llrs {
+						res, err := dec.Decode(llr)
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						results = append(results, res)
 					}
 				}
-				res, err := dec.Decode(llr)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				diff := res.Bits.Clone()
-				diff.Xor(cw)
-				codeErrs := diff.PopCount()
-				infoErrs := 0
-				if codeErrs > 0 {
-					for _, j := range c.InfoCols {
-						infoErrs += diff.Bit(j)
+				batchErrs := 0
+				for t, res := range results {
+					diff := res.Bits.Clone()
+					diff.Xor(cws[t])
+					codeErrs := diff.PopCount()
+					infoErrs := 0
+					if codeErrs > 0 {
+						for _, j := range c.InfoCols {
+							infoErrs += diff.Bit(j)
+						}
 					}
-				}
-				local.Frames++
-				local.CodeBits += int64(c.N)
-				local.InfoBits += int64(c.K)
-				local.CodeBitErrors += int64(codeErrs)
-				local.InfoBitErrors += int64(infoErrs)
-				local.TotalIterations += int64(res.Iterations)
-				if res.Converged {
-					local.Converged++
-				}
-				if infoErrs > 0 {
-					local.FrameErrors++
+					local.Frames++
+					local.CodeBits += int64(c.N)
+					local.InfoBits += int64(c.K)
+					local.CodeBitErrors += int64(codeErrs)
+					local.InfoBitErrors += int64(infoErrs)
+					local.TotalIterations += int64(res.Iterations)
+					if res.Converged {
+						local.Converged++
+					}
+					if infoErrs > 0 {
+						local.FrameErrors++
+						batchErrs++
+					}
 				}
 				// Flush every few frames so the error-stop condition is
 				// responsive without lock contention.
-				if batch%8 == 7 || infoErrs > 0 {
+				sinceFlush += n
+				if sinceFlush >= 8 || batchErrs > 0 {
 					flush()
+					sinceFlush = 0
 				}
 			}
 		}(w)

@@ -34,6 +34,14 @@ type MeasureOptions struct {
 	// TestCode measures on the fast miniature code instead of the full
 	// 8176-bit code.
 	TestCode bool
+	// BatchSize > 1 decodes BatchSize-frame packed batches through the
+	// SWAR decoder (internal/batch) instead of one frame at a time —
+	// the software analogue of the paper's frame-packed high-speed
+	// memory. Requires a Quantized NormalizedMinSum config with at most
+	// 5 message bits (QuantBits 0 defaults to 5 on this path) and
+	// BatchSize ≤ 8. The set of simulated frames, and therefore every
+	// statistic, is identical to the scalar path.
+	BatchSize int
 }
 
 // MeasureBER runs the Monte-Carlo harness at each Eb/N0 for a decoder
@@ -58,6 +66,12 @@ func MeasureBER(cfg Config, ebn0s []float64, opts MeasureOptions) ([]BERPoint, e
 		MaxFrames:      opts.MaxFrames,
 		Workers:        opts.Workers,
 		Seed:           opts.Seed,
+	}
+	if opts.BatchSize > 1 {
+		scfg.BatchSize = opts.BatchSize
+		scfg.NewBatchDecoder = func() (sim.BatchDecoder, error) {
+			return buildBatchDecoder(c, cfg)
+		}
 	}
 	pts, err := sim.RunSweep(scfg, ebn0s)
 	if err != nil {
