@@ -1,4 +1,4 @@
-.PHONY: check build test bench
+.PHONY: check build test bench bench-serve
 
 check:
 	sh scripts/check.sh
@@ -11,3 +11,9 @@ test:
 
 bench:
 	go test -bench . -benchtime 2x -run NONE .
+
+# Serving benchmark: the load generator against an in-process server
+# (full TCP + protocol + scheduler stack), sequential baseline first,
+# perf trajectory seeded into BENCH_serve.json.
+bench-serve:
+	go run ./cmd/ldpcload -inproc -seqbaseline -clients 16 -frames 512 -json BENCH_serve.json

@@ -79,7 +79,10 @@ func (a *Architecture) CyclesPerBatch() int { return a.m.CyclesPerBatch() }
 // ThroughputMbps returns the information throughput at the configured
 // clock (200 MHz) — the quantity of the paper's Table 1.
 func (a *Architecture) ThroughputMbps() float64 {
-	return throughput.MachineMbps(a.m, a.code)
+	// A built machine always has positive cycles and clock (hwsim.New
+	// validates the configuration), so the error cannot fire here.
+	mbps, _ := throughput.MachineMbps(a.m, a.code)
+	return mbps
 }
 
 // DecodeBatch runs quantized channel LLRs (FramesPerBatch vectors of

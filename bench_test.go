@@ -93,7 +93,11 @@ func benchTable1(b *testing.B, cfg hwsim.Config, iterations int) {
 	}
 	b.StopTimer()
 	// The paper's quantity: modelled info throughput at 200 MHz.
-	b.ReportMetric(throughput.MachineMbps(m, c), "model_mbps")
+	mbps, err := throughput.MachineMbps(m, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(mbps, "model_mbps")
 	b.ReportMetric(float64(m.CyclesPerBatch()), "cycles/batch")
 }
 
@@ -347,7 +351,11 @@ func BenchmarkAblation_FrameParallel(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			b.ReportMetric(throughput.MachineMbps(m, c), "model_mbps")
+			mbps, err := throughput.MachineMbps(m, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(mbps, "model_mbps")
 			est, err := resource.EstimateMachine(m, resource.StratixIIEP2S180, resource.DefaultCoefficients())
 			if err != nil {
 				b.Fatal(err)
@@ -489,7 +497,11 @@ func BenchmarkAblation_EarlyStop(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(cy.IterationsRun), "iters_run")
-			b.ReportMetric(throughput.Mbps(c.K, cy.Total, 1, cfg.ClockMHz), "model_mbps")
+			mbps, err := throughput.Mbps(c.K, cy.Total, 1, cfg.ClockMHz)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(mbps, "model_mbps")
 		})
 	}
 }
@@ -553,7 +565,11 @@ func BenchmarkFutureWork_DeepSpace(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			b.ReportMetric(throughput.MachineMbps(m, pc.Inner), "model_mbps")
+			mbps, err := throughput.MachineMbps(m, pc.Inner)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(mbps, "model_mbps")
 			b.ReportMetric(pc.Rate(), "rate")
 		})
 	}

@@ -58,8 +58,12 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("=== %s ===\n", pc)
+		mbps, err := throughput.MachineMbps(m, pc.Inner)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("architecture: %d CN + %d BN units, %d banks, %.1f Mbps at 200 MHz (single frame)\n",
-			m.NumCNUnits(), m.NumBNUnits(), m.NumBanks(), throughput.MachineMbps(m, pc.Inner))
+			m.NumCNUnits(), m.NumBNUnits(), m.NumBanks(), mbps)
 		fmt.Printf("%8s %12s %12s %10s %8s\n", "Eb/N0", "BER", "PER", "frames", "avgIter")
 		cfg := sim.Config{
 			Code: pc.Inner,

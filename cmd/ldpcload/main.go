@@ -1,0 +1,390 @@
+// Command ldpcload drives cmd/ldpcserver with concurrent decode
+// traffic and reports achieved throughput and latency percentiles —
+// the measurement companion to the analytical model of
+// internal/throughput.
+//
+// It runs closed-loop by default (every client keeps exactly one frame
+// in flight, so offered load tracks service rate) or open-loop with
+// -rate (clients fire on a fixed schedule regardless of responses,
+// exposing queueing latency). With -seqbaseline it first measures a
+// single sequential client — the "8 sequential single-frame decodes"
+// baseline the batching scheduler must beat — and reports the speedup.
+//
+// With -inproc it spins up the server inside the process on a loopback
+// listener (still crossing the full TCP + protocol + scheduler stack),
+// which is what `make bench-serve` uses to seed BENCH_serve.json.
+//
+// Usage:
+//
+//	ldpcload [-addr 127.0.0.1:7070 | -inproc] [-clients 16] [-frames 1024]
+//	         [-rate 0] [-ebn0 4.2] [-seqbaseline] [-json out.json]
+//	         [-metrics http://127.0.0.1:7071/metrics]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/rng"
+	"ccsdsldpc/internal/serve"
+	"ccsdsldpc/internal/throughput"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldpcload: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "server decode address")
+		inproc   = flag.Bool("inproc", false, "start an in-process server on a loopback listener")
+		clients  = flag.Int("clients", 16, "concurrent client connections")
+		frames   = flag.Int("frames", 1024, "total frames per phase")
+		rate     = flag.Float64("rate", 0, "open-loop target rate in frames/s (0 = closed loop)")
+		ebn0     = flag.Float64("ebn0", 4.2, "channel Eb/N0 in dB for the generated frames")
+		iters    = flag.Int("iters", 18, "iterations for the in-process server and the model comparison")
+		linger   = flag.Duration("linger", 500*time.Microsecond, "in-process server linger")
+		workers  = flag.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
+		seqBase  = flag.Bool("seqbaseline", false, "first measure 1 sequential client and report the speedup")
+		jsonPath = flag.String("json", "", "write the report as JSON to this file")
+		metrics  = flag.String("metrics", "", "fetch this /metrics URL into the report (remote servers)")
+	)
+	flag.Parse()
+
+	c, err := code.CCSDS()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var srv *serve.Server
+	target := *addr
+	if *inproc {
+		p := fixed.DefaultHighSpeedParams()
+		p.MaxIterations = *iters
+		srv, err = serve.New(serve.Config{Code: c, Params: p, Workers: *workers, Linger: *linger})
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.ServeListener(l)
+		defer func() { l.Close(); srv.Close() }()
+		target = l.Addr().String()
+		log.Printf("in-process server on %s", target)
+	}
+
+	pool := newFramePool(c, *ebn0, 64)
+	report := Report{
+		GeneratedAtUnix: time.Now().Unix(),
+		Address:         target,
+		CodeN:           c.N,
+		CodeK:           c.K,
+		EbN0dB:          *ebn0,
+		Iterations:      *iters,
+		PaperMbps:       560,
+	}
+	if mbps, err := modelMbps(c, *iters); err != nil {
+		log.Printf("model: %v", err)
+	} else {
+		report.ModelMbps = mbps
+	}
+
+	if *seqBase {
+		log.Printf("sequential baseline: 1 client, %d frames...", *frames)
+		base, err := runPhase(target, c, pool, 1, *frames, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.BaselineSeq = &base
+		log.Print(base.Format("sequential"))
+	}
+
+	log.Printf("load: %d clients, %d frames...", *clients, *frames)
+	var before serve.Snapshot
+	if srv != nil {
+		before = srv.Metrics().Snapshot()
+	}
+	load, err := runPhase(target, c, pool, *clients, *frames, *rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Load = load
+	log.Print(load.Format("loaded"))
+
+	if srv != nil {
+		after := srv.Metrics().Snapshot()
+		report.BatchFillMean = phaseFillMean(before, after)
+		report.ServerShed = after.FramesShed - before.FramesShed
+		log.Printf("server: batch fill mean %.2f over the loaded phase, %d shed", report.BatchFillMean, report.ServerShed)
+	} else if *metrics != "" {
+		if m, err := fetchMetrics(*metrics); err != nil {
+			log.Printf("metrics: %v", err)
+		} else {
+			report.ServerMetrics = m
+			if v, ok := m["batch_fill_mean"].(float64); ok {
+				report.BatchFillMean = v
+				log.Printf("server: cumulative batch fill mean %.2f", v)
+			}
+		}
+	}
+	if report.BaselineSeq != nil && report.BaselineSeq.FPS > 0 {
+		report.SpeedupVsSeq = report.Load.FPS / report.BaselineSeq.FPS
+		log.Printf("speedup over sequential single-frame decoding: ×%.2f", report.SpeedupVsSeq)
+	}
+	log.Printf("measured %.1f Mbps vs model %.1f Mbps vs paper %d Mbps (18 iters, 200 MHz)",
+		report.Load.Mbps, report.ModelMbps, int(report.PaperMbps))
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonPath)
+	}
+}
+
+// Report is the JSON artifact (`make bench-serve` → BENCH_serve.json).
+type Report struct {
+	GeneratedAtUnix int64   `json:"generated_at_unix"`
+	Address         string  `json:"address"`
+	CodeN           int     `json:"code_n"`
+	CodeK           int     `json:"code_k"`
+	EbN0dB          float64 `json:"ebn0_db"`
+	Iterations      int     `json:"iterations"`
+
+	BaselineSeq *Phase `json:"baseline_seq,omitempty"`
+	Load        Phase  `json:"load"`
+
+	SpeedupVsSeq  float64        `json:"speedup_vs_seq,omitempty"`
+	BatchFillMean float64        `json:"batch_fill_mean,omitempty"`
+	ServerShed    int64          `json:"server_shed,omitempty"`
+	ServerMetrics map[string]any `json:"server_metrics,omitempty"`
+
+	ModelMbps float64 `json:"model_mbps,omitempty"`
+	PaperMbps float64 `json:"paper_highspeed_mbps_18iters"`
+}
+
+// Phase is one measured traffic phase.
+type Phase struct {
+	Clients     int     `json:"clients"`
+	Frames      int     `json:"frames"`
+	RateTarget  float64 `json:"rate_target_fps,omitempty"`
+	ElapsedSecs float64 `json:"elapsed_s"`
+	FPS         float64 `json:"fps"`
+	Mbps        float64 `json:"mbps"`
+	P50Micros   float64 `json:"p50_us"`
+	P90Micros   float64 `json:"p90_us"`
+	P99Micros   float64 `json:"p99_us"`
+	Shed        int64   `json:"shed"`
+	FrameErrors int64   `json:"frame_errors"`
+	Unconverged int64   `json:"unconverged"`
+}
+
+func (p Phase) Format(name string) string {
+	return fmt.Sprintf("%s: %d frames / %.2fs = %.1f frames/s = %.2f Mbps, p50 %.0fµs p99 %.0fµs, %d shed, %d frame errors",
+		name, p.Frames, p.ElapsedSecs, p.FPS, p.Mbps, p.P50Micros, p.P99Micros, p.Shed, p.FrameErrors)
+}
+
+// framePool is a reusable set of deterministic noisy frames with their
+// transmitted codewords, so frame generation never throttles the load.
+type framePool struct {
+	qs  [][]int16
+	cws []*bitvec.Vector
+}
+
+func newFramePool(c *code.Code, ebn0 float64, size int) *framePool {
+	ch, err := channel.NewAWGN(ebn0, c.Rate())
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := fixed.DefaultHighSpeedParams().Format
+	p := &framePool{qs: make([][]int16, size), cws: make([]*bitvec.Vector, size)}
+	for i := 0; i < size; i++ {
+		r := rng.New(uint64(i)*0x9e3779b97f4a7c15 + 0xadb5)
+		info := bitvec.New(c.K)
+		for j := 0; j < c.K; j++ {
+			if r.Bool() {
+				info.Set(j)
+			}
+		}
+		cw := c.Encode(info)
+		p.qs[i] = f.QuantizeSlice(nil, ch.CorruptCodeword(cw, r))
+		p.cws[i] = cw
+	}
+	return p
+}
+
+// runPhase pushes `frames` frames through `clients` connections and
+// aggregates client-observed latency and correctness. rate > 0 paces
+// the aggregate submission schedule (open loop, split across clients);
+// rate == 0 runs closed loop.
+func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, rate float64) (Phase, error) {
+	ph := Phase{Clients: clients, Frames: frames, RateTarget: rate}
+	var next atomic.Int64
+	var shed, frameErrors, unconverged atomic.Int64
+	latencies := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(clients) / rate * float64(time.Second))
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer conn.Close()
+			br := bufio.NewReaderSize(conn, 16<<10)
+			bw := bufio.NewWriterSize(conn, 16<<10)
+			bits := bitvec.New(c.N)
+			diff := bitvec.New(c.N)
+			var rbuf, wbuf []byte
+			local := make([]time.Duration, 0, frames/clients+1)
+			// Open-loop pacing: client w owns schedule offsets
+			// w, w+clients, w+2·clients, ... of the aggregate schedule.
+			tick := start.Add(time.Duration(w) * interval / time.Duration(clients))
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(frames) {
+					break
+				}
+				if interval > 0 {
+					if d := time.Until(tick); d > 0 {
+						time.Sleep(d)
+					}
+					tick = tick.Add(interval)
+				}
+				k := int(i) % len(pool.qs)
+				t0 := time.Now()
+				if wbuf, err = serve.WriteRequest(bw, pool.qs[k], wbuf); err != nil {
+					errs[w] = err
+					return
+				}
+				if err = bw.Flush(); err != nil {
+					errs[w] = err
+					return
+				}
+				resp, rb, err := serve.ReadResponse(br, bits, rbuf)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				rbuf = rb
+				switch resp.Status {
+				case serve.StatusOK:
+					local = append(local, time.Since(t0))
+					if !resp.Converged {
+						unconverged.Add(1)
+					}
+					diff.CopyFrom(bits)
+					diff.Xor(pool.cws[k])
+					if diff.PopCount() > 0 {
+						frameErrors.Add(1)
+					}
+				case serve.StatusOverloaded:
+					shed.Add(1)
+				default:
+					errs[w] = fmt.Errorf("server status %d", resp.Status)
+					return
+				}
+			}
+			latencies[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ph, err
+		}
+	}
+	ph.ElapsedSecs = time.Since(start).Seconds()
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	done := len(all)
+	ph.Shed = shed.Load()
+	ph.FrameErrors = frameErrors.Load()
+	ph.Unconverged = unconverged.Load()
+	if ph.ElapsedSecs > 0 {
+		ph.FPS = float64(done) / ph.ElapsedSecs
+		ph.Mbps = ph.FPS * float64(c.K) / 1e6
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	ph.P50Micros = pct(all, 0.50)
+	ph.P90Micros = pct(all, 0.90)
+	ph.P99Micros = pct(all, 0.99)
+	return ph, nil
+}
+
+func pct(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Microseconds())
+}
+
+// phaseFillMean computes the mean batch fill over just the loaded
+// phase from before/after snapshots.
+func phaseFillMean(before, after serve.Snapshot) float64 {
+	frames := after.FramesDecoded - before.FramesDecoded
+	batches := after.Batches - before.Batches
+	if batches <= 0 {
+		return 0
+	}
+	return float64(frames) / float64(batches)
+}
+
+func fetchMetrics(url string) (map[string]any, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// modelMbps mirrors ldpcserver's analytical comparison point.
+func modelMbps(c *code.Code, iters int) (float64, error) {
+	cfg := hwsim.HighSpeed()
+	cfg.Iterations = iters
+	m, err := hwsim.New(c, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return throughput.MachineMbps(m, c)
+}

@@ -1,0 +1,169 @@
+// Command ldpcserver is decode-as-a-service for the CCSDS near-earth
+// LDPC code: a TCP server that packs frames from concurrent clients
+// into 8-lane SWAR batches (the software form of the paper's high-speed
+// frame-packed memory word) decoded by a pool of pre-built decoders.
+//
+// Clients speak the length-prefixed protocol of internal/serve: each
+// request is one frame of N quantized Q(5,1) channel LLRs as int8; each
+// response carries status, convergence, iteration count and the packed
+// hard decisions. cmd/ldpcload is the reference client.
+//
+// A second, HTTP listener exposes observability:
+//
+//	/metrics     live counters as JSON — frames decoded/shed, queue
+//	             depth, batch-fill histogram and mean, p50/p90/p99
+//	             latency, per-worker iterations — plus the analytical
+//	             throughput model for comparison
+//	/debug/vars  the same snapshot through expvar
+//
+// Usage:
+//
+//	ldpcserver [-addr :7070] [-http :7071] [-workers N] [-iters 18]
+//	           [-linger 500us] [-queue 0] [-earlystop]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the metrics listener
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/serve"
+	"ccsdsldpc/internal/throughput"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldpcserver: ")
+	var (
+		addr      = flag.String("addr", ":7070", "TCP decode listen address")
+		httpAddr  = flag.String("http", ":7071", "HTTP metrics listen address (empty disables)")
+		workers   = flag.Int("workers", 0, "decoder pool size (0 = GOMAXPROCS)")
+		iters     = flag.Int("iters", 18, "decoding iterations (the paper's operating point)")
+		linger    = flag.Duration("linger", 500*time.Microsecond, "max wait to fill an 8-lane batch")
+		queue     = flag.Int("queue", 0, "frame queue depth before shedding (0 = default)")
+		earlyStop = flag.Bool("earlystop", true, "stop a frame's lanes once its syndrome is zero")
+	)
+	flag.Parse()
+
+	c, err := code.CCSDS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := fixed.DefaultHighSpeedParams()
+	p.MaxIterations = *iters
+	p.DisableEarlyStop = !*earlyStop
+	s, err := serve.New(serve.Config{
+		Code:       c,
+		Params:     p,
+		Workers:    *workers,
+		Linger:     *linger,
+		QueueDepth: *queue,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := s.Config()
+	log.Printf("serving (%d,%d) code: %d workers × %d-lane batches, linger %v, queue %d",
+		c.N, c.K, cfg.Workers, cfg.MaxBatch, cfg.Linger, cfg.QueueDepth)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("decode endpoint on %s", l.Addr())
+
+	if *httpAddr != "" {
+		s.Metrics().Publish("ldpcserver")
+		mux := http.DefaultServeMux // expvar + pprof register themselves here
+		mux.HandleFunc("/metrics", metricsHandler(s, c, *iters))
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics on http://%s/metrics", hl.Addr())
+		go func() {
+			if err := http.Serve(hl, mux); err != nil {
+				log.Printf("http: %v", err)
+			}
+		}()
+	}
+
+	// SIGINT/SIGTERM: stop accepting, drain accepted frames, report.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("draining...")
+		l.Close()
+	}()
+
+	if err := s.ServeListener(l); err != nil {
+		log.Print(err)
+	}
+	s.Close()
+	snap := s.Metrics().Snapshot()
+	log.Printf("drained: %d frames in %d batches (fill mean %.2f), %d shed, p99 %.0f µs",
+		snap.FramesDecoded, snap.Batches, snap.BatchFillMean, snap.FramesShed, snap.LatencyP99Micros)
+}
+
+// metricsHandler serves the live snapshot next to the analytical model:
+// measured Mbps can be read against the paper's high-speed figure
+// without a separate tool. The model comparison tolerates malformed
+// querystring configs by reporting the error instead of failing.
+func metricsHandler(s *serve.Server, c *code.Code, iters int) http.HandlerFunc {
+	start := time.Now()
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := s.Metrics().Snapshot()
+		elapsed := time.Since(start).Seconds()
+		out := struct {
+			serve.Snapshot
+			UptimeSeconds    float64 `json:"uptime_seconds"`
+			MeasuredMbps     float64 `json:"measured_mbps"`
+			ModelMbps        float64 `json:"model_mbps,omitempty"`
+			ModelError       string  `json:"model_error,omitempty"`
+			PaperMbps18Iters float64 `json:"paper_highspeed_mbps_18iters"`
+		}{
+			Snapshot:         snap,
+			UptimeSeconds:    elapsed,
+			PaperMbps18Iters: 560,
+		}
+		if elapsed > 0 {
+			out.MeasuredMbps = float64(snap.FramesDecoded) * float64(c.K) / elapsed / 1e6
+		}
+		if mbps, err := modelMbps(c, iters); err != nil {
+			out.ModelError = err.Error()
+		} else {
+			out.ModelMbps = mbps
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
+		}
+	}
+}
+
+// modelMbps is the analytical high-speed throughput at the server's
+// iteration count — the hardware figure the measured rate is judged
+// against.
+func modelMbps(c *code.Code, iters int) (float64, error) {
+	cfg := hwsim.HighSpeed()
+	cfg.Iterations = iters
+	m, err := hwsim.New(c, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return throughput.MachineMbps(m, c)
+}

@@ -63,8 +63,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		mbps, err := throughput.MachineMbps(m, pc.Inner)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-6s %10d %8d %12.3e %12d %14.1f\n",
-			r, pc.NTransmitted(), pc.Z, p.PER(), p.Frames, throughput.MachineMbps(m, pc.Inner))
+			r, pc.NTransmitted(), pc.Z, p.PER(), p.Frames, mbps)
 	}
 
 	// Bit-exactness of the machine on a protograph code, as for the

@@ -62,7 +62,10 @@ func main() {
 		}
 		fmt.Printf("cycle budget: CN %d + BN %d + control %d + output %d = %d cycles/batch\n",
 			cy.CNPhase, cy.BNPhase, cy.Control, cy.Output, cy.Total)
-		rate := throughput.MachineMbps(m, c)
+		rate, err := throughput.MachineMbps(m, c)
+		if err != nil {
+			log.Fatal(err)
+		}
 		rates = append(rates, rate)
 		fmt.Printf("throughput at %.0f MHz: %.1f Mbps\n", cfg.ClockMHz, rate)
 

@@ -48,8 +48,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lcMbps := throughput.MachineMbps(lcM, c)
-	hsMbps := throughput.MachineMbps(hsM, c)
+	lcMbps, err := throughput.MachineMbps(lcM, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hsMbps, err := throughput.MachineMbps(hsM, c)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("X-band LEO downlink, EIRP %.0f dBW, G/T %.0f dB/K, decoder threshold %.1f dB\n\n",
 		base.EIRPdBW, base.GTdBK, requiredEbN0)

@@ -117,12 +117,25 @@ func (d *Decoder) Params() fixed.Params { return d.p }
 // together. Result f corresponds to llrs[f]; the returned Bits vectors
 // are reused across calls, clone to retain.
 func (d *Decoder) Decode(llrs [][]float64) ([]ldpc.Result, error) {
+	res := d.sharedResults(len(llrs))
+	if err := d.DecodeInto(res, llrs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DecodeInto is Decode writing into caller-owned results; see
+// DecodeQInto for the res contract.
+func (d *Decoder) DecodeInto(res []ldpc.Result, llrs [][]float64) error {
 	if len(llrs) < 1 || len(llrs) > Lanes {
-		return nil, fmt.Errorf("batch: %d frames per call, want 1..%d", len(llrs), Lanes)
+		return fmt.Errorf("batch: %d frames per call, want 1..%d", len(llrs), Lanes)
+	}
+	if len(res) != len(llrs) {
+		return fmt.Errorf("batch: %d results for %d frames", len(res), len(llrs))
 	}
 	for f, llr := range llrs {
 		if len(llr) != d.g.N {
-			return nil, fmt.Errorf("batch: frame %d has %d LLRs for code length %d", f, len(llr), d.g.N)
+			return fmt.Errorf("batch: frame %d has %d LLRs for code length %d", f, len(llr), d.g.N)
 		}
 	}
 	for f, llr := range llrs {
@@ -130,27 +143,59 @@ func (d *Decoder) Decode(llrs [][]float64) ([]ldpc.Result, error) {
 		d.packLane(f, d.q16)
 	}
 	d.zeroTailLanes(len(llrs))
-	return d.decode(len(llrs)), nil
+	return d.decodeInto(res)
 }
 
 // DecodeQ decodes up to Lanes frames of already-quantized channel LLRs
 // (each length N). Values outside the format range are saturated into
 // it during packing, so equality with fixed.Decoder.DecodeQ holds for
 // inputs within the format range (which Format.Quantize guarantees).
+// The returned Bits vectors are reused across calls, clone to retain.
 func (d *Decoder) DecodeQ(qllrs [][]int16) ([]ldpc.Result, error) {
+	res := d.sharedResults(len(qllrs))
+	if err := d.DecodeQInto(res, qllrs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DecodeQInto is DecodeQ writing into caller-owned results, the
+// allocation-free form a decoder pool needs: res must have one entry
+// per frame; an entry whose Bits is a non-nil length-N vector receives
+// the hard decision in place, a nil Bits is replaced by a fresh vector.
+// Nothing in res aliases decoder state afterwards, so results may cross
+// goroutines while the decoder moves on to its next batch (the decoder
+// itself still serves one call at a time).
+func (d *Decoder) DecodeQInto(res []ldpc.Result, qllrs [][]int16) error {
 	if len(qllrs) < 1 || len(qllrs) > Lanes {
-		return nil, fmt.Errorf("batch: %d frames per call, want 1..%d", len(qllrs), Lanes)
+		return fmt.Errorf("batch: %d frames per call, want 1..%d", len(qllrs), Lanes)
+	}
+	if len(res) != len(qllrs) {
+		return fmt.Errorf("batch: %d results for %d frames", len(res), len(qllrs))
 	}
 	for f, q := range qllrs {
 		if len(q) != d.g.N {
-			return nil, fmt.Errorf("batch: frame %d has %d LLRs for code length %d", f, len(q), d.g.N)
+			return fmt.Errorf("batch: frame %d has %d LLRs for code length %d", f, len(q), d.g.N)
 		}
 	}
 	for f, q := range qllrs {
 		d.packLane(f, q)
 	}
 	d.zeroTailLanes(len(qllrs))
-	return d.decode(len(qllrs)), nil
+	return d.decodeInto(res)
+}
+
+// sharedResults points nf results at the decoder's reusable hard
+// vectors (the Decode/DecodeQ aliasing contract).
+func (d *Decoder) sharedResults(nf int) []ldpc.Result {
+	if nf < 1 || nf > Lanes {
+		nf = 1 // DecodeInto re-validates and errors; any placeholder works
+	}
+	res := make([]ldpc.Result, nf)
+	for f := range res {
+		res[f].Bits = d.hard[f]
+	}
+	return res
 }
 
 // packLane writes one frame's quantized LLRs into lane f of qw,
@@ -179,8 +224,16 @@ func (d *Decoder) zeroTailLanes(nf int) {
 	}
 }
 
-// decode runs the packed iteration loop and unpacks per-lane results.
-func (d *Decoder) decode(nf int) []ldpc.Result {
+// decodeInto runs the packed iteration loop on the already-packed
+// channel words and unpacks per-lane results into res (one entry per
+// frame, Bits allocated here when nil).
+func (d *Decoder) decodeInto(res []ldpc.Result) error {
+	nf := len(res)
+	for f := range res {
+		if b := res[f].Bits; b != nil && b.Len() != d.g.N {
+			return fmt.Errorf("batch: result %d has a length-%d bit vector for code length %d", f, b.Len(), d.g.N)
+		}
+	}
 	g := d.g
 	for e := 0; e < g.E; e++ {
 		d.vcw[e] = d.qw[g.EdgeVN[e]]
@@ -229,12 +282,15 @@ func (d *Decoder) decode(nf int) []ldpc.Result {
 			conv[f] = unsat&(0xFF<<(8*uint(f))) == 0
 		}
 	}
-	res := make([]ldpc.Result, nf)
 	for f := 0; f < nf; f++ {
-		d.unpackHard(f)
-		res[f] = ldpc.Result{Bits: d.hard[f], Iterations: iters[f], Converged: conv[f]}
+		if res[f].Bits == nil {
+			res[f].Bits = bitvec.New(g.N)
+		}
+		d.unpackHardInto(f, res[f].Bits)
+		res[f].Iterations = iters[f]
+		res[f].Converged = conv[f]
 	}
-	return res
+	return nil
 }
 
 // cnPhase runs the packed check-node update (paper equation (2)) over
@@ -326,10 +382,9 @@ func (d *Decoder) unsatLanes(done uint64) uint64 {
 	return boolMask8(acc)
 }
 
-// unpackHard extracts lane f's hard decision (posterior sign) into the
-// lane's bit vector.
-func (d *Decoder) unpackHard(f int) {
-	h := d.hard[f]
+// unpackHardInto extracts lane f's hard decision (posterior sign) into
+// the given bit vector.
+func (d *Decoder) unpackHardInto(f int, h *bitvec.Vector) {
 	h.Zero()
 	sh := uint(8*f + 7)
 	for j, w := range d.postw {

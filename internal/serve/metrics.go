@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"expvar"
+	"math/bits"
+	"sync/atomic"
+
+	"ccsdsldpc/internal/batch"
+)
+
+// latencyBuckets is the size of the log-linear latency histogram: each
+// power of two of microseconds is split into 8 linear sub-buckets, so
+// recorded values are resolved to ≤12.5% — enough for p50/p99
+// reporting without per-sample storage. 37 exponents cover
+// [1 µs, ~2 minutes].
+const (
+	latencySubBits = 3
+	latencyBuckets = 37 << latencySubBits
+)
+
+// latencyBucket maps a microsecond value to its histogram bucket.
+func latencyBucket(us int64) int {
+	if us < 1 {
+		us = 1
+	}
+	exp := bits.Len64(uint64(us)) - 1 // floor(log2 us)
+	var sub int64
+	if exp > latencySubBits {
+		sub = (us >> (uint(exp) - latencySubBits)) & (1<<latencySubBits - 1)
+	} else {
+		sub = (us << (latencySubBits - uint(exp))) & (1<<latencySubBits - 1)
+	}
+	b := exp<<latencySubBits + int(sub)
+	if b >= latencyBuckets {
+		b = latencyBuckets - 1
+	}
+	return b
+}
+
+// latencyBucketValue returns a representative microsecond value for a
+// bucket (its lower edge; quantiles therefore err slightly low, never
+// beyond one sub-bucket ≤ 12.5%).
+func latencyBucketValue(b int) float64 {
+	exp := b >> latencySubBits
+	sub := b & (1<<latencySubBits - 1)
+	base := float64(uint64(1) << uint(exp))
+	return base + base*float64(sub)/float64(int(1)<<latencySubBits)
+}
+
+// Metrics is the server's live instrumentation. All fields are updated
+// with atomics; Snapshot assembles a consistent-enough view for
+// reporting (counters may be mid-batch skewed by a few frames, which is
+// irrelevant at reporting timescales).
+type Metrics struct {
+	framesIn      atomic.Int64 // frames accepted into the queue
+	framesDecoded atomic.Int64
+	framesShed    atomic.Int64 // rejected with ErrOverloaded
+	batches       atomic.Int64
+	iterations    atomic.Int64 // decoder iterations, summed over frames
+
+	queued  atomic.Int64 // frames in the queue + batcher, not yet dispatched
+	pending atomic.Int64 // frames dispatched to workers, not yet done
+
+	fill    [batch.Lanes]atomic.Int64 // fill[k-1] = batches with k frames
+	latency [latencyBuckets]atomic.Int64
+
+	workerFrames []atomic.Int64
+	workerIters  []atomic.Int64
+}
+
+func newMetrics(workers int) *Metrics {
+	return &Metrics{
+		workerFrames: make([]atomic.Int64, workers),
+		workerIters:  make([]atomic.Int64, workers),
+	}
+}
+
+func (m *Metrics) recordBatch(worker, frames int, iters int64) {
+	m.batches.Add(1)
+	m.framesDecoded.Add(int64(frames))
+	m.iterations.Add(iters)
+	m.fill[frames-1].Add(1)
+	m.workerFrames[worker].Add(int64(frames))
+	m.workerIters[worker].Add(iters)
+}
+
+func (m *Metrics) recordLatency(us int64) {
+	m.latency[latencyBucket(us)].Add(1)
+}
+
+// WorkerStat is one worker's share of the decode traffic.
+type WorkerStat struct {
+	Frames     int64
+	Iterations int64
+}
+
+// Snapshot is a point-in-time copy of the metrics, JSON-encodable for a
+// /metrics endpoint.
+type Snapshot struct {
+	FramesIn      int64 `json:"frames_in"`
+	FramesDecoded int64 `json:"frames_decoded"`
+	FramesShed    int64 `json:"frames_shed"`
+	Batches       int64 `json:"batches"`
+	Iterations    int64 `json:"iterations"`
+
+	// QueueDepth counts frames accepted but not yet dispatched;
+	// InFlight counts frames inside workers.
+	QueueDepth int64 `json:"queue_depth"`
+	InFlight   int64 `json:"in_flight"`
+
+	// BatchFill[k-1] is the number of dispatched batches holding k
+	// frames; BatchFillMean is the mean lane occupancy — the paper's
+	// 8-frame memory word is fully used only when this approaches 8.
+	BatchFill     []int64 `json:"batch_fill"`
+	BatchFillMean float64 `json:"batch_fill_mean"`
+
+	// Request latency quantiles in microseconds (queueing + decode),
+	// from a log-linear histogram with ≤12.5% resolution.
+	LatencyP50Micros float64 `json:"latency_p50_us"`
+	LatencyP90Micros float64 `json:"latency_p90_us"`
+	LatencyP99Micros float64 `json:"latency_p99_us"`
+
+	AvgIterations float64      `json:"avg_iterations"`
+	Workers       []WorkerStat `json:"workers"`
+}
+
+// Snapshot captures the current metric values.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		FramesIn:      m.framesIn.Load(),
+		FramesDecoded: m.framesDecoded.Load(),
+		FramesShed:    m.framesShed.Load(),
+		Batches:       m.batches.Load(),
+		Iterations:    m.iterations.Load(),
+		QueueDepth:    m.queued.Load(),
+		InFlight:      m.pending.Load(),
+		BatchFill:     make([]int64, batch.Lanes),
+	}
+	for k := range m.fill {
+		s.BatchFill[k] = m.fill[k].Load()
+	}
+	if s.Batches > 0 {
+		s.BatchFillMean = float64(s.FramesDecoded) / float64(s.Batches)
+	}
+	if s.FramesDecoded > 0 {
+		s.AvgIterations = float64(s.Iterations) / float64(s.FramesDecoded)
+	}
+	var hist [latencyBuckets]int64
+	var total int64
+	for b := range m.latency {
+		hist[b] = m.latency[b].Load()
+		total += hist[b]
+	}
+	s.LatencyP50Micros = quantile(hist[:], total, 0.50)
+	s.LatencyP90Micros = quantile(hist[:], total, 0.90)
+	s.LatencyP99Micros = quantile(hist[:], total, 0.99)
+	s.Workers = make([]WorkerStat, len(m.workerFrames))
+	for w := range m.workerFrames {
+		s.Workers[w] = WorkerStat{
+			Frames:     m.workerFrames[w].Load(),
+			Iterations: m.workerIters[w].Load(),
+		}
+	}
+	return s
+}
+
+// quantile walks the histogram to the bucket holding the q-quantile.
+func quantile(hist []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total-1))
+	var seen int64
+	for b := range hist {
+		seen += hist[b]
+		if seen > rank {
+			return latencyBucketValue(b)
+		}
+	}
+	return latencyBucketValue(len(hist) - 1)
+}
+
+// Publish registers the metrics under the given expvar name, making
+// them visible on the standard /debug/vars endpoint. Each name may be
+// published once per process (an expvar restriction).
+func (m *Metrics) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/ldpc"
+)
+
+// Wire protocol: every message is a 4-byte big-endian payload length
+// followed by the payload.
+//
+// Request payload — exactly N bytes, the frame's quantized channel LLRs
+// as int8 (the high-speed Q(5,1) values occupy [−15, +15]).
+//
+// Response payload — a 4-byte header
+//
+//	status(1) converged(1) iterations(2, big-endian)
+//
+// followed, when status is StatusOK, by ceil(N/8) bytes of hard
+// decisions packed LSB-first (bit j of the codeword is bit j&7 of byte
+// j>>3).
+
+// Response status codes.
+const (
+	StatusOK         byte = 0 // frame decoded; hard decisions follow
+	StatusOverloaded byte = 1 // shed: queue full, retry later
+	StatusClosed     byte = 2 // server shutting down
+	StatusBadFrame   byte = 3 // malformed request
+)
+
+// maxPayload bounds accepted message lengths; the CCSDS frame is 8176
+// bytes, so 1 MiB is generous for any supported code.
+const maxPayload = 1 << 20
+
+func writeMessage(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readMessage reads one length-prefixed payload into buf (growing it if
+// needed) and returns the payload slice. A clean EOF before the header
+// is returned as io.EOF; a truncated message is an error.
+func readMessage(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("serve: truncated message header")
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxPayload {
+		return nil, fmt.Errorf("serve: %d-byte message exceeds the %d-byte limit", n, maxPayload)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("serve: truncated %d-byte message: %w", n, err)
+	}
+	return buf, nil
+}
+
+// WriteRequest sends one frame of quantized LLRs. Values are saturated
+// into int8.
+func WriteRequest(w io.Writer, q []int16, buf []byte) ([]byte, error) {
+	if cap(buf) < len(q) {
+		buf = make([]byte, len(q))
+	}
+	buf = buf[:len(q)]
+	for j, v := range q {
+		if v > 127 {
+			v = 127
+		} else if v < -128 {
+			v = -128
+		}
+		buf[j] = byte(int8(v))
+	}
+	return buf, writeMessage(w, buf)
+}
+
+// ReadRequest reads one frame into q, which fixes the expected frame
+// length. io.EOF at a message boundary is passed through as the clean
+// end of the request stream.
+func ReadRequest(r io.Reader, q []int16, buf []byte) ([]byte, error) {
+	buf, err := readMessage(r, buf)
+	if err != nil {
+		return buf, err
+	}
+	if len(buf) != len(q) {
+		return buf, fmt.Errorf("serve: %d-byte frame for code length %d", len(buf), len(q))
+	}
+	for j, b := range buf {
+		q[j] = int16(int8(b))
+	}
+	return buf, nil
+}
+
+// WriteResponse sends a decode outcome. The hard decisions are taken
+// from res.Bits when status is StatusOK.
+func WriteResponse(w io.Writer, status byte, res ldpc.Result, buf []byte) ([]byte, error) {
+	n := 4
+	if status == StatusOK {
+		n += (res.Bits.Len() + 7) / 8
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	buf[0] = status
+	buf[1] = 0
+	if res.Converged {
+		buf[1] = 1
+	}
+	it := res.Iterations
+	if it < 0 || it > 0xFFFF {
+		it = 0xFFFF
+	}
+	binary.BigEndian.PutUint16(buf[2:4], uint16(it))
+	if status == StatusOK {
+		packBits(buf[4:], res.Bits)
+	}
+	return buf, writeMessage(w, buf)
+}
+
+// Response is a decoded frame as seen by a client.
+type Response struct {
+	Status     byte
+	Converged  bool
+	Iterations int
+}
+
+// ReadResponse reads one decode outcome; when the status is StatusOK
+// the hard decisions are unpacked into bits (length N).
+func ReadResponse(r io.Reader, bits *bitvec.Vector, buf []byte) (Response, []byte, error) {
+	buf, err := readMessage(r, buf)
+	if err != nil {
+		return Response{}, buf, err
+	}
+	if len(buf) < 4 {
+		return Response{}, buf, fmt.Errorf("serve: %d-byte response header", len(buf))
+	}
+	resp := Response{
+		Status:     buf[0],
+		Converged:  buf[1] != 0,
+		Iterations: int(binary.BigEndian.Uint16(buf[2:4])),
+	}
+	if resp.Status == StatusOK {
+		want := (bits.Len() + 7) / 8
+		if len(buf)-4 != want {
+			return resp, buf, fmt.Errorf("serve: %d hard-decision bytes for code length %d", len(buf)-4, bits.Len())
+		}
+		unpackBits(bits, buf[4:])
+	}
+	return resp, buf, nil
+}
+
+// packBits serializes a bit vector LSB-first — exactly the
+// little-endian byte image of its uint64 words, truncated to ceil(N/8)
+// bytes (bitvec keeps trailing bits of the last word zero).
+func packBits(dst []byte, v *bitvec.Vector) {
+	words := v.Words()
+	nb := (v.Len() + 7) / 8
+	for i := 0; i < nb; i++ {
+		dst[i] = byte(words[i>>3] >> (8 * uint(i&7)))
+	}
+}
+
+// unpackBits is the inverse of packBits. Stray bits beyond the vector
+// length (possible only from a non-conforming peer) are ignored.
+func unpackBits(v *bitvec.Vector, src []byte) {
+	v.Zero()
+	n := v.Len()
+	for i, b := range src {
+		if b == 0 {
+			continue
+		}
+		base := 8 * i
+		for k := 0; k < 8 && base+k < n; k++ {
+			if b>>uint(k)&1 == 1 {
+				v.Set(base + k)
+			}
+		}
+	}
+}

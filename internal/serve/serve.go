@@ -1,0 +1,327 @@
+// Package serve is the decode-as-a-service layer over the frame-packed
+// SWAR decoder: an adaptive batching scheduler that packs frames from
+// concurrent clients into full 8-lane batches for a pool of
+// batch.Decoder workers.
+//
+// The paper's high-speed instance earns its 8× throughput by storing 8
+// frames' messages in every memory word (Fig. 3) — which only pays off
+// when 8 frames are actually available every decoding period. On an
+// FPGA the frame buffer guarantees that; in a server, concurrent
+// clients do. The scheduler is the software frame buffer: it holds
+// arriving frames just long enough (Config.Linger) to fill a word's 8
+// lanes, then dispatches the batch to a worker owning a pre-built
+// decoder, so a loaded server decodes at the packed rate while a lone
+// frame still meets its latency SLO via the linger deadline.
+//
+// Capacity is bounded end to end: a full queue sheds load with
+// ErrOverloaded instead of queueing without limit, and Close drains
+// every accepted frame before returning, so no request is ever dropped
+// silently.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ccsdsldpc/internal/batch"
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/ldpc"
+)
+
+// ErrOverloaded reports that the server's frame queue is full; the
+// caller should back off or retry elsewhere. Shedding at the edge keeps
+// the latency of accepted frames bounded.
+var ErrOverloaded = errors.New("serve: overloaded, frame queue full")
+
+// ErrClosed reports a submission to a server that is shutting down.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config describes a decode server.
+type Config struct {
+	// Code under service.
+	Code *code.Code
+	// Params configures the fixed-point decoders; the zero value means
+	// fixed.DefaultHighSpeedParams() — the paper's Q(5,1), the format
+	// narrow enough for 8 int8 lanes per word.
+	Params fixed.Params
+	// Workers is the decoder pool size (default GOMAXPROCS). Each
+	// worker owns one pre-built batch.Decoder; nothing is allocated per
+	// request on the decode path.
+	Workers int
+	// MaxBatch is the dispatch width in frames, 1..batch.Lanes
+	// (default batch.Lanes = 8, the paper's packing factor).
+	MaxBatch int
+	// Linger is how long the scheduler holds a partial batch open for
+	// more frames before flushing it (default 500 µs). It is the
+	// latency price a lone frame pays for the chance of lane sharing.
+	Linger time.Duration
+	// QueueDepth bounds the frames accepted but not yet dispatched;
+	// submissions beyond it are shed with ErrOverloaded (default
+	// 4 × Workers × MaxBatch).
+	QueueDepth int
+}
+
+func (c *Config) setDefaults() error {
+	if c.Code == nil {
+		return errors.New("serve: nil code")
+	}
+	if c.Params == (fixed.Params{}) {
+		c.Params = fixed.DefaultHighSpeedParams()
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = batch.Lanes
+	}
+	if c.MaxBatch < 1 || c.MaxBatch > batch.Lanes {
+		return fmt.Errorf("serve: MaxBatch %d out of range [1,%d]", c.MaxBatch, batch.Lanes)
+	}
+	if c.Linger == 0 {
+		c.Linger = 500 * time.Microsecond
+	}
+	if c.Linger < 0 {
+		return fmt.Errorf("serve: negative linger %v", c.Linger)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers * c.MaxBatch
+	}
+	return nil
+}
+
+// request is one in-flight frame. Requests are pooled; the done channel
+// (capacity 1) is reused across lives.
+type request struct {
+	q    []int16        // caller's quantized LLRs; not retained after decode
+	bits *bitvec.Vector // destination; nil → allocated by the decoder
+	res  ldpc.Result
+	err  error
+	enq  time.Time
+	done chan struct{}
+}
+
+// job is one dispatched batch. Jobs are pooled.
+type job struct {
+	reqs [batch.Lanes]*request
+	n    int
+}
+
+// Server is the decode service. Create with New, submit frames with
+// DecodeQ from any number of goroutines, stop with Close.
+type Server struct {
+	cfg     Config
+	in      chan *request
+	jobs    chan *job
+	metrics *Metrics
+
+	reqPool sync.Pool
+	jobPool sync.Pool
+
+	mu     sync.RWMutex // guards closed vs. sends on in
+	closed bool
+
+	batcherWG sync.WaitGroup
+	workerWG  sync.WaitGroup
+}
+
+// New builds and starts a server: Workers decoders are constructed up
+// front (surfacing format/code incompatibilities immediately) and the
+// scheduler begins accepting frames.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	g := ldpc.NewGraph(cfg.Code)
+	decs := make([]*batch.Decoder, cfg.Workers)
+	for w := range decs {
+		d, err := batch.NewDecoderGraph(g, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		decs[w] = d
+	}
+	s := &Server{
+		cfg:     cfg,
+		in:      make(chan *request, cfg.QueueDepth),
+		jobs:    make(chan *job, cfg.Workers),
+		metrics: newMetrics(cfg.Workers),
+	}
+	s.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
+	s.jobPool.New = func() any { return new(job) }
+	s.batcherWG.Add(1)
+	go s.batcher()
+	for w := range decs {
+		s.workerWG.Add(1)
+		go s.worker(w, decs[w])
+	}
+	return s, nil
+}
+
+// Config returns the server configuration with defaults resolved.
+func (s *Server) Config() Config { return s.cfg }
+
+// Metrics returns the live instrumentation.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// DecodeQ submits one frame of quantized channel LLRs (length N, in the
+// configured format's range) and blocks until it is decoded. bits, when
+// non-nil, must be a length-N vector and receives the hard decision in
+// place — together with the pooled request this makes a steady-state
+// call allocation-free. With bits nil a fresh vector is allocated.
+//
+// DecodeQ is safe for any number of concurrent callers. It fails fast
+// with ErrOverloaded when the queue is full and ErrClosed after Close;
+// a nil error means the frame was decoded (Result.Converged still
+// distinguishes decoding success).
+func (s *Server) DecodeQ(q []int16, bits *bitvec.Vector) (ldpc.Result, error) {
+	if len(q) != s.cfg.Code.N {
+		return ldpc.Result{}, fmt.Errorf("serve: frame has %d LLRs for code length %d", len(q), s.cfg.Code.N)
+	}
+	if bits != nil && bits.Len() != s.cfg.Code.N {
+		return ldpc.Result{}, fmt.Errorf("serve: bit vector length %d for code length %d", bits.Len(), s.cfg.Code.N)
+	}
+	req := s.reqPool.Get().(*request)
+	req.q, req.bits, req.res, req.err = q, bits, ldpc.Result{}, nil
+	req.enq = time.Now()
+
+	// The read lock makes the closed check and the send atomic with
+	// respect to Close, which closes s.in under the write lock: no
+	// send can race the close.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.reqPool.Put(req)
+		return ldpc.Result{}, ErrClosed
+	}
+	select {
+	case s.in <- req:
+		s.metrics.framesIn.Add(1)
+		s.metrics.queued.Add(1)
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.metrics.framesShed.Add(1)
+		s.reqPool.Put(req)
+		return ldpc.Result{}, ErrOverloaded
+	}
+
+	<-req.done
+	res, err := req.res, req.err
+	s.metrics.recordLatency(time.Since(req.enq).Microseconds())
+	req.q, req.bits, req.res.Bits = nil, nil, nil
+	s.reqPool.Put(req)
+	return res, err
+}
+
+// Close stops accepting frames, decodes everything already accepted and
+// waits for the workers to finish. It is idempotent; concurrent DecodeQ
+// callers either complete normally or return ErrClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.batcherWG.Wait()
+		s.workerWG.Wait()
+		return
+	}
+	s.closed = true
+	close(s.in)
+	s.mu.Unlock()
+	s.batcherWG.Wait() // batcher drains in, flushes, closes jobs
+	s.workerWG.Wait()  // workers drain jobs
+}
+
+// batcher is the adaptive batching scheduler: it fills a batch to
+// MaxBatch frames, or flushes a partial one when the oldest frame has
+// lingered Config.Linger — the software analogue of the paper's frame
+// buffer keeping all 8 lanes of the memory word busy.
+func (s *Server) batcher() {
+	defer s.batcherWG.Done()
+	defer close(s.jobs)
+	cur := s.jobPool.Get().(*job)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerArmed := false
+	flush := func() {
+		if timerArmed {
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timerArmed = false
+		}
+		if cur.n == 0 {
+			return
+		}
+		s.metrics.queued.Add(-int64(cur.n))
+		s.metrics.pending.Add(int64(cur.n))
+		s.jobs <- cur
+		cur = s.jobPool.Get().(*job)
+		cur.n = 0
+	}
+	for {
+		select {
+		case req, ok := <-s.in:
+			if !ok {
+				// Shutdown: everything buffered in s.in has already
+				// been received (channel close delivers the buffer
+				// first), so one final flush drains the server.
+				flush()
+				s.jobPool.Put(cur)
+				return
+			}
+			cur.reqs[cur.n] = req
+			cur.n++
+			if cur.n == s.cfg.MaxBatch {
+				flush()
+			} else if cur.n == 1 {
+				timer.Reset(s.cfg.Linger)
+				timerArmed = true
+			}
+		case <-timer.C:
+			timerArmed = false
+			flush()
+		}
+	}
+}
+
+// worker owns one pre-built packed decoder and decodes dispatched
+// batches. The result and frame-slice arrays live on the worker, so the
+// decode path performs no allocation.
+func (s *Server) worker(id int, dec *batch.Decoder) {
+	defer s.workerWG.Done()
+	var res [batch.Lanes]ldpc.Result
+	var qs [batch.Lanes][]int16
+	for j := range s.jobs {
+		n := j.n
+		for i := 0; i < n; i++ {
+			qs[i] = j.reqs[i].q
+			res[i] = ldpc.Result{Bits: j.reqs[i].bits}
+		}
+		err := dec.DecodeQInto(res[:n], qs[:n])
+		var iters int64
+		if err == nil {
+			for i := 0; i < n; i++ {
+				iters += int64(res[i].Iterations)
+			}
+		}
+		s.metrics.recordBatch(id, n, iters)
+		s.metrics.pending.Add(-int64(n))
+		for i := 0; i < n; i++ {
+			req := j.reqs[i]
+			req.res, req.err = res[i], err
+			res[i] = ldpc.Result{}
+			qs[i] = nil
+			j.reqs[i] = nil
+			req.done <- struct{}{}
+		}
+		j.n = 0
+		s.jobPool.Put(j)
+	}
+}

@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccsdsldpc/internal/batch"
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/rng"
+)
+
+func smallCode(t testing.TB) *code.Code {
+	t.Helper()
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// noisyQ produces one deterministic noisy random-codeword frame,
+// quantized to the given format.
+func noisyQ(t testing.TB, c *code.Code, f fixed.Format, ebn0 float64, seed uint64) []int16 {
+	t.Helper()
+	ch, err := channel.NewAWGN(ebn0, c.Rate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	info := bitvec.New(c.K)
+	for i := 0; i < c.K; i++ {
+		if r.Bool() {
+			info.Set(i)
+		}
+	}
+	cw := c.Encode(info)
+	return f.QuantizeSlice(nil, ch.CorruptCodeword(cw, r))
+}
+
+// scalarRef decodes a frame through the reference scalar fixed-point
+// decoder, the ground truth every server result must match bit-exactly.
+func scalarRef(t testing.TB, c *code.Code, p fixed.Params, qs [][]int16) []struct {
+	bits       *bitvec.Vector
+	iterations int
+	converged  bool
+} {
+	t.Helper()
+	d, err := fixed.NewDecoder(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]struct {
+		bits       *bitvec.Vector
+		iterations int
+		converged  bool
+	}, len(qs))
+	for i, q := range qs {
+		r := d.DecodeQ(q)
+		out[i].bits = r.Bits.Clone()
+		out[i].iterations = r.Iterations
+		out[i].converged = r.Converged
+	}
+	return out
+}
+
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	if cfg.Code == nil {
+		cfg.Code = smallCode(t)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestSingleFrameLingerFlush: a lone frame must not wait for 7 batch
+// mates that never arrive — the linger deadline flushes a 1-frame
+// batch, and the result matches the scalar decoder.
+func TestSingleFrameLingerFlush(t *testing.T) {
+	c := smallCode(t)
+	p := fixed.DefaultHighSpeedParams()
+	s := newTestServer(t, Config{Code: c, Params: p, Workers: 2, Linger: time.Millisecond})
+	q := noisyQ(t, c, p.Format, 3.0, 1)
+	start := time.Now()
+	res, err := s.DecodeQ(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("single frame took %v; linger flush did not engage", d)
+	}
+	ref := scalarRef(t, c, p, [][]int16{q})[0]
+	if !res.Bits.Equal(ref.bits) || res.Iterations != ref.iterations || res.Converged != ref.converged {
+		t.Errorf("lone frame result differs from scalar decoder")
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Batches != 1 || snap.BatchFill[0] != 1 {
+		t.Errorf("expected one 1-frame batch, got batches=%d fill=%v", snap.Batches, snap.BatchFill)
+	}
+}
+
+// TestPartialTailBatchMatchesScalar: batches of every fill 1..Lanes
+// must be bit-exact against the scalar decoder — the zeroed tail lanes
+// of a partial word must never leak into live lanes.
+func TestPartialTailBatchMatchesScalar(t *testing.T) {
+	c := smallCode(t)
+	p := fixed.DefaultHighSpeedParams()
+	for nf := 1; nf <= batch.Lanes; nf++ {
+		s := newTestServer(t, Config{Code: c, Params: p, Workers: 1, Linger: 20 * time.Millisecond})
+		qs := make([][]int16, nf)
+		for i := range qs {
+			qs[i] = noisyQ(t, c, p.Format, 2.5, uint64(1000*nf+i))
+		}
+		ref := scalarRef(t, c, p, qs)
+		var wg sync.WaitGroup
+		errs := make([]string, nf)
+		for i := range qs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := s.DecodeQ(qs[i], bitvec.New(c.N))
+				if err != nil {
+					errs[i] = err.Error()
+					return
+				}
+				if !res.Bits.Equal(ref[i].bits) {
+					errs[i] = "hard decision differs from scalar decoder"
+				} else if res.Iterations != ref[i].iterations || res.Converged != ref[i].converged {
+					errs[i] = "iteration/convergence metadata differs from scalar decoder"
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i, e := range errs {
+			if e != "" {
+				t.Errorf("nf=%d frame %d: %s", nf, i, e)
+			}
+		}
+		s.Close()
+		snap := s.Metrics().Snapshot()
+		if snap.FramesDecoded != int64(nf) {
+			t.Errorf("nf=%d: %d frames decoded", nf, snap.FramesDecoded)
+		}
+	}
+}
+
+// TestConcurrentClientsBatch: with many concurrent clients and a
+// generous linger the scheduler should pack well beyond one frame per
+// word, and every result must stay bit-exact under the full pool.
+func TestConcurrentClientsBatch(t *testing.T) {
+	c := smallCode(t)
+	p := fixed.DefaultHighSpeedParams()
+	s := newTestServer(t, Config{Code: c, Params: p, Workers: 2, Linger: 2 * time.Millisecond, QueueDepth: 1 << 10})
+	const clients, perClient = 16, 8
+	qs := make([][]int16, clients)
+	for i := range qs {
+		qs[i] = noisyQ(t, c, p.Format, 2.5, uint64(77+i))
+	}
+	ref := scalarRef(t, c, p, qs)
+	var wg sync.WaitGroup
+	var mismatch atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bits := bitvec.New(c.N)
+			for k := 0; k < perClient; k++ {
+				res, err := s.DecodeQ(qs[i], bits)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !res.Bits.Equal(ref[i].bits) || res.Iterations != ref[i].iterations {
+					mismatch.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := mismatch.Load(); n > 0 {
+		t.Errorf("%d results differ from the scalar decoder", n)
+	}
+	s.Close()
+	snap := s.Metrics().Snapshot()
+	if snap.FramesDecoded != clients*perClient {
+		t.Errorf("decoded %d of %d frames", snap.FramesDecoded, clients*perClient)
+	}
+	if snap.BatchFillMean <= 1.5 {
+		t.Errorf("batch fill mean %.2f; batching never engaged", snap.BatchFillMean)
+	}
+	t.Logf("fill mean %.2f, fill histogram %v", snap.BatchFillMean, snap.BatchFill)
+}
+
+// TestShutdownDrainsInflight: frames accepted before Close must all be
+// decoded — Close drains, it does not drop.
+func TestShutdownDrainsInflight(t *testing.T) {
+	c := smallCode(t)
+	p := fixed.DefaultHighSpeedParams()
+	s := newTestServer(t, Config{Code: c, Params: p, Workers: 2, Linger: 5 * time.Millisecond, QueueDepth: 1 << 10})
+	const clients = 24
+	q := noisyQ(t, c, p.Format, 3.0, 5)
+	want := scalarRef(t, c, p, [][]int16{q})[0]
+	var wg sync.WaitGroup
+	var decoded, rejected, wrong atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.DecodeQ(q, nil)
+			switch {
+			case err == nil:
+				if !res.Bits.Equal(want.bits) {
+					wrong.Add(1)
+				}
+				decoded.Add(1)
+			case errors.Is(err, ErrClosed) || errors.Is(err, ErrOverloaded):
+				rejected.Add(1)
+			default:
+				t.Error(err)
+			}
+		}()
+	}
+	// Close concurrently with the submissions: accepted frames drain,
+	// late ones get ErrClosed.
+	time.Sleep(time.Millisecond)
+	s.Close()
+	wg.Wait()
+	if wrong.Load() > 0 {
+		t.Errorf("%d drained frames decoded incorrectly", wrong.Load())
+	}
+	snap := s.Metrics().Snapshot()
+	if got := decoded.Load(); got != snap.FramesDecoded {
+		t.Errorf("%d callers got results but %d frames counted decoded", got, snap.FramesDecoded)
+	}
+	if decoded.Load()+rejected.Load() != clients {
+		t.Errorf("decoded %d + rejected %d != %d clients", decoded.Load(), rejected.Load(), clients)
+	}
+	if snap.FramesIn != snap.FramesDecoded {
+		t.Errorf("accepted %d but decoded %d: frames lost in shutdown", snap.FramesIn, snap.FramesDecoded)
+	}
+	if snap.QueueDepth != 0 || snap.InFlight != 0 {
+		t.Errorf("queue %d / in-flight %d after Close", snap.QueueDepth, snap.InFlight)
+	}
+	// Idempotent and safe after close.
+	s.Close()
+	if _, err := s.DecodeQ(q, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("DecodeQ after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestOverloadSheds: a tiny queue behind a busy worker pool must
+// reject with ErrOverloaded instead of queueing without bound. Decodes
+// are slowed (many forced iterations) so a burst always outruns the
+// single worker; bursts repeat until shedding is observed so the test
+// cannot hang on scheduler timing.
+func TestOverloadSheds(t *testing.T) {
+	c := smallCode(t)
+	p := fixed.DefaultHighSpeedParams()
+	p.DisableEarlyStop = true
+	p.MaxIterations = 5000
+	s := newTestServer(t, Config{Code: c, Params: p, Workers: 1, MaxBatch: 1, QueueDepth: 2})
+	q := noisyQ(t, c, p.Format, 2.5, 9)
+	const burst = 32
+	var shed, submitted atomic.Int64
+	for round := 0; round < 50 && shed.Load() == 0; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				submitted.Add(1)
+				if _, err := s.DecodeQ(q, nil); errors.Is(err, ErrOverloaded) {
+					shed.Add(1)
+				} else if err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if shed.Load() == 0 {
+		t.Fatal("no submission was shed by a depth-2 queue under repeated 32-client bursts")
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.FramesShed != shed.Load() {
+		t.Errorf("metrics count %d shed, callers saw %d", snap.FramesShed, shed.Load())
+	}
+	if snap.FramesIn+snap.FramesShed != submitted.Load() {
+		t.Errorf("accepted %d + shed %d != %d submitted", snap.FramesIn, snap.FramesShed, submitted.Load())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := smallCode(t)
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil code accepted")
+	}
+	if _, err := New(Config{Code: c, MaxBatch: batch.Lanes + 1}); err == nil {
+		t.Error("MaxBatch > Lanes accepted")
+	}
+	if _, err := New(Config{Code: c, Linger: -time.Second}); err == nil {
+		t.Error("negative linger accepted")
+	}
+	// The low-cost Q(6,2) format cannot pack into int8 lanes; the
+	// decoder pool must surface that at construction.
+	if _, err := New(Config{Code: c, Params: fixed.DefaultLowCostParams()}); err == nil {
+		t.Error("unpackable format accepted")
+	}
+	s := newTestServer(t, Config{Code: c})
+	if got := s.Config(); got.MaxBatch != batch.Lanes || got.Workers < 1 || got.QueueDepth < got.Workers {
+		t.Errorf("defaults not resolved: %+v", got)
+	}
+	if _, err := s.DecodeQ(make([]int16, c.N-1), nil); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, err := s.DecodeQ(make([]int16, c.N), bitvec.New(c.N-1)); err == nil {
+		t.Error("short bit vector accepted")
+	}
+}

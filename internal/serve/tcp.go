@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/ldpc"
+)
+
+// ServeConn answers length-prefixed decode requests on one connection,
+// in order, until the peer closes it. All per-frame buffers are reused,
+// so a connection's steady state does not allocate; concurrency comes
+// from serving many connections — each blocks in DecodeQ while the
+// scheduler packs its frame into a shared 8-lane batch with frames from
+// other connections.
+func (s *Server) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 16<<10)
+	bw := bufio.NewWriterSize(conn, 16<<10)
+	n := s.cfg.Code.N
+	q := make([]int16, n)
+	bits := bitvec.New(n)
+	var rbuf, wbuf []byte
+	for {
+		var err error
+		rbuf, err = ReadRequest(br, q, rbuf)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		res, derr := s.DecodeQ(q, bits)
+		status := StatusOK
+		switch {
+		case errors.Is(derr, ErrOverloaded):
+			status = StatusOverloaded
+		case errors.Is(derr, ErrClosed):
+			status = StatusClosed
+		case derr != nil:
+			status = StatusBadFrame
+		}
+		if status != StatusOK {
+			res = ldpc.Result{}
+		}
+		if wbuf, err = WriteResponse(bw, status, res, wbuf); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// ServeListener accepts connections and serves each on its own
+// goroutine until the listener is closed, then waits for in-flight
+// connections to finish. Per-connection I/O errors terminate only that
+// connection.
+func (s *Server) ServeListener(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.ServeConn(conn)
+		}()
+	}
+}

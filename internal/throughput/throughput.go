@@ -17,18 +17,24 @@ import (
 )
 
 // Mbps computes the information throughput of a machine configuration:
-// frames·infoBits per batch over cycles at the configured clock.
-func Mbps(infoBits, cyclesPerBatch, frames int, clockMHz float64) float64 {
+// frames·infoBits per batch over cycles at the configured clock. A
+// non-positive cycle count or clock is a malformed configuration and
+// reports an error rather than a rate, so a model-comparison endpoint
+// fed arbitrary configs can answer instead of crashing.
+func Mbps(infoBits, cyclesPerBatch, frames int, clockMHz float64) (float64, error) {
 	if cyclesPerBatch <= 0 {
-		panic(fmt.Sprintf("throughput: %d cycles per batch", cyclesPerBatch))
+		return 0, fmt.Errorf("throughput: %d cycles per batch", cyclesPerBatch)
+	}
+	if clockMHz <= 0 {
+		return 0, fmt.Errorf("throughput: %v MHz clock", clockMHz)
 	}
 	bitsPerBatch := float64(infoBits) * float64(frames)
 	secondsPerBatch := float64(cyclesPerBatch) / (clockMHz * 1e6)
-	return bitsPerBatch / secondsPerBatch / 1e6
+	return bitsPerBatch / secondsPerBatch / 1e6, nil
 }
 
 // MachineMbps computes the throughput of a built machine for a code.
-func MachineMbps(m *hwsim.Machine, c *code.Code) float64 {
+func MachineMbps(m *hwsim.Machine, c *code.Code) (float64, error) {
 	cfg := m.Config()
 	return Mbps(c.K, m.CyclesPerBatch(), cfg.Frames, cfg.ClockMHz)
 }
@@ -67,10 +73,18 @@ func Table1(c *code.Code, iterations []int, clockMHz float64) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		lcMbps, err := MachineMbps(ml, c)
+		if err != nil {
+			return nil, err
+		}
+		hsMbps, err := MachineMbps(mh, c)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, Row{
 			Iterations:    it,
-			LowCostMbps:   MachineMbps(ml, c),
-			HighSpeedMbps: MachineMbps(mh, c),
+			LowCostMbps:   lcMbps,
+			HighSpeedMbps: hsMbps,
 		})
 	}
 	return rows, nil

@@ -12,23 +12,28 @@ import (
 func TestMbpsFormula(t *testing.T) {
 	// 1000 info bits, 1 frame, 10000 cycles at 100 MHz:
 	// 1000 bits / 100 µs = 10 Mbps.
-	got := Mbps(1000, 10000, 1, 100)
+	got, err := Mbps(1000, 10000, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(got-10) > 1e-9 {
 		t.Fatalf("Mbps = %v, want 10", got)
 	}
 	// Packing 8 frames multiplies by 8.
-	if got := Mbps(1000, 10000, 8, 100); math.Abs(got-80) > 1e-9 {
-		t.Fatalf("packed Mbps = %v, want 80", got)
+	if got, err := Mbps(1000, 10000, 8, 100); err != nil || math.Abs(got-80) > 1e-9 {
+		t.Fatalf("packed Mbps = %v (err %v), want 80", got, err)
 	}
 }
 
-func TestMbpsPanicsOnBadCycles(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on zero cycles")
+func TestMbpsErrorsOnBadConfig(t *testing.T) {
+	for _, tc := range []struct {
+		cycles int
+		clock  float64
+	}{{0, 100}, {-5, 100}, {10000, 0}, {10000, -1}} {
+		if got, err := Mbps(1000, tc.cycles, 1, tc.clock); err == nil {
+			t.Errorf("Mbps(cycles=%d, clock=%v) = %v, want error", tc.cycles, tc.clock, got)
 		}
-	}()
-	Mbps(1000, 0, 1, 100)
+	}
 }
 
 // TestTable1Reproduction regenerates Table 1 and checks the shape
@@ -93,7 +98,11 @@ func TestMachineMbpsAgreesWithTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := MachineMbps(m, c); math.Abs(got-rows[0].LowCostMbps) > 1e-9 {
+	got, err := MachineMbps(m, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-rows[0].LowCostMbps) > 1e-9 {
 		t.Errorf("MachineMbps %v != Table1 %v", got, rows[0].LowCostMbps)
 	}
 }
