@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-serve
+.PHONY: check build test bench bench-serve bench-fault
 
 check:
 	sh scripts/check.sh
@@ -17,3 +17,8 @@ bench:
 # perf trajectory seeded into BENCH_serve.json.
 bench-serve:
 	go run ./cmd/ldpcload -inproc -seqbaseline -clients 16 -frames 512 -json BENCH_serve.json
+
+# Fault-injection benchmark: BER/FER degradation and iteration-count
+# inflation versus SEU upset rate, seeded into BENCH_fault.json.
+bench-fault:
+	go run ./cmd/ldpcfault -testcode -frames 4000 -json BENCH_fault.json

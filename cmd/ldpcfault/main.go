@@ -1,0 +1,179 @@
+// Command ldpcfault runs the fault-injection campaigns of
+// internal/fault: a BER-degradation sweep over SEU upset rates
+// (`make bench-fault` → BENCH_fault.json) and the cross-decoder
+// differential check that replays identical fault scenarios through the
+// scalar fixed-point, frame-packed SWAR and cycle-accurate decoders.
+//
+// Examples:
+//
+//	ldpcfault -testcode -frames 4000 -json BENCH_fault.json
+//	ldpcfault -testcode -diff 200
+//	ldpcfault -rates 0,1e-6,1e-5,1e-4 -frames 200
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fault"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldpcfault: ")
+	var (
+		ebn0     = flag.Float64("ebn0", 3.0, "channel Eb/N0 in dB")
+		rates    = flag.String("rates", "0,1e-6,1e-5,1e-4,1e-3,3e-3", "comma-separated SEU upset rates (per bit per write)")
+		frames   = flag.Int("frames", 2000, "frames per upset rate")
+		iters    = flag.Int("iters", 18, "decoding iterations")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 1, "campaign seed")
+		testCode = flag.Bool("testcode", false, "use the fast miniature code instead of the 8176-bit code")
+		jsonPath = flag.String("json", "", "write the sweep as JSON to this path")
+		diff     = flag.Int("diff", 0, "instead of the sweep, run the cross-decoder differential check over this many scenarios")
+	)
+	flag.Parse()
+
+	var c *code.Code
+	var err error
+	name := "ccsds-8176"
+	if *testCode {
+		c, err = code.SmallTestCode(2, 4, 31, 1)
+		name = "small-2x4-31"
+	} else {
+		c, err = code.CCSDS()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := fixed.DefaultHighSpeedParams()
+	p.MaxIterations = *iters
+
+	if *diff > 0 {
+		rep, err := fault.CrossCheck(fault.CheckConfig{
+			Code: c, Params: p, Scenarios: *diff, Seed: *seed, EbN0dB: *ebn0,
+		})
+		if err != nil {
+			log.Fatalf("cross-decoder divergence: %v", err)
+		}
+		fmt.Printf("cross-check passed: %d scenarios (%d with hwsim), %d lanes compared\n",
+			rep.Scenarios, rep.HwsimScenarios, rep.LanesCompared)
+		fmt.Printf("injected: %d SEUs, %d stuck-at faults, %d erasures; %d lanes still converged\n",
+			rep.SEUs, rep.Stuck, rep.Erasures, rep.Converged)
+		return
+	}
+
+	upsets, err := parseRates(*rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s, %s, %d iterations, Eb/N0 %.2f dB, %d frames/rate",
+		name, p.Format, p.MaxIterations, *ebn0, *frames)
+	pts, err := sim.MeasureBERUnderFaults(sim.FaultSweepConfig{
+		Code: c, Params: p, EbN0dB: *ebn0,
+		UpsetRates: upsets, Frames: *frames, Workers: *workers, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%10s %12s %12s %9s %9s %10s %10s\n",
+		"upsetRate", "BER", "FER", "avgIter", "SEU/frm", "converged", "elapsed")
+	for _, pt := range pts {
+		fmt.Printf("%10.1e %12.3e %12.3e %9.2f %9.2f %9.1f%% %10s\n",
+			pt.UpsetRate, pt.BER(), pt.PER(), pt.AvgIterations(),
+			float64(pt.SEUs)/float64(pt.Frames),
+			100*float64(pt.Converged)/float64(pt.Frames),
+			pt.Elapsed.Round(time.Millisecond))
+	}
+
+	if *jsonPath != "" {
+		rep := Report{
+			GeneratedAtUnix: time.Now().Unix(),
+			Code:            name,
+			CodeN:           c.N,
+			CodeK:           c.K,
+			Format:          p.Format.String(),
+			Iterations:      p.MaxIterations,
+			EbN0dB:          *ebn0,
+			FramesPerRate:   *frames,
+			Seed:            *seed,
+		}
+		for _, pt := range pts {
+			rep.Points = append(rep.Points, ReportPoint{
+				UpsetRate:     pt.UpsetRate,
+				BER:           pt.BER(),
+				FER:           pt.PER(),
+				AvgIterations: pt.AvgIterations(),
+				SEUsPerFrame:  float64(pt.SEUs) / float64(pt.Frames),
+				Frames:        pt.Frames,
+				FrameErrors:   pt.FrameErrors,
+				Converged:     pt.Converged,
+			})
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonPath)
+	}
+}
+
+// Report is the JSON artifact (`make bench-fault` → BENCH_fault.json):
+// BER/FER degradation and iteration-count inflation versus SEU upset
+// rate at a fixed channel operating point.
+type Report struct {
+	GeneratedAtUnix int64         `json:"generated_at_unix"`
+	Code            string        `json:"code"`
+	CodeN           int           `json:"code_n"`
+	CodeK           int           `json:"code_k"`
+	Format          string        `json:"format"`
+	Iterations      int           `json:"iterations"`
+	EbN0dB          float64       `json:"ebn0_db"`
+	FramesPerRate   int           `json:"frames_per_rate"`
+	Seed            uint64        `json:"seed"`
+	Points          []ReportPoint `json:"points"`
+}
+
+// ReportPoint is one upset-rate operating point.
+type ReportPoint struct {
+	UpsetRate     float64 `json:"upset_rate"`
+	BER           float64 `json:"ber"`
+	FER           float64 `json:"fer"`
+	AvgIterations float64 `json:"avg_iterations"`
+	SEUsPerFrame  float64 `json:"seus_per_frame"`
+	Frames        int64   `json:"frames"`
+	FrameErrors   int64   `json:"frame_errors"`
+	Converged     int64   `json:"converged"`
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad upset rate %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no upset rates in %q", s)
+	}
+	return out, nil
+}

@@ -17,7 +17,8 @@
 // Usage:
 //
 //	ldpcload [-addr 127.0.0.1:7070 | -inproc] [-clients 16] [-frames 1024]
-//	         [-rate 0] [-ebn0 4.2] [-seqbaseline] [-json out.json]
+//	         [-rate 0] [-ebn0 4.2] [-retries 3] [-backoff 200us]
+//	         [-seqbaseline] [-json out.json]
 //	         [-metrics http://127.0.0.1:7071/metrics]
 package main
 
@@ -59,6 +60,8 @@ func main() {
 		iters    = flag.Int("iters", 18, "iterations for the in-process server and the model comparison")
 		linger   = flag.Duration("linger", 500*time.Microsecond, "in-process server linger")
 		workers  = flag.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
+		retries  = flag.Int("retries", 3, "resubmissions of a frame the server shed or deadlined")
+		backoff  = flag.Duration("backoff", 200*time.Microsecond, "initial retry backoff, doubled per attempt")
 		seqBase  = flag.Bool("seqbaseline", false, "first measure 1 sequential client and report the speedup")
 		jsonPath = flag.String("json", "", "write the report as JSON to this file")
 		metrics  = flag.String("metrics", "", "fetch this /metrics URL into the report (remote servers)")
@@ -107,7 +110,7 @@ func main() {
 
 	if *seqBase {
 		log.Printf("sequential baseline: 1 client, %d frames...", *frames)
-		base, err := runPhase(target, c, pool, 1, *frames, 0)
+		base, err := runPhase(target, c, pool, 1, *frames, 0, *retries, *backoff)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -120,7 +123,7 @@ func main() {
 	if srv != nil {
 		before = srv.Metrics().Snapshot()
 	}
-	load, err := runPhase(target, c, pool, *clients, *frames, *rate)
+	load, err := runPhase(target, c, pool, *clients, *frames, *rate, *retries, *backoff)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -195,13 +198,16 @@ type Phase struct {
 	P90Micros   float64 `json:"p90_us"`
 	P99Micros   float64 `json:"p99_us"`
 	Shed        int64   `json:"shed"`
+	Deadlined   int64   `json:"deadlined"`
+	Retries     int64   `json:"retries"`
+	Abandoned   int64   `json:"abandoned"`
 	FrameErrors int64   `json:"frame_errors"`
 	Unconverged int64   `json:"unconverged"`
 }
 
 func (p Phase) Format(name string) string {
-	return fmt.Sprintf("%s: %d frames / %.2fs = %.1f frames/s = %.2f Mbps, p50 %.0fµs p99 %.0fµs, %d shed, %d frame errors",
-		name, p.Frames, p.ElapsedSecs, p.FPS, p.Mbps, p.P50Micros, p.P99Micros, p.Shed, p.FrameErrors)
+	return fmt.Sprintf("%s: %d frames / %.2fs = %.1f frames/s = %.2f Mbps, p50 %.0fµs p99 %.0fµs, %d shed, %d deadlined, %d retries, %d frame errors",
+		name, p.Frames, p.ElapsedSecs, p.FPS, p.Mbps, p.P50Micros, p.P99Micros, p.Shed, p.Deadlined, p.Retries, p.FrameErrors)
 }
 
 // framePool is a reusable set of deterministic noisy frames with their
@@ -236,11 +242,13 @@ func newFramePool(c *code.Code, ebn0 float64, size int) *framePool {
 // runPhase pushes `frames` frames through `clients` connections and
 // aggregates client-observed latency and correctness. rate > 0 paces
 // the aggregate submission schedule (open loop, split across clients);
-// rate == 0 runs closed loop.
-func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, rate float64) (Phase, error) {
+// rate == 0 runs closed loop. A frame the server sheds or deadlines is
+// resubmitted up to `retries` times with exponential backoff starting
+// at `backoff`; a frame still refused after that is abandoned.
+func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, rate float64, retries int, backoff time.Duration) (Phase, error) {
 	ph := Phase{Clients: clients, Frames: frames, RateTarget: rate}
 	var next atomic.Int64
-	var shed, frameErrors, unconverged atomic.Int64
+	var shed, deadlined, retried, abandoned, frameErrors, unconverged atomic.Int64
 	latencies := make([][]time.Duration, clients)
 	errs := make([]error, clients)
 	var interval time.Duration
@@ -281,36 +289,50 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 				}
 				k := int(i) % len(pool.qs)
 				t0 := time.Now()
-				if wbuf, err = serve.WriteRequest(bw, pool.qs[k], wbuf); err != nil {
-					errs[w] = err
-					return
-				}
-				if err = bw.Flush(); err != nil {
-					errs[w] = err
-					return
-				}
-				resp, rb, err := serve.ReadResponse(br, bits, rbuf)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				rbuf = rb
-				switch resp.Status {
-				case serve.StatusOK:
-					local = append(local, time.Since(t0))
-					if !resp.Converged {
-						unconverged.Add(1)
+				for attempt := 0; ; attempt++ {
+					if wbuf, err = serve.WriteRequest(bw, pool.qs[k], wbuf); err != nil {
+						errs[w] = err
+						return
 					}
-					diff.CopyFrom(bits)
-					diff.Xor(pool.cws[k])
-					if diff.PopCount() > 0 {
-						frameErrors.Add(1)
+					if err = bw.Flush(); err != nil {
+						errs[w] = err
+						return
 					}
-				case serve.StatusOverloaded:
-					shed.Add(1)
-				default:
-					errs[w] = fmt.Errorf("server status %d", resp.Status)
-					return
+					resp, rb, err := serve.ReadResponse(br, bits, rbuf)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					rbuf = rb
+					if resp.Status == serve.StatusOK {
+						// Latency includes all retries: the client
+						// experiences the frame, not the attempt.
+						local = append(local, time.Since(t0))
+						if !resp.Converged {
+							unconverged.Add(1)
+						}
+						diff.CopyFrom(bits)
+						diff.Xor(pool.cws[k])
+						if diff.PopCount() > 0 {
+							frameErrors.Add(1)
+						}
+						break
+					}
+					switch resp.Status {
+					case serve.StatusOverloaded:
+						shed.Add(1)
+					case serve.StatusDeadline:
+						deadlined.Add(1)
+					default:
+						errs[w] = fmt.Errorf("server status %d", resp.Status)
+						return
+					}
+					if attempt >= retries {
+						abandoned.Add(1)
+						break
+					}
+					retried.Add(1)
+					time.Sleep(backoff << uint(attempt))
 				}
 			}
 			latencies[w] = local
@@ -329,6 +351,9 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 	}
 	done := len(all)
 	ph.Shed = shed.Load()
+	ph.Deadlined = deadlined.Load()
+	ph.Retries = retried.Load()
+	ph.Abandoned = abandoned.Load()
 	ph.FrameErrors = frameErrors.Load()
 	ph.Unconverged = unconverged.Load()
 	if ph.ElapsedSecs > 0 {

@@ -10,16 +10,19 @@
 //
 // A second, HTTP listener exposes observability:
 //
-//	/metrics     live counters as JSON — frames decoded/shed, queue
-//	             depth, batch-fill histogram and mean, p50/p90/p99
+//	/metrics     live counters as JSON — frames decoded/shed/deadlined,
+//	             queue depth, batch-fill histogram and mean, p50/p90/p99
 //	             latency, per-worker iterations — plus the analytical
 //	             throughput model for comparison
+//	/healthz     200 while the sliding-window decode-failure rate is
+//	             below threshold, 503 otherwise — the load-balancer
+//	             rotation signal
 //	/debug/vars  the same snapshot through expvar
 //
 // Usage:
 //
 //	ldpcserver [-addr :7070] [-http :7071] [-workers N] [-iters 18]
-//	           [-linger 500us] [-queue 0] [-earlystop]
+//	           [-linger 500us] [-queue 0] [-deadline 0] [-earlystop]
 package main
 
 import (
@@ -52,6 +55,8 @@ func main() {
 		iters     = flag.Int("iters", 18, "decoding iterations (the paper's operating point)")
 		linger    = flag.Duration("linger", 500*time.Microsecond, "max wait to fill an 8-lane batch")
 		queue     = flag.Int("queue", 0, "frame queue depth before shedding (0 = default)")
+		deadline  = flag.Duration("deadline", 0, "per-request decode deadline, 0 disables")
+		hwindow   = flag.Duration("healthwindow", 0, "sliding window of the /healthz failure rate (0 = default 30s)")
 		earlyStop = flag.Bool("earlystop", true, "stop a frame's lanes once its syndrome is zero")
 	)
 	flag.Parse()
@@ -64,11 +69,13 @@ func main() {
 	p.MaxIterations = *iters
 	p.DisableEarlyStop = !*earlyStop
 	s, err := serve.New(serve.Config{
-		Code:       c,
-		Params:     p,
-		Workers:    *workers,
-		Linger:     *linger,
-		QueueDepth: *queue,
+		Code:         c,
+		Params:       p,
+		Workers:      *workers,
+		Linger:       *linger,
+		QueueDepth:   *queue,
+		Deadline:     *deadline,
+		HealthWindow: *hwindow,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -87,6 +94,7 @@ func main() {
 		s.Metrics().Publish("ldpcserver")
 		mux := http.DefaultServeMux // expvar + pprof register themselves here
 		mux.HandleFunc("/metrics", metricsHandler(s, c, *iters))
+		mux.HandleFunc("/healthz", healthHandler(s))
 		hl, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			log.Fatal(err)
@@ -152,6 +160,22 @@ func metricsHandler(s *serve.Server, c *code.Code, iters int) http.HandlerFunc {
 		if err := enc.Encode(out); err != nil {
 			http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
 		}
+	}
+}
+
+// healthHandler is the load-balancer probe: 200 while healthy, 503
+// once the windowed decode-failure rate crosses the threshold, with
+// the rate and window in the JSON body either way.
+func healthHandler(s *serve.Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		st := s.Health().Status()
+		w.Header().Set("Content-Type", "application/json")
+		if !st.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
 	}
 }
 

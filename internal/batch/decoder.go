@@ -32,6 +32,15 @@ type Decoder struct {
 	hard [Lanes]*bitvec.Vector
 	q16  []int16 // quantization scratch for Decode
 
+	// inj, when non-nil, perturbs the packed message write-backs (fault
+	// injection); cvMem/vcMem are its preallocated lane-aware views, and
+	// curNF/curDone expose the live-lane state of the decode in flight.
+	inj     fixed.Injector
+	cvMem   *packedMem
+	vcMem   *packedMem
+	curNF   int
+	curDone uint64
+
 	// Precomputed lane constants.
 	maxVec    uint64 // +Format.Max() in every lane
 	negMaxVec uint64 // −Format.Max() in every lane
@@ -112,6 +121,48 @@ func NewDecoderGraph(g *ldpc.Graph, p fixed.Params) (*Decoder, error) {
 
 // Params returns the decoder configuration.
 func (d *Decoder) Params() fixed.Params { return d.p }
+
+// packedMem adapts the packed per-edge words to fixed.MessageMem: lane f
+// of a word is frame lane f. A lane frozen by per-lane early stop (or
+// beyond the current batch) is not held — its memory is clock-gated, so
+// writes are discarded, keeping fault trajectories identical to a scalar
+// decoder that stopped iterating at convergence.
+type packedMem struct {
+	d    *Decoder
+	msgs []uint64
+}
+
+func (m *packedMem) Holds(ln int) bool {
+	return ln >= 0 && ln < m.d.curNF && m.d.curDone&(0xFF<<(8*uint(ln))) == 0
+}
+
+func (m *packedMem) Get(ln, edge int) int16 {
+	if !m.Holds(ln) {
+		return 0
+	}
+	return int16(lane(m.msgs[edge], ln))
+}
+
+func (m *packedMem) Set(ln, edge int, v int16) {
+	if !m.Holds(ln) {
+		return
+	}
+	m.msgs[edge] = putLane(m.msgs[edge], ln, int8(v))
+}
+
+// SetInjector installs (or, with nil, removes) a fault injector that
+// perturbs the packed message words between phases. Lane k of the
+// injector's address space is frame k of each decode call. The decode
+// path pays one nil check per phase when no injector is installed.
+func (d *Decoder) SetInjector(inj fixed.Injector) {
+	d.inj = inj
+	if inj == nil {
+		d.cvMem, d.vcMem = nil, nil
+		return
+	}
+	d.cvMem = &packedMem{d: d, msgs: d.cvw}
+	d.vcMem = &packedMem{d: d, msgs: d.vcw}
+}
 
 // Decode quantizes up to Lanes frames of real LLRs and decodes them
 // together. Result f corresponds to llrs[f]; the returned Bits vectors
@@ -248,10 +299,17 @@ func (d *Decoder) decodeInto(res []ldpc.Result) error {
 	var iters [Lanes]int
 	var conv [Lanes]bool
 	earlyStop := !d.p.DisableEarlyStop
+	d.curNF, d.curDone = nf, done
 
 	for it := 0; it < d.p.MaxIterations; it++ {
 		d.cnPhase(done)
+		if d.inj != nil {
+			d.inj.AfterCN(it, d.cvMem)
+		}
 		d.bnPhase()
+		if d.inj != nil {
+			d.inj.AfterBN(it, d.vcMem)
+		}
 		if !earlyStop {
 			continue
 		}
@@ -264,6 +322,7 @@ func (d *Decoder) decodeInto(res []ldpc.Result) error {
 				}
 			}
 			done |= newly
+			d.curDone = done
 			if done == ^uint64(0) {
 				break
 			}

@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/batch"
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/rng"
+)
+
+// CheckConfig configures the cross-decoder equivalence oracle.
+type CheckConfig struct {
+	// Code under test; must be block-circulant (carry a Table).
+	Code *code.Code
+	// Params is the fixed-point operating point; DisableEarlyStop is
+	// ignored (the oracle exercises both schedules itself).
+	Params fixed.Params
+	// Scenarios is the number of seeded fault scenarios to replay
+	// (default 100).
+	Scenarios int
+	// Seed makes the whole campaign reproducible.
+	Seed uint64
+	// EbN0dB is the channel operating point (default 3 dB).
+	EbN0dB float64
+	// UpsetRate is the per-bit per-write SEU probability; 0 picks a rate
+	// giving a mean of 6 upsets per scenario.
+	UpsetRate float64
+}
+
+// CheckReport summarizes a CrossCheck campaign.
+type CheckReport struct {
+	// Scenarios replayed; HwsimScenarios of them also ran the
+	// cycle-accurate machine (the fixed-period ones).
+	Scenarios      int
+	HwsimScenarios int
+	// LanesCompared counts (scenario, lane) comparisons.
+	LanesCompared int
+	// SEUs, Stuck, Erasures total the injected faults.
+	SEUs, Stuck, Erasures int
+	// Converged counts lanes whose syndrome still reached zero.
+	Converged int
+}
+
+// CrossCheck replays seeded random fault scenarios through the scalar
+// fixed-point decoder, the frame-packed SWAR decoder, and — on the
+// fixed-period scenarios — the cycle-accurate architecture model, and
+// verifies they emit identical hard decisions, iteration counts and
+// convergence flags lane for lane. Even-numbered scenarios use the
+// hardware's fixed-period schedule and include hwsim; odd-numbered
+// scenarios use per-frame early stop, which hwsim does not implement
+// (its optional early stop terminates per batch), so they compare the
+// fixed and batch decoders only.
+//
+// It returns a non-nil error at the first divergence, identifying the
+// scenario and lane.
+func CrossCheck(cfg CheckConfig) (CheckReport, error) {
+	rep := CheckReport{}
+	if cfg.Scenarios <= 0 {
+		cfg.Scenarios = 100
+	}
+	if cfg.EbN0dB == 0 {
+		cfg.EbN0dB = 3
+	}
+	g, err := NewGeometry(cfg.Code, cfg.Params.Format)
+	if err != nil {
+		return rep, err
+	}
+	lanes := batch.Lanes
+	rcfg := RandomConfig{Lanes: lanes, Iterations: cfg.Params.MaxIterations}
+	rcfg.UpsetRate = cfg.UpsetRate
+	if rcfg.UpsetRate == 0 {
+		rcfg.UpsetRate = 6 / rcfg.Exposure(g)
+	}
+
+	fp := cfg.Params
+	fp.DisableEarlyStop = true
+	es := cfg.Params
+	es.DisableEarlyStop = false
+
+	fdFP, err := fixed.NewDecoder(cfg.Code, fp)
+	if err != nil {
+		return rep, err
+	}
+	fdES, err := fixed.NewDecoder(cfg.Code, es)
+	if err != nil {
+		return rep, err
+	}
+	bdFP, err := batch.NewDecoder(cfg.Code, fp)
+	if err != nil {
+		return rep, err
+	}
+	bdES, err := batch.NewDecoder(cfg.Code, es)
+	if err != nil {
+		return rep, err
+	}
+	mach, err := hwsim.New(cfg.Code, hwsim.Config{
+		Format:     cfg.Params.Format,
+		Scale:      cfg.Params.Scale,
+		Iterations: cfg.Params.MaxIterations,
+		Frames:     lanes,
+		ClockMHz:   200,
+	})
+	if err != nil {
+		return rep, err
+	}
+	ch, err := channel.NewAWGN(cfg.EbN0dB, cfg.Code.Rate())
+	if err != nil {
+		return rep, err
+	}
+
+	qllr := make([][]int16, lanes)
+	for f := range qllr {
+		qllr[f] = make([]int16, cfg.Code.N)
+	}
+	fixedBits := make([]*bitvec.Vector, lanes)
+	fixedIters := make([]int, lanes)
+	fixedConv := make([]bool, lanes)
+
+	root := rng.New(cfg.Seed)
+	for s := 0; s < cfg.Scenarios; s++ {
+		scenSeed := root.Uint64()
+		sr := rng.New(scenSeed)
+
+		rc := rcfg
+		if s%4 == 1 {
+			rc.StuckAts = 1
+		}
+		if s%3 == 2 {
+			rc.Erasures = 2
+		}
+		plan := RandomPlan(g, rc, sr.Uint64())
+		seus, stuck, erasures := plan.Counts()
+		rep.SEUs += seus
+		rep.Stuck += stuck
+		rep.Erasures += erasures
+
+		// Random codewords: faults break the channel symmetry that makes
+		// the all-zero shortcut exact, so transmit real data.
+		for f := 0; f < lanes; f++ {
+			info := bitvec.New(cfg.Code.K)
+			for i := 0; i < cfg.Code.K; i++ {
+				if sr.Bool() {
+					info.Set(i)
+				}
+			}
+			cw := cfg.Code.Encode(info)
+			llr := ch.CorruptCodeword(cw, sr)
+			cfg.Params.Format.QuantizeSlice(qllr[f], llr)
+			plan.ApplyErasures(f, qllr[f])
+		}
+
+		inj, err := NewInjector(g, plan)
+		if err != nil {
+			return rep, fmt.Errorf("scenario %d (seed %#x): %w", s, scenSeed, err)
+		}
+
+		fixedPeriod := s%2 == 0
+		fd, bd := fdES, bdES
+		if fixedPeriod {
+			fd, bd = fdFP, bdFP
+		}
+
+		for f := 0; f < lanes; f++ {
+			fd.SetInjector(inj, f)
+			res := fd.DecodeQ(qllr[f])
+			fixedBits[f] = res.Bits.Clone()
+			fixedIters[f] = res.Iterations
+			fixedConv[f] = res.Converged
+			if res.Converged {
+				rep.Converged++
+			}
+		}
+		fd.SetInjector(nil, 0)
+
+		bd.SetInjector(inj)
+		bres, err := bd.DecodeQ(qllr)
+		bd.SetInjector(nil)
+		if err != nil {
+			return rep, fmt.Errorf("scenario %d (seed %#x): batch: %w", s, scenSeed, err)
+		}
+		for f := 0; f < lanes; f++ {
+			if !bres[f].Bits.Equal(fixedBits[f]) {
+				return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: batch hard decision diverges from fixed", s, scenSeed, f)
+			}
+			if bres[f].Iterations != fixedIters[f] {
+				return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: batch ran %d iterations, fixed %d",
+					s, scenSeed, f, bres[f].Iterations, fixedIters[f])
+			}
+			if bres[f].Converged != fixedConv[f] {
+				return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: batch converged=%v, fixed %v",
+					s, scenSeed, f, bres[f].Converged, fixedConv[f])
+			}
+		}
+
+		if fixedPeriod {
+			mach.SetInjector(inj)
+			hard, cycles, err := mach.DecodeBatch(qllr)
+			mach.SetInjector(nil)
+			if err != nil {
+				return rep, fmt.Errorf("scenario %d (seed %#x): hwsim: %w", s, scenSeed, err)
+			}
+			if cycles.IterationsRun != fixedIters[0] {
+				return rep, fmt.Errorf("scenario %d (seed %#x): hwsim ran %d iterations, fixed %d",
+					s, scenSeed, cycles.IterationsRun, fixedIters[0])
+			}
+			for f := 0; f < lanes; f++ {
+				if !hard[f].Equal(fixedBits[f]) {
+					return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: hwsim hard decision diverges from fixed", s, scenSeed, f)
+				}
+			}
+			rep.HwsimScenarios++
+		}
+		rep.Scenarios++
+		rep.LanesCompared += lanes
+	}
+	return rep, nil
+}

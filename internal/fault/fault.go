@@ -1,0 +1,172 @@
+// Package fault is a deterministic, seedable fault-injection framework
+// for the decoder family: the scalar fixed-point reference
+// (internal/fixed), the frame-packed SWAR decoder (internal/batch) and
+// the cycle-accurate architecture model (internal/hwsim).
+//
+// Near-earth spacecraft electronics absorb radiation-induced
+// single-event upsets (SEUs): a charged particle flips a bit in a RAM
+// cell or a datapath register. For the paper's Fig. 3 decoder the
+// exposed state is exactly the banked message memories and the CN/BN
+// arithmetic outputs, so the framework models three fault classes:
+//
+//   - SEU: one stored message bit flips, addressed by (bank, word, bit)
+//     in the Fig. 3 memory layout plus the iteration, phase and frame
+//     lane at which the upset lands.
+//   - StuckAt: one output bit of a CN or BN processing unit is pinned
+//     to 0 or 1 — a permanent datapath fault affecting every message
+//     the unit writes, every iteration, every lane.
+//   - Erasure: a burst of channel LLRs is wiped to zero before
+//     decoding — a front-end dropout rather than a decoder fault.
+//
+// Faults are injected through the fixed.Injector hook that all three
+// decoders implement, addressed decoder-agnostically by Tanner graph
+// edge. Because the addressing is shared, one Plan replays bit-for-bit
+// identically on every decoder — which turns any fault scenario into a
+// differential correctness test (CrossCheck).
+package fault
+
+import "fmt"
+
+// Phase identifies which write-back a fault perturbs.
+type Phase uint8
+
+const (
+	// PhaseCN perturbs the check-node write-back: the stored check→bit
+	// messages, read by the same iteration's bit-node phase.
+	PhaseCN Phase = iota
+	// PhaseBN perturbs the bit-node write-back: the stored bit→check
+	// messages, read by the next iteration's check-node phase.
+	PhaseBN
+)
+
+func (p Phase) String() string {
+	if p == PhaseCN {
+		return "CN"
+	}
+	return "BN"
+}
+
+// Address locates one message cell in the Fig. 3 banked memory layout:
+// Bank indexes the circulant memories in (block row, block column,
+// offset) order — the same order internal/hwsim instantiates them — and
+// Word is the address within the bank, i.e. the sub-row s of the
+// circulant in [0, B).
+type Address struct {
+	Bank int
+	Word int
+}
+
+// SEU is one single-event upset: bit Bit (0 = LSB) of the q-bit message
+// stored at Addr flips, as observed after Phase of Iteration, in frame
+// Lane. Flipping bit q−1 flips the stored two's-complement sign.
+type SEU struct {
+	Iteration int
+	Phase     Phase
+	Lane      int
+	Addr      Address
+	Bit       int
+}
+
+// StuckAt pins bit Bit of every message written by one processing unit
+// to Value — CN unit r serves block row r, BN unit c serves block
+// column c — for all iterations and lanes, modelling a latched
+// permanent fault in the unit's output register.
+type StuckAt struct {
+	Phase Phase // PhaseCN: a CN unit; PhaseBN: a BN unit
+	Unit  int
+	Bit   int
+	Value int // 0 or 1
+}
+
+// Erasure wipes the channel LLRs of positions [Start, Start+Len) of
+// frame Lane to zero (a full erasure under the LLR convention) before
+// decoding starts.
+type Erasure struct {
+	Lane  int
+	Start int
+	Len   int
+}
+
+// Plan is one deterministic fault scenario spanning Lanes frame lanes.
+// The zero plan injects nothing.
+type Plan struct {
+	// Lanes is the number of frame lanes the scenario addresses (≥ 1);
+	// fault lanes must lie in [0, Lanes).
+	Lanes    int
+	SEUs     []SEU
+	Stuck    []StuckAt
+	Erasures []Erasure
+}
+
+// Counts returns the number of faults of each class in the plan.
+func (p *Plan) Counts() (seus, stuck, erasures int) {
+	return len(p.SEUs), len(p.Stuck), len(p.Erasures)
+}
+
+// Validate checks every fault against the code geometry.
+func (p *Plan) Validate(g *Geometry) error {
+	if p.Lanes < 1 {
+		return fmt.Errorf("fault: plan spans %d lanes", p.Lanes)
+	}
+	q := g.Format.Bits
+	for i, u := range p.SEUs {
+		if u.Iteration < 0 {
+			return fmt.Errorf("fault: SEU %d at iteration %d", i, u.Iteration)
+		}
+		if u.Phase != PhaseCN && u.Phase != PhaseBN {
+			return fmt.Errorf("fault: SEU %d phase %d", i, u.Phase)
+		}
+		if u.Lane < 0 || u.Lane >= p.Lanes {
+			return fmt.Errorf("fault: SEU %d lane %d outside [0,%d)", i, u.Lane, p.Lanes)
+		}
+		if u.Addr.Bank < 0 || u.Addr.Bank >= g.NumBanks() {
+			return fmt.Errorf("fault: SEU %d bank %d outside [0,%d)", i, u.Addr.Bank, g.NumBanks())
+		}
+		if u.Addr.Word < 0 || u.Addr.Word >= g.B {
+			return fmt.Errorf("fault: SEU %d word %d outside [0,%d)", i, u.Addr.Word, g.B)
+		}
+		if u.Bit < 0 || u.Bit >= q {
+			return fmt.Errorf("fault: SEU %d bit %d outside the %d-bit message", i, u.Bit, q)
+		}
+	}
+	for i, s := range p.Stuck {
+		units := g.BlockRows
+		if s.Phase == PhaseBN {
+			units = g.BlockCols
+		}
+		if s.Unit < 0 || s.Unit >= units {
+			return fmt.Errorf("fault: stuck-at %d unit %d outside [0,%d)", i, s.Unit, units)
+		}
+		if s.Bit < 0 || s.Bit >= q {
+			return fmt.Errorf("fault: stuck-at %d bit %d outside the %d-bit message", i, s.Bit, q)
+		}
+		if s.Value != 0 && s.Value != 1 {
+			return fmt.Errorf("fault: stuck-at %d value %d", i, s.Value)
+		}
+	}
+	for i, e := range p.Erasures {
+		if e.Lane < 0 || e.Lane >= p.Lanes {
+			return fmt.Errorf("fault: erasure %d lane %d outside [0,%d)", i, e.Lane, p.Lanes)
+		}
+		if e.Start < 0 || e.Len < 0 || e.Start+e.Len > g.N {
+			return fmt.Errorf("fault: erasure %d burst [%d,%d) outside the length-%d codeword",
+				i, e.Start, e.Start+e.Len, g.N)
+		}
+	}
+	return nil
+}
+
+// ApplyErasures wipes the plan's erasure bursts for the given lane out
+// of a quantized channel LLR vector, in place. Call it on each frame
+// before submitting it to any decoder; the erasure is a channel-side
+// fault, so it perturbs the input identically for every decoder.
+func (p *Plan) ApplyErasures(lane int, q []int16) {
+	for _, e := range p.Erasures {
+		if e.Lane != lane {
+			continue
+		}
+		for j := e.Start; j < e.Start+e.Len && j < len(q); j++ {
+			q[j] = 0
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/rng"
+)
+
+func testCode(t *testing.T) *code.Code {
+	t.Helper()
+	c, err := code.SmallTestCode(2, 4, 31, 1)
+	if err != nil {
+		t.Fatalf("SmallTestCode: %v", err)
+	}
+	return c
+}
+
+func testParams() fixed.Params {
+	p := fixed.DefaultHighSpeedParams()
+	p.MaxIterations = 10
+	return p
+}
+
+func testGeometry(t *testing.T) *Geometry {
+	t.Helper()
+	g, err := NewGeometry(testCode(t), testParams().Format)
+	if err != nil {
+		t.Fatalf("NewGeometry: %v", err)
+	}
+	return g
+}
+
+func TestGeometryShape(t *testing.T) {
+	c := testCode(t)
+	g := testGeometry(t)
+	wantBanks := 0
+	for r := 0; r < c.Table.BlockRows; r++ {
+		for cb := 0; cb < c.Table.BlockCols; cb++ {
+			wantBanks += len(c.Table.Offsets[r][cb])
+		}
+	}
+	if g.NumBanks() != wantBanks {
+		t.Errorf("NumBanks = %d, want %d (one per circulant one-offset)", g.NumBanks(), wantBanks)
+	}
+	if g.NumBanks()*g.B != g.E {
+		t.Errorf("banks×depth = %d×%d, want E = %d", g.NumBanks(), g.B, g.E)
+	}
+	if g.E != c.NumEdges() {
+		t.Errorf("E = %d, want %d", g.E, c.NumEdges())
+	}
+}
+
+func TestGeometryRoundTrip(t *testing.T) {
+	g := testGeometry(t)
+	// Every edge maps to a unique cell and back.
+	seen := make(map[Address]bool)
+	for e := 0; e < g.E; e++ {
+		a, err := g.AddrOf(e)
+		if err != nil {
+			t.Fatalf("AddrOf(%d): %v", e, err)
+		}
+		if seen[a] {
+			t.Fatalf("edge %d: cell %+v already used", e, a)
+		}
+		seen[a] = true
+		back, err := g.EdgeAt(a)
+		if err != nil {
+			t.Fatalf("EdgeAt(%+v): %v", a, err)
+		}
+		if back != e {
+			t.Fatalf("edge %d → %+v → %d", e, a, back)
+		}
+	}
+	if _, err := g.EdgeAt(Address{Bank: g.NumBanks(), Word: 0}); err == nil {
+		t.Error("EdgeAt accepted an out-of-range bank")
+	}
+	if _, err := g.AddrOf(g.E); err == nil {
+		t.Error("AddrOf accepted an out-of-range edge")
+	}
+}
+
+func TestFlipAndForceBit(t *testing.T) {
+	g := testGeometry(t) // Q(5,1): q = 5
+	cases := []struct {
+		name string
+		got  int16
+		want int16
+	}{
+		// Flipping the sign bit of 0 yields the most negative code −16,
+		// which the fault-free datapath never produces.
+		{"flip sign of 0", g.FlipBit(0, 4), -16},
+		{"flip sign of 15", g.FlipBit(15, 4), -1},
+		{"flip LSB of -16", g.FlipBit(-16, 0), -15},
+		{"flip sign of -16", g.FlipBit(-16, 4), 0},
+		{"flip bit2 of 3", g.FlipBit(3, 2), 7},
+		{"force sign of -1 to 0", g.ForceBit(-1, 4, 0), 15},
+		{"force sign of 7 to 1", g.ForceBit(7, 4, 1), -9},
+		{"force set bit already set", g.ForceBit(-9, 4, 1), -9},
+		{"force clear bit already clear", g.ForceBit(7, 4, 0), 7},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	// Flip is an involution over the whole code space.
+	for v := int16(-16); v <= 15; v++ {
+		for bit := 0; bit < 5; bit++ {
+			if back := g.FlipBit(g.FlipBit(v, bit), bit); back != v {
+				t.Fatalf("FlipBit(FlipBit(%d,%d),%d) = %d", v, bit, bit, back)
+			}
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	g := testGeometry(t)
+	ok := Plan{Lanes: 8,
+		SEUs:     []SEU{{Iteration: 3, Phase: PhaseBN, Lane: 7, Addr: Address{Bank: 1, Word: 5}, Bit: 4}},
+		Stuck:    []StuckAt{{Phase: PhaseCN, Unit: 1, Bit: 0, Value: 1}},
+		Erasures: []Erasure{{Lane: 0, Start: g.N - 4, Len: 4}},
+	}
+	if err := ok.Validate(g); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []Plan{
+		{Lanes: 0},
+		{Lanes: 8, SEUs: []SEU{{Iteration: -1}}},
+		{Lanes: 8, SEUs: []SEU{{Lane: 8}}},
+		{Lanes: 8, SEUs: []SEU{{Addr: Address{Bank: g.NumBanks()}}}},
+		{Lanes: 8, SEUs: []SEU{{Addr: Address{Word: g.B}}}},
+		{Lanes: 8, SEUs: []SEU{{Bit: g.Format.Bits}}},
+		{Lanes: 8, Stuck: []StuckAt{{Phase: PhaseCN, Unit: g.BlockRows}}},
+		{Lanes: 8, Stuck: []StuckAt{{Phase: PhaseBN, Unit: g.BlockCols}}},
+		{Lanes: 8, Stuck: []StuckAt{{Value: 2}}},
+		{Lanes: 8, Erasures: []Erasure{{Lane: 8}}},
+		{Lanes: 8, Erasures: []Erasure{{Start: g.N - 2, Len: 3}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(g); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestApplyErasures(t *testing.T) {
+	p := Plan{Lanes: 2, Erasures: []Erasure{
+		{Lane: 1, Start: 2, Len: 3},
+		{Lane: 0, Start: 0, Len: 1},
+	}}
+	q := []int16{5, -3, 7, -7, 9, 11}
+	p.ApplyErasures(1, q)
+	want := []int16{5, -3, 0, 0, 0, 11}
+	if !reflect.DeepEqual(q, want) {
+		t.Errorf("lane 1 erasure: got %v, want %v", q, want)
+	}
+	p.ApplyErasures(0, q)
+	want[0] = 0
+	if !reflect.DeepEqual(q, want) {
+		t.Errorf("lane 0 erasure: got %v, want %v", q, want)
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	g := testGeometry(t)
+	cfg := RandomConfig{Lanes: 8, Iterations: 10, StuckAts: 2, Erasures: 3}
+	cfg.UpsetRate = 20 / cfg.Exposure(g) // mean 20 upsets
+	a := RandomPlan(g, cfg, 0xfeed)
+	b := RandomPlan(g, cfg, 0xfeed)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	c := RandomPlan(g, cfg, 0xbeef)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatalf("sampled plan invalid: %v", err)
+	}
+	seus, stuck, er := a.Counts()
+	if seus == 0 {
+		t.Error("mean-20 sampling produced zero SEUs")
+	}
+	if stuck != 2 || er != 3 {
+		t.Errorf("counts = (%d,%d), want (2,3)", stuck, er)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := rng.New(7)
+	for _, lambda := range []float64{0.5, 4, 12, 80} {
+		n, draws := 0, 2000
+		for i := 0; i < draws; i++ {
+			n += poisson(r, lambda)
+		}
+		mean := float64(n) / float64(draws)
+		// ±5 standard errors of the sample mean.
+		tol := 5 * (lambda / float64(draws))
+		if tol < 0.2 {
+			tol = 0.2
+		}
+		if mean < lambda-lambda*0.2-tol || mean > lambda+lambda*0.2+tol {
+			t.Errorf("poisson(%v): sample mean %v", lambda, mean)
+		}
+	}
+	if poisson(r, 0) != 0 || poisson(r, -1) != 0 {
+		t.Error("poisson of non-positive mean should be 0")
+	}
+}
+
+// TestInjectionPerturbs guards against the framework silently injecting
+// nothing: a sign-bit stuck-at on every CN unit must change the decoded
+// output of at least one noisy frame.
+func TestInjectionPerturbs(t *testing.T) {
+	c := testCode(t)
+	g := testGeometry(t)
+	p := testParams()
+	plan := &Plan{Lanes: 1}
+	for u := 0; u < g.BlockRows; u++ {
+		plan.Stuck = append(plan.Stuck, StuckAt{Phase: PhaseCN, Unit: u, Bit: g.Format.Bits - 1, Value: 1})
+	}
+	inj, err := NewInjector(g, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := fixed.NewDecoder(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(42)
+	q := make([]int16, c.N)
+	changed := false
+	for trial := 0; trial < 20 && !changed; trial++ {
+		for j := range q {
+			q[j] = int16(r.Intn(7) - 3)
+		}
+		clean := dec.DecodeQ(q).Bits.Clone()
+		dec.SetInjector(inj, 0)
+		faulty := dec.DecodeQ(q).Bits.Clone()
+		dec.SetInjector(nil, 0)
+		changed = !clean.Equal(faulty)
+	}
+	if !changed {
+		t.Fatal("all-CN sign stuck-at never changed a hard decision: injection is not reaching the datapath")
+	}
+}

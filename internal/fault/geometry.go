@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+)
+
+// Geometry is the translation between the Fig. 3 hardware coordinates
+// of a QC code's message memories — circulant banks of B words of q
+// bits — and the decoder-agnostic Tanner-edge addressing of the
+// fixed.Injector hook. Banks are numbered in (block row, block column,
+// offset) order, matching internal/hwsim's allocation; the edge of
+// check row r·B+s through circulant (r, c, o) is stored in that
+// circulant's bank at word s.
+type Geometry struct {
+	// Format is the message quantization; Format.Bits is the stored
+	// word width q that SEU bit indices address.
+	Format fixed.Format
+	// B, BlockRows, BlockCols, N, E mirror the code geometry.
+	B         int
+	BlockRows int
+	BlockCols int
+	N         int
+	E         int
+
+	// edgeOf[bank][word] is the Tanner edge stored at that cell.
+	edgeOf [][]int32
+	// addrOf[edge] is the inverse map.
+	addrOf []Address
+	// cnUnitEdges[r] / bnUnitEdges[c] list the edges a processing unit
+	// writes (block row r's checks / block column c's bits).
+	cnUnitEdges [][]int32
+	bnUnitEdges [][]int32
+}
+
+// NewGeometry builds the bank/word ↔ edge translation for a
+// block-circulant code under the given message format.
+func NewGeometry(c *code.Code, f fixed.Format) (*Geometry, error) {
+	if c == nil || c.Table == nil {
+		return nil, fmt.Errorf("fault: nil code or missing circulant table")
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	t := c.Table
+	g := &Geometry{
+		Format:    f,
+		B:         t.B,
+		BlockRows: t.BlockRows,
+		BlockCols: t.BlockCols,
+		N:         c.N,
+		E:         c.NumEdges(),
+	}
+	// rowBase[i] is the first edge of check row i under the row-major
+	// edge numbering of ldpc.Graph.
+	rowBase := make([]int32, c.M+1)
+	for i, idx := range c.RowIdx {
+		rowBase[i+1] = rowBase[i] + int32(len(idx))
+	}
+	g.addrOf = make([]Address, g.E)
+	g.cnUnitEdges = make([][]int32, t.BlockRows)
+	g.bnUnitEdges = make([][]int32, t.BlockCols)
+	b := t.B
+	for r := 0; r < t.BlockRows; r++ {
+		for cb := 0; cb < t.BlockCols; cb++ {
+			for _, o := range t.Offsets[r][cb] {
+				bank := make([]int32, b)
+				bankID := len(g.edgeOf)
+				for s := 0; s < b; s++ {
+					row := r*b + s
+					col := int32(cb*b + (o+s)%b)
+					idx := c.RowIdx[row]
+					e := int32(-1)
+					for k, j := range idx {
+						if j == col {
+							e = rowBase[row] + int32(k)
+							break
+						}
+					}
+					if e < 0 {
+						return nil, fmt.Errorf("fault: circulant (%d,%d) offset %d: column %d missing from check row %d",
+							r, cb, o, col, row)
+					}
+					bank[s] = e
+					g.addrOf[e] = Address{Bank: bankID, Word: s}
+					g.cnUnitEdges[r] = append(g.cnUnitEdges[r], e)
+					g.bnUnitEdges[cb] = append(g.bnUnitEdges[cb], e)
+				}
+				g.edgeOf = append(g.edgeOf, bank)
+			}
+		}
+	}
+	return g, nil
+}
+
+// NumBanks returns the number of message memory banks (one per
+// circulant one-offset) — the paper's 64 for the CCSDS geometry.
+func (g *Geometry) NumBanks() int { return len(g.edgeOf) }
+
+// EdgeAt returns the Tanner edge stored at a bank/word cell.
+func (g *Geometry) EdgeAt(a Address) (int, error) {
+	if a.Bank < 0 || a.Bank >= len(g.edgeOf) || a.Word < 0 || a.Word >= g.B {
+		return 0, fmt.Errorf("fault: address bank %d word %d outside %d banks × %d words",
+			a.Bank, a.Word, len(g.edgeOf), g.B)
+	}
+	return int(g.edgeOf[a.Bank][a.Word]), nil
+}
+
+// AddrOf returns the bank/word cell storing a Tanner edge's message.
+func (g *Geometry) AddrOf(edge int) (Address, error) {
+	if edge < 0 || edge >= g.E {
+		return Address{}, fmt.Errorf("fault: edge %d outside [0,%d)", edge, g.E)
+	}
+	return g.addrOf[edge], nil
+}
+
+// FlipBit flips bit `bit` of the q-bit two's-complement code of v and
+// returns the re-sign-extended result. Flipping the sign bit of a
+// positive message yields the corresponding negative code — including
+// the most negative code −2^(q−1), which the fault-free datapath never
+// produces but every decoder processes identically.
+func (g *Geometry) FlipBit(v int16, bit int) int16 {
+	return signExtend(uint16(v)^(1<<uint(bit)), g.Format.Bits)
+}
+
+// ForceBit pins bit `bit` of the q-bit code of v to val (0 or 1).
+func (g *Geometry) ForceBit(v int16, bit, val int) int16 {
+	u := uint16(v) &^ (1 << uint(bit))
+	if val != 0 {
+		u |= 1 << uint(bit)
+	}
+	return signExtend(u, g.Format.Bits)
+}
+
+// signExtend interprets the low q bits of u as a two's-complement code.
+func signExtend(u uint16, q int) int16 {
+	mask := uint16(1)<<uint(q) - 1
+	u &= mask
+	if u&(1<<uint(q-1)) != 0 {
+		u |= ^mask
+	}
+	return int16(u)
+}

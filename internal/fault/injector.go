@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"ccsdsldpc/internal/fixed"
+)
+
+// Injector replays one Plan through the fixed.Injector hook. It is
+// stateless after construction — the plan is pre-translated into
+// per-iteration edge-domain hit lists — so one Injector may be shared
+// by several decoders replaying the same scenario (but not by
+// concurrent decodes of the same decoder).
+//
+// Within a phase, SEUs apply before stuck-at faults, so a stuck-at
+// pinning the same bit an upset flipped wins — the deterministic order
+// every decoder observes.
+type Injector struct {
+	g    *Geometry
+	plan *Plan
+
+	// seuCN[it] / seuBN[it] are the upsets landing after that phase of
+	// iteration it, already translated from bank/word to edge.
+	seuCN map[int][]seuSite
+	seuBN map[int][]seuSite
+	// stuckCN / stuckBN are the stuck-at faults expanded over the edges
+	// their unit writes, applied every iteration.
+	stuckCN []stuckSite
+	stuckBN []stuckSite
+}
+
+type seuSite struct {
+	lane, edge, bit int
+}
+
+type stuckSite struct {
+	edge, bit, val int
+}
+
+// NewInjector validates the plan against the geometry and pre-computes
+// the edge-domain hit lists.
+func NewInjector(g *Geometry, p *Plan) (*Injector, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		g: g, plan: p,
+		seuCN: make(map[int][]seuSite),
+		seuBN: make(map[int][]seuSite),
+	}
+	for _, u := range p.SEUs {
+		e, err := g.EdgeAt(u.Addr)
+		if err != nil {
+			return nil, err
+		}
+		site := seuSite{lane: u.Lane, edge: e, bit: u.Bit}
+		if u.Phase == PhaseCN {
+			inj.seuCN[u.Iteration] = append(inj.seuCN[u.Iteration], site)
+		} else {
+			inj.seuBN[u.Iteration] = append(inj.seuBN[u.Iteration], site)
+		}
+	}
+	for _, s := range p.Stuck {
+		var edges []int32
+		if s.Phase == PhaseBN {
+			edges = g.bnUnitEdges[s.Unit]
+		} else {
+			edges = g.cnUnitEdges[s.Unit]
+		}
+		for _, e := range edges {
+			site := stuckSite{edge: int(e), bit: s.Bit, val: s.Value}
+			if s.Phase == PhaseCN {
+				inj.stuckCN = append(inj.stuckCN, site)
+			} else {
+				inj.stuckBN = append(inj.stuckBN, site)
+			}
+		}
+	}
+	return inj, nil
+}
+
+// Plan returns the scenario this injector replays.
+func (inj *Injector) Plan() *Plan { return inj.plan }
+
+// AfterCN implements fixed.Injector: perturb the check→bit messages of
+// iteration it.
+func (inj *Injector) AfterCN(it int, mem fixed.MessageMem) {
+	inj.apply(inj.seuCN[it], inj.stuckCN, mem)
+}
+
+// AfterBN implements fixed.Injector: perturb the bit→check messages of
+// iteration it.
+func (inj *Injector) AfterBN(it int, mem fixed.MessageMem) {
+	inj.apply(inj.seuBN[it], inj.stuckBN, mem)
+}
+
+func (inj *Injector) apply(seus []seuSite, stuck []stuckSite, mem fixed.MessageMem) {
+	for _, u := range seus {
+		if !mem.Holds(u.lane) {
+			continue
+		}
+		mem.Set(u.lane, u.edge, inj.g.FlipBit(mem.Get(u.lane, u.edge), u.bit))
+	}
+	for _, s := range stuck {
+		for ln := 0; ln < inj.plan.Lanes; ln++ {
+			if !mem.Holds(ln) {
+				continue
+			}
+			mem.Set(ln, s.edge, inj.g.ForceBit(mem.Get(ln, s.edge), s.bit, s.val))
+		}
+	}
+}

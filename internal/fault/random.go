@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"math"
+
+	"ccsdsldpc/internal/rng"
+)
+
+// RandomConfig parameterizes a sampled fault scenario.
+type RandomConfig struct {
+	// Lanes is the number of frame lanes the scenario spans.
+	Lanes int
+	// Iterations is the decoding period the scenario is exposed over.
+	Iterations int
+	// UpsetRate is the per-bit per-write-back upset probability. Every
+	// stored message bit is rewritten once per phase per iteration, so a
+	// decode of one frame exposes E·q·Iterations·2 bit-writes; the
+	// expected SEU count is UpsetRate times the exposure over all lanes.
+	UpsetRate float64
+	// StuckAts and Erasures are exact fault counts to sample.
+	StuckAts int
+	Erasures int
+	// MaxErasureLen bounds an erasure burst (default 16, capped at N).
+	MaxErasureLen int
+}
+
+// Exposure returns the number of message-bit writes the configuration
+// exposes to upsets: E edges × q bits × 2 phases × Iterations × Lanes.
+func (cfg RandomConfig) Exposure(g *Geometry) float64 {
+	return float64(g.E) * float64(g.Format.Bits) * 2 *
+		float64(cfg.Iterations) * float64(cfg.Lanes)
+}
+
+// RandomPlan samples a fault scenario as a pure function of
+// (geometry, config, seed): the SEU count is Poisson with mean
+// UpsetRate × Exposure, each upset landing uniformly over
+// (iteration, phase, lane, bank, word, bit). Uniform over (bank, word)
+// is uniform over edges, since every bank stores exactly B messages.
+func RandomPlan(g *Geometry, cfg RandomConfig, seed uint64) *Plan {
+	r := rng.New(seed)
+	p := &Plan{Lanes: cfg.Lanes}
+	n := poisson(r, cfg.UpsetRate*cfg.Exposure(g))
+	for i := 0; i < n; i++ {
+		p.SEUs = append(p.SEUs, SEU{
+			Iteration: r.Intn(cfg.Iterations),
+			Phase:     Phase(r.Intn(2)),
+			Lane:      r.Intn(cfg.Lanes),
+			Addr:      Address{Bank: r.Intn(g.NumBanks()), Word: r.Intn(g.B)},
+			Bit:       r.Intn(g.Format.Bits),
+		})
+	}
+	for i := 0; i < cfg.StuckAts; i++ {
+		ph := Phase(r.Intn(2))
+		units := g.BlockRows
+		if ph == PhaseBN {
+			units = g.BlockCols
+		}
+		p.Stuck = append(p.Stuck, StuckAt{
+			Phase: ph,
+			Unit:  r.Intn(units),
+			Bit:   r.Intn(g.Format.Bits),
+			Value: r.Intn(2),
+		})
+	}
+	maxLen := cfg.MaxErasureLen
+	if maxLen <= 0 {
+		maxLen = 16
+	}
+	if maxLen > g.N {
+		maxLen = g.N
+	}
+	for i := 0; i < cfg.Erasures; i++ {
+		l := 1 + r.Intn(maxLen)
+		p.Erasures = append(p.Erasures, Erasure{
+			Lane:  r.Intn(cfg.Lanes),
+			Start: r.Intn(g.N - l + 1),
+			Len:   l,
+		})
+	}
+	return p
+}
+
+// poisson draws Poisson(λ) from the generator: Knuth's product method
+// for small λ, a rounded normal approximation (error negligible next to
+// Monte-Carlo noise) for large λ.
+func poisson(r *rng.RNG, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k, p := 0, 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := int(math.Round(lambda + math.Sqrt(lambda)*r.Normal()))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

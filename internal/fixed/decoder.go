@@ -55,6 +55,12 @@ type Decoder struct {
 	post []int16
 	hard *bitvec.Vector
 	buf  []int16
+
+	// inj, when non-nil, observes and perturbs the message write-backs
+	// (fault injection); cvMem/vcMem are its preallocated memory views.
+	inj   Injector
+	cvMem *edgeMem
+	vcMem *edgeMem
 }
 
 // NewDecoder builds the decoder for a code.
@@ -130,6 +136,9 @@ func (d *Decoder) DecodeQ(qllr []int16) ldpc.Result {
 			lo, hi := g.CNOff[i], g.CNOff[i+1]
 			CNMinSum(d.vc[lo:hi], d.cv[lo:hi], d.p.Scale)
 		}
+		if d.inj != nil {
+			d.inj.AfterCN(it, d.cvMem)
+		}
 		// BN phase: equation (3) per bit node.
 		for j := 0; j < g.N; j++ {
 			lo, hi := g.VNOff[j], g.VNOff[j+1]
@@ -142,6 +151,9 @@ func (d *Decoder) DecodeQ(qllr []int16) ldpc.Result {
 			for k := lo; k < hi; k++ {
 				d.vc[g.VNEdges[k]] = in[k-lo]
 			}
+		}
+		if d.inj != nil {
+			d.inj.AfterBN(it, d.vcMem)
 		}
 		d.harden()
 		if !d.p.DisableEarlyStop && d.syndromeZero() {

@@ -1,0 +1,95 @@
+package fixed
+
+// Fault-injection hooks. The near-earth mission profile exposes the
+// decoder's message memories and datapath registers to radiation-induced
+// single-event upsets; the paper's banked Fig. 3 memories are exactly
+// the cells a fault campaign perturbs. Every decoder built on these
+// kernels — the scalar reference (this package), the frame-packed SWAR
+// decoder (internal/batch) and the cycle-accurate machine
+// (internal/hwsim) — accepts the same Injector, so one fault scenario
+// replays identically across all of them. That shared addressing is
+// what turns fault injection into a differential test: under any
+// identical injected fault sequence the decoders must still agree bit
+// for bit (see internal/fault.CrossCheck).
+//
+// Addressing is decoder-agnostic: a message cell is named by its Tanner
+// graph edge (the row-major edge numbering of ldpc.Graph) plus the
+// frame lane it belongs to. internal/fault translates the hardware
+// bank/word coordinates of the Fig. 3 layout to edge indices and back.
+
+// MessageMem is a decoder's message memory as exposed to an Injector
+// between decoding phases. Get and Set address the message most
+// recently written for the given Tanner graph edge and frame lane.
+//
+// Holds reports whether the memory keeps a live image of the lane: a
+// decoder holding other lanes (a scalar decoder asked about a different
+// frame) or a lane frozen by per-lane early stop (the clock-gated
+// converged lanes of the packed decoder) reports false, and an Injector
+// must not Get or Set such a lane. Freezing is what keeps early-stop
+// trajectories identical between a scalar decoder — which stops
+// iterating entirely at convergence and therefore never presents later
+// iterations to the injector — and a packed decoder that keeps cycling
+// for the benefit of its other lanes.
+type MessageMem interface {
+	Holds(lane int) bool
+	Get(lane, edge int) int16
+	Set(lane, edge int, v int16)
+}
+
+// Injector perturbs decoder state between decoding phases. AfterCN runs
+// once per iteration after the check-node write-back (the memory then
+// holds the check→bit messages of iteration it); AfterBN runs after the
+// bit-node write-back (bit→check messages). Iterations count from 0.
+//
+// The posterior and hard decision of iteration it are formed during the
+// bit-node phase from the AfterCN-perturbed check messages, matching a
+// hardware upset that corrupts the stored word before its next read.
+// Perturbations applied by AfterBN are read by the check-node phase of
+// iteration it+1.
+//
+// Implementations must be deterministic for reproducible scenarios and
+// must perturb only through the provided MessageMem. An Injector may be
+// shared across decoders but not across concurrent decodes.
+type Injector interface {
+	AfterCN(it int, mem MessageMem)
+	AfterBN(it int, mem MessageMem)
+}
+
+// edgeMem adapts the scalar decoder's per-edge message arrays to the
+// MessageMem interface: it holds exactly one frame lane.
+type edgeMem struct {
+	lane int
+	msgs []int16
+}
+
+func (m *edgeMem) Holds(lane int) bool { return lane == m.lane }
+
+func (m *edgeMem) Get(lane, edge int) int16 {
+	if lane != m.lane {
+		return 0
+	}
+	return m.msgs[edge]
+}
+
+func (m *edgeMem) Set(lane, edge int, v int16) {
+	if lane != m.lane {
+		return
+	}
+	m.msgs[edge] = v
+}
+
+// SetInjector installs (or, with nil, removes) a fault injector. The
+// decoder identifies itself to the injector as holding frame lane
+// `lane`, so a scenario addressing several lanes replays its lane-k
+// faults through the scalar decoder run that carries frame k. The
+// decode path pays one nil check per phase when no injector is
+// installed.
+func (d *Decoder) SetInjector(inj Injector, lane int) {
+	d.inj = inj
+	if inj == nil {
+		d.cvMem, d.vcMem = nil, nil
+		return
+	}
+	d.cvMem = &edgeMem{lane: lane, msgs: d.cv}
+	d.vcMem = &edgeMem{lane: lane, msgs: d.vc}
+}

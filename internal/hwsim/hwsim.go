@@ -140,10 +140,13 @@ type bank struct {
 	acc int
 }
 
-// edgeRef locates one circulant's bank and offset.
+// edgeRef locates one circulant's bank and offset; col is the block
+// column of the circulant (needed to map banks back to Tanner edges for
+// fault injection).
 type edgeRef struct {
 	bankID int
 	offset int
+	col    int
 }
 
 // Machine is an instance of the architecture bound to one code.
@@ -174,6 +177,15 @@ type Machine struct {
 	cycles CycleBreakdown
 	// activity accumulates datapath event counts of the last DecodeBatch.
 	activity Activity
+
+	// inj, when non-nil, perturbs the message banks between phases
+	// (fault injection); edgeBank/edgeAddr map Tanner graph edge e to its
+	// Fig. 3 storage cell — bank edgeBank[e], word edgeAddr[e] — and mem
+	// is the preallocated fixed.MessageMem view over the banks.
+	inj      fixed.Injector
+	edgeBank []int32
+	edgeAddr []int32
+	mem      *machMem
 }
 
 // CycleBreakdown itemizes where the clock cycles of one decode of F
@@ -218,7 +230,7 @@ func New(c *code.Code, cfg Config) (*Machine, error) {
 	for r := 0; r < m.rows; r++ {
 		for cb := 0; cb < m.cols; cb++ {
 			for oi, o := range t.Offsets[r][cb] {
-				m.cnRefs[r] = append(m.cnRefs[r], edgeRef{bankID: bankOf[key{r, cb, oi}], offset: o})
+				m.cnRefs[r] = append(m.cnRefs[r], edgeRef{bankID: bankOf[key{r, cb, oi}], offset: o, col: cb})
 			}
 		}
 	}
@@ -226,7 +238,7 @@ func New(c *code.Code, cfg Config) (*Machine, error) {
 	for cb := 0; cb < m.cols; cb++ {
 		for r := 0; r < m.rows; r++ {
 			for oi, o := range t.Offsets[r][cb] {
-				m.bnRefs[cb] = append(m.bnRefs[cb], edgeRef{bankID: bankOf[key{r, cb, oi}], offset: o})
+				m.bnRefs[cb] = append(m.bnRefs[cb], edgeRef{bankID: bankOf[key{r, cb, oi}], offset: o, col: cb})
 			}
 		}
 	}
@@ -270,6 +282,72 @@ func (m *Machine) NumBanks() int { return len(m.banks) }
 // the paper's 64 for the CCSDS geometry (16 BN × 4 or 2 CN × 32).
 func (m *Machine) MessagesPerCycle() int { return len(m.banks) }
 
+// machMem exposes the machine's message banks as a fixed.MessageMem:
+// edge e of frame lane f lives in bank edgeBank[e] at word
+// f·B + edgeAddr[e]. Both phases address the same physical cell (the QC
+// conflict-free storage guarantees it), so one view serves CN and BN
+// write-backs alike.
+type machMem struct{ m *Machine }
+
+func (mm *machMem) Holds(lane int) bool { return lane >= 0 && lane < mm.m.cfg.Frames }
+
+func (mm *machMem) Get(lane, edge int) int16 {
+	m := mm.m
+	return m.banks[m.edgeBank[edge]].data[lane*m.b+int(m.edgeAddr[edge])]
+}
+
+func (mm *machMem) Set(lane, edge int, v int16) {
+	m := mm.m
+	m.banks[m.edgeBank[edge]].data[lane*m.b+int(m.edgeAddr[edge])] = v
+}
+
+// SetInjector installs (or, with nil, removes) a fault injector that
+// perturbs the message banks between decoding phases; lane k of the
+// injector's address space is packed frame k. The machine's schedule is
+// fixed-period by default, which is also the schedule under which a
+// fault scenario replays identically on the scalar and packed decoders
+// (the machine's optional EarlyStop terminates per batch, not per
+// frame). The first installation builds the edge↔bank map.
+func (m *Machine) SetInjector(inj fixed.Injector) {
+	m.inj = inj
+	if inj == nil {
+		return
+	}
+	if m.edgeBank == nil {
+		m.buildEdgeMap()
+	}
+	if m.mem == nil {
+		m.mem = &machMem{m: m}
+	}
+}
+
+// buildEdgeMap inverts the Fig. 3 storage scheme: graph edges are
+// numbered row-major over the sorted column lists of H (the ldpc.Graph
+// convention), and the edge of check row r·B+s through circulant
+// (r, c, o) sits in that circulant's bank at word s.
+func (m *Machine) buildEdgeMap() {
+	b := m.b
+	ne := m.c.NumEdges()
+	m.edgeBank = make([]int32, ne)
+	m.edgeAddr = make([]int32, ne)
+	base := 0
+	for row := 0; row < m.c.M; row++ {
+		r, s := row/b, row%b
+		idx := m.c.RowIdx[row]
+		for _, ref := range m.cnRefs[r] {
+			col := int32(ref.col*b + (ref.offset+s)%b)
+			for k, j := range idx {
+				if j == col {
+					m.edgeBank[base+k] = int32(ref.bankID)
+					m.edgeAddr[base+k] = int32(s)
+					break
+				}
+			}
+		}
+		base += len(idx)
+	}
+}
+
 // DecodeBatch decodes cfg.Frames frames presented as quantized channel
 // LLR vectors (each of length N). It returns the hard decisions (one
 // vector per frame, aliasing machine state) and the cycle breakdown.
@@ -289,8 +367,14 @@ func (m *Machine) DecodeBatch(qllr [][]int16) ([]*bitvec.Vector, CycleBreakdown,
 
 	for it := 0; it < m.cfg.Iterations; it++ {
 		m.cnPhase()
+		if m.inj != nil {
+			m.inj.AfterCN(it, m.mem)
+		}
 		m.cycles.Control += m.cfg.PhaseGap
 		m.bnPhase(it == m.cfg.Iterations-1)
+		if m.inj != nil {
+			m.inj.AfterBN(it, m.mem)
+		}
 		m.cycles.Control += m.cfg.PhaseGap
 		if m.cfg.EarlyStop {
 			m.cycles.Control += m.cfg.SyndromeOverhead

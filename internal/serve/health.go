@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Health tracks the server's decode-failure rate over a sliding window
+// of per-second buckets, driving a load-balancer-facing /healthz
+// endpoint: a decoder drowning in noise (unconverged frames), shedding
+// load, or missing deadlines should be rotated out before clients see
+// sustained bad service, while a brief blip inside the window should
+// not flap the instance.
+//
+// A sample is recorded per completed DecodeQ: failure means shed,
+// deadline exceeded, decode error, or an unconverged result. The
+// instance reports unhealthy when the windowed failure rate reaches the
+// configured threshold — but only once the window holds a minimum
+// number of samples, so an idle or freshly started server is healthy.
+type Health struct {
+	mu         sync.Mutex
+	buckets    []healthBucket // ring of per-second counters
+	threshold  float64
+	minSamples int64
+	now        func() time.Time // injectable for tests
+}
+
+type healthBucket struct {
+	sec           int64 // unix second this bucket currently counts
+	total, failed int64
+}
+
+func newHealth(window time.Duration, threshold float64, minSamples int) *Health {
+	secs := int(window / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return &Health{
+		buckets:    make([]healthBucket, secs),
+		threshold:  threshold,
+		minSamples: int64(minSamples),
+		now:        time.Now,
+	}
+}
+
+// Record adds one decode outcome to the window.
+func (h *Health) Record(ok bool) {
+	sec := h.now().Unix()
+	h.mu.Lock()
+	b := &h.buckets[sec%int64(len(h.buckets))]
+	if b.sec != sec {
+		b.sec, b.total, b.failed = sec, 0, 0
+	}
+	b.total++
+	if !ok {
+		b.failed++
+	}
+	h.mu.Unlock()
+}
+
+// HealthStatus is the /healthz report.
+type HealthStatus struct {
+	Healthy     bool    `json:"healthy"`
+	FailureRate float64 `json:"failure_rate"`
+	Samples     int64   `json:"samples"`
+	WindowSecs  int     `json:"window_s"`
+	Threshold   float64 `json:"threshold"`
+}
+
+// Status evaluates the window now.
+func (h *Health) Status() HealthStatus {
+	sec := h.now().Unix()
+	h.mu.Lock()
+	var total, failed int64
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		// Only buckets whose stamp falls inside the window count; stale
+		// ring slots belong to a previous lap.
+		if b.sec > sec-int64(len(h.buckets)) && b.sec <= sec {
+			total += b.total
+			failed += b.failed
+		}
+	}
+	h.mu.Unlock()
+	st := HealthStatus{
+		Healthy:    true,
+		Samples:    total,
+		WindowSecs: len(h.buckets),
+		Threshold:  h.threshold,
+	}
+	if total > 0 {
+		st.FailureRate = float64(failed) / float64(total)
+	}
+	if total >= h.minSamples && st.FailureRate >= h.threshold {
+		st.Healthy = false
+	}
+	return st
+}

@@ -52,11 +52,12 @@ func latencyBucketValue(b int) float64 {
 // reporting (counters may be mid-batch skewed by a few frames, which is
 // irrelevant at reporting timescales).
 type Metrics struct {
-	framesIn      atomic.Int64 // frames accepted into the queue
-	framesDecoded atomic.Int64
-	framesShed    atomic.Int64 // rejected with ErrOverloaded
-	batches       atomic.Int64
-	iterations    atomic.Int64 // decoder iterations, summed over frames
+	framesIn       atomic.Int64 // frames accepted into the queue
+	framesDecoded  atomic.Int64
+	framesShed     atomic.Int64 // rejected with ErrOverloaded
+	framesDeadline atomic.Int64 // abandoned with ErrDeadline
+	batches        atomic.Int64
+	iterations     atomic.Int64 // decoder iterations, summed over frames
 
 	queued  atomic.Int64 // frames in the queue + batcher, not yet dispatched
 	pending atomic.Int64 // frames dispatched to workers, not yet done
@@ -97,11 +98,12 @@ type WorkerStat struct {
 // Snapshot is a point-in-time copy of the metrics, JSON-encodable for a
 // /metrics endpoint.
 type Snapshot struct {
-	FramesIn      int64 `json:"frames_in"`
-	FramesDecoded int64 `json:"frames_decoded"`
-	FramesShed    int64 `json:"frames_shed"`
-	Batches       int64 `json:"batches"`
-	Iterations    int64 `json:"iterations"`
+	FramesIn       int64 `json:"frames_in"`
+	FramesDecoded  int64 `json:"frames_decoded"`
+	FramesShed     int64 `json:"frames_shed"`
+	FramesDeadline int64 `json:"frames_deadline"`
+	Batches        int64 `json:"batches"`
+	Iterations     int64 `json:"iterations"`
 
 	// QueueDepth counts frames accepted but not yet dispatched;
 	// InFlight counts frames inside workers.
@@ -127,11 +129,12 @@ type Snapshot struct {
 // Snapshot captures the current metric values.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		FramesIn:      m.framesIn.Load(),
-		FramesDecoded: m.framesDecoded.Load(),
-		FramesShed:    m.framesShed.Load(),
-		Batches:       m.batches.Load(),
-		Iterations:    m.iterations.Load(),
+		FramesIn:       m.framesIn.Load(),
+		FramesDecoded:  m.framesDecoded.Load(),
+		FramesShed:     m.framesShed.Load(),
+		FramesDeadline: m.framesDeadline.Load(),
+		Batches:        m.batches.Load(),
+		Iterations:     m.iterations.Load(),
 		QueueDepth:    m.queued.Load(),
 		InFlight:      m.pending.Load(),
 		BatchFill:     make([]int64, batch.Lanes),

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -29,6 +30,22 @@ const (
 	StatusOverloaded byte = 1 // shed: queue full, retry later
 	StatusClosed     byte = 2 // server shutting down
 	StatusBadFrame   byte = 3 // malformed request
+	StatusDeadline   byte = 4 // per-request decode deadline exceeded, retry later
+)
+
+// Framing errors. All are wrapped with context, so match with
+// errors.Is. A peer that violates the framing invariants gets one of
+// these — never a hang and never a panic.
+var (
+	// ErrTruncated reports a connection that closed mid-message: inside
+	// the 4-byte length prefix or before the declared payload arrived.
+	ErrTruncated = errors.New("serve: truncated message")
+	// ErrOversized reports a declared payload length beyond maxPayload.
+	ErrOversized = errors.New("serve: oversized message")
+	// ErrFrameLength reports a well-framed payload whose size does not
+	// match what the code or protocol requires (e.g. a zero-length or
+	// wrong-length LLR frame, or a short response header).
+	ErrFrameLength = errors.New("serve: wrong frame length")
 )
 
 // maxPayload bounds accepted message lengths; the CCSDS frame is 8176
@@ -52,20 +69,20 @@ func readMessage(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("serve: truncated message header")
+			return nil, fmt.Errorf("%w: connection closed inside the length prefix", ErrTruncated)
 		}
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxPayload {
-		return nil, fmt.Errorf("serve: %d-byte message exceeds the %d-byte limit", n, maxPayload)
+		return nil, fmt.Errorf("%w: %d bytes declared, limit %d", ErrOversized, n, maxPayload)
 	}
 	if cap(buf) < int(n) {
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("serve: truncated %d-byte message: %w", n, err)
+		return nil, fmt.Errorf("%w: got %v before the declared %d bytes", ErrTruncated, err, n)
 	}
 	return buf, nil
 }
@@ -97,7 +114,7 @@ func ReadRequest(r io.Reader, q []int16, buf []byte) ([]byte, error) {
 		return buf, err
 	}
 	if len(buf) != len(q) {
-		return buf, fmt.Errorf("serve: %d-byte frame for code length %d", len(buf), len(q))
+		return buf, fmt.Errorf("%w: %d-byte frame for code length %d", ErrFrameLength, len(buf), len(q))
 	}
 	for j, b := range buf {
 		q[j] = int16(int8(b))
@@ -147,7 +164,7 @@ func ReadResponse(r io.Reader, bits *bitvec.Vector, buf []byte) (Response, []byt
 		return Response{}, buf, err
 	}
 	if len(buf) < 4 {
-		return Response{}, buf, fmt.Errorf("serve: %d-byte response header", len(buf))
+		return Response{}, buf, fmt.Errorf("%w: %d-byte response header", ErrFrameLength, len(buf))
 	}
 	resp := Response{
 		Status:     buf[0],
@@ -157,7 +174,7 @@ func ReadResponse(r io.Reader, bits *bitvec.Vector, buf []byte) (Response, []byt
 	if resp.Status == StatusOK {
 		want := (bits.Len() + 7) / 8
 		if len(buf)-4 != want {
-			return resp, buf, fmt.Errorf("serve: %d hard-decision bytes for code length %d", len(buf)-4, bits.Len())
+			return resp, buf, fmt.Errorf("%w: %d hard-decision bytes for code length %d", ErrFrameLength, len(buf)-4, bits.Len())
 		}
 		unpackBits(bits, buf[4:])
 	}

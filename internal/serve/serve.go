@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ccsdsldpc/internal/batch"
@@ -40,6 +41,14 @@ var ErrOverloaded = errors.New("serve: overloaded, frame queue full")
 
 // ErrClosed reports a submission to a server that is shutting down.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrDeadline reports that an accepted frame did not start decoding
+// within Config.Deadline: the caller is released and the frame is
+// dropped from its batch undecoded. A frame a worker claims before the
+// deadline fires is decoded and delivered normally, so the deadline
+// bounds queueing delay — the variable, load-dependent part of the
+// latency — not an in-flight decode.
+var ErrDeadline = errors.New("serve: decode deadline exceeded")
 
 // Config describes a decode server.
 type Config struct {
@@ -64,6 +73,20 @@ type Config struct {
 	// submissions beyond it are shed with ErrOverloaded (default
 	// 4 × Workers × MaxBatch).
 	QueueDepth int
+	// Deadline bounds how long a frame may wait to start decoding; 0
+	// disables. An expired frame is dropped from its batch and its
+	// caller gets ErrDeadline; a frame a worker claims first is decoded
+	// and delivered even if that lands slightly past the deadline.
+	Deadline time.Duration
+	// HealthWindow is the sliding window of the decode-failure-rate
+	// health signal (default 30s); HealthThreshold the failure rate at
+	// which the server reports unhealthy (default 0.5);
+	// HealthMinSamples the windowed sample count below which the server
+	// is always healthy (default 20, keeping idle instances in
+	// rotation).
+	HealthWindow     time.Duration
+	HealthThreshold  float64
+	HealthMinSamples int
 }
 
 func (c *Config) setDefaults() error {
@@ -91,18 +114,47 @@ func (c *Config) setDefaults() error {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.Workers * c.MaxBatch
 	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("serve: negative deadline %v", c.Deadline)
+	}
+	if c.HealthWindow == 0 {
+		c.HealthWindow = 30 * time.Second
+	}
+	if c.HealthWindow < time.Second {
+		return fmt.Errorf("serve: health window %v below 1s bucket resolution", c.HealthWindow)
+	}
+	if c.HealthThreshold == 0 {
+		c.HealthThreshold = 0.5
+	}
+	if c.HealthThreshold < 0 || c.HealthThreshold > 1 {
+		return fmt.Errorf("serve: health threshold %v outside [0,1]", c.HealthThreshold)
+	}
+	if c.HealthMinSamples == 0 {
+		c.HealthMinSamples = 20
+	}
+	if c.HealthMinSamples < 0 {
+		return fmt.Errorf("serve: negative health minimum samples %d", c.HealthMinSamples)
+	}
 	return nil
 }
 
 // request is one in-flight frame. Requests are pooled; the done channel
 // (capacity 1) is reused across lives.
+//
+// claimed arbitrates the request's single ownership hand-off under
+// deadlines: whichever side wins the CompareAndSwap — the worker
+// finishing the decode or the caller timing out — takes the request's
+// fate. The worker sends done only after winning; a caller that wins
+// walks away and the worker recycles the request instead, so the pooled
+// done channel can never carry a stale signal into a later life.
 type request struct {
-	q    []int16        // caller's quantized LLRs; not retained after decode
-	bits *bitvec.Vector // destination; nil → allocated by the decoder
-	res  ldpc.Result
-	err  error
-	enq  time.Time
-	done chan struct{}
+	q       []int16        // caller's quantized LLRs; not retained after decode
+	bits    *bitvec.Vector // destination; nil → allocated by the decoder
+	res     ldpc.Result
+	err     error
+	enq     time.Time
+	done    chan struct{}
+	claimed atomic.Bool
 }
 
 // job is one dispatched batch. Jobs are pooled.
@@ -118,6 +170,7 @@ type Server struct {
 	in      chan *request
 	jobs    chan *job
 	metrics *Metrics
+	health  *Health
 
 	reqPool sync.Pool
 	jobPool sync.Pool
@@ -150,6 +203,7 @@ func New(cfg Config) (*Server, error) {
 		in:      make(chan *request, cfg.QueueDepth),
 		jobs:    make(chan *job, cfg.Workers),
 		metrics: newMetrics(cfg.Workers),
+		health:  newHealth(cfg.HealthWindow, cfg.HealthThreshold, cfg.HealthMinSamples),
 	}
 	s.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	s.jobPool.New = func() any { return new(job) }
@@ -167,6 +221,9 @@ func (s *Server) Config() Config { return s.cfg }
 
 // Metrics returns the live instrumentation.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Health returns the sliding-window decode-failure health signal.
+func (s *Server) Health() *Health { return s.health }
 
 // DecodeQ submits one frame of quantized channel LLRs (length N, in the
 // configured format's range) and blocks until it is decoded. bits, when
@@ -188,6 +245,7 @@ func (s *Server) DecodeQ(q []int16, bits *bitvec.Vector) (ldpc.Result, error) {
 	req := s.reqPool.Get().(*request)
 	req.q, req.bits, req.res, req.err = q, bits, ldpc.Result{}, nil
 	req.enq = time.Now()
+	req.claimed.Store(false)
 
 	// The read lock makes the closed check and the send atomic with
 	// respect to Close, which closes s.in under the write lock: no
@@ -206,13 +264,35 @@ func (s *Server) DecodeQ(q []int16, bits *bitvec.Vector) (ldpc.Result, error) {
 	default:
 		s.mu.RUnlock()
 		s.metrics.framesShed.Add(1)
+		s.health.Record(false)
 		s.reqPool.Put(req)
 		return ldpc.Result{}, ErrOverloaded
 	}
 
-	<-req.done
+	if s.cfg.Deadline > 0 {
+		timer := time.NewTimer(s.cfg.Deadline)
+		select {
+		case <-req.done:
+			timer.Stop()
+		case <-timer.C:
+			if req.claimed.CompareAndSwap(false, true) {
+				// No worker has claimed the frame: abandon it. The
+				// worker that eventually receives the batch sees the
+				// claim, skips the lane and recycles the request.
+				s.metrics.framesDeadline.Add(1)
+				s.health.Record(false)
+				return ldpc.Result{}, ErrDeadline
+			}
+			// A worker claimed the frame first: it is being decoded
+			// and done is imminent — a completion, not a timeout.
+			<-req.done
+		}
+	} else {
+		<-req.done
+	}
 	res, err := req.res, req.err
 	s.metrics.recordLatency(time.Since(req.enq).Microseconds())
+	s.health.Record(err == nil && res.Converged)
 	req.q, req.bits, req.res.Bits = nil, nil, nil
 	s.reqPool.Put(req)
 	return res, err
@@ -294,32 +374,52 @@ func (s *Server) batcher() {
 // worker owns one pre-built packed decoder and decodes dispatched
 // batches. The result and frame-slice arrays live on the worker, so the
 // decode path performs no allocation.
+//
+// Each frame is claimed before decoding: a lane whose caller already
+// abandoned it on deadline is dropped from the batch and its request
+// recycled, so the worker never writes into memory a released caller
+// may be reusing. Winning the claim commits the worker to delivering
+// the result — the matching caller-side CAS then waits for done.
 func (s *Server) worker(id int, dec *batch.Decoder) {
 	defer s.workerWG.Done()
 	var res [batch.Lanes]ldpc.Result
 	var qs [batch.Lanes][]int16
 	for j := range s.jobs {
 		n := j.n
-		for i := 0; i < n; i++ {
-			qs[i] = j.reqs[i].q
-			res[i] = ldpc.Result{Bits: j.reqs[i].bits}
-		}
-		err := dec.DecodeQInto(res[:n], qs[:n])
-		var iters int64
-		if err == nil {
-			for i := 0; i < n; i++ {
-				iters += int64(res[i].Iterations)
-			}
-		}
-		s.metrics.recordBatch(id, n, iters)
-		s.metrics.pending.Add(-int64(n))
+		k := 0
 		for i := 0; i < n; i++ {
 			req := j.reqs[i]
-			req.res, req.err = res[i], err
-			res[i] = ldpc.Result{}
-			qs[i] = nil
 			j.reqs[i] = nil
-			req.done <- struct{}{}
+			if !req.claimed.CompareAndSwap(false, true) {
+				// Deadline expired while the frame was queued: the
+				// caller is gone, skip the lane and recycle.
+				req.q, req.bits = nil, nil
+				s.reqPool.Put(req)
+				continue
+			}
+			j.reqs[k] = req
+			qs[k] = req.q
+			res[k] = ldpc.Result{Bits: req.bits}
+			k++
+		}
+		s.metrics.pending.Add(-int64(n))
+		if k > 0 {
+			err := dec.DecodeQInto(res[:k], qs[:k])
+			var iters int64
+			if err == nil {
+				for i := 0; i < k; i++ {
+					iters += int64(res[i].Iterations)
+				}
+			}
+			s.metrics.recordBatch(id, k, iters)
+			for i := 0; i < k; i++ {
+				req := j.reqs[i]
+				req.res, req.err = res[i], err
+				res[i] = ldpc.Result{}
+				qs[i] = nil
+				j.reqs[i] = nil
+				req.done <- struct{}{}
+			}
 		}
 		j.n = 0
 		s.jobPool.Put(j)

@@ -39,6 +39,8 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		switch {
 		case errors.Is(derr, ErrOverloaded):
 			status = StatusOverloaded
+		case errors.Is(derr, ErrDeadline):
+			status = StatusDeadline
 		case errors.Is(derr, ErrClosed):
 			status = StatusClosed
 		case derr != nil:

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fault"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/rng"
+)
+
+// FaultSweepConfig describes a BER-under-faults campaign: the channel
+// operating point is held fixed while the SEU upset rate sweeps, so the
+// measured degradation is attributable to the injected faults alone.
+type FaultSweepConfig struct {
+	// Code under test; must be block-circulant (the fault addressing
+	// needs the Fig. 3 bank layout).
+	Code *code.Code
+	// Params is the fixed-point decoder operating point. Early stop is
+	// honored, which is what makes iteration-count inflation visible.
+	Params fixed.Params
+	// EbN0dB is the channel operating point.
+	EbN0dB float64
+	// UpsetRates are the per-bit per-write SEU probabilities to sweep
+	// (0 is the fault-free baseline).
+	UpsetRates []float64
+	// Frames per rate (default 2000). Every rate simulates the same
+	// frame set — frame i is a pure function of (Seed, rate index, i) —
+	// with MinFrameErrors-style early stopping deliberately absent so
+	// the points are directly comparable.
+	Frames int
+	// Workers is the parallelism (default GOMAXPROCS).
+	Workers int
+	// Seed makes the campaign reproducible.
+	Seed uint64
+}
+
+// FaultPoint is the measurement at one upset rate.
+type FaultPoint struct {
+	// UpsetRate is the per-bit per-write SEU probability of this point.
+	UpsetRate float64
+	// SEUs is the total number of upsets injected across all frames.
+	SEUs int64
+	Point
+}
+
+// MeasureBERUnderFaults sweeps the SEU upset rate at a fixed channel
+// operating point and measures BER/FER degradation and iteration-count
+// inflation through the scalar fixed-point decoder. Frames carry random
+// data: injected faults break the channel symmetry that makes the
+// all-zero-codeword shortcut exact.
+func MeasureBERUnderFaults(cfg FaultSweepConfig) ([]FaultPoint, error) {
+	if cfg.Code == nil {
+		return nil, fmt.Errorf("sim: nil code")
+	}
+	if len(cfg.UpsetRates) == 0 {
+		return nil, fmt.Errorf("sim: no upset rates to sweep")
+	}
+	if cfg.Frames <= 0 {
+		cfg.Frames = 2000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	g, err := fault.NewGeometry(cfg.Code, cfg.Params.Format)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := channel.NewAWGN(cfg.EbN0dB, cfg.Code.Rate())
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]FaultPoint, 0, len(cfg.UpsetRates))
+	for ri, rate := range cfg.UpsetRates {
+		if rate < 0 {
+			return nil, fmt.Errorf("sim: negative upset rate %v", rate)
+		}
+		pt, err := faultPoint(cfg, g, ch, ri, rate)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+func faultPoint(cfg FaultSweepConfig, g *fault.Geometry, ch *channel.AWGN, ri int, rate float64) (FaultPoint, error) {
+	start := time.Now()
+	rateSeed := cfg.Seed ^ (uint64(ri)+1)*0x9e3779b97f4a7c15
+	rcfg := fault.RandomConfig{
+		Lanes:      1,
+		Iterations: cfg.Params.MaxIterations,
+		UpsetRate:  rate,
+	}
+
+	var mu sync.Mutex
+	total := FaultPoint{UpsetRate: rate, Point: Point{EbN0dB: cfg.EbN0dB}}
+	var nextFrame atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dec, err := fixed.NewDecoder(cfg.Code, cfg.Params)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			c := cfg.Code
+			qllr := make([]int16, c.N)
+			local := FaultPoint{}
+			defer func() {
+				mu.Lock()
+				accumulate(&total.Point, &local.Point)
+				total.SEUs += local.SEUs
+				mu.Unlock()
+			}()
+			for {
+				i := nextFrame.Add(1) - 1
+				if i >= int64(cfg.Frames) {
+					return
+				}
+				// Frame and fault plan are a pure function of
+				// (seed, rate index, frame index).
+				r := rng.New(rateSeed ^ uint64(i)*0xd1b54a32d192ed03)
+				info := bitvec.New(c.K)
+				for b := 0; b < c.K; b++ {
+					if r.Bool() {
+						info.Set(b)
+					}
+				}
+				cw := c.Encode(info)
+				llr := ch.CorruptCodeword(cw, r)
+				cfg.Params.Format.QuantizeSlice(qllr, llr)
+
+				plan := fault.RandomPlan(g, rcfg, r.Uint64())
+				inj, err := fault.NewInjector(g, plan)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				seus, _, _ := plan.Counts()
+				dec.SetInjector(inj, 0)
+				res := dec.DecodeQ(qllr)
+				dec.SetInjector(nil, 0)
+
+				diff := res.Bits.Clone()
+				diff.Xor(cw)
+				codeErrs := diff.PopCount()
+				infoErrs := 0
+				if codeErrs > 0 {
+					for _, j := range c.InfoCols {
+						infoErrs += diff.Bit(j)
+					}
+				}
+				local.SEUs += int64(seus)
+				local.Frames++
+				local.CodeBits += int64(c.N)
+				local.InfoBits += int64(c.K)
+				local.CodeBitErrors += int64(codeErrs)
+				local.InfoBitErrors += int64(infoErrs)
+				local.TotalIterations += int64(res.Iterations)
+				if res.Converged {
+					local.Converged++
+				}
+				if infoErrs > 0 {
+					local.FrameErrors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return FaultPoint{}, err
+		}
+	}
+	total.Elapsed = time.Since(start)
+	return total, nil
+}
