@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-serve bench-fault
+.PHONY: check build test bench bench-serve bench-fault bench-mitigate
 
 check:
 	sh scripts/check.sh
@@ -22,3 +22,9 @@ bench-serve:
 # inflation versus SEU upset rate, seeded into BENCH_fault.json.
 bench-fault:
 	go run ./cmd/ldpcfault -testcode -frames 4000 -json BENCH_fault.json
+
+# Mitigation benchmark: the bench-fault sweep rerun with parity- and
+# SECDED-protected message memories over identical fault plans, plus the
+# hwsim scrub/storage cost, seeded into BENCH_mitigate.json.
+bench-mitigate:
+	go run ./cmd/ldpcmitigate -testcode -frames 2000 -json BENCH_mitigate.json

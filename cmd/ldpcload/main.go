@@ -60,8 +60,8 @@ func main() {
 		iters    = flag.Int("iters", 18, "iterations for the in-process server and the model comparison")
 		linger   = flag.Duration("linger", 500*time.Microsecond, "in-process server linger")
 		workers  = flag.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
-		retries  = flag.Int("retries", 3, "resubmissions of a frame the server shed or deadlined")
-		backoff  = flag.Duration("backoff", 200*time.Microsecond, "initial retry backoff, doubled per attempt")
+		retries  = flag.Int("retries", 3, "resubmissions of a frame the server shed, deadlined, or crashed on")
+		backoff  = flag.Duration("backoff", 200*time.Microsecond, "initial retry backoff, doubled per attempt and jittered")
 		seqBase  = flag.Bool("seqbaseline", false, "first measure 1 sequential client and report the speedup")
 		jsonPath = flag.String("json", "", "write the report as JSON to this file")
 		metrics  = flag.String("metrics", "", "fetch this /metrics URL into the report (remote servers)")
@@ -199,6 +199,7 @@ type Phase struct {
 	P99Micros   float64 `json:"p99_us"`
 	Shed        int64   `json:"shed"`
 	Deadlined   int64   `json:"deadlined"`
+	Crashed     int64   `json:"crashed,omitempty"`
 	Retries     int64   `json:"retries"`
 	Abandoned   int64   `json:"abandoned"`
 	FrameErrors int64   `json:"frame_errors"`
@@ -242,13 +243,17 @@ func newFramePool(c *code.Code, ebn0 float64, size int) *framePool {
 // runPhase pushes `frames` frames through `clients` connections and
 // aggregates client-observed latency and correctness. rate > 0 paces
 // the aggregate submission schedule (open loop, split across clients);
-// rate == 0 runs closed loop. A frame the server sheds or deadlines is
-// resubmitted up to `retries` times with exponential backoff starting
-// at `backoff`; a frame still refused after that is abandoned.
+// rate == 0 runs closed loop. A frame the server sheds, deadlines, or
+// loses to a transient server fault is resubmitted up to `retries`
+// times with jittered exponential backoff starting at `backoff` — each
+// wait is drawn uniformly from [d/2, d] where d doubles per attempt,
+// so clients refused by the same overload burst do not retry in
+// lockstep and re-create it. A frame still refused after that is
+// abandoned.
 func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, rate float64, retries int, backoff time.Duration) (Phase, error) {
 	ph := Phase{Clients: clients, Frames: frames, RateTarget: rate}
 	var next atomic.Int64
-	var shed, deadlined, retried, abandoned, frameErrors, unconverged atomic.Int64
+	var shed, deadlined, crashed, retried, abandoned, frameErrors, unconverged atomic.Int64
 	latencies := make([][]time.Duration, clients)
 	errs := make([]error, clients)
 	var interval time.Duration
@@ -271,6 +276,7 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 			bw := bufio.NewWriterSize(conn, 16<<10)
 			bits := bitvec.New(c.N)
 			diff := bitvec.New(c.N)
+			jr := rng.New(uint64(w)*0x9e3779b97f4a7c15 + 0x6a77)
 			var rbuf, wbuf []byte
 			local := make([]time.Duration, 0, frames/clients+1)
 			// Open-loop pacing: client w owns schedule offsets
@@ -323,6 +329,8 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 						shed.Add(1)
 					case serve.StatusDeadline:
 						deadlined.Add(1)
+					case serve.StatusInternal:
+						crashed.Add(1)
 					default:
 						errs[w] = fmt.Errorf("server status %d", resp.Status)
 						return
@@ -332,7 +340,8 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 						break
 					}
 					retried.Add(1)
-					time.Sleep(backoff << uint(attempt))
+					d := backoff << uint(attempt)
+					time.Sleep(d/2 + time.Duration(jr.Uint64n(uint64(d/2)+1)))
 				}
 			}
 			latencies[w] = local
@@ -352,6 +361,7 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 	done := len(all)
 	ph.Shed = shed.Load()
 	ph.Deadlined = deadlined.Load()
+	ph.Crashed = crashed.Load()
 	ph.Retries = retried.Load()
 	ph.Abandoned = abandoned.Load()
 	ph.FrameErrors = frameErrors.Load()

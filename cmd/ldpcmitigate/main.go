@@ -1,0 +1,299 @@
+// Command ldpcmitigate measures what the SEU mitigation layer of
+// internal/protect buys: it reruns the fault-injection BER sweep of
+// cmd/ldpcfault three times — unprotected, parity-protected and
+// SECDED-protected message memories — over identical fault plans, finds
+// each curve's FER knee (the first swept upset rate whose FER reaches
+// twice the rate-0 baseline), and reports the hwsim cost of the
+// mitigation: scrub cycles per batch and the widened message-bank
+// storage.
+//
+// Examples:
+//
+//	ldpcmitigate -testcode -frames 2000 -json BENCH_mitigate.json
+//	ldpcmitigate -testcode -rates 0,1e-3,1e-2 -frames 500
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/protect"
+	"ccsdsldpc/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldpcmitigate: ")
+	var (
+		ebn0     = flag.Float64("ebn0", 5.0, "channel Eb/N0 in dB (clean enough that SEU damage, not channel noise, sets the knee)")
+		rates    = flag.String("rates", "0,3e-3,6e-3,1e-2,1.5e-2,2e-2,3e-2,5e-2", "comma-separated SEU upset rates; must start at 0 (the knee baseline)")
+		frames   = flag.Int("frames", 2000, "frames per upset rate per mode")
+		iters    = flag.Int("iters", 10, "decoding iterations")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 1, "campaign seed (shared by all modes: identical fault plans)")
+		scrubInt = flag.Int("scrubinterval", 5, "hwsim scrub pass every this many iterations")
+		testCode = flag.Bool("testcode", false, "use the fast miniature code instead of the 8176-bit code")
+		jsonPath = flag.String("json", "", "write the report as JSON to this path")
+	)
+	flag.Parse()
+
+	var c *code.Code
+	var err error
+	name := "ccsds-8176"
+	if *testCode {
+		c, err = code.SmallTestCode(2, 4, 31, 1)
+		name = "small-2x4-31"
+	} else {
+		c, err = code.CCSDS()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := fixed.DefaultHighSpeedParams()
+	p.MaxIterations = *iters
+
+	upsets, err := parseRates(*rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if upsets[0] != 0 {
+		log.Fatalf("first upset rate is %v, not 0: the knee needs the fault-free baseline", upsets[0])
+	}
+
+	rep := Report{
+		GeneratedAtUnix: time.Now().Unix(),
+		Code:            name,
+		CodeN:           c.N,
+		CodeK:           c.K,
+		Format:          p.Format.String(),
+		Iterations:      p.MaxIterations,
+		EbN0dB:          *ebn0,
+		FramesPerRate:   *frames,
+		Seed:            *seed,
+		KneeRule:        "first swept upset rate with FER >= 2x the rate-0 FER (threshold floored at 5/frames so channel noise cannot fake a knee); -1 when no swept rate reaches it",
+	}
+	log.Printf("%s, %s, %d iterations, Eb/N0 %.2f dB, %d frames/rate/mode",
+		name, p.Format, p.MaxIterations, *ebn0, *frames)
+
+	for _, mode := range []protect.Mode{protect.ModeOff, protect.ModeParity, protect.ModeSECDED} {
+		pts, err := sim.MeasureBERUnderFaults(sim.FaultSweepConfig{
+			Code: c, Params: p, EbN0dB: *ebn0, Protect: mode,
+			UpsetRates: upsets, Frames: *frames, Workers: *workers, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mr := ModeReport{Mode: mode.String(), BaselineFER: pts[0].PER(), KneeUpsetRate: -1}
+		// A clean baseline (zero observed frame errors) would make any
+		// single error a "knee"; floor the threshold at 5 frame errors
+		// so residual channel noise cannot fake one.
+		kneeFER := 2 * mr.BaselineFER
+		if floor := 5 / float64(*frames); kneeFER < floor {
+			kneeFER = floor
+		}
+		fmt.Printf("--- %s\n%10s %12s %12s %9s %9s %10s %11s\n", mode,
+			"upsetRate", "BER", "FER", "avgIter", "SEU/frm", "corrected", "neutralized")
+		for _, pt := range pts {
+			fmt.Printf("%10.1e %12.3e %12.3e %9.2f %9.2f %10d %11d\n",
+				pt.UpsetRate, pt.BER(), pt.PER(), pt.AvgIterations(),
+				float64(pt.SEUs)/float64(pt.Frames), pt.Corrected, pt.Neutralized)
+			if pt.UpsetRate > 0 && mr.KneeUpsetRate < 0 && pt.PER() >= kneeFER {
+				mr.KneeUpsetRate = pt.UpsetRate
+			}
+			mr.Points = append(mr.Points, ReportPoint{
+				UpsetRate:     pt.UpsetRate,
+				BER:           pt.BER(),
+				FER:           pt.PER(),
+				AvgIterations: pt.AvgIterations(),
+				SEUsPerFrame:  float64(pt.SEUs) / float64(pt.Frames),
+				Frames:        pt.Frames,
+				FrameErrors:   pt.FrameErrors,
+				Converged:     pt.Converged,
+				Corrected:     pt.Corrected,
+				Neutralized:   pt.Neutralized,
+			})
+		}
+		rep.Modes = append(rep.Modes, mr)
+	}
+
+	// "Protected" means the correcting mode: SECDED repairs upsets in
+	// place, so its knee is the claim. Parity only detects and erases —
+	// near the knee an erased message costs about what a flipped one
+	// does, so its curve rides between the other two without moving the
+	// knee reliably.
+	off, sec := rep.Modes[0], rep.Modes[2]
+	rep.ProtectedKneeHigher = kneeAfter(sec.KneeUpsetRate, off.KneeUpsetRate)
+	for _, m := range rep.Modes {
+		log.Printf("%-7s baseline FER %.3e, knee at upset rate %v", m.Mode, m.BaselineFER, kneeLabel(m.KneeUpsetRate))
+	}
+	log.Printf("protected knee strictly higher than unprotected: %v", rep.ProtectedKneeHigher)
+
+	hw, err := scrubCost(c, p.Format, *iters, *scrubInt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Hwsim = hw
+	log.Printf("hwsim: scrub %d cycles/batch (%.2f%% of %d), message banks %d -> %d bits (+%d SECDED check bits/word)",
+		hw.ScrubCyclesPerBatch, 100*hw.ScrubOverheadFraction, hw.CyclesPerBatchProtected,
+		hw.MessageBankBitsBase, hw.MessageBankBitsProtected, hw.ProtectBits)
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *jsonPath)
+	}
+}
+
+// kneeAfter reports whether knee a falls at a strictly higher upset
+// rate than knee b, where -1 means "beyond the swept range" and is
+// higher than any swept rate.
+func kneeAfter(a, b float64) bool {
+	if b < 0 {
+		return false
+	}
+	return a < 0 || a > b
+}
+
+func kneeLabel(k float64) string {
+	if k < 0 {
+		return "beyond swept range"
+	}
+	return fmt.Sprintf("%.1e", k)
+}
+
+// scrubCost prices the mitigation in the cycle-accurate model: two
+// machines at the high-speed operating point over the same code, one
+// bare and one with the periodic scrub pass and SECDED-widened message
+// banks.
+func scrubCost(c *code.Code, f fixed.Format, iters, scrubInterval int) (HwsimReport, error) {
+	codec, err := protect.NewCodec(f, protect.ModeSECDED)
+	if err != nil {
+		return HwsimReport{}, err
+	}
+	cfg := hwsim.HighSpeed()
+	cfg.Format = f
+	cfg.Iterations = iters
+	base, err := hwsim.New(c, cfg)
+	if err != nil {
+		return HwsimReport{}, err
+	}
+	cfg.ScrubInterval = scrubInterval
+	cfg.ProtectBits = codec.CheckBitsPerWord()
+	prot, err := hwsim.New(c, cfg)
+	if err != nil {
+		return HwsimReport{}, err
+	}
+	hw := HwsimReport{
+		ScrubInterval:           scrubInterval,
+		ProtectBits:             cfg.ProtectBits,
+		CyclesPerBatchBase:      base.CyclesPerBatch(),
+		CyclesPerBatchProtected: prot.CyclesPerBatch(),
+	}
+	hw.ScrubCyclesPerBatch = hw.CyclesPerBatchProtected - hw.CyclesPerBatchBase
+	hw.ScrubOverheadFraction = float64(hw.ScrubCyclesPerBatch) / float64(hw.CyclesPerBatchProtected)
+	hw.MessageBankBitsBase = bankBits(base)
+	hw.MessageBankBitsProtected = bankBits(prot)
+	return hw, nil
+}
+
+func bankBits(m *hwsim.Machine) int {
+	for _, r := range m.Memories() {
+		if r.Name == "message banks" {
+			return r.Bits()
+		}
+	}
+	return 0
+}
+
+// Report is the JSON artifact (`make bench-mitigate` →
+// BENCH_mitigate.json): the protected-vs-unprotected FER curves, their
+// knees, and the hwsim cost of the mitigation.
+type Report struct {
+	GeneratedAtUnix int64   `json:"generated_at_unix"`
+	Code            string  `json:"code"`
+	CodeN           int     `json:"code_n"`
+	CodeK           int     `json:"code_k"`
+	Format          string  `json:"format"`
+	Iterations      int     `json:"iterations"`
+	EbN0dB          float64 `json:"ebn0_db"`
+	FramesPerRate   int     `json:"frames_per_rate"`
+	Seed            uint64  `json:"seed"`
+
+	Modes    []ModeReport `json:"modes"`
+	KneeRule string       `json:"knee_rule"`
+	// ProtectedKneeHigher: the SECDED-protected decoder's FER knee
+	// falls at a strictly higher upset rate than the unprotected one's
+	// (-1 knees count as beyond every swept rate).
+	ProtectedKneeHigher bool        `json:"protected_knee_higher"`
+	Hwsim               HwsimReport `json:"hwsim"`
+}
+
+// ModeReport is one protection mode's sweep.
+type ModeReport struct {
+	Mode        string  `json:"mode"`
+	BaselineFER float64 `json:"baseline_fer"`
+	// KneeUpsetRate is the first swept rate whose FER reaches twice the
+	// baseline, or -1 when no swept rate does (knee beyond the range).
+	KneeUpsetRate float64       `json:"knee_upset_rate"`
+	Points        []ReportPoint `json:"points"`
+}
+
+// ReportPoint is one upset-rate operating point — the cmd/ldpcfault
+// shape plus the guard's scrub outcomes.
+type ReportPoint struct {
+	UpsetRate     float64 `json:"upset_rate"`
+	BER           float64 `json:"ber"`
+	FER           float64 `json:"fer"`
+	AvgIterations float64 `json:"avg_iterations"`
+	SEUsPerFrame  float64 `json:"seus_per_frame"`
+	Frames        int64   `json:"frames"`
+	FrameErrors   int64   `json:"frame_errors"`
+	Converged     int64   `json:"converged"`
+	Corrected     int64   `json:"corrected"`
+	Neutralized   int64   `json:"neutralized"`
+}
+
+// HwsimReport prices the mitigation in the cycle-accurate model.
+type HwsimReport struct {
+	ScrubInterval            int     `json:"scrub_interval"`
+	ProtectBits              int     `json:"protect_bits_per_word"`
+	CyclesPerBatchBase       int     `json:"cycles_per_batch_base"`
+	CyclesPerBatchProtected  int     `json:"cycles_per_batch_protected"`
+	ScrubCyclesPerBatch      int     `json:"scrub_cycles_per_batch"`
+	ScrubOverheadFraction    float64 `json:"scrub_overhead_fraction"`
+	MessageBankBitsBase      int     `json:"message_bank_bits_base"`
+	MessageBankBitsProtected int     `json:"message_bank_bits_protected"`
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad upset rate %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no upset rates in %q", s)
+	}
+	return out, nil
+}

@@ -122,6 +122,21 @@ func NewDecoderGraph(g *ldpc.Graph, p fixed.Params) (*Decoder, error) {
 // Params returns the decoder configuration.
 func (d *Decoder) Params() fixed.Params { return d.p }
 
+// MaxIterations returns the current iteration budget.
+func (d *Decoder) MaxIterations() int { return d.p.MaxIterations }
+
+// SetMaxIterations changes the iteration budget for subsequent decodes
+// — the lever a serving layer pulls to shed compute in degraded mode
+// without rebuilding the decoder. It must not be called while a decode
+// is in flight.
+func (d *Decoder) SetMaxIterations(n int) error {
+	if n < 1 {
+		return fmt.Errorf("batch: MaxIterations %d < 1", n)
+	}
+	d.p.MaxIterations = n
+	return nil
+}
+
 // packedMem adapts the packed per-edge words to fixed.MessageMem: lane f
 // of a word is frame lane f. A lane frozen by per-lane early stop (or
 // beyond the current batch) is not held — its memory is clock-gated, so

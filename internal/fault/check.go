@@ -9,6 +9,7 @@ import (
 	"ccsdsldpc/internal/code"
 	"ccsdsldpc/internal/fixed"
 	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/protect"
 	"ccsdsldpc/internal/rng"
 )
 
@@ -29,6 +30,11 @@ type CheckConfig struct {
 	// UpsetRate is the per-bit per-write SEU probability; 0 picks a rate
 	// giving a mean of 6 upsets per scenario.
 	UpsetRate float64
+	// Protect, when not ModeOff, interposes a protect.Guard between the
+	// fault injector and every decoder, extending the equivalence oracle
+	// to the mitigated datapath: scrub decisions must also replay
+	// bit-identically across the three decoders.
+	Protect protect.Mode
 }
 
 // CheckReport summarizes a CrossCheck campaign.
@@ -43,6 +49,11 @@ type CheckReport struct {
 	SEUs, Stuck, Erasures int
 	// Converged counts lanes whose syndrome still reached zero.
 	Converged int
+	// Corrected and Neutralized total the guard's scrub outcomes across
+	// all decoders (zero when Protect is ModeOff). Each decoder replays
+	// the same scrubs, so these grow with every decoder run — they
+	// witness guard activity, not unique fault counts.
+	Corrected, Neutralized int64
 }
 
 // CrossCheck replays seeded random fault scenarios through the scalar
@@ -111,6 +122,18 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 	if err != nil {
 		return rep, err
 	}
+	var guard *protect.Guard
+	if cfg.Protect != protect.ModeOff {
+		guard, err = protect.NewGuard(protect.Config{
+			Mode:   cfg.Protect,
+			Format: cfg.Params.Format,
+			Lanes:  lanes,
+			Edges:  g.E,
+		})
+		if err != nil {
+			return rep, err
+		}
+	}
 
 	qllr := make([][]int16, lanes)
 	for f := range qllr {
@@ -157,6 +180,13 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 		if err != nil {
 			return rep, fmt.Errorf("scenario %d (seed %#x): %w", s, scenSeed, err)
 		}
+		// The decoders see the guard (which wraps the fault source) when
+		// protection is on, the bare injector otherwise.
+		var dinj fixed.Injector = inj
+		if guard != nil {
+			guard.Attach(inj)
+			dinj = guard
+		}
 
 		fixedPeriod := s%2 == 0
 		fd, bd := fdES, bdES
@@ -165,7 +195,7 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 		}
 
 		for f := 0; f < lanes; f++ {
-			fd.SetInjector(inj, f)
+			fd.SetInjector(dinj, f)
 			res := fd.DecodeQ(qllr[f])
 			fixedBits[f] = res.Bits.Clone()
 			fixedIters[f] = res.Iterations
@@ -176,7 +206,7 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 		}
 		fd.SetInjector(nil, 0)
 
-		bd.SetInjector(inj)
+		bd.SetInjector(dinj)
 		bres, err := bd.DecodeQ(qllr)
 		bd.SetInjector(nil)
 		if err != nil {
@@ -197,7 +227,7 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 		}
 
 		if fixedPeriod {
-			mach.SetInjector(inj)
+			mach.SetInjector(dinj)
 			hard, cycles, err := mach.DecodeBatch(qllr)
 			mach.SetInjector(nil)
 			if err != nil {
@@ -216,6 +246,10 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 		}
 		rep.Scenarios++
 		rep.LanesCompared += lanes
+	}
+	if guard != nil {
+		st := guard.Stats()
+		rep.Corrected, rep.Neutralized = st.Corrected, st.Neutralized
 	}
 	return rep, nil
 }

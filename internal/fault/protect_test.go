@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/protect"
+)
+
+// TestCrossDecoderEquivalenceProtected extends the differential oracle
+// to the mitigated datapath: with a protect.Guard interposed between
+// the fault injector and every decoder, the scalar fixed-point decoder,
+// the SWAR batch decoder and the cycle-accurate machine must still emit
+// identical hard decisions, iteration counts and convergence flags per
+// lane — now including every scrub repair and erasure neutralization
+// the guard performs.
+func TestCrossDecoderEquivalenceProtected(t *testing.T) {
+	for _, mode := range []protect.Mode{protect.ModeParity, protect.ModeSECDED} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rep, err := CrossCheck(CheckConfig{
+				Code:      testCode(t),
+				Params:    testParams(),
+				Scenarios: 30,
+				Seed:      7,
+				Protect:   mode,
+			})
+			if err != nil {
+				t.Fatalf("protected decoders diverged: %v", err)
+			}
+			if rep.SEUs == 0 {
+				t.Error("campaign injected no SEUs")
+			}
+			if rep.Corrected+rep.Neutralized == 0 {
+				t.Error("guard never acted; the campaign does not exercise mitigation")
+			}
+			if mode == protect.ModeParity && rep.Corrected != 0 {
+				t.Errorf("parity corrected %d words; parity cannot correct", rep.Corrected)
+			}
+			t.Logf("%s cross-check: %d scenarios, %d SEUs, %d corrected, %d neutralized",
+				mode, rep.Scenarios, rep.SEUs, rep.Corrected, rep.Neutralized)
+		})
+	}
+}
+
+// TestCrossCheckProtectedHighUpsetRate stresses the protected
+// equivalence where multi-bit corruption (SECDED's uncorrectable case)
+// is routine.
+func TestCrossCheckProtectedHighUpsetRate(t *testing.T) {
+	g := testGeometry(t)
+	rcfg := RandomConfig{Lanes: 8, Iterations: testParams().MaxIterations}
+	rep, err := CrossCheck(CheckConfig{
+		Code:      testCode(t),
+		Params:    testParams(),
+		Scenarios: 12,
+		Seed:      11,
+		UpsetRate: 40 / rcfg.Exposure(g),
+		Protect:   protect.ModeSECDED,
+	})
+	if err != nil {
+		t.Fatalf("protected decoders diverged: %v", err)
+	}
+	if rep.Neutralized == 0 {
+		t.Error("no neutralizations at ~40 upsets/scenario; double-hit words should occur")
+	}
+	if rep.Corrected == 0 {
+		t.Error("no corrections at ~40 upsets/scenario")
+	}
+}

@@ -82,6 +82,25 @@ type Config struct {
 	// SyndromeOverhead is the per-iteration cycle cost of the syndrome
 	// evaluation flush when EarlyStop is set.
 	SyndromeOverhead int
+	// ScrubInterval enables the periodic memory scrub pass: every
+	// ScrubInterval-th iteration the controller steals B cycles to sweep
+	// the message banks through the protection codec's check ports
+	// (0 disables the pass). The pass is a cycle-cost model only — the
+	// functional repair is performed by the installed protect.Guard at
+	// the phase boundaries, which already re-checks every word before
+	// the next phase consumes it.
+	ScrubInterval int
+	// WatchdogBudget arms the controller watchdog with a cycle budget
+	// for one batch (0 disarms it). The watchdog also guards FSM
+	// progress: an iteration that completes without advancing the cycle
+	// counter trips it. Either trip aborts the decode with a typed
+	// WatchdogError instead of running (or hanging) unbounded.
+	WatchdogBudget int
+	// ProtectBits widens every message-bank word by this many check
+	// bits per lane in the resource model (Memories). 0 for the
+	// unprotected baseline, 1 for parity, q_check for SECDED — use
+	// protect.Codec.CheckBitsPerWord.
+	ProtectBits int
 }
 
 // LowCost returns the paper's low-cost operating point: single frame,
@@ -128,6 +147,15 @@ func (c Config) Validate() error {
 	}
 	if c.CNLatency < 0 || c.BNLatency < 0 || c.PhaseGap < 0 || c.SyndromeOverhead < 0 {
 		return fmt.Errorf("hwsim: negative pipeline parameters")
+	}
+	if c.ScrubInterval < 0 {
+		return fmt.Errorf("hwsim: scrub interval %d < 0", c.ScrubInterval)
+	}
+	if c.WatchdogBudget < 0 {
+		return fmt.Errorf("hwsim: watchdog budget %d < 0", c.WatchdogBudget)
+	}
+	if c.ProtectBits < 0 || c.ProtectBits > 8 {
+		return fmt.Errorf("hwsim: %d protection bits per word out of range [0,8]", c.ProtectBits)
 	}
 	return nil
 }
@@ -199,11 +227,69 @@ type CycleBreakdown struct {
 	// Output is the hard-decision writeback (B cycles, one sub-column
 	// slice per cycle).
 	Output int
+	// Scrub is the periodic memory scrub cost (B cycles per pass, every
+	// Config.ScrubInterval iterations).
+	Scrub int
 	// IterationsRun is the number of iterations actually executed (less
-	// than the configured period only with EarlyStop).
+	// than the configured period only with EarlyStop or a watchdog trip).
 	IterationsRun int
 	// Total is the complete decode latency in cycles for the batch.
 	Total int
+}
+
+// ScrubFraction returns the share of the batch's cycles spent in the
+// periodic scrub pass — the mitigation overhead the acceptance budget
+// bounds at 10%.
+func (cb CycleBreakdown) ScrubFraction() float64 {
+	if cb.Total == 0 {
+		return 0
+	}
+	return float64(cb.Scrub) / float64(cb.Total)
+}
+
+// Watchdog trip reasons.
+const (
+	// WatchdogBudgetExceeded: the batch ran past its cycle budget.
+	WatchdogBudgetExceeded = "cycle budget exceeded"
+	// WatchdogStalled: an iteration completed without advancing the
+	// cycle counter — the FSM made no progress.
+	WatchdogStalled = "controller FSM made no progress"
+)
+
+// WatchdogError reports a controller watchdog trip: the decode was
+// aborted, the message memories hold a partial state, and the hard
+// decisions must not be trusted.
+type WatchdogError struct {
+	// Iteration is the (0-based) iteration during which the watchdog
+	// tripped.
+	Iteration int
+	// Cycles is the cycle count at the trip, Budget the armed budget.
+	Cycles, Budget int
+	// Reason is one of the Watchdog* constants.
+	Reason string
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("hwsim: watchdog tripped at iteration %d (%d cycles, budget %d): %s",
+		e.Iteration, e.Cycles, e.Budget, e.Reason)
+}
+
+// watchdog is the controller guard: a cycle budget plus an FSM-progress
+// check, observed once per iteration.
+type watchdog struct {
+	budget int
+	last   int
+}
+
+func (w *watchdog) observe(iteration, cycles int) error {
+	if w.budget > 0 && cycles > w.budget {
+		return &WatchdogError{Iteration: iteration, Cycles: cycles, Budget: w.budget, Reason: WatchdogBudgetExceeded}
+	}
+	if cycles <= w.last {
+		return &WatchdogError{Iteration: iteration, Cycles: cycles, Budget: w.budget, Reason: WatchdogStalled}
+	}
+	w.last = cycles
+	return nil
 }
 
 // New builds a machine for a code. The code must be block-circulant with
@@ -365,6 +451,7 @@ func (m *Machine) DecodeBatch(qllr [][]int16) ([]*bitvec.Vector, CycleBreakdown,
 	m.cycles = CycleBreakdown{}
 	m.activity = Activity{}
 
+	wd := watchdog{budget: m.cfg.WatchdogBudget, last: -1}
 	for it := 0; it < m.cfg.Iterations; it++ {
 		m.cnPhase()
 		if m.inj != nil {
@@ -376,22 +463,33 @@ func (m *Machine) DecodeBatch(qllr [][]int16) ([]*bitvec.Vector, CycleBreakdown,
 			m.inj.AfterBN(it, m.mem)
 		}
 		m.cycles.Control += m.cfg.PhaseGap
+		if m.cfg.ScrubInterval > 0 && (it+1)%m.cfg.ScrubInterval == 0 {
+			m.cycles.Scrub += m.b
+		}
+		m.cycles.IterationsRun = it + 1
+		if err := wd.observe(it, m.running()); err != nil {
+			m.cycles.Total = m.running()
+			return nil, m.cycles, err
+		}
 		if m.cfg.EarlyStop {
 			m.cycles.Control += m.cfg.SyndromeOverhead
-			m.cycles.IterationsRun = it + 1
 			if m.allFramesClean() {
 				break
 			}
-		} else {
-			m.cycles.IterationsRun = it + 1
 		}
 	}
 	// Output streaming: one sub-column slice (cols bits × F frames) per
 	// cycle, B cycles. The hard decisions were latched during the last
 	// BN phase.
 	m.cycles.Output = m.b
-	m.cycles.Total = m.cycles.CNPhase + m.cycles.BNPhase + m.cycles.Control + m.cycles.Output
+	m.cycles.Total = m.running() + m.cycles.Output
 	return m.hardMem, m.cycles, nil
+}
+
+// running is the cycle count accumulated so far, before output
+// streaming.
+func (m *Machine) running() int {
+	return m.cycles.CNPhase + m.cycles.BNPhase + m.cycles.Control + m.cycles.Scrub
 }
 
 // load initializes message banks and LLR memory from the channel LLRs:
@@ -506,6 +604,79 @@ func (m *Machine) bnPhase(last bool) {
 	m.cycles.BNPhase += b + m.cfg.BNLatency
 }
 
+// FrameStatus is the syndrome verdict on one packed frame's output.
+type FrameStatus struct {
+	// Lane is the packed frame index.
+	Lane int
+	// Converged reports a clean syndrome (all parity checks satisfied).
+	Converged bool
+	// UnsatChecks is the number of unsatisfied parity checks — the
+	// diagnostic the typed failure carries instead of silent garbage.
+	UnsatChecks int
+}
+
+// BatchReport is the diagnostic record of one checked decode.
+type BatchReport struct {
+	Cycles CycleBreakdown
+	// Frames holds one status per packed lane, in lane order.
+	Frames []FrameStatus
+}
+
+// UncorrectableError reports frames whose output failed syndrome
+// verification: the decoder emitted them, but they must be treated as
+// erasures (retransmit or concealment), not data.
+type UncorrectableError struct {
+	// Lanes lists the packed frame indices with unsatisfied checks.
+	Lanes []int
+}
+
+func (e *UncorrectableError) Error() string {
+	return fmt.Sprintf("hwsim: %d uncorrectable frame(s), lanes %v", len(e.Lanes), e.Lanes)
+}
+
+// DecodeBatchChecked is DecodeBatch plus syndrome-verified output: the
+// hard decisions of every packed frame are checked against all parity
+// rows before being handed out. A frame with unsatisfied checks is
+// reported through a typed UncorrectableError (with the hard decisions
+// still returned for diagnosis); a watchdog trip is returned as a
+// WatchdogError with nil decisions. The verification reuses the
+// syndrome network in parallel with output streaming, so it adds no
+// cycles beyond the breakdown already reported.
+func (m *Machine) DecodeBatchChecked(qllr [][]int16) ([]*bitvec.Vector, BatchReport, error) {
+	hard, cycles, err := m.DecodeBatch(qllr)
+	rep := BatchReport{Cycles: cycles}
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Frames = make([]FrameStatus, m.cfg.Frames)
+	var bad []int
+	for f := 0; f < m.cfg.Frames; f++ {
+		unsat := m.unsatChecks(m.hardMem[f])
+		rep.Frames[f] = FrameStatus{Lane: f, Converged: unsat == 0, UnsatChecks: unsat}
+		if unsat > 0 {
+			bad = append(bad, f)
+		}
+	}
+	if len(bad) > 0 {
+		return hard, rep, &UncorrectableError{Lanes: bad}
+	}
+	return hard, rep, nil
+}
+
+// unsatChecks counts the unsatisfied parity checks of one frame's hard
+// decisions.
+func (m *Machine) unsatChecks(hard *bitvec.Vector) int {
+	n := 0
+	for _, idx := range m.c.RowIdx {
+		parity := 0
+		for _, j := range idx {
+			parity ^= hard.Bit(int(j))
+		}
+		n += parity
+	}
+	return n
+}
+
 // allFramesClean evaluates every parity check on the latched hard
 // decisions of every packed frame.
 func (m *Machine) allFramesClean() bool {
@@ -542,10 +713,15 @@ func (m *Machine) assertSingleAccess(phase string, t int) {
 
 // CyclesPerBatch returns the decode latency in cycles for one batch of
 // cfg.Frames frames, without running data through the machine:
-// iterations × (CN issue+drain + BN issue+drain + 2 gaps) + output.
+// iterations × (CN issue+drain + BN issue+drain + 2 gaps) + scrub
+// passes + output.
 func (m *Machine) CyclesPerBatch() int {
 	perIter := (m.b + m.cfg.CNLatency) + (m.b + m.cfg.BNLatency) + 2*m.cfg.PhaseGap
-	return m.cfg.Iterations*perIter + m.b
+	total := m.cfg.Iterations*perIter + m.b
+	if m.cfg.ScrubInterval > 0 {
+		total += m.cfg.Iterations / m.cfg.ScrubInterval * m.b
+	}
+	return total
 }
 
 // RAM describes one physical memory of the machine, for the resource
@@ -562,12 +738,15 @@ func (r RAM) Bits() int { return r.Words * r.WidthBits * r.Instances }
 
 // Memories itemizes the machine's storage: message banks, channel LLR
 // memory, and the double-buffered I/O memories. This inventory is what
-// the resource model (and Tables 2–3) count.
+// the resource model (and Tables 2–3) count. Config.ProtectBits widens
+// every message-bank word by the protection code's check bits per lane;
+// the LLR and I/O memories stay bare — they are written once per frame
+// and re-checked implicitly by the first iteration's messages.
 func (m *Machine) Memories() []RAM {
 	q := m.cfg.Format.Bits
 	f := m.cfg.Frames
 	return []RAM{
-		{Name: "message banks", Words: m.b, WidthBits: q * f, Instances: len(m.banks)},
+		{Name: "message banks", Words: m.b, WidthBits: (q + m.cfg.ProtectBits) * f, Instances: len(m.banks)},
 		{Name: "channel LLR", Words: m.b, WidthBits: q * f, Instances: m.cols},
 		{Name: "input buffer", Words: m.b, WidthBits: q * f, Instances: m.cols},
 		{Name: "output buffer", Words: m.b, WidthBits: 1 * f, Instances: m.cols},

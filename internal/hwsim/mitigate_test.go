@@ -1,0 +1,287 @@
+package hwsim
+
+import (
+	"errors"
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/rng"
+)
+
+// TestScrubCycleModel: the periodic scrub pass costs B cycles every
+// ScrubInterval iterations, shows up in the breakdown and the analytic
+// count, and stays within the ≤10% overhead budget at the planned
+// operating point (interval 5 over the paper's 18 iterations).
+func TestScrubCycleModel(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(1, 18)
+	cfg.ScrubInterval = 5
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := noisyFrames(t, c, cfg.Format, 1, 21)
+	_, cy, err := m.DecodeBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := c.Table.B
+	wantScrub := 18 / 5 * b // 3 passes
+	if cy.Scrub != wantScrub {
+		t.Errorf("Scrub = %d cycles, want %d", cy.Scrub, wantScrub)
+	}
+	if cy.Total != cy.CNPhase+cy.BNPhase+cy.Control+cy.Scrub+cy.Output {
+		t.Errorf("Total %d does not include scrub", cy.Total)
+	}
+	if got := m.CyclesPerBatch(); got != cy.Total {
+		t.Errorf("CyclesPerBatch = %d, simulated %d", got, cy.Total)
+	}
+	if frac := cy.ScrubFraction(); frac <= 0 || frac > 0.10 {
+		t.Errorf("scrub overhead %.4f outside (0, 0.10]", frac)
+	}
+	// Unprotected machine: zero scrub cycles, smaller total.
+	m0, err := New(c, smallConfig(1, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cy0, err := m0.DecodeBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cy0.Scrub != 0 || cy0.ScrubFraction() != 0 {
+		t.Errorf("unprotected machine reports scrub cycles: %+v", cy0)
+	}
+	if cy.Total != cy0.Total+wantScrub {
+		t.Errorf("scrub delta = %d, want %d", cy.Total-cy0.Total, wantScrub)
+	}
+}
+
+// TestScrubDoesNotChangeDecisions: the scrub pass is cycle accounting
+// only — hard decisions are untouched.
+func TestScrubDoesNotChangeDecisions(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(2, 12)
+	cfg.ScrubInterval = 3
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, err := New(c, smallConfig(2, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := noisyFrames(t, c, cfg.Format, 2, 33)
+	hard, _, err := m.DecodeBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard0, _, err := m0.DecodeBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range hard {
+		if !hard[f].Equal(hard0[f]) {
+			t.Fatalf("scrub pass changed frame %d", f)
+		}
+	}
+}
+
+// TestWatchdogBudgetTrip: a budget below one iteration's cost aborts
+// the decode with a typed WatchdogError and nil decisions.
+func TestWatchdogBudgetTrip(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(1, 18)
+	cfg.WatchdogBudget = c.Table.B // far below one iteration's 2B+latencies
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := noisyFrames(t, c, cfg.Format, 1, 8)
+	hard, cy, err := m.DecodeBatch(q)
+	var wderr *WatchdogError
+	if !errors.As(err, &wderr) {
+		t.Fatalf("err = %v, want WatchdogError", err)
+	}
+	if hard != nil {
+		t.Error("watchdog trip returned hard decisions")
+	}
+	if wderr.Reason != WatchdogBudgetExceeded || wderr.Iteration != 0 || wderr.Budget != cfg.WatchdogBudget {
+		t.Errorf("trip diagnostics %+v", wderr)
+	}
+	if wderr.Cycles <= cfg.WatchdogBudget {
+		t.Errorf("trip at %d cycles within budget %d", wderr.Cycles, wderr.Budget)
+	}
+	if cy.IterationsRun != 1 {
+		t.Errorf("IterationsRun = %d after a first-iteration trip", cy.IterationsRun)
+	}
+}
+
+// TestWatchdogGenerousBudgetPasses: a budget at the analytic batch cost
+// never trips on a normal decode.
+func TestWatchdogGenerousBudgetPasses(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(1, 18)
+	cfg.ScrubInterval = 5
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.cfg.WatchdogBudget = m.CyclesPerBatch()
+	q, _ := noisyFrames(t, c, cfg.Format, 1, 8)
+	if _, _, err := m.DecodeBatch(q); err != nil {
+		t.Fatalf("watchdog tripped within the analytic budget: %v", err)
+	}
+}
+
+// TestWatchdogStallGuard exercises the FSM-progress guard directly: a
+// cycle counter that fails to advance between observations trips it.
+func TestWatchdogStallGuard(t *testing.T) {
+	w := watchdog{budget: 0, last: -1}
+	if err := w.observe(0, 100); err != nil {
+		t.Fatalf("first observation tripped: %v", err)
+	}
+	err := w.observe(1, 100) // no progress
+	var wderr *WatchdogError
+	if !errors.As(err, &wderr) || wderr.Reason != WatchdogStalled {
+		t.Fatalf("stalled FSM not caught: %v", err)
+	}
+}
+
+// TestDecodeBatchCheckedClean: strong LLRs converge; the report shows
+// every lane clean and no error.
+func TestDecodeBatchCheckedClean(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(2, 8)
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	qllrs := make([][]int16, 2)
+	cws := make([]*bitvec.Vector, 2)
+	for f := range qllrs {
+		info := bitvec.New(c.K)
+		for j := 0; j < c.K; j++ {
+			if r.Bool() {
+				info.Set(j)
+			}
+		}
+		cws[f] = c.Encode(info)
+		q := make([]int16, c.N)
+		for j := 0; j < c.N; j++ {
+			if cws[f].Bit(j) == 0 {
+				q[j] = cfg.Format.Max()
+			} else {
+				q[j] = -cfg.Format.Max()
+			}
+		}
+		qllrs[f] = q
+	}
+	hard, rep, err := m.DecodeBatchChecked(qllrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Frames) != 2 {
+		t.Fatalf("report covers %d frames", len(rep.Frames))
+	}
+	for f, st := range rep.Frames {
+		if st.Lane != f || !st.Converged || st.UnsatChecks != 0 {
+			t.Errorf("frame %d status %+v", f, st)
+		}
+		if !hard[f].Equal(cws[f]) {
+			t.Errorf("frame %d decoded wrong", f)
+		}
+	}
+	if rep.Cycles.Total == 0 {
+		t.Error("report carries no cycle breakdown")
+	}
+}
+
+// TestDecodeBatchCheckedUncorrectable: junk LLRs with a one-iteration
+// budget leave unsatisfied checks; the typed error names the dirty
+// lanes and the diagnostics count the failures — never silent garbage.
+func TestDecodeBatchCheckedUncorrectable(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(2, 1)
+	m, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	junk := make([][]int16, 2)
+	for f := range junk {
+		q := make([]int16, c.N)
+		for j := range q {
+			if r.Bool() {
+				q[j] = cfg.Format.Max()
+			} else {
+				q[j] = -cfg.Format.Max()
+			}
+		}
+		junk[f] = q
+	}
+	hard, rep, err := m.DecodeBatchChecked(junk)
+	var ue *UncorrectableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want UncorrectableError", err)
+	}
+	if len(ue.Lanes) == 0 {
+		t.Fatal("uncorrectable error names no lanes")
+	}
+	if hard == nil {
+		t.Fatal("hard decisions withheld from diagnosis")
+	}
+	for _, lane := range ue.Lanes {
+		st := rep.Frames[lane]
+		if st.Converged || st.UnsatChecks == 0 {
+			t.Errorf("lane %d flagged but status %+v", lane, st)
+		}
+	}
+}
+
+// TestMemoriesProtectBits: ProtectBits widens only the message banks.
+func TestMemoriesProtectBits(t *testing.T) {
+	c := smallCode(t)
+	cfg := smallConfig(8, 18)
+	cfg.Format.Bits, cfg.Format.Frac = 5, 1
+	bare, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ProtectBits = 5 // Q(5,1) SECDED
+	prot, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rams0, rams1 := bare.Memories(), prot.Memories()
+	for i := range rams0 {
+		r0, r1 := rams0[i], rams1[i]
+		if r0.Name == "message banks" {
+			if r1.WidthBits != (5+5)*8 {
+				t.Errorf("protected bank width = %d bits, want %d", r1.WidthBits, (5+5)*8)
+			}
+			if r1.Bits() != 2*r0.Bits() {
+				t.Errorf("SECDED on Q(5,1) must double bank storage: %d vs %d", r1.Bits(), r0.Bits())
+			}
+			continue
+		}
+		if r1 != r0 {
+			t.Errorf("%s changed under ProtectBits: %+v vs %+v", r0.Name, r1, r0)
+		}
+	}
+}
+
+func TestMitigationConfigValidation(t *testing.T) {
+	c := smallCode(t)
+	bad := []Config{
+		func() Config { c := LowCost(); c.ScrubInterval = -1; return c }(),
+		func() Config { c := LowCost(); c.WatchdogBudget = -1; return c }(),
+		func() Config { c := LowCost(); c.ProtectBits = -1; return c }(),
+		func() Config { c := LowCost(); c.ProtectBits = 9; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := New(c, cfg); err == nil {
+			t.Errorf("bad mitigation config %d accepted", i)
+		}
+	}
+}

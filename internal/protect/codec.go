@@ -1,0 +1,252 @@
+// Package protect is the SEU mitigation layer over the decoder
+// family's message memories: the banked CN→BN / BN→CN message words of
+// the Fig. 3 architecture that internal/fault showed to be the decoder's
+// radiation-critical resource (BENCH_fault.json: FER knee near 1e-3
+// upsets/bit/write).
+//
+// The layer has two halves:
+//
+//   - Codec: a per-word error-detecting/correcting code over the q-bit
+//     two's-complement message — single parity (detect 1 flip) or
+//     Hamming SECDED (correct 1, detect 2). Check bits are computed at
+//     the memory write port, so anything written by the datapath is
+//     covered from the moment it is stored.
+//   - Guard: a fixed.Injector wrapper that models the write-port
+//     encoder plus a scrub-on-read pass at each phase boundary. A word
+//     whose check bits still match is passed through; a correctable
+//     word is repaired in place; a detected-but-uncorrectable word is
+//     repaired by erasure neutralization — replaced with the zero LLR,
+//     the value that invents no confidence — so min-sum degrades
+//     gracefully instead of propagating a corrupt −16 corner value.
+//
+// Because the Guard rides the same decoder-agnostic MessageMem hook the
+// fault injectors use, a protected scenario replays bit-identically on
+// the scalar fixed-point decoder, the frame-packed SWAR decoder and the
+// cycle-accurate machine — extending the differential oracle
+// (fault.CrossCheck) to the mitigated datapath.
+package protect
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ccsdsldpc/internal/fixed"
+)
+
+// Mode selects the per-word protection code.
+type Mode int
+
+const (
+	// ModeOff stores no check bits: the unprotected PR 3 baseline.
+	ModeOff Mode = iota
+	// ModeParity stores one parity bit per q-bit message word: any odd
+	// number of flipped bits is detected (and neutralized by the
+	// Guard); an even number escapes. Zero correction capability.
+	ModeParity
+	// ModeSECDED stores a Hamming single-error-correct /
+	// double-error-detect code plus an overall parity bit per word:
+	// one flipped bit is corrected in place, two are detected (and
+	// neutralized). For the Q(5,1) high-speed format this is 5 check
+	// bits per 5-bit message.
+	ModeSECDED
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeParity:
+		return "parity"
+	case ModeSECDED:
+		return "secded"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses a Mode name as printed by String.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off":
+		return ModeOff, nil
+	case "parity":
+		return ModeParity, nil
+	case "secded":
+		return ModeSECDED, nil
+	}
+	return ModeOff, fmt.Errorf("protect: unknown mode %q (want off, parity or secded)", s)
+}
+
+// Verdict is the outcome of checking one stored word against its check
+// bits.
+type Verdict uint8
+
+const (
+	// VerdictOK: check bits match; the word is accepted as written.
+	// (An even number of flips under ModeParity also lands here — the
+	// escape the SECDED mode exists to close.)
+	VerdictOK Verdict = iota
+	// VerdictCorrected: a single-bit error was located and repaired
+	// (ModeSECDED only; includes errors confined to the check bits,
+	// where the data needs no change).
+	VerdictCorrected
+	// VerdictUncorrectable: an error was detected but cannot be
+	// located — the Guard repairs such words by erasure neutralization.
+	VerdictUncorrectable
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictCorrected:
+		return "corrected"
+	case VerdictUncorrectable:
+		return "uncorrectable"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// Codec computes and checks the protection bits of one q-bit message
+// word. A Codec is stateless and safe for concurrent use.
+type Codec struct {
+	mode Mode
+	q    int // data width: message bits including sign
+
+	// SECDED geometry: Hamming positions 1..q+r with parity bits at
+	// the powers of two and data bits filling the remaining positions
+	// in order. posOf[i] is the Hamming position of data bit i.
+	r     int // Hamming check bits (excluding the overall parity bit)
+	posOf []uint
+	// dataBitAt[pos] is the data bit stored at Hamming position pos,
+	// or -1 for a parity position.
+	dataBitAt []int
+}
+
+// NewCodec builds the codec for messages of the given fixed-point
+// format. ModeOff is rejected: a Codec exists to hold check bits.
+func NewCodec(f fixed.Format, mode Mode) (*Codec, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Codec{mode: mode, q: f.Bits}
+	switch mode {
+	case ModeParity:
+		return c, nil
+	case ModeSECDED:
+		// Smallest r with 2^r ≥ q + r + 1 (Hamming bound).
+		for c.r = 2; (1 << c.r) < c.q+c.r+1; c.r++ {
+		}
+		if c.r+1 > 8 { // r Hamming bits + 1 overall parity must fit a byte
+			return nil, fmt.Errorf("protect: %d-bit SECDED check word for %s exceeds a byte", c.r+1, f)
+		}
+		c.dataBitAt = make([]int, c.q+c.r+1)
+		c.posOf = make([]uint, c.q)
+		i := 0
+		for pos := 1; pos <= c.q+c.r; pos++ {
+			if pos&(pos-1) == 0 { // power of two: parity position
+				c.dataBitAt[pos] = -1
+				continue
+			}
+			c.posOf[i] = uint(pos)
+			c.dataBitAt[pos] = i
+			i++
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("protect: mode %v has no codec", mode)
+}
+
+// Mode returns the protection code.
+func (c *Codec) Mode() Mode { return c.mode }
+
+// CheckBitsPerWord returns the number of stored check bits per message
+// word: 1 for parity, r+1 for SECDED.
+func (c *Codec) CheckBitsPerWord() int {
+	if c.mode == ModeParity {
+		return 1
+	}
+	return c.r + 1
+}
+
+// word extracts the stored q-bit image of a message value.
+func (c *Codec) word(v int16) uint {
+	return uint(uint16(v)) & (1<<uint(c.q) - 1)
+}
+
+// signExtend interprets the low q bits of u as a two's-complement code.
+func (c *Codec) signExtend(u uint) int16 {
+	w := uint16(u)
+	mask := uint16(1)<<uint(c.q) - 1
+	w &= mask
+	if w&(1<<uint(c.q-1)) != 0 {
+		w |= ^mask
+	}
+	return int16(w)
+}
+
+// CheckBits computes the check bits stored alongside a message word at
+// the memory write port.
+func (c *Codec) CheckBits(v int16) uint8 {
+	w := c.word(v)
+	if c.mode == ModeParity {
+		return uint8(bits.OnesCount(w) & 1)
+	}
+	// Hamming bits: parity bit j covers the positions with bit j set,
+	// so the XOR of the positions of the set data bits is exactly the
+	// parity-bit vector that zeroes the syndrome.
+	var syn uint
+	for i := 0; i < c.q; i++ {
+		if w>>uint(i)&1 == 1 {
+			syn ^= c.posOf[i]
+		}
+	}
+	// Overall parity covers data + Hamming bits (SEC → SECDED).
+	overall := (bits.OnesCount(w) + bits.OnesCount(syn)) & 1
+	return uint8(syn | uint(overall)<<uint(c.r))
+}
+
+// Check validates a stored word against its check bits and returns the
+// value to use: the word itself (VerdictOK), the repaired word
+// (VerdictCorrected), or the word unchanged with VerdictUncorrectable —
+// the caller decides the repair policy (the Guard neutralizes to 0).
+func (c *Codec) Check(v int16, check uint8) (int16, Verdict) {
+	w := c.word(v)
+	if c.mode == ModeParity {
+		if uint8(bits.OnesCount(w)&1) == check&1 {
+			return v, VerdictOK
+		}
+		return v, VerdictUncorrectable
+	}
+	stored := uint(check) & (1<<uint(c.r) - 1)
+	storedOverall := uint(check) >> uint(c.r) & 1
+	var syn uint
+	for i := 0; i < c.q; i++ {
+		if w>>uint(i)&1 == 1 {
+			syn ^= c.posOf[i]
+		}
+	}
+	// Each stored Hamming bit j sits at position 2^j, so the stored
+	// vector contributes itself to the received syndrome.
+	syn ^= stored
+	overall := uint(bits.OnesCount(w)+bits.OnesCount(stored))&1 ^ storedOverall
+	switch {
+	case syn == 0 && overall == 0:
+		return v, VerdictOK
+	case syn == 0 && overall == 1:
+		// The overall parity bit itself flipped; the data is intact.
+		return v, VerdictCorrected
+	case overall == 0:
+		// Non-zero syndrome with even overall parity: two flips.
+		return v, VerdictUncorrectable
+	}
+	// Single-bit error at Hamming position syn.
+	if int(syn) >= len(c.dataBitAt) {
+		// Not a valid position: ≥3 flips beat the code.
+		return v, VerdictUncorrectable
+	}
+	if i := c.dataBitAt[syn]; i >= 0 {
+		return c.signExtend(w ^ 1<<uint(i)), VerdictCorrected
+	}
+	// The error is confined to a check bit; the data is intact.
+	return v, VerdictCorrected
+}

@@ -1,0 +1,171 @@
+package protect
+
+import (
+	"math/bits"
+	"testing"
+
+	"ccsdsldpc/internal/fixed"
+)
+
+var q51 = fixed.Format{Bits: 5, Frac: 1}
+
+// flip returns v with stored bit b flipped, re-sign-extended — the same
+// two's-complement flip the SEU injector applies.
+func flip(c *Codec, v int16, b int) int16 {
+	return c.signExtend(c.word(v) ^ 1<<uint(b))
+}
+
+func TestParseModeRoundTrip(t *testing.T) {
+	for _, m := range []Mode{ModeOff, ModeParity, ModeSECDED} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("hamming"); err == nil {
+		t.Fatal("ParseMode accepted an unknown mode")
+	}
+}
+
+func TestCodecGeometry(t *testing.T) {
+	p, err := NewCodec(q51, ModeParity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CheckBitsPerWord(); got != 1 {
+		t.Fatalf("parity check bits = %d, want 1", got)
+	}
+	s, err := NewCodec(q51, ModeSECDED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 data bits need r = 4 Hamming bits (2^4 ≥ 5+4+1) + overall.
+	if got := s.CheckBitsPerWord(); got != 5 {
+		t.Fatalf("SECDED check bits = %d, want 5", got)
+	}
+	if _, err := NewCodec(q51, ModeOff); err == nil {
+		t.Fatal("NewCodec accepted ModeOff")
+	}
+}
+
+// TestCodecCleanWords: every representable word — including the
+// fault-only corner −16 that the nominal datapath never writes — checks
+// clean against its own check bits in both modes.
+func TestCodecCleanWords(t *testing.T) {
+	for _, mode := range []Mode{ModeParity, ModeSECDED} {
+		c, err := NewCodec(q51, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := int16(-16); v <= 15; v++ {
+			got, verdict := c.Check(v, c.CheckBits(v))
+			if verdict != VerdictOK || got != v {
+				t.Fatalf("%v: clean word %d → %d, %v", mode, v, got, verdict)
+			}
+		}
+	}
+}
+
+// TestCodecSingleFlips: every single-bit flip of every word is detected
+// by parity (uncorrectable) and corrected back by SECDED. The Q(5,1)
+// saturation corners ±15 and the fault-only −16 are covered by the
+// exhaustive sweep and asserted explicitly.
+func TestCodecSingleFlips(t *testing.T) {
+	p, _ := NewCodec(q51, ModeParity)
+	s, _ := NewCodec(q51, ModeSECDED)
+	for v := int16(-16); v <= 15; v++ {
+		pc, sc := p.CheckBits(v), s.CheckBits(v)
+		for b := 0; b < 5; b++ {
+			bad := flip(p, v, b)
+			if bad == v {
+				t.Fatalf("flip(%d, %d) did not change the word", v, b)
+			}
+			if _, verdict := p.Check(bad, pc); verdict != VerdictUncorrectable {
+				t.Fatalf("parity: %d with bit %d flipped → %v, want uncorrectable", v, b, verdict)
+			}
+			got, verdict := s.Check(bad, sc)
+			if verdict != VerdictCorrected || got != v {
+				t.Fatalf("SECDED: %d with bit %d flipped → %d, %v, want %d corrected", v, b, got, verdict, v)
+			}
+		}
+	}
+	// The corners the issue calls out, spelled out: +15 = 01111 and
+	// −16 = 10000 differ in every bit from each other; a sign-bit flip
+	// of +15 yields −1, of −16 yields 0.
+	for _, v := range []int16{15, -16} {
+		got, verdict := s.Check(flip(s, v, 4), s.CheckBits(v))
+		if verdict != VerdictCorrected || got != v {
+			t.Fatalf("SECDED sign-flip of %d → %d, %v", v, got, verdict)
+		}
+	}
+}
+
+// TestCodecDoubleFlips: every two-bit flip of every word is detected by
+// SECDED as uncorrectable, and (being even) escapes parity.
+func TestCodecDoubleFlips(t *testing.T) {
+	p, _ := NewCodec(q51, ModeParity)
+	s, _ := NewCodec(q51, ModeSECDED)
+	for v := int16(-16); v <= 15; v++ {
+		pc, sc := p.CheckBits(v), s.CheckBits(v)
+		for b1 := 0; b1 < 5; b1++ {
+			for b2 := b1 + 1; b2 < 5; b2++ {
+				bad := flip(p, flip(p, v, b1), b2)
+				if _, verdict := p.Check(bad, pc); verdict != VerdictOK {
+					t.Fatalf("parity: double flip of %d detected (%v) — parity cannot do that", v, verdict)
+				}
+				if _, verdict := s.Check(bad, sc); verdict != VerdictUncorrectable {
+					t.Fatalf("SECDED: %d with bits %d,%d flipped → %v, want uncorrectable", v, b1, b2, verdict)
+				}
+			}
+		}
+	}
+}
+
+// TestCodecCheckBitErrors: SECDED locates errors confined to the check
+// bits without touching the data.
+func TestCodecCheckBitErrors(t *testing.T) {
+	s, _ := NewCodec(q51, ModeSECDED)
+	for v := int16(-16); v <= 15; v++ {
+		c := s.CheckBits(v)
+		for b := 0; b < s.CheckBitsPerWord(); b++ {
+			got, verdict := s.Check(v, c^1<<uint(b))
+			if verdict != VerdictCorrected || got != v {
+				t.Fatalf("SECDED: check bit %d of %d flipped → %d, %v", b, v, got, verdict)
+			}
+		}
+	}
+}
+
+// TestCodecWideFormat exercises the Hamming construction on the 6-bit
+// low-cost format too (r stays 4: 2^4 ≥ 6+4+1).
+func TestCodecWideFormat(t *testing.T) {
+	f := fixed.Format{Bits: 6, Frac: 2}
+	s, err := NewCodec(f, ModeSECDED)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CheckBitsPerWord(); got != 5 {
+		t.Fatalf("6-bit SECDED check bits = %d, want 5", got)
+	}
+	for v := int16(-32); v <= 31; v++ {
+		c := s.CheckBits(v)
+		for b := 0; b < 6; b++ {
+			got, verdict := s.Check(flip(s, v, b), c)
+			if verdict != VerdictCorrected || got != v {
+				t.Fatalf("6-bit SECDED: %d bit %d → %d, %v", v, b, got, verdict)
+			}
+		}
+	}
+}
+
+// TestCheckBitsParityDefinition pins the parity bit to the population
+// parity of the stored q-bit image — the documented word layout.
+func TestCheckBitsParityDefinition(t *testing.T) {
+	p, _ := NewCodec(q51, ModeParity)
+	for v := int16(-16); v <= 15; v++ {
+		want := uint8(bits.OnesCount16(uint16(v)&0x1F) & 1)
+		if got := p.CheckBits(v); got != want {
+			t.Fatalf("parity bits of %d = %d, want %d", v, got, want)
+		}
+	}
+}

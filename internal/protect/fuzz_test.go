@@ -1,0 +1,78 @@
+package protect
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzProtectRoundTrip fuzzes the codec invariants over arbitrary
+// values and flip masks, in both modes:
+//
+//   - no flips  → VerdictOK, value unchanged
+//   - one flip  → parity detects (uncorrectable), SECDED corrects back
+//     to the original value
+//   - two flips → parity escapes (VerdictOK — its documented limit),
+//     SECDED detects (uncorrectable)
+//
+// Wider masks only require that the codec never miscorrects silently
+// into a Corrected verdict with the wrong value under SECDED's
+// guarantee window (≤2 flips); ≥3 flips may do anything except panic.
+func FuzzProtectRoundTrip(f *testing.F) {
+	f.Add(int16(15), uint8(0))
+	f.Add(int16(-16), uint8(1))
+	f.Add(int16(-16), uint8(0b10001))
+	f.Add(int16(0), uint8(0b11111))
+	f.Add(int16(-1), uint8(0b00110))
+	parity, err := NewCodec(q51, ModeParity)
+	if err != nil {
+		f.Fatal(err)
+	}
+	secded, err := NewCodec(q51, ModeSECDED)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, raw int16, mask uint8) {
+		v := secded.signExtend(uint(uint16(raw))) // clamp into the 5-bit code space
+		m := uint(mask) & 0x1F
+		bad := secded.signExtend(secded.word(v) ^ m)
+		n := bits.OnesCount(m)
+
+		pc, sc := parity.CheckBits(v), secded.CheckBits(v)
+		pGot, pVerdict := parity.Check(bad, pc)
+		sGot, sVerdict := secded.Check(bad, sc)
+
+		switch n {
+		case 0:
+			if pVerdict != VerdictOK || pGot != v {
+				t.Fatalf("parity: clean %d → %d, %v", v, pGot, pVerdict)
+			}
+			if sVerdict != VerdictOK || sGot != v {
+				t.Fatalf("SECDED: clean %d → %d, %v", v, sGot, sVerdict)
+			}
+		case 1:
+			if pVerdict != VerdictUncorrectable {
+				t.Fatalf("parity: single flip %#x of %d → %v, want detected", m, v, pVerdict)
+			}
+			if sVerdict != VerdictCorrected || sGot != v {
+				t.Fatalf("SECDED: single flip %#x of %d → %d, %v, want %d corrected", m, v, sGot, sVerdict, v)
+			}
+		case 2:
+			if pVerdict != VerdictOK {
+				t.Fatalf("parity: double flip %#x of %d → %v; even flips cannot be detected", m, v, pVerdict)
+			}
+			if sVerdict != VerdictUncorrectable {
+				t.Fatalf("SECDED: double flip %#x of %d → %v, want detected", m, v, sVerdict)
+			}
+		default:
+			// Beyond the design distance. Parity still flags odd flip
+			// counts; SECDED may miscorrect, but a Corrected verdict must
+			// at least return a representable word.
+			if n%2 == 1 && pVerdict != VerdictUncorrectable {
+				t.Fatalf("parity: %d flips (odd) of %d → %v, want detected", n, v, pVerdict)
+			}
+			if sVerdict == VerdictCorrected && (sGot < -16 || sGot > 15) {
+				t.Fatalf("SECDED: correction of %d flips left unrepresentable %d", n, sGot)
+			}
+		}
+	})
+}

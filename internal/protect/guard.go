@@ -1,0 +1,175 @@
+package protect
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/fixed"
+)
+
+// Config describes a Guard over one decoder family's message memories.
+type Config struct {
+	// Mode is the per-word protection code (ModeOff is rejected: an
+	// unprotected datapath simply installs the fault injector bare).
+	Mode Mode
+	// Format is the message quantization; Format.Bits is the protected
+	// word width.
+	Format fixed.Format
+	// Lanes is the number of frame lanes the guard covers (the packing
+	// factor of the widest decoder in the campaign; excess lanes cost
+	// only memory).
+	Lanes int
+	// Edges is the Tanner graph edge count — one protected word per
+	// (lane, edge) per phase memory.
+	Edges int
+}
+
+// Stats counts the guard's scrub outcomes. Counters accumulate until
+// ResetStats; a word that escapes detection (an even number of flips
+// under ModeParity, three or more under ModeSECDED) is by construction
+// invisible here — measuring those is what the BER-under-faults sweep
+// is for.
+type Stats struct {
+	// Checked is the number of (lane, edge) words scrubbed.
+	Checked int64
+	// Corrected counts single-bit errors repaired in place (ModeSECDED).
+	Corrected int64
+	// Neutralized counts detected-but-uncorrectable words replaced by
+	// the zero LLR.
+	Neutralized int64
+}
+
+// Guard is the mitigation layer as a fixed.Injector: it wraps the fault
+// source (or nothing) and models, at each phase boundary,
+//
+//  1. the write-port encoder — check bits computed over every word the
+//     datapath just wrote,
+//  2. the memory corruption window — the wrapped injector's SEUs and
+//     stuck-at faults land on the stored words,
+//  3. the scrub-on-read pass — every word is re-checked before the next
+//     phase consumes it; correctable words are repaired, detected-but-
+//     uncorrectable words are neutralized to the zero LLR.
+//
+// Because all three steps address words per (lane, edge) through the
+// decoder-agnostic MessageMem view, a protected scenario replays
+// bit-identically across fixed, batch and hwsim — the property
+// fault.CrossCheck verifies.
+//
+// Note the fault-model consequence of encoding at the write port:
+// everything the wrapped injector writes is treated as a memory
+// corruption event, *after* the check bits were computed. A stuck-at
+// fault is therefore interpreted as a stuck memory cell (detected and
+// scrubbed every phase) rather than a fault inside the processing unit
+// upstream of the encoder. Check bits themselves are assumed immune in
+// this model; an upset rate over the widened word can be emulated by
+// scaling UpsetRate by (q+c)/q.
+//
+// A Guard may be shared by several decoders replaying the same scenario
+// (each phase call re-encodes before it checks, so no state leaks
+// between decoders), but not by concurrent decodes.
+type Guard struct {
+	cfg   Config
+	codec *Codec
+	inner fixed.Injector
+	// check[lane*edges+edge] holds the write-port check bits of the
+	// phase in flight; overwritten at every phase boundary before use.
+	check []uint8
+	stats Stats
+}
+
+// NewGuard builds the guard. Attach a fault source with Attach; a bare
+// guard (no inner injector) scrubs a fault-free memory and must be a
+// functional no-op, which TestGuardTransparent pins down.
+func NewGuard(cfg Config) (*Guard, error) {
+	if cfg.Mode == ModeOff {
+		return nil, fmt.Errorf("protect: ModeOff has no guard; install the fault injector bare")
+	}
+	if cfg.Lanes < 1 {
+		return nil, fmt.Errorf("protect: guard over %d lanes", cfg.Lanes)
+	}
+	if cfg.Edges < 1 {
+		return nil, fmt.Errorf("protect: guard over %d edges", cfg.Edges)
+	}
+	codec, err := NewCodec(cfg.Format, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Guard{
+		cfg:   cfg,
+		codec: codec,
+		check: make([]uint8, cfg.Lanes*cfg.Edges),
+	}, nil
+}
+
+// Config returns the guard configuration.
+func (g *Guard) Config() Config { return g.cfg }
+
+// Codec returns the per-word codec (for layout/overhead reporting).
+func (g *Guard) Codec() *Codec { return g.codec }
+
+// Attach installs (or, with nil, removes) the wrapped fault source.
+func (g *Guard) Attach(inner fixed.Injector) { g.inner = inner }
+
+// Stats returns the accumulated scrub counters.
+func (g *Guard) Stats() Stats { return g.stats }
+
+// ResetStats zeroes the scrub counters.
+func (g *Guard) ResetStats() { g.stats = Stats{} }
+
+// AfterCN implements fixed.Injector over the check→bit message memory.
+func (g *Guard) AfterCN(it int, mem fixed.MessageMem) {
+	g.encode(mem)
+	if g.inner != nil {
+		g.inner.AfterCN(it, mem)
+	}
+	g.scrub(mem)
+}
+
+// AfterBN implements fixed.Injector over the bit→check message memory.
+func (g *Guard) AfterBN(it int, mem fixed.MessageMem) {
+	g.encode(mem)
+	if g.inner != nil {
+		g.inner.AfterBN(it, mem)
+	}
+	g.scrub(mem)
+}
+
+// encode models the write-port encoder: check bits over every live
+// word the datapath just wrote.
+func (g *Guard) encode(mem fixed.MessageMem) {
+	for ln := 0; ln < g.cfg.Lanes; ln++ {
+		if !mem.Holds(ln) {
+			continue
+		}
+		row := g.check[ln*g.cfg.Edges : (ln+1)*g.cfg.Edges]
+		for e := 0; e < g.cfg.Edges; e++ {
+			row[e] = g.codec.CheckBits(mem.Get(ln, e))
+		}
+	}
+}
+
+// scrub models the scrub-on-read pass: every live word is checked
+// before the next phase consumes it; correctable words are repaired in
+// place, uncorrectable ones neutralized to the zero LLR.
+func (g *Guard) scrub(mem fixed.MessageMem) {
+	for ln := 0; ln < g.cfg.Lanes; ln++ {
+		if !mem.Holds(ln) {
+			continue
+		}
+		row := g.check[ln*g.cfg.Edges : (ln+1)*g.cfg.Edges]
+		for e := 0; e < g.cfg.Edges; e++ {
+			v := mem.Get(ln, e)
+			fixedV, verdict := g.codec.Check(v, row[e])
+			switch verdict {
+			case VerdictCorrected:
+				if fixedV != v {
+					mem.Set(ln, e, fixedV)
+				}
+				g.stats.Corrected++
+			case VerdictUncorrectable:
+				mem.Set(ln, e, 0)
+				g.stats.Neutralized++
+			}
+		}
+		g.stats.Checked += int64(g.cfg.Edges)
+	}
+}

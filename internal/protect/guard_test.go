@@ -1,0 +1,228 @@
+package protect
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/fixed"
+)
+
+// fakeMem is a 2-lane, few-edge MessageMem for driving the guard by
+// hand.
+type fakeMem struct {
+	lanes int
+	edges int
+	vals  []int16
+}
+
+func newFakeMem(lanes, edges int) *fakeMem {
+	return &fakeMem{lanes: lanes, edges: edges, vals: make([]int16, lanes*edges)}
+}
+
+func (m *fakeMem) Holds(lane int) bool { return lane >= 0 && lane < m.lanes }
+func (m *fakeMem) Get(lane, edge int) int16 {
+	if !m.Holds(lane) {
+		return 0
+	}
+	return m.vals[lane*m.edges+edge]
+}
+func (m *fakeMem) Set(lane, edge int, v int16) {
+	if !m.Holds(lane) {
+		return
+	}
+	m.vals[lane*m.edges+edge] = v
+}
+
+// scriptInjector flips the given stored bits when invoked, mirroring
+// how fault.Injector perturbs words in the two's-complement domain.
+type scriptInjector struct {
+	q     int
+	flips []struct{ lane, edge, bit int }
+}
+
+func (s *scriptInjector) apply(mem fixed.MessageMem) {
+	for _, f := range s.flips {
+		u := uint16(mem.Get(f.lane, f.edge)) ^ 1<<uint(f.bit)
+		mask := uint16(1)<<uint(s.q) - 1
+		u &= mask
+		if u&(1<<uint(s.q-1)) != 0 {
+			u |= ^mask
+		}
+		mem.Set(f.lane, f.edge, int16(u))
+	}
+}
+
+func (s *scriptInjector) AfterCN(it int, mem fixed.MessageMem) { s.apply(mem) }
+func (s *scriptInjector) AfterBN(it int, mem fixed.MessageMem) { s.apply(mem) }
+
+func guardOver(t *testing.T, mode Mode, lanes, edges int) *Guard {
+	t.Helper()
+	g, err := NewGuard(Config{Mode: mode, Format: q51, Lanes: lanes, Edges: edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGuardValidation(t *testing.T) {
+	if _, err := NewGuard(Config{Mode: ModeOff, Format: q51, Lanes: 1, Edges: 1}); err == nil {
+		t.Fatal("NewGuard accepted ModeOff")
+	}
+	if _, err := NewGuard(Config{Mode: ModeParity, Format: q51, Lanes: 0, Edges: 1}); err == nil {
+		t.Fatal("NewGuard accepted 0 lanes")
+	}
+	if _, err := NewGuard(Config{Mode: ModeParity, Format: q51, Lanes: 1, Edges: 0}); err == nil {
+		t.Fatal("NewGuard accepted 0 edges")
+	}
+}
+
+// TestGuardTransparent: with no fault source the guard must not alter a
+// single word — protection is free until something breaks.
+func TestGuardTransparent(t *testing.T) {
+	for _, mode := range []Mode{ModeParity, ModeSECDED} {
+		g := guardOver(t, mode, 2, 33)
+		mem := newFakeMem(2, 33)
+		for i := range mem.vals {
+			mem.vals[i] = int16(i%31 - 16) // covers −16..14
+		}
+		want := append([]int16(nil), mem.vals...)
+		g.AfterCN(0, mem)
+		g.AfterBN(0, mem)
+		for i, v := range mem.vals {
+			if v != want[i] {
+				t.Fatalf("%v: fault-free guard changed word %d: %d → %d", mode, i, want[i], v)
+			}
+		}
+		st := g.Stats()
+		if st.Corrected != 0 || st.Neutralized != 0 {
+			t.Fatalf("%v: fault-free guard reported repairs: %+v", mode, st)
+		}
+		if st.Checked != 2*2*33 {
+			t.Fatalf("%v: checked %d words, want %d", mode, st.Checked, 2*2*33)
+		}
+	}
+}
+
+// TestGuardNeutralizesSingleUpsetParity: one flipped bit under parity is
+// detected and the word erased to the zero LLR — even at the saturation
+// corners where the corrupted value would be the poisonous −16.
+func TestGuardNeutralizesSingleUpsetParity(t *testing.T) {
+	for _, written := range []int16{15, -16, 0, -1, 7} {
+		for bit := 0; bit < 5; bit++ {
+			g := guardOver(t, ModeParity, 1, 4)
+			mem := newFakeMem(1, 4)
+			mem.Set(0, 2, written)
+			inj := &scriptInjector{q: 5}
+			inj.flips = append(inj.flips, struct{ lane, edge, bit int }{0, 2, bit})
+			g.Attach(inj)
+			g.AfterCN(0, mem)
+			if got := mem.Get(0, 2); got != 0 {
+				t.Fatalf("parity: word %d bit %d → %d survived the scrub, want 0", written, bit, got)
+			}
+			if st := g.Stats(); st.Neutralized != 1 || st.Corrected != 0 {
+				t.Fatalf("parity: stats %+v, want exactly one neutralization", st)
+			}
+		}
+	}
+}
+
+// TestGuardCorrectsSingleUpsetSECDED: the same single flips are repaired
+// back to the written value under SECDED.
+func TestGuardCorrectsSingleUpsetSECDED(t *testing.T) {
+	for _, written := range []int16{15, -16, 0, -1, 7} {
+		for bit := 0; bit < 5; bit++ {
+			g := guardOver(t, ModeSECDED, 1, 4)
+			mem := newFakeMem(1, 4)
+			mem.Set(0, 2, written)
+			inj := &scriptInjector{q: 5}
+			inj.flips = append(inj.flips, struct{ lane, edge, bit int }{0, 2, bit})
+			g.Attach(inj)
+			g.AfterBN(3, mem)
+			if got := mem.Get(0, 2); got != written {
+				t.Fatalf("SECDED: word %d bit %d → %d after scrub, want %d", written, bit, got, written)
+			}
+			if st := g.Stats(); st.Corrected != 1 || st.Neutralized != 0 {
+				t.Fatalf("SECDED: stats %+v, want exactly one correction", st)
+			}
+		}
+	}
+}
+
+// TestGuardDoubleUpset: two flips in one word escape parity but are
+// neutralized under SECDED.
+func TestGuardDoubleUpset(t *testing.T) {
+	written := int16(15)
+	mkInj := func() *scriptInjector {
+		inj := &scriptInjector{q: 5}
+		inj.flips = append(inj.flips,
+			struct{ lane, edge, bit int }{0, 1, 0},
+			struct{ lane, edge, bit int }{0, 1, 4})
+		return inj
+	}
+	corrupt := int16(-2) // 15 = 01111 with bits 0 and 4 flipped = 11110 = −2
+
+	g := guardOver(t, ModeParity, 1, 2)
+	mem := newFakeMem(1, 2)
+	mem.Set(0, 1, written)
+	g.Attach(mkInj())
+	g.AfterCN(0, mem)
+	if got := mem.Get(0, 1); got != corrupt {
+		t.Fatalf("parity: double flip scrubbed to %d; an even flip count must escape (want %d)", got, corrupt)
+	}
+
+	g = guardOver(t, ModeSECDED, 1, 2)
+	mem = newFakeMem(1, 2)
+	mem.Set(0, 1, written)
+	g.Attach(mkInj())
+	g.AfterCN(0, mem)
+	if got := mem.Get(0, 1); got != 0 {
+		t.Fatalf("SECDED: double flip → %d, want neutralized to 0", got)
+	}
+	if st := g.Stats(); st.Neutralized != 1 {
+		t.Fatalf("SECDED: stats %+v, want one neutralization", st)
+	}
+}
+
+// TestGuardSkipsFrozenLanes: a lane the memory does not hold (converged
+// and clock-gated, or outside the batch) must be neither encoded nor
+// scrubbed — the invariant that keeps early-stop trajectories identical
+// between scalar and packed decoders.
+func TestGuardSkipsFrozenLanes(t *testing.T) {
+	g := guardOver(t, ModeParity, 4, 3)
+	mem := newFakeMem(2, 3) // lanes 2 and 3 not held
+	mem.Set(1, 0, 9)
+	inj := &scriptInjector{q: 5}
+	inj.flips = append(inj.flips, struct{ lane, edge, bit int }{1, 0, 2})
+	g.Attach(inj)
+	g.AfterCN(0, mem)
+	if got := mem.Get(1, 0); got != 0 {
+		t.Fatalf("held lane not scrubbed: %d", got)
+	}
+	if st := g.Stats(); st.Checked != 2*3 {
+		t.Fatalf("guard checked %d words; frozen lanes must be skipped (want %d)", st.Checked, 2*3)
+	}
+	g.ResetStats()
+	if st := g.Stats(); st != (Stats{}) {
+		t.Fatalf("ResetStats left %+v", st)
+	}
+}
+
+// TestGuardStuckAtScrubbed: a persistently pinned stored bit is
+// re-detected and neutralized every phase under parity — the stuck
+// memory cell interpretation documented on Guard.
+func TestGuardStuckAtScrubbed(t *testing.T) {
+	g := guardOver(t, ModeParity, 1, 1)
+	mem := newFakeMem(1, 1)
+	for it := 0; it < 3; it++ {
+		mem.Set(0, 0, 5) // datapath writes 0101; fault pins bit 1 → 0111
+		inj := &scriptInjector{q: 5}
+		inj.flips = append(inj.flips, struct{ lane, edge, bit int }{0, 0, 1})
+		g.Attach(inj)
+		g.AfterCN(it, mem)
+		if got := mem.Get(0, 0); got != 0 {
+			t.Fatalf("iteration %d: stuck word = %d, want neutralized", it, got)
+		}
+	}
+	if st := g.Stats(); st.Neutralized != 3 {
+		t.Fatalf("stats %+v, want 3 neutralizations", st)
+	}
+}

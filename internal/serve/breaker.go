@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breaker is the uncorrectable-frame circuit breaker: it watches the
+// windowed rate of failed decodes (decode errors, worker crashes,
+// unconverged frames — the service-level face of SEU-induced damage)
+// and, when the rate trips, sheds compute by switching the worker pool
+// into degraded mode: DegradedIterations per frame instead of the full
+// budget. That cuts per-frame latency and drains the queue faster, so
+// the instance rides out a fault storm at reduced quality instead of
+// falling over — the layer of self-healing that acts before /healthz
+// gives up on the whole instance.
+//
+// The trip/recover thresholds are hysteretic like the health check's,
+// and the state is latched: a rate hovering at the trip point cannot
+// flap workers between iteration budgets on every frame.
+type Breaker struct {
+	mu         sync.Mutex
+	win        *rateWindow
+	trip       float64
+	recover    float64
+	minSamples int64
+
+	degraded atomic.Bool // mirrors the latched state for lock-free worker reads
+	trips    atomic.Int64
+
+	m *Metrics // mirrored gauges for the expvar snapshot; may be nil
+}
+
+func newBreaker(window time.Duration, trip, recover float64, minSamples int, m *Metrics) *Breaker {
+	return &Breaker{
+		win:        newRateWindow(window, time.Now),
+		trip:       trip,
+		recover:    recover,
+		minSamples: int64(minSamples),
+		m:          m,
+	}
+}
+
+// setNow injects a clock for tests.
+func (b *Breaker) setNow(now func() time.Time) {
+	b.mu.Lock()
+	b.win.now = now
+	b.mu.Unlock()
+}
+
+// Record adds one decode outcome and applies the hysteretic state
+// transition — every completed decode is an observation point.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	b.win.record(ok)
+	total, failed := b.win.totals()
+	var rate float64
+	if total > 0 {
+		rate = float64(failed) / float64(total)
+	}
+	if !b.degraded.Load() {
+		if total >= b.minSamples && rate >= b.trip {
+			b.degraded.Store(true)
+			b.trips.Add(1)
+			if b.m != nil {
+				b.m.degraded.Store(1)
+				b.m.breakerTrips.Add(1)
+			}
+		}
+	} else if rate <= b.recover {
+		b.degraded.Store(false)
+		if b.m != nil {
+			b.m.degraded.Store(0)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Degraded reports the latched state; workers consult it per batch.
+func (b *Breaker) Degraded() bool { return b.degraded.Load() }
+
+// Trips returns how many times the breaker has tripped.
+func (b *Breaker) Trips() int64 { return b.trips.Load() }

@@ -138,9 +138,9 @@ func TestDeadlineConfigValidation(t *testing.T) {
 // rate crosses the threshold, healthy again after the bad second ages
 // out of the window.
 func TestHealthWindow(t *testing.T) {
-	h := newHealth(5*time.Second, 0.5, 10)
+	h := newHealth(5*time.Second, 0.5, 0.25, 10)
 	now := time.Unix(1_000_000, 0)
-	h.now = func() time.Time { return now }
+	h.setNow(func() time.Time { return now })
 
 	if st := h.Status(); !st.Healthy || st.Samples != 0 {
 		t.Fatalf("empty window: %+v", st)

@@ -5,6 +5,54 @@ import (
 	"time"
 )
 
+// rateWindow is a sliding window of per-second outcome counters, shared
+// by the health signal and the uncorrectable-frame circuit breaker.
+// Callers provide their own locking.
+type rateWindow struct {
+	buckets []rateBucket // ring of per-second counters
+	now     func() time.Time
+}
+
+type rateBucket struct {
+	sec           int64 // unix second this bucket currently counts
+	total, failed int64
+}
+
+func newRateWindow(window time.Duration, now func() time.Time) *rateWindow {
+	secs := int(window / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return &rateWindow{buckets: make([]rateBucket, secs), now: now}
+}
+
+// record adds one outcome to the current second's bucket.
+func (w *rateWindow) record(ok bool) {
+	sec := w.now().Unix()
+	b := &w.buckets[sec%int64(len(w.buckets))]
+	if b.sec != sec {
+		b.sec, b.total, b.failed = sec, 0, 0
+	}
+	b.total++
+	if !ok {
+		b.failed++
+	}
+}
+
+// totals sums the buckets currently inside the window; stale ring slots
+// belong to a previous lap and are skipped.
+func (w *rateWindow) totals() (total, failed int64) {
+	sec := w.now().Unix()
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if b.sec > sec-int64(len(w.buckets)) && b.sec <= sec {
+			total += b.total
+			failed += b.failed
+		}
+	}
+	return total, failed
+}
+
 // Health tracks the server's decode-failure rate over a sliding window
 // of per-second buckets, driving a load-balancer-facing /healthz
 // endpoint: a decoder drowning in noise (unconverged frames), shedding
@@ -14,47 +62,43 @@ import (
 //
 // A sample is recorded per completed DecodeQ: failure means shed,
 // deadline exceeded, decode error, or an unconverged result. The
-// instance reports unhealthy when the windowed failure rate reaches the
-// configured threshold — but only once the window holds a minimum
-// number of samples, so an idle or freshly started server is healthy.
+// healthy/unhealthy transition is hysteretic: the instance trips
+// unhealthy when the windowed failure rate reaches the trip threshold
+// (once the window holds a minimum number of samples, so an idle or
+// freshly started server is healthy) and recovers only when the rate
+// falls to the lower recover threshold. Without the gap, a failure rate
+// hovering at the threshold would flap the instance in and out of the
+// load balancer on every poll; with it, each transition requires the
+// rate to cross the full band.
 type Health struct {
 	mu         sync.Mutex
-	buckets    []healthBucket // ring of per-second counters
-	threshold  float64
+	win        *rateWindow
+	trip       float64
+	recover    float64
 	minSamples int64
-	now        func() time.Time // injectable for tests
+	tripped    bool // latched unhealthy state
 }
 
-type healthBucket struct {
-	sec           int64 // unix second this bucket currently counts
-	total, failed int64
-}
-
-func newHealth(window time.Duration, threshold float64, minSamples int) *Health {
-	secs := int(window / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
+func newHealth(window time.Duration, trip, recover float64, minSamples int) *Health {
 	return &Health{
-		buckets:    make([]healthBucket, secs),
-		threshold:  threshold,
+		win:        newRateWindow(window, time.Now),
+		trip:       trip,
+		recover:    recover,
 		minSamples: int64(minSamples),
-		now:        time.Now,
 	}
+}
+
+// setNow injects a clock for tests.
+func (h *Health) setNow(now func() time.Time) {
+	h.mu.Lock()
+	h.win.now = now
+	h.mu.Unlock()
 }
 
 // Record adds one decode outcome to the window.
 func (h *Health) Record(ok bool) {
-	sec := h.now().Unix()
 	h.mu.Lock()
-	b := &h.buckets[sec%int64(len(h.buckets))]
-	if b.sec != sec {
-		b.sec, b.total, b.failed = sec, 0, 0
-	}
-	b.total++
-	if !ok {
-		b.failed++
-	}
+	h.win.record(ok)
 	h.mu.Unlock()
 }
 
@@ -65,34 +109,33 @@ type HealthStatus struct {
 	Samples     int64   `json:"samples"`
 	WindowSecs  int     `json:"window_s"`
 	Threshold   float64 `json:"threshold"`
+	// RecoverThreshold is the failure rate an unhealthy instance must
+	// fall to before it reports healthy again (hysteresis).
+	RecoverThreshold float64 `json:"recover_threshold"`
 }
 
-// Status evaluates the window now.
+// Status evaluates the window now and applies the hysteretic state
+// transition; each /healthz poll is an observation point.
 func (h *Health) Status() HealthStatus {
-	sec := h.now().Unix()
 	h.mu.Lock()
-	var total, failed int64
-	for i := range h.buckets {
-		b := &h.buckets[i]
-		// Only buckets whose stamp falls inside the window count; stale
-		// ring slots belong to a previous lap.
-		if b.sec > sec-int64(len(h.buckets)) && b.sec <= sec {
-			total += b.total
-			failed += b.failed
-		}
-	}
-	h.mu.Unlock()
+	total, failed := h.win.totals()
 	st := HealthStatus{
-		Healthy:    true,
-		Samples:    total,
-		WindowSecs: len(h.buckets),
-		Threshold:  h.threshold,
+		Samples:          total,
+		WindowSecs:       len(h.win.buckets),
+		Threshold:        h.trip,
+		RecoverThreshold: h.recover,
 	}
 	if total > 0 {
 		st.FailureRate = float64(failed) / float64(total)
 	}
-	if total >= h.minSamples && st.FailureRate >= h.threshold {
-		st.Healthy = false
+	if !h.tripped {
+		if total >= h.minSamples && st.FailureRate >= h.trip {
+			h.tripped = true
+		}
+	} else if st.FailureRate <= h.recover {
+		h.tripped = false
 	}
+	st.Healthy = !h.tripped
+	h.mu.Unlock()
 	return st
 }

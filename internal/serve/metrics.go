@@ -62,6 +62,11 @@ type Metrics struct {
 	queued  atomic.Int64 // frames in the queue + batcher, not yet dispatched
 	pending atomic.Int64 // frames dispatched to workers, not yet done
 
+	workerRestarts atomic.Int64 // workers rebuilt after a confined panic
+	framesCrashed  atomic.Int64 // claimed frames returned with ErrWorkerCrash
+	breakerTrips   atomic.Int64 // circuit-breaker normal→degraded transitions
+	degraded       atomic.Int64 // 1 while the breaker holds degraded mode
+
 	fill    [batch.Lanes]atomic.Int64 // fill[k-1] = batches with k frames
 	latency [latencyBuckets]atomic.Int64
 
@@ -110,6 +115,17 @@ type Snapshot struct {
 	QueueDepth int64 `json:"queue_depth"`
 	InFlight   int64 `json:"in_flight"`
 
+	// Self-healing observability: WorkerRestarts counts decoders
+	// rebuilt after a confined worker panic, FramesCrashed the claimed
+	// frames those panics returned with ErrWorkerCrash, BreakerTrips
+	// the circuit breaker's normal→degraded transitions, and Degraded
+	// whether the worker pool is currently running the reduced
+	// iteration budget.
+	WorkerRestarts int64 `json:"worker_restarts"`
+	FramesCrashed  int64 `json:"frames_crashed"`
+	BreakerTrips   int64 `json:"breaker_trips"`
+	Degraded       bool  `json:"degraded"`
+
 	// BatchFill[k-1] is the number of dispatched batches holding k
 	// frames; BatchFillMean is the mean lane occupancy — the paper's
 	// 8-frame memory word is fully used only when this approaches 8.
@@ -135,9 +151,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		FramesDeadline: m.framesDeadline.Load(),
 		Batches:        m.batches.Load(),
 		Iterations:     m.iterations.Load(),
-		QueueDepth:    m.queued.Load(),
-		InFlight:      m.pending.Load(),
-		BatchFill:     make([]int64, batch.Lanes),
+		QueueDepth:     m.queued.Load(),
+		InFlight:       m.pending.Load(),
+		WorkerRestarts: m.workerRestarts.Load(),
+		FramesCrashed:  m.framesCrashed.Load(),
+		BreakerTrips:   m.breakerTrips.Load(),
+		Degraded:       m.degraded.Load() != 0,
+		BatchFill:      make([]int64, batch.Lanes),
 	}
 	for k := range m.fill {
 		s.BatchFill[k] = m.fill[k].Load()

@@ -31,6 +31,7 @@ const (
 	StatusClosed     byte = 2 // server shutting down
 	StatusBadFrame   byte = 3 // malformed request
 	StatusDeadline   byte = 4 // per-request decode deadline exceeded, retry later
+	StatusInternal   byte = 5 // transient server fault (worker crash), retry
 )
 
 // Framing errors. All are wrapped with context, so match with

@@ -50,6 +50,13 @@ var ErrClosed = errors.New("serve: server closed")
 // latency — not an in-flight decode.
 var ErrDeadline = errors.New("serve: decode deadline exceeded")
 
+// ErrWorkerCrash reports that the worker decoding the frame's batch
+// panicked mid-decode. The frame was claimed but not decoded; the
+// worker has been restarted with a fresh decoder and the frame is safe
+// to retry. No claimed frame is ever dropped silently — every caller
+// whose frame rode the crashed batch receives this error.
+var ErrWorkerCrash = errors.New("serve: worker crashed mid-decode, frame not decoded")
+
 // Config describes a decode server.
 type Config struct {
 	// Code under service.
@@ -87,6 +94,33 @@ type Config struct {
 	HealthWindow     time.Duration
 	HealthThreshold  float64
 	HealthMinSamples int
+	// HealthRecoverThreshold is the failure rate an unhealthy instance
+	// must fall back to before /healthz reports healthy again (default
+	// HealthThreshold/2). The trip/recover gap is the hysteresis that
+	// keeps a failure rate hovering at the threshold from flapping the
+	// instance in and out of a load balancer.
+	HealthRecoverThreshold float64
+
+	// The uncorrectable-frame circuit breaker sheds compute before the
+	// health check sheds the whole instance: when the windowed rate of
+	// failed decodes (errors, crashes, unconverged frames) reaches
+	// BreakerTrip, workers drop to DegradedIterations per frame —
+	// cutting per-frame cost so the server rides out an SEU storm or
+	// noise burst at reduced quality — and return to full iterations
+	// once the rate falls to BreakerRecover.
+	//
+	// BreakerWindow defaults to 10s, BreakerTrip to 0.3, BreakerRecover
+	// to 0.1, BreakerMinSamples to 20, DegradedIterations to half the
+	// configured MaxIterations (at least 1).
+	BreakerWindow      time.Duration
+	BreakerTrip        float64
+	BreakerRecover     float64
+	BreakerMinSamples  int
+	DegradedIterations int
+
+	// panicHook, when set, runs on a worker goroutine before each batch
+	// decode — the test seam for injecting worker crashes.
+	panicHook func(worker int)
 }
 
 func (c *Config) setDefaults() error {
@@ -135,6 +169,48 @@ func (c *Config) setDefaults() error {
 	if c.HealthMinSamples < 0 {
 		return fmt.Errorf("serve: negative health minimum samples %d", c.HealthMinSamples)
 	}
+	if c.HealthRecoverThreshold == 0 {
+		c.HealthRecoverThreshold = c.HealthThreshold / 2
+	}
+	if c.HealthRecoverThreshold < 0 || c.HealthRecoverThreshold >= c.HealthThreshold {
+		return fmt.Errorf("serve: health recover threshold %v outside [0, trip threshold %v)",
+			c.HealthRecoverThreshold, c.HealthThreshold)
+	}
+	if c.BreakerWindow == 0 {
+		c.BreakerWindow = 10 * time.Second
+	}
+	if c.BreakerWindow < time.Second {
+		return fmt.Errorf("serve: breaker window %v below 1s bucket resolution", c.BreakerWindow)
+	}
+	if c.BreakerTrip == 0 {
+		c.BreakerTrip = 0.3
+	}
+	if c.BreakerTrip < 0 || c.BreakerTrip > 1 {
+		return fmt.Errorf("serve: breaker trip threshold %v outside [0,1]", c.BreakerTrip)
+	}
+	if c.BreakerRecover == 0 {
+		c.BreakerRecover = 0.1
+	}
+	if c.BreakerRecover < 0 || c.BreakerRecover >= c.BreakerTrip {
+		return fmt.Errorf("serve: breaker recover threshold %v outside [0, trip threshold %v)",
+			c.BreakerRecover, c.BreakerTrip)
+	}
+	if c.BreakerMinSamples == 0 {
+		c.BreakerMinSamples = 20
+	}
+	if c.BreakerMinSamples < 0 {
+		return fmt.Errorf("serve: negative breaker minimum samples %d", c.BreakerMinSamples)
+	}
+	if c.DegradedIterations == 0 {
+		c.DegradedIterations = c.Params.MaxIterations / 2
+		if c.DegradedIterations < 1 {
+			c.DegradedIterations = 1
+		}
+	}
+	if c.DegradedIterations < 1 || c.DegradedIterations > c.Params.MaxIterations {
+		return fmt.Errorf("serve: degraded iterations %d outside [1, MaxIterations %d]",
+			c.DegradedIterations, c.Params.MaxIterations)
+	}
 	return nil
 }
 
@@ -167,10 +243,12 @@ type job struct {
 // DecodeQ from any number of goroutines, stop with Close.
 type Server struct {
 	cfg     Config
+	graph   *ldpc.Graph // retained for rebuilding crashed workers' decoders
 	in      chan *request
 	jobs    chan *job
 	metrics *Metrics
 	health  *Health
+	breaker *Breaker
 
 	reqPool sync.Pool
 	jobPool sync.Pool
@@ -200,11 +278,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:     cfg,
+		graph:   g,
 		in:      make(chan *request, cfg.QueueDepth),
 		jobs:    make(chan *job, cfg.Workers),
 		metrics: newMetrics(cfg.Workers),
-		health:  newHealth(cfg.HealthWindow, cfg.HealthThreshold, cfg.HealthMinSamples),
+		health:  newHealth(cfg.HealthWindow, cfg.HealthThreshold, cfg.HealthRecoverThreshold, cfg.HealthMinSamples),
+		breaker: nil, // bound below, after metrics exists
 	}
+	s.breaker = newBreaker(cfg.BreakerWindow, cfg.BreakerTrip, cfg.BreakerRecover, cfg.BreakerMinSamples, s.metrics)
 	s.reqPool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	s.jobPool.New = func() any { return new(job) }
 	s.batcherWG.Add(1)
@@ -224,6 +305,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Health returns the sliding-window decode-failure health signal.
 func (s *Server) Health() *Health { return s.health }
+
+// Breaker returns the uncorrectable-frame circuit breaker.
+func (s *Server) Breaker() *Breaker { return s.breaker }
 
 // DecodeQ submits one frame of quantized channel LLRs (length N, in the
 // configured format's range) and blocks until it is decoded. bits, when
@@ -293,6 +377,9 @@ func (s *Server) DecodeQ(q []int16, bits *bitvec.Vector) (ldpc.Result, error) {
 	res, err := req.res, req.err
 	s.metrics.recordLatency(time.Since(req.enq).Microseconds())
 	s.health.Record(err == nil && res.Converged)
+	// The breaker sees decode outcomes only (not shed/deadline, which
+	// measure load, not decoder damage).
+	s.breaker.Record(err == nil && res.Converged)
 	req.q, req.bits, req.res.Bits = nil, nil, nil
 	s.reqPool.Put(req)
 	return res, err
@@ -380,48 +467,108 @@ func (s *Server) batcher() {
 // recycled, so the worker never writes into memory a released caller
 // may be reusing. Winning the claim commits the worker to delivering
 // the result — the matching caller-side CAS then waits for done.
+//
+// A panic inside a batch (a decoder bug, or — in the radiation-test
+// frame of this codebase — an injected crash) is confined to that
+// batch: every claimed frame's caller receives ErrWorkerCrash, the
+// possibly-corrupt decoder is discarded for a freshly built one, and
+// the worker goroutine keeps serving. The server never crashes and no
+// claimed frame is ever lost.
 func (s *Server) worker(id int, dec *batch.Decoder) {
 	defer s.workerWG.Done()
 	var res [batch.Lanes]ldpc.Result
 	var qs [batch.Lanes][]int16
 	for j := range s.jobs {
-		n := j.n
-		k := 0
-		for i := 0; i < n; i++ {
+		if !s.runJob(id, dec, j, &res, &qs) {
+			s.metrics.workerRestarts.Add(1)
+			if d, err := batch.NewDecoderGraph(s.graph, s.cfg.Params); err == nil {
+				dec = d
+			}
+			// NewDecoderGraph cannot fail here — the same graph and
+			// params built the original pool — but if it somehow does,
+			// the worker soldiers on with the old decoder rather than
+			// shrinking the pool.
+		}
+	}
+}
+
+// runJob claims and decodes one dispatched batch, delivering a result
+// to every claimed frame. It reports ok=false after confining a panic,
+// in which case the decoder must be considered corrupt.
+func (s *Server) runJob(id int, dec *batch.Decoder, j *job, res *[batch.Lanes]ldpc.Result, qs *[batch.Lanes][]int16) (ok bool) {
+	n := j.n
+	k := 0
+	for i := 0; i < n; i++ {
+		req := j.reqs[i]
+		j.reqs[i] = nil
+		if !req.claimed.CompareAndSwap(false, true) {
+			// Deadline expired while the frame was queued: the
+			// caller is gone, skip the lane and recycle.
+			req.q, req.bits = nil, nil
+			s.reqPool.Put(req)
+			continue
+		}
+		j.reqs[k] = req
+		qs[k] = req.q
+		res[k] = ldpc.Result{Bits: req.bits}
+		k++
+	}
+	s.metrics.pending.Add(-int64(n))
+	delivered := 0
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		// Deliver the crash to every claimed frame still owed a result;
+		// the claim CAS committed us to it, and the callers' retry is
+		// how the frames survive.
+		crashErr := fmt.Errorf("%w (worker %d: %v)", ErrWorkerCrash, id, r)
+		for i := delivered; i < k; i++ {
 			req := j.reqs[i]
+			req.res, req.err = ldpc.Result{}, crashErr
+			res[i] = ldpc.Result{}
+			qs[i] = nil
 			j.reqs[i] = nil
-			if !req.claimed.CompareAndSwap(false, true) {
-				// Deadline expired while the frame was queued: the
-				// caller is gone, skip the lane and recycle.
-				req.q, req.bits = nil, nil
-				s.reqPool.Put(req)
-				continue
-			}
-			j.reqs[k] = req
-			qs[k] = req.q
-			res[k] = ldpc.Result{Bits: req.bits}
-			k++
+			req.done <- struct{}{}
 		}
-		s.metrics.pending.Add(-int64(n))
-		if k > 0 {
-			err := dec.DecodeQInto(res[:k], qs[:k])
-			var iters int64
-			if err == nil {
-				for i := 0; i < k; i++ {
-					iters += int64(res[i].Iterations)
-				}
-			}
-			s.metrics.recordBatch(id, k, iters)
-			for i := 0; i < k; i++ {
-				req := j.reqs[i]
-				req.res, req.err = res[i], err
-				res[i] = ldpc.Result{}
-				qs[i] = nil
-				j.reqs[i] = nil
-				req.done <- struct{}{}
-			}
-		}
+		s.metrics.framesCrashed.Add(int64(k - delivered))
 		j.n = 0
 		s.jobPool.Put(j)
+	}()
+	if k > 0 {
+		// Degraded mode: under a tripped breaker the batch runs the
+		// reduced iteration budget. The budget is sticky per decoder
+		// and adjusted only on transitions.
+		want := s.cfg.Params.MaxIterations
+		if s.breaker.Degraded() {
+			want = s.cfg.DegradedIterations
+		}
+		if dec.MaxIterations() != want {
+			_ = dec.SetMaxIterations(want) // only fails for n < 1; want ≥ 1 by validation
+		}
+		if hook := s.cfg.panicHook; hook != nil {
+			hook(id)
+		}
+		err := dec.DecodeQInto(res[:k], qs[:k])
+		var iters int64
+		if err == nil {
+			for i := 0; i < k; i++ {
+				iters += int64(res[i].Iterations)
+			}
+		}
+		s.metrics.recordBatch(id, k, iters)
+		for i := 0; i < k; i++ {
+			req := j.reqs[i]
+			req.res, req.err = res[i], err
+			res[i] = ldpc.Result{}
+			qs[i] = nil
+			j.reqs[i] = nil
+			req.done <- struct{}{}
+			delivered++
+		}
 	}
+	j.n = 0
+	s.jobPool.Put(j)
+	return true
 }

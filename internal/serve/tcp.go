@@ -43,6 +43,8 @@ func (s *Server) ServeConn(conn net.Conn) error {
 			status = StatusDeadline
 		case errors.Is(derr, ErrClosed):
 			status = StatusClosed
+		case errors.Is(derr, ErrWorkerCrash):
+			status = StatusInternal
 		case derr != nil:
 			status = StatusBadFrame
 		}

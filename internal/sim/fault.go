@@ -12,6 +12,7 @@ import (
 	"ccsdsldpc/internal/code"
 	"ccsdsldpc/internal/fault"
 	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/protect"
 	"ccsdsldpc/internal/rng"
 )
 
@@ -39,6 +40,12 @@ type FaultSweepConfig struct {
 	Workers int
 	// Seed makes the campaign reproducible.
 	Seed uint64
+	// Protect, when not ModeOff, interposes a protect.Guard between the
+	// fault injector and the decoder, so the sweep measures the
+	// mitigated datapath. The frame set and fault plans are identical to
+	// the unprotected sweep at the same seed — the curves differ only by
+	// the mitigation.
+	Protect protect.Mode
 }
 
 // FaultPoint is the measurement at one upset rate.
@@ -47,6 +54,9 @@ type FaultPoint struct {
 	UpsetRate float64
 	// SEUs is the total number of upsets injected across all frames.
 	SEUs int64
+	// Corrected and Neutralized are the guard's scrub outcomes across
+	// all frames (zero in an unprotected sweep).
+	Corrected, Neutralized int64
 	Point
 }
 
@@ -113,13 +123,33 @@ func faultPoint(cfg FaultSweepConfig, g *fault.Geometry, ch *channel.AWGN, ri in
 				errs[w] = err
 				return
 			}
+			var guard *protect.Guard
+			if cfg.Protect != protect.ModeOff {
+				guard, err = protect.NewGuard(protect.Config{
+					Mode:   cfg.Protect,
+					Format: cfg.Params.Format,
+					Lanes:  1,
+					Edges:  g.E,
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
 			c := cfg.Code
 			qllr := make([]int16, c.N)
 			local := FaultPoint{}
 			defer func() {
+				if guard != nil {
+					st := guard.Stats()
+					local.Corrected += st.Corrected
+					local.Neutralized += st.Neutralized
+				}
 				mu.Lock()
 				accumulate(&total.Point, &local.Point)
 				total.SEUs += local.SEUs
+				total.Corrected += local.Corrected
+				total.Neutralized += local.Neutralized
 				mu.Unlock()
 			}()
 			for {
@@ -147,7 +177,12 @@ func faultPoint(cfg FaultSweepConfig, g *fault.Geometry, ch *channel.AWGN, ri in
 					return
 				}
 				seus, _, _ := plan.Counts()
-				dec.SetInjector(inj, 0)
+				if guard != nil {
+					guard.Attach(inj)
+					dec.SetInjector(guard, 0)
+				} else {
+					dec.SetInjector(inj, 0)
+				}
 				res := dec.DecodeQ(qllr)
 				dec.SetInjector(nil, 0)
 

@@ -1,13 +1,19 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, the full test suite, and a race pass
-# over the concurrency-bearing packages (the Monte-Carlo harness, the
-# frame-packed batch decoder it drives, and the batching decode server
-# with its scheduler + worker pool under concurrent clients).
+# Tier-1 verification: build, vet, static analysis (when staticcheck is
+# installed — CI installs it, minimal containers may not have it), the
+# full test suite, and a race pass over the concurrency-bearing packages
+# (the Monte-Carlo harness, the frame-packed batch decoder it drives,
+# the SEU protection layer shared by every decoder, and the batching
+# decode server with its scheduler + worker pool under concurrent
+# clients).
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+fi
 go test ./...
-go test -race ./internal/sim/... ./internal/batch/... ./internal/serve/...
+go test -race ./internal/sim/... ./internal/batch/... ./internal/serve/... ./internal/protect/...
