@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-serve bench-fault bench-mitigate
+.PHONY: check build test bench bench-serve bench-fault bench-mitigate bench-parallel
 
 check:
 	sh scripts/check.sh
@@ -28,3 +28,10 @@ bench-fault:
 # hwsim scrub/storage cost, seeded into BENCH_mitigate.json.
 bench-mitigate:
 	go run ./cmd/ldpcmitigate -testcode -frames 2000 -json BENCH_mitigate.json
+
+# Parallel-scaling benchmark: the sharded super-batch decoder over the
+# shards × superbatch matrix (frames/s, ns/frame, single-batch p50
+# latency), seeded into BENCH_parallel.json with the host's CPU
+# topology — a shards sweep only climbs with GOMAXPROCS > 1.
+bench-parallel:
+	go run ./cmd/ldpcthroughput -parallel -shards 1,2,4,8 -superbatches 1,4,8 -json BENCH_parallel.json

@@ -376,6 +376,7 @@ func BenchmarkSoftwareDecodeNMS18FullCode(b *testing.B) {
 		b.Fatal(err)
 	}
 	llr, _ := noisyLLR(b, c, 4.0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := d.Decode(llr); err != nil {
@@ -418,6 +419,7 @@ func BenchmarkScalarFixedDecode8(b *testing.B) {
 		b.Fatal(err)
 	}
 	qs := batchBenchFrames(b, c, p.Format)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, q := range qs {
@@ -436,6 +438,7 @@ func BenchmarkBatchDecode8(b *testing.B) {
 		b.Fatal(err)
 	}
 	qs := batchBenchFrames(b, c, p.Format)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := d.DecodeQ(qs); err != nil {
@@ -444,6 +447,43 @@ func BenchmarkBatchDecode8(b *testing.B) {
 	}
 	b.StopTimer()
 	reportFramesPerSec(b, batch.Lanes, c)
+}
+
+// BenchmarkParallelDecode measures the sharded super-batch decoder —
+// the processing block scaled across P cores (DESIGN.md §10) — over a
+// (shards × superbatch) grid. Every cell is bit-identical to the
+// single-word decoder of BenchmarkBatchDecode8; only the partitioning
+// and batch width change, so frames_per_sec isolates the scaling.
+func BenchmarkParallelDecode(b *testing.B) {
+	c := ccsdsCode(b)
+	p := batchBenchParams()
+	for _, g := range []struct{ shards, super int }{
+		{1, 1}, {2, 1}, {4, 1}, {1, 8}, {4, 8},
+	} {
+		b.Run(fmt.Sprintf("shards=%d,superbatch=%d", g.shards, g.super), func(b *testing.B) {
+			d, err := batch.NewParallelGraph(sharedGraph(b, c), p, batch.ParallelConfig{
+				Shards: g.shards, SuperBatch: g.super,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			qs := make([][]int16, d.Capacity())
+			for i := range qs {
+				llr, _ := noisyLLR(b, c, 4.2, uint64(100+i))
+				qs[i] = p.Format.QuantizeSlice(nil, llr)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.DecodeQ(qs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportFramesPerSec(b, len(qs), c)
+		})
+	}
 }
 
 // reportFramesPerSec attaches decoded frames/sec and the software

@@ -170,7 +170,11 @@ func buildDecoder(c *code.Code, cfg Config) (frameDecoder, error) {
 // which stores one fixed-point message per frame side by side in a
 // wide word. QuantBits defaults to 5 here (the high-speed format); the
 // packed int8 lanes cannot hold the 6-bit low-cost format's sums.
-func buildBatchDecoder(c *code.Code, cfg Config) (sim.BatchDecoder, error) {
+//
+// A batchSize beyond one 8-lane word, or shards > 1, selects the
+// sharded super-batch decoder (batch.Parallel) — bit-identical to the
+// single-word decoder, scaled across words and cores.
+func buildBatchDecoder(c *code.Code, cfg Config, batchSize, shards int) (sim.BatchDecoder, error) {
 	if !cfg.Quantized || cfg.Algorithm != NormalizedMinSum {
 		return nil, fmt.Errorf("ccsdsldpc: batch decoding requires the quantized NormalizedMinSum datapath")
 	}
@@ -190,11 +194,19 @@ func buildBatchDecoder(c *code.Code, cfg Config) (sim.BatchDecoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return batch.NewDecoder(c, fixed.Params{
+	p := fixed.Params{
 		Format:        fixed.Format{Bits: bits, Frac: frac},
 		Scale:         scale,
 		MaxIterations: cfg.Iterations,
-	})
+	}
+	if batchSize > batch.MaxFrames {
+		return nil, fmt.Errorf("ccsdsldpc: batch size %d beyond the %d-frame super-batch capacity", batchSize, batch.MaxFrames)
+	}
+	if shards > 1 || batchSize > batch.Lanes {
+		super := (batchSize + batch.Lanes - 1) / batch.Lanes
+		return batch.NewParallel(c, p, batch.ParallelConfig{Shards: shards, SuperBatch: super})
+	}
+	return batch.NewDecoder(c, p)
 }
 
 // N returns the codeword length (8176 for the CCSDS code).

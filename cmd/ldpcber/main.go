@@ -38,7 +38,8 @@ func main() {
 		fine     = flag.Bool("fine", false, "estimate and use the fine-scaled per-iteration correction factor")
 		layered  = flag.Bool("layered", false, "layered schedule instead of flooding")
 		quant    = flag.Int("quant", 6, "message bits for -alg fixed")
-		batchN   = flag.Int("batch", 1, "decode n-frame packed batches through the SWAR decoder (requires -alg fixed -quant 5, n <= 8)")
+		batchN   = flag.Int("batch", 1, "decode n-frame packed batches through the SWAR decoder (requires -alg fixed -quant 5, n <= 64; n > 8 rides a super-batch)")
+		shards   = flag.Int("shards", 1, "shard goroutines per batch decoder (bit-exact multi-core decode, requires -batch > 1)")
 		minErr   = flag.Int("minerrors", 50, "frame errors per point before stopping")
 		maxFr    = flag.Int("maxframes", 20000, "max frames per point")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -113,15 +114,20 @@ func main() {
 		Code: c, NewDecoder: factory,
 		MinFrameErrors: *minErr, MaxFrames: *maxFr, Workers: *workers, Seed: *seed,
 	}
+	if *shards > 1 && *batchN <= 1 {
+		log.Fatal("-shards requires -batch > 1 (the sharded decoder is a batch decoder)")
+	}
 	if *batchN > 1 {
 		// The frame-packed decoder is the quantized datapath with up to
 		// 8 frames' int8 messages per word; it is bit-compatible with
 		// -alg fixed, so the measured curve is unchanged — only faster.
+		// Beyond 8 frames, or with -shards > 1, the sharded super-batch
+		// decoder carries up to 8 words per decode, still bit-exact.
 		if *alg != "fixed" {
 			log.Fatal("-batch requires -alg fixed (the packed decoder implements the quantized datapath)")
 		}
-		if *batchN > batch.Lanes {
-			log.Fatalf("-batch %d exceeds the %d lanes of a packed word", *batchN, batch.Lanes)
+		if *batchN > batch.MaxFrames {
+			log.Fatalf("-batch %d exceeds the %d-frame super-batch capacity", *batchN, batch.MaxFrames)
 		}
 		scale, err := fixed.ScaleForAlpha(*alpha, 4)
 		if err != nil {
@@ -133,7 +139,14 @@ func main() {
 		}
 		p := fixed.Params{Format: fixed.Format{Bits: *quant, Frac: frac}, Scale: scale, MaxIterations: *iters}
 		cfg.BatchSize = *batchN
-		cfg.NewBatchDecoder = func() (sim.BatchDecoder, error) { return batch.NewDecoder(c, p) }
+		if *shards > 1 || *batchN > batch.Lanes {
+			super := (*batchN + batch.Lanes - 1) / batch.Lanes
+			cfg.NewBatchDecoder = func() (sim.BatchDecoder, error) {
+				return batch.NewParallel(c, p, batch.ParallelConfig{Shards: *shards, SuperBatch: super})
+			}
+		} else {
+			cfg.NewBatchDecoder = func() (sim.BatchDecoder, error) { return batch.NewDecoder(c, p) }
+		}
 	}
 	grid := sim.Sweep(*from, *to, *step)
 	fmt.Printf("%8s %12s %12s %10s %10s %8s %10s\n", "Eb/N0", "BER", "PER", "frames", "frameErr", "avgIter", "elapsed")

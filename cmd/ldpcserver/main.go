@@ -18,21 +18,26 @@
 //	             below threshold, 503 otherwise — the load-balancer
 //	             rotation signal
 //	/debug/vars  the same snapshot through expvar
+//	/debug/pprof CPU/heap/goroutine profiling — only with -pprof, so a
+//	             production instance does not expose profiling by
+//	             default
 //
 // Usage:
 //
-//	ldpcserver [-addr :7070] [-http :7071] [-workers N] [-iters 18]
-//	           [-linger 500us] [-queue 0] [-deadline 0] [-earlystop]
+//	ldpcserver [-addr :7070] [-http :7071] [-workers N] [-shards 1]
+//	           [-superbatch 1] [-iters 18] [-linger 500us] [-queue 0]
+//	           [-deadline 0] [-earlystop] [-pprof]
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the metrics listener
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,13 +56,16 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":7070", "TCP decode listen address")
 		httpAddr  = flag.String("http", ":7071", "HTTP metrics listen address (empty disables)")
-		workers   = flag.Int("workers", 0, "decoder pool size (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "decoder pool size (0 = GOMAXPROCS/shards)")
+		shards    = flag.Int("shards", 1, "shard goroutines per decoder (bit-exact multi-core decode)")
+		super     = flag.Int("superbatch", 1, "8-lane words per dispatch, 1..8 (widens batches to 8×superbatch frames)")
 		iters     = flag.Int("iters", 18, "decoding iterations (the paper's operating point)")
 		linger    = flag.Duration("linger", 500*time.Microsecond, "max wait to fill an 8-lane batch")
 		queue     = flag.Int("queue", 0, "frame queue depth before shedding (0 = default)")
 		deadline  = flag.Duration("deadline", 0, "per-request decode deadline, 0 disables")
 		hwindow   = flag.Duration("healthwindow", 0, "sliding window of the /healthz failure rate (0 = default 30s)")
 		earlyStop = flag.Bool("earlystop", true, "stop a frame's lanes once its syndrome is zero")
+		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof on the metrics listener")
 	)
 	flag.Parse()
 
@@ -72,6 +80,8 @@ func main() {
 		Code:         c,
 		Params:       p,
 		Workers:      *workers,
+		Shards:       *shards,
+		SuperBatch:   *super,
 		Linger:       *linger,
 		QueueDepth:   *queue,
 		Deadline:     *deadline,
@@ -81,8 +91,8 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := s.Config()
-	log.Printf("serving (%d,%d) code: %d workers × %d-lane batches, linger %v, queue %d",
-		c.N, c.K, cfg.Workers, cfg.MaxBatch, cfg.Linger, cfg.QueueDepth)
+	log.Printf("serving (%d,%d) code: %d workers × %d shards × %d-frame batches, linger %v, queue %d",
+		c.N, c.K, cfg.Workers, cfg.Shards, cfg.MaxBatch, cfg.Linger, cfg.QueueDepth)
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -92,9 +102,19 @@ func main() {
 
 	if *httpAddr != "" {
 		s.Metrics().Publish("ldpcserver")
-		mux := http.DefaultServeMux // expvar + pprof register themselves here
+		// A private mux, not http.DefaultServeMux: nothing is exposed
+		// that is not registered here, so pprof stays off unless asked.
+		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", metricsHandler(s, c, *iters))
 		mux.HandleFunc("/healthz", healthHandler(s))
+		mux.Handle("/debug/vars", expvar.Handler())
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		hl, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			log.Fatal(err)

@@ -7,15 +7,35 @@
 // messages per 64-bit word, the software analogue of the paper's
 // high-speed frame-packed memory).
 //
+// With -parallel it sweeps the sharded super-batch decoder over a
+// (shards × superbatch) matrix — the software form of scaling the
+// paper's processing block with more CN/BN units — reporting frames/s,
+// ns/frame, Mbit/s and the p50 latency of a single full batch.
+// -json writes the matrix (with host CPU topology, so results from
+// different machines stay comparable) to a file.
+//
+// All software measurements repeat their workload until a minimum wall
+// time has elapsed, so the rates are immune to sub-millisecond timer
+// artifacts and can never divide by zero.
+//
 // Usage:
 //
-//	ldpcthroughput [-iters 10,18,50] [-clock 200] [-detail] [-batch 8]
+//	ldpcthroughput [-iters 10,18,50] [-clock 200] [-detail]
+//	               [-batch 8] [-batchframes 64]
+//	               [-parallel] [-shards 1,2,4,8] [-superbatches 1,4,8]
+//	               [-json BENCH_parallel.json]
+//	               [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -30,29 +50,58 @@ import (
 	"ccsdsldpc/internal/throughput"
 )
 
+// minMeasure is the minimum wall time per software measurement: long
+// enough that coarse timers and one-off cache effects cannot dominate,
+// short enough that the full default matrix stays interactive.
+const minMeasure = 250 * time.Millisecond
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ldpcthroughput: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	var (
-		itersFlag = flag.String("iters", "10,18,50", "comma-separated iteration counts")
-		clock     = flag.Float64("clock", 200, "system clock in MHz")
-		detail    = flag.Bool("detail", false, "print the cycle breakdown per configuration")
-		batchN    = flag.Int("batch", 0, "also measure software throughput, scalar vs n-frame packed SWAR (2..8)")
-		batchFr   = flag.Int("batchframes", 64, "frames per software throughput measurement")
+		itersFlag  = flag.String("iters", "10,18,50", "comma-separated iteration counts")
+		clock      = flag.Float64("clock", 200, "system clock in MHz")
+		detail     = flag.Bool("detail", false, "print the cycle breakdown per configuration")
+		batchN     = flag.Int("batch", 0, "also measure software throughput, scalar vs n-frame packed SWAR (2..8)")
+		batchFr    = flag.Int("batchframes", 64, "frames per software throughput measurement")
+		parallel   = flag.Bool("parallel", false, "sweep the sharded super-batch decoder over the shards × superbatches matrix")
+		shardsF    = flag.String("shards", "1,2,4,8", "shard counts for the -parallel sweep")
+		supersF    = flag.String("superbatches", "1,4,8", "super-batch widths (words) for the -parallel sweep")
+		jsonPath   = flag.String("json", "", "write the -parallel matrix as JSON to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	iters, err := parseInts(*itersFlag)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	c, err := code.CCSDS()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rows, err := throughput.Table1(c, iters, *clock)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("Table 1 — output data rate at %.0f MHz (paper values at 200 MHz)\n\n", *clock)
 	fmt.Print(throughput.FormatTable(rows, paperIfDefault(iters, *clock)))
@@ -63,7 +112,7 @@ func main() {
 			cfg.ClockMHz = *clock
 			m, err := hwsim.New(c, cfg)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			fmt.Printf("  %d frame(s), %s messages: %d cycles/batch (%d CN units, %d BN units, %d banks, %d messages/cycle)\n",
 				cfg.Frames, cfg.Format, m.CyclesPerBatch(), m.NumCNUnits(), m.NumBNUnits(), m.NumBanks(), m.MessagesPerCycle())
@@ -72,9 +121,73 @@ func main() {
 
 	if *batchN > 0 {
 		if err := softwareBatchReport(c, *batchN, *batchFr); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+
+	if *parallel {
+		shards, err := parseInts(*shardsF)
+		if err != nil {
+			return err
+		}
+		supers, err := parseInts(*supersF)
+		if err != nil {
+			return err
+		}
+		if err := parallelReport(c, shards, supers, *jsonPath); err != nil {
+			return err
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noisyFrames generates deterministic quantized noisy frames of the
+// all-zero codeword at 4.2 dB, the fixture every software measurement
+// shares.
+func noisyFrames(c *code.Code, f fixed.Format, n int) ([][]int16, error) {
+	ch, err := channel.NewAWGN(4.2, c.Rate())
+	if err != nil {
+		return nil, err
+	}
+	zero := bitvec.New(c.N)
+	qs := make([][]int16, n)
+	for i := range qs {
+		r := rng.New(uint64(i)*0x9e3779b97f4a7c15 + 1)
+		qs[i] = make([]int16, c.N)
+		f.QuantizeSlice(qs[i], ch.CorruptCodeword(zero, r))
+	}
+	return qs, nil
+}
+
+// perFrameSeconds runs fn — which decodes framesPerCall frames —
+// repeatedly until minMeasure wall time has elapsed, returning the
+// mean seconds per frame. Elapsed time is bounded below by minMeasure,
+// so the derived rates cannot hit a zero or sub-resolution interval.
+func perFrameSeconds(framesPerCall int, fn func() error) (float64, error) {
+	frames := 0
+	start := time.Now()
+	for {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		frames += framesPerCall
+		if time.Since(start) >= minMeasure {
+			break
+		}
+	}
+	return time.Since(start).Seconds() / float64(frames), nil
 }
 
 // softwareBatchReport times the software reference decoders on this
@@ -99,43 +212,179 @@ func softwareBatchReport(c *code.Code, lanes, frames int) error {
 	if err != nil {
 		return err
 	}
-	ch, err := channel.NewAWGN(4.2, c.Rate())
+	qs, err := noisyFrames(c, p.Format, frames)
 	if err != nil {
 		return err
 	}
-	zero := bitvec.New(c.N)
-	qs := make([][]int16, frames)
-	for i := range qs {
-		r := rng.New(uint64(i)*0x9e3779b97f4a7c15 + 1)
-		qs[i] = make([]int16, c.N)
-		p.Format.QuantizeSlice(qs[i], ch.CorruptCodeword(zero, r))
-	}
 
-	start := time.Now()
-	for _, q := range qs {
-		sd.DecodeQ(q)
-	}
-	scalarFPS := float64(frames) / time.Since(start).Seconds()
-
-	start = time.Now()
-	for i := 0; i < frames; i += lanes {
-		j := i + lanes
-		if j > frames {
-			j = frames
+	scalarSPF, err := perFrameSeconds(frames, func() error {
+		for _, q := range qs {
+			sd.DecodeQ(q)
 		}
-		if _, err := bd.DecodeQ(qs[i:j]); err != nil {
-			return err
-		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	packedFPS := float64(frames) / time.Since(start).Seconds()
+	packedSPF, err := perFrameSeconds(frames, func() error {
+		for i := 0; i < frames; i += lanes {
+			j := i + lanes
+			if j > frames {
+				j = frames
+			}
+			if _, err := bd.DecodeQ(qs[i:j]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 
-	mbps := func(fps float64) float64 { return fps * float64(c.K) / 1e6 }
+	mbps := func(spf float64) float64 { return float64(c.K) / spf / 1e6 }
 	fmt.Printf("\nSoftware throughput on this machine — %d frames, Q(%d,%d), %d iterations, fixed period:\n",
 		frames, p.Format.Bits, p.Format.Frac, p.MaxIterations)
-	fmt.Printf("  scalar fixed-point        %10.1f frames/s %10.2f Mbit/s\n", scalarFPS, mbps(scalarFPS))
-	fmt.Printf("  packed SWAR x%d            %10.1f frames/s %10.2f Mbit/s   speedup x%.1f\n",
-		lanes, packedFPS, mbps(packedFPS), packedFPS/scalarFPS)
+	fmt.Printf("  scalar fixed-point        %10.1f frames/s %12.0f ns/frame %10.2f Mbit/s\n",
+		1/scalarSPF, scalarSPF*1e9, mbps(scalarSPF))
+	fmt.Printf("  packed SWAR x%d            %10.1f frames/s %12.0f ns/frame %10.2f Mbit/s   speedup x%.1f\n",
+		lanes, 1/packedSPF, packedSPF*1e9, mbps(packedSPF), scalarSPF/packedSPF)
 	return nil
+}
+
+// ParallelCell is one (shards, superbatch) measurement of the sharded
+// super-batch decoder.
+type ParallelCell struct {
+	Shards          int     `json:"shards"`
+	SuperBatch      int     `json:"superbatch"`
+	Frames          int     `json:"frames_per_call"`
+	FramesPerSec    float64 `json:"frames_per_sec"`
+	NsPerFrame      float64 `json:"ns_per_frame"`
+	Mbps            float64 `json:"mbps"`
+	P50BatchMicros  float64 `json:"p50_batch_latency_us"`
+	SpeedupVsShard1 float64 `json:"speedup_vs_shards1"`
+}
+
+// ParallelMatrix is the JSON document -json writes: the measurement
+// matrix plus enough host context to interpret it (a shards sweep on a
+// single-core box is expected to be flat).
+type ParallelMatrix struct {
+	NumCPU     int            `json:"num_cpu"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	GoVersion  string         `json:"go_version"`
+	CodeN      int            `json:"code_n"`
+	CodeK      int            `json:"code_k"`
+	Iterations int            `json:"iterations"`
+	Format     string         `json:"format"`
+	Matrix     []ParallelCell `json:"matrix"`
+}
+
+// parallelReport sweeps the sharded super-batch decoder over the
+// (shards × superbatches) matrix on full super-batches of deterministic
+// noisy frames, printing a table and optionally writing JSON.
+func parallelReport(c *code.Code, shards, supers []int, jsonPath string) error {
+	p := fixed.DefaultHighSpeedParams()
+	p.DisableEarlyStop = true
+	maxFrames := 0
+	for _, w := range supers {
+		if w < 1 || w > batch.MaxSuperBatch {
+			return fmt.Errorf("-superbatches entries must be in [1,%d]", batch.MaxSuperBatch)
+		}
+		if w*batch.Lanes > maxFrames {
+			maxFrames = w * batch.Lanes
+		}
+	}
+	qs, err := noisyFrames(c, p.Format, maxFrames)
+	if err != nil {
+		return err
+	}
+
+	doc := ParallelMatrix{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		CodeN:      c.N,
+		CodeK:      c.K,
+		Iterations: p.MaxIterations,
+		Format:     p.Format.String(),
+	}
+	base := map[int]float64{} // superbatch → shards=1 seconds/frame
+	fmt.Printf("\nSharded super-batch decoder — Q(%d,%d), %d iterations, fixed period, GOMAXPROCS=%d, NumCPU=%d:\n",
+		p.Format.Bits, p.Format.Frac, p.MaxIterations, doc.GOMAXPROCS, doc.NumCPU)
+	fmt.Printf("  %6s %10s %12s %12s %10s %14s %8s\n",
+		"shards", "superbatch", "frames/s", "ns/frame", "Mbit/s", "p50 batch µs", "speedup")
+	for _, w := range supers {
+		for _, s := range shards {
+			d, err := batch.NewParallel(c, p, batch.ParallelConfig{Shards: s, SuperBatch: w})
+			if err != nil {
+				return err
+			}
+			nf := d.Capacity()
+			spf, err := perFrameSeconds(nf, func() error {
+				_, err := d.DecodeQ(qs[:nf])
+				return err
+			})
+			if err != nil {
+				d.Close()
+				return err
+			}
+			p50, err := p50BatchLatency(d, qs[:nf])
+			d.Close()
+			if err != nil {
+				return err
+			}
+			cell := ParallelCell{
+				Shards:         s,
+				SuperBatch:     w,
+				Frames:         nf,
+				FramesPerSec:   1 / spf,
+				NsPerFrame:     spf * 1e9,
+				Mbps:           float64(c.K) / spf / 1e6,
+				P50BatchMicros: p50.Seconds() * 1e6,
+			}
+			if s == 1 {
+				base[w] = spf
+			}
+			if b, ok := base[w]; ok && b > 0 {
+				cell.SpeedupVsShard1 = b / spf
+			}
+			doc.Matrix = append(doc.Matrix, cell)
+			fmt.Printf("  %6d %10d %12.1f %12.0f %10.2f %14.1f %7.2fx\n",
+				cell.Shards, cell.SuperBatch, cell.FramesPerSec, cell.NsPerFrame,
+				cell.Mbps, cell.P50BatchMicros, cell.SpeedupVsShard1)
+		}
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// p50BatchLatency measures the median wall time of a single full
+// super-batch decode: the latency a synchronous caller sees, as opposed
+// to the pipelined throughput of the timed loop.
+func p50BatchLatency(d *batch.Parallel, qs [][]int16) (time.Duration, error) {
+	var samples []time.Duration
+	start := time.Now()
+	for len(samples) < 9 || time.Since(start) < minMeasure {
+		t0 := time.Now()
+		if _, err := d.DecodeQ(qs); err != nil {
+			return 0, err
+		}
+		samples = append(samples, time.Since(t0))
+		if len(samples) >= 1024 {
+			break
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2], nil
 }
 
 // paperIfDefault returns the paper comparison column only when the run
@@ -152,7 +401,7 @@ func parseInts(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || v < 1 {
-			return nil, fmt.Errorf("bad iteration count %q", part)
+			return nil, fmt.Errorf("bad count %q", part)
 		}
 		out = append(out, v)
 	}

@@ -351,6 +351,25 @@ func TestMeasureBERBatchMatchesScalar(t *testing.T) {
 	if want[0].FrameErrors == 0 || want[0].FrameErrors == want[0].Frames {
 		t.Fatalf("operating point degenerate: %d/%d frame errors", want[0].FrameErrors, want[0].Frames)
 	}
+	// The sharded super-batch path — a 24-frame batch spread over three
+	// packed words and three shard goroutines per worker — must land on
+	// the same statistics bit for bit.
+	opts.BatchSize, opts.Shards = 24, 3
+	sharded, err := ccsdsldpc.MeasureBER(cfg, []float64{2.5}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded[0] != want[0] {
+		t.Fatalf("sharded point %+v != scalar point %+v", sharded[0], want[0])
+	}
+	// Shards without a batch path is a configuration error, not a
+	// silent fallback to scalar decoding.
+	soloShards := ccsdsldpc.MeasureOptions{
+		MinFrameErrors: 1 << 30, MaxFrames: 60, Seed: 4, TestCode: true, Shards: 2,
+	}
+	if _, err := ccsdsldpc.MeasureBER(cfg, []float64{2.5}, soloShards); err == nil {
+		t.Fatal("Shards without BatchSize accepted")
+	}
 	// The batch path refuses non-quantized configs rather than silently
 	// measuring a different decoder.
 	bad := cfg

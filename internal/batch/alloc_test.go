@@ -1,0 +1,73 @@
+package batch
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/ldpc"
+)
+
+// TestSteadyStateZeroAlloc is the zero-alloc regression guard over all
+// three decode paths — scalar fixed-point, single-word SWAR, and the
+// sharded super-batch decoder: once warmed up, a decode iteration must
+// allocate nothing, or the serving layer's allocation-free worker
+// contract (and the shard pool's reusable-barrier design) has rotted.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	c := smallCode(t)
+	p := highSpeedParams()
+	g := ldpc.NewGraph(c)
+
+	fd, err := fixed.NewDecoderGraph(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := NewDecoderGraph(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := NewParallelGraph(g, p, ParallelConfig{Shards: 4, SuperBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pd.Close()
+
+	q := noisyQ(t, c, p.Format, 3.0, 42)
+	qs := make([][]int16, Lanes)
+	res := make([]ldpc.Result, Lanes)
+	for f := range qs {
+		qs[f] = noisyQ(t, c, p.Format, 3.0, uint64(f))
+		res[f].Bits = bitvec.New(c.N)
+	}
+	nfp := pd.Capacity() - 3 // partial tail word stays on the hot path
+	qsp := make([][]int16, nfp)
+	resp := make([]ldpc.Result, nfp)
+	for f := range qsp {
+		qsp[f] = noisyQ(t, c, p.Format, 3.0, uint64(100+f))
+		resp[f].Bits = bitvec.New(c.N)
+	}
+
+	for _, tc := range []struct {
+		name string
+		run  func()
+	}{
+		{"scalar", func() { fd.DecodeQ(q) }},
+		{"swar", func() {
+			if err := bd.DecodeQInto(res, qs); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"sharded", func() {
+			if err := pd.DecodeQInto(resp, qsp); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.run() // warm-up
+			if allocs := testing.AllocsPerRun(10, tc.run); allocs != 0 {
+				t.Errorf("%s decode allocates %.1f objects per call, want 0", tc.name, allocs)
+			}
+		})
+	}
+}

@@ -62,14 +62,41 @@ func NewDecoder(c *code.Code, p fixed.Params) (*Decoder, error) {
 // format does not (which is exactly why the paper's high-speed decoder
 // narrows its messages to 5 bits before packing 8 per word).
 func NewDecoderGraph(g *ldpc.Graph, p fixed.Params) (*Decoder, error) {
-	if err := p.Format.Validate(); err != nil {
+	if err := validatePacked(g, p); err != nil {
 		return nil, err
+	}
+	max := int(p.Format.Max())
+	d := &Decoder{
+		g: g, p: p,
+		qw:        make([]uint64, g.N),
+		vcw:       make([]uint64, g.E),
+		cvw:       make([]uint64, g.E),
+		postw:     make([]uint64, g.N),
+		q16:       make([]int16, g.N),
+		maxVec:    broadcast8(uint8(int8(max))),
+		negMaxVec: broadcast8(uint8(int8(-max))),
+		num:       uint64(p.Scale.Num),
+		shift:     uint(p.Scale.Shift),
+		shiftMask: broadcast8(0xFF >> uint(p.Scale.Shift)),
+	}
+	for f := 0; f < Lanes; f++ {
+		d.hard[f] = bitvec.New(g.N)
+	}
+	return d, nil
+}
+
+// validatePacked checks that a graph and format fit the int8-lane
+// packed datapath; the constraints are shared by the single-word
+// decoder and the sharded super-batch decoder (parallel.go).
+func validatePacked(g *ldpc.Graph, p fixed.Params) error {
+	if err := p.Format.Validate(); err != nil {
+		return err
 	}
 	if err := p.Scale.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if p.MaxIterations < 1 {
-		return nil, fmt.Errorf("batch: MaxIterations %d < 1", p.MaxIterations)
+		return fmt.Errorf("batch: MaxIterations %d < 1", p.MaxIterations)
 	}
 	maxVN, maxCN, minCN := 0, 0, g.E+1
 	for i := 0; i < g.M; i++ {
@@ -88,35 +115,19 @@ func NewDecoderGraph(g *ldpc.Graph, p fixed.Params) (*Decoder, error) {
 	}
 	max := int(p.Format.Max())
 	if (maxVN+2)*max > 127 {
-		return nil, fmt.Errorf("batch: %s with column weight %d overflows int8 lanes ((%d+2)×%d > 127); use a ≤5-bit format",
+		return fmt.Errorf("batch: %s with column weight %d overflows int8 lanes ((%d+2)×%d > 127); use a ≤5-bit format",
 			p.Format, maxVN, maxVN, max)
 	}
 	if max*p.Scale.Num > 255 {
-		return nil, fmt.Errorf("batch: scale %s overflows a lane product (%d×%d > 255)", p.Scale, max, p.Scale.Num)
+		return fmt.Errorf("batch: scale %s overflows a lane product (%d×%d > 255)", p.Scale, max, p.Scale.Num)
 	}
 	if maxCN > 127 {
-		return nil, fmt.Errorf("batch: check degree %d exceeds the 127-edge lane index range", maxCN)
+		return fmt.Errorf("batch: check degree %d exceeds the 127-edge lane index range", maxCN)
 	}
 	if minCN < 2 {
-		return nil, fmt.Errorf("batch: degree-%d check node; packed min1/min2 needs degree ≥ 2", minCN)
+		return fmt.Errorf("batch: degree-%d check node; packed min1/min2 needs degree ≥ 2", minCN)
 	}
-	d := &Decoder{
-		g: g, p: p,
-		qw:        make([]uint64, g.N),
-		vcw:       make([]uint64, g.E),
-		cvw:       make([]uint64, g.E),
-		postw:     make([]uint64, g.N),
-		q16:       make([]int16, g.N),
-		maxVec:    broadcast8(uint8(int8(max))),
-		negMaxVec: broadcast8(uint8(int8(-max))),
-		num:       uint64(p.Scale.Num),
-		shift:     uint(p.Scale.Shift),
-		shiftMask: broadcast8(0xFF >> uint(p.Scale.Shift)),
-	}
-	for f := 0; f < Lanes; f++ {
-		d.hard[f] = bitvec.New(g.N)
-	}
-	return d, nil
+	return nil
 }
 
 // Params returns the decoder configuration.

@@ -15,6 +15,12 @@ import (
 // tests only exercise plausible LLR patterns; the fuzzer feeds the
 // all-zero, alternating-saturated and other degenerate words that
 // stress the SWAR carry and sign handling.
+//
+// Each input also replays through a sharded super-batch decoder whose
+// (shards, superbatch) geometry is derived from the fuzz input — the
+// super-batch carrying extra rotated copies of the frames so partial
+// tail words and multi-word batches are exercised — extending the
+// same lane-for-lane oracle to the multi-core path.
 func FuzzBatchVsFixed(f *testing.F) {
 	c, err := code.SmallTestCode(2, 4, 31, 1)
 	if err != nil {
@@ -28,11 +34,14 @@ func FuzzBatchVsFixed(f *testing.F) {
 		p := fixed.DefaultHighSpeedParams()
 		p.MaxIterations = 1 + int(iters)%25
 		nf := 1 + int(lanes)%Lanes
-
-		// Each lane's frame is a rotation of the fuzzed bytes, folded
-		// into the Q(5,1) range [-15, +15].
-		qs := make([][]int16, nf)
-		for ln := range qs {
+		shards := 1 + int(iters)%5
+		superBatch := 1 + int(lanes)%4
+		// Total frames fill superBatch words minus a tail, so the last
+		// word of the super-batch is usually partial.
+		nfp := superBatch*Lanes - int(iters)%Lanes
+		frame := func(ln int) []int16 {
+			// Each frame is a rotation of the fuzzed bytes, folded into
+			// the Q(5,1) range [-15, +15].
 			q := make([]int16, c.N)
 			for j := range q {
 				var b byte
@@ -41,13 +50,26 @@ func FuzzBatchVsFixed(f *testing.F) {
 				}
 				q[j] = int16(b%31) - 15
 			}
-			qs[ln] = q
+			return q
+		}
+		qs := make([][]int16, nf)
+		for ln := range qs {
+			qs[ln] = frame(ln)
+		}
+		qsp := make([][]int16, nfp)
+		for ln := range qsp {
+			qsp[ln] = frame(ln)
 		}
 
 		bd, err := NewDecoder(c, p)
 		if err != nil {
 			t.Fatal(err)
 		}
+		pd, err := NewParallel(c, p, ParallelConfig{Shards: shards, SuperBatch: superBatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pd.Close()
 		fd, err := fixed.NewDecoder(c, p)
 		if err != nil {
 			t.Fatal(err)
@@ -64,6 +86,21 @@ func FuzzBatchVsFixed(f *testing.F) {
 			if got[ln].Iterations != want.Iterations || got[ln].Converged != want.Converged {
 				t.Fatalf("lane %d/%d: batch (it=%d conv=%v) vs scalar (it=%d conv=%v)",
 					ln, nf, got[ln].Iterations, got[ln].Converged, want.Iterations, want.Converged)
+			}
+		}
+		pgot, err := pd.DecodeQ(qsp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ln := 0; ln < nfp; ln++ {
+			want := fd.DecodeQ(qsp[ln])
+			if !pgot[ln].Bits.Equal(want.Bits) {
+				t.Fatalf("S%dW%d frame %d/%d, %d iters: sharded hard decisions diverge from scalar decoder",
+					shards, superBatch, ln, nfp, p.MaxIterations)
+			}
+			if pgot[ln].Iterations != want.Iterations || pgot[ln].Converged != want.Converged {
+				t.Fatalf("S%dW%d frame %d/%d: sharded (it=%d conv=%v) vs scalar (it=%d conv=%v)",
+					shards, superBatch, ln, nfp, pgot[ln].Iterations, pgot[ln].Converged, want.Iterations, want.Converged)
 			}
 		}
 	})

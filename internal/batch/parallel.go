@@ -1,0 +1,713 @@
+package batch
+
+import (
+	"fmt"
+	"sync"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/ldpc"
+)
+
+// MaxSuperBatch is the largest number of packed words one Parallel
+// decode call may carry: 8 words × 8 lanes = 64 frames, the paper's
+// high-speed packing squared.
+const MaxSuperBatch = 8
+
+// MaxFrames is the frame capacity of a maximally configured Parallel
+// decoder.
+const MaxFrames = MaxSuperBatch * Lanes
+
+// ParallelConfig sizes a sharded super-batch decoder.
+//
+// Shards is the intra-decode data parallelism: the check-node phase is
+// partitioned by check-node range (each check owns a disjoint slice of
+// the check→bit message memory — the software form of the paper's
+// Fig. 3 bank addressing) and the bit-node phase by bit-node column
+// range, across Shards worker goroutines separated by phase barriers.
+// No message word is ever written by two shards and the partition
+// boundaries are a deterministic function of (graph, Shards), so the
+// results are bit-identical to the scalar decoder for every shard
+// count. Shards beyond the number of check nodes idle harmlessly.
+//
+// SuperBatch is the number of 8-lane packed words one decode call
+// processes (1..MaxSuperBatch): W words carry up to W×8 independent
+// frames through a single traversal of the Tanner graph per phase,
+// with the per-edge words of the W frames groups laid out
+// consecutively (bank-major) so the graph indices are fetched once
+// per edge rather than once per word.
+//
+// Where the paper scales its processing block by instantiating more
+// CN/BN units per clock, this decoder scales it by assigning more
+// cores per decode: Shards plays the role of the parallelism degree
+// of the processing block, SuperBatch the depth of the frame buffer
+// feeding it.
+type ParallelConfig struct {
+	Shards     int // phase worker goroutines (default 1)
+	SuperBatch int // packed words per decode call (default 1)
+}
+
+func (cfg *ParallelConfig) setDefaults() error {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.SuperBatch == 0 {
+		cfg.SuperBatch = 1
+	}
+	if cfg.Shards < 1 {
+		return fmt.Errorf("batch: %d shards", cfg.Shards)
+	}
+	if cfg.SuperBatch < 1 || cfg.SuperBatch > MaxSuperBatch {
+		return fmt.Errorf("batch: super-batch %d out of range [1,%d]", cfg.SuperBatch, MaxSuperBatch)
+	}
+	return nil
+}
+
+// Parallel is the multi-core sharded super-batch decoder: the packed
+// SWAR datapath of Decoder, scaled across ParallelConfig.Shards worker
+// goroutines inside a single decode call and across
+// ParallelConfig.SuperBatch packed words per call.
+//
+// Every lane of every word is bit-compatible with fixed.Decoder (and
+// therefore with Decoder): identical hard decisions, iteration counts
+// and convergence flags for any (Shards, SuperBatch) — the sharded
+// phases partition their write sets by node, all additions are
+// associative lane-wise two's-complement sums, and per-word early-stop
+// bookkeeping mirrors the single-word decoder exactly.
+//
+// A Parallel is not safe for concurrent use (one decode at a time);
+// its shard goroutines are spawned once at construction and reused,
+// so the steady-state decode path allocates nothing. Call Close to
+// release them.
+type Parallel struct {
+	g   *ldpc.Graph
+	p   fixed.Params
+	cfg ParallelConfig
+
+	// Packed state, bank-major: the W super-batch words of edge e (or
+	// bit node j) are consecutive at [e*W : e*W+W].
+	qw    []uint64
+	vcw   []uint64
+	cvw   []uint64
+	postw []uint64
+
+	// Deterministic shard partitions: shard s owns check nodes
+	// [cnLo[s], cnHi[s]) and bit nodes [vnLo[s], vnHi[s]), both
+	// balanced by edge count.
+	cnLo, cnHi []int32
+	vnLo, vnHi []int32
+
+	pool *shardPool
+
+	// Per-decode live state, read by the shard workers between the
+	// barriers of one phase (the channel send/receive pair orders the
+	// writes here before the reads there).
+	nw    int        // live words this decode
+	nf    int        // live frames this decode
+	done  []uint64   // per-word frozen-lane masks (0xFF per frozen lane)
+	unsat [][]uint64 // per-shard, per-word partial syndrome MSB accumulators
+
+	hard []*bitvec.Vector // Decode/DecodeQ shared result vectors
+	q16  []int16          // quantization scratch for Decode
+
+	iters []int  // per-frame iteration bookkeeping
+	conv  []bool // per-frame convergence bookkeeping
+
+	// inj, when non-nil, perturbs the packed message write-backs; lane
+	// w*Lanes+f of its address space is frame f of word w.
+	inj   fixed.Injector
+	cvMem *superMem
+	vcMem *superMem
+
+	// Lane constants (same as Decoder).
+	maxVec    uint64
+	negMaxVec uint64
+	num       uint64
+	shift     uint
+	shiftMask uint64
+
+	closed bool
+}
+
+// NewParallel builds a sharded super-batch decoder for a code.
+func NewParallel(c *code.Code, p fixed.Params, cfg ParallelConfig) (*Parallel, error) {
+	return NewParallelGraph(ldpc.NewGraph(c), p, cfg)
+}
+
+// NewParallelGraph builds a sharded super-batch decoder over a shared
+// graph. The format constraints are those of NewDecoderGraph.
+func NewParallelGraph(g *ldpc.Graph, p fixed.Params, cfg ParallelConfig) (*Parallel, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if err := validatePacked(g, p); err != nil {
+		return nil, err
+	}
+	W := cfg.SuperBatch
+	max := int(p.Format.Max())
+	d := &Parallel{
+		g: g, p: p, cfg: cfg,
+		qw:        make([]uint64, g.N*W),
+		vcw:       make([]uint64, g.E*W),
+		cvw:       make([]uint64, g.E*W),
+		postw:     make([]uint64, g.N*W),
+		done:      make([]uint64, W),
+		hard:      make([]*bitvec.Vector, W*Lanes),
+		q16:       make([]int16, g.N),
+		iters:     make([]int, W*Lanes),
+		conv:      make([]bool, W*Lanes),
+		maxVec:    broadcast8(uint8(int8(max))),
+		negMaxVec: broadcast8(uint8(int8(-max))),
+		num:       uint64(p.Scale.Num),
+		shift:     uint(p.Scale.Shift),
+		shiftMask: broadcast8(0xFF >> uint(p.Scale.Shift)),
+	}
+	for f := range d.hard {
+		d.hard[f] = bitvec.New(g.N)
+	}
+	d.cnLo, d.cnHi = partitionByEdges(cfg.Shards, g.M, func(i int) int { return g.CNDegree(i) })
+	d.vnLo, d.vnHi = partitionByEdges(cfg.Shards, g.N, func(j int) int { return g.VNDegree(j) })
+	d.unsat = make([][]uint64, cfg.Shards)
+	for s := range d.unsat {
+		d.unsat[s] = make([]uint64, W)
+	}
+	d.pool = newShardPool(d, cfg.Shards)
+	return d, nil
+}
+
+// partitionByEdges splits nodes [0,n) into shards contiguous ranges
+// whose edge counts are as balanced as a greedy prefix walk allows.
+// The boundaries depend only on (degree profile, shards), never on
+// runtime scheduling, so the partition — and with it every rounding
+// and saturation — is deterministic. Shards beyond n come out empty.
+func partitionByEdges(shards, n int, degree func(int) int) (lo, hi []int32) {
+	lo = make([]int32, shards)
+	hi = make([]int32, shards)
+	total := 0
+	for i := 0; i < n; i++ {
+		total += degree(i)
+	}
+	node, acc := 0, 0
+	for s := 0; s < shards; s++ {
+		lo[s] = int32(node)
+		// Edge budget through the end of this shard.
+		budget := (total * (s + 1)) / shards
+		for node < n && (acc < budget || s == shards-1) {
+			acc += degree(node)
+			node++
+		}
+		hi[s] = int32(node)
+	}
+	hi[shards-1] = int32(n)
+	return lo, hi
+}
+
+// Config returns the shard/super-batch configuration (defaults
+// resolved).
+func (d *Parallel) Config() ParallelConfig { return d.cfg }
+
+// Params returns the decoder's fixed-point configuration.
+func (d *Parallel) Params() fixed.Params { return d.p }
+
+// Capacity returns the maximum frames per decode call
+// (SuperBatch × Lanes).
+func (d *Parallel) Capacity() int { return d.cfg.SuperBatch * Lanes }
+
+// MaxIterations returns the current iteration budget.
+func (d *Parallel) MaxIterations() int { return d.p.MaxIterations }
+
+// SetMaxIterations changes the iteration budget for subsequent decodes
+// (the serving layer's degraded-mode lever). It must not be called
+// while a decode is in flight.
+func (d *Parallel) SetMaxIterations(n int) error {
+	if n < 1 {
+		return fmt.Errorf("batch: MaxIterations %d < 1", n)
+	}
+	d.p.MaxIterations = n
+	return nil
+}
+
+// Close releases the shard worker goroutines. It is idempotent; a
+// decode after Close fails. Close must not race a decode in flight.
+func (d *Parallel) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	d.pool.close()
+}
+
+// SetInjector installs (or, with nil, removes) a fault injector. Lane
+// w*Lanes+f of the injector's address space is frame f of packed word
+// w, so a single-word scenario addresses the same lanes it would on
+// Decoder.
+func (d *Parallel) SetInjector(inj fixed.Injector) {
+	d.inj = inj
+	if inj == nil {
+		d.cvMem, d.vcMem = nil, nil
+		return
+	}
+	d.cvMem = &superMem{d: d, msgs: d.cvw}
+	d.vcMem = &superMem{d: d, msgs: d.vcw}
+}
+
+// superMem adapts the bank-major packed words to fixed.MessageMem:
+// lane w*Lanes+f of the address space is lane f of word w. Lanes of
+// frozen (early-stopped or tail) frames are not held, keeping fault
+// trajectories identical to the scalar decoder.
+type superMem struct {
+	d    *Parallel
+	msgs []uint64
+}
+
+func (m *superMem) Holds(ln int) bool {
+	d := m.d
+	if ln < 0 || ln >= d.nf {
+		return false
+	}
+	w, f := ln/Lanes, ln%Lanes
+	return d.done[w]&(0xFF<<(8*uint(f))) == 0
+}
+
+func (m *superMem) Get(ln, edge int) int16 {
+	if !m.Holds(ln) {
+		return 0
+	}
+	return int16(lane(m.msgs[edge*m.d.cfg.SuperBatch+ln/Lanes], ln%Lanes))
+}
+
+func (m *superMem) Set(ln, edge int, v int16) {
+	if !m.Holds(ln) {
+		return
+	}
+	i := edge*m.d.cfg.SuperBatch + ln/Lanes
+	m.msgs[i] = putLane(m.msgs[i], ln%Lanes, int8(v))
+}
+
+// Decode quantizes up to Capacity frames of real LLRs and decodes them
+// together; see Decoder.Decode for the aliasing contract.
+func (d *Parallel) Decode(llrs [][]float64) ([]ldpc.Result, error) {
+	res := d.sharedResults(len(llrs))
+	if err := d.DecodeInto(res, llrs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DecodeInto is Decode writing into caller-owned results; see
+// DecodeQInto for the res contract.
+func (d *Parallel) DecodeInto(res []ldpc.Result, llrs [][]float64) error {
+	if err := d.validateBatch(len(llrs), len(res)); err != nil {
+		return err
+	}
+	for f, llr := range llrs {
+		if len(llr) != d.g.N {
+			return fmt.Errorf("batch: frame %d has %d LLRs for code length %d", f, len(llr), d.g.N)
+		}
+	}
+	for f, llr := range llrs {
+		d.p.Format.QuantizeSlice(d.q16, llr)
+		d.packFrame(f, d.q16)
+	}
+	return d.decodeInto(res)
+}
+
+// DecodeQ decodes up to Capacity frames of already-quantized channel
+// LLRs; see Decoder.DecodeQ for saturation semantics and the aliasing
+// contract.
+func (d *Parallel) DecodeQ(qllrs [][]int16) ([]ldpc.Result, error) {
+	res := d.sharedResults(len(qllrs))
+	if err := d.DecodeQInto(res, qllrs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DecodeQInto is DecodeQ writing into caller-owned results, the
+// allocation-free form the serving pool uses: res must have one entry
+// per frame; an entry whose Bits is a non-nil length-N vector receives
+// the hard decision in place, a nil Bits is replaced by a fresh
+// vector. Nothing in res aliases decoder state afterwards.
+func (d *Parallel) DecodeQInto(res []ldpc.Result, qllrs [][]int16) error {
+	if err := d.validateBatch(len(qllrs), len(res)); err != nil {
+		return err
+	}
+	for f, q := range qllrs {
+		if len(q) != d.g.N {
+			return fmt.Errorf("batch: frame %d has %d LLRs for code length %d", f, len(q), d.g.N)
+		}
+	}
+	for f, q := range qllrs {
+		d.packFrame(f, q)
+	}
+	return d.decodeInto(res)
+}
+
+func (d *Parallel) validateBatch(nf, nres int) error {
+	if d.closed {
+		return fmt.Errorf("batch: decode on a closed Parallel decoder")
+	}
+	if nf < 1 || nf > d.Capacity() {
+		return fmt.Errorf("batch: %d frames per call, want 1..%d", nf, d.Capacity())
+	}
+	if nres != nf {
+		return fmt.Errorf("batch: %d results for %d frames", nres, nf)
+	}
+	return nil
+}
+
+func (d *Parallel) sharedResults(nf int) []ldpc.Result {
+	if nf < 1 || nf > d.Capacity() {
+		nf = 1 // DecodeInto re-validates and errors; any placeholder works
+	}
+	res := make([]ldpc.Result, nf)
+	for f := range res {
+		res[f].Bits = d.hard[f]
+	}
+	return res
+}
+
+// packFrame writes one frame's quantized LLRs into lane f%Lanes of
+// word f/Lanes, saturating into the format range.
+func (d *Parallel) packFrame(f int, q []int16) {
+	W := d.cfg.SuperBatch
+	w, ln := f/Lanes, f%Lanes
+	max := d.p.Format.Max()
+	for j, v := range q {
+		if v > max {
+			v = max
+		} else if v < -max {
+			v = -max
+		}
+		d.qw[j*W+w] = putLane(d.qw[j*W+w], ln, int8(v))
+	}
+}
+
+// zeroTail erases the lanes of the last live word beyond the supplied
+// frames, so a partial word computes on all-zero (trivially converged)
+// tail lanes exactly like Decoder.
+func (d *Parallel) zeroTail(nf int) {
+	rem := nf % Lanes
+	if rem == 0 {
+		return
+	}
+	W := d.cfg.SuperBatch
+	w := nf / Lanes
+	keep := ^uint64(0) >> (8 * uint(Lanes-rem))
+	for j := 0; j < d.g.N; j++ {
+		d.qw[j*W+w] &= keep
+	}
+}
+
+// decodeInto runs the sharded iteration loop on the packed channel
+// words. The per-word trajectory — message values, freeze masks,
+// iteration counts — is identical to Decoder.decodeInto on the same
+// word, which is what keeps every lane bit-exact against the scalar
+// reference for any shard count.
+func (d *Parallel) decodeInto(res []ldpc.Result) error {
+	nf := len(res)
+	for f := range res {
+		if b := res[f].Bits; b != nil && b.Len() != d.g.N {
+			return fmt.Errorf("batch: result %d has a length-%d bit vector for code length %d", f, b.Len(), d.g.N)
+		}
+	}
+	d.zeroTail(nf)
+	nw := (nf + Lanes - 1) / Lanes
+	d.nw, d.nf = nw, nf
+	for w := 0; w < nw; w++ {
+		live := nf - w*Lanes
+		if live >= Lanes {
+			d.done[w] = 0
+		} else {
+			d.done[w] = ^(^uint64(0) >> (8 * uint(Lanes-live)))
+		}
+	}
+	for f := 0; f < nf; f++ {
+		d.iters[f], d.conv[f] = 0, false
+	}
+	earlyStop := !d.p.DisableEarlyStop
+
+	d.pool.run(opInit)
+	allDone := false
+	for it := 0; it < d.p.MaxIterations && !allDone; it++ {
+		d.pool.run(opCN)
+		if d.inj != nil {
+			d.inj.AfterCN(it, d.cvMem)
+		}
+		d.pool.run(opBN)
+		if d.inj != nil {
+			d.inj.AfterBN(it, d.vcMem)
+		}
+		if !earlyStop {
+			continue
+		}
+		d.pool.run(opUnsat)
+		allDone = true
+		for w := 0; w < nw; w++ {
+			if d.done[w] == ^uint64(0) {
+				continue
+			}
+			var acc uint64
+			for s := 0; s < d.cfg.Shards; s++ {
+				acc |= d.unsat[s][w]
+			}
+			unsat := boolMask8(acc)
+			if newly := ^unsat &^ d.done[w]; newly != 0 {
+				base := w * Lanes
+				top := nf - base
+				if top > Lanes {
+					top = Lanes
+				}
+				for f := 0; f < top; f++ {
+					if newly&(0xFF<<(8*uint(f))) != 0 {
+						d.iters[base+f] = it + 1
+						d.conv[base+f] = true
+					}
+				}
+				d.done[w] |= newly
+			}
+			if d.done[w] != ^uint64(0) {
+				allDone = false
+			}
+		}
+	}
+	if earlyStop {
+		for f := 0; f < nf; f++ {
+			if !d.conv[f] {
+				d.iters[f] = d.p.MaxIterations
+			}
+		}
+	} else {
+		d.pool.run(opUnsat)
+		for w := 0; w < nw; w++ {
+			var acc uint64
+			for s := 0; s < d.cfg.Shards; s++ {
+				acc |= d.unsat[s][w]
+			}
+			unsat := boolMask8(acc)
+			base := w * Lanes
+			top := nf - base
+			if top > Lanes {
+				top = Lanes
+			}
+			for f := 0; f < top; f++ {
+				d.iters[base+f] = d.p.MaxIterations
+				d.conv[base+f] = unsat&(0xFF<<(8*uint(f))) == 0
+			}
+		}
+	}
+	W := d.cfg.SuperBatch
+	for f := 0; f < nf; f++ {
+		if res[f].Bits == nil {
+			res[f].Bits = bitvec.New(d.g.N)
+		}
+		h := res[f].Bits
+		h.Zero()
+		w, sh := f/Lanes, uint(8*(f%Lanes)+7)
+		for j := 0; j < d.g.N; j++ {
+			if d.postw[j*W+w]>>sh&1 == 1 {
+				h.Set(j)
+			}
+		}
+		res[f].Iterations = d.iters[f]
+		res[f].Converged = d.conv[f]
+	}
+	return nil
+}
+
+// --- shard phase kernels ---------------------------------------------
+//
+// Each kernel runs on one shard's node range for every live word. The
+// arithmetic per (word, check/bit node) is byte-for-byte the loop body
+// of Decoder.cnPhase / Decoder.bnPhase / Decoder.unsatLanes; the only
+// difference is the bank-major indexing (edge e, word w) → e*W+w and
+// the graph offsets being fetched once per node instead of once per
+// (node, word). Words whose lanes are all frozen are skipped: their
+// messages must stay put, and skipping is exactly the freeze the
+// single-word decoder realizes by breaking out of its iteration loop.
+
+// initRange seeds vc with the channel words and clears cv on the edge
+// range owned by shard s (the contiguous edges of its check range).
+func (d *Parallel) initRange(s int) {
+	g, W, nw := d.g, d.cfg.SuperBatch, d.nw
+	elo, ehi := int(g.CNOff[d.cnLo[s]]), int(g.CNOff[d.cnHi[s]])
+	for e := elo; e < ehi; e++ {
+		j := int(g.EdgeVN[e])
+		for w := 0; w < nw; w++ {
+			d.vcw[e*W+w] = d.qw[j*W+w]
+			d.cvw[e*W+w] = 0
+		}
+	}
+}
+
+// cnRange runs the packed check-node update on shard s's check range:
+// disjoint cv write ranges per check node, so shards never contend.
+func (d *Parallel) cnRange(s int) {
+	g, W, nw := d.g, d.cfg.SuperBatch, d.nw
+	vcw, cvw, done := d.vcw, d.cvw, d.done
+	num, shift, shiftMask := d.num, d.shift, d.shiftMask
+	for i := int(d.cnLo[s]); i < int(d.cnHi[s]); i++ {
+		lo, hi := int(g.CNOff[i]), int(g.CNOff[i+1])
+		for w := 0; w < nw; w++ {
+			dw := done[w]
+			if dw == ^uint64(0) {
+				continue
+			}
+			var signAcc, minIdx uint64
+			min1 := ^laneMSB
+			min2 := ^laneMSB
+			idx := uint64(0)
+			for e := lo; e < hi; e++ {
+				x := vcw[e*W+w]
+				signAcc ^= x & laneMSB
+				m := abs8(x)
+				lt1 := ltMask8(m, min1)
+				min2 = blend8(min8(min2, m), min1, lt1)
+				minIdx = blend8(minIdx, idx, lt1)
+				min1 = blend8(min1, m, lt1)
+				idx += laneLSB
+			}
+			idx = 0
+			for e := lo; e < hi; e++ {
+				x := vcw[e*W+w]
+				eq := eqMask8(minIdx, idx)
+				m := blend8(min1, min2, eq)
+				v := m * num >> shift & shiftMask
+				sf := boolMask8(signAcc ^ x)
+				out := sub8(v^sf, sf)
+				if dw != 0 {
+					out = blend8(out, cvw[e*W+w], dw)
+				}
+				cvw[e*W+w] = out
+				idx += laneLSB
+			}
+		}
+	}
+}
+
+// bnRange runs the packed bit-node update on shard s's bit-node range:
+// each bit node owns its posterior word and the vc words of its own
+// edges, so shard write sets are disjoint by column.
+func (d *Parallel) bnRange(s int) {
+	g, W, nw := d.g, d.cfg.SuperBatch, d.nw
+	vcw, cvw, postw, qw := d.vcw, d.cvw, d.postw, d.qw
+	maxVec, negMaxVec := d.maxVec, d.negMaxVec
+	for j := int(d.vnLo[s]); j < int(d.vnHi[s]); j++ {
+		klo, khi := int(g.VNOff[j]), int(g.VNOff[j+1])
+		for w := 0; w < nw; w++ {
+			if d.done[w] == ^uint64(0) {
+				continue
+			}
+			post := qw[j*W+w]
+			for k := klo; k < khi; k++ {
+				post = add8(post, cvw[int(g.VNEdges[k])*W+w])
+			}
+			postw[j*W+w] = post
+			for k := klo; k < khi; k++ {
+				e := int(g.VNEdges[k]) * W
+				x := sub8(post, cvw[e+w])
+				x = blend8(x, maxVec, ltMask8(maxVec, x))
+				x = blend8(x, negMaxVec, ltMask8(x, negMaxVec))
+				vcw[e+w] = x
+			}
+		}
+	}
+}
+
+// unsatRange evaluates the parity checks of shard s's check range on
+// the packed posterior signs, accumulating the per-word syndrome MSBs
+// into d.unsat[s]. Per word it exits early once every live lane is
+// known unsatisfied.
+func (d *Parallel) unsatRange(s int) {
+	g, W, nw := d.g, d.cfg.SuperBatch, d.nw
+	postw := d.postw
+	out := d.unsat[s]
+	for w := 0; w < nw; w++ {
+		out[w] = 0
+		if d.done[w] == ^uint64(0) {
+			continue
+		}
+		doneMSB := d.done[w] & laneMSB
+		var acc uint64
+		for i := int(d.cnLo[s]); i < int(d.cnHi[s]); i++ {
+			var par uint64
+			for e := int(g.CNOff[i]); e < int(g.CNOff[i+1]); e++ {
+				par ^= postw[int(g.EdgeVN[e])*W+w]
+			}
+			acc |= par & laneMSB
+			if acc|doneMSB == laneMSB {
+				break
+			}
+		}
+		out[w] = acc
+	}
+}
+
+// --- spawn-once shard pool -------------------------------------------
+
+type shardOp uint8
+
+const (
+	opInit shardOp = iota
+	opCN
+	opBN
+	opUnsat
+)
+
+// shardPool coordinates the phase barriers: shards−1 helper goroutines
+// plus the caller (which always executes shard 0 inline, so Shards=1
+// degenerates to today's single-goroutine loop with no pool traffic).
+// Dispatch is one buffered-channel send of an op code per helper and a
+// WaitGroup join — no per-phase allocation, channels and goroutines
+// reused for the life of the decoder.
+type shardPool struct {
+	d   *Parallel
+	ops []chan shardOp
+	wg  sync.WaitGroup
+}
+
+func newShardPool(d *Parallel, shards int) *shardPool {
+	p := &shardPool{d: d, ops: make([]chan shardOp, shards-1)}
+	for i := range p.ops {
+		p.ops[i] = make(chan shardOp, 1)
+		go p.work(i+1, p.ops[i])
+	}
+	return p
+}
+
+func (p *shardPool) work(s int, ops <-chan shardOp) {
+	for op := range ops {
+		p.d.shardWork(s, op)
+		p.wg.Done()
+	}
+}
+
+func (d *Parallel) shardWork(s int, op shardOp) {
+	switch op {
+	case opInit:
+		d.initRange(s)
+	case opCN:
+		d.cnRange(s)
+	case opBN:
+		d.bnRange(s)
+	case opUnsat:
+		d.unsatRange(s)
+	}
+}
+
+// run executes one phase across all shards and waits for the barrier.
+func (p *shardPool) run(op shardOp) {
+	p.wg.Add(len(p.ops))
+	for _, ch := range p.ops {
+		ch <- op
+	}
+	p.d.shardWork(0, op)
+	p.wg.Wait()
+}
+
+func (p *shardPool) close() {
+	for _, ch := range p.ops {
+		close(ch)
+	}
+}

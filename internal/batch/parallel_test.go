@@ -1,0 +1,395 @@
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/protect"
+)
+
+// parallelCrossCheck decodes frames through fixed.Decoder and a
+// Parallel decoder with the given configuration and requires identical
+// hard decisions, iteration counts and convergence flags per frame.
+func parallelCrossCheck(t *testing.T, cfg ParallelConfig, p fixed.Params, frames int, seedBase uint64) {
+	t.Helper()
+	c := smallCode(t)
+	g := ldpc.NewGraph(c)
+	scalar, err := fixed.NewDecoderGraph(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := NewParallelGraph(g, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pd.Close()
+	cap := pd.Capacity()
+	for base := 0; base < frames; base += cap {
+		n := cap
+		if base+n > frames {
+			n = frames - base
+		}
+		qs := make([][]int16, n)
+		for f := range qs {
+			qs[f] = noisyQ(t, c, p.Format, 3.0, seedBase+uint64(base+f))
+		}
+		got, err := pd.DecodeQ(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := range qs {
+			want := scalar.DecodeQ(qs[f])
+			if !got[f].Bits.Equal(want.Bits) {
+				t.Fatalf("shards=%d superbatch=%d frame %d: hard decision diverges from fixed",
+					cfg.Shards, cfg.SuperBatch, base+f)
+			}
+			if got[f].Iterations != want.Iterations || got[f].Converged != want.Converged {
+				t.Fatalf("shards=%d superbatch=%d frame %d: (it=%d conv=%v) vs fixed (it=%d conv=%v)",
+					cfg.Shards, cfg.SuperBatch, base+f,
+					got[f].Iterations, got[f].Converged, want.Iterations, want.Converged)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesFixed sweeps the (shards, superbatch) matrix —
+// including shards beyond the check-node count ("more units than
+// banks") and frame counts that leave a partial tail word inside the
+// super-batch — and requires bit-exact agreement with the scalar
+// fixed-point decoder, under both schedules.
+func TestParallelMatchesFixed(t *testing.T) {
+	for _, early := range []bool{true, false} {
+		p := highSpeedParams()
+		p.DisableEarlyStop = !early
+		for _, cfg := range []ParallelConfig{
+			{Shards: 1, SuperBatch: 1},
+			{Shards: 2, SuperBatch: 1},
+			{Shards: 4, SuperBatch: 2},
+			{Shards: 3, SuperBatch: 4},
+			{Shards: 8, SuperBatch: 8},
+			{Shards: 1, SuperBatch: 8},
+		} {
+			name := fmt.Sprintf("early=%v/S%dW%d", early, cfg.Shards, cfg.SuperBatch)
+			t.Run(name, func(t *testing.T) {
+				// 27 frames: full words, a partial 3-lane tail word, and
+				// for SuperBatch>4 a partially filled super-batch.
+				parallelCrossCheck(t, cfg, p, 27, uint64(1000*cfg.Shards+cfg.SuperBatch))
+			})
+		}
+	}
+}
+
+// TestParallelMoreShardsThanBanks pins the degenerate partition: more
+// shards than the code has check nodes (and bit nodes), leaving most
+// shards empty, must still decode bit-exactly.
+func TestParallelMoreShardsThanBanks(t *testing.T) {
+	c := smallCode(t)
+	shards := c.M + 7 // small test code: more workers than CN banks
+	parallelCrossCheck(t, ParallelConfig{Shards: shards, SuperBatch: 2}, highSpeedParams(), 19, 77)
+}
+
+// TestParallelDegeneratesToDecoder checks that Shards=1, SuperBatch=1
+// reproduces the single-word packed decoder exactly, call for call.
+func TestParallelDegeneratesToDecoder(t *testing.T) {
+	c := smallCode(t)
+	p := highSpeedParams()
+	bd, err := NewDecoder(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := NewParallel(c, p, ParallelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pd.Close()
+	if got := pd.Config(); got.Shards != 1 || got.SuperBatch != 1 {
+		t.Fatalf("zero config resolved to %+v, want {1 1}", got)
+	}
+	for _, nf := range []int{1, 3, Lanes} {
+		qs := make([][]int16, nf)
+		for f := range qs {
+			qs[f] = noisyQ(t, c, p.Format, 2.8, uint64(500+10*nf+f))
+		}
+		want, err := bd.DecodeQ(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pd.DecodeQ(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < nf; f++ {
+			if !got[f].Bits.Equal(want[f].Bits) ||
+				got[f].Iterations != want[f].Iterations ||
+				got[f].Converged != want[f].Converged {
+				t.Fatalf("nf=%d frame %d: Parallel{1,1} diverges from Decoder", nf, f)
+			}
+		}
+	}
+}
+
+// TestParallelPartition checks the partition invariants NewParallel
+// relies on for determinism and disjointness: contiguous coverage of
+// [0,n) with no overlap, for shard counts below, at and above the node
+// count.
+func TestParallelPartition(t *testing.T) {
+	deg := func(i int) int { return 2 + i%5 }
+	for _, n := range []int{1, 7, 62, 124} {
+		for _, shards := range []int{1, 2, 3, 8, n, n + 3, 4 * n} {
+			lo, hi := partitionByEdges(shards, n, deg)
+			if len(lo) != shards || len(hi) != shards {
+				t.Fatalf("n=%d shards=%d: %d/%d ranges", n, shards, len(lo), len(hi))
+			}
+			next := int32(0)
+			for s := 0; s < shards; s++ {
+				if lo[s] != next {
+					t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", n, shards, s, lo[s], next)
+				}
+				if hi[s] < lo[s] {
+					t.Fatalf("n=%d shards=%d: shard %d range [%d,%d)", n, shards, s, lo[s], hi[s])
+				}
+				next = hi[s]
+			}
+			if next != int32(n) {
+				t.Fatalf("n=%d shards=%d: coverage ends at %d", n, shards, next)
+			}
+			// Deterministic: a second call yields identical boundaries.
+			lo2, hi2 := partitionByEdges(shards, n, deg)
+			for s := range lo {
+				if lo[s] != lo2[s] || hi[s] != hi2[s] {
+					t.Fatalf("n=%d shards=%d: partition not deterministic", n, shards)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDecodeQInto checks the caller-owned-result contract at
+// super-batch width: owned vectors filled in place, nil vectors
+// allocated, no aliasing of decoder scratch.
+func TestParallelDecodeQInto(t *testing.T) {
+	c := smallCode(t)
+	p := highSpeedParams()
+	a, err := NewParallel(c, p, ParallelConfig{Shards: 2, SuperBatch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewParallel(c, p, ParallelConfig{Shards: 2, SuperBatch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	nf := 2*Lanes + 5 // partial tail word
+	qs := make([][]int16, nf)
+	for f := range qs {
+		qs[f] = noisyQ(t, c, p.Format, 3.0, uint64(900+f))
+	}
+	want, err := a.DecodeQ(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make([]ldpc.Result, nf)
+	owned := make([]*bitvec.Vector, nf)
+	for f := 1; f < nf; f += 2 {
+		owned[f] = bitvec.New(c.N)
+		res[f].Bits = owned[f]
+	}
+	if err := b.DecodeQInto(res, qs); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < nf; f++ {
+		if !res[f].Bits.Equal(want[f].Bits) {
+			t.Errorf("frame %d: hard decision differs from DecodeQ", f)
+		}
+		if res[f].Iterations != want[f].Iterations || res[f].Converged != want[f].Converged {
+			t.Errorf("frame %d: (%d,%v) vs DecodeQ (%d,%v)", f,
+				res[f].Iterations, res[f].Converged, want[f].Iterations, want[f].Converged)
+		}
+		if owned[f] != nil && res[f].Bits != owned[f] {
+			t.Errorf("frame %d: caller-owned vector replaced", f)
+		}
+		for g := range b.hard {
+			if res[f].Bits == b.hard[g] {
+				t.Errorf("frame %d: result aliases decoder scratch", f)
+			}
+		}
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	c := smallCode(t)
+	p := highSpeedParams()
+	if _, err := NewParallel(c, p, ParallelConfig{Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if _, err := NewParallel(c, p, ParallelConfig{SuperBatch: MaxSuperBatch + 1}); err == nil {
+		t.Error("oversized super-batch accepted")
+	}
+	d, err := NewParallel(c, p, ParallelConfig{Shards: 2, SuperBatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	q := noisyQ(t, c, p.Format, 3.0, 7)
+	if err := d.DecodeQInto(make([]ldpc.Result, 2), [][]int16{q}); err == nil {
+		t.Error("mismatched res length accepted")
+	}
+	over := make([][]int16, d.Capacity()+1)
+	for i := range over {
+		over[i] = q
+	}
+	if _, err := d.DecodeQ(over); err == nil {
+		t.Error("over-capacity batch accepted")
+	}
+	if err := d.DecodeQInto(nil, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	bad := []ldpc.Result{{Bits: bitvec.New(c.N - 1)}}
+	if err := d.DecodeQInto(bad, [][]int16{q}); err == nil {
+		t.Error("wrong-length bit vector accepted")
+	}
+}
+
+// TestParallelClose verifies the shard goroutines exit on Close, a
+// closed decoder refuses to decode, and Close is idempotent.
+func TestParallelClose(t *testing.T) {
+	c := smallCode(t)
+	p := highSpeedParams()
+	before := runtime.NumGoroutine()
+	d, err := NewParallel(c, p, ParallelConfig{Shards: 6, SuperBatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := noisyQ(t, c, p.Format, 3.0, 3)
+	if _, err := d.DecodeQ([][]int16{q}); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d.Close() // idempotent
+	if _, err := d.DecodeQ([][]int16{q}); err == nil {
+		t.Error("decode on a closed decoder succeeded")
+	}
+	// The 5 helper goroutines must drain; allow the scheduler a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("%d goroutines after Close, %d before", g, before)
+	}
+}
+
+// flipInjector is a deterministic test fault source: at chosen
+// iterations it XORs a bit into the message of (lane, edge) cells that
+// the memory holds, through the decoder-agnostic MessageMem view — the
+// same perturbation therefore lands on the scalar and the sharded
+// decoder.
+type flipInjector struct {
+	lanes, edges int
+}
+
+func (fi *flipInjector) perturb(it int, mem fixed.MessageMem) {
+	for ln := 0; ln < fi.lanes; ln++ {
+		if !mem.Holds(ln) {
+			continue
+		}
+		e := (7*ln + 13*it) % fi.edges
+		mem.Set(ln, e, mem.Get(ln, e)^0x4)
+	}
+}
+
+func (fi *flipInjector) AfterCN(it int, mem fixed.MessageMem) {
+	if it%2 == 0 {
+		fi.perturb(it, mem)
+	}
+}
+
+func (fi *flipInjector) AfterBN(it int, mem fixed.MessageMem) {
+	if it%3 == 1 {
+		fi.perturb(it, mem)
+	}
+}
+
+// TestParallelInjectorMatchesFixed replays a deterministic fault
+// sequence — bare and wrapped in a protect.Guard scrubber — through the
+// scalar decoder lane by lane and through sharded super-batch decoders,
+// and requires bit-identical outcomes. Run under -race this doubles as
+// the data-race check on the sharded phases under fault injection.
+func TestParallelInjectorMatchesFixed(t *testing.T) {
+	c := smallCode(t)
+	g := ldpc.NewGraph(c)
+	for _, early := range []bool{true, false} {
+		for _, mode := range []protect.Mode{protect.ModeOff, protect.ModeSECDED} {
+			p := highSpeedParams()
+			p.DisableEarlyStop = !early
+			t.Run(fmt.Sprintf("early=%v/protect=%v", early, mode), func(t *testing.T) {
+				nf := Lanes + 3 // two words, partial tail
+				inj := &flipInjector{lanes: nf, edges: g.E}
+				var dinj fixed.Injector = inj
+				if mode != protect.ModeOff {
+					guard, err := protect.NewGuard(protect.Config{
+						Mode: mode, Format: p.Format, Lanes: nf, Edges: g.E,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					guard.Attach(inj)
+					dinj = guard
+				}
+				qs := make([][]int16, nf)
+				for f := range qs {
+					qs[f] = noisyQ(t, c, p.Format, 3.0, uint64(3000+f))
+				}
+				fd, err := fixed.NewDecoderGraph(g, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantBits := make([]*bitvec.Vector, nf)
+				wantIt := make([]int, nf)
+				wantConv := make([]bool, nf)
+				for f := 0; f < nf; f++ {
+					fd.SetInjector(dinj, f)
+					res := fd.DecodeQ(qs[f])
+					wantBits[f] = res.Bits.Clone()
+					wantIt[f] = res.Iterations
+					wantConv[f] = res.Converged
+				}
+				fd.SetInjector(nil, 0)
+				for _, cfg := range []ParallelConfig{
+					{Shards: 1, SuperBatch: 2},
+					{Shards: 4, SuperBatch: 2},
+					{Shards: 3, SuperBatch: 4},
+				} {
+					pd, err := NewParallelGraph(g, p, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pd.SetInjector(dinj)
+					got, err := pd.DecodeQ(qs)
+					pd.SetInjector(nil)
+					if err != nil {
+						pd.Close()
+						t.Fatal(err)
+					}
+					for f := 0; f < nf; f++ {
+						if !got[f].Bits.Equal(wantBits[f]) {
+							t.Errorf("S%dW%d frame %d: faulted hard decision diverges from fixed", cfg.Shards, cfg.SuperBatch, f)
+						}
+						if got[f].Iterations != wantIt[f] || got[f].Converged != wantConv[f] {
+							t.Errorf("S%dW%d frame %d: (it=%d conv=%v) vs fixed (it=%d conv=%v)",
+								cfg.Shards, cfg.SuperBatch, f, got[f].Iterations, got[f].Converged, wantIt[f], wantConv[f])
+						}
+					}
+					pd.Close()
+				}
+			})
+		}
+	}
+}

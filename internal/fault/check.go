@@ -35,6 +35,13 @@ type CheckConfig struct {
 	// to the mitigated datapath: scrub decisions must also replay
 	// bit-identically across the three decoders.
 	Protect protect.Mode
+	// Parallel lists the sharded super-batch geometries that must also
+	// replay every scenario bit-identically. The scenario's eight frames
+	// occupy word 0 of each super-batch, so geometries with SuperBatch>1
+	// additionally exercise the partial-super-batch path under faults.
+	// Nil picks a default matrix covering even, uneven and degenerate
+	// partitions: {2,1}, {3,2}, {4,4}.
+	Parallel []batch.ParallelConfig
 }
 
 // CheckReport summarizes a CrossCheck campaign.
@@ -45,6 +52,9 @@ type CheckReport struct {
 	HwsimScenarios int
 	// LanesCompared counts (scenario, lane) comparisons.
 	LanesCompared int
+	// ParallelLanesCompared counts the additional (scenario, geometry,
+	// lane) comparisons against the sharded super-batch decoders.
+	ParallelLanesCompared int
 	// SEUs, Stuck, Erasures total the injected faults.
 	SEUs, Stuck, Erasures int
 	// Converged counts lanes whose syndrome still reached zero.
@@ -57,14 +67,15 @@ type CheckReport struct {
 }
 
 // CrossCheck replays seeded random fault scenarios through the scalar
-// fixed-point decoder, the frame-packed SWAR decoder, and — on the
-// fixed-period scenarios — the cycle-accurate architecture model, and
-// verifies they emit identical hard decisions, iteration counts and
-// convergence flags lane for lane. Even-numbered scenarios use the
-// hardware's fixed-period schedule and include hwsim; odd-numbered
-// scenarios use per-frame early stop, which hwsim does not implement
-// (its optional early stop terminates per batch), so they compare the
-// fixed and batch decoders only.
+// fixed-point decoder, the frame-packed SWAR decoder, every sharded
+// super-batch geometry in cfg.Parallel, and — on the fixed-period
+// scenarios — the cycle-accurate architecture model, and verifies they
+// emit identical hard decisions, iteration counts and convergence
+// flags lane for lane. Even-numbered scenarios use the hardware's
+// fixed-period schedule and include hwsim; odd-numbered scenarios use
+// per-frame early stop, which hwsim does not implement (its optional
+// early stop terminates per batch), so they compare the fixed, batch
+// and sharded decoders only.
 //
 // It returns a non-nil error at the first divergence, identifying the
 // scenario and lane.
@@ -107,6 +118,26 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 	bdES, err := batch.NewDecoder(cfg.Code, es)
 	if err != nil {
 		return rep, err
+	}
+	pcfgs := cfg.Parallel
+	if pcfgs == nil {
+		pcfgs = []batch.ParallelConfig{
+			{Shards: 2, SuperBatch: 1},
+			{Shards: 3, SuperBatch: 2},
+			{Shards: 4, SuperBatch: 4},
+		}
+	}
+	pdFP := make([]*batch.Parallel, len(pcfgs))
+	pdES := make([]*batch.Parallel, len(pcfgs))
+	for i, pc := range pcfgs {
+		if pdFP[i], err = batch.NewParallel(cfg.Code, fp, pc); err != nil {
+			return rep, fmt.Errorf("parallel S%dW%d: %w", pc.Shards, pc.SuperBatch, err)
+		}
+		defer pdFP[i].Close()
+		if pdES[i], err = batch.NewParallel(cfg.Code, es, pc); err != nil {
+			return rep, fmt.Errorf("parallel S%dW%d: %w", pc.Shards, pc.SuperBatch, err)
+		}
+		defer pdES[i].Close()
 	}
 	mach, err := hwsim.New(cfg.Code, hwsim.Config{
 		Format:     cfg.Params.Format,
@@ -224,6 +255,35 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 				return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: batch converged=%v, fixed %v",
 					s, scenSeed, f, bres[f].Converged, fixedConv[f])
 			}
+		}
+
+		pds := pdES
+		if fixedPeriod {
+			pds = pdFP
+		}
+		for i, pd := range pds {
+			pc := pcfgs[i]
+			pd.SetInjector(dinj)
+			pres, err := pd.DecodeQ(qllr)
+			pd.SetInjector(nil)
+			if err != nil {
+				return rep, fmt.Errorf("scenario %d (seed %#x): parallel S%dW%d: %w", s, scenSeed, pc.Shards, pc.SuperBatch, err)
+			}
+			for f := 0; f < lanes; f++ {
+				if !pres[f].Bits.Equal(fixedBits[f]) {
+					return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: parallel S%dW%d hard decision diverges from fixed",
+						s, scenSeed, f, pc.Shards, pc.SuperBatch)
+				}
+				if pres[f].Iterations != fixedIters[f] {
+					return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: parallel S%dW%d ran %d iterations, fixed %d",
+						s, scenSeed, f, pc.Shards, pc.SuperBatch, pres[f].Iterations, fixedIters[f])
+				}
+				if pres[f].Converged != fixedConv[f] {
+					return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: parallel S%dW%d converged=%v, fixed %v",
+						s, scenSeed, f, pc.Shards, pc.SuperBatch, pres[f].Converged, fixedConv[f])
+				}
+			}
+			rep.ParallelLanesCompared += lanes
 		}
 
 		if fixedPeriod {

@@ -6,7 +6,8 @@ import "testing"
 // framework: over 104 seeded scenarios (mixing SEUs, stuck-at units and
 // channel erasures, alternating fixed-period and early-stop schedules)
 // the scalar fixed-point decoder, every lane of the SWAR batch decoder,
-// and — on the fixed-period half — the cycle-accurate machine must emit
+// every sharded super-batch geometry in the default matrix, and — on
+// the fixed-period half — the cycle-accurate machine must emit
 // identical hard decisions, iteration counts and convergence flags.
 func TestCrossDecoderEquivalence(t *testing.T) {
 	rep, err := CrossCheck(CheckConfig{
@@ -26,6 +27,9 @@ func TestCrossDecoderEquivalence(t *testing.T) {
 	}
 	if rep.LanesCompared != 104*8 {
 		t.Errorf("compared %d lanes, want %d", rep.LanesCompared, 104*8)
+	}
+	if rep.ParallelLanesCompared != 104*3*8 {
+		t.Errorf("compared %d sharded lanes, want %d (3 geometries)", rep.ParallelLanesCompared, 104*3*8)
 	}
 	if rep.SEUs == 0 {
 		t.Error("campaign injected no SEUs")

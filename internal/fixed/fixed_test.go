@@ -425,6 +425,7 @@ func BenchmarkFixedDecode18(b *testing.B) {
 	ch, _ := channel.NewAWGN(4.0, c.Rate())
 	r := rng.New(1)
 	llr := ch.CorruptCodeword(c.Encode(bitvec.New(c.K)), r)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := d.Decode(llr); err != nil {

@@ -389,6 +389,7 @@ func BenchmarkDecodeNMS18Small(b *testing.B) {
 	info := bitvec.New(c.K)
 	cw := c.Encode(info)
 	llr := ch.CorruptCodeword(cw, r)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := d.Decode(llr); err != nil {

@@ -111,6 +111,7 @@ func BenchmarkLambdaMin3(b *testing.B) {
 	r := rng.New(1)
 	cw := c.Encode(randomInfoForBench(c, r))
 	llr := ch.CorruptCodeword(cw, r)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := d.Decode(llr); err != nil {

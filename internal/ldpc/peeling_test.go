@@ -172,6 +172,7 @@ func BenchmarkPeeling(b *testing.B) {
 	for n := 0; n < c.N/10; n++ {
 		erasures[r.Intn(c.N)] = true
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Decode(cw, erasures); err != nil {

@@ -67,7 +67,7 @@ type Metrics struct {
 	breakerTrips   atomic.Int64 // circuit-breaker normal→degraded transitions
 	degraded       atomic.Int64 // 1 while the breaker holds degraded mode
 
-	fill    [batch.Lanes]atomic.Int64 // fill[k-1] = batches with k frames
+	fill    [batch.MaxFrames]atomic.Int64 // fill[k-1] = batches with k frames
 	latency [latencyBuckets]atomic.Int64
 
 	workerFrames []atomic.Int64
@@ -127,8 +127,9 @@ type Snapshot struct {
 	Degraded       bool  `json:"degraded"`
 
 	// BatchFill[k-1] is the number of dispatched batches holding k
-	// frames; BatchFillMean is the mean lane occupancy — the paper's
-	// 8-frame memory word is fully used only when this approaches 8.
+	// frames; BatchFillMean is the mean batch occupancy — the paper's
+	// 8-frame memory word is fully used only when this approaches the
+	// dispatch width (8 per word, up to 64 for an 8-word super-batch).
 	BatchFill     []int64 `json:"batch_fill"`
 	BatchFillMean float64 `json:"batch_fill_mean"`
 
@@ -157,7 +158,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		FramesCrashed:  m.framesCrashed.Load(),
 		BreakerTrips:   m.breakerTrips.Load(),
 		Degraded:       m.degraded.Load() != 0,
-		BatchFill:      make([]int64, batch.Lanes),
+		BatchFill:      make([]int64, batch.MaxFrames),
 	}
 	for k := range m.fill {
 		s.BatchFill[k] = m.fill[k].Load()

@@ -13,6 +13,14 @@
 // decoder, so a loaded server decodes at the packed rate while a lone
 // frame still meets its latency SLO via the linger deadline.
 //
+// Config.Shards and Config.SuperBatch scale each worker's decoder the
+// way the paper scales the processing block with more CN/BN units:
+// Shards spreads one decode's CN/BN phases across shard goroutines
+// (bit-identically), and SuperBatch packs up to 8 memory words — 64
+// frames — into one dispatch. Workers × Shards is budgeted against
+// GOMAXPROCS so the two levels of parallelism compose instead of
+// oversubscribing.
+//
 // Capacity is bounded end to end: a full queue sheds load with
 // ErrOverloaded instead of queueing without limit, and Close drains
 // every accepted frame before returning, so no request is ever dropped
@@ -65,12 +73,25 @@ type Config struct {
 	// fixed.DefaultHighSpeedParams() — the paper's Q(5,1), the format
 	// narrow enough for 8 int8 lanes per word.
 	Params fixed.Params
-	// Workers is the decoder pool size (default GOMAXPROCS). Each
-	// worker owns one pre-built batch.Decoder; nothing is allocated per
-	// request on the decode path.
+	// Workers is the decoder pool size. Each worker owns one pre-built
+	// packed decoder; nothing is allocated per request on the decode
+	// path. The default budgets Workers × Shards against GOMAXPROCS:
+	// max(1, GOMAXPROCS/Shards) workers, so sharding a decoder wider
+	// trades worker-level for intra-decode parallelism instead of
+	// oversubscribing the cores.
 	Workers int
-	// MaxBatch is the dispatch width in frames, 1..batch.Lanes
-	// (default batch.Lanes = 8, the paper's packing factor).
+	// Shards spreads each worker's CN/BN phases across this many shard
+	// goroutines (default 1, the plain single-goroutine SWAR decoder).
+	// Results are bit-identical for any shard count.
+	Shards int
+	// SuperBatch is the number of 8-lane words each worker decodes per
+	// call, 1..batch.MaxSuperBatch (default 1). Raising it widens the
+	// maximum dispatch to SuperBatch × 8 frames, amortizing graph
+	// traversal and shard hand-offs over more frames.
+	SuperBatch int
+	// MaxBatch is the dispatch width in frames,
+	// 1..SuperBatch×batch.Lanes (default SuperBatch×batch.Lanes; 8 —
+	// the paper's packing factor — at the default SuperBatch of 1).
 	MaxBatch int
 	// Linger is how long the scheduler holds a partial batch open for
 	// more frames before flushing it (default 500 µs). It is the
@@ -130,14 +151,30 @@ func (c *Config) setDefaults() error {
 	if c.Params == (fixed.Params{}) {
 		c.Params = fixed.DefaultHighSpeedParams()
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("serve: %d shards out of range [1,∞)", c.Shards)
+	}
+	if c.SuperBatch == 0 {
+		c.SuperBatch = 1
+	}
+	if c.SuperBatch < 1 || c.SuperBatch > batch.MaxSuperBatch {
+		return fmt.Errorf("serve: super-batch %d out of range [1,%d]", c.SuperBatch, batch.MaxSuperBatch)
+	}
 	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+		c.Workers = runtime.GOMAXPROCS(0) / c.Shards
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
 	}
+	maxFrames := c.SuperBatch * batch.Lanes
 	if c.MaxBatch == 0 {
-		c.MaxBatch = batch.Lanes
+		c.MaxBatch = maxFrames
 	}
-	if c.MaxBatch < 1 || c.MaxBatch > batch.Lanes {
-		return fmt.Errorf("serve: MaxBatch %d out of range [1,%d]", c.MaxBatch, batch.Lanes)
+	if c.MaxBatch < 1 || c.MaxBatch > maxFrames {
+		return fmt.Errorf("serve: MaxBatch %d out of range [1,%d]", c.MaxBatch, maxFrames)
 	}
 	if c.Linger == 0 {
 		c.Linger = 500 * time.Microsecond
@@ -233,17 +270,38 @@ type request struct {
 	claimed atomic.Bool
 }
 
-// job is one dispatched batch. Jobs are pooled.
+// job is one dispatched batch. Jobs are pooled; the request array is
+// sized for the widest possible dispatch (an 8-word super-batch), of
+// which only the first Config.MaxBatch entries are ever used.
 type job struct {
-	reqs [batch.Lanes]*request
+	reqs [batch.MaxFrames]*request
 	n    int
+}
+
+// packedDecoder is the worker-side decoder contract, satisfied by both
+// the single-word SWAR batch.Decoder (Shards = SuperBatch = 1) and the
+// sharded super-batch batch.Parallel.
+type packedDecoder interface {
+	DecodeQInto(res []ldpc.Result, qllrs [][]int16) error
+	MaxIterations() int
+	SetMaxIterations(n int) error
+}
+
+// closeDecoder releases a decoder's resources when it has any (the
+// sharded decoder owns a pool of shard goroutines; the plain SWAR
+// decoder has nothing to release).
+func closeDecoder(dec packedDecoder) {
+	if c, ok := dec.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // Server is the decode service. Create with New, submit frames with
 // DecodeQ from any number of goroutines, stop with Close.
 type Server struct {
 	cfg     Config
-	graph   *ldpc.Graph // retained for rebuilding crashed workers' decoders
+	graph   *ldpc.Graph                   // retained for rebuilding crashed workers' decoders
+	newDec  func() (packedDecoder, error) // decoder factory honoring Shards/SuperBatch
 	in      chan *request
 	jobs    chan *job
 	metrics *Metrics
@@ -268,10 +326,22 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	g := ldpc.NewGraph(cfg.Code)
-	decs := make([]*batch.Decoder, cfg.Workers)
+	newDec := func() (packedDecoder, error) {
+		if cfg.Shards > 1 || cfg.SuperBatch > 1 {
+			return batch.NewParallelGraph(g, cfg.Params, batch.ParallelConfig{
+				Shards:     cfg.Shards,
+				SuperBatch: cfg.SuperBatch,
+			})
+		}
+		return batch.NewDecoderGraph(g, cfg.Params)
+	}
+	decs := make([]packedDecoder, cfg.Workers)
 	for w := range decs {
-		d, err := batch.NewDecoderGraph(g, cfg.Params)
+		d, err := newDec()
 		if err != nil {
+			for _, built := range decs[:w] {
+				closeDecoder(built)
+			}
 			return nil, err
 		}
 		decs[w] = d
@@ -279,6 +349,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		graph:   g,
+		newDec:  newDec,
 		in:      make(chan *request, cfg.QueueDepth),
 		jobs:    make(chan *job, cfg.Workers),
 		metrics: newMetrics(cfg.Workers),
@@ -474,19 +545,21 @@ func (s *Server) batcher() {
 // possibly-corrupt decoder is discarded for a freshly built one, and
 // the worker goroutine keeps serving. The server never crashes and no
 // claimed frame is ever lost.
-func (s *Server) worker(id int, dec *batch.Decoder) {
+func (s *Server) worker(id int, dec packedDecoder) {
 	defer s.workerWG.Done()
-	var res [batch.Lanes]ldpc.Result
-	var qs [batch.Lanes][]int16
+	defer func() { closeDecoder(dec) }()
+	var res [batch.MaxFrames]ldpc.Result
+	var qs [batch.MaxFrames][]int16
 	for j := range s.jobs {
 		if !s.runJob(id, dec, j, &res, &qs) {
 			s.metrics.workerRestarts.Add(1)
-			if d, err := batch.NewDecoderGraph(s.graph, s.cfg.Params); err == nil {
+			if d, err := s.newDec(); err == nil {
+				closeDecoder(dec) // shard goroutines survive a coordinator panic; release them
 				dec = d
 			}
-			// NewDecoderGraph cannot fail here — the same graph and
-			// params built the original pool — but if it somehow does,
-			// the worker soldiers on with the old decoder rather than
+			// The factory cannot fail here — the same graph and params
+			// built the original pool — but if it somehow does, the
+			// worker soldiers on with the old decoder rather than
 			// shrinking the pool.
 		}
 	}
@@ -495,7 +568,7 @@ func (s *Server) worker(id int, dec *batch.Decoder) {
 // runJob claims and decodes one dispatched batch, delivering a result
 // to every claimed frame. It reports ok=false after confining a panic,
 // in which case the decoder must be considered corrupt.
-func (s *Server) runJob(id int, dec *batch.Decoder, j *job, res *[batch.Lanes]ldpc.Result, qs *[batch.Lanes][]int16) (ok bool) {
+func (s *Server) runJob(id int, dec packedDecoder, j *job, res *[batch.MaxFrames]ldpc.Result, qs *[batch.MaxFrames][]int16) (ok bool) {
 	n := j.n
 	k := 0
 	for i := 0; i < n; i++ {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -324,5 +325,89 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := s.DecodeQ(make([]int16, c.N), bitvec.New(c.N-1)); err == nil {
 		t.Error("short bit vector accepted")
+	}
+}
+
+// TestShardedSuperBatchServer runs the server on the sharded
+// super-batch decoder — shards spreading each decode across goroutines
+// and a dispatch width of two 8-lane words — and checks every frame of
+// a concurrent burst still decodes bit-exactly against the scalar
+// reference.
+func TestShardedSuperBatchServer(t *testing.T) {
+	c := smallCode(t)
+	p := fixed.DefaultHighSpeedParams()
+	// A huge BreakerMinSamples keeps the circuit breaker from tripping
+	// on the deliberately noisy frames: a tripped breaker would
+	// (correctly) decode later batches at the degraded iteration budget,
+	// which is not the equivalence this test asserts.
+	s := newTestServer(t, Config{
+		Code: c, Params: p,
+		Workers: 2, Shards: 3, SuperBatch: 2,
+		Linger:            5 * time.Millisecond,
+		BreakerMinSamples: 1 << 30,
+	})
+	if got := s.Config(); got.MaxBatch != 2*batch.Lanes {
+		t.Fatalf("MaxBatch defaulted to %d, want %d", got.MaxBatch, 2*batch.Lanes)
+	}
+	const nframes = 40
+	qs := make([][]int16, nframes)
+	for i := range qs {
+		qs[i] = noisyQ(t, c, p.Format, 2.5, uint64(9000+i))
+	}
+	ref := scalarRef(t, c, p, qs)
+	var wg sync.WaitGroup
+	errs := make([]string, nframes)
+	for i := range qs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.DecodeQ(qs[i], bitvec.New(c.N))
+			if err != nil {
+				errs[i] = err.Error()
+				return
+			}
+			if !res.Bits.Equal(ref[i].bits) {
+				errs[i] = "hard decision differs from scalar decoder"
+			} else if res.Iterations != ref[i].iterations || res.Converged != ref[i].converged {
+				errs[i] = "iteration/convergence metadata differs from scalar decoder"
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != "" {
+			t.Errorf("frame %d: %s", i, e)
+		}
+	}
+	if snap := s.Metrics().Snapshot(); snap.FramesDecoded != nframes {
+		t.Errorf("decoded %d frames, want %d", snap.FramesDecoded, nframes)
+	}
+}
+
+// TestShardedConfigValidation covers the new geometry knobs' rejection
+// paths and the Workers × Shards core budget.
+func TestShardedConfigValidation(t *testing.T) {
+	c := smallCode(t)
+	if _, err := New(Config{Code: c, Shards: -1}); err == nil {
+		t.Error("negative shards accepted")
+	}
+	if _, err := New(Config{Code: c, SuperBatch: batch.MaxSuperBatch + 1}); err == nil {
+		t.Error("SuperBatch > MaxSuperBatch accepted")
+	}
+	if _, err := New(Config{Code: c, SuperBatch: 2, MaxBatch: 2*batch.Lanes + 1}); err == nil {
+		t.Error("MaxBatch > SuperBatch×Lanes accepted")
+	}
+	s := newTestServer(t, Config{Code: c, Shards: 4, SuperBatch: 4})
+	got := s.Config()
+	wantWorkers := runtime.GOMAXPROCS(0) / 4
+	if wantWorkers < 1 {
+		wantWorkers = 1
+	}
+	if got.Workers != wantWorkers {
+		t.Errorf("Workers defaulted to %d with 4 shards, want %d (GOMAXPROCS %d)",
+			got.Workers, wantWorkers, runtime.GOMAXPROCS(0))
+	}
+	if got.MaxBatch != 4*batch.Lanes {
+		t.Errorf("MaxBatch defaulted to %d, want %d", got.MaxBatch, 4*batch.Lanes)
 	}
 }

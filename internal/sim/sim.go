@@ -219,6 +219,11 @@ func RunPoint(cfg Config, ebn0dB float64) (Point, error) {
 				errs[w] = err
 				return
 			}
+			// The sharded super-batch decoder owns shard goroutines;
+			// release them with the worker.
+			if closer, ok := bdec.(interface{ Close() }); ok {
+				defer closer.Close()
+			}
 			local := Point{}
 			c := cfg.Code
 			zero := bitvec.New(c.N)

@@ -39,9 +39,14 @@ type MeasureOptions struct {
 	// the software analogue of the paper's frame-packed high-speed
 	// memory. Requires a Quantized NormalizedMinSum config with at most
 	// 5 message bits (QuantBits 0 defaults to 5 on this path) and
-	// BatchSize ≤ 8. The set of simulated frames, and therefore every
-	// statistic, is identical to the scalar path.
+	// BatchSize ≤ 64; sizes beyond 8 ride a multi-word super-batch. The
+	// set of simulated frames, and therefore every statistic, is
+	// identical to the scalar path.
 	BatchSize int
+	// Shards > 1 spreads each worker's batch decode across that many
+	// shard goroutines (the multi-core sharded decoder); results are
+	// bit-identical for any shard count. Requires BatchSize > 1.
+	Shards int
 }
 
 // MeasureBER runs the Monte-Carlo harness at each Eb/N0 for a decoder
@@ -67,10 +72,13 @@ func MeasureBER(cfg Config, ebn0s []float64, opts MeasureOptions) ([]BERPoint, e
 		Workers:        opts.Workers,
 		Seed:           opts.Seed,
 	}
+	if opts.Shards > 1 && opts.BatchSize <= 1 {
+		return nil, fmt.Errorf("ccsdsldpc: Shards %d requires BatchSize > 1 (the sharded decoder is a batch decoder)", opts.Shards)
+	}
 	if opts.BatchSize > 1 {
 		scfg.BatchSize = opts.BatchSize
 		scfg.NewBatchDecoder = func() (sim.BatchDecoder, error) {
-			return buildBatchDecoder(c, cfg)
+			return buildBatchDecoder(c, cfg, opts.BatchSize, opts.Shards)
 		}
 	}
 	pts, err := sim.RunSweep(scfg, ebn0s)

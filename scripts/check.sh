@@ -2,10 +2,11 @@
 # Tier-1 verification: build, vet, static analysis (when staticcheck is
 # installed — CI installs it, minimal containers may not have it), the
 # full test suite, and a race pass over the concurrency-bearing packages
-# (the Monte-Carlo harness, the frame-packed batch decoder it drives,
-# the SEU protection layer shared by every decoder, and the batching
-# decode server with its scheduler + worker pool under concurrent
-# clients).
+# (the Monte-Carlo harness, the frame-packed batch and sharded
+# super-batch decoders it drives, the SEU protection layer shared by
+# every decoder, the cross-decoder fault oracle that exercises the
+# shard pool under injection, and the batching decode server with its
+# scheduler + worker pool under concurrent clients).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -16,4 +17,4 @@ if command -v staticcheck >/dev/null 2>&1; then
     staticcheck ./...
 fi
 go test ./...
-go test -race ./internal/sim/... ./internal/batch/... ./internal/serve/... ./internal/protect/...
+go test -race ./internal/sim/... ./internal/batch/... ./internal/serve/... ./internal/protect/... ./internal/fault/...
