@@ -29,9 +29,11 @@ bench-fault:
 bench-mitigate:
 	go run ./cmd/ldpcmitigate -testcode -frames 2000 -json BENCH_mitigate.json
 
-# Parallel-scaling benchmark: the sharded super-batch decoder over the
-# shards × superbatch matrix (frames/s, ns/frame, single-batch p50
-# latency), seeded into BENCH_parallel.json with the host's CPU
-# topology — a shards sweep only climbs with GOMAXPROCS > 1.
+# Parallel-scaling benchmark: the sharded wide-lane super-batch decoder
+# over the shards × superbatch × lanes matrix (frames/s, ns/frame,
+# single-batch p50 latency), seeded into BENCH_parallel.json with the
+# host's CPU topology — a shards sweep only climbs with GOMAXPROCS > 1;
+# the lanes sweep widens each kernel strip to up to 8 words (512 frames
+# per decode at superbatch 8).
 bench-parallel:
-	go run ./cmd/ldpcthroughput -parallel -shards 1,2,4,8 -superbatches 1,4,8 -json BENCH_parallel.json
+	go run ./cmd/ldpcthroughput -parallel -shards 1,2,4,8 -superbatches 1,4,8 -lanes 1,2,4,8 -mintime 400ms -json BENCH_parallel.json

@@ -449,20 +449,23 @@ func BenchmarkBatchDecode8(b *testing.B) {
 	reportFramesPerSec(b, batch.Lanes, c)
 }
 
-// BenchmarkParallelDecode measures the sharded super-batch decoder —
-// the processing block scaled across P cores (DESIGN.md §10) — over a
-// (shards × superbatch) grid. Every cell is bit-identical to the
-// single-word decoder of BenchmarkBatchDecode8; only the partitioning
-// and batch width change, so frames_per_sec isolates the scaling.
+// BenchmarkParallelDecode measures the sharded wide-lane super-batch
+// decoder — the processing block scaled across P cores (DESIGN.md §10)
+// with W-word kernel strips (DESIGN.md §11) — over a
+// (shards × superbatch × lanes) grid. Every cell is bit-identical to
+// the single-word decoder of BenchmarkBatchDecode8; only the
+// partitioning and batch width change, so frames_per_sec isolates the
+// scaling.
 func BenchmarkParallelDecode(b *testing.B) {
 	c := ccsdsCode(b)
 	p := batchBenchParams()
-	for _, g := range []struct{ shards, super int }{
-		{1, 1}, {2, 1}, {4, 1}, {1, 8}, {4, 8},
+	for _, g := range []struct{ shards, super, lanes int }{
+		{1, 1, 1}, {2, 1, 1}, {4, 1, 1}, {1, 8, 1}, {4, 8, 1},
+		{1, 1, 2}, {1, 1, 4}, {1, 1, 8}, {1, 8, 8}, {4, 8, 8},
 	} {
-		b.Run(fmt.Sprintf("shards=%d,superbatch=%d", g.shards, g.super), func(b *testing.B) {
+		b.Run(fmt.Sprintf("shards=%d,superbatch=%d,lanes=%d", g.shards, g.super, g.lanes), func(b *testing.B) {
 			d, err := batch.NewParallelGraph(sharedGraph(b, c), p, batch.ParallelConfig{
-				Shards: g.shards, SuperBatch: g.super,
+				Shards: g.shards, SuperBatch: g.super, LaneWidth: g.lanes,
 			})
 			if err != nil {
 				b.Fatal(err)

@@ -171,10 +171,11 @@ func buildDecoder(c *code.Code, cfg Config) (frameDecoder, error) {
 // wide word. QuantBits defaults to 5 here (the high-speed format); the
 // packed int8 lanes cannot hold the 6-bit low-cost format's sums.
 //
-// A batchSize beyond one 8-lane word, or shards > 1, selects the
-// sharded super-batch decoder (batch.Parallel) — bit-identical to the
-// single-word decoder, scaled across words and cores.
-func buildBatchDecoder(c *code.Code, cfg Config, batchSize, shards int) (sim.BatchDecoder, error) {
+// A batchSize beyond one 8-lane word, shards > 1, or laneWidth > 1
+// selects the sharded wide-lane super-batch decoder (batch.Parallel) —
+// bit-identical to the single-word decoder, scaled across strip words
+// and cores.
+func buildBatchDecoder(c *code.Code, cfg Config, batchSize, shards, laneWidth int) (sim.BatchDecoder, error) {
 	if !cfg.Quantized || cfg.Algorithm != NormalizedMinSum {
 		return nil, fmt.Errorf("ccsdsldpc: batch decoding requires the quantized NormalizedMinSum datapath")
 	}
@@ -202,9 +203,20 @@ func buildBatchDecoder(c *code.Code, cfg Config, batchSize, shards int) (sim.Bat
 	if batchSize > batch.MaxFrames {
 		return nil, fmt.Errorf("ccsdsldpc: batch size %d beyond the %d-frame super-batch capacity", batchSize, batch.MaxFrames)
 	}
-	if shards > 1 || batchSize > batch.Lanes {
-		super := (batchSize + batch.Lanes - 1) / batch.Lanes
-		return batch.NewParallel(c, p, batch.ParallelConfig{Shards: shards, SuperBatch: super})
+	if laneWidth == 0 {
+		laneWidth = 1
+	}
+	if !batch.ValidLaneWidth(laneWidth) {
+		return nil, fmt.Errorf("ccsdsldpc: lane width %d not in {1, 2, 4, 8}", laneWidth)
+	}
+	if shards > 1 || laneWidth > 1 || batchSize > batch.Lanes {
+		words := (batchSize + batch.Lanes - 1) / batch.Lanes
+		super := (words + laneWidth - 1) / laneWidth
+		if super > batch.MaxSuperBatch {
+			return nil, fmt.Errorf("ccsdsldpc: batch size %d beyond the %d-strip capacity at lane width %d",
+				batchSize, batch.MaxSuperBatch, laneWidth)
+		}
+		return batch.NewParallel(c, p, batch.ParallelConfig{Shards: shards, SuperBatch: super, LaneWidth: laneWidth})
 	}
 	return batch.NewDecoder(c, p)
 }

@@ -38,8 +38,9 @@ func main() {
 		fine     = flag.Bool("fine", false, "estimate and use the fine-scaled per-iteration correction factor")
 		layered  = flag.Bool("layered", false, "layered schedule instead of flooding")
 		quant    = flag.Int("quant", 6, "message bits for -alg fixed")
-		batchN   = flag.Int("batch", 1, "decode n-frame packed batches through the SWAR decoder (requires -alg fixed -quant 5, n <= 64; n > 8 rides a super-batch)")
+		batchN   = flag.Int("batch", 1, "decode n-frame packed batches through the SWAR decoder (requires -alg fixed -quant 5, n <= 512; n > 8 rides a super-batch)")
 		shards   = flag.Int("shards", 1, "shard goroutines per batch decoder (bit-exact multi-core decode, requires -batch > 1)")
+		lanesN   = flag.Int("lanes", 1, "strip width in 8-frame words for the batch kernels (1, 2, 4 or 8; bit-exact, requires -batch > 1)")
 		minErr   = flag.Int("minerrors", 50, "frame errors per point before stopping")
 		maxFr    = flag.Int("maxframes", 20000, "max frames per point")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -50,6 +51,25 @@ func main() {
 		ascii    = flag.Bool("ascii", true, "print ASCII curves")
 	)
 	flag.Parse()
+
+	// Validate the batch geometry before any work: a bad combination
+	// should fail in microseconds with a precise message, not after the
+	// correction-factor estimate.
+	if *shards > 1 && *batchN <= 1 {
+		log.Fatalf("-shards %d requires -batch > 1 (the sharded decoder is a batch decoder)", *shards)
+	}
+	if !batch.ValidLaneWidth(*lanesN) {
+		log.Fatalf("-lanes %d not in {1, 2, 4, 8}", *lanesN)
+	}
+	if *lanesN > 1 && *batchN <= 1 {
+		log.Fatalf("-lanes %d requires -batch > 1 (wide lanes pack a batch decoder's strips)", *lanesN)
+	}
+	if *batchN > batch.MaxFrames {
+		log.Fatalf("-batch %d exceeds the %d-frame super-batch capacity", *batchN, batch.MaxFrames)
+	}
+	if *batchN > 1 && *alg != "fixed" {
+		log.Fatal("-batch requires -alg fixed (the packed decoder implements the quantized datapath)")
+	}
 
 	var c *code.Code
 	var err error
@@ -114,21 +134,13 @@ func main() {
 		Code: c, NewDecoder: factory,
 		MinFrameErrors: *minErr, MaxFrames: *maxFr, Workers: *workers, Seed: *seed,
 	}
-	if *shards > 1 && *batchN <= 1 {
-		log.Fatal("-shards requires -batch > 1 (the sharded decoder is a batch decoder)")
-	}
 	if *batchN > 1 {
 		// The frame-packed decoder is the quantized datapath with up to
 		// 8 frames' int8 messages per word; it is bit-compatible with
 		// -alg fixed, so the measured curve is unchanged — only faster.
-		// Beyond 8 frames, or with -shards > 1, the sharded super-batch
-		// decoder carries up to 8 words per decode, still bit-exact.
-		if *alg != "fixed" {
-			log.Fatal("-batch requires -alg fixed (the packed decoder implements the quantized datapath)")
-		}
-		if *batchN > batch.MaxFrames {
-			log.Fatalf("-batch %d exceeds the %d-frame super-batch capacity", *batchN, batch.MaxFrames)
-		}
+		// Beyond 8 frames, or with -shards or -lanes > 1, the sharded
+		// wide-lane super-batch decoder carries up to 64 words (512
+		// frames) per decode, still bit-exact.
 		scale, err := fixed.ScaleForAlpha(*alpha, 4)
 		if err != nil {
 			log.Fatal(err)
@@ -139,10 +151,14 @@ func main() {
 		}
 		p := fixed.Params{Format: fixed.Format{Bits: *quant, Frac: frac}, Scale: scale, MaxIterations: *iters}
 		cfg.BatchSize = *batchN
-		if *shards > 1 || *batchN > batch.Lanes {
-			super := (*batchN + batch.Lanes - 1) / batch.Lanes
+		if *shards > 1 || *lanesN > 1 || *batchN > batch.Lanes {
+			words := (*batchN + batch.Lanes - 1) / batch.Lanes
+			super := (words + *lanesN - 1) / *lanesN
+			if super > batch.MaxSuperBatch {
+				log.Fatalf("-batch %d exceeds the %d-strip capacity at -lanes %d (raise -lanes)", *batchN, batch.MaxSuperBatch, *lanesN)
+			}
 			cfg.NewBatchDecoder = func() (sim.BatchDecoder, error) {
-				return batch.NewParallel(c, p, batch.ParallelConfig{Shards: *shards, SuperBatch: super})
+				return batch.NewParallel(c, p, batch.ParallelConfig{Shards: *shards, SuperBatch: super, LaneWidth: *lanesN})
 			}
 		} else {
 			cfg.NewBatchDecoder = func() (sim.BatchDecoder, error) { return batch.NewDecoder(c, p) }

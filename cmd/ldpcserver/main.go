@@ -2,6 +2,8 @@
 // LDPC code: a TCP server that packs frames from concurrent clients
 // into 8-lane SWAR batches (the software form of the paper's high-speed
 // frame-packed memory word) decoded by a pool of pre-built decoders.
+// With -superbatch, -lanes and -shards the dispatch widens to a sharded
+// wide-lane super-batch of up to 512 frames, still bit-exact.
 //
 // Clients speak the length-prefixed protocol of internal/serve: each
 // request is one frame of N quantized Q(5,1) channel LLRs as int8; each
@@ -25,8 +27,8 @@
 // Usage:
 //
 //	ldpcserver [-addr :7070] [-http :7071] [-workers N] [-shards 1]
-//	           [-superbatch 1] [-iters 18] [-linger 500us] [-queue 0]
-//	           [-deadline 0] [-earlystop] [-pprof]
+//	           [-superbatch 1] [-lanes 1] [-iters 18] [-linger 500us]
+//	           [-queue 0] [-deadline 0] [-earlystop] [-pprof]
 package main
 
 import (
@@ -58,7 +60,8 @@ func main() {
 		httpAddr  = flag.String("http", ":7071", "HTTP metrics listen address (empty disables)")
 		workers   = flag.Int("workers", 0, "decoder pool size (0 = GOMAXPROCS/shards)")
 		shards    = flag.Int("shards", 1, "shard goroutines per decoder (bit-exact multi-core decode)")
-		super     = flag.Int("superbatch", 1, "8-lane words per dispatch, 1..8 (widens batches to 8×superbatch frames)")
+		super     = flag.Int("superbatch", 1, "strips per dispatch, 1..8 (widens batches to 8×superbatch×lanes frames)")
+		lanes     = flag.Int("lanes", 1, "strip width in 8-frame words (1, 2, 4 or 8; bit-exact wide-lane kernels)")
 		iters     = flag.Int("iters", 18, "decoding iterations (the paper's operating point)")
 		linger    = flag.Duration("linger", 500*time.Microsecond, "max wait to fill an 8-lane batch")
 		queue     = flag.Int("queue", 0, "frame queue depth before shedding (0 = default)")
@@ -82,6 +85,7 @@ func main() {
 		Workers:      *workers,
 		Shards:       *shards,
 		SuperBatch:   *super,
+		LaneWidth:    *lanes,
 		Linger:       *linger,
 		QueueDepth:   *queue,
 		Deadline:     *deadline,
@@ -91,8 +95,8 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := s.Config()
-	log.Printf("serving (%d,%d) code: %d workers × %d shards × %d-frame batches, linger %v, queue %d",
-		c.N, c.K, cfg.Workers, cfg.Shards, cfg.MaxBatch, cfg.Linger, cfg.QueueDepth)
+	log.Printf("serving (%d,%d) code: %d workers × %d shards × %d-frame batches (%d-word strips), linger %v, queue %d",
+		c.N, c.K, cfg.Workers, cfg.Shards, cfg.MaxBatch, cfg.LaneWidth, cfg.Linger, cfg.QueueDepth)
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,6 +1,9 @@
 package batch
 
 import (
+	"fmt"
+	"os"
+	"strings"
 	"testing"
 
 	"ccsdsldpc/internal/bitvec"
@@ -8,12 +11,30 @@ import (
 	"ccsdsldpc/internal/ldpc"
 )
 
+// skipUnderFuzzEngine skips allocation-count assertions when the test
+// binary was started with an active -fuzz target: the in-process fuzz
+// coordinator boots worker IPC concurrently with the unit-test phase,
+// and its background allocations land inside AllocsPerRun's window,
+// flaking the zero-alloc guards with phantom objects the decode path
+// never allocated. The guards still run in every plain `go test`
+// invocation, including the race matrix.
+func skipUnderFuzzEngine(t *testing.T) {
+	t.Helper()
+	for _, a := range os.Args {
+		if strings.HasPrefix(a, "-test.fuzz=") && !strings.HasPrefix(a, "-test.fuzz=^$") {
+			t.Skip("allocation counts race with the in-process fuzz coordinator")
+		}
+	}
+}
+
 // TestSteadyStateZeroAlloc is the zero-alloc regression guard over all
-// three decode paths — scalar fixed-point, single-word SWAR, and the
-// sharded super-batch decoder: once warmed up, a decode iteration must
-// allocate nothing, or the serving layer's allocation-free worker
-// contract (and the shard pool's reusable-barrier design) has rotted.
+// decode paths — scalar fixed-point, single-word SWAR, and the sharded
+// super-batch decoder at every strip width: once warmed up, a decode
+// iteration must allocate nothing, or the serving layer's
+// allocation-free worker contract (and the shard pool's
+// reusable-barrier design) has rotted.
 func TestSteadyStateZeroAlloc(t *testing.T) {
+	skipUnderFuzzEngine(t)
 	c := smallCode(t)
 	p := highSpeedParams()
 	g := ldpc.NewGraph(c)
@@ -26,11 +47,6 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pd, err := NewParallelGraph(g, p, ParallelConfig{Shards: 4, SuperBatch: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer pd.Close()
 
 	q := noisyQ(t, c, p.Format, 3.0, 42)
 	qs := make([][]int16, Lanes)
@@ -39,15 +55,8 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 		qs[f] = noisyQ(t, c, p.Format, 3.0, uint64(f))
 		res[f].Bits = bitvec.New(c.N)
 	}
-	nfp := pd.Capacity() - 3 // partial tail word stays on the hot path
-	qsp := make([][]int16, nfp)
-	resp := make([]ldpc.Result, nfp)
-	for f := range qsp {
-		qsp[f] = noisyQ(t, c, p.Format, 3.0, uint64(100+f))
-		resp[f].Bits = bitvec.New(c.N)
-	}
 
-	for _, tc := range []struct {
+	cases := []struct {
 		name string
 		run  func()
 	}{
@@ -57,12 +66,31 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 				t.Fatal(err)
 			}
 		}},
-		{"sharded", func() {
+	}
+	for _, lw := range LaneWidths {
+		pd, err := NewParallelGraph(g, p, ParallelConfig{Shards: 4, SuperBatch: 4, LaneWidth: lw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pd.Close()
+		nfp := pd.Capacity() - 3 // partial tail word stays on the hot path
+		qsp := make([][]int16, nfp)
+		resp := make([]ldpc.Result, nfp)
+		for f := range qsp {
+			qsp[f] = noisyQ(t, c, p.Format, 3.0, uint64(100+f))
+			resp[f].Bits = bitvec.New(c.N)
+		}
+		cases = append(cases, struct {
+			name string
+			run  func()
+		}{fmt.Sprintf("sharded/L%d", lw), func() {
 			if err := pd.DecodeQInto(resp, qsp); err != nil {
 				t.Fatal(err)
 			}
-		}},
-	} {
+		}})
+	}
+
+	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			tc.run() // warm-up
 			if allocs := testing.AllocsPerRun(10, tc.run); allocs != 0 {

@@ -22,31 +22,24 @@ type Decoder struct {
 	g *ldpc.Graph
 	p fixed.Params
 
-	// Packed per-lane state: one uint64 holds the int8 values of all
-	// Lanes frames (lane f = byte f).
-	qw    []uint64 // channel LLRs, per VN
-	vcw   []uint64 // variable→check messages, per edge
-	cvw   []uint64 // check→variable messages, per edge
-	postw []uint64 // posteriors, per VN
+	// st holds the packed per-lane state — one uint64 holds the int8
+	// values of all Lanes frames (lane f = byte f) — in the kernel view
+	// shared with Parallel, at stride tw = 1. st.done[0] is the live
+	// frozen-lane mask of the decode in flight.
+	st       stripState
+	doneBuf  [1]uint64 // backing array for st.done
+	unsatBuf [1]uint64 // unsat kernel output word
 
 	hard [Lanes]*bitvec.Vector
 	q16  []int16 // quantization scratch for Decode
 
 	// inj, when non-nil, perturbs the packed message write-backs (fault
 	// injection); cvMem/vcMem are its preallocated lane-aware views, and
-	// curNF/curDone expose the live-lane state of the decode in flight.
-	inj     fixed.Injector
-	cvMem   *packedMem
-	vcMem   *packedMem
-	curNF   int
-	curDone uint64
-
-	// Precomputed lane constants.
-	maxVec    uint64 // +Format.Max() in every lane
-	negMaxVec uint64 // −Format.Max() in every lane
-	num       uint64 // Scale.Num
-	shift     uint   // Scale.Shift
-	shiftMask uint64 // (0xFF >> shift) in every lane
+	// curNF exposes the live-lane count of the decode in flight.
+	inj   fixed.Injector
+	cvMem *packedMem
+	vcMem *packedMem
+	curNF int
 }
 
 // NewDecoder builds a packed decoder for a code.
@@ -65,24 +58,37 @@ func NewDecoderGraph(g *ldpc.Graph, p fixed.Params) (*Decoder, error) {
 	if err := validatePacked(g, p); err != nil {
 		return nil, err
 	}
-	max := int(p.Format.Max())
 	d := &Decoder{
 		g: g, p: p,
-		qw:        make([]uint64, g.N),
-		vcw:       make([]uint64, g.E),
-		cvw:       make([]uint64, g.E),
-		postw:     make([]uint64, g.N),
-		q16:       make([]int16, g.N),
-		maxVec:    broadcast8(uint8(int8(max))),
-		negMaxVec: broadcast8(uint8(int8(-max))),
-		num:       uint64(p.Scale.Num),
-		shift:     uint(p.Scale.Shift),
-		shiftMask: broadcast8(0xFF >> uint(p.Scale.Shift)),
+		q16: make([]int16, g.N),
 	}
+	d.st = newStripState(g, p, 1, 1)
+	d.st.done = d.doneBuf[:]
 	for f := 0; f < Lanes; f++ {
 		d.hard[f] = bitvec.New(g.N)
 	}
 	return d, nil
+}
+
+// newStripState allocates the packed message state for tw words per
+// bank index, with nsw live words (Decoder: tw = nsw = 1). The done
+// slice is left to the caller.
+func newStripState(g *ldpc.Graph, p fixed.Params, tw, nsw int) stripState {
+	max := int(p.Format.Max())
+	return stripState{
+		g:         g,
+		tw:        tw,
+		nsw:       nsw,
+		qw:        make([]uint64, g.N*tw),
+		vcw:       make([]uint64, g.E*tw),
+		cvw:       make([]uint64, g.E*tw),
+		postw:     make([]uint64, g.N*tw),
+		num:       uint64(p.Scale.Num),
+		shift:     uint(p.Scale.Shift),
+		shiftMask: broadcast8(0xFF >> uint(p.Scale.Shift)),
+		maxVec:    broadcast8(uint8(int8(max))),
+		negMaxVec: broadcast8(uint8(int8(-max))),
+	}
 }
 
 // validatePacked checks that a graph and format fit the int8-lane
@@ -159,7 +165,7 @@ type packedMem struct {
 }
 
 func (m *packedMem) Holds(ln int) bool {
-	return ln >= 0 && ln < m.d.curNF && m.d.curDone&(0xFF<<(8*uint(ln))) == 0
+	return ln >= 0 && ln < m.d.curNF && m.d.st.done[0]&(0xFF<<(8*uint(ln))) == 0
 }
 
 func (m *packedMem) Get(ln, edge int) int16 {
@@ -186,8 +192,8 @@ func (d *Decoder) SetInjector(inj fixed.Injector) {
 		d.cvMem, d.vcMem = nil, nil
 		return
 	}
-	d.cvMem = &packedMem{d: d, msgs: d.cvw}
-	d.vcMem = &packedMem{d: d, msgs: d.vcw}
+	d.cvMem = &packedMem{d: d, msgs: d.st.cvw}
+	d.vcMem = &packedMem{d: d, msgs: d.st.vcw}
 }
 
 // Decode quantizes up to Lanes frames of real LLRs and decodes them
@@ -285,7 +291,7 @@ func (d *Decoder) packLane(f int, q []int16) {
 		} else if v < -max {
 			v = -max
 		}
-		d.qw[j] = putLane(d.qw[j], f, int8(v))
+		d.st.qw[j] = putLane(d.st.qw[j], f, int8(v))
 	}
 }
 
@@ -296,8 +302,8 @@ func (d *Decoder) zeroTailLanes(nf int) {
 		return
 	}
 	keep := ^uint64(0) >> (8 * uint(Lanes-nf))
-	for j := range d.qw {
-		d.qw[j] &= keep
+	for j := range d.st.qw {
+		d.st.qw[j] &= keep
 	}
 }
 
@@ -312,10 +318,7 @@ func (d *Decoder) decodeInto(res []ldpc.Result) error {
 		}
 	}
 	g := d.g
-	for e := 0; e < g.E; e++ {
-		d.vcw[e] = d.qw[g.EdgeVN[e]]
-		d.cvw[e] = 0
-	}
+	initEdges(&d.st, 0, g.E)
 	// done holds 0xFF in every frozen lane. Tail lanes beyond the batch
 	// are frozen from the start; their state is all zero.
 	var done uint64
@@ -325,10 +328,11 @@ func (d *Decoder) decodeInto(res []ldpc.Result) error {
 	var iters [Lanes]int
 	var conv [Lanes]bool
 	earlyStop := !d.p.DisableEarlyStop
-	d.curNF, d.curDone = nf, done
+	d.curNF = nf
+	d.st.done[0] = done
 
 	for it := 0; it < d.p.MaxIterations; it++ {
-		d.cnPhase(done)
+		d.cnPhase()
 		if d.inj != nil {
 			d.inj.AfterCN(it, d.cvMem)
 		}
@@ -339,7 +343,7 @@ func (d *Decoder) decodeInto(res []ldpc.Result) error {
 		if !earlyStop {
 			continue
 		}
-		unsat := d.unsatLanes(done)
+		unsat := d.unsatLanes()
 		if newly := ^unsat &^ done; newly != 0 {
 			for f := 0; f < nf; f++ {
 				if newly&(0xFF<<(8*uint(f))) != 0 {
@@ -348,7 +352,7 @@ func (d *Decoder) decodeInto(res []ldpc.Result) error {
 				}
 			}
 			done |= newly
-			d.curDone = done
+			d.st.done[0] = done
 			if done == ^uint64(0) {
 				break
 			}
@@ -361,7 +365,7 @@ func (d *Decoder) decodeInto(res []ldpc.Result) error {
 			}
 		}
 	} else {
-		unsat := d.unsatLanes(done)
+		unsat := d.unsatLanes()
 		for f := 0; f < nf; f++ {
 			iters[f] = d.p.MaxIterations
 			conv[f] = unsat&(0xFF<<(8*uint(f))) == 0
@@ -379,50 +383,13 @@ func (d *Decoder) decodeInto(res []ldpc.Result) error {
 }
 
 // cnPhase runs the packed check-node update (paper equation (2)) over
-// every check node: per lane, the sign product and scaled min of the
-// other inputs, computed with the min1/min2 trick on all 8 lanes at
-// once. Lanes flagged in done keep their previous messages, which
-// freezes the whole lane trajectory (the bit-node pass is a pure
-// function of cv and the channel word).
-func (d *Decoder) cnPhase(done uint64) {
-	g := d.g
-	vcw, cvw := d.vcw, d.cvw
-	num, shift, shiftMask := d.num, d.shift, d.shiftMask
-	for i := 0; i < g.M; i++ {
-		lo, hi := int(g.CNOff[i]), int(g.CNOff[i+1])
-		// Pass 1: per-lane sign parity, min1, min2 and min1's position.
-		var signAcc, minIdx uint64
-		min1 := ^laneMSB // +127 in every lane: above any magnitude
-		min2 := ^laneMSB
-		idx := uint64(0)
-		for e := lo; e < hi; e++ {
-			x := vcw[e]
-			signAcc ^= x & laneMSB
-			m := abs8(x)
-			lt1 := ltMask8(m, min1)
-			min2 = blend8(min8(min2, m), min1, lt1)
-			minIdx = blend8(minIdx, idx, lt1)
-			min1 = blend8(min1, m, lt1)
-			idx += laneLSB
-		}
-		// Pass 2: each edge outputs min1 — or min2 in the lanes where
-		// this edge is the minimum — scaled by Num/2^Shift, with the
-		// extrinsic sign.
-		idx = 0
-		for e := lo; e < hi; e++ {
-			x := vcw[e]
-			eq := eqMask8(minIdx, idx)
-			m := blend8(min1, min2, eq)
-			v := m * num >> shift & shiftMask
-			sf := boolMask8(signAcc ^ x)
-			out := sub8(v^sf, sf)
-			if done != 0 {
-				out = blend8(out, cvw[e], done)
-			}
-			cvw[e] = out
-			idx += laneLSB
-		}
-	}
+// every check node through the width-1 strip kernel: per lane, the sign
+// product and scaled min of the other inputs, computed with the
+// min1/min2 trick on all 8 lanes at once. Lanes frozen in st.done keep
+// their previous messages, which freezes the whole lane trajectory (the
+// bit-node pass is a pure function of cv and the channel word).
+func (d *Decoder) cnPhase() {
+	cnStrips[[1]uint64](&d.st, 0, d.g.M)
 }
 
 // bnPhase runs the packed bit-node update (paper equation (3)): the
@@ -430,41 +397,16 @@ func (d *Decoder) cnPhase(done uint64) {
 // outgoing message is the posterior minus the edge's own input,
 // saturated into the format range.
 func (d *Decoder) bnPhase() {
-	g := d.g
-	vcw, cvw, postw := d.vcw, d.cvw, d.postw
-	copy(postw, d.qw)
-	for e := 0; e < g.E; e++ {
-		j := g.EdgeVN[e]
-		postw[j] = add8(postw[j], cvw[e])
-	}
-	maxVec, negMaxVec := d.maxVec, d.negMaxVec
-	for e := 0; e < g.E; e++ {
-		x := sub8(postw[g.EdgeVN[e]], cvw[e])
-		x = blend8(x, maxVec, ltMask8(maxVec, x))
-		x = blend8(x, negMaxVec, ltMask8(x, negMaxVec))
-		vcw[e] = x
-	}
+	bnStrips[[1]uint64](&d.st, 0, d.g.N)
 }
 
 // unsatLanes evaluates all parity checks on the packed posterior signs
 // and returns 0xFF in every lane with at least one unsatisfied check.
-// It exits early once every lane not in done is known unsatisfied.
-func (d *Decoder) unsatLanes(done uint64) uint64 {
-	g := d.g
-	postw := d.postw
-	doneMSB := done & laneMSB
-	var acc uint64
-	for i := 0; i < g.M; i++ {
-		var par uint64
-		for e := int(g.CNOff[i]); e < int(g.CNOff[i+1]); e++ {
-			par ^= postw[g.EdgeVN[e]]
-		}
-		acc |= par & laneMSB
-		if acc|doneMSB == laneMSB {
-			break
-		}
-	}
-	return boolMask8(acc)
+// It exits early once every lane not frozen in st.done is known
+// unsatisfied.
+func (d *Decoder) unsatLanes() uint64 {
+	unsatStrips[[1]uint64](&d.st, 0, d.g.M, d.unsatBuf[:])
+	return boolMask8(d.unsatBuf[0])
 }
 
 // unpackHardInto extracts lane f's hard decision (posterior sign) into
@@ -472,7 +414,7 @@ func (d *Decoder) unsatLanes(done uint64) uint64 {
 func (d *Decoder) unpackHardInto(f int, h *bitvec.Vector) {
 	h.Zero()
 	sh := uint(8*f + 7)
-	for j, w := range d.postw {
+	for j, w := range d.st.postw {
 		if w>>sh&1 == 1 {
 			h.Set(j)
 		}

@@ -17,10 +17,11 @@ import (
 // stress the SWAR carry and sign handling.
 //
 // Each input also replays through a sharded super-batch decoder whose
-// (shards, superbatch) geometry is derived from the fuzz input — the
-// super-batch carrying extra rotated copies of the frames so partial
-// tail words and multi-word batches are exercised — extending the
-// same lane-for-lane oracle to the multi-core path.
+// (shards, superbatch, lanewidth) geometry is derived from the fuzz
+// input — the super-batch carrying extra rotated copies of the frames
+// so partial tail words, multi-word strips and multi-strip batches are
+// exercised — extending the same lane-for-lane oracle to the
+// multi-core wide-lane path.
 func FuzzBatchVsFixed(f *testing.F) {
 	c, err := code.SmallTestCode(2, 4, 31, 1)
 	if err != nil {
@@ -35,10 +36,14 @@ func FuzzBatchVsFixed(f *testing.F) {
 		p.MaxIterations = 1 + int(iters)%25
 		nf := 1 + int(lanes)%Lanes
 		shards := 1 + int(iters)%5
+		laneWidth := LaneWidths[(int(iters)+int(lanes))%len(LaneWidths)]
 		superBatch := 1 + int(lanes)%4
-		// Total frames fill superBatch words minus a tail, so the last
-		// word of the super-batch is usually partial.
-		nfp := superBatch*Lanes - int(iters)%Lanes
+		if superBatch*laneWidth > MaxSuperBatch {
+			superBatch = MaxSuperBatch / laneWidth // bound the scalar replays
+		}
+		// Total frames fill the super-batch's words minus a tail, so the
+		// last word — and usually the last strip — is partial.
+		nfp := superBatch*laneWidth*Lanes - int(iters)%Lanes
 		frame := func(ln int) []int16 {
 			// Each frame is a rotation of the fuzzed bytes, folded into
 			// the Q(5,1) range [-15, +15].
@@ -65,7 +70,7 @@ func FuzzBatchVsFixed(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pd, err := NewParallel(c, p, ParallelConfig{Shards: shards, SuperBatch: superBatch})
+		pd, err := NewParallel(c, p, ParallelConfig{Shards: shards, SuperBatch: superBatch, LaneWidth: laneWidth})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,12 +100,12 @@ func FuzzBatchVsFixed(f *testing.F) {
 		for ln := 0; ln < nfp; ln++ {
 			want := fd.DecodeQ(qsp[ln])
 			if !pgot[ln].Bits.Equal(want.Bits) {
-				t.Fatalf("S%dW%d frame %d/%d, %d iters: sharded hard decisions diverge from scalar decoder",
-					shards, superBatch, ln, nfp, p.MaxIterations)
+				t.Fatalf("S%dW%dL%d frame %d/%d, %d iters: sharded hard decisions diverge from scalar decoder",
+					shards, superBatch, laneWidth, ln, nfp, p.MaxIterations)
 			}
 			if pgot[ln].Iterations != want.Iterations || pgot[ln].Converged != want.Converged {
-				t.Fatalf("S%dW%d frame %d/%d: sharded (it=%d conv=%v) vs scalar (it=%d conv=%v)",
-					shards, superBatch, ln, nfp, pgot[ln].Iterations, pgot[ln].Converged, want.Iterations, want.Converged)
+				t.Fatalf("S%dW%dL%d frame %d/%d: sharded (it=%d conv=%v) vs scalar (it=%d conv=%v)",
+					shards, superBatch, laneWidth, ln, nfp, pgot[ln].Iterations, pgot[ln].Converged, want.Iterations, want.Converged)
 			}
 		}
 	})

@@ -83,6 +83,7 @@ func TestDecodeQIntoValidation(t *testing.T) {
 // TestDecodeQIntoZeroAlloc verifies the hot path a worker pool relies
 // on: with caller-provided vectors, a decode allocates nothing.
 func TestDecodeQIntoZeroAlloc(t *testing.T) {
+	skipUnderFuzzEngine(t)
 	c := smallCode(t)
 	p := highSpeedParams()
 	d, err := NewDecoder(c, p)

@@ -1,0 +1,260 @@
+package batch
+
+import "ccsdsldpc/internal/ldpc"
+
+// This file holds the strip-generic decode kernels shared by Decoder
+// (instantiated at [1]uint64) and Parallel (instantiated at the
+// configured LaneWidth). Each kernel advances whole strips of packed
+// words per graph step; the arithmetic per (word, node) is exactly the
+// single-word SWAR loop body, so every lane stays bit-compatible with
+// internal/fixed regardless of strip width.
+
+// stripState is the decoder state a strip kernel operates on. Both
+// Decoder and Parallel embed one; the kernels are free functions over
+// it so a single generic body serves every decoder shape.
+type stripState struct {
+	g *ldpc.Graph
+
+	// tw is the bank stride: the packed words of edge e (or bit node j)
+	// occupy [e*tw, e*tw+tw). nsw is the number of live words this
+	// decode, rounded up to a whole number of strips; padding words in
+	// [nw, nsw) are fully frozen from the start and never observed.
+	tw  int
+	nsw int
+
+	qw    []uint64 // channel LLRs, per VN (bank-major)
+	vcw   []uint64 // variable→check messages, per edge
+	cvw   []uint64 // check→variable messages, per edge
+	postw []uint64 // posteriors, per VN
+
+	// done[w] holds 0xFF in every frozen lane of word w.
+	done []uint64
+
+	// Precomputed lane constants (see Decoder).
+	num       uint64
+	shift     uint
+	shiftMask uint64
+	maxVec    uint64
+	negMaxVec uint64
+}
+
+// stripKernels binds one strip width's kernel instantiations, chosen
+// once at decoder construction so the decode loop pays a plain indirect
+// call instead of a per-phase width switch.
+type stripKernels struct {
+	cn    func(st *stripState, ilo, ihi int)
+	bn    func(st *stripState, jlo, jhi int)
+	unsat func(st *stripState, ilo, ihi int, out []uint64)
+}
+
+func bindKernels[S strip]() stripKernels {
+	return stripKernels{cn: cnStrips[S], bn: bnStrips[S], unsat: unsatStrips[S]}
+}
+
+// kernelsFor returns the kernel set for a validated lane width.
+//
+// Width 8 deliberately binds the [4]uint64 instantiation: the kernels
+// only see tw and nsw, and an nsw rounded to 8 words is also a whole
+// number of 4-word strips, so the two instantiations compute the
+// identical result — but the [8]uint64 body keeps ~5 eight-word
+// accumulators live and spills on machines without 32 wide registers,
+// measuring 2–7% *slower* than [4]uint64 over the same words. The
+// 8-word layout (512-frame capacity) is kept; only the register
+// footprint of the inner loop is halved.
+func kernelsFor(w int) stripKernels {
+	switch w {
+	case 1:
+		return bindKernels[[1]uint64]()
+	case 2:
+		return bindKernels[[2]uint64]()
+	case 4, 8:
+		return bindKernels[[4]uint64]()
+	}
+	// Construction validates via ValidLaneWidth; unreachable after that.
+	panic("batch: unsupported lane width")
+}
+
+// initEdges seeds vc with the channel words and clears cv on an edge
+// range. It covers the padding words too, so every decode starts dead
+// words from legitimate in-range message values (their results are
+// masked everywhere observable, but the SWAR preconditions — no −128
+// lanes — must hold even for lanes nobody reads).
+func initEdges(st *stripState, elo, ehi int) {
+	g, tw, nsw := st.g, st.tw, st.nsw
+	qw, vcw, cvw := st.qw, st.vcw, st.cvw
+	for e := elo; e < ehi; e++ {
+		jb := int(g.EdgeVN[e]) * tw
+		eb := e * tw
+		for w := 0; w < nsw; w++ {
+			vcw[eb+w] = qw[jb+w]
+			cvw[eb+w] = 0
+		}
+	}
+}
+
+// cnStrips runs the packed check-node update (paper equation (2)) on a
+// check-node range, one strip of words at a time: per lane, the sign
+// product and scaled min of the other inputs via the min1/min2 trick.
+// The strip length is a compile-time constant per instantiation, so the
+// per-word loops unroll. A strip whose lanes are all frozen is skipped;
+// frozen lanes inside a live strip keep their previous messages through
+// the done-mask blend, freezing the whole lane trajectory exactly like
+// the single-word decoder.
+func cnStrips[S strip](st *stripState, ilo, ihi int) {
+	g, tw, nsw := st.g, st.tw, st.nsw
+	vcw, cvw, done := st.vcw, st.cvw, st.done
+	num, shift, shiftMask := st.num, st.shift, st.shiftMask
+	K := stripLen[S]()
+	for i := ilo; i < ihi; i++ {
+		lo, hi := int(g.CNOff[i]), int(g.CNOff[i+1])
+		for sb := 0; sb < nsw; sb += K {
+			var dn S
+			frozen := ^uint64(0)
+			for k := 0; k < K; k++ {
+				dn[k] = done[sb+k]
+				frozen &= dn[k]
+			}
+			if frozen == ^uint64(0) {
+				continue
+			}
+			// Pass 1: per-lane sign parity, min1, min2 and min1's position.
+			var signAcc, minIdx, min1, min2 S
+			for k := 0; k < K; k++ {
+				min1[k] = ^laneMSB // +127 in every lane: above any magnitude
+				min2[k] = ^laneMSB
+			}
+			idx := uint64(0)
+			for e := lo; e < hi; e++ {
+				base := e*tw + sb
+				for k := 0; k < K; k++ {
+					x := vcw[base+k]
+					signAcc[k] ^= x & laneMSB
+					m := abs8(x)
+					lt1 := ltMask8(m, min1[k])
+					min2[k] = blend8(min8(min2[k], m), min1[k], lt1)
+					minIdx[k] = blend8(minIdx[k], idx, lt1)
+					min1[k] = blend8(min1[k], m, lt1)
+				}
+				idx += laneLSB
+			}
+			// Pass 2: each edge outputs min1 — or min2 in the lanes where
+			// this edge is the minimum — scaled by Num/2^Shift, with the
+			// extrinsic sign.
+			idx = 0
+			for e := lo; e < hi; e++ {
+				base := e*tw + sb
+				for k := 0; k < K; k++ {
+					x := vcw[base+k]
+					eq := eqMask8(minIdx[k], idx)
+					m := blend8(min1[k], min2[k], eq)
+					v := m * num >> shift & shiftMask
+					sf := boolMask8(signAcc[k] ^ x)
+					out := sub8(v^sf, sf)
+					if dn[k] != 0 {
+						out = blend8(out, cvw[base+k], dn[k])
+					}
+					cvw[base+k] = out
+				}
+				idx += laneLSB
+			}
+		}
+	}
+}
+
+// bnStrips runs the packed bit-node update (paper equation (3)) on a
+// bit-node range, strip-wise: the posterior is the channel word plus
+// all incoming messages; each outgoing message is the posterior minus
+// the edge's own input, saturated into the format range. Recomputing a
+// frozen word inside a live strip is idempotent (its cv and channel
+// words are frozen), so only fully frozen strips are skipped.
+func bnStrips[S strip](st *stripState, jlo, jhi int) {
+	g, tw, nsw := st.g, st.tw, st.nsw
+	vcw, cvw, postw, qw, done := st.vcw, st.cvw, st.postw, st.qw, st.done
+	maxVec, negMaxVec := st.maxVec, st.negMaxVec
+	K := stripLen[S]()
+	for j := jlo; j < jhi; j++ {
+		klo, khi := int(g.VNOff[j]), int(g.VNOff[j+1])
+		for sb := 0; sb < nsw; sb += K {
+			frozen := ^uint64(0)
+			for k := 0; k < K; k++ {
+				frozen &= done[sb+k]
+			}
+			if frozen == ^uint64(0) {
+				continue
+			}
+			jb := j*tw + sb
+			var post S
+			for k := 0; k < K; k++ {
+				post[k] = qw[jb+k]
+			}
+			for kk := klo; kk < khi; kk++ {
+				eb := int(g.VNEdges[kk])*tw + sb
+				for k := 0; k < K; k++ {
+					post[k] = add8(post[k], cvw[eb+k])
+				}
+			}
+			for k := 0; k < K; k++ {
+				postw[jb+k] = post[k]
+			}
+			for kk := klo; kk < khi; kk++ {
+				eb := int(g.VNEdges[kk])*tw + sb
+				for k := 0; k < K; k++ {
+					x := sub8(post[k], cvw[eb+k])
+					x = blend8(x, maxVec, ltMask8(maxVec, x))
+					x = blend8(x, negMaxVec, ltMask8(x, negMaxVec))
+					vcw[eb+k] = x
+				}
+			}
+		}
+	}
+}
+
+// unsatStrips evaluates the parity checks of a check-node range on the
+// packed posterior signs, accumulating per-word syndrome MSBs into
+// out[w]. A strip exits the node loop early once every word in it is
+// decided — each live lane known unsatisfied or frozen. The syndrome
+// accumulator is OR-monotone and frozen lanes are masked downstream, so
+// the early exit is observably identical to the per-word exit of the
+// single-word decoder.
+func unsatStrips[S strip](st *stripState, ilo, ihi int, out []uint64) {
+	g, tw, nsw := st.g, st.tw, st.nsw
+	postw, done := st.postw, st.done
+	K := stripLen[S]()
+	for w := 0; w < nsw; w++ {
+		out[w] = 0
+	}
+	for sb := 0; sb < nsw; sb += K {
+		var dn S
+		frozen := ^uint64(0)
+		for k := 0; k < K; k++ {
+			dn[k] = done[sb+k] & laneMSB
+			frozen &= done[sb+k]
+		}
+		if frozen == ^uint64(0) {
+			continue
+		}
+		var acc S
+		for i := ilo; i < ihi; i++ {
+			var par S
+			for e := int(g.CNOff[i]); e < int(g.CNOff[i+1]); e++ {
+				base := int(g.EdgeVN[e])*tw + sb
+				for k := 0; k < K; k++ {
+					par[k] ^= postw[base+k]
+				}
+			}
+			decided := true
+			for k := 0; k < K; k++ {
+				acc[k] |= par[k] & laneMSB
+				if acc[k]|dn[k] != laneMSB {
+					decided = false
+				}
+			}
+			if decided {
+				break
+			}
+		}
+		for k := 0; k < K; k++ {
+			out[sb+k] = acc[k]
+		}
+	}
+}

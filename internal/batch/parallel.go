@@ -10,14 +10,13 @@ import (
 	"ccsdsldpc/internal/ldpc"
 )
 
-// MaxSuperBatch is the largest number of packed words one Parallel
-// decode call may carry: 8 words × 8 lanes = 64 frames, the paper's
-// high-speed packing squared.
+// MaxSuperBatch is the largest super-batch depth: up to 8 strips per
+// decode call, the paper's high-speed packing squared at LaneWidth 1.
 const MaxSuperBatch = 8
 
 // MaxFrames is the frame capacity of a maximally configured Parallel
-// decoder.
-const MaxFrames = MaxSuperBatch * Lanes
+// decoder: 8 strips × 8 words × 8 lanes = 512 frames per decode call.
+const MaxFrames = MaxSuperBatch * MaxLaneWidth * Lanes
 
 // ParallelConfig sizes a sharded super-batch decoder.
 //
@@ -31,21 +30,28 @@ const MaxFrames = MaxSuperBatch * Lanes
 // results are bit-identical to the scalar decoder for every shard
 // count. Shards beyond the number of check nodes idle harmlessly.
 //
-// SuperBatch is the number of 8-lane packed words one decode call
-// processes (1..MaxSuperBatch): W words carry up to W×8 independent
-// frames through a single traversal of the Tanner graph per phase,
-// with the per-edge words of the W frames groups laid out
-// consecutively (bank-major) so the graph indices are fetched once
-// per edge rather than once per word.
+// LaneWidth is the strip width in packed words (1, 2, 4 or 8,
+// default 1): the CN/BN kernels advance LaneWidth words — up to
+// 8×LaneWidth frames — as one register-resident strip per graph step,
+// the software form of widening the paper's Fig. 3 memory word a
+// second time beyond its 8-frame packing.
+//
+// SuperBatch is the number of strips one decode call processes
+// (1..MaxSuperBatch): SuperBatch × LaneWidth packed words carry up to
+// SuperBatch × LaneWidth × 8 independent frames through a single
+// traversal of the Tanner graph per phase, with the per-edge words
+// laid out consecutively (bank-major) so the graph indices are
+// fetched once per edge rather than once per word.
 //
 // Where the paper scales its processing block by instantiating more
-// CN/BN units per clock, this decoder scales it by assigning more
-// cores per decode: Shards plays the role of the parallelism degree
-// of the processing block, SuperBatch the depth of the frame buffer
-// feeding it.
+// CN/BN units per clock, this decoder scales it along three axes:
+// Shards plays the role of the parallelism degree of the processing
+// block, LaneWidth the width of one processing unit's datapath, and
+// SuperBatch the depth of the frame buffer feeding it.
 type ParallelConfig struct {
 	Shards     int // phase worker goroutines (default 1)
-	SuperBatch int // packed words per decode call (default 1)
+	SuperBatch int // strips per decode call (default 1)
+	LaneWidth  int // packed words per strip: 1, 2, 4 or 8 (default 1)
 }
 
 func (cfg *ParallelConfig) setDefaults() error {
@@ -55,14 +61,23 @@ func (cfg *ParallelConfig) setDefaults() error {
 	if cfg.SuperBatch == 0 {
 		cfg.SuperBatch = 1
 	}
+	if cfg.LaneWidth == 0 {
+		cfg.LaneWidth = 1
+	}
 	if cfg.Shards < 1 {
 		return fmt.Errorf("batch: %d shards", cfg.Shards)
 	}
 	if cfg.SuperBatch < 1 || cfg.SuperBatch > MaxSuperBatch {
 		return fmt.Errorf("batch: super-batch %d out of range [1,%d]", cfg.SuperBatch, MaxSuperBatch)
 	}
+	if !ValidLaneWidth(cfg.LaneWidth) {
+		return fmt.Errorf("batch: lane width %d not in {1, 2, 4, 8}", cfg.LaneWidth)
+	}
 	return nil
 }
+
+// words returns the packed words per decode call (the bank stride).
+func (cfg ParallelConfig) words() int { return cfg.SuperBatch * cfg.LaneWidth }
 
 // Parallel is the multi-core sharded super-batch decoder: the packed
 // SWAR datapath of Decoder, scaled across ParallelConfig.Shards worker
@@ -85,12 +100,12 @@ type Parallel struct {
 	p   fixed.Params
 	cfg ParallelConfig
 
-	// Packed state, bank-major: the W super-batch words of edge e (or
-	// bit node j) are consecutive at [e*W : e*W+W].
-	qw    []uint64
-	vcw   []uint64
-	cvw   []uint64
-	postw []uint64
+	// st holds the packed state, bank-major: the tw = SuperBatch ×
+	// LaneWidth words of edge e (or bit node j) are consecutive at
+	// [e*tw : e*tw+tw). kern is the strip-kernel set bound to
+	// cfg.LaneWidth at construction.
+	st   stripState
+	kern stripKernels
 
 	// Deterministic shard partitions: shard s owns check nodes
 	// [cnLo[s], cnHi[s]) and bit nodes [vnLo[s], vnHi[s]), both
@@ -102,10 +117,11 @@ type Parallel struct {
 
 	// Per-decode live state, read by the shard workers between the
 	// barriers of one phase (the channel send/receive pair orders the
-	// writes here before the reads there).
+	// writes here before the reads there). st.done holds the per-word
+	// frozen-lane masks, st.nsw the live word count rounded up to
+	// whole strips.
 	nw    int        // live words this decode
 	nf    int        // live frames this decode
-	done  []uint64   // per-word frozen-lane masks (0xFF per frozen lane)
 	unsat [][]uint64 // per-shard, per-word partial syndrome MSB accumulators
 
 	hard []*bitvec.Vector // Decode/DecodeQ shared result vectors
@@ -119,13 +135,6 @@ type Parallel struct {
 	inj   fixed.Injector
 	cvMem *superMem
 	vcMem *superMem
-
-	// Lane constants (same as Decoder).
-	maxVec    uint64
-	negMaxVec uint64
-	num       uint64
-	shift     uint
-	shiftMask uint64
 
 	closed bool
 }
@@ -144,25 +153,17 @@ func NewParallelGraph(g *ldpc.Graph, p fixed.Params, cfg ParallelConfig) (*Paral
 	if err := validatePacked(g, p); err != nil {
 		return nil, err
 	}
-	W := cfg.SuperBatch
-	max := int(p.Format.Max())
+	tw := cfg.words()
 	d := &Parallel{
 		g: g, p: p, cfg: cfg,
-		qw:        make([]uint64, g.N*W),
-		vcw:       make([]uint64, g.E*W),
-		cvw:       make([]uint64, g.E*W),
-		postw:     make([]uint64, g.N*W),
-		done:      make([]uint64, W),
-		hard:      make([]*bitvec.Vector, W*Lanes),
-		q16:       make([]int16, g.N),
-		iters:     make([]int, W*Lanes),
-		conv:      make([]bool, W*Lanes),
-		maxVec:    broadcast8(uint8(int8(max))),
-		negMaxVec: broadcast8(uint8(int8(-max))),
-		num:       uint64(p.Scale.Num),
-		shift:     uint(p.Scale.Shift),
-		shiftMask: broadcast8(0xFF >> uint(p.Scale.Shift)),
+		kern:  kernelsFor(cfg.LaneWidth),
+		hard:  make([]*bitvec.Vector, tw*Lanes),
+		q16:   make([]int16, g.N),
+		iters: make([]int, tw*Lanes),
+		conv:  make([]bool, tw*Lanes),
 	}
+	d.st = newStripState(g, p, tw, tw)
+	d.st.done = make([]uint64, tw)
 	for f := range d.hard {
 		d.hard[f] = bitvec.New(g.N)
 	}
@@ -170,7 +171,7 @@ func NewParallelGraph(g *ldpc.Graph, p fixed.Params, cfg ParallelConfig) (*Paral
 	d.vnLo, d.vnHi = partitionByEdges(cfg.Shards, g.N, func(j int) int { return g.VNDegree(j) })
 	d.unsat = make([][]uint64, cfg.Shards)
 	for s := range d.unsat {
-		d.unsat[s] = make([]uint64, W)
+		d.unsat[s] = make([]uint64, tw)
 	}
 	d.pool = newShardPool(d, cfg.Shards)
 	return d, nil
@@ -211,8 +212,8 @@ func (d *Parallel) Config() ParallelConfig { return d.cfg }
 func (d *Parallel) Params() fixed.Params { return d.p }
 
 // Capacity returns the maximum frames per decode call
-// (SuperBatch × Lanes).
-func (d *Parallel) Capacity() int { return d.cfg.SuperBatch * Lanes }
+// (SuperBatch × LaneWidth × Lanes).
+func (d *Parallel) Capacity() int { return d.cfg.words() * Lanes }
 
 // MaxIterations returns the current iteration budget.
 func (d *Parallel) MaxIterations() int { return d.p.MaxIterations }
@@ -248,8 +249,8 @@ func (d *Parallel) SetInjector(inj fixed.Injector) {
 		d.cvMem, d.vcMem = nil, nil
 		return
 	}
-	d.cvMem = &superMem{d: d, msgs: d.cvw}
-	d.vcMem = &superMem{d: d, msgs: d.vcw}
+	d.cvMem = &superMem{d: d, msgs: d.st.cvw}
+	d.vcMem = &superMem{d: d, msgs: d.st.vcw}
 }
 
 // superMem adapts the bank-major packed words to fixed.MessageMem:
@@ -267,21 +268,21 @@ func (m *superMem) Holds(ln int) bool {
 		return false
 	}
 	w, f := ln/Lanes, ln%Lanes
-	return d.done[w]&(0xFF<<(8*uint(f))) == 0
+	return d.st.done[w]&(0xFF<<(8*uint(f))) == 0
 }
 
 func (m *superMem) Get(ln, edge int) int16 {
 	if !m.Holds(ln) {
 		return 0
 	}
-	return int16(lane(m.msgs[edge*m.d.cfg.SuperBatch+ln/Lanes], ln%Lanes))
+	return int16(lane(m.msgs[edge*m.d.st.tw+ln/Lanes], ln%Lanes))
 }
 
 func (m *superMem) Set(ln, edge int, v int16) {
 	if !m.Holds(ln) {
 		return
 	}
-	i := edge*m.d.cfg.SuperBatch + ln/Lanes
+	i := edge*m.d.st.tw + ln/Lanes
 	m.msgs[i] = putLane(m.msgs[i], ln%Lanes, int8(v))
 }
 
@@ -371,7 +372,7 @@ func (d *Parallel) sharedResults(nf int) []ldpc.Result {
 // packFrame writes one frame's quantized LLRs into lane f%Lanes of
 // word f/Lanes, saturating into the format range.
 func (d *Parallel) packFrame(f int, q []int16) {
-	W := d.cfg.SuperBatch
+	tw := d.st.tw
 	w, ln := f/Lanes, f%Lanes
 	max := d.p.Format.Max()
 	for j, v := range q {
@@ -380,7 +381,7 @@ func (d *Parallel) packFrame(f int, q []int16) {
 		} else if v < -max {
 			v = -max
 		}
-		d.qw[j*W+w] = putLane(d.qw[j*W+w], ln, int8(v))
+		d.st.qw[j*tw+w] = putLane(d.st.qw[j*tw+w], ln, int8(v))
 	}
 }
 
@@ -392,11 +393,11 @@ func (d *Parallel) zeroTail(nf int) {
 	if rem == 0 {
 		return
 	}
-	W := d.cfg.SuperBatch
+	tw := d.st.tw
 	w := nf / Lanes
 	keep := ^uint64(0) >> (8 * uint(Lanes-rem))
 	for j := 0; j < d.g.N; j++ {
-		d.qw[j*W+w] &= keep
+		d.st.qw[j*tw+w] &= keep
 	}
 }
 
@@ -415,13 +416,22 @@ func (d *Parallel) decodeInto(res []ldpc.Result) error {
 	d.zeroTail(nf)
 	nw := (nf + Lanes - 1) / Lanes
 	d.nw, d.nf = nw, nf
+	// Round the live words up to whole strips; the padding words in
+	// [nw, nsw) are fully frozen from the start, so the kernels compute
+	// on them only as dead weight inside a live strip and nothing
+	// observable ever reads them.
+	K := d.cfg.LaneWidth
+	d.st.nsw = (nw + K - 1) / K * K
 	for w := 0; w < nw; w++ {
 		live := nf - w*Lanes
 		if live >= Lanes {
-			d.done[w] = 0
+			d.st.done[w] = 0
 		} else {
-			d.done[w] = ^(^uint64(0) >> (8 * uint(Lanes-live)))
+			d.st.done[w] = ^(^uint64(0) >> (8 * uint(Lanes-live)))
 		}
+	}
+	for w := nw; w < d.st.nsw; w++ {
+		d.st.done[w] = ^uint64(0)
 	}
 	for f := 0; f < nf; f++ {
 		d.iters[f], d.conv[f] = 0, false
@@ -445,7 +455,7 @@ func (d *Parallel) decodeInto(res []ldpc.Result) error {
 		d.pool.run(opUnsat)
 		allDone = true
 		for w := 0; w < nw; w++ {
-			if d.done[w] == ^uint64(0) {
+			if d.st.done[w] == ^uint64(0) {
 				continue
 			}
 			var acc uint64
@@ -453,7 +463,7 @@ func (d *Parallel) decodeInto(res []ldpc.Result) error {
 				acc |= d.unsat[s][w]
 			}
 			unsat := boolMask8(acc)
-			if newly := ^unsat &^ d.done[w]; newly != 0 {
+			if newly := ^unsat &^ d.st.done[w]; newly != 0 {
 				base := w * Lanes
 				top := nf - base
 				if top > Lanes {
@@ -465,9 +475,9 @@ func (d *Parallel) decodeInto(res []ldpc.Result) error {
 						d.conv[base+f] = true
 					}
 				}
-				d.done[w] |= newly
+				d.st.done[w] |= newly
 			}
-			if d.done[w] != ^uint64(0) {
+			if d.st.done[w] != ^uint64(0) {
 				allDone = false
 			}
 		}
@@ -497,7 +507,7 @@ func (d *Parallel) decodeInto(res []ldpc.Result) error {
 			}
 		}
 	}
-	W := d.cfg.SuperBatch
+	tw := d.st.tw
 	for f := 0; f < nf; f++ {
 		if res[f].Bits == nil {
 			res[f].Bits = bitvec.New(d.g.N)
@@ -506,7 +516,7 @@ func (d *Parallel) decodeInto(res []ldpc.Result) error {
 		h.Zero()
 		w, sh := f/Lanes, uint(8*(f%Lanes)+7)
 		for j := 0; j < d.g.N; j++ {
-			if d.postw[j*W+w]>>sh&1 == 1 {
+			if d.st.postw[j*tw+w]>>sh&1 == 1 {
 				h.Set(j)
 			}
 		}
@@ -518,130 +528,43 @@ func (d *Parallel) decodeInto(res []ldpc.Result) error {
 
 // --- shard phase kernels ---------------------------------------------
 //
-// Each kernel runs on one shard's node range for every live word. The
-// arithmetic per (word, check/bit node) is byte-for-byte the loop body
-// of Decoder.cnPhase / Decoder.bnPhase / Decoder.unsatLanes; the only
-// difference is the bank-major indexing (edge e, word w) → e*W+w and
-// the graph offsets being fetched once per node instead of once per
-// (node, word). Words whose lanes are all frozen are skipped: their
-// messages must stay put, and skipping is exactly the freeze the
-// single-word decoder realizes by breaking out of its iteration loop.
+// Each phase runs the strip kernels of kernels.go on one shard's node
+// range for every live strip. The arithmetic per (word, check/bit
+// node) is byte-for-byte the loop body of Decoder.cnPhase /
+// Decoder.bnPhase / Decoder.unsatLanes; the only differences are the
+// bank-major indexing (edge e, word w) → e*tw+w, the graph offsets
+// being fetched once per node instead of once per (node, word), and
+// LaneWidth words advancing per unrolled kernel step. Strips whose
+// lanes are all frozen are skipped: their messages must stay put, and
+// skipping is exactly the freeze the single-word decoder realizes by
+// breaking out of its iteration loop.
 
 // initRange seeds vc with the channel words and clears cv on the edge
 // range owned by shard s (the contiguous edges of its check range).
 func (d *Parallel) initRange(s int) {
-	g, W, nw := d.g, d.cfg.SuperBatch, d.nw
-	elo, ehi := int(g.CNOff[d.cnLo[s]]), int(g.CNOff[d.cnHi[s]])
-	for e := elo; e < ehi; e++ {
-		j := int(g.EdgeVN[e])
-		for w := 0; w < nw; w++ {
-			d.vcw[e*W+w] = d.qw[j*W+w]
-			d.cvw[e*W+w] = 0
-		}
-	}
+	g := d.g
+	initEdges(&d.st, int(g.CNOff[d.cnLo[s]]), int(g.CNOff[d.cnHi[s]]))
 }
 
 // cnRange runs the packed check-node update on shard s's check range:
 // disjoint cv write ranges per check node, so shards never contend.
 func (d *Parallel) cnRange(s int) {
-	g, W, nw := d.g, d.cfg.SuperBatch, d.nw
-	vcw, cvw, done := d.vcw, d.cvw, d.done
-	num, shift, shiftMask := d.num, d.shift, d.shiftMask
-	for i := int(d.cnLo[s]); i < int(d.cnHi[s]); i++ {
-		lo, hi := int(g.CNOff[i]), int(g.CNOff[i+1])
-		for w := 0; w < nw; w++ {
-			dw := done[w]
-			if dw == ^uint64(0) {
-				continue
-			}
-			var signAcc, minIdx uint64
-			min1 := ^laneMSB
-			min2 := ^laneMSB
-			idx := uint64(0)
-			for e := lo; e < hi; e++ {
-				x := vcw[e*W+w]
-				signAcc ^= x & laneMSB
-				m := abs8(x)
-				lt1 := ltMask8(m, min1)
-				min2 = blend8(min8(min2, m), min1, lt1)
-				minIdx = blend8(minIdx, idx, lt1)
-				min1 = blend8(min1, m, lt1)
-				idx += laneLSB
-			}
-			idx = 0
-			for e := lo; e < hi; e++ {
-				x := vcw[e*W+w]
-				eq := eqMask8(minIdx, idx)
-				m := blend8(min1, min2, eq)
-				v := m * num >> shift & shiftMask
-				sf := boolMask8(signAcc ^ x)
-				out := sub8(v^sf, sf)
-				if dw != 0 {
-					out = blend8(out, cvw[e*W+w], dw)
-				}
-				cvw[e*W+w] = out
-				idx += laneLSB
-			}
-		}
-	}
+	d.kern.cn(&d.st, int(d.cnLo[s]), int(d.cnHi[s]))
 }
 
 // bnRange runs the packed bit-node update on shard s's bit-node range:
 // each bit node owns its posterior word and the vc words of its own
 // edges, so shard write sets are disjoint by column.
 func (d *Parallel) bnRange(s int) {
-	g, W, nw := d.g, d.cfg.SuperBatch, d.nw
-	vcw, cvw, postw, qw := d.vcw, d.cvw, d.postw, d.qw
-	maxVec, negMaxVec := d.maxVec, d.negMaxVec
-	for j := int(d.vnLo[s]); j < int(d.vnHi[s]); j++ {
-		klo, khi := int(g.VNOff[j]), int(g.VNOff[j+1])
-		for w := 0; w < nw; w++ {
-			if d.done[w] == ^uint64(0) {
-				continue
-			}
-			post := qw[j*W+w]
-			for k := klo; k < khi; k++ {
-				post = add8(post, cvw[int(g.VNEdges[k])*W+w])
-			}
-			postw[j*W+w] = post
-			for k := klo; k < khi; k++ {
-				e := int(g.VNEdges[k]) * W
-				x := sub8(post, cvw[e+w])
-				x = blend8(x, maxVec, ltMask8(maxVec, x))
-				x = blend8(x, negMaxVec, ltMask8(x, negMaxVec))
-				vcw[e+w] = x
-			}
-		}
-	}
+	d.kern.bn(&d.st, int(d.vnLo[s]), int(d.vnHi[s]))
 }
 
 // unsatRange evaluates the parity checks of shard s's check range on
 // the packed posterior signs, accumulating the per-word syndrome MSBs
-// into d.unsat[s]. Per word it exits early once every live lane is
+// into d.unsat[s]. Per strip it exits early once every live lane is
 // known unsatisfied.
 func (d *Parallel) unsatRange(s int) {
-	g, W, nw := d.g, d.cfg.SuperBatch, d.nw
-	postw := d.postw
-	out := d.unsat[s]
-	for w := 0; w < nw; w++ {
-		out[w] = 0
-		if d.done[w] == ^uint64(0) {
-			continue
-		}
-		doneMSB := d.done[w] & laneMSB
-		var acc uint64
-		for i := int(d.cnLo[s]); i < int(d.cnHi[s]); i++ {
-			var par uint64
-			for e := int(g.CNOff[i]); e < int(g.CNOff[i+1]); e++ {
-				par ^= postw[int(g.EdgeVN[e])*W+w]
-			}
-			acc |= par & laneMSB
-			if acc|doneMSB == laneMSB {
-				break
-			}
-		}
-		out[w] = acc
-	}
+	d.kern.unsat(&d.st, int(d.cnLo[s]), int(d.cnHi[s]), d.unsat[s])
 }
 
 // --- spawn-once shard pool -------------------------------------------

@@ -1,0 +1,41 @@
+package batch
+
+// This file defines the wide-lane strip abstraction: a strip is a short
+// vector of packed uint64 words — conceptually one [W]uint64 register —
+// that the CN/BN kernels advance as a unit. Where the paper widens its
+// message memory word from q bits to 8·q bits to carry 8 frames per
+// clock (Fig. 3), the strip widens it again by a factor W, carrying
+// 8·W frames per kernel step. W is a compile-time constant inside each
+// kernel instantiation (the Go compiler stencils one kernel body per
+// array length, so the per-word loops unroll), while the decoder picks
+// the instantiation at construction time from ParallelConfig.LaneWidth.
+
+// strip is the constraint for the lane-vector types the kernels are
+// instantiated over. Each array element is one 8-lane packed word, so
+// the widths cover 8, 16, 32 and 64 int8 lanes per strip.
+type strip interface {
+	[1]uint64 | [2]uint64 | [4]uint64 | [8]uint64
+}
+
+// MaxLaneWidth is the widest supported strip, in packed words.
+const MaxLaneWidth = 8
+
+// LaneWidths lists the supported strip widths (packed words per strip).
+// Widths are powers of two so a super-batch always splits into whole
+// strips.
+var LaneWidths = [...]int{1, 2, 4, 8}
+
+// ValidLaneWidth reports whether w is a supported strip width.
+func ValidLaneWidth(w int) bool {
+	switch w {
+	case 1, 2, 4, 8:
+		return true
+	}
+	return false
+}
+
+// stripLen returns the compile-time length of a strip instantiation.
+func stripLen[S strip]() int {
+	var z S
+	return len(z)
+}

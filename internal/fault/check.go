@@ -40,7 +40,8 @@ type CheckConfig struct {
 	// occupy word 0 of each super-batch, so geometries with SuperBatch>1
 	// additionally exercise the partial-super-batch path under faults.
 	// Nil picks a default matrix covering even, uneven and degenerate
-	// partitions: {2,1}, {3,2}, {4,4}.
+	// partitions plus wide-lane strips: {S2,B1}, {S3,B2}, {S4,B4},
+	// {S1,B1,L4} and {S2,B2,L8} (L = LaneWidth).
 	Parallel []batch.ParallelConfig
 }
 
@@ -125,17 +126,19 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 			{Shards: 2, SuperBatch: 1},
 			{Shards: 3, SuperBatch: 2},
 			{Shards: 4, SuperBatch: 4},
+			{Shards: 1, SuperBatch: 1, LaneWidth: 4},
+			{Shards: 2, SuperBatch: 2, LaneWidth: 8},
 		}
 	}
 	pdFP := make([]*batch.Parallel, len(pcfgs))
 	pdES := make([]*batch.Parallel, len(pcfgs))
 	for i, pc := range pcfgs {
 		if pdFP[i], err = batch.NewParallel(cfg.Code, fp, pc); err != nil {
-			return rep, fmt.Errorf("parallel S%dW%d: %w", pc.Shards, pc.SuperBatch, err)
+			return rep, fmt.Errorf("parallel S%dW%dL%d: %w", pc.Shards, pc.SuperBatch, pc.LaneWidth, err)
 		}
 		defer pdFP[i].Close()
 		if pdES[i], err = batch.NewParallel(cfg.Code, es, pc); err != nil {
-			return rep, fmt.Errorf("parallel S%dW%d: %w", pc.Shards, pc.SuperBatch, err)
+			return rep, fmt.Errorf("parallel S%dW%dL%d: %w", pc.Shards, pc.SuperBatch, pc.LaneWidth, err)
 		}
 		defer pdES[i].Close()
 	}
@@ -267,20 +270,20 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 			pres, err := pd.DecodeQ(qllr)
 			pd.SetInjector(nil)
 			if err != nil {
-				return rep, fmt.Errorf("scenario %d (seed %#x): parallel S%dW%d: %w", s, scenSeed, pc.Shards, pc.SuperBatch, err)
+				return rep, fmt.Errorf("scenario %d (seed %#x): parallel S%dW%dL%d: %w", s, scenSeed, pc.Shards, pc.SuperBatch, pc.LaneWidth, err)
 			}
 			for f := 0; f < lanes; f++ {
 				if !pres[f].Bits.Equal(fixedBits[f]) {
-					return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: parallel S%dW%d hard decision diverges from fixed",
-						s, scenSeed, f, pc.Shards, pc.SuperBatch)
+					return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: parallel S%dW%dL%d hard decision diverges from fixed",
+						s, scenSeed, f, pc.Shards, pc.SuperBatch, pc.LaneWidth)
 				}
 				if pres[f].Iterations != fixedIters[f] {
-					return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: parallel S%dW%d ran %d iterations, fixed %d",
-						s, scenSeed, f, pc.Shards, pc.SuperBatch, pres[f].Iterations, fixedIters[f])
+					return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: parallel S%dW%dL%d ran %d iterations, fixed %d",
+						s, scenSeed, f, pc.Shards, pc.SuperBatch, pc.LaneWidth, pres[f].Iterations, fixedIters[f])
 				}
 				if pres[f].Converged != fixedConv[f] {
-					return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: parallel S%dW%d converged=%v, fixed %v",
-						s, scenSeed, f, pc.Shards, pc.SuperBatch, pres[f].Converged, fixedConv[f])
+					return rep, fmt.Errorf("scenario %d (seed %#x) lane %d: parallel S%dW%dL%d converged=%v, fixed %v",
+						s, scenSeed, f, pc.Shards, pc.SuperBatch, pc.LaneWidth, pres[f].Converged, fixedConv[f])
 				}
 			}
 			rep.ParallelLanesCompared += lanes

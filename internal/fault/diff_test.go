@@ -6,7 +6,7 @@ import "testing"
 // framework: over 104 seeded scenarios (mixing SEUs, stuck-at units and
 // channel erasures, alternating fixed-period and early-stop schedules)
 // the scalar fixed-point decoder, every lane of the SWAR batch decoder,
-// every sharded super-batch geometry in the default matrix, and — on
+// every sharded and wide-lane geometry in the default matrix, and — on
 // the fixed-period half — the cycle-accurate machine must emit
 // identical hard decisions, iteration counts and convergence flags.
 func TestCrossDecoderEquivalence(t *testing.T) {
@@ -28,8 +28,8 @@ func TestCrossDecoderEquivalence(t *testing.T) {
 	if rep.LanesCompared != 104*8 {
 		t.Errorf("compared %d lanes, want %d", rep.LanesCompared, 104*8)
 	}
-	if rep.ParallelLanesCompared != 104*3*8 {
-		t.Errorf("compared %d sharded lanes, want %d (3 geometries)", rep.ParallelLanesCompared, 104*3*8)
+	if rep.ParallelLanesCompared != 104*5*8 {
+		t.Errorf("compared %d sharded lanes, want %d (5 geometries)", rep.ParallelLanesCompared, 104*5*8)
 	}
 	if rep.SEUs == 0 {
 		t.Error("campaign injected no SEUs")

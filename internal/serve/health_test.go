@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"ccsdsldpc/internal/batch"
+
 	"testing"
 	"time"
 )
@@ -87,7 +89,7 @@ func TestHealthHysteresisDefaults(t *testing.T) {
 // transitions with an injected clock and checks the latched state, the
 // trip counter and the mirrored expvar gauges.
 func TestBreakerTripAndRecover(t *testing.T) {
-	m := newMetrics(1)
+	m := newMetrics(1, batch.Lanes)
 	b := newBreaker(10*time.Second, 0.3, 0.1, 10, m)
 	now := time.Unix(3_000_000, 0)
 	b.setNow(func() time.Time { return now })

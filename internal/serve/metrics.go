@@ -67,17 +67,28 @@ type Metrics struct {
 	breakerTrips   atomic.Int64 // circuit-breaker normal→degraded transitions
 	degraded       atomic.Int64 // 1 while the breaker holds degraded mode
 
-	fill    [batch.MaxFrames]atomic.Int64 // fill[k-1] = batches with k frames
-	latency [latencyBuckets]atomic.Int64
+	// dispatchWidth is the configured maximum frames per dispatch
+	// (Config.MaxBatch) — the denominator of every fill statistic. It
+	// is derived from the configured lane geometry, not the 8-lane
+	// packing constant, so the fill numbers stay honest at LaneWidth or
+	// SuperBatch > 1.
+	dispatchWidth int
+	fill          []atomic.Int64 // fill[k-1] = batches with k frames
+	latency       [latencyBuckets]atomic.Int64
 
 	workerFrames []atomic.Int64
 	workerIters  []atomic.Int64
 }
 
-func newMetrics(workers int) *Metrics {
+func newMetrics(workers, dispatchWidth int) *Metrics {
+	if dispatchWidth < 1 {
+		dispatchWidth = batch.Lanes
+	}
 	return &Metrics{
-		workerFrames: make([]atomic.Int64, workers),
-		workerIters:  make([]atomic.Int64, workers),
+		dispatchWidth: dispatchWidth,
+		fill:          make([]atomic.Int64, dispatchWidth),
+		workerFrames:  make([]atomic.Int64, workers),
+		workerIters:   make([]atomic.Int64, workers),
 	}
 }
 
@@ -127,11 +138,17 @@ type Snapshot struct {
 	Degraded       bool  `json:"degraded"`
 
 	// BatchFill[k-1] is the number of dispatched batches holding k
-	// frames; BatchFillMean is the mean batch occupancy — the paper's
-	// 8-frame memory word is fully used only when this approaches the
-	// dispatch width (8 per word, up to 64 for an 8-word super-batch).
+	// frames, sized to the configured dispatch width; BatchFillMean is
+	// the mean batch occupancy and BatchFillFrac its fraction of
+	// DispatchWidth — the paper's packed memory words are fully used
+	// only when the fraction approaches 1. DispatchWidth is
+	// Config.MaxBatch (8 per word, up to 512 for an 8-strip super-batch
+	// of 8-word strips), so the denominator tracks the configured lane
+	// geometry instead of assuming the 8-lane single word.
 	BatchFill     []int64 `json:"batch_fill"`
 	BatchFillMean float64 `json:"batch_fill_mean"`
+	BatchFillFrac float64 `json:"batch_fill_frac"`
+	DispatchWidth int64   `json:"dispatch_width"`
 
 	// Request latency quantiles in microseconds (queueing + decode),
 	// from a log-linear histogram with ≤12.5% resolution.
@@ -158,13 +175,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		FramesCrashed:  m.framesCrashed.Load(),
 		BreakerTrips:   m.breakerTrips.Load(),
 		Degraded:       m.degraded.Load() != 0,
-		BatchFill:      make([]int64, batch.MaxFrames),
+		BatchFill:      make([]int64, len(m.fill)),
+		DispatchWidth:  int64(m.dispatchWidth),
 	}
 	for k := range m.fill {
 		s.BatchFill[k] = m.fill[k].Load()
 	}
 	if s.Batches > 0 {
 		s.BatchFillMean = float64(s.FramesDecoded) / float64(s.Batches)
+		s.BatchFillFrac = s.BatchFillMean / float64(m.dispatchWidth)
 	}
 	if s.FramesDecoded > 0 {
 		s.AvgIterations = float64(s.Iterations) / float64(s.FramesDecoded)

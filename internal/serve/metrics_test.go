@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"ccsdsldpc/internal/batch"
+
 	"encoding/json"
 	"math"
 	"testing"
@@ -35,7 +37,7 @@ func TestLatencyBucketResolution(t *testing.T) {
 }
 
 func TestQuantiles(t *testing.T) {
-	m := newMetrics(1)
+	m := newMetrics(1, batch.Lanes)
 	// 90 samples at ~100 µs, 10 at ~10 ms.
 	for i := 0; i < 90; i++ {
 		m.recordLatency(100)
@@ -56,7 +58,7 @@ func TestQuantiles(t *testing.T) {
 }
 
 func TestSnapshotAccounting(t *testing.T) {
-	m := newMetrics(2)
+	m := newMetrics(2, batch.Lanes)
 	m.framesIn.Add(11)
 	m.recordBatch(0, 8, 8*18)
 	m.recordBatch(1, 3, 3*10)

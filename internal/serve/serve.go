@@ -13,13 +13,14 @@
 // decoder, so a loaded server decodes at the packed rate while a lone
 // frame still meets its latency SLO via the linger deadline.
 //
-// Config.Shards and Config.SuperBatch scale each worker's decoder the
-// way the paper scales the processing block with more CN/BN units:
-// Shards spreads one decode's CN/BN phases across shard goroutines
-// (bit-identically), and SuperBatch packs up to 8 memory words — 64
-// frames — into one dispatch. Workers × Shards is budgeted against
-// GOMAXPROCS so the two levels of parallelism compose instead of
-// oversubscribing.
+// Config.Shards, Config.LaneWidth and Config.SuperBatch scale each
+// worker's decoder the way the paper scales the processing block with
+// more CN/BN units: Shards spreads one decode's CN/BN phases across
+// shard goroutines (bit-identically), LaneWidth widens the kernel
+// strips to up to 8 words per step, and SuperBatch stacks up to 8
+// strips — together up to 64 memory words, 512 frames — into one
+// dispatch. Workers × Shards is budgeted against GOMAXPROCS so the
+// levels of parallelism compose instead of oversubscribing.
 //
 // Capacity is bounded end to end: a full queue sheds load with
 // ErrOverloaded instead of queueing without limit, and Close drains
@@ -84,14 +85,20 @@ type Config struct {
 	// goroutines (default 1, the plain single-goroutine SWAR decoder).
 	// Results are bit-identical for any shard count.
 	Shards int
-	// SuperBatch is the number of 8-lane words each worker decodes per
-	// call, 1..batch.MaxSuperBatch (default 1). Raising it widens the
-	// maximum dispatch to SuperBatch × 8 frames, amortizing graph
-	// traversal and shard hand-offs over more frames.
+	// SuperBatch is the number of LaneWidth-word strips each worker
+	// decodes per call, 1..batch.MaxSuperBatch (default 1). Raising it
+	// widens the maximum dispatch to SuperBatch × LaneWidth × 8 frames,
+	// amortizing graph traversal and shard hand-offs over more frames.
 	SuperBatch int
+	// LaneWidth is the strip width of each worker's decode kernels in
+	// packed words — 1, 2, 4 or 8 (default 1). Wider strips advance
+	// 8×LaneWidth frames per kernel step with results bit-identical to
+	// every other width.
+	LaneWidth int
 	// MaxBatch is the dispatch width in frames,
-	// 1..SuperBatch×batch.Lanes (default SuperBatch×batch.Lanes; 8 —
-	// the paper's packing factor — at the default SuperBatch of 1).
+	// 1..SuperBatch×LaneWidth×batch.Lanes (default
+	// SuperBatch×LaneWidth×batch.Lanes; 8 — the paper's packing factor
+	// — at the default SuperBatch and LaneWidth of 1).
 	MaxBatch int
 	// Linger is how long the scheduler holds a partial batch open for
 	// more frames before flushing it (default 500 µs). It is the
@@ -163,13 +170,19 @@ func (c *Config) setDefaults() error {
 	if c.SuperBatch < 1 || c.SuperBatch > batch.MaxSuperBatch {
 		return fmt.Errorf("serve: super-batch %d out of range [1,%d]", c.SuperBatch, batch.MaxSuperBatch)
 	}
+	if c.LaneWidth == 0 {
+		c.LaneWidth = 1
+	}
+	if !batch.ValidLaneWidth(c.LaneWidth) {
+		return fmt.Errorf("serve: lane width %d not in {1, 2, 4, 8}", c.LaneWidth)
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0) / c.Shards
 		if c.Workers < 1 {
 			c.Workers = 1
 		}
 	}
-	maxFrames := c.SuperBatch * batch.Lanes
+	maxFrames := c.SuperBatch * c.LaneWidth * batch.Lanes
 	if c.MaxBatch == 0 {
 		c.MaxBatch = maxFrames
 	}
@@ -271,16 +284,17 @@ type request struct {
 }
 
 // job is one dispatched batch. Jobs are pooled; the request array is
-// sized for the widest possible dispatch (an 8-word super-batch), of
-// which only the first Config.MaxBatch entries are ever used.
+// sized for the widest possible dispatch (an 8-strip super-batch of
+// 8-word strips), of which only the first Config.MaxBatch entries are
+// ever used.
 type job struct {
 	reqs [batch.MaxFrames]*request
 	n    int
 }
 
 // packedDecoder is the worker-side decoder contract, satisfied by both
-// the single-word SWAR batch.Decoder (Shards = SuperBatch = 1) and the
-// sharded super-batch batch.Parallel.
+// the single-word SWAR batch.Decoder (Shards = SuperBatch = LaneWidth
+// = 1) and the sharded wide-lane super-batch batch.Parallel.
 type packedDecoder interface {
 	DecodeQInto(res []ldpc.Result, qllrs [][]int16) error
 	MaxIterations() int
@@ -327,10 +341,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	g := ldpc.NewGraph(cfg.Code)
 	newDec := func() (packedDecoder, error) {
-		if cfg.Shards > 1 || cfg.SuperBatch > 1 {
+		if cfg.Shards > 1 || cfg.SuperBatch > 1 || cfg.LaneWidth > 1 {
 			return batch.NewParallelGraph(g, cfg.Params, batch.ParallelConfig{
 				Shards:     cfg.Shards,
 				SuperBatch: cfg.SuperBatch,
+				LaneWidth:  cfg.LaneWidth,
 			})
 		}
 		return batch.NewDecoderGraph(g, cfg.Params)
@@ -352,7 +367,7 @@ func New(cfg Config) (*Server, error) {
 		newDec:  newDec,
 		in:      make(chan *request, cfg.QueueDepth),
 		jobs:    make(chan *job, cfg.Workers),
-		metrics: newMetrics(cfg.Workers),
+		metrics: newMetrics(cfg.Workers, cfg.MaxBatch),
 		health:  newHealth(cfg.HealthWindow, cfg.HealthThreshold, cfg.HealthRecoverThreshold, cfg.HealthMinSamples),
 		breaker: nil, // bound below, after metrics exists
 	}

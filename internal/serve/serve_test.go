@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -409,5 +410,89 @@ func TestShardedConfigValidation(t *testing.T) {
 	}
 	if got.MaxBatch != 4*batch.Lanes {
 		t.Errorf("MaxBatch defaulted to %d, want %d", got.MaxBatch, 4*batch.Lanes)
+	}
+}
+
+// TestWideLaneServer runs the server on the wide-lane decoder — a
+// LaneWidth-4 strip kernel behind a 2-strip dispatch — and checks a
+// concurrent burst decodes bit-exactly against the scalar reference,
+// with the fill metric's denominator tracking the configured dispatch
+// width instead of the 8-lane packing constant.
+func TestWideLaneServer(t *testing.T) {
+	c := smallCode(t)
+	p := fixed.DefaultHighSpeedParams()
+	s := newTestServer(t, Config{
+		Code: c, Params: p,
+		Workers: 2, Shards: 2, SuperBatch: 2, LaneWidth: 4,
+		Linger:            5 * time.Millisecond,
+		BreakerMinSamples: 1 << 30,
+	})
+	if got := s.Config(); got.MaxBatch != 2*4*batch.Lanes {
+		t.Fatalf("MaxBatch defaulted to %d, want %d", got.MaxBatch, 2*4*batch.Lanes)
+	}
+	const nframes = 90
+	qs := make([][]int16, nframes)
+	for i := range qs {
+		qs[i] = noisyQ(t, c, p.Format, 2.5, uint64(12000+i))
+	}
+	ref := scalarRef(t, c, p, qs)
+	var wg sync.WaitGroup
+	errs := make([]string, nframes)
+	for i := range qs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.DecodeQ(qs[i], bitvec.New(c.N))
+			if err != nil {
+				errs[i] = err.Error()
+				return
+			}
+			if !res.Bits.Equal(ref[i].bits) {
+				errs[i] = "hard decision differs from scalar decoder"
+			} else if res.Iterations != ref[i].iterations || res.Converged != ref[i].converged {
+				errs[i] = "iteration/convergence metadata differs from scalar decoder"
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != "" {
+			t.Errorf("frame %d: %s", i, e)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.FramesDecoded != nframes {
+		t.Errorf("decoded %d frames, want %d", snap.FramesDecoded, nframes)
+	}
+	if want := int64(2 * 4 * batch.Lanes); snap.DispatchWidth != want {
+		t.Errorf("dispatch width %d, want %d", snap.DispatchWidth, want)
+	}
+	if len(snap.BatchFill) != 2*4*batch.Lanes {
+		t.Errorf("fill histogram has %d buckets, want %d", len(snap.BatchFill), 2*4*batch.Lanes)
+	}
+	if snap.Batches > 0 {
+		want := snap.BatchFillMean / float64(snap.DispatchWidth)
+		if math.Abs(snap.BatchFillFrac-want) > 1e-9 || snap.BatchFillFrac <= 0 || snap.BatchFillFrac > 1 {
+			t.Errorf("fill fraction %.4f inconsistent with mean %.2f over width %d",
+				snap.BatchFillFrac, snap.BatchFillMean, snap.DispatchWidth)
+		}
+	}
+}
+
+// TestLaneWidthConfigValidation pins the LaneWidth rejection path and
+// the MaxBatch ceiling at wide geometries.
+func TestLaneWidthConfigValidation(t *testing.T) {
+	c := smallCode(t)
+	for _, lw := range []int{-2, 3, 5, 16} {
+		if _, err := New(Config{Code: c, LaneWidth: lw}); err == nil {
+			t.Errorf("LaneWidth %d accepted", lw)
+		}
+	}
+	if _, err := New(Config{Code: c, LaneWidth: 2, MaxBatch: 2*batch.Lanes + 1}); err == nil {
+		t.Error("MaxBatch > LaneWidth×Lanes accepted")
+	}
+	s := newTestServer(t, Config{Code: c, SuperBatch: 8, LaneWidth: 8})
+	if got := s.Config(); got.MaxBatch != batch.MaxFrames {
+		t.Errorf("MaxBatch defaulted to %d, want %d", got.MaxBatch, batch.MaxFrames)
 	}
 }

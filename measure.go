@@ -39,14 +39,18 @@ type MeasureOptions struct {
 	// the software analogue of the paper's frame-packed high-speed
 	// memory. Requires a Quantized NormalizedMinSum config with at most
 	// 5 message bits (QuantBits 0 defaults to 5 on this path) and
-	// BatchSize ≤ 64; sizes beyond 8 ride a multi-word super-batch. The
-	// set of simulated frames, and therefore every statistic, is
-	// identical to the scalar path.
+	// BatchSize ≤ 512; sizes beyond 8 ride a multi-word super-batch of
+	// LaneWidth-word strips. The set of simulated frames, and therefore
+	// every statistic, is identical to the scalar path.
 	BatchSize int
 	// Shards > 1 spreads each worker's batch decode across that many
 	// shard goroutines (the multi-core sharded decoder); results are
 	// bit-identical for any shard count. Requires BatchSize > 1.
 	Shards int
+	// LaneWidth widens the batch decoder's kernel strips to that many
+	// packed words (1, 2, 4 or 8, default 1); results are bit-identical
+	// for any width. Requires BatchSize > 1.
+	LaneWidth int
 }
 
 // MeasureBER runs the Monte-Carlo harness at each Eb/N0 for a decoder
@@ -75,10 +79,13 @@ func MeasureBER(cfg Config, ebn0s []float64, opts MeasureOptions) ([]BERPoint, e
 	if opts.Shards > 1 && opts.BatchSize <= 1 {
 		return nil, fmt.Errorf("ccsdsldpc: Shards %d requires BatchSize > 1 (the sharded decoder is a batch decoder)", opts.Shards)
 	}
+	if opts.LaneWidth > 1 && opts.BatchSize <= 1 {
+		return nil, fmt.Errorf("ccsdsldpc: LaneWidth %d requires BatchSize > 1 (wide lanes pack a batch decoder's strips)", opts.LaneWidth)
+	}
 	if opts.BatchSize > 1 {
 		scfg.BatchSize = opts.BatchSize
 		scfg.NewBatchDecoder = func() (sim.BatchDecoder, error) {
-			return buildBatchDecoder(c, cfg, opts.BatchSize, opts.Shards)
+			return buildBatchDecoder(c, cfg, opts.BatchSize, opts.Shards, opts.LaneWidth)
 		}
 	}
 	pts, err := sim.RunSweep(scfg, ebn0s)
