@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-serve bench-fault bench-mitigate bench-parallel
+.PHONY: check build test bench bench-serve bench-fault bench-mitigate bench-parallel bench-multimode
 
 check:
 	sh scripts/check.sh
@@ -28,6 +28,13 @@ bench-fault:
 # hwsim scrub/storage cost, seeded into BENCH_mitigate.json.
 bench-mitigate:
 	go run ./cmd/ldpcmitigate -testcode -frames 2000 -json BENCH_mitigate.json
+
+# Multi-mode benchmark: mixed traffic over every registry code —
+# interleaved v1/v2 frames round-robin across the catalog against one
+# in-process multi-mode server — per-code throughput, batch fill and
+# shed seeded into BENCH_multimode.json with the host CPU topology.
+bench-multimode:
+	go run ./cmd/ldpcload -inproc -codes c2,c2s,ds12,ds23,ds45 -clients 16 -frames 500 -json BENCH_multimode.json
 
 # Parallel-scaling benchmark: the sharded wide-lane super-batch decoder
 # over the shards × superbatch × lanes matrix (frames/s, ns/frame,

@@ -2,9 +2,14 @@
 // Eb/N0 sweep — the paper's Figure 4 — for any of the implemented
 // decoders, and renders them as a table, ASCII semilog plot, CSV or SVG.
 //
+// -code selects any registry code: the C2 default, the shortened c2s
+// frame (pinned known-zero positions), or the punctured deep-space
+// protograph rates (erased positions, channel at the transmitted rate).
+//
 // Examples:
 //
 //	ldpcber -from 3.0 -to 4.2 -step 0.2 -alg nms -iters 18
+//	ldpcber -code ds12 -from 0.5 -to 2.0 -step 0.5 -alg nms
 //	ldpcber -alg ms -iters 50 -csv ms50.csv
 //	ldpcber -testcode -alg nms -iters 18 -fine -svg fig4.svg
 package main
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"ccsdsldpc/internal/batch"
 	"ccsdsldpc/internal/code"
@@ -21,6 +27,7 @@ import (
 	"ccsdsldpc/internal/fixed"
 	"ccsdsldpc/internal/ldpc"
 	"ccsdsldpc/internal/plot"
+	"ccsdsldpc/internal/registry"
 	"ccsdsldpc/internal/sim"
 )
 
@@ -45,7 +52,8 @@ func main() {
 		maxFr    = flag.Int("maxframes", 20000, "max frames per point")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
-		testCode = flag.Bool("testcode", false, "use the fast miniature code instead of the 8176-bit code")
+		codeName = flag.String("code", "c2", "registry code to measure (c2, c2s, ds12, ds23, ds45)")
+		testCode = flag.Bool("testcode", false, "use the fast miniature code instead of a registry code")
 		csvPath  = flag.String("csv", "", "write points as CSV to this path")
 		svgPath  = flag.String("svg", "", "write the curves as SVG to this path")
 		ascii    = flag.Bool("ascii", true, "print ASCII curves")
@@ -72,14 +80,28 @@ func main() {
 	}
 
 	var c *code.Code
+	var punctured, shortened []int
 	var err error
 	if *testCode {
 		c, err = code.SmallTestCode(2, 4, 31, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
 	} else {
-		c, err = code.CCSDS()
-	}
-	if err != nil {
-		log.Fatal(err)
+		entry, ok := registry.Default().ByName(*codeName)
+		if !ok {
+			log.Fatalf("unknown code %q (registry has %s)", *codeName, strings.Join(registry.Default().Names(), ", "))
+		}
+		built, berr := entry.Build()
+		if berr != nil {
+			log.Fatal(berr)
+		}
+		// Punctured positions are simulated as erasures, shortened ones
+		// as pinned known zeros — the same conditions the serve layer
+		// expands wire frames into.
+		c = built.Code
+		punctured = built.PuncturedCols
+		shortened = built.KnownZero
 	}
 
 	var schedule []float64
@@ -133,6 +155,7 @@ func main() {
 	cfg := sim.Config{
 		Code: c, NewDecoder: factory,
 		MinFrameErrors: *minErr, MaxFrames: *maxFr, Workers: *workers, Seed: *seed,
+		PuncturedCols: punctured, ShortenedCols: shortened,
 	}
 	if *batchN > 1 {
 		// The frame-packed decoder is the quantized datapath with up to

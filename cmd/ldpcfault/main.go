@@ -4,10 +4,15 @@
 // differential check that replays identical fault scenarios through the
 // scalar fixed-point, frame-packed SWAR and cycle-accurate decoders.
 //
+// -code points either campaign at any registry code; punctured
+// protograph positions are simulated as erasures at the transmitted
+// rate, as the serve layer decodes them.
+//
 // Examples:
 //
 //	ldpcfault -testcode -frames 4000 -json BENCH_fault.json
 //	ldpcfault -testcode -diff 200
+//	ldpcfault -code ds12 -diff 25
 //	ldpcfault -rates 0,1e-6,1e-5,1e-4 -frames 200
 package main
 
@@ -24,6 +29,7 @@ import (
 	"ccsdsldpc/internal/code"
 	"ccsdsldpc/internal/fault"
 	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/registry"
 	"ccsdsldpc/internal/sim"
 )
 
@@ -37,23 +43,35 @@ func main() {
 		iters    = flag.Int("iters", 18, "decoding iterations")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 1, "campaign seed")
-		testCode = flag.Bool("testcode", false, "use the fast miniature code instead of the 8176-bit code")
+		codeName = flag.String("code", "c2", "registry code under test (c2, c2s, ds12, ds23, ds45)")
+		testCode = flag.Bool("testcode", false, "use the fast miniature code instead of a registry code")
 		jsonPath = flag.String("json", "", "write the sweep as JSON to this path")
 		diff     = flag.Int("diff", 0, "instead of the sweep, run the cross-decoder differential check over this many scenarios")
 	)
 	flag.Parse()
 
 	var c *code.Code
+	var punctured []int
 	var err error
 	name := "ccsds-8176"
 	if *testCode {
 		c, err = code.SmallTestCode(2, 4, 31, 1)
 		name = "small-2x4-31"
+		if err != nil {
+			log.Fatal(err)
+		}
 	} else {
-		c, err = code.CCSDS()
-	}
-	if err != nil {
-		log.Fatal(err)
+		entry, ok := registry.Default().ByName(*codeName)
+		if !ok {
+			log.Fatalf("unknown code %q (registry has %s)", *codeName, strings.Join(registry.Default().Names(), ", "))
+		}
+		built, berr := entry.Build()
+		if berr != nil {
+			log.Fatal(berr)
+		}
+		c = built.Code
+		punctured = built.PuncturedCols
+		name = entry.Name
 	}
 	p := fixed.DefaultHighSpeedParams()
 	p.MaxIterations = *iters
@@ -61,6 +79,7 @@ func main() {
 	if *diff > 0 {
 		rep, err := fault.CrossCheck(fault.CheckConfig{
 			Code: c, Params: p, Scenarios: *diff, Seed: *seed, EbN0dB: *ebn0,
+			PuncturedCols: punctured,
 		})
 		if err != nil {
 			log.Fatalf("cross-decoder divergence: %v", err)
@@ -81,6 +100,7 @@ func main() {
 	pts, err := sim.MeasureBERUnderFaults(sim.FaultSweepConfig{
 		Code: c, Params: p, EbN0dB: *ebn0,
 		UpsetRates: upsets, Frames: *frames, Workers: *workers, Seed: *seed,
+		PuncturedCols: punctured,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,4 +1,6 @@
-// Command ldpcinfo prints the CCSDS C2 LDPC code parameters, validates
+// Command ldpcinfo prints the CCSDS C2 LDPC code parameters plus the
+// full multi-mode registry catalog (wire code IDs, rates, frame
+// geometry, punctured/shortened positions, decoder geometry), validates
 // the construction, and renders the parity-check-matrix scatter chart of
 // the paper's Figure 2 (ASCII to stdout, or PGM/SVG to a file). With
 // -load it validates an external circulant position table instead — the
@@ -21,6 +23,7 @@ import (
 	"ccsdsldpc/internal/graphana"
 	"ccsdsldpc/internal/ldpc"
 	"ccsdsldpc/internal/plot"
+	"ccsdsldpc/internal/registry"
 )
 
 func main() {
@@ -75,6 +78,8 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("shortened frame: (%d, %d)\n", sh.N(), sh.K())
+		fmt.Println()
+		printCatalog()
 	}
 	if *analyze {
 		fmt.Printf("graph analysis: %v\n", graphana.Analyze(ldpc.NewGraph(c)))
@@ -113,6 +118,27 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *tblPath)
 	}
+}
+
+// printCatalog lists every registry code the multi-mode server can
+// serve: wire ID, transmitted rate, frame geometry, the block-circulant
+// decoder geometry, and the punctured/shortened position counts.
+func printCatalog() {
+	reg := registry.Default()
+	fmt.Println("registry catalog (wire protocol v2 code tags):")
+	fmt.Printf("%4s %-6s %7s %7s %7s %8s %-14s %6s %6s  %s\n",
+		"id", "name", "rate", "k", "frame", "inner_n", "circulants", "punct", "short", "description")
+	for _, e := range reg.Entries() {
+		name := e.Name
+		if e.ID == reg.DefaultID() {
+			name += "*"
+		}
+		fmt.Printf("%4d %-6s %7.4f %7d %7d %8d %-14s %6d %6d  %s\n",
+			e.ID, name, e.NominalRate, e.NominalK, e.FrameLen, e.N,
+			fmt.Sprintf("%dx%d of %d", e.BlockRows, e.BlockCols, e.CircSize),
+			e.Punctured, e.Shortened, e.Description)
+	}
+	fmt.Println("* default for untagged (v1) frames")
 }
 
 func writeFile(path string, fn func(*os.File) error) error {

@@ -3,6 +3,16 @@
 // the measurement companion to the analytical model of
 // internal/throughput.
 //
+// -codes selects the registry codes the generated traffic cycles
+// through (comma-separated names, or "all"): each client interleaves
+// the selected codes round-robin on one connection, sending the default
+// C2 code as untagged v1 frames and every other code as code-tagged v2
+// frames, so a multi-code run exercises exactly the mixed-mission
+// traffic the server's registry mux routes. A frame tagged with a code
+// the server does not serve fails the run fast — the server's
+// StatusUnknownCode rejection is permanent, so it is reported with the
+// advertised code list instead of retried.
+//
 // It runs closed-loop by default (every client keeps exactly one frame
 // in flight, so offered load tracks service rate) or open-loop with
 // -rate (clients fire on a fixed schedule regardless of responses,
@@ -12,13 +22,14 @@
 //
 // With -inproc it spins up the server inside the process on a loopback
 // listener (still crossing the full TCP + protocol + scheduler stack),
-// which is what `make bench-serve` uses to seed BENCH_serve.json.
+// which is what `make bench-serve` and `make bench-multimode` use to
+// seed BENCH_serve.json and BENCH_multimode.json.
 //
 // Usage:
 //
-//	ldpcload [-addr 127.0.0.1:7070 | -inproc] [-clients 16] [-frames 1024]
-//	         [-rate 0] [-ebn0 4.2] [-retries 3] [-backoff 200us]
-//	         [-seqbaseline] [-json out.json]
+//	ldpcload [-addr 127.0.0.1:7070 | -inproc] [-codes c2] [-clients 16]
+//	         [-frames 1024] [-rate 0] [-ebn0 4.2] [-retries 3]
+//	         [-backoff 200us] [-seqbaseline] [-json out.json]
 //	         [-metrics http://127.0.0.1:7071/metrics]
 package main
 
@@ -32,7 +43,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +55,7 @@ import (
 	"ccsdsldpc/internal/code"
 	"ccsdsldpc/internal/fixed"
 	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/registry"
 	"ccsdsldpc/internal/rng"
 	"ccsdsldpc/internal/serve"
 	"ccsdsldpc/internal/throughput"
@@ -53,6 +67,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "server decode address")
 		inproc   = flag.Bool("inproc", false, "start an in-process server on a loopback listener")
+		codesStr = flag.String("codes", "c2", "registry codes the traffic cycles through (comma-separated, or \"all\")")
 		clients  = flag.Int("clients", 16, "concurrent client connections")
 		frames   = flag.Int("frames", 1024, "total frames per phase")
 		rate     = flag.Float64("rate", 0, "open-loop target rate in frames/s (0 = closed loop)")
@@ -68,17 +83,35 @@ func main() {
 	)
 	flag.Parse()
 
-	c, err := code.CCSDS()
+	reg := registry.Default()
+	ids, err := reg.Resolve(*codesStr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	traffic := make([]*codeTraffic, len(ids))
+	for i, id := range ids {
+		e, _ := reg.Get(id)
+		built, err := e.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		traffic[i] = &codeTraffic{
+			entry: e,
+			built: built,
+			// The default code travels untagged (v1), everything else
+			// tagged (v2), so a mixed run interleaves both framings on
+			// every connection.
+			v2:   id != reg.DefaultID(),
+			pool: newFramePool(built, *ebn0, 64),
+		}
+	}
 
-	var srv *serve.Server
+	var mux *registry.Mux
 	target := *addr
 	if *inproc {
 		p := fixed.DefaultHighSpeedParams()
 		p.MaxIterations = *iters
-		srv, err = serve.New(serve.Config{Code: c, Params: p, Workers: *workers, Linger: *linger})
+		mux, err = registry.NewMux(reg, ids, serve.Config{Params: p, Workers: *workers, Linger: *linger})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,23 +119,25 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		go srv.ServeListener(l)
-		defer func() { l.Close(); srv.Close() }()
+		go mux.ServeListener(l)
+		defer func() { l.Close(); mux.Close() }()
 		target = l.Addr().String()
-		log.Printf("in-process server on %s", target)
+		log.Printf("in-process server on %s serving %s", target, strings.Join(trafficNames(traffic), ","))
 	}
 
-	pool := newFramePool(c, *ebn0, 64)
 	report := Report{
 		GeneratedAtUnix: time.Now().Unix(),
 		Address:         target,
-		CodeN:           c.N,
-		CodeK:           c.K,
+		Codes:           trafficNames(traffic),
+		CodeN:           traffic[0].built.Code.N,
+		CodeK:           traffic[0].built.Code.K,
 		EbN0dB:          *ebn0,
 		Iterations:      *iters,
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		PaperMbps:       560,
 	}
-	if mbps, err := modelMbps(c, *iters); err != nil {
+	if mbps, err := modelMbps(*iters); err != nil {
 		log.Printf("model: %v", err)
 	} else {
 		report.ModelMbps = mbps
@@ -110,7 +145,7 @@ func main() {
 
 	if *seqBase {
 		log.Printf("sequential baseline: 1 client, %d frames...", *frames)
-		base, err := runPhase(target, c, pool, 1, *frames, 0, *retries, *backoff)
+		base, err := runPhase(target, reg, traffic, 1, *frames, 0, *retries, *backoff)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -118,22 +153,23 @@ func main() {
 		log.Print(base.Format("sequential"))
 	}
 
-	log.Printf("load: %d clients, %d frames...", *clients, *frames)
-	var before serve.Snapshot
-	if srv != nil {
-		before = srv.Metrics().Snapshot()
+	log.Printf("load: %d clients, %d frames across %s...", *clients, *frames, strings.Join(report.Codes, ","))
+	var before registry.MuxSnapshot
+	if mux != nil {
+		before = mux.Snapshot()
 	}
-	load, err := runPhase(target, c, pool, *clients, *frames, *rate, *retries, *backoff)
+	load, err := runPhase(target, reg, traffic, *clients, *frames, *rate, *retries, *backoff)
 	if err != nil {
 		log.Fatal(err)
 	}
 	report.Load = load
 	log.Print(load.Format("loaded"))
 
-	if srv != nil {
-		after := srv.Metrics().Snapshot()
+	if mux != nil {
+		after := mux.Snapshot()
 		report.BatchFillMean = phaseFillMean(before, after)
-		report.ServerShed = after.FramesShed - before.FramesShed
+		report.ServerShed = phaseShed(before, after)
+		report.ServerPerCode = perCodeServer(before, after)
 		log.Printf("server: batch fill mean %.2f over the loaded phase, %d shed", report.BatchFillMean, report.ServerShed)
 	} else if *metrics != "" {
 		if m, err := fetchMetrics(*metrics); err != nil {
@@ -165,95 +201,170 @@ func main() {
 	}
 }
 
-// Report is the JSON artifact (`make bench-serve` → BENCH_serve.json).
+// codeTraffic is one registry code's share of the generated load.
+type codeTraffic struct {
+	entry *registry.Entry
+	built *registry.Built
+	v2    bool
+	pool  *framePool
+}
+
+func trafficNames(traffic []*codeTraffic) []string {
+	out := make([]string, len(traffic))
+	for i, ct := range traffic {
+		out[i] = ct.entry.Name
+	}
+	return out
+}
+
+// payloadBits is the number of information bits a decoded frame of this
+// code delivers (shortened positions carry none).
+func (ct *codeTraffic) payloadBits() int {
+	return ct.built.Code.K - len(ct.built.KnownZero)
+}
+
+// Report is the JSON artifact (`make bench-serve` → BENCH_serve.json,
+// `make bench-multimode` → BENCH_multimode.json).
 type Report struct {
-	GeneratedAtUnix int64   `json:"generated_at_unix"`
-	Address         string  `json:"address"`
-	CodeN           int     `json:"code_n"`
-	CodeK           int     `json:"code_k"`
-	EbN0dB          float64 `json:"ebn0_db"`
-	Iterations      int     `json:"iterations"`
+	GeneratedAtUnix int64    `json:"generated_at_unix"`
+	Address         string   `json:"address"`
+	Codes           []string `json:"codes"`
+	CodeN           int      `json:"code_n"`
+	CodeK           int      `json:"code_k"`
+	EbN0dB          float64  `json:"ebn0_db"`
+	Iterations      int      `json:"iterations"`
+	NumCPU          int      `json:"num_cpu"`
+	GOMAXPROCS      int      `json:"gomaxprocs"`
 
 	BaselineSeq *Phase `json:"baseline_seq,omitempty"`
 	Load        Phase  `json:"load"`
 
-	SpeedupVsSeq  float64        `json:"speedup_vs_seq,omitempty"`
-	BatchFillMean float64        `json:"batch_fill_mean,omitempty"`
-	ServerShed    int64          `json:"server_shed,omitempty"`
-	ServerMetrics map[string]any `json:"server_metrics,omitempty"`
+	SpeedupVsSeq  float64                  `json:"speedup_vs_seq,omitempty"`
+	BatchFillMean float64                  `json:"batch_fill_mean,omitempty"`
+	ServerShed    int64                    `json:"server_shed,omitempty"`
+	ServerPerCode map[string]ServerPerCode `json:"server_per_code,omitempty"`
+	ServerMetrics map[string]any           `json:"server_metrics,omitempty"`
 
 	ModelMbps float64 `json:"model_mbps,omitempty"`
 	PaperMbps float64 `json:"paper_highspeed_mbps_18iters"`
 }
 
+// ServerPerCode is one code's server-side counters over the loaded
+// phase.
+type ServerPerCode struct {
+	FramesDecoded int64   `json:"frames_decoded"`
+	BatchFillMean float64 `json:"batch_fill_mean"`
+	Shed          int64   `json:"shed"`
+}
+
 // Phase is one measured traffic phase.
 type Phase struct {
-	Clients     int     `json:"clients"`
-	Frames      int     `json:"frames"`
-	RateTarget  float64 `json:"rate_target_fps,omitempty"`
-	ElapsedSecs float64 `json:"elapsed_s"`
-	FPS         float64 `json:"fps"`
-	Mbps        float64 `json:"mbps"`
-	P50Micros   float64 `json:"p50_us"`
-	P90Micros   float64 `json:"p90_us"`
-	P99Micros   float64 `json:"p99_us"`
-	Shed        int64   `json:"shed"`
-	Deadlined   int64   `json:"deadlined"`
-	Crashed     int64   `json:"crashed,omitempty"`
-	Retries     int64   `json:"retries"`
-	Abandoned   int64   `json:"abandoned"`
-	FrameErrors int64   `json:"frame_errors"`
-	Unconverged int64   `json:"unconverged"`
+	Clients     int              `json:"clients"`
+	Frames      int              `json:"frames"`
+	RateTarget  float64          `json:"rate_target_fps,omitempty"`
+	ElapsedSecs float64          `json:"elapsed_s"`
+	FPS         float64          `json:"fps"`
+	Mbps        float64          `json:"mbps"`
+	P50Micros   float64          `json:"p50_us"`
+	P90Micros   float64          `json:"p90_us"`
+	P99Micros   float64          `json:"p99_us"`
+	PerCode     map[string]int64 `json:"per_code,omitempty"`
+	Shed        int64            `json:"shed"`
+	Deadlined   int64            `json:"deadlined"`
+	Crashed     int64            `json:"crashed,omitempty"`
+	Retries     int64            `json:"retries"`
+	Abandoned   int64            `json:"abandoned"`
+	FrameErrors int64            `json:"frame_errors"`
+	Unconverged int64            `json:"unconverged"`
 }
 
 func (p Phase) Format(name string) string {
-	return fmt.Sprintf("%s: %d frames / %.2fs = %.1f frames/s = %.2f Mbps, p50 %.0fµs p99 %.0fµs, %d shed, %d deadlined, %d retries, %d frame errors",
+	s := fmt.Sprintf("%s: %d frames / %.2fs = %.1f frames/s = %.2f Mbps, p50 %.0fµs p99 %.0fµs, %d shed, %d deadlined, %d retries, %d frame errors",
 		name, p.Frames, p.ElapsedSecs, p.FPS, p.Mbps, p.P50Micros, p.P99Micros, p.Shed, p.Deadlined, p.Retries, p.FrameErrors)
+	if len(p.PerCode) > 1 {
+		var parts []string
+		for _, name := range sortedKeys(p.PerCode) {
+			parts = append(parts, fmt.Sprintf("%s %d", name, p.PerCode[name]))
+		}
+		s += " [" + strings.Join(parts, ", ") + "]"
+	}
+	return s
 }
 
-// framePool is a reusable set of deterministic noisy frames with their
-// transmitted codewords, so frame generation never throttles the load.
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// framePool is a reusable set of deterministic noisy wire frames with
+// their transmitted inner codewords, so frame generation never
+// throttles the load. Wire frames carry only transmitted positions;
+// shortened information bits stay zero (the receiver knows them), fill
+// positions get a confident known-zero LLR.
 type framePool struct {
 	qs  [][]int16
 	cws []*bitvec.Vector
 }
 
-func newFramePool(c *code.Code, ebn0 float64, size int) *framePool {
-	ch, err := channel.NewAWGN(ebn0, c.Rate())
+func newFramePool(b *registry.Built, ebn0 float64, size int) *framePool {
+	c := b.Code
+	kEff := c.K - len(b.KnownZero)
+	nTx := c.N - len(b.PuncturedCols) - len(b.KnownZero)
+	ch, err := channel.NewAWGN(ebn0, float64(kEff)/float64(nTx))
 	if err != nil {
 		log.Fatal(err)
 	}
 	f := fixed.DefaultHighSpeedParams().Format
+	known := make(map[int]bool, len(b.KnownZero))
+	for _, j := range b.KnownZero {
+		known[j] = true
+	}
 	p := &framePool{qs: make([][]int16, size), cws: make([]*bitvec.Vector, size)}
 	for i := 0; i < size; i++ {
 		r := rng.New(uint64(i)*0x9e3779b97f4a7c15 + 0xadb5)
 		info := bitvec.New(c.K)
 		for j := 0; j < c.K; j++ {
+			if known[c.InfoCols[j]] {
+				continue
+			}
 			if r.Bool() {
 				info.Set(j)
 			}
 		}
 		cw := c.Encode(info)
-		p.qs[i] = f.QuantizeSlice(nil, ch.CorruptCodeword(cw, r))
+		q := f.QuantizeSlice(nil, ch.CorruptCodeword(cw, r))
+		wire := make([]int16, len(b.TxPositions))
+		for w, j := range b.TxPositions {
+			if j >= 0 {
+				wire[w] = q[j]
+			} else {
+				wire[w] = f.Max()
+			}
+		}
+		p.qs[i] = wire
 		p.cws[i] = cw
 	}
 	return p
 }
 
-// runPhase pushes `frames` frames through `clients` connections and
-// aggregates client-observed latency and correctness. rate > 0 paces
-// the aggregate submission schedule (open loop, split across clients);
-// rate == 0 runs closed loop. A frame the server sheds, deadlines, or
-// loses to a transient server fault is resubmitted up to `retries`
-// times with jittered exponential backoff starting at `backoff` — each
-// wait is drawn uniformly from [d/2, d] where d doubles per attempt,
-// so clients refused by the same overload burst do not retry in
-// lockstep and re-create it. A frame still refused after that is
-// abandoned.
-func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, rate float64, retries int, backoff time.Duration) (Phase, error) {
+// runPhase pushes `frames` frames through `clients` connections,
+// cycling the traffic codes round-robin, and aggregates client-observed
+// latency and correctness. rate > 0 paces the aggregate submission
+// schedule (open loop, split across clients); rate == 0 runs closed
+// loop. A frame the server sheds, deadlines, or loses to a transient
+// server fault is resubmitted up to `retries` times with jittered
+// exponential backoff starting at `backoff`. A StatusUnknownCode
+// response is never retried: the rejection is permanent, so the phase
+// fails immediately, naming the code and the server's advertised list.
+func runPhase(addr string, reg *registry.Registry, traffic []*codeTraffic, clients, frames int, rate float64, retries int, backoff time.Duration) (Phase, error) {
 	ph := Phase{Clients: clients, Frames: frames, RateTarget: rate}
 	var next atomic.Int64
 	var shed, deadlined, crashed, retried, abandoned, frameErrors, unconverged atomic.Int64
+	completed := make([]atomic.Int64, len(traffic))
 	latencies := make([][]time.Duration, clients)
 	errs := make([]error, clients)
 	var interval time.Duration
@@ -274,8 +385,12 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 			defer conn.Close()
 			br := bufio.NewReaderSize(conn, 16<<10)
 			bw := bufio.NewWriterSize(conn, 16<<10)
-			bits := bitvec.New(c.N)
-			diff := bitvec.New(c.N)
+			bits := make([]*bitvec.Vector, len(traffic))
+			diff := make([]*bitvec.Vector, len(traffic))
+			for t, ct := range traffic {
+				bits[t] = bitvec.New(ct.built.Code.N)
+				diff[t] = bitvec.New(ct.built.Code.N)
+			}
 			jr := rng.New(uint64(w)*0x9e3779b97f4a7c15 + 0x6a77)
 			var rbuf, wbuf []byte
 			local := make([]time.Duration, 0, frames/clients+1)
@@ -293,10 +408,17 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 					}
 					tick = tick.Add(interval)
 				}
-				k := int(i) % len(pool.qs)
+				t := int(i) % len(traffic)
+				ct := traffic[t]
+				k := int(i) % len(ct.pool.qs)
 				t0 := time.Now()
 				for attempt := 0; ; attempt++ {
-					if wbuf, err = serve.WriteRequest(bw, pool.qs[k], wbuf); err != nil {
+					if ct.v2 {
+						wbuf, err = serve.WriteRequestTagged(bw, byte(ct.entry.ID), ct.pool.qs[k], wbuf)
+					} else {
+						wbuf, err = serve.WriteRequest(bw, ct.pool.qs[k], wbuf)
+					}
+					if err != nil {
 						errs[w] = err
 						return
 					}
@@ -304,7 +426,7 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 						errs[w] = err
 						return
 					}
-					resp, rb, err := serve.ReadResponse(br, bits, rbuf)
+					resp, rb, err := serve.ReadResponse(br, bits[t], rbuf)
 					if err != nil {
 						errs[w] = err
 						return
@@ -314,12 +436,13 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 						// Latency includes all retries: the client
 						// experiences the frame, not the attempt.
 						local = append(local, time.Since(t0))
+						completed[t].Add(1)
 						if !resp.Converged {
 							unconverged.Add(1)
 						}
-						diff.CopyFrom(bits)
-						diff.Xor(pool.cws[k])
-						if diff.PopCount() > 0 {
+						diff[t].CopyFrom(bits[t])
+						diff[t].Xor(ct.pool.cws[k])
+						if diff[t].PopCount() > 0 {
 							frameErrors.Add(1)
 						}
 						break
@@ -331,6 +454,11 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 						deadlined.Add(1)
 					case serve.StatusInternal:
 						crashed.Add(1)
+					case serve.StatusUnknownCode:
+						// Permanent by contract: retrying cannot succeed.
+						errs[w] = fmt.Errorf("server does not serve code %q (id %d); it advertises: %s",
+							ct.entry.Name, ct.entry.ID, advertisedNames(reg, resp.Codes))
+						return
 					default:
 						errs[w] = fmt.Errorf("server status %d", resp.Status)
 						return
@@ -358,7 +486,13 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 	for _, l := range latencies {
 		all = append(all, l...)
 	}
-	done := len(all)
+	ph.PerCode = make(map[string]int64, len(traffic))
+	var bits float64
+	for t, ct := range traffic {
+		n := completed[t].Load()
+		ph.PerCode[ct.entry.Name] = n
+		bits += float64(n) * float64(ct.payloadBits())
+	}
 	ph.Shed = shed.Load()
 	ph.Deadlined = deadlined.Load()
 	ph.Crashed = crashed.Load()
@@ -367,14 +501,31 @@ func runPhase(addr string, c *code.Code, pool *framePool, clients, frames int, r
 	ph.FrameErrors = frameErrors.Load()
 	ph.Unconverged = unconverged.Load()
 	if ph.ElapsedSecs > 0 {
-		ph.FPS = float64(done) / ph.ElapsedSecs
-		ph.Mbps = ph.FPS * float64(c.K) / 1e6
+		ph.FPS = float64(len(all)) / ph.ElapsedSecs
+		ph.Mbps = bits / ph.ElapsedSecs / 1e6
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	ph.P50Micros = pct(all, 0.50)
 	ph.P90Micros = pct(all, 0.90)
 	ph.P99Micros = pct(all, 0.99)
 	return ph, nil
+}
+
+// advertisedNames renders a StatusUnknownCode advertisement as registry
+// names where known, raw IDs otherwise.
+func advertisedNames(reg *registry.Registry, ids []byte) string {
+	if len(ids) == 0 {
+		return "(no codes)"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		if e, ok := reg.Get(registry.ID(id)); ok {
+			parts[i] = e.Name
+		} else {
+			parts[i] = fmt.Sprintf("id%d", id)
+		}
+	}
+	return strings.Join(parts, ", ")
 }
 
 func pct(sorted []time.Duration, q float64) float64 {
@@ -385,15 +536,69 @@ func pct(sorted []time.Duration, q float64) float64 {
 	return float64(sorted[i].Microseconds())
 }
 
-// phaseFillMean computes the mean batch fill over just the loaded
-// phase from before/after snapshots.
-func phaseFillMean(before, after serve.Snapshot) float64 {
-	frames := after.FramesDecoded - before.FramesDecoded
-	batches := after.Batches - before.Batches
+// phaseFillMean computes the aggregate mean batch fill over just the
+// loaded phase from before/after mux snapshots.
+func phaseFillMean(before, after registry.MuxSnapshot) float64 {
+	var frames, batches int64
+	b := snapshotByName(before)
+	for _, cs := range after.Codes {
+		frames += cs.Serve.FramesDecoded
+		batches += cs.Serve.Batches
+		if prev, ok := b[cs.Name]; ok {
+			frames -= prev.Serve.FramesDecoded
+			batches -= prev.Serve.Batches
+		}
+	}
 	if batches <= 0 {
 		return 0
 	}
 	return float64(frames) / float64(batches)
+}
+
+func phaseShed(before, after registry.MuxSnapshot) int64 {
+	var shed int64
+	b := snapshotByName(before)
+	for _, cs := range after.Codes {
+		shed += cs.Serve.FramesShed
+		if prev, ok := b[cs.Name]; ok {
+			shed -= prev.Serve.FramesShed
+		}
+	}
+	return shed
+}
+
+// perCodeServer breaks the loaded phase's server-side counters out per
+// code.
+func perCodeServer(before, after registry.MuxSnapshot) map[string]ServerPerCode {
+	out := make(map[string]ServerPerCode)
+	b := snapshotByName(before)
+	for _, cs := range after.Codes {
+		if !cs.Built {
+			continue
+		}
+		frames, batches, shed := cs.Serve.FramesDecoded, cs.Serve.Batches, cs.Serve.FramesShed
+		if prev, ok := b[cs.Name]; ok {
+			frames -= prev.Serve.FramesDecoded
+			batches -= prev.Serve.Batches
+			shed -= prev.Serve.FramesShed
+		}
+		pc := ServerPerCode{FramesDecoded: frames, Shed: shed}
+		if batches > 0 {
+			pc.BatchFillMean = float64(frames) / float64(batches)
+		}
+		out[cs.Name] = pc
+	}
+	return out
+}
+
+func snapshotByName(s registry.MuxSnapshot) map[string]registry.CodeSnapshot {
+	out := make(map[string]registry.CodeSnapshot, len(s.Codes))
+	for _, cs := range s.Codes {
+		if cs.Built {
+			out[cs.Name] = cs
+		}
+	}
+	return out
 }
 
 func fetchMetrics(url string) (map[string]any, error) {
@@ -413,8 +618,13 @@ func fetchMetrics(url string) (map[string]any, error) {
 	return m, nil
 }
 
-// modelMbps mirrors ldpcserver's analytical comparison point.
-func modelMbps(c *code.Code, iters int) (float64, error) {
+// modelMbps mirrors ldpcserver's analytical comparison point (the C2
+// code's high-speed figure).
+func modelMbps(iters int) (float64, error) {
+	c, err := code.CCSDS()
+	if err != nil {
+		return 0, err
+	}
 	cfg := hwsim.HighSpeed()
 	cfg.Iterations = iters
 	m, err := hwsim.New(c, cfg)

@@ -1,24 +1,30 @@
-// Command ldpcserver is decode-as-a-service for the CCSDS near-earth
-// LDPC code: a TCP server that packs frames from concurrent clients
+// Command ldpcserver is decode-as-a-service for the CCSDS LDPC code
+// family: a TCP server that routes code-tagged frames from concurrent
+// clients to per-code pools of pre-built decoders, each packing frames
 // into 8-lane SWAR batches (the software form of the paper's high-speed
-// frame-packed memory word) decoded by a pool of pre-built decoders.
-// With -superbatch, -lanes and -shards the dispatch widens to a sharded
-// wide-lane super-batch of up to 512 frames, still bit-exact.
+// frame-packed memory word). With -superbatch, -lanes and -shards every
+// pool's dispatch widens to a sharded wide-lane super-batch of up to
+// 512 frames, still bit-exact.
 //
-// Clients speak the length-prefixed protocol of internal/serve: each
-// request is one frame of N quantized Q(5,1) channel LLRs as int8; each
-// response carries status, convergence, iteration count and the packed
-// hard decisions. cmd/ldpcload is the reference client.
+// Clients speak the length-prefixed protocol of internal/serve: a v1
+// request is one untagged frame of 8176 Q(5,1) channel LLRs as int8
+// (decoded as the C2 code, preserving pre-multi-mode clients); a v2
+// request prefixes [0x02][codeID] and carries the tagged code's
+// transmitted-frame LLRs. -codes selects the served subset of the
+// registry; frames tagged outside it get a StatusUnknownCode response
+// carrying the advertised list. cmd/ldpcload is the reference client;
+// cmd/ldpcinfo prints the catalog.
 //
 // A second, HTTP listener exposes observability:
 //
-//	/metrics     live counters as JSON — frames decoded/shed/deadlined,
-//	             queue depth, batch-fill histogram and mean, p50/p90/p99
-//	             latency, per-worker iterations — plus the analytical
-//	             throughput model for comparison
-//	/healthz     200 while the sliding-window decode-failure rate is
-//	             below threshold, 503 otherwise — the load-balancer
-//	             rotation signal
+//	/metrics     live counters as JSON, broken out per code — frames
+//	             decoded/shed/deadlined, queue depth, batch-fill
+//	             histogram and mean, p50/p90/p99 latency — plus the
+//	             v1/v2/unknown routing counters and the analytical
+//	             throughput model for the default code
+//	/healthz     200 while every built pool's sliding-window failure
+//	             rate is below threshold, 503 otherwise — the
+//	             load-balancer rotation signal
 //	/debug/vars  the same snapshot through expvar
 //	/debug/pprof CPU/heap/goroutine profiling — only with -pprof, so a
 //	             production instance does not expose profiling by
@@ -26,9 +32,10 @@
 //
 // Usage:
 //
-//	ldpcserver [-addr :7070] [-http :7071] [-workers N] [-shards 1]
-//	           [-superbatch 1] [-lanes 1] [-iters 18] [-linger 500us]
-//	           [-queue 0] [-deadline 0] [-earlystop] [-pprof]
+//	ldpcserver [-addr :7070] [-http :7071] [-codes all] [-preload]
+//	           [-workers N] [-shards 1] [-superbatch 1] [-lanes 1]
+//	           [-iters 18] [-linger 500us] [-queue 0] [-deadline 0]
+//	           [-earlystop] [-pprof]
 package main
 
 import (
@@ -42,12 +49,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ccsdsldpc/internal/code"
 	"ccsdsldpc/internal/fixed"
 	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/registry"
 	"ccsdsldpc/internal/serve"
 	"ccsdsldpc/internal/throughput"
 )
@@ -58,7 +67,9 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":7070", "TCP decode listen address")
 		httpAddr  = flag.String("http", ":7071", "HTTP metrics listen address (empty disables)")
-		workers   = flag.Int("workers", 0, "decoder pool size (0 = GOMAXPROCS/shards)")
+		codes     = flag.String("codes", "all", "served registry codes, comma-separated names or \"all\"")
+		preload   = flag.Bool("preload", false, "build every served code's pool at startup instead of on first frame")
+		workers   = flag.Int("workers", 0, "decoder pool size per code (0 = GOMAXPROCS/shards)")
 		shards    = flag.Int("shards", 1, "shard goroutines per decoder (bit-exact multi-core decode)")
 		super     = flag.Int("superbatch", 1, "strips per dispatch, 1..8 (widens batches to 8×superbatch×lanes frames)")
 		lanes     = flag.Int("lanes", 1, "strip width in 8-frame words (1, 2, 4 or 8; bit-exact wide-lane kernels)")
@@ -72,15 +83,15 @@ func main() {
 	)
 	flag.Parse()
 
-	c, err := code.CCSDS()
+	reg := registry.Default()
+	served, err := reg.Resolve(*codes)
 	if err != nil {
 		log.Fatal(err)
 	}
 	p := fixed.DefaultHighSpeedParams()
 	p.MaxIterations = *iters
 	p.DisableEarlyStop = !*earlyStop
-	s, err := serve.New(serve.Config{
-		Code:         c,
+	m, err := registry.NewMux(reg, served, serve.Config{
 		Params:       p,
 		Workers:      *workers,
 		Shards:       *shards,
@@ -94,9 +105,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := s.Config()
-	log.Printf("serving (%d,%d) code: %d workers × %d shards × %d-frame batches (%d-word strips), linger %v, queue %d",
-		c.N, c.K, cfg.Workers, cfg.Shards, cfg.MaxBatch, cfg.LaneWidth, cfg.Linger, cfg.QueueDepth)
+	if *preload {
+		if err := m.Preload(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var names []string
+	for _, e := range m.Served() {
+		names = append(names, fmt.Sprintf("%s(%d,%d)", e.Name, e.FrameLen, e.NominalK))
+	}
+	log.Printf("serving %s: %d shards × %d-word strips per pool, linger %v",
+		strings.Join(names, " "), *shards, *lanes, *linger)
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -105,19 +124,19 @@ func main() {
 	log.Printf("decode endpoint on %s", l.Addr())
 
 	if *httpAddr != "" {
-		s.Metrics().Publish("ldpcserver")
+		expvar.Publish("ldpcserver", expvar.Func(func() any { return m.Snapshot() }))
 		// A private mux, not http.DefaultServeMux: nothing is exposed
 		// that is not registered here, so pprof stays off unless asked.
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", metricsHandler(s, c, *iters))
-		mux.HandleFunc("/healthz", healthHandler(s))
-		mux.Handle("/debug/vars", expvar.Handler())
+		hmux := http.NewServeMux()
+		hmux.HandleFunc("/metrics", metricsHandler(m, *iters))
+		hmux.HandleFunc("/healthz", healthHandler(m))
+		hmux.Handle("/debug/vars", expvar.Handler())
 		if *pprofOn {
-			mux.HandleFunc("/debug/pprof/", pprof.Index)
-			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			hmux.HandleFunc("/debug/pprof/", pprof.Index)
+			hmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			hmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			hmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			hmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		}
 		hl, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -125,7 +144,7 @@ func main() {
 		}
 		log.Printf("metrics on http://%s/metrics", hl.Addr())
 		go func() {
-			if err := http.Serve(hl, mux); err != nil {
+			if err := http.Serve(hl, hmux); err != nil {
 				log.Printf("http: %v", err)
 			}
 		}()
@@ -140,40 +159,52 @@ func main() {
 		l.Close()
 	}()
 
-	if err := s.ServeListener(l); err != nil {
+	if err := m.ServeListener(l); err != nil {
 		log.Print(err)
 	}
-	s.Close()
-	snap := s.Metrics().Snapshot()
-	log.Printf("drained: %d frames in %d batches (fill mean %.2f), %d shed, p99 %.0f µs",
-		snap.FramesDecoded, snap.Batches, snap.BatchFillMean, snap.FramesShed, snap.LatencyP99Micros)
+	m.Close()
+	snap := m.Snapshot()
+	for _, cs := range snap.Codes {
+		if !cs.Built {
+			continue
+		}
+		log.Printf("drained %s: %d frames in %d batches (fill mean %.2f), %d shed, p99 %.0f µs",
+			cs.Name, cs.Serve.FramesDecoded, cs.Serve.Batches, cs.Serve.BatchFillMean,
+			cs.Serve.FramesShed, cs.Serve.LatencyP99Micros)
+	}
+	log.Printf("routing: %d v1, %d v2, %d unknown-code, %d bad frames",
+		snap.V1Frames, snap.V2Frames, snap.UnknownCode, snap.BadFrames)
 }
 
-// metricsHandler serves the live snapshot next to the analytical model:
-// measured Mbps can be read against the paper's high-speed figure
-// without a separate tool. The model comparison tolerates malformed
-// querystring configs by reporting the error instead of failing.
-func metricsHandler(s *serve.Server, c *code.Code, iters int) http.HandlerFunc {
+// metricsHandler serves the live mux snapshot — per-code pool counters
+// plus routing totals — next to the analytical model for the default
+// code, so measured Mbps can be read against the paper's high-speed
+// figure without a separate tool.
+func metricsHandler(m *registry.Mux, iters int) http.HandlerFunc {
 	start := time.Now()
 	return func(w http.ResponseWriter, r *http.Request) {
-		snap := s.Metrics().Snapshot()
+		snap := m.Snapshot()
 		elapsed := time.Since(start).Seconds()
 		out := struct {
-			serve.Snapshot
+			registry.MuxSnapshot
 			UptimeSeconds    float64 `json:"uptime_seconds"`
 			MeasuredMbps     float64 `json:"measured_mbps"`
 			ModelMbps        float64 `json:"model_mbps,omitempty"`
 			ModelError       string  `json:"model_error,omitempty"`
 			PaperMbps18Iters float64 `json:"paper_highspeed_mbps_18iters"`
 		}{
-			Snapshot:         snap,
+			MuxSnapshot:      snap,
 			UptimeSeconds:    elapsed,
 			PaperMbps18Iters: 560,
 		}
 		if elapsed > 0 {
-			out.MeasuredMbps = float64(snap.FramesDecoded) * float64(c.K) / elapsed / 1e6
+			var bits float64
+			for _, cs := range snap.Codes {
+				bits += float64(cs.Serve.FramesDecoded) * float64(cs.K)
+			}
+			out.MeasuredMbps = bits / elapsed / 1e6
 		}
-		if mbps, err := modelMbps(c, iters); err != nil {
+		if mbps, err := modelMbps(iters); err != nil {
 			out.ModelError = err.Error()
 		} else {
 			out.ModelMbps = mbps
@@ -187,26 +218,43 @@ func metricsHandler(s *serve.Server, c *code.Code, iters int) http.HandlerFunc {
 	}
 }
 
-// healthHandler is the load-balancer probe: 200 while healthy, 503
-// once the windowed decode-failure rate crosses the threshold, with
-// the rate and window in the JSON body either way.
-func healthHandler(s *serve.Server) http.HandlerFunc {
+// healthHandler is the load-balancer probe: 200 while every built pool
+// is healthy, 503 once any pool's windowed decode-failure rate crosses
+// the threshold, with the per-code states in the JSON body either way.
+func healthHandler(m *registry.Mux) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		st := s.Health().Status()
+		type codeHealth struct {
+			Name    string `json:"name"`
+			Healthy bool   `json:"healthy"`
+		}
+		snap := m.Snapshot()
+		out := struct {
+			Healthy bool         `json:"healthy"`
+			Codes   []codeHealth `json:"codes"`
+		}{Healthy: snap.Healthy}
+		for _, cs := range snap.Codes {
+			if cs.Built {
+				out.Codes = append(out.Codes, codeHealth{Name: cs.Name, Healthy: cs.Healthy})
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
-		if !st.Healthy {
+		if !out.Healthy {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(st)
+		_ = enc.Encode(out)
 	}
 }
 
-// modelMbps is the analytical high-speed throughput at the server's
-// iteration count — the hardware figure the measured rate is judged
-// against.
-func modelMbps(c *code.Code, iters int) (float64, error) {
+// modelMbps is the analytical high-speed throughput of the C2 code at
+// the server's iteration count — the hardware figure the measured rate
+// is judged against.
+func modelMbps(iters int) (float64, error) {
+	c, err := code.CCSDS()
+	if err != nil {
+		return 0, err
+	}
 	cfg := hwsim.HighSpeed()
 	cfg.Iterations = iters
 	m, err := hwsim.New(c, cfg)

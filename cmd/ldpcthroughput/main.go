@@ -20,9 +20,14 @@
 // time has elapsed, so the rates are immune to sub-millisecond timer
 // artifacts and can never divide by zero.
 //
+// -code runs the model and the software measurements on any registry
+// code (c2, c2s, ds12, ds23, ds45) — the throughput axis of the
+// multi-mode family; the paper comparison column appears only for the
+// C2 code at the paper's operating point.
+//
 // Usage:
 //
-//	ldpcthroughput [-iters 10,18,50] [-clock 200] [-detail]
+//	ldpcthroughput [-code c2] [-iters 10,18,50] [-clock 200] [-detail]
 //	               [-batch 8] [-batchframes 64]
 //	               [-parallel] [-shards 1,2,4,8] [-superbatches 1,4,8]
 //	               [-lanes 1,2,4,8] [-json BENCH_parallel.json]
@@ -48,6 +53,7 @@ import (
 	"ccsdsldpc/internal/code"
 	"ccsdsldpc/internal/fixed"
 	"ccsdsldpc/internal/hwsim"
+	"ccsdsldpc/internal/registry"
 	"ccsdsldpc/internal/rng"
 	"ccsdsldpc/internal/throughput"
 )
@@ -69,6 +75,7 @@ func main() {
 
 func run() error {
 	var (
+		codeName   = flag.String("code", "c2", "registry code to measure (c2, c2s, ds12, ds23, ds45)")
 		itersFlag  = flag.String("iters", "10,18,50", "comma-separated iteration counts")
 		clock      = flag.Float64("clock", 200, "system clock in MHz")
 		detail     = flag.Bool("detail", false, "print the cycle breakdown per configuration")
@@ -134,16 +141,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	c, err := code.CCSDS()
+	entry, ok := registry.Default().ByName(*codeName)
+	if !ok {
+		return fmt.Errorf("unknown code %q (registry has %s)", *codeName, strings.Join(registry.Default().Names(), ", "))
+	}
+	built, err := entry.Build()
 	if err != nil {
 		return err
 	}
+	c, punctured := built.Code, built.PuncturedCols
 	rows, err := throughput.Table1(c, iters, *clock)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Table 1 — output data rate at %.0f MHz (paper values at 200 MHz)\n\n", *clock)
-	fmt.Print(throughput.FormatTable(rows, paperIfDefault(iters, *clock)))
+	fmt.Printf("Table 1 — %s (%d,%d) output data rate at %.0f MHz (paper values at 200 MHz)\n\n",
+		entry.Name, c.N, c.K, *clock)
+	fmt.Print(throughput.FormatTable(rows, paperIfDefault(iters, *clock, entry.Name == "c2")))
 
 	if *detail {
 		fmt.Println("\nCycle breakdown at 18 iterations:")
@@ -159,13 +172,13 @@ func run() error {
 	}
 
 	if *batchN > 0 {
-		if err := softwareBatchReport(c, *batchN, *batchFr); err != nil {
+		if err := softwareBatchReport(c, punctured, *batchN, *batchFr); err != nil {
 			return err
 		}
 	}
 
 	if *parallel {
-		if err := parallelReport(c, shards, supers, lanes, *jsonPath); err != nil {
+		if err := parallelReport(c, punctured, shards, supers, lanes, *jsonPath); err != nil {
 			return err
 		}
 	}
@@ -186,9 +199,11 @@ func run() error {
 
 // noisyFrames generates deterministic quantized noisy frames of the
 // all-zero codeword at 4.2 dB, the fixture every software measurement
-// shares.
-func noisyFrames(c *code.Code, f fixed.Format, n int) ([][]int16, error) {
-	ch, err := channel.NewAWGN(4.2, c.Rate())
+// shares. Punctured positions enter as erasures, matching the live
+// decode conditions of the protograph codes.
+func noisyFrames(c *code.Code, punctured []int, f fixed.Format, n int) ([][]int16, error) {
+	nTx := c.N - len(punctured)
+	ch, err := channel.NewAWGN(4.2, float64(c.K)/float64(nTx))
 	if err != nil {
 		return nil, err
 	}
@@ -198,6 +213,9 @@ func noisyFrames(c *code.Code, f fixed.Format, n int) ([][]int16, error) {
 		r := rng.New(uint64(i)*0x9e3779b97f4a7c15 + 1)
 		qs[i] = make([]int16, c.N)
 		f.QuantizeSlice(qs[i], ch.CorruptCodeword(zero, r))
+		for _, j := range punctured {
+			qs[i][j] = 0
+		}
 	}
 	return qs, nil
 }
@@ -248,7 +266,7 @@ func perFrameSecondsOnce(framesPerCall int, fn func() error) (float64, error) {
 // frame-packed SWAR decoder at `lanes` frames per word, over the same
 // deterministic noisy frames (4.2 dB, Q(5,1), 18 iterations at a fixed
 // decoding period like the architecture model).
-func softwareBatchReport(c *code.Code, lanes, frames int) error {
+func softwareBatchReport(c *code.Code, punctured []int, lanes, frames int) error {
 	if lanes < 2 || lanes > batch.Lanes {
 		return fmt.Errorf("-batch must be in [2,%d]", batch.Lanes)
 	}
@@ -265,7 +283,7 @@ func softwareBatchReport(c *code.Code, lanes, frames int) error {
 	if err != nil {
 		return err
 	}
-	qs, err := noisyFrames(c, p.Format, frames)
+	qs, err := noisyFrames(c, punctured, p.Format, frames)
 	if err != nil {
 		return err
 	}
@@ -337,7 +355,7 @@ type ParallelMatrix struct {
 // the (shards × superbatches × lanes) matrix on full super-batches of
 // deterministic noisy frames, printing a table and optionally writing
 // JSON.
-func parallelReport(c *code.Code, shards, supers, lanes []int, jsonPath string) error {
+func parallelReport(c *code.Code, punctured []int, shards, supers, lanes []int, jsonPath string) error {
 	p := fixed.DefaultHighSpeedParams()
 	p.DisableEarlyStop = true
 	maxFrames := 0
@@ -348,7 +366,7 @@ func parallelReport(c *code.Code, shards, supers, lanes []int, jsonPath string) 
 			}
 		}
 	}
-	qs, err := noisyFrames(c, p.Format, maxFrames)
+	qs, err := noisyFrames(c, punctured, p.Format, maxFrames)
 	if err != nil {
 		return err
 	}
@@ -446,9 +464,10 @@ func p50BatchLatency(d *batch.Parallel, qs [][]int16) (time.Duration, error) {
 }
 
 // paperIfDefault returns the paper comparison column only when the run
-// matches the paper's operating conditions.
-func paperIfDefault(iters []int, clock float64) []throughput.Row {
-	if clock != 200 || len(iters) != 3 || iters[0] != 10 || iters[1] != 18 || iters[2] != 50 {
+// matches the paper's operating conditions (the C2 code at 200 MHz over
+// the default iteration set).
+func paperIfDefault(iters []int, clock float64, isC2 bool) []throughput.Row {
+	if !isC2 || clock != 200 || len(iters) != 3 || iters[0] != 10 || iters[1] != 18 || iters[2] != 50 {
 		return nil
 	}
 	return throughput.PaperTable1

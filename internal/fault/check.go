@@ -35,6 +35,13 @@ type CheckConfig struct {
 	// to the mitigated datapath: scrub decisions must also replay
 	// bit-identically across the three decoders.
 	Protect protect.Mode
+	// PuncturedCols lists codeword positions the channel never carries
+	// (protograph-punctured nodes): their LLRs enter every decoder as
+	// erasures (zero), and the channel operates at the effective
+	// transmitted rate K / (N − len(PuncturedCols)). This lets the
+	// oracle replay the registry's punctured protograph codes under the
+	// same conditions the BER harness simulates them.
+	PuncturedCols []int
 	// Parallel lists the sharded super-batch geometries that must also
 	// replay every scenario bit-identically. The scenario's eight frames
 	// occupy word 0 of each super-batch, so geometries with SuperBatch>1
@@ -152,7 +159,21 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 	if err != nil {
 		return rep, err
 	}
-	ch, err := channel.NewAWGN(cfg.EbN0dB, cfg.Code.Rate())
+	nTx := cfg.Code.N - len(cfg.PuncturedCols)
+	if nTx <= 0 || nTx < cfg.Code.K {
+		return rep, fmt.Errorf("fault: puncturing leaves %d transmitted bits for k=%d", nTx, cfg.Code.K)
+	}
+	var punctured []bool
+	if len(cfg.PuncturedCols) > 0 {
+		punctured = make([]bool, cfg.Code.N)
+		for _, j := range cfg.PuncturedCols {
+			if j < 0 || j >= cfg.Code.N {
+				return rep, fmt.Errorf("fault: punctured column %d out of range", j)
+			}
+			punctured[j] = true
+		}
+	}
+	ch, err := channel.NewAWGN(cfg.EbN0dB, float64(cfg.Code.K)/float64(nTx))
 	if err != nil {
 		return rep, err
 	}
@@ -207,6 +228,11 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 			cw := cfg.Code.Encode(info)
 			llr := ch.CorruptCodeword(cw, sr)
 			cfg.Params.Format.QuantizeSlice(qllr[f], llr)
+			for j, p := range punctured {
+				if p {
+					qllr[f][j] = 0
+				}
+			}
 			plan.ApplyErasures(f, qllr[f])
 		}
 

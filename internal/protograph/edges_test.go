@@ -1,0 +1,136 @@
+package protograph
+
+import (
+	"testing"
+)
+
+// rateCases lifts each deep-space rate at a small Z (32, enough room
+// for a 4-cycle-free lift) so the edge-case matrix stays fast; k is
+// infoCols × 32 for every member.
+func rateCases(t *testing.T) []*Code {
+	t.Helper()
+	out := make([]*Code, 0, 3)
+	for _, tc := range []struct {
+		rate Rate
+		k    int
+	}{
+		{Rate12, 64},
+		{Rate23, 128},
+		{Rate45, 256},
+	} {
+		c, err := NewDeepSpaceCode(tc.rate, tc.k, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.rate, err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestExpandLLRsLengthEdges(t *testing.T) {
+	for _, c := range rateCases(t) {
+		// Zero-length input: every family member transmits at least one
+		// bit, so an empty LLR vector can never be a frame.
+		if _, err := c.ExpandLLRs(nil); err == nil {
+			t.Errorf("%s: nil transmitted LLRs accepted", c)
+		}
+		if _, err := c.ExpandLLRs([]float64{}); err == nil {
+			t.Errorf("%s: empty transmitted LLRs accepted", c)
+		}
+		// Off-by-one on either side, and the classic confusion of passing
+		// an inner-length vector where a transmitted-length one belongs.
+		for _, n := range []int{c.NTransmitted() - 1, c.NTransmitted() + 1, c.Inner.N} {
+			if n == c.NTransmitted() {
+				continue
+			}
+			if _, err := c.ExpandLLRs(make([]float64, n)); err == nil {
+				t.Errorf("%s: %d transmitted LLRs accepted, want %d", c, n, c.NTransmitted())
+			}
+		}
+		// The exact length must be accepted.
+		if _, err := c.ExpandLLRs(make([]float64, c.NTransmitted())); err != nil {
+			t.Errorf("%s: exact-length expand failed: %v", c, err)
+		}
+	}
+}
+
+func TestPunctureBitsLengthEdges(t *testing.T) {
+	for _, c := range rateCases(t) {
+		if _, err := c.PunctureBits(nil); err == nil {
+			t.Errorf("%s: nil codeword accepted", c)
+		}
+		if _, err := c.PunctureBits([]byte{}); err == nil {
+			t.Errorf("%s: empty codeword accepted", c)
+		}
+		// A transmitted-length vector is not an inner codeword.
+		for _, n := range []int{c.Inner.N - 1, c.Inner.N + 1, c.NTransmitted()} {
+			if n == c.Inner.N {
+				continue
+			}
+			if _, err := c.PunctureBits(make([]byte, n)); err == nil {
+				t.Errorf("%s: %d codeword bits accepted, want %d", c, n, c.Inner.N)
+			}
+		}
+		tx, err := c.PunctureBits(make([]byte, c.Inner.N))
+		if err != nil {
+			t.Errorf("%s: exact-length puncture failed: %v", c, err)
+		} else if len(tx) != c.NTransmitted() {
+			t.Errorf("%s: punctured to %d bits, want %d", c, len(tx), c.NTransmitted())
+		}
+	}
+}
+
+// TestAllPuncturedColumnErased pins the puncturing geometry: every
+// position of the punctured column block — and only those — comes back
+// as an erasure from ExpandLLRs, IsPunctured agrees position by
+// position with PuncturedCols, and the non-punctured positions keep
+// their transmitted order.
+func TestAllPuncturedColumnErased(t *testing.T) {
+	for _, c := range rateCases(t) {
+		if len(c.PuncturedCols) != c.Z {
+			t.Errorf("%s: %d punctured positions, want one full column block of %d", c, len(c.PuncturedCols), c.Z)
+		}
+		punct := make(map[int]bool, len(c.PuncturedCols))
+		for _, j := range c.PuncturedCols {
+			if j < 0 || j >= c.Inner.N {
+				t.Fatalf("%s: punctured position %d out of range", c, j)
+			}
+			if punct[j] {
+				t.Fatalf("%s: punctured position %d listed twice", c, j)
+			}
+			punct[j] = true
+		}
+		for j := 0; j < c.Inner.N; j++ {
+			if c.IsPunctured(j) != punct[j] {
+				t.Fatalf("%s: IsPunctured(%d)=%v disagrees with PuncturedCols", c, j, c.IsPunctured(j))
+			}
+		}
+		// Distinct nonzero LLRs per transmitted position: the expansion
+		// must place tx[i] at the i-th non-punctured position and zero
+		// (erase) exactly the punctured ones.
+		tx := make([]float64, c.NTransmitted())
+		for i := range tx {
+			tx[i] = float64(i + 1)
+		}
+		full, err := c.ExpandLLRs(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := 0
+		for j, v := range full {
+			if punct[j] {
+				if v != 0 {
+					t.Fatalf("%s: punctured position %d has LLR %v, want erasure", c, j, v)
+				}
+				continue
+			}
+			if v != tx[at] {
+				t.Fatalf("%s: position %d carries %v, want tx[%d]=%v", c, j, v, at, tx[at])
+			}
+			at++
+		}
+		if at != len(tx) {
+			t.Fatalf("%s: placed %d transmitted LLRs, want %d", c, at, len(tx))
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package registry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/serve"
+)
+
+// Mux is the multi-mode decode front end: it speaks the v1/v2 wire
+// protocol on TCP connections and routes each frame to the decoder pool
+// of the code it is tagged with. Untagged (v1) frames go to the
+// registry's default code, so single-code clients predating the code
+// tag keep working against a multi-mode server.
+//
+// A frame tagged with a code outside the served set is answered with
+// StatusUnknownCode carrying the advertised list of served IDs — a
+// typed, permanent rejection the client can act on without retrying.
+type Mux struct {
+	reg    *Registry
+	pools  *Pools
+	served []*Entry
+	ids    []byte // ascending served wire IDs, the advertised list
+
+	unknown   atomic.Int64
+	badFrames atomic.Int64
+	v1Frames  atomic.Int64
+	v2Frames  atomic.Int64
+}
+
+// NewMux builds a mux serving the given subset of the registry with
+// per-code pools from the shared template (see NewPools). Pools build
+// lazily: a code nobody sends frames for costs nothing but its catalog
+// entry.
+func NewMux(reg *Registry, served []ID, tmpl serve.Config) (*Mux, error) {
+	if len(served) == 0 {
+		return nil, fmt.Errorf("registry: mux with no served codes")
+	}
+	m := &Mux{reg: reg, pools: NewPools(reg, tmpl)}
+	seen := map[ID]bool{}
+	for _, id := range served {
+		e, ok := reg.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("registry: serving unregistered id %d", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("registry: code %q served twice", e.Name)
+		}
+		seen[id] = true
+		m.served = append(m.served, e)
+		m.ids = append(m.ids, byte(id))
+	}
+	sort.Slice(m.served, func(i, j int) bool { return m.served[i].ID < m.served[j].ID })
+	sort.Slice(m.ids, func(i, j int) bool { return m.ids[i] < m.ids[j] })
+	return m, nil
+}
+
+// Serves reports whether the mux serves the code.
+func (m *Mux) Serves(id ID) bool {
+	_, ok := m.FrameLen(byte(id))
+	return ok
+}
+
+// Served returns the served entries in ascending ID order.
+func (m *Mux) Served() []*Entry { return m.served }
+
+// Pools returns the underlying per-code pools (for direct submission or
+// preloading).
+func (m *Mux) Pools() *Pools { return m.pools }
+
+// Preload builds every served code and pool up front, surfacing
+// construction errors at startup instead of on first traffic.
+func (m *Mux) Preload() error {
+	for _, e := range m.served {
+		if _, _, err := m.pools.Get(e.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close drains and stops every built pool.
+func (m *Mux) Close() { m.pools.Close() }
+
+// DefaultID implements serve.Codebook: untagged v1 frames route to the
+// registry default (whether or not it is served; an unserved default
+// simply never length-matches, so v1 frames are rejected as malformed).
+func (m *Mux) DefaultID() byte { return byte(m.reg.DefaultID()) }
+
+// FrameLen implements serve.Codebook over the served subset.
+func (m *Mux) FrameLen(id byte) (int, bool) {
+	for _, e := range m.served {
+		if byte(e.ID) == id {
+			return e.FrameLen, true
+		}
+	}
+	return 0, false
+}
+
+// IDs implements serve.Codebook: the advertised served list.
+func (m *Mux) IDs() []byte { return m.ids }
+
+// connState is the per-connection, per-code buffer set: the expanded
+// inner LLR frame and the hard-decision vector, reused across frames so
+// a connection's steady state does not allocate.
+type connState struct {
+	q    []int16
+	bits *bitvec.Vector
+}
+
+// ServeConn answers v1/v2 decode requests on one connection, in order,
+// until the peer closes it. Malformed-but-framed requests (wrong
+// length, unknown tag) are answered in-band and the connection
+// continues; framing violations (truncation, oversize) terminate it.
+func (m *Mux) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 16<<10)
+	bw := bufio.NewWriterSize(conn, 16<<10)
+	states := map[ID]*connState{}
+	var rbuf, wbuf []byte
+	for {
+		var err error
+		rbuf, err = serve.ReadRawRequest(br, rbuf)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		id, raw, perr := serve.ParseRequest(rbuf, m)
+		if perr != nil {
+			switch {
+			case errors.Is(perr, serve.ErrUnknownCode):
+				m.unknown.Add(1)
+				wbuf, err = serve.WriteUnknownCode(bw, m.ids, wbuf)
+			default:
+				m.badFrames.Add(1)
+				wbuf, err = serve.WriteResponse(bw, serve.StatusBadFrame, ldpc.Result{}, wbuf)
+			}
+			if err != nil {
+				return err
+			}
+			if err = bw.Flush(); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(rbuf) == len(raw) {
+			m.v1Frames.Add(1)
+		} else {
+			m.v2Frames.Add(1)
+		}
+		srv, built, err := m.pools.Get(ID(id))
+		if err != nil {
+			// A pool that cannot build is a server fault, not a client
+			// one; report it transiently and keep the connection.
+			if wbuf, err = serve.WriteResponse(bw, serve.StatusInternal, ldpc.Result{}, wbuf); err != nil {
+				return err
+			}
+			if err = bw.Flush(); err != nil {
+				return err
+			}
+			continue
+		}
+		st, ok := states[ID(id)]
+		if !ok {
+			st = &connState{q: make([]int16, built.Code.N), bits: bitvec.New(built.Code.N)}
+			states[ID(id)] = st
+		}
+		wire := wireLLRs(raw)
+		confident := srv.Config().Params.Format.Max()
+		if err := built.ExpandQ(st.q, wire, confident); err != nil {
+			m.badFrames.Add(1)
+			if wbuf, err = serve.WriteResponse(bw, serve.StatusBadFrame, ldpc.Result{}, wbuf); err != nil {
+				return err
+			}
+			if err = bw.Flush(); err != nil {
+				return err
+			}
+			continue
+		}
+		res, derr := srv.DecodeQ(st.q, st.bits)
+		status := serve.StatusOK
+		switch {
+		case errors.Is(derr, serve.ErrOverloaded):
+			status = serve.StatusOverloaded
+		case errors.Is(derr, serve.ErrDeadline):
+			status = serve.StatusDeadline
+		case errors.Is(derr, serve.ErrClosed):
+			status = serve.StatusClosed
+		case errors.Is(derr, serve.ErrWorkerCrash):
+			status = serve.StatusInternal
+		case derr != nil:
+			status = serve.StatusBadFrame
+		}
+		if status != serve.StatusOK {
+			res = ldpc.Result{}
+		}
+		if wbuf, err = serve.WriteResponse(bw, status, res, wbuf); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// wireLLRs widens raw int8 wire bytes; scratch is per-call small and
+// reused by the compiler's stack allocation where possible.
+func wireLLRs(raw []byte) []int16 {
+	out := make([]int16, len(raw))
+	for j, b := range raw {
+		out[j] = int16(int8(b))
+	}
+	return out
+}
+
+// ServeListener accepts connections and serves each on its own
+// goroutine until the listener closes, then waits for in-flight
+// connections.
+func (m *Mux) ServeListener(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = m.ServeConn(conn)
+		}()
+	}
+}
+
+// Healthy aggregates pool health: the mux is healthy while every built
+// pool is (an instance serving three codes well and one badly should
+// leave rotation — per-code breakers already shed compute first).
+func (m *Mux) Healthy() bool {
+	for _, ap := range m.pools.Active() {
+		if !ap.Server.Health().Status().Healthy {
+			return false
+		}
+	}
+	return true
+}
+
+// CodeSnapshot is one served code's live state.
+type CodeSnapshot struct {
+	ID       byte   `json:"id"`
+	Name     string `json:"name"`
+	N        int    `json:"n"`
+	K        int    `json:"k"`
+	FrameLen int    `json:"frame_len"`
+	// Built reports whether the pool exists yet (pools build on first
+	// traffic); Serve and Healthy are meaningful only when it does.
+	Built   bool           `json:"built"`
+	Healthy bool           `json:"healthy"`
+	Serve   serve.Snapshot `json:"serve"`
+}
+
+// MuxSnapshot is the multi-mode server's instrumentation: the shared
+// routing counters plus every served code's pool metrics, broken out
+// per code the way BENCH_multimode reads them.
+type MuxSnapshot struct {
+	DefaultCode string         `json:"default_code"`
+	V1Frames    int64          `json:"v1_frames"`
+	V2Frames    int64          `json:"v2_frames"`
+	UnknownCode int64          `json:"unknown_code"`
+	BadFrames   int64          `json:"bad_frames"`
+	Healthy     bool           `json:"healthy"`
+	Codes       []CodeSnapshot `json:"codes"`
+}
+
+// Snapshot captures the mux and per-code pool metrics.
+func (m *Mux) Snapshot() MuxSnapshot {
+	s := MuxSnapshot{
+		V1Frames:    m.v1Frames.Load(),
+		V2Frames:    m.v2Frames.Load(),
+		UnknownCode: m.unknown.Load(),
+		BadFrames:   m.badFrames.Load(),
+		Healthy:     true,
+	}
+	if d, ok := m.reg.Get(m.reg.DefaultID()); ok {
+		s.DefaultCode = d.Name
+	}
+	active := map[ID]ActivePool{}
+	for _, ap := range m.pools.Active() {
+		active[ap.Entry.ID] = ap
+	}
+	for _, e := range m.served {
+		cs := CodeSnapshot{ID: byte(e.ID), Name: e.Name, N: e.N, K: e.NominalK, FrameLen: e.FrameLen}
+		if ap, ok := active[e.ID]; ok {
+			cs.Built = true
+			cs.K = ap.Built.Code.K
+			cs.Healthy = ap.Server.Health().Status().Healthy
+			cs.Serve = ap.Server.Metrics().Snapshot()
+			if !cs.Healthy {
+				s.Healthy = false
+			}
+		}
+		s.Codes = append(s.Codes, cs)
+	}
+	return s
+}

@@ -1,0 +1,213 @@
+package registry
+
+import (
+	"bufio"
+	"net"
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/rng"
+	"ccsdsldpc/internal/serve"
+)
+
+// muxFrame is one pre-built noiseless test frame: the wire LLRs to send
+// and the inner codeword the decoder must reproduce.
+type muxFrame struct {
+	entry *Entry
+	wire  []int16
+	cw    *bitvec.Vector
+}
+
+// makeFrame encodes random data (honoring shortened a-priori-zero
+// positions) and maps it to maximally confident wire LLRs.
+func makeFrame(t *testing.T, e *Entry, r *rng.RNG) muxFrame {
+	t.Helper()
+	b, err := e.Build()
+	if err != nil {
+		t.Fatalf("%s: build: %v", e.Name, err)
+	}
+	known := make(map[int]bool, len(b.KnownZero))
+	for _, j := range b.KnownZero {
+		known[j] = true
+	}
+	info := bitvec.New(b.Code.K)
+	for bi, j := range b.Code.InfoCols {
+		if !known[j] && r.Bool() {
+			info.Set(bi)
+		}
+	}
+	cw := b.Code.Encode(info)
+	tx, err := b.TxBits(cw)
+	if err != nil {
+		t.Fatalf("%s: TxBits: %v", e.Name, err)
+	}
+	max := fixed.DefaultHighSpeedParams().Format.Max()
+	wire := make([]int16, e.FrameLen)
+	for i := range wire {
+		if tx.Bit(i) == 1 {
+			wire[i] = -max
+		} else {
+			wire[i] = max
+		}
+	}
+	return muxFrame{entry: e, wire: wire, cw: cw}
+}
+
+// TestMuxLoopbackInterleaved is the acceptance path of the multi-mode
+// subsystem: one mux serving every registry code decodes v1 and v2
+// frames of all five codes interleaved on a single TCP connection,
+// answers an unknown tag and a malformed frame in-band without dropping
+// the connection, and reports the traffic per code in its snapshot.
+func TestMuxLoopbackInterleaved(t *testing.T) {
+	reg := Default()
+	served, err := reg.Resolve("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMux(reg, served, serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = m.ServeListener(l)
+	}()
+	defer func() { l.Close(); <-done }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+	var wbuf, rbuf []byte
+
+	// send one frame (v1 untagged for the default code, v2 tagged
+	// otherwise) and check the echoed hard decisions.
+	send := func(f muxFrame) {
+		t.Helper()
+		if f.entry.ID == reg.DefaultID() {
+			wbuf, err = serve.WriteRequest(bw, f.wire, wbuf)
+		} else {
+			wbuf, err = serve.WriteRequestTagged(bw, byte(f.entry.ID), f.wire, wbuf)
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			t.Fatalf("%s: send: %v", f.entry.Name, err)
+		}
+		bits := bitvec.New(f.entry.N)
+		var resp serve.Response
+		resp, rbuf, err = serve.ReadResponse(br, bits, rbuf)
+		if err != nil {
+			t.Fatalf("%s: read response: %v", f.entry.Name, err)
+		}
+		if resp.Status != serve.StatusOK {
+			t.Fatalf("%s: status %d, want OK", f.entry.Name, resp.Status)
+		}
+		if !resp.Converged {
+			t.Fatalf("%s: noiseless frame did not converge", f.entry.Name)
+		}
+		bits.Xor(f.cw)
+		if n := bits.PopCount(); n != 0 {
+			t.Fatalf("%s: %d hard-decision bit errors on a noiseless frame", f.entry.Name, n)
+		}
+	}
+
+	r := rng.New(11)
+	const rounds = 3
+	// Round-robin across the codes so every adjacent pair of frames on
+	// the connection switches codes (and v1/v2 framing, since c2 is v1).
+	for round := 0; round < rounds; round++ {
+		for _, e := range m.Served() {
+			send(makeFrame(t, e, r))
+		}
+	}
+
+	// An unknown tag gets the advertised list and leaves the connection
+	// usable.
+	if wbuf, err = serve.WriteRequestTagged(bw, 99, make([]int16, 10), wbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err = bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var resp serve.Response
+	resp, rbuf, err = serve.ReadResponse(br, bitvec.New(1), rbuf)
+	if err != nil {
+		t.Fatalf("read unknown-code response: %v", err)
+	}
+	if resp.Status != serve.StatusUnknownCode {
+		t.Fatalf("unknown tag answered with status %d", resp.Status)
+	}
+	if string(resp.Codes) != string(m.IDs()) {
+		t.Fatalf("advertised %v, want served set %v", resp.Codes, m.IDs())
+	}
+
+	// A malformed payload (wrong length, no v2 magic) is StatusBadFrame,
+	// also in-band.
+	bad := []int16{1, 2, 3, 4, 5, 6, 7}
+	if wbuf, err = serve.WriteRequest(bw, bad, wbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err = bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, rbuf, err = serve.ReadResponse(br, bitvec.New(1), rbuf)
+	if err != nil {
+		t.Fatalf("read bad-frame response: %v", err)
+	}
+	if resp.Status != serve.StatusBadFrame {
+		t.Fatalf("malformed payload answered with status %d", resp.Status)
+	}
+
+	// The connection survives both rejections.
+	defEntry, _ := reg.Get(reg.DefaultID())
+	send(makeFrame(t, defEntry, r))
+
+	if !m.Healthy() {
+		t.Error("mux unhealthy after a clean run")
+	}
+	snap := m.Snapshot()
+	if !snap.Healthy {
+		t.Error("snapshot reports unhealthy")
+	}
+	wantV1 := int64(rounds + 1) // c2 rounds + the post-rejection frame
+	wantV2 := int64(rounds * (len(m.Served()) - 1))
+	if snap.V1Frames != wantV1 || snap.V2Frames != wantV2 {
+		t.Errorf("routed v1=%d v2=%d, want %d/%d", snap.V1Frames, snap.V2Frames, wantV1, wantV2)
+	}
+	if snap.UnknownCode != 1 || snap.BadFrames != 1 {
+		t.Errorf("unknown=%d bad=%d, want 1/1", snap.UnknownCode, snap.BadFrames)
+	}
+	perCode := map[string]CodeSnapshot{}
+	for _, cs := range snap.Codes {
+		perCode[cs.Name] = cs
+	}
+	for _, e := range m.Served() {
+		cs, ok := perCode[e.Name]
+		if !ok {
+			t.Fatalf("snapshot missing served code %s", e.Name)
+		}
+		if !cs.Built || !cs.Healthy {
+			t.Errorf("%s: built=%v healthy=%v after traffic", e.Name, cs.Built, cs.Healthy)
+		}
+		want := int64(rounds)
+		if e.ID == reg.DefaultID() {
+			want++
+		}
+		if cs.Serve.FramesDecoded != want {
+			t.Errorf("%s: %d frames decoded, want %d", e.Name, cs.Serve.FramesDecoded, want)
+		}
+	}
+}

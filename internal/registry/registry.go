@@ -1,0 +1,406 @@
+// Package registry is the multi-mode code catalog: the set of LDPC
+// codes one decode server can serve, each bound to a stable wire ID,
+// its frame geometry, and a lazily-built per-code decoder pool.
+//
+// The paper's conclusion names extending the generic architecture to
+// "the several rates AR4JA LDPC codes for deep-space applications" as
+// the next step; production decoders (SatDump's runtime-parameterized
+// CCSDSLDPC constructor, the 5G NR multi-mode decoders) treat the code
+// as a request parameter, not a compile-time constant. The registry is
+// that parameterization: one server multiplexes heterogeneous mission
+// traffic by routing each code-tagged frame to the pool owning that
+// code's pre-built packed decoders.
+//
+// The default catalog registers five codes on the same block-circulant
+// engine, all with circulant size 511 like the C2 code:
+//
+//	ID 0  c2    the paper's (8176, 7156) near-earth code — the v1
+//	            (untagged) default every pre-v2 client gets
+//	ID 1  c2s   the shortened (8160, 7136) air-interface frame over the
+//	            same code: 20 a-priori-zero info bits, 4 fill bits
+//	ID 2  ds12  deep-space stand-in protograph family, rate 1/2
+//	ID 3  ds23  rate 2/3
+//	ID 4  ds45  rate 4/5 (each with one never-transmitted punctured
+//	            column block, decoded as erasures)
+//
+// Wire frames carry only transmitted bits: FrameLen LLRs per frame,
+// expanded server-side to the inner codeword length (punctured
+// positions become erasures, shortened positions maximally confident
+// zeros). Code construction — table generation plus GF(2) elimination
+// for the encoder — costs around a second per code, so entries build
+// lazily on first use and cache process-wide.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/code"
+	"ccsdsldpc/internal/protograph"
+)
+
+// ID is a wire code tag: the byte that names a code in a v2 request.
+type ID byte
+
+// The stable IDs of the default catalog. These are wire-protocol
+// constants: changing one breaks every deployed client.
+const (
+	// C2 is the (8176, 7156) near-earth code, the v1 default.
+	C2 ID = 0
+	// C2Short is the shortened (8160, 7136) air-interface frame.
+	C2Short ID = 1
+	// DS12, DS23, DS45 are the deep-space stand-in protograph rates.
+	DS12 ID = 2
+	DS23 ID = 3
+	DS45 ID = 4
+)
+
+// dsLift is the lifting (circulant) size of the deep-space family
+// members — the C2 circulant size, so all five codes exercise the same
+// bank geometry class.
+const dsLift = 511
+
+// dsSeed pins the deterministic lifted tables; it matches the facade's
+// NewDeepSpaceSystem so both construct the same codes.
+const dsSeed = 20090417
+
+// Entry is one catalog member. The geometry fields are static — known
+// without building the code — so wire-protocol validation and catalog
+// listings never pay the construction cost. Build yields the
+// constructed code and its frame maps, cached for the process lifetime.
+type Entry struct {
+	ID          ID
+	Name        string
+	Description string
+
+	// N is the inner codeword length: the decoder's input and the hard
+	// decisions a response carries. FrameLen is the number of LLRs per
+	// wire frame (transmitted bits only).
+	N        int
+	FrameLen int
+	// NominalK is the designed information length; the exact K is a
+	// property of the built code's parity-check rank (Build().Code.K).
+	NominalK int
+	// NominalRate is NominalK / FrameLen, the transmitted code rate.
+	NominalRate float64
+	// CircSize, BlockRows and BlockCols describe the block-circulant
+	// table — the memory-bank geometry every decoder maps onto.
+	CircSize  int
+	BlockRows int
+	BlockCols int
+	// Punctured counts inner positions never transmitted (decoded as
+	// erasures); Shortened counts a-priori-zero information positions.
+	Punctured int
+	Shortened int
+
+	build func(e *Entry) (*Built, error)
+	once  sync.Once
+	built *Built
+	err   error
+}
+
+// Built is a constructed catalog entry: the code plus the maps between
+// wire frames and inner codewords.
+type Built struct {
+	Code *code.Code
+	// TxPositions has FrameLen entries: TxPositions[i] is the inner
+	// codeword position wire LLR i carries, or -1 for an alignment fill
+	// bit (known zero, ignored by the decoder).
+	TxPositions []int
+	// KnownZero lists inner positions fixed to zero by shortening; the
+	// decoder gives them maximally confident LLRs.
+	KnownZero []int
+	// PuncturedCols lists inner positions that are never transmitted;
+	// the decoder sees erasures (LLR 0) there.
+	PuncturedCols []int
+}
+
+// Build constructs the entry's code (once; subsequent calls return the
+// cached result).
+func (e *Entry) Build() (*Built, error) {
+	e.once.Do(func() { e.built, e.err = e.build(e) })
+	return e.built, e.err
+}
+
+// ExpandQ maps one wire frame of quantized LLRs onto the inner
+// codeword: transmitted positions get their channel LLRs, punctured
+// positions an erasure (0), and shortened positions ±confident (the
+// fixed-point format's maximum, passed by the caller since the registry
+// is format-agnostic). dst must have the inner length N.
+func (b *Built) ExpandQ(dst, wire []int16, confident int16) error {
+	if len(wire) != len(b.TxPositions) {
+		return fmt.Errorf("registry: %d wire LLRs, want %d", len(wire), len(b.TxPositions))
+	}
+	if len(dst) != b.Code.N {
+		return fmt.Errorf("registry: %d-LLR destination for code length %d", len(dst), b.Code.N)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for _, j := range b.KnownZero {
+		dst[j] = confident
+	}
+	for i, j := range b.TxPositions {
+		if j >= 0 {
+			dst[j] = wire[i]
+		}
+	}
+	return nil
+}
+
+// TxBits extracts the transmitted bits of an inner codeword in wire
+// order (fill positions transmit zero) — the client-side inverse of
+// ExpandQ, used to generate realistic wire traffic.
+func (b *Built) TxBits(cw *bitvec.Vector) (*bitvec.Vector, error) {
+	if cw.Len() != b.Code.N {
+		return nil, fmt.Errorf("registry: %d codeword bits, want %d", cw.Len(), b.Code.N)
+	}
+	out := bitvec.New(len(b.TxPositions))
+	for i, j := range b.TxPositions {
+		if j >= 0 && cw.Bit(j) == 1 {
+			out.Set(i)
+		}
+	}
+	return out, nil
+}
+
+// Registry is an immutable catalog of entries addressable by wire ID
+// and by name.
+type Registry struct {
+	entries []*Entry
+	byID    map[ID]*Entry
+	byName  map[string]*Entry
+	def     ID
+}
+
+// Entries returns the catalog in ascending ID order.
+func (r *Registry) Entries() []*Entry { return r.entries }
+
+// Get returns the entry with the given wire ID.
+func (r *Registry) Get(id ID) (*Entry, bool) {
+	e, ok := r.byID[id]
+	return e, ok
+}
+
+// ByName returns the entry with the given (case-insensitive) name.
+func (r *Registry) ByName(name string) (*Entry, bool) {
+	e, ok := r.byName[strings.ToLower(strings.TrimSpace(name))]
+	return e, ok
+}
+
+// DefaultID returns the code untagged v1 frames decode as.
+func (r *Registry) DefaultID() ID { return r.def }
+
+// Names returns the catalog names in ascending ID order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Resolve parses a comma-separated list of entry names ("c2,ds12"), or
+// "all" for the whole catalog, into IDs. Duplicates are rejected.
+func (r *Registry) Resolve(spec string) ([]ID, error) {
+	spec = strings.TrimSpace(spec)
+	if strings.EqualFold(spec, "all") {
+		out := make([]ID, len(r.entries))
+		for i, e := range r.entries {
+			out[i] = e.ID
+		}
+		return out, nil
+	}
+	seen := map[ID]bool{}
+	var out []ID
+	for _, name := range strings.Split(spec, ",") {
+		if strings.TrimSpace(name) == "" {
+			continue
+		}
+		e, ok := r.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("registry: unknown code %q (have %s)", strings.TrimSpace(name), strings.Join(r.Names(), ", "))
+		}
+		if seen[e.ID] {
+			return nil, fmt.Errorf("registry: code %q listed twice", e.Name)
+		}
+		seen[e.ID] = true
+		out = append(out, e.ID)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("registry: empty code list")
+	}
+	return out, nil
+}
+
+// New assembles a registry from entries; the default must be one of
+// them. Wire-protocol soundness is validated: IDs and names unique, and
+// no entry's tagged (FrameLen+2) payload length collides with the
+// default entry's untagged frame length — the length rule v1/v2
+// discrimination depends on.
+func New(entries []*Entry, def ID) (*Registry, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("registry: no entries")
+	}
+	r := &Registry{byID: map[ID]*Entry{}, byName: map[string]*Entry{}, def: def}
+	for _, e := range entries {
+		if e.Name == "" || e.N <= 0 || e.FrameLen <= 0 {
+			return nil, fmt.Errorf("registry: entry %d (%q) missing geometry", e.ID, e.Name)
+		}
+		if _, dup := r.byID[e.ID]; dup {
+			return nil, fmt.Errorf("registry: duplicate id %d", e.ID)
+		}
+		key := strings.ToLower(e.Name)
+		if _, dup := r.byName[key]; dup {
+			return nil, fmt.Errorf("registry: duplicate name %q", e.Name)
+		}
+		r.byID[e.ID] = e
+		r.byName[key] = e
+		r.entries = append(r.entries, e)
+	}
+	sort.Slice(r.entries, func(i, j int) bool { return r.entries[i].ID < r.entries[j].ID })
+	d, ok := r.byID[def]
+	if !ok {
+		return nil, fmt.Errorf("registry: default id %d not registered", def)
+	}
+	for _, e := range r.entries {
+		if e.ID != def && e.FrameLen+2 == d.FrameLen {
+			return nil, fmt.Errorf("registry: code %q tagged frame (%d bytes) collides with default %q untagged frame",
+				e.Name, e.FrameLen+2, d.Name)
+		}
+	}
+	return r, nil
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide shared catalog described in the
+// package comment. Sharing matters: built codes cache on the entries,
+// so every pool, tool and test reuses one construction per code.
+func Default() *Registry {
+	defaultOnce.Do(func() {
+		entries := []*Entry{
+			c2Entry(),
+			c2ShortEntry(),
+			dsEntry(DS12, "ds12", protograph.Rate12),
+			dsEntry(DS23, "ds23", protograph.Rate23),
+			dsEntry(DS45, "ds45", protograph.Rate45),
+		}
+		r, err := New(entries, C2)
+		if err != nil {
+			// The default catalog is a compile-time artifact; a
+			// violation is a programming error, not an input error.
+			panic(err)
+		}
+		defaultReg = r
+	})
+	return defaultReg
+}
+
+func c2Entry() *Entry {
+	return &Entry{
+		ID:          C2,
+		Name:        "c2",
+		Description: "CCSDS C2 near-earth (8176, 7156), the paper's code; v1 default",
+		N:           code.CCSDSN,
+		FrameLen:    code.CCSDSN,
+		NominalK:    code.CCSDSK,
+		NominalRate: float64(code.CCSDSK) / float64(code.CCSDSN),
+		CircSize:    code.CCSDSCirculantSize,
+		BlockRows:   code.CCSDSBlockRows,
+		BlockCols:   code.CCSDSBlockCols,
+		build: func(e *Entry) (*Built, error) {
+			c, err := code.CCSDS()
+			if err != nil {
+				return nil, err
+			}
+			tx := make([]int, c.N)
+			for j := range tx {
+				tx[j] = j
+			}
+			return &Built{Code: c, TxPositions: tx}, nil
+		},
+	}
+}
+
+func c2ShortEntry() *Entry {
+	s := code.CCSDSK - code.CCSDSShortenedK
+	return &Entry{
+		ID:          C2Short,
+		Name:        "c2s",
+		Description: "shortened (8160, 7136) air-interface frame over the C2 code",
+		N:           code.CCSDSN,
+		FrameLen:    code.CCSDSShortenedN,
+		NominalK:    code.CCSDSShortenedK,
+		NominalRate: float64(code.CCSDSShortenedK) / float64(code.CCSDSShortenedN),
+		CircSize:    code.CCSDSCirculantSize,
+		BlockRows:   code.CCSDSBlockRows,
+		BlockCols:   code.CCSDSBlockCols,
+		Shortened:   s,
+		build: func(e *Entry) (*Built, error) {
+			sh, err := code.CCSDSShortened()
+			if err != nil {
+				return nil, err
+			}
+			tx := sh.TransmittedPositions()
+			if len(tx) != e.FrameLen {
+				return nil, fmt.Errorf("registry: shortened frame has %d transmitted positions, want %d", len(tx), e.FrameLen)
+			}
+			kz := intCopy(sh.Code.InfoCols[:sh.S])
+			return &Built{Code: sh.Code, TxPositions: tx, KnownZero: kz}, nil
+		},
+	}
+}
+
+func dsEntry(id ID, name string, rate protograph.Rate) *Entry {
+	b, err := protograph.DeepSpaceBase(rate)
+	if err != nil {
+		panic(err) // compile-time family; cannot fail
+	}
+	cols, rows := b.Variables(), b.Checks()
+	infoCols := cols - rows
+	n := cols * dsLift
+	punct := len(b.Punctured) * dsLift
+	return &Entry{
+		ID:   id,
+		Name: name,
+		Description: fmt.Sprintf("deep-space stand-in protograph, rate %s (punctured column decoded as erasures)",
+			rate.String()),
+		N:           n,
+		FrameLen:    n - punct,
+		NominalK:    infoCols * dsLift,
+		NominalRate: float64(infoCols*dsLift) / float64(n-punct),
+		CircSize:    dsLift,
+		BlockRows:   rows,
+		BlockCols:   cols,
+		Punctured:   punct,
+		build: func(e *Entry) (*Built, error) {
+			pc, err := protograph.NewDeepSpaceCode(rate, e.NominalK, dsSeed)
+			if err != nil {
+				return nil, err
+			}
+			tx := make([]int, 0, e.FrameLen)
+			for j := 0; j < pc.Inner.N; j++ {
+				if !pc.IsPunctured(j) {
+					tx = append(tx, j)
+				}
+			}
+			if len(tx) != e.FrameLen {
+				return nil, fmt.Errorf("registry: %s has %d transmitted positions, want %d", e.Name, len(tx), e.FrameLen)
+			}
+			return &Built{Code: pc.Inner, TxPositions: tx, PuncturedCols: intCopy(pc.PuncturedCols)}, nil
+		},
+	}
+}
+
+func intCopy(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	return out
+}

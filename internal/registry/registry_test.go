@@ -1,0 +1,272 @@
+package registry
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/rng"
+)
+
+// TestCatalogInvariants pins the static geometry of the default catalog
+// — everything the wire protocol and the ldpcinfo listing rely on
+// before any code is built.
+func TestCatalogInvariants(t *testing.T) {
+	reg := Default()
+	entries := reg.Entries()
+	if len(entries) != 5 {
+		t.Fatalf("catalog has %d entries, want 5", len(entries))
+	}
+	want := []struct {
+		id       ID
+		name     string
+		frameLen int
+	}{
+		{C2, "c2", 8176},
+		{C2Short, "c2s", 8160},
+		{DS12, "ds12", 2044},
+		{DS23, "ds23", 3066},
+		{DS45, "ds45", 5110},
+	}
+	def, ok := reg.Get(reg.DefaultID())
+	if !ok {
+		t.Fatal("default ID not registered")
+	}
+	if def.ID != C2 {
+		t.Errorf("default code is %s, want c2", def.Name)
+	}
+	for i, w := range want {
+		e := entries[i]
+		if e.ID != w.id || e.Name != w.name {
+			t.Fatalf("entry %d is id=%d name=%q, want id=%d name=%q", i, e.ID, e.Name, w.id, w.name)
+		}
+		if e.FrameLen != w.frameLen {
+			t.Errorf("%s: frame length %d, want %d", e.Name, e.FrameLen, w.frameLen)
+		}
+		// Transmitted bits account for the whole inner codeword minus
+		// punctured positions, plus any alignment fill.
+		if e.FrameLen < e.N-e.Punctured-e.Shortened || e.FrameLen > e.N {
+			t.Errorf("%s: frame length %d inconsistent with n=%d punct=%d short=%d",
+				e.Name, e.FrameLen, e.N, e.Punctured, e.Shortened)
+		}
+		rate := float64(e.NominalK) / float64(e.FrameLen)
+		if diff := e.NominalRate - rate; diff > 1e-3 || diff < -1e-3 {
+			t.Errorf("%s: nominal rate %v, but k/frame = %v", e.Name, e.NominalRate, rate)
+		}
+		// The v1/v2 discrimination rule New enforces.
+		if e.ID != reg.DefaultID() && e.FrameLen+2 == def.FrameLen {
+			t.Errorf("%s: tagged frame collides with default untagged length", e.Name)
+		}
+		// Lookups agree with the listing.
+		byID, ok := reg.Get(e.ID)
+		if !ok || byID != e {
+			t.Errorf("Get(%d) lost entry %s", e.ID, e.Name)
+		}
+		byName, ok := reg.ByName(e.Name)
+		if !ok || byName != e {
+			t.Errorf("ByName(%q) lost entry %s", e.Name, e.Name)
+		}
+	}
+}
+
+// TestNewRejectsCollisions checks the constructor's validation: the
+// duplicate-ID, duplicate-name and v1/v2 frame-length ambiguity guards.
+func TestNewRejectsCollisions(t *testing.T) {
+	a := &Entry{ID: 0, Name: "a", N: 100, FrameLen: 100}
+	if _, err := New([]*Entry{a, {ID: 0, Name: "b", N: 50, FrameLen: 50}}, 0); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if _, err := New([]*Entry{a, {ID: 1, Name: "A", N: 50, FrameLen: 50}}, 0); err == nil {
+		t.Error("case-folded duplicate name accepted")
+	}
+	// A 98-LLR tagged frame is 100 bytes — exactly a's v1 frame.
+	if _, err := New([]*Entry{a, {ID: 1, Name: "b", N: 98, FrameLen: 98}}, 0); err == nil {
+		t.Error("v1/v2 ambiguous frame length accepted")
+	}
+	if _, err := New([]*Entry{a}, 3); err == nil {
+		t.Error("unregistered default ID accepted")
+	}
+	if _, err := New([]*Entry{a, {ID: 1, Name: "b", N: 50, FrameLen: 50}}, 0); err != nil {
+		t.Errorf("valid registry rejected: %v", err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	reg := Default()
+	all, err := reg.Resolve("all")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("Resolve(all) = %v, %v; want all 5 codes", all, err)
+	}
+	got, err := reg.Resolve(" c2 , ds12 ")
+	if err != nil {
+		t.Fatalf("Resolve(c2,ds12): %v", err)
+	}
+	if len(got) != 2 || got[0] != C2 || got[1] != DS12 {
+		t.Fatalf("Resolve(c2,ds12) = %v", got)
+	}
+	if _, err := reg.Resolve("c2,nope"); err == nil {
+		t.Error("unknown name resolved")
+	}
+	if _, err := reg.Resolve("c2,c2"); err == nil {
+		t.Error("duplicate name resolved")
+	}
+	if _, err := reg.Resolve(""); err == nil {
+		t.Error("empty spec resolved")
+	}
+}
+
+// TestBuiltGeometry builds every catalog entry (cached process-wide, so
+// this is the package's one construction bill) and checks the wire maps
+// are mutually consistent: every frame position lands on a distinct
+// in-range inner position or is a fill bit, punctured positions are
+// exactly the ones no wire LLR reaches, and shortened positions are
+// information columns.
+func TestBuiltGeometry(t *testing.T) {
+	for _, e := range Default().Entries() {
+		b, err := e.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", e.Name, err)
+		}
+		if b.Code.N != e.N {
+			t.Errorf("%s: built n=%d, catalog says %d", e.Name, b.Code.N, e.N)
+		}
+		if len(b.TxPositions) != e.FrameLen {
+			t.Fatalf("%s: %d wire positions, frame length %d", e.Name, len(b.TxPositions), e.FrameLen)
+		}
+		if len(b.PuncturedCols) != e.Punctured || len(b.KnownZero) != e.Shortened {
+			t.Errorf("%s: built punct=%d short=%d, catalog says %d/%d",
+				e.Name, len(b.PuncturedCols), len(b.KnownZero), e.Punctured, e.Shortened)
+		}
+		covered := make([]bool, b.Code.N)
+		fill := 0
+		for i, j := range b.TxPositions {
+			if j == -1 {
+				fill++
+				continue
+			}
+			if j < 0 || j >= b.Code.N {
+				t.Fatalf("%s: wire position %d maps to %d, out of range", e.Name, i, j)
+			}
+			if covered[j] {
+				t.Fatalf("%s: inner position %d carried twice", e.Name, j)
+			}
+			covered[j] = true
+		}
+		punct := make(map[int]bool, len(b.PuncturedCols))
+		for _, j := range b.PuncturedCols {
+			punct[j] = true
+		}
+		known := make(map[int]bool, len(b.KnownZero))
+		for _, j := range b.KnownZero {
+			known[j] = true
+		}
+		// Every inner position is exactly one of: carried by the wire,
+		// punctured (erased), or shortened (a-priori zero, untransmitted).
+		for j := 0; j < b.Code.N; j++ {
+			if covered[j] == (punct[j] || known[j]) {
+				t.Fatalf("%s: inner position %d covered=%v punctured=%v shortened=%v — must be exactly one class",
+					e.Name, j, covered[j], punct[j], known[j])
+			}
+		}
+		if e.FrameLen != b.Code.N-e.Punctured-e.Shortened+fill {
+			t.Errorf("%s: frame length %d != n(%d) - punctured(%d) - shortened(%d) + fill(%d)",
+				e.Name, e.FrameLen, b.Code.N, e.Punctured, e.Shortened, fill)
+		}
+		info := make(map[int]bool, len(b.Code.InfoCols))
+		for _, j := range b.Code.InfoCols {
+			info[j] = true
+		}
+		for _, j := range b.KnownZero {
+			if !info[j] {
+				t.Errorf("%s: shortened position %d is not an information column", e.Name, j)
+			}
+		}
+	}
+}
+
+// TestExpandQAndTxBits round-trips a random codeword through the wire
+// maps of every entry: TxBits extracts exactly the transmitted bits,
+// ExpandQ puts confident LLRs for them back on the right inner
+// positions, erases the punctured ones, and pins the shortened ones.
+func TestExpandQAndTxBits(t *testing.T) {
+	r := rng.New(7)
+	for _, e := range Default().Entries() {
+		b, err := e.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", e.Name, err)
+		}
+		c := b.Code
+		known := make(map[int]bool, len(b.KnownZero))
+		for _, j := range b.KnownZero {
+			known[j] = true
+		}
+		info := bitvec.New(c.K)
+		for bi, j := range c.InfoCols {
+			if known[j] {
+				continue // shortened: a-priori zero
+			}
+			if r.Bool() {
+				info.Set(bi)
+			}
+		}
+		cw := c.Encode(info)
+		tx, err := b.TxBits(cw)
+		if err != nil {
+			t.Fatalf("%s: TxBits: %v", e.Name, err)
+		}
+		if tx.Len() != e.FrameLen {
+			t.Fatalf("%s: %d transmitted bits, want %d", e.Name, tx.Len(), e.FrameLen)
+		}
+		// Noiseless BPSK: bit 0 → +max, bit 1 → −max.
+		const confident = int16(15)
+		wire := make([]int16, e.FrameLen)
+		for i := range wire {
+			if tx.Bit(i) == 1 {
+				wire[i] = -confident
+			} else {
+				wire[i] = confident
+			}
+		}
+		dst := make([]int16, c.N)
+		if err := b.ExpandQ(dst, wire, confident); err != nil {
+			t.Fatalf("%s: ExpandQ: %v", e.Name, err)
+		}
+		punct := make(map[int]bool, len(b.PuncturedCols))
+		for _, j := range b.PuncturedCols {
+			punct[j] = true
+		}
+		for j := 0; j < c.N; j++ {
+			want := confident
+			if cw.Bit(j) == 1 {
+				want = -confident
+			}
+			switch {
+			case punct[j]:
+				if dst[j] != 0 {
+					t.Fatalf("%s: punctured position %d has LLR %d, want erasure", e.Name, j, dst[j])
+				}
+			case known[j]:
+				if cw.Bit(j) != 0 {
+					t.Fatalf("%s: shortened position %d encodes to 1", e.Name, j)
+				}
+				if dst[j] != confident {
+					t.Fatalf("%s: shortened position %d has LLR %d, want pinned %d", e.Name, j, dst[j], confident)
+				}
+			default:
+				if dst[j] != want {
+					t.Fatalf("%s: position %d has LLR %d, want %d", e.Name, j, dst[j], want)
+				}
+			}
+		}
+
+		// Length mismatches must be rejected on both sides.
+		if err := b.ExpandQ(dst, wire[:len(wire)-1], confident); err == nil {
+			t.Errorf("%s: short wire frame accepted", e.Name)
+		}
+		if err := b.ExpandQ(dst[:c.N-1], wire, confident); err == nil {
+			t.Errorf("%s: short destination accepted", e.Name)
+		}
+		if _, err := b.TxBits(bitvec.New(c.N - 1)); err == nil {
+			t.Errorf("%s: short codeword accepted by TxBits", e.Name)
+		}
+	}
+}

@@ -13,8 +13,21 @@ import (
 // Wire protocol: every message is a 4-byte big-endian payload length
 // followed by the payload.
 //
-// Request payload — exactly N bytes, the frame's quantized channel LLRs
-// as int8 (the high-speed Q(5,1) values occupy [−15, +15]).
+// v1 request payload — exactly N bytes, the frame's quantized channel
+// LLRs as int8 (the high-speed Q(5,1) values occupy [−15, +15]), where
+// N is the frame length of the server's default code. v1 carries no
+// code tag; a multi-mode server routes every v1 frame to its default
+// code, which keeps every pre-v2 client working unchanged.
+//
+// v2 request payload — a 2-byte tag
+//
+//	version(1) = ProtoV2Magic, code(1) = registry code ID
+//
+// followed by exactly FrameLen(code) LLR bytes. The two versions are
+// discriminated by payload length: a payload of exactly the default
+// code's frame length is a v1 request, anything else must parse as v2.
+// (Registries must therefore never register a code whose tagged frame
+// collides with the default code's untagged length — see ParseRequest.)
 //
 // Response payload — a 4-byte header
 //
@@ -22,17 +35,26 @@ import (
 //
 // followed, when status is StatusOK, by ceil(N/8) bytes of hard
 // decisions packed LSB-first (bit j of the codeword is bit j&7 of byte
-// j>>3).
+// j>>3), N being the inner codeword length of the request's code. A
+// StatusUnknownCode response instead carries the server's advertised
+// code list: count(1) then one ID byte per served code, so a client can
+// fail fast with the supported set instead of retrying a frame that can
+// never decode.
 
 // Response status codes.
 const (
-	StatusOK         byte = 0 // frame decoded; hard decisions follow
-	StatusOverloaded byte = 1 // shed: queue full, retry later
-	StatusClosed     byte = 2 // server shutting down
-	StatusBadFrame   byte = 3 // malformed request
-	StatusDeadline   byte = 4 // per-request decode deadline exceeded, retry later
-	StatusInternal   byte = 5 // transient server fault (worker crash), retry
+	StatusOK          byte = 0 // frame decoded; hard decisions follow
+	StatusOverloaded  byte = 1 // shed: queue full, retry later
+	StatusClosed      byte = 2 // server shutting down
+	StatusBadFrame    byte = 3 // malformed request
+	StatusDeadline    byte = 4 // per-request decode deadline exceeded, retry later
+	StatusInternal    byte = 5 // transient server fault (worker crash), retry
+	StatusUnknownCode byte = 6 // v2 code tag not served here; advertised list follows
 )
+
+// ProtoV2Magic is the version byte opening every code-tagged v2 request
+// payload.
+const ProtoV2Magic byte = 0x02
 
 // Framing errors. All are wrapped with context, so match with
 // errors.Is. A peer that violates the framing invariants gets one of
@@ -47,6 +69,11 @@ var (
 	// match what the code or protocol requires (e.g. a zero-length or
 	// wrong-length LLR frame, or a short response header).
 	ErrFrameLength = errors.New("serve: wrong frame length")
+	// ErrUnknownCode reports a v2 request whose code tag is not in the
+	// server's codebook. The rejection is permanent for that tag —
+	// clients should consult the advertised code list instead of
+	// retrying.
+	ErrUnknownCode = errors.New("serve: unknown code id")
 )
 
 // maxPayload bounds accepted message lengths; the CCSDS frame is 8176
@@ -86,6 +113,96 @@ func readMessage(r io.Reader, buf []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: got %v before the declared %d bytes", ErrTruncated, err, n)
 	}
 	return buf, nil
+}
+
+// Codebook is the server-side view of a code registry needed to parse
+// the multi-mode wire protocol: the default (v1) code and the frame
+// geometry of every served code tag. internal/registry provides the
+// production implementation; serve stays registry-agnostic.
+type Codebook interface {
+	// DefaultID is the code v1 (untagged) frames decode as.
+	DefaultID() byte
+	// FrameLen returns the LLR count per wire frame of a served code
+	// tag, or ok=false when the tag is not served.
+	FrameLen(id byte) (int, bool)
+	// IDs lists the served code tags in ascending order — the
+	// advertised list of a StatusUnknownCode response.
+	IDs() []byte
+}
+
+// ReadRawRequest reads one length-prefixed request payload without
+// interpreting it; pair with ParseRequest on a multi-mode connection.
+// io.EOF at a message boundary is the clean end of the stream.
+func ReadRawRequest(r io.Reader, buf []byte) ([]byte, error) {
+	return readMessage(r, buf)
+}
+
+// ParseRequest classifies one request payload against a codebook and
+// returns the code it addresses plus its raw LLR bytes (aliasing
+// payload). The discrimination rule: a payload of exactly the default
+// code's frame length is a v1 frame for the default code; any other
+// length must open with ProtoV2Magic and a served code ID followed by
+// exactly that code's frame length of LLRs.
+//
+// Errors are typed: ErrUnknownCode for an unserved tag (the id is still
+// returned), ErrFrameLength for everything else malformed. Both leave
+// the connection framing intact — the caller can respond and keep
+// reading.
+func ParseRequest(payload []byte, cb Codebook) (id byte, llrs []byte, err error) {
+	def := cb.DefaultID()
+	if n, ok := cb.FrameLen(def); ok && len(payload) == n {
+		return def, payload, nil
+	}
+	if len(payload) < 2 {
+		return 0, nil, fmt.Errorf("%w: %d-byte payload is neither a default-code v1 frame nor a tagged v2 frame",
+			ErrFrameLength, len(payload))
+	}
+	if payload[0] != ProtoV2Magic {
+		return 0, nil, fmt.Errorf("%w: request version %#x, want v2 magic %#x (or a v1 frame of the default code's length)",
+			ErrFrameLength, payload[0], ProtoV2Magic)
+	}
+	id = payload[1]
+	n, ok := cb.FrameLen(id)
+	if !ok {
+		return id, nil, fmt.Errorf("%w %d", ErrUnknownCode, id)
+	}
+	if len(payload)-2 != n {
+		return id, nil, fmt.Errorf("%w: %d-byte v2 frame for code %d, want %d LLRs", ErrFrameLength, len(payload)-2, id, n)
+	}
+	return id, payload[2:], nil
+}
+
+// LLRsFromWire widens raw wire LLR bytes (int8) into dst. Lengths must
+// match.
+func LLRsFromWire(dst []int16, raw []byte) error {
+	if len(raw) != len(dst) {
+		return fmt.Errorf("%w: %d wire LLRs for frame length %d", ErrFrameLength, len(raw), len(dst))
+	}
+	for j, b := range raw {
+		dst[j] = int16(int8(b))
+	}
+	return nil
+}
+
+// WriteRequestTagged sends one code-tagged (v2) frame of quantized
+// LLRs. Values are saturated into int8.
+func WriteRequestTagged(w io.Writer, id byte, q []int16, buf []byte) ([]byte, error) {
+	n := 2 + len(q)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	buf[0] = ProtoV2Magic
+	buf[1] = id
+	for j, v := range q {
+		if v > 127 {
+			v = 127
+		} else if v < -128 {
+			v = -128
+		}
+		buf[2+j] = byte(int8(v))
+	}
+	return buf, writeMessage(w, buf)
 }
 
 // WriteRequest sends one frame of quantized LLRs. Values are saturated
@@ -150,11 +267,34 @@ func WriteResponse(w io.Writer, status byte, res ldpc.Result, buf []byte) ([]byt
 	return buf, writeMessage(w, buf)
 }
 
+// WriteUnknownCode sends a StatusUnknownCode response advertising the
+// server's served code IDs, so the client can fail fast instead of
+// retrying a permanently-failing frame.
+func WriteUnknownCode(w io.Writer, ids []byte, buf []byte) ([]byte, error) {
+	if len(ids) > 255 {
+		ids = ids[:255]
+	}
+	n := 4 + 1 + len(ids)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	buf[0] = StatusUnknownCode
+	buf[1] = 0
+	binary.BigEndian.PutUint16(buf[2:4], 0)
+	buf[4] = byte(len(ids))
+	copy(buf[5:], ids)
+	return buf, writeMessage(w, buf)
+}
+
 // Response is a decoded frame as seen by a client.
 type Response struct {
 	Status     byte
 	Converged  bool
 	Iterations int
+	// Codes is the server's advertised code list, present only on a
+	// StatusUnknownCode response.
+	Codes []byte
 }
 
 // ReadResponse reads one decode outcome; when the status is StatusOK
@@ -178,6 +318,13 @@ func ReadResponse(r io.Reader, bits *bitvec.Vector, buf []byte) (Response, []byt
 			return resp, buf, fmt.Errorf("%w: %d hard-decision bytes for code length %d", ErrFrameLength, len(buf)-4, bits.Len())
 		}
 		unpackBits(bits, buf[4:])
+	}
+	if resp.Status == StatusUnknownCode && len(buf) > 4 {
+		n := int(buf[4])
+		if len(buf)-5 < n {
+			return resp, buf, fmt.Errorf("%w: %d advertised codes in a %d-byte list", ErrFrameLength, n, len(buf)-5)
+		}
+		resp.Codes = append([]byte(nil), buf[5:5+n]...)
 	}
 	return resp, buf, nil
 }

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"ccsdsldpc/internal/bitvec"
+)
+
+// fuzzCodebook is a minimal multi-code codebook for the protocol
+// fuzzer. Tiny frame lengths keep interesting inputs small while still
+// exercising the v1/v2 discrimination rule: a 32-byte payload is a v1
+// frame for the default code, everything else must carry a 2-byte tag.
+// No tagged frame (FrameLen+2) collides with the default's 32 bytes,
+// matching the invariant registries enforce.
+type fuzzCodebook struct{}
+
+func (fuzzCodebook) DefaultID() byte { return 0 }
+
+func (fuzzCodebook) FrameLen(id byte) (int, bool) {
+	switch id {
+	case 0:
+		return 32, true
+	case 2:
+		return 16, true
+	case 7:
+		return 48, true
+	}
+	return 0, false
+}
+
+func (fuzzCodebook) IDs() []byte { return []byte{0, 2, 7} }
+
+// FuzzProtoV2 drives the code-tagged framing with arbitrary wire bytes
+// — truncated length prefixes, truncated tags, unknown code IDs, and
+// v1/v2 frames interleaved on one stream — and checks that the parser
+// never panics, classifies every payload into exactly one of
+// {v1, v2, ErrUnknownCode, ErrFrameLength}, and that every payload it
+// does accept round-trips bit-exactly through the client-side writers.
+func FuzzProtoV2(f *testing.F) {
+	// A valid v1 frame: 4-byte length prefix + 32 LLR bytes.
+	v1 := make([]byte, 4+32)
+	v1[3] = 32
+	f.Add(v1)
+	// A valid v2 frame for code 2: prefix + magic + id + 16 LLRs.
+	v2 := make([]byte, 4+2+16)
+	v2[3] = 18
+	v2[4] = ProtoV2Magic
+	v2[5] = 2
+	f.Add(v2)
+	// v1 and v2 interleaved on one stream.
+	f.Add(append(append([]byte{}, v1...), v2...))
+	// A truncated tag: one-byte payload is neither version.
+	f.Add([]byte{0, 0, 0, 1, ProtoV2Magic})
+	// An unknown code ID with a plausible body.
+	unk := make([]byte, 4+2+16)
+	unk[3] = 18
+	unk[4] = ProtoV2Magic
+	unk[5] = 9
+	f.Add(unk)
+	// A declared length the stream never delivers, and an oversized one.
+	f.Add([]byte{0, 0, 0, 200, ProtoV2Magic, 2})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	cb := fuzzCodebook{}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			payload, err := ReadRawRequest(r, buf)
+			if err != nil {
+				// The only ways a raw read may end: clean EOF at a message
+				// boundary, a truncated message, or an oversized declaration.
+				if err != io.EOF && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrOversized) {
+					t.Fatalf("unexpected framing error: %v", err)
+				}
+				break
+			}
+			buf = payload
+			checkParse(t, cb, payload)
+		}
+	})
+}
+
+// checkParse classifies one well-framed payload and pins the parser's
+// contract: accepted payloads have a served ID and exact frame length
+// and survive a writer round-trip; rejections are typed ErrUnknownCode
+// (tag present, ID unserved) or ErrFrameLength (everything else).
+func checkParse(t *testing.T, cb Codebook, payload []byte) {
+	t.Helper()
+	defLen, _ := cb.FrameLen(cb.DefaultID())
+	id, llrs, err := ParseRequest(payload, cb)
+	switch {
+	case err == nil:
+		n, ok := cb.FrameLen(id)
+		if !ok {
+			t.Fatalf("parser accepted unserved code %d", id)
+		}
+		if len(llrs) != n {
+			t.Fatalf("code %d: %d LLRs accepted, frame length %d", id, len(llrs), n)
+		}
+		if len(payload) == defLen {
+			if id != cb.DefaultID() {
+				t.Fatalf("default-length payload routed to code %d", id)
+			}
+		} else if payload[0] != ProtoV2Magic || payload[1] != id {
+			t.Fatalf("v2 accept disagrees with tag bytes %#x %d", payload[0], payload[1])
+		}
+		roundTrip(t, cb, id, llrs)
+	case errors.Is(err, ErrUnknownCode):
+		if len(payload) < 2 || payload[0] != ProtoV2Magic {
+			t.Fatalf("unknown-code verdict on an untagged payload: %v", err)
+		}
+		if id != payload[1] {
+			t.Fatalf("unknown-code verdict reports id %d, tag says %d", id, payload[1])
+		}
+		if _, ok := cb.FrameLen(id); ok {
+			t.Fatalf("unknown-code verdict for served code %d", id)
+		}
+		advertiseRoundTrip(t, cb)
+	case errors.Is(err, ErrFrameLength):
+		// Malformed in any other way — nothing more to check.
+	default:
+		t.Fatalf("untyped parse error: %v", err)
+	}
+}
+
+// roundTrip re-sends an accepted frame through the client-side writers
+// — WriteRequest for the default (v1) code, WriteRequestTagged for the
+// rest — and checks the server-side reader recovers the same code and
+// the same LLR bytes.
+func roundTrip(t *testing.T, cb Codebook, id byte, llrs []byte) {
+	t.Helper()
+	q := make([]int16, len(llrs))
+	if err := LLRsFromWire(q, llrs); err != nil {
+		t.Fatalf("widen accepted LLRs: %v", err)
+	}
+	var w bytes.Buffer
+	var err error
+	if id == cb.DefaultID() {
+		_, err = WriteRequest(&w, q, nil)
+	} else {
+		_, err = WriteRequestTagged(&w, id, q, nil)
+	}
+	if err != nil {
+		t.Fatalf("re-send code %d: %v", id, err)
+	}
+	payload, err := ReadRawRequest(&w, nil)
+	if err != nil {
+		t.Fatalf("re-read code %d: %v", id, err)
+	}
+	gotID, gotLLRs, err := ParseRequest(payload, cb)
+	if err != nil {
+		t.Fatalf("re-parse code %d: %v", id, err)
+	}
+	if gotID != id || !bytes.Equal(gotLLRs, llrs) {
+		t.Fatalf("round trip changed the frame: code %d->%d", id, gotID)
+	}
+}
+
+// advertiseRoundTrip checks the unknown-code response path: the served
+// ID list written by WriteUnknownCode comes back verbatim from
+// ReadResponse with the right status.
+func advertiseRoundTrip(t *testing.T, cb Codebook) {
+	t.Helper()
+	var w bytes.Buffer
+	if _, err := WriteUnknownCode(&w, cb.IDs(), nil); err != nil {
+		t.Fatalf("write unknown-code response: %v", err)
+	}
+	resp, _, err := ReadResponse(&w, bitvec.New(1), nil)
+	if err != nil {
+		t.Fatalf("read unknown-code response: %v", err)
+	}
+	if resp.Status != StatusUnknownCode {
+		t.Fatalf("unknown-code response read back as status %d", resp.Status)
+	}
+	if !bytes.Equal(resp.Codes, cb.IDs()) {
+		t.Fatalf("advertised codes %v round-tripped as %v", cb.IDs(), resp.Codes)
+	}
+}

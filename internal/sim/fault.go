@@ -46,6 +46,10 @@ type FaultSweepConfig struct {
 	// the unprotected sweep at the same seed — the curves differ only by
 	// the mitigation.
 	Protect protect.Mode
+	// PuncturedCols lists codeword positions the channel never carries:
+	// their LLRs enter the decoder as erasures and the channel operates
+	// at the effective transmitted rate, matching Config.PuncturedCols.
+	PuncturedCols []int
 }
 
 // FaultPoint is the measurement at one upset rate.
@@ -82,7 +86,16 @@ func MeasureBERUnderFaults(cfg FaultSweepConfig) ([]FaultPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, err := channel.NewAWGN(cfg.EbN0dB, cfg.Code.Rate())
+	nTx := cfg.Code.N - len(cfg.PuncturedCols)
+	if nTx <= 0 || nTx < cfg.Code.K {
+		return nil, fmt.Errorf("sim: puncturing leaves %d transmitted bits for k=%d", nTx, cfg.Code.K)
+	}
+	for _, j := range cfg.PuncturedCols {
+		if j < 0 || j >= cfg.Code.N {
+			return nil, fmt.Errorf("sim: punctured column %d out of range", j)
+		}
+	}
+	ch, err := channel.NewAWGN(cfg.EbN0dB, float64(cfg.Code.K)/float64(nTx))
 	if err != nil {
 		return nil, err
 	}
@@ -169,6 +182,9 @@ func faultPoint(cfg FaultSweepConfig, g *fault.Geometry, ch *channel.AWGN, ri in
 				cw := c.Encode(info)
 				llr := ch.CorruptCodeword(cw, r)
 				cfg.Params.Format.QuantizeSlice(qllr, llr)
+				for _, j := range cfg.PuncturedCols {
+					qllr[j] = 0
+				}
 
 				plan := fault.RandomPlan(g, rcfg, r.Uint64())
 				inj, err := fault.NewInjector(g, plan)

@@ -80,7 +80,18 @@ type Config struct {
 	// zero, and the channel operates at the effective transmitted rate
 	// K / (N − len(PuncturedCols)).
 	PuncturedCols []int
+	// ShortenedCols lists information positions fixed to zero by frame
+	// shortening: never transmitted, known a priori, so the receiver
+	// pins their LLRs maximally confident. They are excluded from the
+	// transmitted rate and from the information-bit error denominator,
+	// giving the shortened code's true BER over its K − S payload bits.
+	ShortenedCols []int
 }
+
+// shortenedLLR is the receiver's a-priori confidence in a shortened
+// (known-zero) position — far beyond any channel draw, so quantized
+// decoders saturate it to their format maximum.
+const shortenedLLR = 1e3
 
 func (c *Config) setDefaults() error {
 	if c.Code == nil {
@@ -172,11 +183,12 @@ func RunPoint(cfg Config, ebn0dB float64) (Point, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return Point{}, err
 	}
-	nTx := cfg.Code.N - len(cfg.PuncturedCols)
-	if nTx <= 0 || nTx < cfg.Code.K {
-		return Point{}, fmt.Errorf("sim: puncturing leaves %d transmitted bits for k=%d", nTx, cfg.Code.K)
+	kEff := cfg.Code.K - len(cfg.ShortenedCols)
+	nTx := cfg.Code.N - len(cfg.PuncturedCols) - len(cfg.ShortenedCols)
+	if nTx <= 0 || nTx < kEff || kEff <= 0 {
+		return Point{}, fmt.Errorf("sim: puncturing/shortening leaves %d transmitted bits for k=%d", nTx, kEff)
 	}
-	ch, err := channel.NewAWGN(ebn0dB, float64(cfg.Code.K)/float64(nTx))
+	ch, err := channel.NewAWGN(ebn0dB, float64(kEff)/float64(nTx))
 	if err != nil {
 		return Point{}, err
 	}
@@ -188,6 +200,19 @@ func RunPoint(cfg Config, ebn0dB float64) (Point, error) {
 				return Point{}, fmt.Errorf("sim: punctured column %d out of range", j)
 			}
 			punctured[j] = true
+		}
+	}
+	var shortened []bool
+	if len(cfg.ShortenedCols) > 0 {
+		shortened = make([]bool, cfg.Code.N)
+		for _, j := range cfg.ShortenedCols {
+			if j < 0 || j >= cfg.Code.N {
+				return Point{}, fmt.Errorf("sim: shortened column %d out of range", j)
+			}
+			if punctured != nil && punctured[j] {
+				return Point{}, fmt.Errorf("sim: column %d both punctured and shortened", j)
+			}
+			shortened[j] = true
 		}
 	}
 	start := time.Now()
@@ -265,6 +290,11 @@ func RunPoint(cfg Config, ebn0dB float64) (Point, error) {
 					if cfg.RandomData {
 						info := bitvec.New(c.K)
 						for i := 0; i < c.K; i++ {
+							// Shortened information positions stay zero;
+							// the channel never carries them.
+							if shortened != nil && shortened[c.InfoCols[i]] {
+								continue
+							}
 							if r.Bool() {
 								info.Set(i)
 							}
@@ -274,10 +304,16 @@ func RunPoint(cfg Config, ebn0dB float64) (Point, error) {
 					llr := ch.CorruptCodeword(cw, r)
 					// Punctured positions are never transmitted: the
 					// decoder sees an erasure (LLR 0) regardless of the
-					// noise draw.
+					// noise draw. Shortened positions are known zeros the
+					// receiver pins maximally confident.
 					for j, p := range punctured {
 						if p {
 							llr[j] = 0
+						}
+					}
+					for j, s := range shortened {
+						if s {
+							llr[j] = shortenedLLR
 						}
 					}
 					llrs = append(llrs, llr)
@@ -308,12 +344,15 @@ func RunPoint(cfg Config, ebn0dB float64) (Point, error) {
 					infoErrs := 0
 					if codeErrs > 0 {
 						for _, j := range c.InfoCols {
+							if shortened != nil && shortened[j] {
+								continue
+							}
 							infoErrs += diff.Bit(j)
 						}
 					}
 					local.Frames++
 					local.CodeBits += int64(c.N)
-					local.InfoBits += int64(c.K)
+					local.InfoBits += int64(kEff)
 					local.CodeBitErrors += int64(codeErrs)
 					local.InfoBitErrors += int64(infoErrs)
 					local.TotalIterations += int64(res.Iterations)

@@ -2,9 +2,11 @@ package ccsdsldpc
 
 import (
 	"fmt"
+	"strings"
 
 	"ccsdsldpc/internal/code"
 	"ccsdsldpc/internal/correction"
+	"ccsdsldpc/internal/registry"
 	"ccsdsldpc/internal/sim"
 )
 
@@ -34,6 +36,12 @@ type MeasureOptions struct {
 	// TestCode measures on the fast miniature code instead of the full
 	// 8176-bit code.
 	TestCode bool
+	// Code selects a registry code by name ("c2", "c2s", "ds12", "ds23",
+	// "ds45"); empty means the default C2 code. Punctured positions are
+	// simulated as erasures and shortened positions as pinned known
+	// zeros, matching how the serve layer expands wire frames. Ignored
+	// when TestCode is set.
+	Code string
 	// BatchSize > 1 decodes BatchSize-frame packed batches through the
 	// SWAR decoder (internal/batch) instead of one frame at a time —
 	// the software analogue of the paper's frame-packed high-speed
@@ -57,17 +65,35 @@ type MeasureOptions struct {
 // configuration.
 func MeasureBER(cfg Config, ebn0s []float64, opts MeasureOptions) ([]BERPoint, error) {
 	var c *code.Code
+	var punctured, shortened []int
 	var err error
 	if opts.TestCode {
 		c, err = code.SmallTestCode(2, 4, 31, 1)
+		if err != nil {
+			return nil, err
+		}
 	} else {
-		c, err = code.CCSDS()
-	}
-	if err != nil {
-		return nil, err
+		name := opts.Code
+		if name == "" {
+			name = "c2"
+		}
+		entry, ok := registry.Default().ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("ccsdsldpc: unknown code %q (registry has %s)",
+				opts.Code, strings.Join(registry.Default().Names(), ", "))
+		}
+		built, berr := entry.Build()
+		if berr != nil {
+			return nil, berr
+		}
+		c = built.Code
+		punctured = built.PuncturedCols
+		shortened = built.KnownZero
 	}
 	scfg := sim.Config{
-		Code: c,
+		Code:          c,
+		PuncturedCols: punctured,
+		ShortenedCols: shortened,
 		NewDecoder: func() (sim.FrameDecoder, error) {
 			return buildDecoder(c, cfg)
 		},
