@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-serve bench-fault bench-mitigate bench-parallel bench-multimode
+.PHONY: check build test bench bench-serve bench-fault bench-mitigate bench-parallel bench-multimode bench-station
 
 check:
 	sh scripts/check.sh
@@ -35,6 +35,16 @@ bench-mitigate:
 # shed seeded into BENCH_multimode.json with the host CPU topology.
 bench-multimode:
 	go run ./cmd/ldpcload -inproc -codes c2,c2s,ds12,ds23,ds45 -clients 16 -frames 500 -json BENCH_multimode.json
+
+# Ground-station ingest benchmark: the full sync → derandomize →
+# decode → CADU pipeline graded over the scenario battery (clean,
+# slips, rotation, burst, drift, combined) on the C2 code at QPSK —
+# locked throughput, re-lock latency in symbols and CADU loss per
+# scenario seeded into BENCH_station.json; fails if any acceptance
+# gate (zero corrupt/extra CADUs, ≥ 99% recovery, re-lock ≤ 2 frames)
+# does not hold.
+bench-station:
+	go run ./cmd/ldpcstation -frames 40 -json BENCH_station.json
 
 # Parallel-scaling benchmark: the sharded wide-lane super-batch decoder
 # over the shards × superbatch × lanes matrix (frames/s, ns/frame,

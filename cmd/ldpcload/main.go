@@ -54,10 +54,13 @@ import (
 	"ccsdsldpc/internal/channel"
 	"ccsdsldpc/internal/code"
 	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/frame"
 	"ccsdsldpc/internal/hwsim"
 	"ccsdsldpc/internal/registry"
 	"ccsdsldpc/internal/rng"
 	"ccsdsldpc/internal/serve"
+	"ccsdsldpc/internal/sim"
+	"ccsdsldpc/internal/station"
 	"ccsdsldpc/internal/throughput"
 )
 
@@ -78,6 +81,7 @@ func main() {
 		retries  = flag.Int("retries", 3, "resubmissions of a frame the server shed, deadlined, or crashed on")
 		backoff  = flag.Duration("backoff", 200*time.Microsecond, "initial retry backoff, doubled per attempt and jittered")
 		seqBase  = flag.Bool("seqbaseline", false, "first measure 1 sequential client and report the speedup")
+		stream   = flag.Bool("stream", false, "streaming-ingest smoke: run a slip/flip scenario through internal/station instead of TCP load")
 		jsonPath = flag.String("json", "", "write the report as JSON to this file")
 		metrics  = flag.String("metrics", "", "fetch this /metrics URL into the report (remote servers)")
 	)
@@ -104,6 +108,13 @@ func main() {
 			v2:   id != reg.DefaultID(),
 			pool: newFramePool(built, *ebn0, 64),
 		}
+	}
+
+	if *stream {
+		if err := runStreamSmoke(traffic[0], *ebn0, *iters, *workers, *linger); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	var mux *registry.Mux
@@ -201,6 +212,63 @@ func main() {
 	}
 }
 
+// runStreamSmoke pushes one corrupted soft-symbol pass — a clock slip
+// and a mid-stream phase flip from the station corruptor — through the
+// full sync → derandomize → decode → CADU pipeline against an
+// in-process pool for the first selected code. It is a smoke test of
+// the streaming ingest path, not a benchmark: cmd/ldpcstation runs the
+// graded battery.
+func runStreamSmoke(ct *codeTraffic, ebn0 float64, iters, workers int, linger time.Duration) error {
+	p := fixed.DefaultHighSpeedParams()
+	p.MaxIterations = iters
+	cfg := serve.Config{Code: ct.built.Code, Params: p, Workers: workers, Linger: linger}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	const frames = 16
+	frameLen := len(ct.built.TxPositions)
+	bps := 1
+	if frameLen%2 == 0 {
+		bps = 2
+	}
+	quarters := 2
+	if bps == 2 {
+		quarters = 1
+	}
+	frameTotal := frame.ASMBits + frameLen
+	cut := (frameTotal / 4) &^ (bps - 1)
+	log.Printf("stream smoke: %s, %d frames, %d bits/symbol, 1 slip + 1 phase flip", ct.entry.Name, frames, bps)
+	res, err := station.RunScenario(
+		station.Config{Built: ct.built, Decode: station.PoolDecode(ct.built, srv, p.Format), EbN0dB: ebn0},
+		station.StreamConfig{
+			Frames:        frames,
+			EbN0dB:        ebn0,
+			BitsPerSymbol: bps,
+			Seed:          7,
+			CutBits:       cut,
+			Scenario: station.Scenario{
+				Slips: []station.Slip{{Frame: frames / 3, Symbol: 11, Symbols: 1}},
+				Flips: []station.Flip{{Frame: 2 * frames / 3, Symbol: 5, Quarters: quarters}},
+			},
+		},
+		8192,
+	)
+	if err != nil {
+		return err
+	}
+	log.Printf("stream smoke: %d/%d clean frames bit-exact, %d slips corrected, %d rotations resolved, %d rejected",
+		res.BitExact, res.CleanFrames, res.Metrics.SlipsCorrected, res.Metrics.RotationsResolved, res.Metrics.CadusRejected)
+	if res.Corrupt != 0 || res.ExtraCadus != 0 {
+		return fmt.Errorf("stream smoke: %d corrupt, %d extra CADUs (want 0)", res.Corrupt, res.ExtraCadus)
+	}
+	if res.BitExact < res.CleanFrames-2 {
+		return fmt.Errorf("stream smoke: only %d of %d clean frames bit-exact", res.BitExact, res.CleanFrames)
+	}
+	return nil
+}
+
 // codeTraffic is one registry code's share of the generated load.
 type codeTraffic struct {
 	entry *registry.Entry
@@ -215,12 +283,6 @@ func trafficNames(traffic []*codeTraffic) []string {
 		out[i] = ct.entry.Name
 	}
 	return out
-}
-
-// payloadBits is the number of information bits a decoded frame of this
-// code delivers (shortened positions carry none).
-func (ct *codeTraffic) payloadBits() int {
-	return ct.built.Code.K - len(ct.built.KnownZero)
 }
 
 // Report is the JSON artifact (`make bench-serve` → BENCH_serve.json,
@@ -319,22 +381,11 @@ func newFramePool(b *registry.Built, ebn0 float64, size int) *framePool {
 		log.Fatal(err)
 	}
 	f := fixed.DefaultHighSpeedParams().Format
-	known := make(map[int]bool, len(b.KnownZero))
-	for _, j := range b.KnownZero {
-		known[j] = true
-	}
+	shortMask := sim.ColumnMask(c.N, b.KnownZero)
 	p := &framePool{qs: make([][]int16, size), cws: make([]*bitvec.Vector, size)}
 	for i := 0; i < size; i++ {
 		r := rng.New(uint64(i)*0x9e3779b97f4a7c15 + 0xadb5)
-		info := bitvec.New(c.K)
-		for j := 0; j < c.K; j++ {
-			if known[c.InfoCols[j]] {
-				continue
-			}
-			if r.Bool() {
-				info.Set(j)
-			}
-		}
+		info := sim.RandomInfo(c, shortMask, r)
 		cw := c.Encode(info)
 		q := f.QuantizeSlice(nil, ch.CorruptCodeword(cw, r))
 		wire := make([]int16, len(b.TxPositions))
@@ -491,7 +542,7 @@ func runPhase(addr string, reg *registry.Registry, traffic []*codeTraffic, clien
 	for t, ct := range traffic {
 		n := completed[t].Load()
 		ph.PerCode[ct.entry.Name] = n
-		bits += float64(n) * float64(ct.payloadBits())
+		bits += float64(n) * float64(ct.built.PayloadBits())
 	}
 	ph.Shed = shed.Load()
 	ph.Deadlined = deadlined.Load()

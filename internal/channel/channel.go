@@ -32,9 +32,24 @@ func NewAWGN(ebn0dB, rate float64) (*AWGN, error) {
 	if rate <= 0 || rate > 1 {
 		return nil, fmt.Errorf("channel: invalid rate %v", rate)
 	}
-	ebn0 := math.Pow(10, ebn0dB/10)
-	sigma := math.Sqrt(1 / (2 * rate * ebn0))
-	return &AWGN{EbN0dB: ebn0dB, Rate: rate, Sigma: sigma}, nil
+	return &AWGN{EbN0dB: ebn0dB, Rate: rate, Sigma: Sigma(ebn0dB, rate)}, nil
+}
+
+// Sigma returns the per-dimension noise standard deviation at an Eb/N0
+// (dB) for a rate-R code — the scalar NewAWGN derives, exposed for
+// callers whose operating point varies along a stream (SNR drift).
+func Sigma(ebn0dB, rate float64) float64 {
+	return math.Sqrt(1 / (2 * rate * math.Pow(10, ebn0dB/10)))
+}
+
+// AddNoiseVar adds Gaussian noise with a per-sample standard deviation
+// to symbols in place — the non-stationary channel a ground station
+// sees when the link margin drifts mid-pass. sigmaAt is evaluated once
+// per sample index.
+func AddNoiseVar(symbols []float64, r *rng.RNG, sigmaAt func(i int) float64) {
+	for i := range symbols {
+		symbols[i] += sigmaAt(i) * r.Normal()
+	}
 }
 
 // Modulate maps codeword bits to BPSK symbols (+1 for 0, −1 for 1).

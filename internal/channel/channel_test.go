@@ -197,3 +197,64 @@ func TestTheoreticalBERDecreasing(t *testing.T) {
 		prev = p
 	}
 }
+
+// TestSigmaMatchesAWGN: the exposed Sigma scalar must be exactly what
+// NewAWGN derives — drifting-SNR callers interpolate over it and the
+// stationary channel must agree at every fixed point.
+func TestSigmaMatchesAWGN(t *testing.T) {
+	for _, ebn0 := range []float64{-3, 0, 2.5, 4.2, 10} {
+		for _, rate := range []float64{0.25, 0.5, 0.875} {
+			ch, err := NewAWGN(ebn0, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s := Sigma(ebn0, rate); s != ch.Sigma {
+				t.Errorf("Sigma(%v, %v) = %v, NewAWGN has %v", ebn0, rate, s, ch.Sigma)
+			}
+		}
+	}
+}
+
+// TestAddNoiseVarStatistics: per-sample deviations must land where
+// sigmaAt says — a two-level profile produces two measurably different
+// noise powers, each within a few percent of σ².
+func TestAddNoiseVarStatistics(t *testing.T) {
+	const n = 200000
+	const lo, hi = 0.5, 2.0
+	samples := make([]float64, 2*n)
+	sigmaAt := func(i int) float64 {
+		if i < n {
+			return lo
+		}
+		return hi
+	}
+	AddNoiseVar(samples, rng.New(5), sigmaAt)
+	power := func(xs []float64) float64 {
+		var sum float64
+		for _, x := range xs {
+			sum += x * x
+		}
+		return sum / float64(len(xs))
+	}
+	if p := power(samples[:n]); math.Abs(p-lo*lo) > 0.03*lo*lo {
+		t.Errorf("low-sigma region power %v, want ≈ %v", p, lo*lo)
+	}
+	if p := power(samples[n:]); math.Abs(p-hi*hi) > 0.03*hi*hi {
+		t.Errorf("high-sigma region power %v, want ≈ %v", p, hi*hi)
+	}
+	// The noise is additive: a non-zero carrier must shift the mean,
+	// not the deviation.
+	carrier := make([]float64, n)
+	for i := range carrier {
+		carrier[i] = 1
+	}
+	AddNoiseVar(carrier, rng.New(6), func(int) float64 { return lo })
+	var mean float64
+	for _, x := range carrier {
+		mean += x
+	}
+	mean /= n
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("carrier mean %v after additive noise, want ≈ 1", mean)
+	}
+}

@@ -24,8 +24,8 @@ const ASM = 0x1ACFFC1D
 // ASMBits is the marker length in bits.
 const ASMBits = 32
 
-// asmBit returns bit i of the ASM, MSB first (the transmission order).
-func asmBit(i int) int {
+// ASMBit returns bit i of the ASM, MSB first (the transmission order).
+func ASMBit(i int) int {
 	return int(ASM>>(ASMBits-1-i)) & 1
 }
 
@@ -110,7 +110,7 @@ func (f *Framer) Build(info *bitvec.Vector) (*bitvec.Vector, error) {
 	cw := f.sh.Code.Encode(full)
 	out := bitvec.New(f.FrameBits())
 	for i := 0; i < ASMBits; i++ {
-		out.SetBit(i, asmBit(i))
+		out.SetBit(i, ASMBit(i))
 	}
 	for t, pos := range f.txPos {
 		bit := 0
@@ -144,7 +144,7 @@ func (f *Framer) Sync(samples []float64) (offset int, score float64, err error) 
 		s := 0.0
 		for i := 0; i < ASMBits; i++ {
 			v := samples[off+i]
-			if asmBit(i) == 1 {
+			if ASMBit(i) == 1 {
 				v = -v
 			}
 			s += v

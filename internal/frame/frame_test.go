@@ -69,8 +69,8 @@ func TestASMBits(t *testing.T) {
 	// 0x1ACFFC1D MSB-first: 0001 1010 1100 1111 1111 1100 0001 1101.
 	want := []int{0, 0, 0, 1, 1, 0, 1, 0, 1, 1, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 1, 1, 0, 1}
 	for i, w := range want {
-		if asmBit(i) != w {
-			t.Fatalf("asmBit(%d) = %d, want %d", i, asmBit(i), w)
+		if ASMBit(i) != w {
+			t.Fatalf("ASMBit(%d) = %d, want %d", i, ASMBit(i), w)
 		}
 	}
 }
@@ -86,7 +86,7 @@ func TestBuildLayout(t *testing.T) {
 		t.Fatalf("frame length %d, want %d", fr.Len(), f.FrameBits())
 	}
 	for i := 0; i < ASMBits; i++ {
-		if fr.Bit(i) != asmBit(i) {
+		if fr.Bit(i) != ASMBit(i) {
 			t.Fatalf("ASM bit %d wrong", i)
 		}
 	}

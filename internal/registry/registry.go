@@ -116,6 +116,51 @@ type Built struct {
 	// PuncturedCols lists inner positions that are never transmitted;
 	// the decoder sees erasures (LLR 0) there.
 	PuncturedCols []int
+
+	payloadOnce sync.Once
+	payloadCols []int
+}
+
+// payloadColumns lazily computes the inner columns carrying payload
+// information: the code's information columns minus the shortened
+// known-zero positions, in information order.
+func (b *Built) payloadColumns() []int {
+	b.payloadOnce.Do(func() {
+		zero := make(map[int]bool, len(b.KnownZero))
+		for _, j := range b.KnownZero {
+			zero[j] = true
+		}
+		b.payloadCols = make([]int, 0, len(b.Code.InfoCols)-len(b.KnownZero))
+		for _, j := range b.Code.InfoCols {
+			if !zero[j] {
+				b.payloadCols = append(b.payloadCols, j)
+			}
+		}
+	})
+	return b.payloadCols
+}
+
+// PayloadBits returns the information bits one decoded frame of this
+// code delivers: K minus the shortened known-zero positions.
+func (b *Built) PayloadBits() int { return len(b.payloadColumns()) }
+
+// Payload extracts a decoded codeword's payload information bits — the
+// CADU contents — into dst (allocated when nil). Shortened known-zero
+// positions carry nothing on the wire and are excluded.
+func (b *Built) Payload(cw *bitvec.Vector, dst *bitvec.Vector) (*bitvec.Vector, error) {
+	if cw.Len() != b.Code.N {
+		return nil, fmt.Errorf("registry: %d codeword bits, want %d", cw.Len(), b.Code.N)
+	}
+	cols := b.payloadColumns()
+	if dst == nil {
+		dst = bitvec.New(len(cols))
+	} else if dst.Len() != len(cols) {
+		return nil, fmt.Errorf("registry: %d-bit payload destination, want %d", dst.Len(), len(cols))
+	}
+	for i, j := range cols {
+		dst.SetBit(i, cw.Bit(j))
+	}
+	return dst, nil
 }
 
 // Build constructs the entry's code (once; subsequent calls return the

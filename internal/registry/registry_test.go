@@ -270,3 +270,65 @@ func TestExpandQAndTxBits(t *testing.T) {
 		}
 	}
 }
+
+// TestPayloadExtraction: Payload must return exactly the non-shortened
+// information bits of a codeword, in information order — the CADU
+// contents a ground station delivers — for every catalog entry.
+func TestPayloadExtraction(t *testing.T) {
+	r := rng.New(11)
+	for _, e := range Default().Entries() {
+		b, err := e.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", e.Name, err)
+		}
+		c := b.Code
+		if want := c.K - len(b.KnownZero); b.PayloadBits() != want {
+			t.Fatalf("%s: %d payload bits, want K−shortened = %d", e.Name, b.PayloadBits(), want)
+		}
+		known := make(map[int]bool, len(b.KnownZero))
+		for _, j := range b.KnownZero {
+			known[j] = true
+		}
+		info := bitvec.New(c.K)
+		var want []int
+		for bi, j := range c.InfoCols {
+			if known[j] {
+				continue
+			}
+			bit := 0
+			if r.Bool() {
+				info.Set(bi)
+				bit = 1
+			}
+			want = append(want, bit)
+		}
+		cw := c.Encode(info)
+		payload, err := b.Payload(cw, nil)
+		if err != nil {
+			t.Fatalf("%s: Payload: %v", e.Name, err)
+		}
+		if payload.Len() != len(want) {
+			t.Fatalf("%s: payload length %d, want %d", e.Name, payload.Len(), len(want))
+		}
+		for i, bit := range want {
+			if payload.Bit(i) != bit {
+				t.Fatalf("%s: payload bit %d is %d, want %d", e.Name, i, payload.Bit(i), bit)
+			}
+		}
+		// Reusing a destination must fill it identically.
+		dst := bitvec.New(b.PayloadBits())
+		if _, err := b.Payload(cw, dst); err != nil {
+			t.Fatalf("%s: Payload into dst: %v", e.Name, err)
+		}
+		if !dst.Equal(payload) {
+			t.Fatalf("%s: reused destination differs", e.Name)
+		}
+		// Length mismatches must be rejected on both sides.
+		if _, err := b.Payload(bitvec.New(c.N-1), nil); err == nil {
+			t.Errorf("%s: short codeword accepted", e.Name)
+		}
+		if _, err := b.Payload(cw, bitvec.New(b.PayloadBits()+1)); err == nil {
+			t.Errorf("%s: wrong-length destination accepted", e.Name)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/ldpc"
+)
+
+// DecodeQMulti is the stream-mode entry point: it submits a group of
+// frames together and blocks until all of them are decoded, returning
+// results and errors positionally. A ground-station front end emits
+// aligned frames in bursts at line rate; submitting the burst as one
+// group fills the scheduler's lanes immediately instead of paying the
+// linger deadline per frame, and — unlike DecodeQ — a full queue is
+// backpressure, not load shedding: ErrOverloaded is retried internally
+// with the configured linger as the backoff, because a telemetry stream
+// has nowhere to shed to. ErrClosed and validation errors remain
+// terminal and are reported per frame.
+//
+// bits may be nil, or have one (possibly nil) destination vector per
+// frame with the same semantics as DecodeQ.
+func (s *Server) DecodeQMulti(qs [][]int16, bits []*bitvec.Vector) ([]ldpc.Result, []error) {
+	res := make([]ldpc.Result, len(qs))
+	errs := make([]error, len(qs))
+	if len(qs) == 0 {
+		return res, errs
+	}
+	backoff := s.cfg.Linger
+	if backoff <= 0 {
+		backoff = 100 * time.Microsecond
+	}
+	done := make(chan int, len(qs))
+	for i := range qs {
+		go func(i int) {
+			var bv *bitvec.Vector
+			if bits != nil {
+				bv = bits[i]
+			}
+			for {
+				r, err := s.DecodeQ(qs[i], bv)
+				if errors.Is(err, ErrOverloaded) {
+					time.Sleep(backoff)
+					continue
+				}
+				res[i], errs[i] = r, err
+				done <- i
+				return
+			}
+		}(i)
+	}
+	for range qs {
+		<-done
+	}
+	return res, errs
+}

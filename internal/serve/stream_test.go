@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/fixed"
+)
+
+// TestDecodeQMultiMatchesScalar: a group submission must return, per
+// frame and in position, exactly what the scalar reference decoder
+// returns — across group sizes from a lone frame to several batch
+// words.
+func TestDecodeQMultiMatchesScalar(t *testing.T) {
+	c := smallCode(t)
+	p := fixed.DefaultHighSpeedParams()
+	s := newTestServer(t, Config{Code: c, Params: p, Workers: 2, Linger: time.Millisecond})
+	for _, n := range []int{0, 1, 3, 8, 19} {
+		qs := make([][]int16, n)
+		bits := make([]*bitvec.Vector, n)
+		for i := range qs {
+			qs[i] = noisyQ(t, c, p.Format, 3.0, uint64(100*n+i))
+			bits[i] = bitvec.New(c.N)
+		}
+		res, errs := s.DecodeQMulti(qs, bits)
+		if len(res) != n || len(errs) != n {
+			t.Fatalf("n=%d: got %d results, %d errors", n, len(res), len(errs))
+		}
+		ref := scalarRef(t, c, p, qs)
+		for i := range qs {
+			if errs[i] != nil {
+				t.Fatalf("n=%d frame %d: %v", n, i, errs[i])
+			}
+			if !res[i].Bits.Equal(ref[i].bits) || !bits[i].Equal(ref[i].bits) {
+				t.Fatalf("n=%d frame %d: bits differ from scalar decoder", n, i)
+			}
+			if res[i].Iterations != ref[i].iterations || res[i].Converged != ref[i].converged {
+				t.Fatalf("n=%d frame %d: result meta %d/%v, scalar %d/%v",
+					n, i, res[i].Iterations, res[i].Converged, ref[i].iterations, ref[i].converged)
+			}
+		}
+	}
+}
+
+// TestDecodeQMultiBackpressure: a group larger than the queue must
+// complete every frame — ErrOverloaded is retried internally as
+// backpressure, never surfaced, because a telemetry stream has nowhere
+// to shed to.
+func TestDecodeQMultiBackpressure(t *testing.T) {
+	c := smallCode(t)
+	p := fixed.DefaultHighSpeedParams()
+	// Slow, early-stop-free decodes keep the depth-2 queue full so the
+	// group actually collides with ErrOverloaded.
+	p.DisableEarlyStop = true
+	p.MaxIterations = 5000
+	s := newTestServer(t, Config{Code: c, Params: p, Workers: 1, MaxBatch: 1, QueueDepth: 2, Linger: time.Millisecond})
+	const n = 24
+	qs := make([][]int16, n)
+	for i := range qs {
+		qs[i] = noisyQ(t, c, p.Format, 3.0, uint64(7000+i))
+	}
+	res, errs := s.DecodeQMulti(qs, nil)
+	ref := scalarRef(t, c, p, qs)
+	for i := range qs {
+		if errs[i] != nil {
+			t.Fatalf("frame %d surfaced %v through a backpressure path", i, errs[i])
+		}
+		if !res[i].Bits.Equal(ref[i].bits) {
+			t.Fatalf("frame %d: bits differ from scalar decoder", i)
+		}
+	}
+	if shed := s.Metrics().Snapshot().FramesShed; shed == 0 {
+		t.Fatal("a 24-frame group over a depth-2 queue never hit the overload path")
+	}
+}

@@ -93,6 +93,38 @@ type Config struct {
 // decoders saturate it to their format maximum.
 const shortenedLLR = 1e3
 
+// ColumnMask expands a codeword-column list into a length-n boolean
+// mask, or nil for an empty list.
+func ColumnMask(n int, cols []int) []bool {
+	if len(cols) == 0 {
+		return nil
+	}
+	mask := make([]bool, n)
+	for _, j := range cols {
+		mask[j] = true
+	}
+	return mask
+}
+
+// RandomInfo draws a uniform information word from r, leaving
+// information positions whose inner codeword column is shortened (known
+// zero, never transmitted) clear. shortened may be nil or a length-N
+// mask by inner column. It is the one frame generator the Monte-Carlo
+// harness, the load generator and the station stream builder share, so
+// "the frames encoded into the stream" mean the same thing everywhere.
+func RandomInfo(c *code.Code, shortened []bool, r *rng.RNG) *bitvec.Vector {
+	info := bitvec.New(c.K)
+	for i := 0; i < c.K; i++ {
+		if shortened != nil && shortened[c.InfoCols[i]] {
+			continue
+		}
+		if r.Bool() {
+			info.Set(i)
+		}
+	}
+	return info
+}
+
 func (c *Config) setDefaults() error {
 	if c.Code == nil {
 		return fmt.Errorf("sim: nil code")
@@ -288,18 +320,7 @@ func RunPoint(cfg Config, ebn0dB float64) (Point, error) {
 					r := rng.New(pointSeed ^ uint64(base+int64(t))*0xd1b54a32d192ed03)
 					cw := zero
 					if cfg.RandomData {
-						info := bitvec.New(c.K)
-						for i := 0; i < c.K; i++ {
-							// Shortened information positions stay zero;
-							// the channel never carries them.
-							if shortened != nil && shortened[c.InfoCols[i]] {
-								continue
-							}
-							if r.Bool() {
-								info.Set(i)
-							}
-						}
-						cw = c.Encode(info)
+						cw = c.Encode(RandomInfo(c, shortened, r))
 					}
 					llr := ch.CorruptCodeword(cw, r)
 					// Punctured positions are never transmitted: the

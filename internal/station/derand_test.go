@@ -1,0 +1,50 @@
+package station
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/frame"
+)
+
+// ccsdsPN255 is the published CCSDS 131.0-B pseudo-randomizer output:
+// the first 255 bits (one full period) of the h(x) = x⁸+x⁷+x⁵+x³+1
+// sequence from the all-ones state, transcribed as a table literal —
+// byte 31's last bit is unused (the period is 255, not 256).
+var ccsdsPN255 = [32]byte{
+	0xFF, 0x48, 0x0E, 0xC0, 0x9A, 0x0D, 0x70, 0xBC,
+	0x8E, 0x2C, 0x93, 0xAD, 0xA7, 0xB7, 0x46, 0xCE,
+	0x5A, 0x97, 0x7D, 0xCC, 0x32, 0xA2, 0xBF, 0x3E,
+	0x0A, 0x10, 0xF1, 0x88, 0x94, 0xCD, 0xEA, 0xB0,
+}
+
+func TestDerandomizerGoldenSequence(t *testing.T) {
+	got := frame.Sequence(255)
+	for i := 0; i < 255; i++ {
+		want := int(ccsdsPN255[i/8]>>(7-i%8)) & 1
+		if got[i] != want {
+			t.Fatalf("PN bit %d = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestDerandomizerPeriod(t *testing.T) {
+	seq := frame.Sequence(3 * 255)
+	for i := 0; i+255 < len(seq); i++ {
+		if seq[i] != seq[i+255] {
+			t.Fatalf("PN sequence breaks 255-bit period at bit %d", i)
+		}
+	}
+	// 255 is the exact period: no divisor of it repeats.
+	for _, p := range []int{1, 3, 5, 15, 17, 51, 85} {
+		same := true
+		for i := 0; i+p < 255; i++ {
+			if seq[i] != seq[i+p] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("PN sequence repeats with period %d", p)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package station
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/frame"
+)
+
+// FuzzStationRelock drives the full pipeline through fuzzer-chosen
+// acquisition offsets, clock slips, rotation flips and marker
+// inversion, and checks the re-lock contract: the synchronizer must
+// re-acquire after every slip, and every CADU that leaves the pipeline
+// must be bit-identical to the transmitted payload — corruption may
+// cost frames, never correctness.
+func FuzzStationRelock(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint8(0), uint8(0), int8(0), false)
+	f.Add(uint64(2), uint16(200), uint8(3), uint8(40), int8(2), false)
+	f.Add(uint64(3), uint16(77), uint8(6), uint8(10), int8(-3), true)
+	f.Add(uint64(4), uint16(500), uint8(1), uint8(99), int8(6), false) // beyond the slip window
+	f.Add(uint64(5), uint16(31), uint8(5), uint8(60), int8(-6), true)  // beyond, negative
+	f.Add(uint64(6), uint16(1000), uint8(4), uint8(0), int8(1), false) // slip at a marker boundary
+	f.Add(uint64(7), uint16(0), uint8(2), uint8(120), int8(0), true)   // inverted marker only
+	f.Add(uint64(8), uint16(333), uint8(0), uint8(5), int8(4), false)  // early slip
+	b := testBuilt(f)
+	dec := testDecode(f, b)
+	frameLen := len(b.TxPositions)
+	const frames = 16
+	f.Fuzz(func(t *testing.T, seed uint64, cutRaw uint16, slipFrame, slipSym uint8, slipMag int8, invert bool) {
+		scn := Scenario{}
+		// The slip must leave enough stream behind it for the worst
+		// re-acquisition (flywheel overrun, then a three-marker lock).
+		slip := Slip{
+			Frame:   2 + int(slipFrame)%7,
+			Symbol:  int(slipSym) % frameLen,
+			Symbols: int(slipMag) % 7,
+		}
+		if slip.Symbols != 0 {
+			scn.Slips = []Slip{slip}
+		}
+		if invert {
+			// A spectrally inverted pass: 180° from the first sample.
+			scn.Flips = []Flip{{Frame: 0, Symbol: 0, Quarters: 2}}
+		}
+		cut := int(cutRaw) % (3 * (frame.ASMBits + frameLen) / 2)
+		res, err := RunScenario(
+			Config{Built: b, Decode: dec, EbN0dB: 7},
+			StreamConfig{Frames: frames, EbN0dB: 7, Seed: seed, CutBits: cut, Scenario: scn},
+			2048,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Corrupt != 0 {
+			t.Fatalf("%d corrupt CADUs: syndrome gate leaked a wrong payload", res.Corrupt)
+		}
+		if res.ExtraCadus != 0 {
+			t.Fatalf("%d extra CADUs: false lock survived decoding", res.ExtraCadus)
+		}
+		if len(scn.Slips) > 0 && len(res.RelockSamples) != 1 {
+			t.Fatalf("slip %+v produced no re-lock measurement", slip)
+		}
+		// Re-lock must bound the damage: an in-window slip costs at
+		// most the frame it hits; an out-of-window one at most the
+		// flywheel depth plus re-acquisition.
+		if res.BitExact < res.CleanFrames-6 {
+			t.Fatalf("bit-exact %d of %d clean frames: pipeline did not re-lock", res.BitExact, res.CleanFrames)
+		}
+	})
+}

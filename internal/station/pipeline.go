@@ -1,0 +1,311 @@
+package station
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/frame"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/registry"
+	"ccsdsldpc/internal/serve"
+)
+
+// DecodeFunc decodes a group of wire frames (FrameLen quantized LLRs
+// each, transmitted positions only) into inner codewords, returning
+// results and errors positionally. bits has one inner-length
+// destination vector per frame. The in-process implementation is
+// PoolDecode over a registry/serve pool; cmd/ldpcstation can substitute
+// a remote one that forwards the frames code-tagged over the wire
+// protocol.
+type DecodeFunc func(wire [][]int16, bits []*bitvec.Vector) ([]ldpc.Result, []error)
+
+// PoolDecode adapts a registry/serve decode pool into a DecodeFunc:
+// each wire frame is expanded onto the inner codeword (punctured
+// positions erased, shortened positions pinned confident) and the group
+// is submitted through the server's stream-mode entry.
+func PoolDecode(b *registry.Built, srv *serve.Server, f fixed.Format) DecodeFunc {
+	confident := f.Max()
+	return func(wire [][]int16, bits []*bitvec.Vector) ([]ldpc.Result, []error) {
+		qs := make([][]int16, len(wire))
+		errs := make([]error, len(wire))
+		bad := false
+		for i := range wire {
+			q := make([]int16, b.Code.N)
+			if err := b.ExpandQ(q, wire[i], confident); err != nil {
+				errs[i], bad = err, true
+				continue
+			}
+			qs[i] = q
+		}
+		if bad {
+			// Decode only the expandable frames, keeping positions.
+			res := make([]ldpc.Result, len(wire))
+			for i := range qs {
+				if errs[i] != nil {
+					continue
+				}
+				r, err := srv.DecodeQ(qs[i], bits[i])
+				res[i], errs[i] = r, err
+			}
+			return res, errs
+		}
+		return srv.DecodeQMulti(qs, bits)
+	}
+}
+
+// Cadu is one channel access data unit leaving the pipeline: a
+// syndrome-verified decoded frame's payload information bits.
+type Cadu struct {
+	// Index is the emission sequence number.
+	Index int64
+	// Pos is the absolute sample index of the frame's sync marker.
+	Pos int64
+	// Payload is the frame's information bits (shortened positions
+	// excluded).
+	Payload *bitvec.Vector
+	// Flywheel marks a frame that was framed without marker
+	// confirmation.
+	Flywheel bool
+	// Iterations is the decoder's iteration count for the frame.
+	Iterations int
+}
+
+// Config describes a station pipeline.
+type Config struct {
+	// Built is the catalog code the downlink carries.
+	Built *registry.Built
+	// Decode is the decode stage; wire it to a registry/serve pool with
+	// PoolDecode.
+	Decode DecodeFunc
+	// BitsPerSymbol is 1 (BPSK) or 2 (QPSK).
+	BitsPerSymbol int
+	// EbN0dB is the nominal operating point; it sets the LLR scale
+	// 2/σ² applied to the soft samples.
+	EbN0dB float64
+	// Params selects the fixed-point quantization; the zero value means
+	// fixed.DefaultHighSpeedParams().
+	Params fixed.Params
+	// LockThreshold, TrackThreshold, SlipWindow and MaxFlywheel
+	// configure the synchronizer (see SyncConfig).
+	LockThreshold  float64
+	TrackThreshold float64
+	SlipWindow     int
+	MaxFlywheel    int
+	// DecodeBatch is how many aligned frames accumulate before a
+	// decode-stage flush (default 8 — one packed memory word).
+	DecodeBatch int
+	// Observe, when non-nil, sees every aligned frame entering the
+	// decode stage — instrumentation for tests and scenario grading.
+	// The frame's Body is only valid during the call.
+	Observe func(AlignedFrame)
+}
+
+// Station is the streaming ingest pipeline: feed it raw soft samples
+// with Ingest, collect CADUs, Flush at end of pass.
+type Station struct {
+	cfg     Config
+	sync    *Synchronizer
+	metrics *Metrics
+
+	pn        []float64 // derandomization signs, +1 keep / −1 flip
+	scale     float64   // LLR scale 2/σ²
+	format    fixed.Format
+	frameLen  int
+	caduIndex int64
+
+	pendWire [][]int16
+	pendPos  []int64
+	pendFly  []bool
+	pendN    int
+	bits     []*bitvec.Vector
+}
+
+// New builds a station pipeline.
+func New(cfg Config) (*Station, error) {
+	if cfg.Built == nil {
+		return nil, fmt.Errorf("station: nil code")
+	}
+	if cfg.Decode == nil {
+		return nil, fmt.Errorf("station: nil decode stage")
+	}
+	if cfg.BitsPerSymbol == 0 {
+		cfg.BitsPerSymbol = 1
+	}
+	if cfg.Params == (fixed.Params{}) {
+		cfg.Params = fixed.DefaultHighSpeedParams()
+	}
+	if cfg.DecodeBatch == 0 {
+		cfg.DecodeBatch = 8
+	}
+	if cfg.DecodeBatch < 1 {
+		return nil, fmt.Errorf("station: decode batch %d", cfg.DecodeBatch)
+	}
+	frameLen := len(cfg.Built.TxPositions)
+	sync, err := NewSynchronizer(SyncConfig{
+		BitsPerSymbol:  cfg.BitsPerSymbol,
+		FrameLen:       frameLen,
+		LockThreshold:  cfg.LockThreshold,
+		TrackThreshold: cfg.TrackThreshold,
+		SlipWindow:     cfg.SlipWindow,
+		MaxFlywheel:    cfg.MaxFlywheel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sigma := sigmaFor(cfg.Built, cfg.EbN0dB)
+	st := &Station{
+		cfg:      cfg,
+		sync:     sync,
+		metrics:  &Metrics{},
+		scale:    2 / (sigma * sigma),
+		format:   cfg.Params.Format,
+		frameLen: frameLen,
+		pendWire: make([][]int16, cfg.DecodeBatch),
+		pendPos:  make([]int64, cfg.DecodeBatch),
+		pendFly:  make([]bool, cfg.DecodeBatch),
+		bits:     make([]*bitvec.Vector, cfg.DecodeBatch),
+	}
+	for i := 0; i < cfg.DecodeBatch; i++ {
+		st.pendWire[i] = make([]int16, frameLen)
+		st.bits[i] = bitvec.New(cfg.Built.Code.N)
+	}
+	// The CCSDS randomizer restarts at every marker, so one period of
+	// signs serves every frame.
+	st.pn = make([]float64, frameLen)
+	for t, bit := range frame.Sequence(frameLen) {
+		if bit == 0 {
+			st.pn[t] = 1
+		} else {
+			st.pn[t] = -1
+		}
+	}
+	sync.onTransition = func(e Event) {
+		st.metrics.recordEvent(e)
+		st.metrics.state.Store(int64(st.sync.state))
+	}
+	return st, nil
+}
+
+// sigmaFor computes the nominal noise deviation of a code's transmitted
+// rate at an operating point.
+func sigmaFor(b *registry.Built, ebn0dB float64) float64 {
+	kEff := b.Code.K - len(b.KnownZero)
+	nTx := b.Code.N - len(b.PuncturedCols) - len(b.KnownZero)
+	return channel.Sigma(ebn0dB, float64(kEff)/float64(nTx))
+}
+
+// Metrics returns the live per-stage instrumentation.
+func (st *Station) Metrics() *Metrics { return st.metrics }
+
+// Events returns the synchronizer's transition log.
+func (st *Station) Events() []Event { return st.sync.Events() }
+
+// State returns the synchronizer's lock state.
+func (st *Station) State() State { return st.sync.State() }
+
+// Ingest feeds a chunk of raw soft samples through the pipeline and
+// returns the CADUs it completed. Chunks may be any size; frames
+// spanning chunk boundaries are buffered internally. A non-nil error
+// reports a failed decode submission (the pipeline remains usable; the
+// affected frames are counted as decode errors).
+func (st *Station) Ingest(samples []float64) ([]Cadu, error) {
+	st.metrics.samplesIn.Add(int64(len(samples)))
+	var out []Cadu
+	var firstErr error
+	st.sync.Feed(samples, func(af AlignedFrame) {
+		st.condition(af)
+		if st.pendN == st.cfg.DecodeBatch {
+			var err error
+			out, err = st.flush(out)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	})
+	st.metrics.state.Store(int64(st.sync.state))
+	return out, firstErr
+}
+
+// Flush decodes the buffered partial batch — call at end of stream.
+func (st *Station) Flush() ([]Cadu, error) {
+	return st.flush(nil)
+}
+
+// condition derotates, derandomizes and quantizes one aligned frame
+// into the pending decode batch.
+func (st *Station) condition(af AlignedFrame) {
+	if st.cfg.Observe != nil {
+		st.cfg.Observe(af)
+	}
+	w := st.pendWire[st.pendN]
+	body := af.Body
+	if st.cfg.BitsPerSymbol == 1 {
+		sign := 1.0
+		if af.Rot.NegI {
+			sign = -1
+		}
+		for t := 0; t < st.frameLen; t++ {
+			w[t] = st.format.Quantize(body[t] * st.scale * sign * st.pn[t])
+		}
+	} else {
+		for t := 0; t < st.frameLen; t += 2 {
+			i, q := af.Rot.Apply(body[t], body[t+1])
+			w[t] = st.format.Quantize(i * st.scale * st.pn[t])
+			w[t+1] = st.format.Quantize(q * st.scale * st.pn[t+1])
+		}
+	}
+	st.pendPos[st.pendN] = af.Pos
+	st.pendFly[st.pendN] = af.Flywheel
+	st.pendN++
+	st.metrics.framesAligned.Add(1)
+	if af.Flywheel {
+		st.metrics.framesFlywheel.Add(1)
+	}
+}
+
+// flush submits the pending batch to the decode stage and appends the
+// syndrome-verified CADUs to out.
+func (st *Station) flush(out []Cadu) ([]Cadu, error) {
+	n := st.pendN
+	if n == 0 {
+		return out, nil
+	}
+	st.pendN = 0
+	res, errs := st.cfg.Decode(st.pendWire[:n], st.bits[:n])
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			st.metrics.decodeErrors.Add(1)
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		if !res[i].Converged {
+			// Syndrome failure: the frame is dropped, never emitted
+			// corrupt.
+			st.metrics.cadusRejected.Add(1)
+			continue
+		}
+		payload, err := st.cfg.Built.Payload(res[i].Bits, nil)
+		if err != nil {
+			st.metrics.decodeErrors.Add(1)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out = append(out, Cadu{
+			Index:      st.caduIndex,
+			Pos:        st.pendPos[i],
+			Payload:    payload,
+			Flywheel:   st.pendFly[i],
+			Iterations: res[i].Iterations,
+		})
+		st.caduIndex++
+		st.metrics.cadusEmitted.Add(1)
+	}
+	return out, firstErr
+}

@@ -1,0 +1,118 @@
+package station
+
+import "fmt"
+
+// Rotation is one element of the phase-ambiguity group a carrier
+// recovery loop can leave the constellation in: the four 90° rotations
+// composed with an optional spectral inversion (conjugation). Each
+// element is a signed permutation of the symbol's (I, Q) components, so
+// applying one is two sign flips and an optional swap — cheap enough to
+// correlate all of them against the sync marker in one pass.
+//
+// For BPSK (one bit per symbol, Q unused) the group collapses to
+// {identity, 180°}: only NegI matters.
+type Rotation struct {
+	// Swap exchanges I and Q before the sign flips.
+	Swap bool
+	// NegI and NegQ negate the first and second output component.
+	NegI, NegQ bool
+}
+
+// Apply maps a received (I, Q) pair through the correction.
+func (v Rotation) Apply(i, q float64) (float64, float64) {
+	if v.Swap {
+		i, q = q, i
+	}
+	if v.NegI {
+		i = -i
+	}
+	if v.NegQ {
+		q = -q
+	}
+	return i, q
+}
+
+// BPSKVariants are the corrections a BPSK stream can need: identity and
+// polarity inversion (a 180° rotation, equivalently an inverted marker).
+var BPSKVariants = []Rotation{
+	{},
+	{NegI: true, NegQ: true},
+}
+
+// QPSKVariants are the eight corrections a QPSK stream can need: the
+// four rotations, each with and without spectral inversion.
+var QPSKVariants = []Rotation{
+	{},                                   // 0°
+	{Swap: true, NegQ: true},             // undo ×j (90°)
+	{NegI: true, NegQ: true},             // undo 180°
+	{Swap: true, NegI: true},             // undo ×(−j) (270°)
+	{NegQ: true},                         // undo conjugation
+	{Swap: true},                         // undo conj ∘ 90°
+	{NegI: true},                         // undo conj ∘ 180°
+	{Swap: true, NegI: true, NegQ: true}, // undo conj ∘ 270°
+}
+
+// Variants returns the correction set for a constellation.
+func Variants(bitsPerSymbol int) []Rotation {
+	if bitsPerSymbol == 1 {
+		return BPSKVariants
+	}
+	return QPSKVariants
+}
+
+// QuarterTurns returns the channel corruption that rotates the
+// constellation by k quarter turns (multiplication by j^k), optionally
+// composed with spectral inversion (conjugation first).
+func QuarterTurns(k int, conjugate bool) Rotation {
+	v := Rotation{}
+	if conjugate {
+		v = Rotation{NegQ: true}
+	}
+	rot := [4]Rotation{
+		{},
+		{Swap: true, NegI: true}, // ×j: (I,Q) → (−Q, I)
+		{NegI: true, NegQ: true},
+		{Swap: true, NegQ: true}, // ×(−j): (I,Q) → (Q, −I)
+	}
+	return rot[((k%4)+4)%4].Compose(v)
+}
+
+// Compose returns the rotation applying w first, then v.
+func (v Rotation) Compose(w Rotation) Rotation {
+	// Probe with a basis-distinguishing pair and match the result
+	// against the (closed) group — a table lookup beats sign algebra
+	// for legibility, and composition never runs on the sample path.
+	i, q := w.Apply(1, 2)
+	i, q = v.Apply(i, q)
+	for _, c := range QPSKVariants {
+		ci, cq := c.Apply(1, 2)
+		if ci == i && cq == q {
+			return c
+		}
+	}
+	panic("station: rotation group not closed") // unreachable
+}
+
+// Inverse returns the rotation undoing v.
+func (v Rotation) Inverse() Rotation {
+	for _, c := range QPSKVariants {
+		if c.Compose(v) == (Rotation{}) {
+			return c
+		}
+	}
+	panic("station: rotation has no inverse") // unreachable
+}
+
+func (v Rotation) String() string {
+	for k := 0; k < 4; k++ {
+		for _, conj := range []bool{false, true} {
+			if QuarterTurns(k, conj).Inverse() == v {
+				if conj {
+					return fmt.Sprintf("undo %d°+conj", k*90)
+				}
+				return fmt.Sprintf("undo %d°", k*90)
+			}
+		}
+	}
+	return "rotation(?)"
+}

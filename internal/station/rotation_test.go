@@ -1,0 +1,84 @@
+package station
+
+import "testing"
+
+func TestRotationGroupClosure(t *testing.T) {
+	// Compose must agree with sequential Apply, and the set must be
+	// closed (Compose panics on an element outside the table).
+	probes := [][2]float64{{1, 2}, {-3, 5}, {0.5, -0.25}}
+	for _, v := range QPSKVariants {
+		for _, w := range QPSKVariants {
+			c := v.Compose(w)
+			for _, p := range probes {
+				wi, wq := w.Apply(p[0], p[1])
+				vi, vq := v.Apply(wi, wq)
+				ci, cq := c.Apply(p[0], p[1])
+				if ci != vi || cq != vq {
+					t.Fatalf("%v∘%v = %v: Apply mismatch", v, w, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRotationInverse(t *testing.T) {
+	for _, v := range QPSKVariants {
+		if got := v.Inverse().Compose(v); got != (Rotation{}) {
+			t.Fatalf("inverse(%v)∘%v = %v, want identity", v, v, got)
+		}
+		if got := v.Compose(v.Inverse()); got != (Rotation{}) {
+			t.Fatalf("%v∘inverse(%v) = %v, want identity", v, v, got)
+		}
+	}
+}
+
+func TestQuarterTurns(t *testing.T) {
+	// ×j on the constellation: (1,0)→(0,1)→(−1,0)→(0,−1)→(1,0).
+	i, q := 1.0, 0.0
+	for k := 1; k <= 4; k++ {
+		i, q = QuarterTurns(1, false).Apply(i, q)
+		wi, wq := QuarterTurns(k, false).Apply(1, 0)
+		if i != wi || q != wq {
+			t.Fatalf("QuarterTurns(%d) disagrees with iterated ×j: (%v,%v) vs (%v,%v)", k, wi, wq, i, q)
+		}
+	}
+	if i != 1 || q != 0 {
+		t.Fatalf("four quarter turns are not the identity: (%v,%v)", i, q)
+	}
+	// Conjugation negates Q first: conj(0,1) = (0,−1).
+	if wi, wq := QuarterTurns(0, true).Apply(0, 1); wi != 0 || wq != -1 {
+		t.Fatalf("conjugation: got (%v,%v)", wi, wq)
+	}
+}
+
+func TestEveryCorruptionHasACorrection(t *testing.T) {
+	// For every channel corruption the variant set must contain the
+	// correction that undoes it — that is what lets the correlator try
+	// all of them.
+	for k := 0; k < 4; k++ {
+		for _, conj := range []bool{false, true} {
+			corr := QuarterTurns(k, conj)
+			found := false
+			for _, v := range QPSKVariants {
+				if v.Compose(corr) == (Rotation{}) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no QPSK correction for %d×90° conj=%v", k, conj)
+			}
+		}
+	}
+	// BPSK only meets 180° flips (and the identity).
+	for _, corr := range []Rotation{{}, QuarterTurns(2, false)} {
+		found := false
+		for _, v := range BPSKVariants {
+			if v.Compose(corr) == (Rotation{}) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no BPSK correction for %+v", corr)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package station
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScenarioResult grades one pipeline pass over a built stream against
+// its ground truth. The headline number is RecoveredFraction: the share
+// of recoverable (clean) frames that came back as bit-exact CADUs.
+type ScenarioResult struct {
+	// Frames is the number of frames encoded into the stream;
+	// CleanFrames is how many no corruption event (beyond noise)
+	// touched — the recoverable set.
+	Frames      int `json:"frames"`
+	CleanFrames int `json:"clean_frames"`
+
+	// Recovered clean frames came back as CADUs; BitExact of those
+	// matched the transmitted payload exactly (Corrupt counts the
+	// remainder — it must stay zero: the syndrome gate is supposed to
+	// drop what it cannot certify). Missed clean frames produced no
+	// CADU.
+	Recovered int `json:"recovered"`
+	BitExact  int `json:"bit_exact"`
+	Corrupt   int `json:"corrupt"`
+	Missed    int `json:"missed"`
+
+	// DirtyRecovered counts corrupted frames the pipeline still
+	// brought back bit-exact — a bonus, not a requirement.
+	// DirtyMiscorrected counts corrupted frames the decoder converged
+	// on with the wrong payload: an undetected-error event, a property
+	// of the code's distance rather than of the pipeline (vanishingly
+	// rare for the catalog codes, observable on tiny test codes).
+	DirtyRecovered    int `json:"dirty_recovered"`
+	DirtyMiscorrected int `json:"dirty_miscorrected,omitempty"`
+	// ExtraCadus are emissions matching no ground-truth frame (false
+	// locks that survived the syndrome gate — must stay zero).
+	ExtraCadus int `json:"extra_cadus"`
+
+	// RecoveredFraction is BitExact / CleanFrames.
+	RecoveredFraction float64 `json:"recovered_fraction"`
+
+	// RelockSamples has, per scenario slip, the distance in samples
+	// from the slip to the next confirmed (non-flywheel) marker;
+	// RelockFramesMax is the worst of them in frame lengths.
+	RelockSamples   []int64 `json:"relock_samples,omitempty"`
+	RelockFramesMax float64 `json:"relock_frames_max"`
+
+	// Metrics is the pipeline's counter snapshot after the pass.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// RunScenario builds the configured stream, runs a fresh pipeline over
+// it in chunks, and grades the emitted CADUs against the stream's
+// ground truth. The station config's Built, BitsPerSymbol, EbN0dB and
+// Observe fields are managed by the runner; chunkSamples ≤ 0 feeds the
+// whole stream at once.
+func RunScenario(stationCfg Config, streamCfg StreamConfig, chunkSamples int) (*ScenarioResult, error) {
+	stream, err := BuildStream(stationCfg.Built, streamCfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunStream(stationCfg, stream, chunkSamples)
+}
+
+// RunStream is RunScenario over an already-built stream.
+func RunStream(stationCfg Config, stream *Stream, chunkSamples int) (*ScenarioResult, error) {
+	stationCfg.BitsPerSymbol = stream.BitsPerSymbol
+	// Confirmed marker positions, for re-lock latency grading.
+	var confirmed []int64
+	inner := stationCfg.Observe
+	stationCfg.Observe = func(af AlignedFrame) {
+		if !af.Flywheel {
+			confirmed = append(confirmed, af.Pos)
+		}
+		if inner != nil {
+			inner(af)
+		}
+	}
+	st, err := New(stationCfg)
+	if err != nil {
+		return nil, err
+	}
+	if chunkSamples <= 0 {
+		chunkSamples = len(stream.Samples)
+	}
+	var cadus []Cadu
+	for off := 0; off < len(stream.Samples); off += chunkSamples {
+		end := off + chunkSamples
+		if end > len(stream.Samples) {
+			end = len(stream.Samples)
+		}
+		out, err := st.Ingest(stream.Samples[off:end])
+		if err != nil {
+			return nil, err
+		}
+		cadus = append(cadus, out...)
+	}
+	out, err := st.Flush()
+	if err != nil {
+		return nil, err
+	}
+	cadus = append(cadus, out...)
+	return Grade(stream, cadus, confirmed, st.Metrics().Snapshot())
+}
+
+// Grade matches emitted CADUs against a stream's ground truth.
+func Grade(stream *Stream, cadus []Cadu, confirmed []int64, metrics Snapshot) (*ScenarioResult, error) {
+	res := &ScenarioResult{Frames: len(stream.Frames), Metrics: metrics}
+	for f := range stream.Frames {
+		if stream.Frames[f].Clean {
+			res.CleanFrames++
+		}
+	}
+	// Frames are matched by nearest marker position, within half a
+	// frame: a slip landing inside a marker legitimately shifts the
+	// accepted position while leaving the body — and so the payload —
+	// intact, and the syndrome gate plus the payload comparison below
+	// are what certify the match.
+	starts := make([]int64, len(stream.Frames))
+	for f := range stream.Frames {
+		starts[f] = stream.Frames[f].Start
+	}
+	nearest := func(pos int64) *StreamFrame {
+		i := sort.Search(len(starts), func(i int) bool { return starts[i] >= pos })
+		best := -1
+		for _, j := range []int{i - 1, i} {
+			if j < 0 || j >= len(starts) {
+				continue
+			}
+			if best == -1 || abs64(starts[j]-pos) < abs64(starts[best]-pos) {
+				best = j
+			}
+		}
+		if best == -1 || abs64(starts[best]-pos) > int64(stream.FrameTotal/2) {
+			return nil
+		}
+		return &stream.Frames[best]
+	}
+	got := make(map[int]bool, len(cadus))
+	for _, cadu := range cadus {
+		sf := nearest(cadu.Pos)
+		if sf == nil {
+			res.ExtraCadus++
+			continue
+		}
+		if got[sf.Index] {
+			res.ExtraCadus++ // duplicate emission for one frame
+			continue
+		}
+		got[sf.Index] = true
+		exact := cadu.Payload.Len() == sf.Payload.Len() && cadu.Payload.Equal(sf.Payload)
+		if !sf.Clean {
+			if exact {
+				res.DirtyRecovered++
+			} else {
+				res.DirtyMiscorrected++
+			}
+			continue
+		}
+		res.Recovered++
+		if exact {
+			res.BitExact++
+		} else {
+			res.Corrupt++
+		}
+	}
+	for f := range stream.Frames {
+		sf := &stream.Frames[f]
+		if sf.Clean && !got[sf.Index] {
+			res.Missed++
+		}
+	}
+	if res.CleanFrames > 0 {
+		res.RecoveredFraction = float64(res.BitExact) / float64(res.CleanFrames)
+	}
+	// Re-lock latency: from each slip to the next confirmed marker.
+	frameTotal := float64(stream.FrameTotal)
+	for _, mark := range stream.SlipMarks {
+		lat := int64(-1)
+		for _, pos := range confirmed {
+			if pos >= mark {
+				lat = pos - mark
+				break
+			}
+		}
+		if lat < 0 {
+			return nil, fmt.Errorf("station: no confirmed marker after slip at sample %d", mark)
+		}
+		res.RelockSamples = append(res.RelockSamples, lat)
+		if fl := float64(lat) / frameTotal; fl > res.RelockFramesMax {
+			res.RelockFramesMax = fl
+		}
+	}
+	return res, nil
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

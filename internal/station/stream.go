@@ -1,0 +1,368 @@
+// Package station is the streaming ground-station ingest pipeline in
+// front of the decode service: sync-marker correlation with a
+// lock/flywheel state machine, BPSK/QPSK phase-ambiguity resolution,
+// clock-slip tracking, soft-LLR derandomization, and CADU assembly that
+// hands aligned frames to the registry/serve decode path.
+//
+// The paper's decoder assumes frames arrive aligned and clean; a real
+// near-earth ground station (SatDump's CCSDS LDPC decoder module) feeds
+// the LDPC core from a raw soft-symbol stream that slips, rotates and
+// fades. This package is that front end, plus the stream corruptor that
+// makes those failure scenarios reproducible.
+package station
+
+import (
+	"fmt"
+	"sort"
+
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/channel"
+	"ccsdsldpc/internal/frame"
+	"ccsdsldpc/internal/registry"
+	"ccsdsldpc/internal/rng"
+	"ccsdsldpc/internal/sim"
+)
+
+// Slip is a clock slip: at the given symbol of a frame, the stream
+// gains (Symbols > 0, inserted noise) or loses (Symbols < 0, deleted
+// samples) whole symbols — the bit-sync's clock jumping a cycle.
+type Slip struct {
+	Frame   int `json:"frame"`
+	Symbol  int `json:"symbol"`
+	Symbols int `json:"symbols"`
+}
+
+// Flip is a mid-stream phase jump: from the given symbol onward the
+// constellation rotates a further Quarters × 90°, optionally with
+// spectral inversion — a carrier loop losing and re-acquiring phase.
+type Flip struct {
+	Frame     int  `json:"frame"`
+	Symbol    int  `json:"symbol"`
+	Quarters  int  `json:"quarters"`
+	Conjugate bool `json:"conjugate,omitempty"`
+}
+
+// Burst is a burst erasure: Frames whole frames (markers included)
+// replaced by noise — a deep fade or an interferer.
+type Burst struct {
+	Frame  int `json:"frame"`
+	Frames int `json:"frames"`
+}
+
+// Drift ramps the operating Eb/N0 linearly down from the nominal point
+// at FromFrame to MinEbN0dB at the midpoint and back up by ToFrame — a
+// pass through the decode knee and out again.
+type Drift struct {
+	FromFrame int     `json:"from_frame"`
+	ToFrame   int     `json:"to_frame"`
+	MinEbN0dB float64 `json:"min_ebn0_db"`
+}
+
+// Scenario is the set of stream corruptions applied on top of the AWGN
+// channel.
+type Scenario struct {
+	Slips  []Slip  `json:"slips,omitempty"`
+	Flips  []Flip  `json:"flips,omitempty"`
+	Bursts []Burst `json:"bursts,omitempty"`
+	Drift  *Drift  `json:"drift,omitempty"`
+}
+
+// StreamConfig describes a simulated downlink.
+type StreamConfig struct {
+	// Frames is the number of telemetry frames encoded into the stream.
+	Frames int
+	// EbN0dB is the nominal operating point.
+	EbN0dB float64
+	// BitsPerSymbol is 1 (BPSK) or 2 (QPSK).
+	BitsPerSymbol int
+	// Seed makes the stream — data, noise and inserted-slip samples —
+	// fully deterministic.
+	Seed uint64
+	// LeadSymbols and TailSymbols are noise-only padding around the
+	// frames (defaults 64 and 192): acquisition has to find the first
+	// marker, and the tracker needs look-ahead past the last one.
+	LeadSymbols int
+	TailSymbols int
+	// CutBits drops this many samples from the front of the finished
+	// stream — acquisition starting mid-frame.
+	CutBits int
+
+	Scenario Scenario
+}
+
+// StreamFrame is one frame's ground truth: where it starts in the
+// corrupted stream, what payload it carried, and whether any corruption
+// event other than noise hit it. Clean frames are the recoverable set a
+// pipeline is graded against.
+type StreamFrame struct {
+	Index   int
+	Start   int64 // sample index of the frame's marker in the final stream
+	Payload *bitvec.Vector
+	Clean   bool
+}
+
+// Stream is a built, corrupted downlink with its ground truth.
+type Stream struct {
+	Samples       []float64
+	Frames        []StreamFrame
+	BitsPerSymbol int
+	FrameTotal    int // marker + codeblock, in samples
+	// SlipMarks are the slip positions in final-stream coordinates —
+	// the reference points re-lock latency is measured from.
+	SlipMarks []int64
+	// Sigma0 is the nominal per-dimension noise deviation.
+	Sigma0 float64
+}
+
+func (c *StreamConfig) setDefaults(frameLen int) error {
+	if c.Frames <= 0 {
+		return fmt.Errorf("station: %d frames", c.Frames)
+	}
+	if c.BitsPerSymbol == 0 {
+		c.BitsPerSymbol = 1
+	}
+	if c.BitsPerSymbol != 1 && c.BitsPerSymbol != 2 {
+		return fmt.Errorf("station: bits per symbol %d not in {1, 2}", c.BitsPerSymbol)
+	}
+	if frameLen%c.BitsPerSymbol != 0 {
+		return fmt.Errorf("station: frame length %d not a whole number of symbols", frameLen)
+	}
+	if c.LeadSymbols == 0 {
+		c.LeadSymbols = 64
+	}
+	if c.TailSymbols == 0 {
+		c.TailSymbols = 192
+	}
+	if c.LeadSymbols < 0 || c.TailSymbols < 0 || c.CutBits < 0 {
+		return fmt.Errorf("station: negative padding")
+	}
+	if c.CutBits%c.BitsPerSymbol != 0 {
+		return fmt.Errorf("station: cut of %d bits breaks the symbol grid", c.CutBits)
+	}
+	return nil
+}
+
+// BuildStream encodes Frames random telemetry frames of the given code
+// into a soft-symbol stream — randomized codeblocks behind ASMs,
+// modulated, corrupted per the scenario, and carried over AWGN — and
+// returns it with per-frame ground truth.
+func BuildStream(b *registry.Built, cfg StreamConfig) (*Stream, error) {
+	c := b.Code
+	frameLen := len(b.TxPositions)
+	if err := cfg.setDefaults(frameLen); err != nil {
+		return nil, err
+	}
+	bps := cfg.BitsPerSymbol
+	frameTotal := frame.ASMBits + frameLen
+	kEff := c.K - len(b.KnownZero)
+	nTx := c.N - len(b.PuncturedCols) - len(b.KnownZero)
+	rate := float64(kEff) / float64(nTx)
+	sigma0 := channel.Sigma(cfg.EbN0dB, rate)
+	shortMask := sim.ColumnMask(c.N, b.KnownZero)
+	pn := frame.Sequence(frameLen)
+
+	lead := cfg.LeadSymbols * bps
+	tail := cfg.TailSymbols * bps
+	total := lead + cfg.Frames*frameTotal + tail
+	samples := make([]float64, total)
+
+	st := &Stream{
+		BitsPerSymbol: bps,
+		FrameTotal:    frameTotal,
+		Frames:        make([]StreamFrame, cfg.Frames),
+		Sigma0:        sigma0,
+	}
+	for f := 0; f < cfg.Frames; f++ {
+		// Every frame is a pure function of (seed, index), the same
+		// contract the Monte-Carlo harness keeps.
+		r := rng.New(cfg.Seed ^ uint64(f)*0xd1b54a32d192ed03)
+		info := sim.RandomInfo(c, shortMask, r)
+		cw := c.Encode(info)
+		wire, err := b.TxBits(cw)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := b.Payload(cw, nil)
+		if err != nil {
+			return nil, err
+		}
+		start := lead + f*frameTotal
+		for i := 0; i < frame.ASMBits; i++ {
+			samples[start+i] = bpsk(frame.ASMBit(i))
+		}
+		for t := 0; t < frameLen; t++ {
+			samples[start+frame.ASMBits+t] = bpsk(wire.Bit(t) ^ pn[t])
+		}
+		st.Frames[f] = StreamFrame{Index: f, Start: int64(start), Payload: payload, Clean: true}
+	}
+
+	sc := cfg.Scenario
+	pos := func(f, sym int) int { return lead + f*frameTotal + sym*bps }
+
+	// Phase flips: cumulative rotations applied from their position to
+	// the end of the (pre-slip) stream, with pairing anchored at symbol
+	// boundaries.
+	flips := append([]Flip(nil), sc.Flips...)
+	sort.SliceStable(flips, func(i, j int) bool {
+		return pos(flips[i].Frame, flips[i].Symbol) < pos(flips[j].Frame, flips[j].Symbol)
+	})
+	active := Rotation{}
+	for fi, fl := range flips {
+		if fl.Quarters%4 == 0 && !fl.Conjugate {
+			continue
+		}
+		p := pos(fl.Frame, fl.Symbol)
+		if p < 0 || p%bps != 0 || p >= total {
+			return nil, fmt.Errorf("station: flip %d out of stream", fi)
+		}
+		active = QuarterTurns(fl.Quarters, fl.Conjugate).Compose(active)
+		end := total
+		if fi+1 < len(flips) {
+			end = pos(flips[fi+1].Frame, flips[fi+1].Symbol)
+		}
+		applyRotation(samples[p:end], active, bps)
+		markDirty(st.Frames, int64(p), int64(p), frameTotal, lead, true)
+	}
+
+	// Bursts: signal replaced by silence (noise-only after the channel).
+	for _, bu := range sc.Bursts {
+		from, to := pos(bu.Frame, 0), pos(bu.Frame+bu.Frames, 0)
+		if from < 0 || to > total || bu.Frames <= 0 {
+			return nil, fmt.Errorf("station: burst out of stream")
+		}
+		for i := from; i < to; i++ {
+			samples[i] = 0
+		}
+		markDirty(st.Frames, int64(from), int64(to)-1, frameTotal, lead, false)
+	}
+
+	// Channel: AWGN at the nominal point, bent by the drift ramp.
+	noise := rng.New(cfg.Seed*0x9e3779b97f4a7c15 + 0x6e6f697365)
+	sigmaAt := func(i int) float64 { return sigma0 }
+	if d := sc.Drift; d != nil {
+		if d.ToFrame <= d.FromFrame {
+			return nil, fmt.Errorf("station: drift range [%d, %d]", d.FromFrame, d.ToFrame)
+		}
+		from, to := float64(pos(d.FromFrame, 0)), float64(pos(d.ToFrame, 0))
+		mid := (from + to) / 2
+		sigmaAt = func(i int) float64 {
+			x := float64(i)
+			if x <= from || x >= to {
+				return sigma0
+			}
+			// Linear in dB down to the trough and back.
+			frac := (x - from) / (mid - from)
+			if x > mid {
+				frac = (to - x) / (to - mid)
+			}
+			db := cfg.EbN0dB + frac*(d.MinEbN0dB-cfg.EbN0dB)
+			return channel.Sigma(db, rate)
+		}
+	}
+	channel.AddNoiseVar(samples, noise, sigmaAt)
+
+	// Clock slips, last: they change the coordinate system of
+	// everything after them, so ground-truth Starts are adjusted as
+	// each one lands.
+	slips := append([]Slip(nil), sc.Slips...)
+	sort.SliceStable(slips, func(i, j int) bool {
+		return pos(slips[i].Frame, slips[i].Symbol) < pos(slips[j].Frame, slips[j].Symbol)
+	})
+	slipRNG := rng.New(cfg.Seed*0x9e3779b97f4a7c15 + 0x736c6970)
+	delta := 0
+	for si, sl := range slips {
+		if sl.Symbols == 0 {
+			continue
+		}
+		p := pos(sl.Frame, sl.Symbol) + delta
+		d := sl.Symbols * bps
+		if p < 0 || p >= len(samples) || (d < 0 && p-d > len(samples)) {
+			return nil, fmt.Errorf("station: slip %d out of stream", si)
+		}
+		if d < 0 {
+			samples = append(samples[:p], samples[p-d:]...)
+			markDirty(st.Frames, int64(p-delta), int64(p-d-delta)-1, frameTotal, lead, false)
+		} else {
+			ins := make([]float64, d)
+			for i := range ins {
+				ins[i] = sigma0 * slipRNG.Normal()
+			}
+			samples = append(samples[:p], append(ins, samples[p:]...)...)
+			markDirty(st.Frames, int64(p-delta), int64(p-delta), frameTotal, lead, true)
+		}
+		for f := range st.Frames {
+			if st.Frames[f].Start >= int64(p) {
+				st.Frames[f].Start += int64(d)
+			}
+		}
+		st.SlipMarks = append(st.SlipMarks, int64(p))
+		delta += d
+	}
+
+	// Initial-offset cut: acquisition joins the pass mid-frame.
+	if cut := cfg.CutBits; cut > 0 {
+		if cut >= len(samples) {
+			return nil, fmt.Errorf("station: cut %d beyond stream", cut)
+		}
+		samples = samples[cut:]
+		for f := range st.Frames {
+			st.Frames[f].Start -= int64(cut)
+			if st.Frames[f].Start < 0 {
+				st.Frames[f].Clean = false
+			}
+		}
+		for i := range st.SlipMarks {
+			st.SlipMarks[i] -= int64(cut)
+		}
+	}
+
+	st.Samples = samples
+	return st, nil
+}
+
+func bpsk(bit int) float64 {
+	if bit == 0 {
+		return 1
+	}
+	return -1
+}
+
+// applyRotation transforms a span in place with symbol pairing anchored
+// at the span start (spans begin on symbol boundaries).
+func applyRotation(span []float64, v Rotation, bps int) {
+	if v == (Rotation{}) {
+		return
+	}
+	if bps == 1 {
+		if v.NegI {
+			for i := range span {
+				span[i] = -span[i]
+			}
+		}
+		return
+	}
+	for i := 0; i+1 < len(span); i += 2 {
+		span[i], span[i+1] = v.Apply(span[i], span[i+1])
+	}
+}
+
+// markDirty clears the Clean flag of every frame an event in
+// [from, to] (pre-slip coordinates) corrupts. boundaryClean reports
+// whether an event landing exactly on a frame's marker start leaves
+// that frame intact (rotations and insertions do; deletions and bursts
+// clip the marker).
+func markDirty(frames []StreamFrame, from, to int64, frameTotal, lead int, boundaryClean bool) {
+	for f := range frames {
+		start := int64(lead + f*frameTotal)
+		end := start + int64(frameTotal)
+		lo := from
+		if boundaryClean && lo == start {
+			// The event begins exactly at the marker: the frame sees a
+			// uniform world.
+			continue
+		}
+		if lo < end && to >= start {
+			frames[f].Clean = false
+		}
+	}
+}

@@ -1,0 +1,458 @@
+package station
+
+import (
+	"fmt"
+	"math"
+
+	"ccsdsldpc/internal/frame"
+)
+
+// SyncConfig describes the sliding ASM correlator and its lock state
+// machine.
+type SyncConfig struct {
+	// BitsPerSymbol is 1 (BPSK) or 2 (QPSK). It sets the offset grid —
+	// slips move whole symbols, so candidate marker offsets are
+	// symbol-aligned — and the phase-ambiguity group size (2 or 8).
+	BitsPerSymbol int
+	// FrameLen is the transmitted codeblock length in bits (wire LLRs
+	// per frame, after the marker).
+	FrameLen int
+	// LockThreshold is the normalized correlation score (in [−1, 1], 1
+	// is a noiseless marker) a candidate must reach to declare lock
+	// from Searching; every fresh lock is additionally confirmed by
+	// markers one and two frames later, so a single noise peak cannot
+	// declare lock (default 0.6).
+	LockThreshold float64
+	// TrackThreshold is the score that keeps an expected marker
+	// accepted while Locked; below it the frame flies on the wheel
+	// (default 0.45).
+	TrackThreshold float64
+	// SlipWindow is how many symbols of clock slip the locked tracker
+	// searches around each expected marker (default 4).
+	SlipWindow int
+	// MaxFlywheel is how many consecutive missed markers the tracker
+	// coasts through at nominal spacing before dropping back to
+	// Searching (default 3).
+	MaxFlywheel int
+}
+
+func (c *SyncConfig) setDefaults() error {
+	if c.BitsPerSymbol != 1 && c.BitsPerSymbol != 2 {
+		return fmt.Errorf("station: bits per symbol %d not in {1, 2}", c.BitsPerSymbol)
+	}
+	if c.FrameLen <= 0 {
+		return fmt.Errorf("station: frame length %d", c.FrameLen)
+	}
+	if c.FrameLen%c.BitsPerSymbol != 0 {
+		return fmt.Errorf("station: frame length %d not a whole number of %d-bit symbols", c.FrameLen, c.BitsPerSymbol)
+	}
+	if frame.ASMBits%c.BitsPerSymbol != 0 {
+		return fmt.Errorf("station: ASM length %d not a whole number of symbols", frame.ASMBits)
+	}
+	if c.LockThreshold == 0 {
+		c.LockThreshold = 0.6
+	}
+	if c.LockThreshold <= 0 || c.LockThreshold > 1 {
+		return fmt.Errorf("station: lock threshold %v outside (0, 1]", c.LockThreshold)
+	}
+	if c.TrackThreshold == 0 {
+		c.TrackThreshold = 0.45
+	}
+	if c.TrackThreshold <= 0 || c.TrackThreshold > c.LockThreshold {
+		return fmt.Errorf("station: track threshold %v outside (0, lock threshold %v]", c.TrackThreshold, c.LockThreshold)
+	}
+	if c.SlipWindow == 0 {
+		c.SlipWindow = 4
+	}
+	if c.SlipWindow < 1 || c.SlipWindow*c.BitsPerSymbol*2 >= c.FrameLen {
+		return fmt.Errorf("station: slip window %d symbols out of range", c.SlipWindow)
+	}
+	if c.MaxFlywheel == 0 {
+		c.MaxFlywheel = 3
+	}
+	if c.MaxFlywheel < 1 {
+		return fmt.Errorf("station: flywheel depth %d", c.MaxFlywheel)
+	}
+	return nil
+}
+
+// State is the synchronizer's lock state.
+type State int
+
+const (
+	// Searching scans every symbol offset and every rotation for a
+	// confirmed marker pair.
+	Searching State = iota
+	// Locked tracks markers at the expected spacing (± the slip
+	// window).
+	Locked
+	// Flywheel is Locked with the last marker(s) missed: framing
+	// continues at nominal spacing on trust.
+	Flywheel
+)
+
+func (s State) String() string {
+	switch s {
+	case Searching:
+		return "searching"
+	case Locked:
+		return "locked"
+	case Flywheel:
+		return "flywheel"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// EventKind labels a synchronizer transition.
+type EventKind int
+
+const (
+	// EventLock is a fresh two-marker-confirmed lock out of Searching.
+	EventLock EventKind = iota
+	// EventSlip is a marker accepted off the expected position; the
+	// framing clock was corrected by Event.DeltaBits.
+	EventSlip
+	// EventRotation is a marker accepted under a different
+	// phase-ambiguity correction than the previous frame's.
+	EventRotation
+	// EventFlywheel is a missed marker coasted through.
+	EventFlywheel
+	// EventUnlock is the flywheel running out: back to Searching.
+	EventUnlock
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventLock:
+		return "lock"
+	case EventSlip:
+		return "slip"
+	case EventRotation:
+		return "rotation"
+	case EventFlywheel:
+		return "flywheel"
+	case EventUnlock:
+		return "unlock"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one synchronizer transition, positioned at the absolute
+// sample index of the marker (or expected marker) it concerns.
+type Event struct {
+	Pos  int64     `json:"pos"`
+	Kind EventKind `json:"kind"`
+	// DeltaBits is the slip correction in bits (negative: the stream
+	// lost bits; positive: it gained bits). Zero except for EventSlip.
+	DeltaBits int `json:"delta_bits,omitempty"`
+	// Rot is the phase correction in force after the event.
+	Rot Rotation `json:"-"`
+	// Score is the accepted marker's normalized correlation.
+	Score float64 `json:"score"`
+}
+
+// AlignedFrame is one framed codeblock leaving the synchronizer: the
+// FrameLen soft samples following an accepted (or flywheel-extrapolated)
+// marker, still rotated — Rot is the correction the downstream
+// derotation stage must apply. Body aliases the synchronizer's buffer
+// and is only valid during the emit callback.
+type AlignedFrame struct {
+	// Pos is the absolute sample index of the frame's marker.
+	Pos int64
+	// Body is the frame's FrameLen soft samples (marker excluded).
+	Body []float64
+	// Rot is the phase correction in force for this frame.
+	Rot Rotation
+	// Flywheel marks a frame emitted without marker confirmation.
+	Flywheel bool
+	// Score is the marker's normalized correlation (0 on flywheel).
+	Score float64
+}
+
+// Synchronizer is the sliding ASM correlator with the lock/flywheel
+// state machine: feed it soft samples, it emits aligned frames.
+type Synchronizer struct {
+	cfg      SyncConfig
+	variants []Rotation
+	asmSign  [frame.ASMBits]float64 // +1 for marker bit 0, −1 for bit 1
+
+	buf  []float64
+	base int64 // absolute sample index of buf[0]
+
+	state    State
+	rot      Rotation
+	flywheel int // consecutive missed markers
+
+	events   []Event
+	maxEvent int
+
+	onTransition func(Event)
+}
+
+// NewSynchronizer builds a synchronizer; see SyncConfig for defaults.
+func NewSynchronizer(cfg SyncConfig) (*Synchronizer, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Synchronizer{cfg: cfg, variants: Variants(cfg.BitsPerSymbol), maxEvent: 4096}
+	for i := range s.asmSign {
+		if frame.ASMBit(i) == 0 {
+			s.asmSign[i] = 1
+		} else {
+			s.asmSign[i] = -1
+		}
+	}
+	return s, nil
+}
+
+// State returns the current lock state.
+func (s *Synchronizer) State() State { return s.state }
+
+// Events returns the recorded transition log (capped at 4096 entries).
+func (s *Synchronizer) Events() []Event { return s.events }
+
+// frameTotal is the whole frame in samples: marker plus codeblock.
+func (s *Synchronizer) frameTotal() int { return frame.ASMBits + s.cfg.FrameLen }
+
+// slipBits is the slip window in samples.
+func (s *Synchronizer) slipBits() int { return s.cfg.SlipWindow * s.cfg.BitsPerSymbol }
+
+func (s *Synchronizer) record(e Event) {
+	if len(s.events) < s.maxEvent {
+		s.events = append(s.events, e)
+	}
+	if s.onTransition != nil {
+		s.onTransition(e)
+	}
+}
+
+// score correlates the marker at buffer offset off under correction v,
+// normalized by the window's magnitude so a clean marker scores ≈ 1
+// regardless of amplitude. mag, when ≥ 0, is the precomputed magnitude
+// sum of the 32 samples at off (the searching scan maintains it as a
+// sliding sum); pass −1 to have it computed.
+func (s *Synchronizer) score(off int, v Rotation, mag float64) float64 {
+	if mag < 0 {
+		mag = 0
+		for i := 0; i < frame.ASMBits; i++ {
+			mag += math.Abs(s.buf[off+i])
+		}
+	}
+	if mag == 0 {
+		return 0
+	}
+	var sum float64
+	if s.cfg.BitsPerSymbol == 1 {
+		sign := 1.0
+		if v.NegI {
+			sign = -1
+		}
+		for i := 0; i < frame.ASMBits; i++ {
+			sum += sign * s.asmSign[i] * s.buf[off+i]
+		}
+	} else {
+		for i := 0; i < frame.ASMBits; i += 2 {
+			ci, cq := v.Apply(s.buf[off+i], s.buf[off+i+1])
+			sum += s.asmSign[i]*ci + s.asmSign[i+1]*cq
+		}
+	}
+	return sum / mag
+}
+
+// bestVariant returns the best-scoring correction at a buffer offset.
+func (s *Synchronizer) bestVariant(off int, mag float64) (Rotation, float64) {
+	best, bestScore := Rotation{}, math.Inf(-1)
+	for _, v := range s.variants {
+		if sc := s.score(off, v, mag); sc > bestScore {
+			best, bestScore = v, sc
+		}
+	}
+	return best, bestScore
+}
+
+// consume advances the buffer start by n samples, compacting the
+// backing array when the dead prefix dominates it.
+func (s *Synchronizer) consume(n int) {
+	s.base += int64(n)
+	s.buf = s.buf[n:]
+	if len(s.buf) > 0 && cap(s.buf) > 4*len(s.buf) {
+		compact := make([]float64, len(s.buf))
+		copy(compact, s.buf)
+		s.buf = compact
+	}
+}
+
+// Feed appends soft samples and emits every frame they complete. The
+// emit callback receives frames in stream order; AlignedFrame.Body is
+// only valid during the call.
+func (s *Synchronizer) Feed(samples []float64, emit func(AlignedFrame)) {
+	s.buf = append(s.buf, samples...)
+	for {
+		var progressed bool
+		switch s.state {
+		case Searching:
+			progressed = s.search(emit)
+		default:
+			progressed = s.track(emit)
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// search scans every symbol-aligned offset for the best marker under
+// any rotation, and requires two more markers at exact frame spacing
+// before declaring lock — a single 32-bit correlation peak over
+// thousands of offsets is too easy for noise to fake.
+func (s *Synchronizer) search(emit func(AlignedFrame)) bool {
+	b := s.cfg.BitsPerSymbol
+	// A candidate at off needs its frame body and the two confirming
+	// markers in the buffer: off + 2·frameTotal + ASMBits samples.
+	scanEnd := len(s.buf) - 2*s.frameTotal() - frame.ASMBits
+	if scanEnd < b {
+		return false
+	}
+	// Sliding magnitude sum over the 32-sample marker window,
+	// recomputed exactly every so often: the incremental updates
+	// accumulate floating-point drift, and a drifted denominator breaks
+	// score ties between equally-clean markers in favour of later ones.
+	magAt := func(off int) float64 {
+		var m float64
+		for i := 0; i < frame.ASMBits; i++ {
+			m += math.Abs(s.buf[off+i])
+		}
+		return m
+	}
+	mag := magAt(0)
+	for off := 0; off < scanEnd; off += b {
+		if off%4096 == 0 && off > 0 {
+			mag = magAt(off)
+		}
+		v, sc := s.bestVariant(off, mag)
+		for k := 0; k < b; k++ {
+			mag += math.Abs(s.buf[off+frame.ASMBits+k]) - math.Abs(s.buf[off+k])
+		}
+		if sc < s.cfg.LockThreshold {
+			continue
+		}
+		// The earliest candidate clearing the threshold wins — a later
+		// marker scoring marginally higher must not cost the frames
+		// before it. Confirm by a 2-of-3 vote over the markers one and
+		// two frames later: either both stand at TrackThreshold under
+		// the candidate's own rotation (frame-spacing and phase
+		// continuity), or one stands on its own as a near-clean marker
+		// under any rotation (so a single marker broken by a slip, or a
+		// phase flip between the markers, cannot veto a true lock — but
+		// a lone confirmer has to be unambiguous, not merely passable).
+		// One 32-bit correlation peak over thousands of noise offsets
+		// is easy to fake; two markers at exact frame spacing are not.
+		// A candidate that fails the vote is noise: keep scanning.
+		strong := (1 + s.cfg.LockThreshold) / 2
+		c1v := s.score(off+s.frameTotal(), v, -1)
+		c2v := s.score(off+2*s.frameTotal(), v, -1)
+		confirmed := c1v >= s.cfg.TrackThreshold && c2v >= s.cfg.TrackThreshold
+		if !confirmed {
+			_, c1b := s.bestVariant(off+s.frameTotal(), -1)
+			confirmed = c1b >= strong
+		}
+		if !confirmed {
+			_, c2b := s.bestVariant(off+2*s.frameTotal(), -1)
+			confirmed = c2b >= strong
+		}
+		if !confirmed {
+			continue
+		}
+		s.state, s.rot, s.flywheel = Locked, v, 0
+		s.record(Event{Pos: s.base + int64(off), Kind: EventLock, Rot: v, Score: sc})
+		emit(AlignedFrame{
+			Pos:   s.base + int64(off),
+			Body:  s.buf[off+frame.ASMBits : off+s.frameTotal()],
+			Rot:   v,
+			Score: sc,
+		})
+		s.consumeAfterFrame(off)
+		return true
+	}
+	// No confirmed marker starts in [0, scanEnd): drop the scanned
+	// prefix — rounded to the symbol grid, which buffer offset 0 must
+	// stay on — and wait for more samples.
+	s.consume(scanEnd - scanEnd%b)
+	return false
+}
+
+// consumeAfterFrame advances past an emitted frame at buffer offset
+// off, keeping slipBits of slack so the next expected marker can be
+// found up to a full slip window early.
+func (s *Synchronizer) consumeAfterFrame(off int) {
+	s.consume(off + s.frameTotal() - s.slipBits())
+}
+
+// track checks the expected marker position (buffer offset slipBits)
+// ± the slip window under every rotation; a hit re-centers the framing
+// clock and updates the phase correction, a miss coasts on the
+// flywheel, and a flywheel overrun unlocks.
+func (s *Synchronizer) track(emit func(AlignedFrame)) bool {
+	b := s.cfg.BitsPerSymbol
+	w := s.slipBits()
+	// The widest candidate (off = 2w) still needs its whole body.
+	if len(s.buf) < 2*w+s.frameTotal() {
+		return false
+	}
+	bestOff, bestRot, bestScore := -1, Rotation{}, math.Inf(-1)
+	for off := 0; off <= 2*w; off += b {
+		if v, sc := s.bestVariant(off, -1); sc > bestScore {
+			bestOff, bestRot, bestScore = off, v, sc
+		}
+	}
+	// Weak evidence may only confirm the status quo: a marker at the
+	// expected position under the current rotation needs just
+	// TrackThreshold. Any state change — re-centering the framing
+	// clock on an off-center marker, or switching the phase correction
+	// — must clear the full LockThreshold, which a genuine slipped or
+	// flipped marker does easily while a noise window rarely does;
+	// otherwise fades walk the clock and flip the phase on 32-bit
+	// coincidences.
+	accept := bestScore >= s.cfg.LockThreshold ||
+		(bestOff == w && bestRot == s.rot && bestScore >= s.cfg.TrackThreshold)
+	if accept {
+		pos := s.base + int64(bestOff)
+		if delta := bestOff - w; delta != 0 {
+			s.record(Event{Pos: pos, Kind: EventSlip, DeltaBits: delta, Rot: bestRot, Score: bestScore})
+		}
+		if bestRot != s.rot {
+			s.record(Event{Pos: pos, Kind: EventRotation, Rot: bestRot, Score: bestScore})
+			s.rot = bestRot
+		}
+		s.state, s.flywheel = Locked, 0
+		emit(AlignedFrame{
+			Pos:   pos,
+			Body:  s.buf[bestOff+frame.ASMBits : bestOff+s.frameTotal()],
+			Rot:   bestRot,
+			Score: bestScore,
+		})
+		s.consumeAfterFrame(bestOff)
+		return true
+	}
+	// Miss: fly a frame at nominal spacing.
+	s.flywheel++
+	pos := s.base + int64(w)
+	s.record(Event{Pos: pos, Kind: EventFlywheel, Rot: s.rot, Score: bestScore})
+	if s.flywheel > s.cfg.MaxFlywheel {
+		s.state = Searching
+		s.record(Event{Pos: pos, Kind: EventUnlock, Rot: s.rot})
+		// Leave the buffer for the searcher: the nominal frame is not
+		// emitted — the marker miss streak says the framing clock is
+		// not to be trusted.
+		return true
+	}
+	s.state = Flywheel
+	emit(AlignedFrame{
+		Pos:      pos,
+		Body:     s.buf[w+frame.ASMBits : w+s.frameTotal()],
+		Rot:      s.rot,
+		Flywheel: true,
+	})
+	s.consumeAfterFrame(w)
+	return true
+}

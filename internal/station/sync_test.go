@@ -1,0 +1,219 @@
+package station
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/frame"
+	"ccsdsldpc/internal/rng"
+)
+
+// rawStream builds a noiseless marker+body stream for synchronizer unit
+// tests: nFrames random ±1 bodies of frameLen samples behind ASMs, with
+// lead samples of channel noise in front and a noise tail long enough to
+// flush the last frame. (The padding must be noise, not silence: an
+// all-zero window makes any normalized correlation degenerate, which a
+// real channel never produces.) Returns the samples and the bodies.
+func rawStream(nFrames, frameLen, lead int, seed uint64) ([]float64, [][]float64) {
+	r := rng.New(seed)
+	frameTotal := frame.ASMBits + frameLen
+	samples := make([]float64, lead+nFrames*frameTotal+frameTotal)
+	for i := range samples {
+		samples[i] = 0.7 * r.Normal()
+	}
+	bodies := make([][]float64, nFrames)
+	for f := 0; f < nFrames; f++ {
+		start := lead + f*frameTotal
+		for i := 0; i < frame.ASMBits; i++ {
+			samples[start+i] = bpsk(frame.ASMBit(i))
+		}
+		body := make([]float64, frameLen)
+		for t := range body {
+			body[t] = bpsk(0)
+			if r.Bool() {
+				body[t] = bpsk(1)
+			}
+			samples[start+frame.ASMBits+t] = body[t]
+		}
+		bodies[f] = body
+	}
+	return samples, bodies
+}
+
+func collect(t *testing.T, s *Synchronizer, samples []float64, chunk int) []AlignedFrame {
+	t.Helper()
+	var out []AlignedFrame
+	for off := 0; off < len(samples); off += chunk {
+		end := off + chunk
+		if end > len(samples) {
+			end = len(samples)
+		}
+		s.Feed(samples[off:end], func(af AlignedFrame) {
+			body := make([]float64, len(af.Body))
+			copy(body, af.Body)
+			af.Body = body
+			out = append(out, af)
+		})
+	}
+	return out
+}
+
+func TestSyncLocksUnderEveryRotation(t *testing.T) {
+	const frameLen, nFrames, lead = 128, 6, 38
+	for k := 0; k < 4; k++ {
+		for _, conj := range []bool{false, true} {
+			corr := QuarterTurns(k, conj)
+			samples, bodies := rawStream(nFrames, frameLen, lead, 7)
+			applyRotation(samples, corr, 2)
+			s, err := NewSynchronizer(SyncConfig{BitsPerSymbol: 2, FrameLen: frameLen})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := collect(t, s, samples, 501)
+			if len(got) != nFrames {
+				t.Fatalf("rot %d conj %v: %d frames, want %d", k, conj, len(got), nFrames)
+			}
+			for f, af := range got {
+				if af.Flywheel {
+					t.Fatalf("rot %d conj %v: frame %d on flywheel", k, conj, f)
+				}
+				for i := 0; i < frameLen; i += 2 {
+					ci, cq := af.Rot.Apply(af.Body[i], af.Body[i+1])
+					if ci != bodies[f][i] || cq != bodies[f][i+1] {
+						t.Fatalf("rot %d conj %v: frame %d symbol %d not derotated", k, conj, f, i/2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSyncLocksBPSKInverted(t *testing.T) {
+	const frameLen, nFrames, lead = 96, 5, 64
+	samples, bodies := rawStream(nFrames, frameLen, lead, 11)
+	for i := range samples {
+		samples[i] = -samples[i]
+	}
+	s, err := NewSynchronizer(SyncConfig{BitsPerSymbol: 1, FrameLen: frameLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, s, samples, len(samples))
+	if len(got) != nFrames {
+		t.Fatalf("%d frames, want %d", len(got), nFrames)
+	}
+	for f, af := range got {
+		if !af.Rot.NegI {
+			t.Fatalf("frame %d: inverted stream resolved as %+v", f, af.Rot)
+		}
+		for i := range af.Body {
+			ci, _ := af.Rot.Apply(af.Body[i], 0)
+			if ci != bodies[f][i] {
+				t.Fatalf("frame %d bit %d not re-inverted", f, i)
+			}
+		}
+	}
+}
+
+func TestSyncSlipCorrection(t *testing.T) {
+	const frameLen, nFrames, lead = 128, 8, 40
+	for _, slip := range []int{2, -3} {
+		samples, bodies := rawStream(nFrames, frameLen, lead, 19)
+		frameTotal := frame.ASMBits + frameLen
+		// The slip lands mid-body of frame 3.
+		p := lead + 3*frameTotal + frame.ASMBits + 50
+		if slip > 0 {
+			ins := make([]float64, slip)
+			samples = append(samples[:p], append(ins, samples[p:]...)...)
+		} else {
+			samples = append(samples[:p], samples[p-slip:]...)
+		}
+		s, err := NewSynchronizer(SyncConfig{BitsPerSymbol: 1, FrameLen: frameLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collect(t, s, samples, 333)
+		if len(got) != nFrames {
+			t.Fatalf("slip %d: %d frames, want %d", slip, len(got), nFrames)
+		}
+		var slips []Event
+		for _, e := range s.Events() {
+			if e.Kind == EventSlip {
+				slips = append(slips, e)
+			}
+		}
+		if len(slips) != 1 || slips[0].DeltaBits != slip {
+			t.Fatalf("slip %d: events %+v", slip, slips)
+		}
+		// Frames after the slip are re-aligned bit-exactly.
+		for f := 4; f < nFrames; f++ {
+			wantPos := int64(lead + f*frameTotal + slip)
+			if got[f].Pos != wantPos {
+				t.Fatalf("slip %d: frame %d at %d, want %d", slip, f, got[f].Pos, wantPos)
+			}
+			for i := range got[f].Body {
+				if got[f].Body[i] != bodies[f][i] {
+					t.Fatalf("slip %d: frame %d body diverges at %d", slip, f, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSyncFlywheelAndUnlock(t *testing.T) {
+	const frameLen, nFrames, lead = 128, 16, 40
+	samples, _ := rawStream(nFrames, frameLen, lead, 23)
+	frameTotal := frame.ASMBits + frameLen
+	// Erase eight consecutive markers (frames 4..11) under channel
+	// noise: more than the flywheel tolerates, so the tracker must
+	// unlock and re-acquire.
+	er := rng.New(99)
+	for f := 4; f <= 11; f++ {
+		start := lead + f*frameTotal
+		for i := 0; i < frame.ASMBits; i++ {
+			samples[start+i] = 0.7 * er.Normal()
+		}
+	}
+	s, err := NewSynchronizer(SyncConfig{BitsPerSymbol: 1, FrameLen: frameLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, s, samples, len(samples))
+	var flywheels, unlocks, locks int
+	for _, e := range s.Events() {
+		switch e.Kind {
+		case EventFlywheel:
+			flywheels++
+		case EventUnlock:
+			unlocks++
+		case EventLock:
+			locks++
+		}
+	}
+	if flywheels < 3 {
+		t.Fatalf("flywheel events %d, want ≥ 3", flywheels)
+	}
+	if unlocks < 1 || locks != unlocks+1 {
+		t.Fatalf("unlocks %d locks %d, want ≥ 1 and unlocks+1", unlocks, locks)
+	}
+	// The re-acquisition must deliver the post-gap frames.
+	last := got[len(got)-1]
+	if want := int64(lead + (nFrames-1)*frameTotal); last.Pos != want {
+		t.Fatalf("last frame at %d, want %d", last.Pos, want)
+	}
+}
+
+func TestSyncNoFalseLockOnNoise(t *testing.T) {
+	r := rng.New(31)
+	noise := make([]float64, 40000)
+	for i := range noise {
+		noise[i] = r.Normal()
+	}
+	s, err := NewSynchronizer(SyncConfig{BitsPerSymbol: 1, FrameLen: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, s, noise, 1000)
+	if len(got) != 0 || s.State() != Searching {
+		t.Fatalf("locked onto pure noise: %d frames, state %v", len(got), s.State())
+	}
+}

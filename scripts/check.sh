@@ -5,8 +5,10 @@
 # (the Monte-Carlo harness, the frame-packed batch and sharded
 # super-batch decoders it drives, the SEU protection layer shared by
 # every decoder, the cross-decoder fault oracle that exercises the
-# shard pool under injection, and the batching decode server with its
-# scheduler + worker pool under concurrent clients).
+# shard pool under injection, the batching decode server with its
+# scheduler + worker pool under concurrent clients, and the streaming
+# station front end whose group submissions fan out goroutine-per-frame
+# into that server).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -17,4 +19,4 @@ if command -v staticcheck >/dev/null 2>&1; then
     staticcheck ./...
 fi
 go test ./...
-go test -race ./internal/sim/... ./internal/batch/... ./internal/serve/... ./internal/protect/... ./internal/fault/...
+go test -race ./internal/sim/... ./internal/batch/... ./internal/serve/... ./internal/protect/... ./internal/fault/... ./internal/station/...
