@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-serve bench-fault bench-mitigate bench-parallel bench-multimode bench-station
+.PHONY: check build test bench bench-serve bench-fault bench-mitigate bench-parallel bench-multimode bench-station bench-fleet
 
 check:
 	sh scripts/check.sh
@@ -45,6 +45,16 @@ bench-multimode:
 # does not hold.
 bench-station:
 	go run ./cmd/ldpcstation -frames 40 -json BENCH_station.json
+
+# Fleet resilience benchmark: mixed-code load through the internal/fleet
+# router over in-process backends — scaling sweep N ∈ {1,2,4}, then a
+# chaos phase that abruptly kills one of four backends at 25% of the
+# run and restarts it at 50%, recording the kill/recovery timeline into
+# BENCH_fleet.json; fails unless the gates hold (zero corrupt frames,
+# ≤ 1 requeue per claimed frame, client p99 under the router deadline,
+# throughput recovered to ≥ 3/4 of the pre-kill rate).
+bench-fleet:
+	go run ./cmd/ldpcload -fleetbench -codes all -clients 8 -frames 600 -json BENCH_fleet.json
 
 # Parallel-scaling benchmark: the sharded wide-lane super-batch decoder
 # over the shards × superbatch × lanes matrix (frames/s, ns/frame,

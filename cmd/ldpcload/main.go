@@ -25,12 +25,22 @@
 // which is what `make bench-serve` and `make bench-multimode` use to
 // seed BENCH_serve.json and BENCH_multimode.json.
 //
+// With -fleet N the same load is routed through an internal/fleet
+// router fronting N in-process backend instances, and -fleetbench runs
+// the full fleet artifact: a scaling sweep over N in {1,2,4}, then a
+// chaos phase that abruptly kills one of four backends mid-run and
+// restarts it, recording the kill/recovery timeline and enforcing the
+// resilience gates (zero corrupt frames, at most one requeue per
+// claimed frame, client latency under the router deadline, throughput
+// recovered to at least 3/4 of the pre-kill rate — exit 1 otherwise).
+// `make bench-fleet` uses it to seed BENCH_fleet.json.
+//
 // Usage:
 //
-//	ldpcload [-addr 127.0.0.1:7070 | -inproc] [-codes c2] [-clients 16]
-//	         [-frames 1024] [-rate 0] [-ebn0 4.2] [-retries 3]
-//	         [-backoff 200us] [-seqbaseline] [-json out.json]
-//	         [-metrics http://127.0.0.1:7071/metrics]
+//	ldpcload [-addr 127.0.0.1:7070 | -inproc | -fleet N | -fleetbench]
+//	         [-codes c2] [-clients 16] [-frames 1024] [-rate 0]
+//	         [-ebn0 4.2] [-retries 3] [-backoff 200us] [-seqbaseline]
+//	         [-json out.json] [-metrics http://127.0.0.1:7071/metrics]
 package main
 
 import (
@@ -82,6 +92,8 @@ func main() {
 		backoff  = flag.Duration("backoff", 200*time.Microsecond, "initial retry backoff, doubled per attempt and jittered")
 		seqBase  = flag.Bool("seqbaseline", false, "first measure 1 sequential client and report the speedup")
 		stream   = flag.Bool("stream", false, "streaming-ingest smoke: run a slip/flip scenario through internal/station instead of TCP load")
+		fleetN   = flag.Int("fleet", 0, "route the load through an in-process fleet of N backends instead of one server (0 = off)")
+		fltBench = flag.Bool("fleetbench", false, "fleet artifact run: scaling sweep N in {1,2,4} plus a kill/restart chaos phase with resilience gates")
 		jsonPath = flag.String("json", "", "write the report as JSON to this file")
 		metrics  = flag.String("metrics", "", "fetch this /metrics URL into the report (remote servers)")
 	)
@@ -114,6 +126,23 @@ func main() {
 		if err := runStreamSmoke(traffic[0], *ebn0, *iters, *workers, *linger); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+
+	if *fltBench || *fleetN > 0 {
+		runFleetMain(reg, ids, traffic, fleetOpts{
+			n:        *fleetN,
+			bench:    *fltBench,
+			clients:  *clients,
+			frames:   *frames,
+			ebn0:     *ebn0,
+			iters:    *iters,
+			workers:  *workers,
+			linger:   *linger,
+			retries:  *retries,
+			backoff:  *backoff,
+			jsonPath: *jsonPath,
+		})
 		return
 	}
 

@@ -22,24 +22,33 @@
 //	             histogram and mean, p50/p90/p99 latency — plus the
 //	             v1/v2/unknown routing counters and the analytical
 //	             throughput model for the default code
-//	/healthz     200 while every built pool's sliding-window failure
-//	             rate is below threshold, 503 otherwise — the
-//	             load-balancer rotation signal
+//	/healthz     a serve.HealthSnapshot JSON body: 200 while every
+//	             built pool's sliding-window failure rate is below
+//	             threshold, 503 otherwise or while draining — the
+//	             load-balancer rotation signal, and exactly what a
+//	             fleet router's HTTPProbe consumes
 //	/debug/vars  the same snapshot through expvar
 //	/debug/pprof CPU/heap/goroutine profiling — only with -pprof, so a
 //	             production instance does not expose profiling by
 //	             default
+//
+// On SIGTERM or SIGINT the server drains gracefully: the listener
+// closes (new connections refused, /healthz flips to 503), in-flight
+// frames on open connections finish, metrics flush to the log, and the
+// process exits 0. Connections still open after -draintimeout — or a
+// second signal — are closed forcibly.
 //
 // Usage:
 //
 //	ldpcserver [-addr :7070] [-http :7071] [-codes all] [-preload]
 //	           [-workers N] [-shards 1] [-superbatch 1] [-lanes 1]
 //	           [-iters 18] [-linger 500us] [-queue 0] [-deadline 0]
-//	           [-earlystop] [-pprof]
+//	           [-draintimeout 15s] [-earlystop] [-pprof]
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -50,6 +59,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -77,6 +88,7 @@ func main() {
 		linger    = flag.Duration("linger", 500*time.Microsecond, "max wait to fill an 8-lane batch")
 		queue     = flag.Int("queue", 0, "frame queue depth before shedding (0 = default)")
 		deadline  = flag.Duration("deadline", 0, "per-request decode deadline, 0 disables")
+		drainT    = flag.Duration("draintimeout", 15*time.Second, "max wait for open connections after a drain signal")
 		hwindow   = flag.Duration("healthwindow", 0, "sliding window of the /healthz failure rate (0 = default 30s)")
 		earlyStop = flag.Bool("earlystop", true, "stop a frame's lanes once its syndrome is zero")
 		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof on the metrics listener")
@@ -123,13 +135,15 @@ func main() {
 	}
 	log.Printf("decode endpoint on %s", l.Addr())
 
+	ds := &drainServer{m: m, conns: make(map[net.Conn]struct{})}
+
 	if *httpAddr != "" {
 		expvar.Publish("ldpcserver", expvar.Func(func() any { return m.Snapshot() }))
 		// A private mux, not http.DefaultServeMux: nothing is exposed
 		// that is not registered here, so pprof stays off unless asked.
 		hmux := http.NewServeMux()
 		hmux.HandleFunc("/metrics", metricsHandler(m, *iters))
-		hmux.HandleFunc("/healthz", healthHandler(m))
+		hmux.HandleFunc("/healthz", healthHandler(ds))
 		hmux.Handle("/debug/vars", expvar.Handler())
 		if *pprofOn {
 			hmux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -150,18 +164,34 @@ func main() {
 		}()
 	}
 
-	// SIGINT/SIGTERM: stop accepting, drain accepted frames, report.
-	sig := make(chan os.Signal, 1)
+	// SIGINT/SIGTERM: graceful drain — stop accepting (and flip
+	// /healthz to 503 so a fleet router reroutes), let in-flight frames
+	// on open connections finish, then flush metrics and exit 0. Open
+	// connections outliving -draintimeout, or a second signal, are
+	// closed forcibly: a stuck client must not hold the process hostage.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
 	go func() {
 		<-sig
-		log.Print("draining...")
+		ds.draining.Store(true)
+		log.Printf("draining: refusing new connections, waiting up to %v for %d open", *drainT, ds.open())
 		l.Close()
+		select {
+		case <-drained:
+			return
+		case <-sig:
+			log.Print("second signal: closing open connections")
+		case <-time.After(*drainT):
+			log.Printf("drain timeout: closing %d open connections", ds.open())
+		}
+		ds.closeConns()
 	}()
 
-	if err := m.ServeListener(l); err != nil {
+	if err := ds.serve(l); err != nil {
 		log.Print(err)
 	}
+	close(drained)
 	m.Close()
 	snap := m.Snapshot()
 	for _, cs := range snap.Codes {
@@ -218,24 +248,71 @@ func metricsHandler(m *registry.Mux, iters int) http.HandlerFunc {
 	}
 }
 
-// healthHandler is the load-balancer probe: 200 while every built pool
-// is healthy, 503 once any pool's windowed decode-failure rate crosses
-// the threshold, with the per-code states in the JSON body either way.
-func healthHandler(m *registry.Mux) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		type codeHealth struct {
-			Name    string `json:"name"`
-			Healthy bool   `json:"healthy"`
-		}
-		snap := m.Snapshot()
-		out := struct {
-			Healthy bool         `json:"healthy"`
-			Codes   []codeHealth `json:"codes"`
-		}{Healthy: snap.Healthy}
-		for _, cs := range snap.Codes {
-			if cs.Built {
-				out.Codes = append(out.Codes, codeHealth{Name: cs.Name, Healthy: cs.Healthy})
+// drainServer is the accept loop with connection tracking: the set of
+// open decode connections is what a graceful drain waits on and what a
+// forced drain closes.
+type drainServer struct {
+	m        *registry.Mux
+	draining atomic.Bool
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+}
+
+func (ds *drainServer) serve(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
 			}
+			return err
+		}
+		ds.mu.Lock()
+		ds.conns[conn] = struct{}{}
+		ds.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				ds.mu.Lock()
+				delete(ds.conns, conn)
+				ds.mu.Unlock()
+			}()
+			_ = ds.m.ServeConn(conn)
+		}()
+	}
+}
+
+func (ds *drainServer) open() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return len(ds.conns)
+}
+
+func (ds *drainServer) closeConns() {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	for c := range ds.conns {
+		c.Close()
+	}
+}
+
+// healthHandler is the load-balancer probe and the fleet router's HTTP
+// probe body: a serve.HealthSnapshot aggregated across the built pools,
+// served 200 while healthy and 503 once any pool's windowed failure
+// rate crosses threshold — or the instance is draining, which is the
+// rotation-exit signal that turns a shutdown into a reroute instead of
+// an error burst.
+func healthHandler(ds *drainServer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		out := struct {
+			serve.HealthSnapshot
+			Draining bool `json:"draining"`
+		}{HealthSnapshot: ds.m.HealthSnapshot(), Draining: ds.draining.Load()}
+		if out.Draining {
+			out.Healthy = false
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if !out.Healthy {

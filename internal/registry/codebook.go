@@ -1,0 +1,61 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Codebook is a pool-free serve.Codebook over a catalog subset: the
+// frame geometry a routing tier needs to classify v1/v2 requests
+// without ever building a code or a decoder pool. A fleet router parses
+// each request just far enough to learn its code tag (the hash key),
+// then forwards the payload verbatim — the backends do the decoding, so
+// the router must not pay their construction cost.
+type Codebook struct {
+	def     ID
+	entries []*Entry
+	ids     []byte
+}
+
+// NewCodebook builds a codebook over the registry entries named by ids.
+// The registry's default code keeps its v1 (untagged) role whether or
+// not it is in the subset — matching Mux, an absent default simply
+// never length-matches, so v1 frames are rejected as malformed.
+func NewCodebook(reg *Registry, ids []ID) (*Codebook, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("registry: codebook with no codes")
+	}
+	cb := &Codebook{def: reg.DefaultID()}
+	seen := map[ID]bool{}
+	for _, id := range ids {
+		e, ok := reg.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("registry: codebook over unregistered id %d", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("registry: code %q in codebook twice", e.Name)
+		}
+		seen[id] = true
+		cb.entries = append(cb.entries, e)
+		cb.ids = append(cb.ids, byte(id))
+	}
+	sort.Slice(cb.entries, func(i, j int) bool { return cb.entries[i].ID < cb.entries[j].ID })
+	sort.Slice(cb.ids, func(i, j int) bool { return cb.ids[i] < cb.ids[j] })
+	return cb, nil
+}
+
+// DefaultID implements serve.Codebook.
+func (cb *Codebook) DefaultID() byte { return byte(cb.def) }
+
+// FrameLen implements serve.Codebook over the subset.
+func (cb *Codebook) FrameLen(id byte) (int, bool) {
+	for _, e := range cb.entries {
+		if byte(e.ID) == id {
+			return e.FrameLen, true
+		}
+	}
+	return 0, false
+}
+
+// IDs implements serve.Codebook: the advertised list.
+func (cb *Codebook) IDs() []byte { return cb.ids }

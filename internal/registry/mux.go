@@ -257,6 +257,47 @@ func (m *Mux) Healthy() bool {
 	return true
 }
 
+// HealthSnapshot aggregates the built pools' routable state into one
+// serve.HealthSnapshot — the instance-level view a /healthz handler
+// serves and a fleet poller consumes, so both read the same verdict.
+// Healthy requires every built pool healthy (matching Healthy());
+// Degraded reports any pool's tripped breaker (the router down-weights
+// the whole instance — frames hash by code, but pools share the
+// process's cores, so one degraded pool taxes them all); the load
+// counters sum across pools.
+func (m *Mux) HealthSnapshot() serve.HealthSnapshot {
+	agg := serve.HealthSnapshot{Healthy: true}
+	// The aggregate failure rate weights each pool by its sample count;
+	// with no samples the rate is zero, like a fresh instance's.
+	var failed float64
+	for _, ap := range m.pools.Active() {
+		hs := ap.Server.HealthSnapshot()
+		if !hs.Healthy {
+			agg.Healthy = false
+		}
+		if hs.Degraded {
+			agg.Degraded = true
+		}
+		agg.Samples += hs.Samples
+		agg.BreakerTrips += hs.BreakerTrips
+		agg.QueueDepth += hs.QueueDepth
+		agg.InFlight += hs.InFlight
+		agg.FramesIn += hs.FramesIn
+		agg.FramesDecoded += hs.FramesDecoded
+		agg.FramesShed += hs.FramesShed
+		agg.FramesDeadline += hs.FramesDeadline
+		agg.FramesCrashed += hs.FramesCrashed
+		failed += hs.FailureRate * float64(hs.Samples)
+		if hs.WindowSecs > agg.WindowSecs {
+			agg.WindowSecs = hs.WindowSecs
+		}
+	}
+	if agg.Samples > 0 {
+		agg.FailureRate = failed / float64(agg.Samples)
+	}
+	return agg
+}
+
 // CodeSnapshot is one served code's live state.
 type CodeSnapshot struct {
 	ID       byte   `json:"id"`

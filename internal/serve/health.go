@@ -114,6 +114,60 @@ type HealthStatus struct {
 	RecoverThreshold float64 `json:"recover_threshold"`
 }
 
+// HealthSnapshot is one instance's routable state in a single struct:
+// the hysteretic health verdict, the circuit-breaker state, and the
+// load counters a front tier folds into routing weights. It is the one
+// source of truth shared by the local /healthz handler and a fleet
+// router's health poller — both see exactly the same verdict at the
+// same instant, so an instance can never look healthy to its own
+// endpoint while a router drains it (or vice versa).
+type HealthSnapshot struct {
+	// Healthy is the hysteretic /healthz verdict (trip/recover band
+	// applied); an unhealthy instance should be drained, not dropped.
+	Healthy     bool    `json:"healthy"`
+	FailureRate float64 `json:"failure_rate"`
+	Samples     int64   `json:"samples"`
+	WindowSecs  int     `json:"window_s"`
+	// Degraded reports a tripped circuit breaker: the instance still
+	// answers but at the reduced iteration budget — a router should
+	// down-weight it, not drain it.
+	Degraded     bool  `json:"degraded"`
+	BreakerTrips int64 `json:"breaker_trips"`
+	// QueueDepth and InFlight are the instantaneous load signals
+	// (frames accepted but undispatched, and frames inside workers).
+	QueueDepth int64 `json:"queue_depth"`
+	InFlight   int64 `json:"in_flight"`
+	// Window counters: cumulative totals a poller can difference to get
+	// rates without scraping the full /metrics snapshot.
+	FramesIn       int64 `json:"frames_in"`
+	FramesDecoded  int64 `json:"frames_decoded"`
+	FramesShed     int64 `json:"frames_shed"`
+	FramesDeadline int64 `json:"frames_deadline"`
+	FramesCrashed  int64 `json:"frames_crashed"`
+}
+
+// HealthSnapshot assembles the instance's routable state. Calling it is
+// an observation point for the hysteretic health transition, exactly
+// like a /healthz poll.
+func (s *Server) HealthSnapshot() HealthSnapshot {
+	hs := s.health.Status()
+	return HealthSnapshot{
+		Healthy:        hs.Healthy,
+		FailureRate:    hs.FailureRate,
+		Samples:        hs.Samples,
+		WindowSecs:     hs.WindowSecs,
+		Degraded:       s.breaker.Degraded(),
+		BreakerTrips:   s.breaker.Trips(),
+		QueueDepth:     s.metrics.queued.Load(),
+		InFlight:       s.metrics.pending.Load(),
+		FramesIn:       s.metrics.framesIn.Load(),
+		FramesDecoded:  s.metrics.framesDecoded.Load(),
+		FramesShed:     s.metrics.framesShed.Load(),
+		FramesDeadline: s.metrics.framesDeadline.Load(),
+		FramesCrashed:  s.metrics.framesCrashed.Load(),
+	}
+}
+
 // Status evaluates the window now and applies the hysteretic state
 // transition; each /healthz poll is an observation point.
 func (h *Health) Status() HealthStatus {

@@ -172,6 +172,22 @@ func ParseRequest(payload []byte, cb Codebook) (id byte, llrs []byte, err error)
 	return id, payload[2:], nil
 }
 
+// WriteRaw sends one already-assembled payload verbatim under a length
+// prefix — the forwarding primitive of a routing tier, which relays
+// request and response payloads between client and backend without
+// re-encoding them.
+func WriteRaw(w io.Writer, payload []byte) error {
+	return writeMessage(w, payload)
+}
+
+// ReadRawResponse reads one length-prefixed response payload without
+// interpreting it (the router relays it to the client verbatim; the
+// status byte is payload[0]). io.EOF at a message boundary is the clean
+// end of the stream.
+func ReadRawResponse(r io.Reader, buf []byte) ([]byte, error) {
+	return readMessage(r, buf)
+}
+
 // LLRsFromWire widens raw wire LLR bytes (int8) into dst. Lengths must
 // match.
 func LLRsFromWire(dst []int16, raw []byte) error {

@@ -6,9 +6,10 @@
 # super-batch decoders it drives, the SEU protection layer shared by
 # every decoder, the cross-decoder fault oracle that exercises the
 # shard pool under injection, the batching decode server with its
-# scheduler + worker pool under concurrent clients, and the streaming
+# scheduler + worker pool under concurrent clients, the streaming
 # station front end whose group submissions fan out goroutine-per-frame
-# into that server).
+# into that server, and the fleet routing tier whose hedges, requeues
+# and health-driven ring rebuilds race against backend death).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -19,4 +20,4 @@ if command -v staticcheck >/dev/null 2>&1; then
     staticcheck ./...
 fi
 go test ./...
-go test -race ./internal/sim/... ./internal/batch/... ./internal/serve/... ./internal/protect/... ./internal/fault/... ./internal/station/...
+go test -race ./internal/sim/... ./internal/batch/... ./internal/serve/... ./internal/protect/... ./internal/fault/... ./internal/station/... ./internal/fleet/...
