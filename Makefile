@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-serve bench-fault bench-mitigate bench-parallel bench-multimode bench-station bench-fleet
+.PHONY: check build test bench bench-serve bench-fault bench-mitigate bench-parallel bench-multimode bench-station bench-fleet bench-kernels
 
 check:
 	sh scripts/check.sh
@@ -64,3 +64,12 @@ bench-fleet:
 # per decode at superbatch 8).
 bench-parallel:
 	go run ./cmd/ldpcthroughput -parallel -shards 1,2,4,8 -superbatches 1,4,8 -lanes 1,2,4,8 -mintime 400ms -json BENCH_parallel.json
+
+# Kernel A/B benchmark: indexed versus blocked (circulant-run) decode
+# kernels over the lanes × superbatch grid at one shard on the C2 code
+# — same frames, same arithmetic, only the memory layout of the CN/BN
+# hot path differs — with steady-state allocations per call (must be 0
+# for both), seeded into BENCH_kernels.json in the normalized
+# bench/schema.go record form.
+bench-kernels:
+	go run ./cmd/ldpcthroughput -kernels -superbatches 1,8 -lanes 1,2,4,8 -mintime 400ms -json BENCH_kernels.json

@@ -452,20 +452,29 @@ func BenchmarkBatchDecode8(b *testing.B) {
 // BenchmarkParallelDecode measures the sharded wide-lane super-batch
 // decoder — the processing block scaled across P cores (DESIGN.md §10)
 // with W-word kernel strips (DESIGN.md §11) — over a
-// (shards × superbatch × lanes) grid. Every cell is bit-identical to
-// the single-word decoder of BenchmarkBatchDecode8; only the
-// partitioning and batch width change, so frames_per_sec isolates the
-// scaling.
+// (shards × superbatch × lanes × kernel) grid. Every cell is
+// bit-identical to the single-word decoder of BenchmarkBatchDecode8;
+// only the partitioning, batch width and memory layout change, so
+// frames_per_sec isolates the scaling. The kernel dimension pins the
+// indexed versus circulant-blocked hot path (DESIGN.md §15) on the
+// widest strips, where the layout matters most.
 func BenchmarkParallelDecode(b *testing.B) {
 	c := ccsdsCode(b)
 	p := batchBenchParams()
-	for _, g := range []struct{ shards, super, lanes int }{
-		{1, 1, 1}, {2, 1, 1}, {4, 1, 1}, {1, 8, 1}, {4, 8, 1},
-		{1, 1, 2}, {1, 1, 4}, {1, 1, 8}, {1, 8, 8}, {4, 8, 8},
+	for _, g := range []struct {
+		shards, super, lanes int
+		kernel               batch.Kernel
+	}{
+		{1, 1, 1, batch.KernelAuto}, {2, 1, 1, batch.KernelAuto}, {4, 1, 1, batch.KernelAuto},
+		{1, 8, 1, batch.KernelAuto}, {4, 8, 1, batch.KernelAuto},
+		{1, 1, 2, batch.KernelAuto}, {1, 1, 4, batch.KernelAuto}, {1, 1, 8, batch.KernelAuto},
+		{1, 8, 8, batch.KernelAuto}, {4, 8, 8, batch.KernelAuto},
+		{1, 1, 8, batch.KernelIndexed}, {1, 1, 8, batch.KernelBlocked},
+		{1, 8, 8, batch.KernelIndexed}, {1, 8, 8, batch.KernelBlocked},
 	} {
-		b.Run(fmt.Sprintf("shards=%d,superbatch=%d,lanes=%d", g.shards, g.super, g.lanes), func(b *testing.B) {
+		b.Run(fmt.Sprintf("shards=%d,superbatch=%d,lanes=%d,kernel=%s", g.shards, g.super, g.lanes, g.kernel), func(b *testing.B) {
 			d, err := batch.NewParallelGraph(sharedGraph(b, c), p, batch.ParallelConfig{
-				Shards: g.shards, SuperBatch: g.super, LaneWidth: g.lanes,
+				Shards: g.shards, SuperBatch: g.super, LaneWidth: g.lanes, Kernel: g.kernel,
 			})
 			if err != nil {
 				b.Fatal(err)

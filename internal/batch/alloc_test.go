@@ -68,26 +68,28 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 		}},
 	}
 	for _, lw := range LaneWidths {
-		pd, err := NewParallelGraph(g, p, ParallelConfig{Shards: 4, SuperBatch: 4, LaneWidth: lw})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer pd.Close()
-		nfp := pd.Capacity() - 3 // partial tail word stays on the hot path
-		qsp := make([][]int16, nfp)
-		resp := make([]ldpc.Result, nfp)
-		for f := range qsp {
-			qsp[f] = noisyQ(t, c, p.Format, 3.0, uint64(100+f))
-			resp[f].Bits = bitvec.New(c.N)
-		}
-		cases = append(cases, struct {
-			name string
-			run  func()
-		}{fmt.Sprintf("sharded/L%d", lw), func() {
-			if err := pd.DecodeQInto(resp, qsp); err != nil {
+		for _, kern := range []Kernel{KernelIndexed, KernelBlocked} {
+			pd, err := NewParallelGraph(g, p, ParallelConfig{Shards: 4, SuperBatch: 4, LaneWidth: lw, Kernel: kern})
+			if err != nil {
 				t.Fatal(err)
 			}
-		}})
+			defer pd.Close()
+			nfp := pd.Capacity() - 3 // partial tail word stays on the hot path
+			qsp := make([][]int16, nfp)
+			resp := make([]ldpc.Result, nfp)
+			for f := range qsp {
+				qsp[f] = noisyQ(t, c, p.Format, 3.0, uint64(100+f))
+				resp[f].Bits = bitvec.New(c.N)
+			}
+			cases = append(cases, struct {
+				name string
+				run  func()
+			}{fmt.Sprintf("sharded/L%d/%s", lw, kern), func() {
+				if err := pd.DecodeQInto(resp, qsp); err != nil {
+					t.Fatal(err)
+				}
+			}})
+		}
 	}
 
 	for _, tc := range cases {

@@ -22,6 +22,11 @@ type Decoder struct {
 	g *ldpc.Graph
 	p fixed.Params
 
+	// kern is the strip-kernel set bound at construction; kind records
+	// the resolved Kernel choice for introspection.
+	kern stripKernels
+	kind Kernel
+
 	// st holds the packed per-lane state — one uint64 holds the int8
 	// values of all Lanes frames (lane f = byte f) — in the kernel view
 	// shared with Parallel, at stride tw = 1. st.done[0] is the live
@@ -55,20 +60,40 @@ func NewDecoder(c *code.Code, p fixed.Params) (*Decoder, error) {
 // format does not (which is exactly why the paper's high-speed decoder
 // narrows its messages to 5 bits before packing 8 per word).
 func NewDecoderGraph(g *ldpc.Graph, p fixed.Params) (*Decoder, error) {
+	return NewDecoderGraphKernel(g, p, KernelAuto)
+}
+
+// NewDecoderGraphKernel is NewDecoderGraph with an explicit kernel
+// choice. KernelAuto resolves to the blocked circulant-run kernels when
+// the graph is quasi-cyclic, the indexed kernels otherwise; both are
+// bit-exact against each other and against internal/fixed.
+func NewDecoderGraphKernel(g *ldpc.Graph, p fixed.Params, k Kernel) (*Decoder, error) {
 	if err := validatePacked(g, p); err != nil {
+		return nil, err
+	}
+	kind, err := resolveKernel(g, 1, k)
+	if err != nil {
 		return nil, err
 	}
 	d := &Decoder{
 		g: g, p: p,
-		q16: make([]int16, g.N),
+		kern: kernelsFor(1, kind),
+		kind: kind,
+		q16:  make([]int16, g.N),
 	}
 	d.st = newStripState(g, p, 1, 1)
 	d.st.done = d.doneBuf[:]
+	if kind == KernelBlocked {
+		d.st.buildBlockedOffsets()
+	}
 	for f := 0; f < Lanes; f++ {
 		d.hard[f] = bitvec.New(g.N)
 	}
 	return d, nil
 }
+
+// Kernel returns the resolved kernel the decoder runs.
+func (d *Decoder) Kernel() Kernel { return d.kind }
 
 // newStripState allocates the packed message state for tw words per
 // bank index, with nsw live words (Decoder: tw = nsw = 1). The done
@@ -168,18 +193,30 @@ func (m *packedMem) Holds(ln int) bool {
 	return ln >= 0 && ln < m.d.curNF && m.d.st.done[0]&(0xFF<<(8*uint(ln))) == 0
 }
 
+// word maps a canonical edge index to its packed word: identity on the
+// indexed layout, the circulant-run slot on the blocked one — so fault
+// injectors keep addressing canonical edges and produce identical
+// trajectories regardless of kernel.
+func (m *packedMem) word(edge int) int {
+	if off := m.d.st.cnOff; off != nil {
+		return int(off[edge])
+	}
+	return edge
+}
+
 func (m *packedMem) Get(ln, edge int) int16 {
 	if !m.Holds(ln) {
 		return 0
 	}
-	return int16(lane(m.msgs[edge], ln))
+	return int16(lane(m.msgs[m.word(edge)], ln))
 }
 
 func (m *packedMem) Set(ln, edge int, v int16) {
 	if !m.Holds(ln) {
 		return
 	}
-	m.msgs[edge] = putLane(m.msgs[edge], ln, int8(v))
+	w := m.word(edge)
+	m.msgs[w] = putLane(m.msgs[w], ln, int8(v))
 }
 
 // SetInjector installs (or, with nil, removes) a fault injector that
@@ -318,7 +355,7 @@ func (d *Decoder) decodeInto(res []ldpc.Result) error {
 		}
 	}
 	g := d.g
-	initEdges(&d.st, 0, g.E)
+	d.kern.init(&d.st, 0, g.E)
 	// done holds 0xFF in every frozen lane. Tail lanes beyond the batch
 	// are frozen from the start; their state is all zero.
 	var done uint64
@@ -389,7 +426,7 @@ func (d *Decoder) decodeInto(res []ldpc.Result) error {
 // their previous messages, which freezes the whole lane trajectory (the
 // bit-node pass is a pure function of cv and the channel word).
 func (d *Decoder) cnPhase() {
-	cnStrips[[1]uint64](&d.st, 0, d.g.M)
+	d.kern.cn(&d.st, 0, d.g.M)
 }
 
 // bnPhase runs the packed bit-node update (paper equation (3)): the
@@ -397,7 +434,7 @@ func (d *Decoder) cnPhase() {
 // outgoing message is the posterior minus the edge's own input,
 // saturated into the format range.
 func (d *Decoder) bnPhase() {
-	bnStrips[[1]uint64](&d.st, 0, d.g.N)
+	d.kern.bn(&d.st, 0, d.g.N)
 }
 
 // unsatLanes evaluates all parity checks on the packed posterior signs
@@ -405,7 +442,7 @@ func (d *Decoder) bnPhase() {
 // It exits early once every lane not frozen in st.done is known
 // unsatisfied.
 func (d *Decoder) unsatLanes() uint64 {
-	unsatStrips[[1]uint64](&d.st, 0, d.g.M, d.unsatBuf[:])
+	d.kern.unsat(&d.st, 0, d.g.M, d.unsatBuf[:])
 	return boolMask8(d.unsatBuf[0])
 }
 

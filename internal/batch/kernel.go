@@ -1,0 +1,86 @@
+package batch
+
+import (
+	"fmt"
+	"math"
+
+	"ccsdsldpc/internal/ldpc"
+)
+
+// Kernel selects the memory layout and addressing scheme of the strip
+// decode kernels. Both kernels compute identical arithmetic in an
+// identical order — they are bit-exact against each other and against
+// internal/fixed — and differ only in where each edge's packed message
+// words live and how the inner loops find them.
+type Kernel uint8
+
+const (
+	// KernelAuto picks KernelBlocked when the graph carries a circulant
+	// run layout (and the offsets fit int32), KernelIndexed otherwise.
+	KernelAuto Kernel = iota
+	// KernelIndexed is the classic layout: edge e's words at [e·tw,
+	// e·tw+tw), inner loops walking the per-node edge-index slices of
+	// ldpc.Graph — one indirection and one e·tw multiply per edge.
+	KernelIndexed
+	// KernelBlocked is the circulant-run layout: edges stored run-major
+	// (ldpc.QCLayout), adjacency flattened into CSR-style word-offset
+	// arrays computed once at construction, so the inner loops are
+	// offset lookups over sequential memory streams. Requires a
+	// quasi-cyclic graph.
+	KernelBlocked
+)
+
+// String returns the flag spelling of the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelIndexed:
+		return "indexed"
+	case KernelBlocked:
+		return "blocked"
+	}
+	return fmt.Sprintf("kernel(%d)", uint8(k))
+}
+
+// ParseKernel parses a -kernel flag value.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "auto", "":
+		return KernelAuto, nil
+	case "indexed":
+		return KernelIndexed, nil
+	case "blocked":
+		return KernelBlocked, nil
+	}
+	return 0, fmt.Errorf("batch: unknown kernel %q (want auto, indexed or blocked)", s)
+}
+
+// blockedFits reports whether the blocked layout's precomputed word
+// offsets fit the int32 offset tables at bank stride tw.
+func blockedFits(g *ldpc.Graph, tw int) bool {
+	return g.QC != nil && int64(g.E)*int64(tw) <= math.MaxInt32
+}
+
+// resolveKernel maps a requested kernel to the one a decoder will run
+// on this graph at bank stride tw.
+func resolveKernel(g *ldpc.Graph, tw int, k Kernel) (Kernel, error) {
+	switch k {
+	case KernelAuto:
+		if blockedFits(g, tw) {
+			return KernelBlocked, nil
+		}
+		return KernelIndexed, nil
+	case KernelIndexed:
+		return KernelIndexed, nil
+	case KernelBlocked:
+		if g.QC == nil {
+			return 0, fmt.Errorf("batch: blocked kernels need a quasi-cyclic graph (code has no circulant run layout)")
+		}
+		if !blockedFits(g, tw) {
+			return 0, fmt.Errorf("batch: blocked word offsets overflow int32 (%d edges × %d words)", g.E, tw)
+		}
+		return KernelBlocked, nil
+	}
+	return 0, fmt.Errorf("batch: invalid kernel %d", k)
+}

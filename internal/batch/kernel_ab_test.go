@@ -1,0 +1,128 @@
+// Kernel A/B bit-exactness: the blocked (circulant-run) kernels must
+// produce byte-for-byte the results of the indexed kernels on every
+// registry code — same hard decisions, iteration counts and convergence
+// flags for the same frames. The package is external so it can reach
+// the registry (which itself builds on batch).
+package batch_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ccsdsldpc/internal/batch"
+	"ccsdsldpc/internal/bitvec"
+	"ccsdsldpc/internal/fixed"
+	"ccsdsldpc/internal/ldpc"
+	"ccsdsldpc/internal/registry"
+	"ccsdsldpc/internal/rng"
+)
+
+// abFrames draws nf quantized LLR frames in the format's range, with a
+// sprinkling of zero (erased) positions standing in for punctured bits.
+func abFrames(nf, n int, max int, seed uint64) [][]int16 {
+	qs := make([][]int16, nf)
+	for f := range qs {
+		r := rng.New(seed + uint64(f)*0x9e3779b97f4a7c15)
+		q := make([]int16, n)
+		for j := range q {
+			q[j] = int16(r.Intn(2*max+1) - max)
+			if r.Intn(64) == 0 {
+				q[j] = 0
+			}
+		}
+		qs[f] = q
+	}
+	return qs
+}
+
+func TestBlockedMatchesIndexedRegistry(t *testing.T) {
+	p := fixed.DefaultHighSpeedParams()
+	geoms := []batch.ParallelConfig{
+		{Shards: 1, SuperBatch: 1, LaneWidth: 4},
+		{Shards: 3, SuperBatch: 2, LaneWidth: 8},
+	}
+	for _, name := range registry.Default().Names() {
+		e, _ := registry.Default().ByName(name)
+		built, err := e.Build()
+		if err != nil {
+			t.Fatal(name, err)
+		}
+		g := ldpc.NewGraph(built.Code)
+		if g.QC == nil {
+			t.Fatalf("%s: no QC layout, nothing to A/B", name)
+		}
+		for gi, geom := range geoms {
+			t.Run(fmt.Sprintf("%s/S%dW%dL%d", name, geom.Shards, geom.SuperBatch, geom.LaneWidth), func(t *testing.T) {
+				decode := func(kern batch.Kernel) []ldpc.Result {
+					cfg := geom
+					cfg.Kernel = kern
+					d, err := batch.NewParallelGraph(g, p, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer d.Close()
+					if got := d.Kernel(); got != kern {
+						t.Fatalf("decoder resolved kernel %v, want %v", got, kern)
+					}
+					nf := d.Capacity()
+					qs := abFrames(nf, g.N, int(p.Format.Max()), uint64(1000*gi+1))
+					res := make([]ldpc.Result, nf)
+					for f := range res {
+						res[f].Bits = bitvec.New(g.N)
+					}
+					if err := d.DecodeQInto(res, qs); err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				ind := decode(batch.KernelIndexed)
+				blk := decode(batch.KernelBlocked)
+				for f := range ind {
+					if !ind[f].Bits.Equal(blk[f].Bits) {
+						t.Fatalf("frame %d: hard decisions diverge", f)
+					}
+					if ind[f].Iterations != blk[f].Iterations || ind[f].Converged != blk[f].Converged {
+						t.Fatalf("frame %d: indexed (it=%d conv=%v) vs blocked (it=%d conv=%v)",
+							f, ind[f].Iterations, ind[f].Converged, blk[f].Iterations, blk[f].Converged)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestKernelAutoResolution pins what Auto means: blocked on QC graphs,
+// indexed on graphs without a circulant layout.
+func TestKernelAutoResolution(t *testing.T) {
+	e, _ := registry.Default().ByName("c2")
+	built, err := e.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ldpc.NewGraph(built.Code)
+	p := fixed.DefaultHighSpeedParams()
+	d, err := batch.NewParallelGraph(g, p, batch.ParallelConfig{Shards: 1, SuperBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Kernel(); got != batch.KernelBlocked {
+		t.Fatalf("auto on QC graph resolved %v, want blocked", got)
+	}
+	d.Close()
+
+	bare := *g
+	bare.QC = nil
+	d, err = batch.NewParallelGraph(&bare, p, batch.ParallelConfig{Shards: 1, SuperBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Kernel(); got != batch.KernelIndexed {
+		t.Fatalf("auto without QC resolved %v, want indexed", got)
+	}
+	d.Close()
+
+	// Forcing blocked on a non-QC graph must fail loudly, not fall back.
+	if _, err := batch.NewParallelGraph(&bare, p, batch.ParallelConfig{Shards: 1, SuperBatch: 1, Kernel: batch.KernelBlocked}); err == nil {
+		t.Fatal("blocked kernel on a non-QC graph did not error")
+	}
+}

@@ -48,10 +48,15 @@ const MaxFrames = MaxSuperBatch * MaxLaneWidth * Lanes
 // Shards plays the role of the parallelism degree of the processing
 // block, LaneWidth the width of one processing unit's datapath, and
 // SuperBatch the depth of the frame buffer feeding it.
+// Kernel selects the message memory layout (see the Kernel type):
+// KernelAuto (the zero value) runs the blocked circulant-run kernels
+// on quasi-cyclic graphs and the indexed kernels otherwise; both are
+// bit-exact against each other and against fixed.Decoder.
 type ParallelConfig struct {
-	Shards     int // phase worker goroutines (default 1)
-	SuperBatch int // strips per decode call (default 1)
-	LaneWidth  int // packed words per strip: 1, 2, 4 or 8 (default 1)
+	Shards     int    // phase worker goroutines (default 1)
+	SuperBatch int    // strips per decode call (default 1)
+	LaneWidth  int    // packed words per strip: 1, 2, 4 or 8 (default 1)
+	Kernel     Kernel // kernel layout (default KernelAuto)
 }
 
 func (cfg *ParallelConfig) setDefaults() error {
@@ -102,10 +107,12 @@ type Parallel struct {
 
 	// st holds the packed state, bank-major: the tw = SuperBatch ×
 	// LaneWidth words of edge e (or bit node j) are consecutive at
-	// [e*tw : e*tw+tw). kern is the strip-kernel set bound to
-	// cfg.LaneWidth at construction.
+	// [e*tw : e*tw+tw) — or at the circulant-run slot times tw under the
+	// blocked kernels. kern is the strip-kernel set bound to
+	// (cfg.LaneWidth, kind) at construction.
 	st   stripState
 	kern stripKernels
+	kind Kernel
 
 	// Deterministic shard partitions: shard s owns check nodes
 	// [cnLo[s], cnHi[s]) and bit nodes [vnLo[s], vnHi[s]), both
@@ -154,9 +161,14 @@ func NewParallelGraph(g *ldpc.Graph, p fixed.Params, cfg ParallelConfig) (*Paral
 		return nil, err
 	}
 	tw := cfg.words()
+	kind, err := resolveKernel(g, tw, cfg.Kernel)
+	if err != nil {
+		return nil, err
+	}
 	d := &Parallel{
 		g: g, p: p, cfg: cfg,
-		kern:  kernelsFor(cfg.LaneWidth),
+		kern:  kernelsFor(cfg.LaneWidth, kind),
+		kind:  kind,
 		hard:  make([]*bitvec.Vector, tw*Lanes),
 		q16:   make([]int16, g.N),
 		iters: make([]int, tw*Lanes),
@@ -164,6 +176,9 @@ func NewParallelGraph(g *ldpc.Graph, p fixed.Params, cfg ParallelConfig) (*Paral
 	}
 	d.st = newStripState(g, p, tw, tw)
 	d.st.done = make([]uint64, tw)
+	if kind == KernelBlocked {
+		d.st.buildBlockedOffsets()
+	}
 	for f := range d.hard {
 		d.hard[f] = bitvec.New(g.N)
 	}
@@ -207,6 +222,10 @@ func partitionByEdges(shards, n int, degree func(int) int) (lo, hi []int32) {
 // Config returns the shard/super-batch configuration (defaults
 // resolved).
 func (d *Parallel) Config() ParallelConfig { return d.cfg }
+
+// Kernel returns the resolved kernel the decoder runs (never
+// KernelAuto).
+func (d *Parallel) Kernel() Kernel { return d.kind }
 
 // Params returns the decoder's fixed-point configuration.
 func (d *Parallel) Params() fixed.Params { return d.p }
@@ -271,18 +290,29 @@ func (m *superMem) Holds(ln int) bool {
 	return d.st.done[w]&(0xFF<<(8*uint(f))) == 0
 }
 
+// base maps a canonical edge index to its first packed word: e·tw on
+// the indexed layout, the precomputed circulant-run offset on the
+// blocked one — injectors keep addressing canonical edges and produce
+// identical fault trajectories regardless of kernel.
+func (m *superMem) base(edge int) int {
+	if off := m.d.st.cnOff; off != nil {
+		return int(off[edge])
+	}
+	return edge * m.d.st.tw
+}
+
 func (m *superMem) Get(ln, edge int) int16 {
 	if !m.Holds(ln) {
 		return 0
 	}
-	return int16(lane(m.msgs[edge*m.d.st.tw+ln/Lanes], ln%Lanes))
+	return int16(lane(m.msgs[m.base(edge)+ln/Lanes], ln%Lanes))
 }
 
 func (m *superMem) Set(ln, edge int, v int16) {
 	if !m.Holds(ln) {
 		return
 	}
-	i := edge*m.d.st.tw + ln/Lanes
+	i := m.base(edge) + ln/Lanes
 	m.msgs[i] = putLane(m.msgs[i], ln%Lanes, int8(v))
 }
 
@@ -543,7 +573,7 @@ func (d *Parallel) decodeInto(res []ldpc.Result) error {
 // range owned by shard s (the contiguous edges of its check range).
 func (d *Parallel) initRange(s int) {
 	g := d.g
-	initEdges(&d.st, int(g.CNOff[d.cnLo[s]]), int(g.CNOff[d.cnHi[s]]))
+	d.kern.init(&d.st, int(g.CNOff[d.cnLo[s]]), int(g.CNOff[d.cnHi[s]]))
 }
 
 // cnRange runs the packed check-node update on shard s's check range:

@@ -98,6 +98,34 @@ func eqMask8(a, b uint64) uint64 {
 	return boolMask8(sub8(x, laneLSB) &^ x)
 }
 
+// The *Pos8 helpers below compute the same lane masks as their general
+// counterparts for operands whose lanes all have bit 7 clear — the
+// decoder's magnitudes (|value| ≤ 127, no −128 inputs) and edge
+// indices (< 128 by validatePacked). With bit 7 free, a plain
+// word-wide subtract cannot borrow across a lane boundary — per lane
+// the minuend (0x80|a) ≥ 0x80 exceeds the subtrahend b ≤ 0x7F — so the
+// lane-isolating repair work of sub8 drops out: about half the
+// operations of the general forms. swar_test.go proves equality
+// against the general helpers over every byte pair.
+
+// ltPos8 returns 0xFF in the lanes where a < b, both bit-7-clear: bit
+// 7 of (0x80|a) − b is clear exactly when a < b.
+func ltPos8(a, b uint64) uint64 {
+	return (laneMSB &^ ((a | laneMSB) - b)) >> 7 * 0xFF
+}
+
+// minPos8 returns the lane-wise minimum of bit-7-clear lanes.
+func minPos8(a, b uint64) uint64 {
+	return blend8(b, a, ltPos8(a, b))
+}
+
+// eqPos8 returns 0xFF in the lanes where a == b, both bit-7-clear: bit
+// 7 of (0x80|(a^b)) − 1 is clear exactly when a == b.
+func eqPos8(a, b uint64) uint64 {
+	x := a ^ b
+	return (laneMSB &^ ((x | laneMSB) - laneLSB)) >> 7 * 0xFF
+}
+
 // broadcast8 fills every lane with the low byte of v.
 func broadcast8(v uint8) uint64 {
 	return uint64(v) * laneLSB

@@ -181,3 +181,57 @@ func TestBlendBroadcast8(t *testing.T) {
 		t.Fatalf("laneMSB has %d bits", onesCount64(laneMSB))
 	}
 }
+
+// TestPos8MatchGeneralExhaustive proves the bit-7-clear fast helpers
+// equal to their general counterparts over every byte pair (a, b) in
+// 0..127 × 0..127 — the entire precondition domain — by packing eight
+// consecutive b values per word against a broadcast a.
+func TestPos8MatchGeneralExhaustive(t *testing.T) {
+	for a := 0; a < 128; a++ {
+		wa := broadcast8(uint8(a))
+		for b0 := 0; b0 < 128; b0 += Lanes {
+			var bl [Lanes]int8
+			for f := range bl {
+				bl[f] = int8(b0 + f)
+			}
+			wb := pack8(bl)
+			if got, want := ltPos8(wa, wb), ltMask8(wa, wb); got != want {
+				t.Fatalf("ltPos8(%d, %d..%d) = %016x, ltMask8 = %016x", a, b0, b0+7, got, want)
+			}
+			if got, want := ltPos8(wb, wa), ltMask8(wb, wa); got != want {
+				t.Fatalf("ltPos8(%d..%d, %d) = %016x, ltMask8 = %016x", b0, b0+7, a, got, want)
+			}
+			if got, want := minPos8(wa, wb), min8(wa, wb); got != want {
+				t.Fatalf("minPos8(%d, %d..%d) = %016x, min8 = %016x", a, b0, b0+7, got, want)
+			}
+			if got, want := minPos8(wb, wa), min8(wb, wa); got != want {
+				t.Fatalf("minPos8(%d..%d, %d) = %016x, min8 = %016x", b0, b0+7, a, got, want)
+			}
+			if got, want := eqPos8(wa, wb), eqMask8(wa, wb); got != want {
+				t.Fatalf("eqPos8(%d, %d..%d) = %016x, eqMask8 = %016x", a, b0, b0+7, got, want)
+			}
+		}
+	}
+}
+
+// TestCheapCondNegate proves the strength-reduced conditional negate
+// used by the blocked kernels — t := x & laneMSB; n := t>>7; s := n*0xFF;
+// (x^s)+n — equal to abs8 for every int8 value except −128, which the
+// decoder never produces (validatePacked headroom bound).
+func TestCheapCondNegate(t *testing.T) {
+	for v := -127; v <= 127; v++ {
+		x := broadcast8(uint8(int8(v)))
+		tt := x & laneMSB
+		n := tt >> 7
+		s := n * 0xFF
+		if got, want := (x^s)+n, abs8(x); got != want {
+			t.Fatalf("cheap |%d| = %016x, abs8 = %016x", v, got, want)
+		}
+		// Re-sign round trip: magnitude back through (m^s)+n must
+		// reproduce x (the blocked BN output step).
+		m := (x ^ s) + n
+		if got := (m ^ s) + n; got != x {
+			t.Fatalf("re-sign of %d = %016x, want %016x", v, got, x)
+		}
+	}
+}

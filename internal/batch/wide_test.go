@@ -147,7 +147,7 @@ func TestEightWordBindingAliasesFour(t *testing.T) {
 		}
 		defer pd.Close()
 		if force8 {
-			pd.kern = bindKernels[[8]uint64]()
+			pd.kern = bindKernels[[8]uint64](pd.Kernel())
 		}
 		res := make([]ldpc.Result, nf)
 		for f := range res {

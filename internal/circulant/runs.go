@@ -1,0 +1,77 @@
+package circulant
+
+import "fmt"
+
+// A Run is one circulant first-row offset of a block-circulant matrix,
+// lifted to the b edges it contributes: the ones of a b×b circulant
+// with a single offset (shift) form a cyclic diagonal — row s has its
+// one at column (shift + s) mod b. A weight-w circulant is w runs.
+//
+// Runs are the unit of the decoder's blocked memory layout: storing the
+// b messages of a run consecutively (in row order s = 0..b−1) turns
+// every per-row and per-column walk of the parity-check matrix into
+// sequential memory access — a row walk advances each of its runs by
+// one slot, and a column walk advances each run of the column block by
+// one slot modulo the wrap at s = b. This is the software form of the
+// conflict-free circulant addressing the reproduced paper's Fig. 3
+// memory geometry relies on.
+type Run struct {
+	// BlockRow and BlockCol locate the circulant in the block grid.
+	BlockRow, BlockCol int
+	// Shift is the first-row offset in [0, b).
+	Shift int
+}
+
+// Col returns the column, within the block, of the one that row s of
+// the run's circulant carries: the cyclic right rotation (shift+s) mod b.
+func (r Run) Col(b, s int) int {
+	if s < 0 || s >= b {
+		panic(fmt.Sprintf("circulant: run row %d out of range [0,%d)", s, b))
+	}
+	return (r.Shift + s) % b
+}
+
+// Row returns the row, within the block, whose one lands on column v —
+// the inverse rotation (v−shift) mod b.
+func (r Run) Row(b, v int) int {
+	if v < 0 || v >= b {
+		panic(fmt.Sprintf("circulant: run col %d out of range [0,%d)", v, b))
+	}
+	return ((v-r.Shift)%b + b) % b
+}
+
+// Runs enumerates the runs of a blockRows×blockCols grid of b×b
+// circulants given by first-row offsets (the code.Table layout:
+// offsets[r][c] lists the shifts of block (r, c), empty for the zero
+// circulant). Runs are ordered block-row-major — all runs of block row
+// 0 first, within a block row by block column, within a circulant in
+// the listed offset order — which is the decoder's storage order: run
+// i's b messages occupy slots [i·b, (i+1)·b).
+func Runs(blockRows, blockCols, b int, offsets [][][]int) ([]Run, error) {
+	if blockRows <= 0 || blockCols <= 0 || b <= 0 {
+		return nil, fmt.Errorf("circulant: invalid block geometry %dx%d of size %d", blockRows, blockCols, b)
+	}
+	if len(offsets) != blockRows {
+		return nil, fmt.Errorf("circulant: %d offset rows for %d block rows", len(offsets), blockRows)
+	}
+	var runs []Run
+	for r, row := range offsets {
+		if len(row) != blockCols {
+			return nil, fmt.Errorf("circulant: block row %d has %d columns, want %d", r, len(row), blockCols)
+		}
+		for c, offs := range row {
+			seen := make(map[int]bool, len(offs))
+			for _, o := range offs {
+				if o < 0 || o >= b {
+					return nil, fmt.Errorf("circulant: shift %d at block (%d,%d) out of range [0,%d)", o, r, c, b)
+				}
+				if seen[o] {
+					return nil, fmt.Errorf("circulant: duplicate shift %d at block (%d,%d)", o, r, c)
+				}
+				seen[o] = true
+				runs = append(runs, Run{BlockRow: r, BlockCol: c, Shift: o})
+			}
+		}
+	}
+	return runs, nil
+}

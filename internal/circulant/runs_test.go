@@ -1,0 +1,116 @@
+package circulant
+
+import "testing"
+
+// TestRunRotationEdges pins the rotation addressing at the cyclic
+// boundaries: shift 0 (the identity diagonal) and shift b−1 (the
+// diagonal that wraps after one row).
+func TestRunRotationEdges(t *testing.T) {
+	const b = 7
+	id := Run{Shift: 0}
+	for s := 0; s < b; s++ {
+		if got := id.Col(b, s); got != s {
+			t.Fatalf("shift 0: Col(%d) = %d, want %d", s, got, s)
+		}
+	}
+	wrap := Run{Shift: b - 1}
+	if got := wrap.Col(b, 0); got != b-1 {
+		t.Fatalf("shift b-1: Col(0) = %d, want %d", got, b-1)
+	}
+	// Row 1 wraps to column 0, and every later row trails by one.
+	for s := 1; s < b; s++ {
+		if got := wrap.Col(b, s); got != s-1 {
+			t.Fatalf("shift b-1: Col(%d) = %d, want %d", s, got, s-1)
+		}
+	}
+}
+
+// TestRunColRowInverse proves Row is the inverse rotation of Col for
+// every shift and row of a small circulant.
+func TestRunColRowInverse(t *testing.T) {
+	const b = 11
+	for shift := 0; shift < b; shift++ {
+		r := Run{Shift: shift}
+		for s := 0; s < b; s++ {
+			v := r.Col(b, s)
+			if got := r.Row(b, v); got != s {
+				t.Fatalf("shift %d: Row(Col(%d)) = %d", shift, s, got)
+			}
+		}
+		for v := 0; v < b; v++ {
+			s := r.Row(b, v)
+			if got := r.Col(b, s); got != v {
+				t.Fatalf("shift %d: Col(Row(%d)) = %d", shift, v, got)
+			}
+		}
+	}
+}
+
+func TestRunRangePanics(t *testing.T) {
+	r := Run{Shift: 1}
+	for _, f := range []func(){
+		func() { r.Col(5, -1) },
+		func() { r.Col(5, 5) },
+		func() { r.Row(5, -1) },
+		func() { r.Row(5, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range row/col did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestRunsEnumeration checks the storage order (block-row-major, then
+// block column, then listed offset order) and that zero circulants
+// (empty offset lists) contribute no runs.
+func TestRunsEnumeration(t *testing.T) {
+	offsets := [][][]int{
+		{{2, 0}, {}},  // block row 0: weight-2 circulant, zero circulant
+		{{1}, {4, 3}}, // block row 1
+	}
+	runs, err := Runs(2, 2, 5, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Run{
+		{BlockRow: 0, BlockCol: 0, Shift: 2},
+		{BlockRow: 0, BlockCol: 0, Shift: 0},
+		{BlockRow: 1, BlockCol: 0, Shift: 1},
+		{BlockRow: 1, BlockCol: 1, Shift: 4},
+		{BlockRow: 1, BlockCol: 1, Shift: 3},
+	}
+	if len(runs) != len(want) {
+		t.Fatalf("got %d runs, want %d", len(runs), len(want))
+	}
+	for i, r := range runs {
+		if r != want[i] {
+			t.Fatalf("run %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestRunsErrors(t *testing.T) {
+	cases := []struct {
+		name          string
+		rows, cols, b int
+		offsets       [][][]int
+	}{
+		{"zero geometry", 0, 1, 5, nil},
+		{"negative b", 1, 1, -1, nil},
+		{"row count", 2, 1, 5, [][][]int{{{0}}}},
+		{"col count", 1, 2, 5, [][][]int{{{0}}}},
+		{"shift high", 1, 1, 5, [][][]int{{{5}}}},
+		{"shift negative", 1, 1, 5, [][][]int{{{-1}}}},
+		{"duplicate shift", 1, 1, 5, [][][]int{{{2, 2}}}},
+	}
+	for _, c := range cases {
+		if _, err := Runs(c.rows, c.cols, c.b, c.offsets); err == nil {
+			t.Fatalf("%s: no error", c.name)
+		}
+	}
+}

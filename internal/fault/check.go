@@ -135,6 +135,12 @@ func CrossCheck(cfg CheckConfig) (CheckReport, error) {
 			{Shards: 4, SuperBatch: 4},
 			{Shards: 1, SuperBatch: 1, LaneWidth: 4},
 			{Shards: 2, SuperBatch: 2, LaneWidth: 8},
+			// KernelAuto above resolves to the blocked kernels on QC
+			// codes; pin the indexed path explicitly so both layouts stay
+			// cross-checked against the scalar reference whatever Auto
+			// picks.
+			{Shards: 2, SuperBatch: 1, Kernel: batch.KernelIndexed},
+			{Shards: 3, SuperBatch: 2, LaneWidth: 8, Kernel: batch.KernelIndexed},
 		}
 	}
 	pdFP := make([]*batch.Parallel, len(pcfgs))

@@ -32,6 +32,13 @@ type Graph struct {
 	// incident to variable node j.
 	VNOff   []int32
 	VNEdges []int32
+
+	// QC is the circulant-run layout of the graph when the source code
+	// is quasi-cyclic (nil otherwise). Decoders use it to store edge
+	// messages run-major for sequential access on both graph walks; the
+	// canonical edge numbering above stays the addressing contract for
+	// everything observable (fault injection, tests, tools).
+	QC *QCLayout
 }
 
 // NewGraph builds the Tanner graph of a constructed code.
@@ -58,6 +65,11 @@ func NewGraph(c *code.Code) *Graph {
 	for e, j := range g.EdgeVN {
 		g.VNEdges[fill[j]] = int32(e)
 		fill[j]++
+	}
+	// Best effort: a code without a (consistent) circulant table simply
+	// yields no QC layout, and decoders fall back to indexed kernels.
+	if qc, err := NewQCLayout(c); err == nil {
+		g.QC = qc
 	}
 	return g
 }

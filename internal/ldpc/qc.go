@@ -1,0 +1,91 @@
+package ldpc
+
+import (
+	"fmt"
+
+	"ccsdsldpc/internal/circulant"
+	"ccsdsldpc/internal/code"
+)
+
+// QCLayout is the circulant-run view of a quasi-cyclic Tanner graph:
+// the edges regrouped into (block row, block column, shift) runs, plus
+// the permutation from the canonical row-major edge numbering into the
+// run-major storage order.
+//
+// In run-major order the b edges of run i occupy slots [i·b, (i+1)·b),
+// indexed by the check row s within the block row. A decoder that lays
+// its per-edge message memory out by slot instead of by canonical edge
+// index gets sequential access on both graph walks: the check-node walk
+// advances every run of a block row by one slot per row, and the
+// bit-node walk advances every run of a column block by one slot per
+// column (with a single wrap at the run's cyclic shift) — the software
+// form of the conflict-free circulant addressing of the paper's Fig. 3
+// memory geometry.
+type QCLayout struct {
+	// B is the circulant size; BlockRows×BlockCols the block grid.
+	B                    int
+	BlockRows, BlockCols int
+	// Runs lists the circulant runs in storage order (block-row-major);
+	// run i's edges occupy slots [i·B, (i+1)·B).
+	Runs []circulant.Run
+	// Perm maps a canonical edge index (the Graph numbering) to its
+	// run-major slot: Perm[e] = runIndex·B + s for the edge on check row
+	// s of its block row. It is a bijection on [0, E).
+	Perm []int32
+}
+
+// NewQCLayout derives the run layout of a block-circulant code. It
+// errors when the code carries no table or the realized graph does not
+// match the table's circulant structure.
+func NewQCLayout(c *code.Code) (*QCLayout, error) {
+	t := c.Table
+	if t == nil {
+		return nil, fmt.Errorf("ldpc: code has no circulant table")
+	}
+	if t.M() != c.M || t.N() != c.N {
+		return nil, fmt.Errorf("ldpc: table geometry %dx%d disagrees with code %dx%d", t.M(), t.N(), c.M, c.N)
+	}
+	runs, err := circulant.Runs(t.BlockRows, t.BlockCols, t.B, t.Offsets)
+	if err != nil {
+		return nil, err
+	}
+	b := t.B
+	l := &QCLayout{B: b, BlockRows: t.BlockRows, BlockCols: t.BlockCols, Runs: runs}
+
+	// Index the runs by (block row, block col, shift) for the edge walk.
+	type key struct{ r, c, o int }
+	runOf := make(map[key]int, len(runs))
+	for i, rn := range runs {
+		runOf[key{rn.BlockRow, rn.BlockCol, rn.Shift}] = i
+	}
+
+	e := 0
+	for _, idx := range c.RowIdx {
+		e += len(idx)
+	}
+	if e != len(runs)*b {
+		return nil, fmt.Errorf("ldpc: %d edges for %d runs of %d", e, len(runs), b)
+	}
+	l.Perm = make([]int32, e)
+	seen := make([]bool, e)
+	e = 0
+	for i, idx := range c.RowIdx {
+		r, s := i/b, i%b
+		for _, j := range idx {
+			cb, v := int(j)/b, int(j)%b
+			o := ((v-s)%b + b) % b
+			run, ok := runOf[key{r, cb, o}]
+			if !ok {
+				return nil, fmt.Errorf("ldpc: edge (%d,%d) matches no circulant run", i, j)
+			}
+			slot := run*b + s
+			if seen[slot] {
+				return nil, fmt.Errorf("ldpc: slot %d claimed twice (edge %d,%d)", slot, i, j)
+			}
+			seen[slot] = true
+			l.Perm[e] = int32(slot)
+			e++
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,103 @@
+package ldpc
+
+import (
+	"testing"
+
+	"ccsdsldpc/internal/code"
+)
+
+// smallQC builds a 2×3 grid of 7×7 circulants with mixed weights,
+// including a zero circulant and the boundary shifts 0 and B−1.
+func smallQC(t *testing.T) *code.Code {
+	t.Helper()
+	tab := code.NewTable(2, 3, 7)
+	tab.Offsets = [][][]int{
+		{{0, 3}, {}, {6}},
+		{{1}, {2, 5}, {4}},
+	}
+	c, err := code.NewCode(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestQCLayoutPermBijection checks that Perm maps the canonical edge
+// numbering onto the run-major slots exactly once each.
+func TestQCLayoutPermBijection(t *testing.T) {
+	c := smallQC(t)
+	l, err := NewQCLayout(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(l.Runs) * l.B; len(l.Perm) != want {
+		t.Fatalf("%d perm entries for %d slots", len(l.Perm), want)
+	}
+	seen := make([]bool, len(l.Perm))
+	for e, slot := range l.Perm {
+		if slot < 0 || int(slot) >= len(seen) {
+			t.Fatalf("edge %d: slot %d out of range", e, slot)
+		}
+		if seen[slot] {
+			t.Fatalf("slot %d claimed twice", slot)
+		}
+		seen[slot] = true
+	}
+}
+
+// TestQCLayoutSlotAddressing checks that every edge's run-major slot
+// decodes back to its (check, bit) position through the run's rotation:
+// slot i·B+s belongs to check row s of run i's block row, on the column
+// the circulant shift rotates to.
+func TestQCLayoutSlotAddressing(t *testing.T) {
+	c := smallQC(t)
+	l, err := NewQCLayout(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := l.B
+	e := 0
+	for i, idx := range c.RowIdx {
+		for _, j := range idx {
+			slot := int(l.Perm[e])
+			run, s := l.Runs[slot/b], slot%b
+			if run.BlockRow != i/b || s != i%b {
+				t.Fatalf("edge %d (check %d): run row %d slot row %d", e, i, run.BlockRow, s)
+			}
+			if got := run.BlockCol*b + run.Col(b, s); got != int(j) {
+				t.Fatalf("edge %d (check %d, bit %d): rotation addresses bit %d", e, i, j, got)
+			}
+			e++
+		}
+	}
+}
+
+func TestQCLayoutErrors(t *testing.T) {
+	c := smallQC(t)
+	// A code stripped of its table has no circulant structure to derive.
+	bare := *c
+	bare.Table = nil
+	if _, err := NewQCLayout(&bare); err == nil {
+		t.Fatal("no error for table-less code")
+	}
+	// A table disagreeing with the realized geometry must be rejected.
+	wrong := *c
+	wrong.Table = code.NewTable(1, 1, 7)
+	if _, err := NewQCLayout(&wrong); err == nil {
+		t.Fatal("no error for mismatched table geometry")
+	}
+}
+
+// TestGraphAttachesQC checks NewGraph's best-effort attach: circulant
+// codes carry a layout, and the layout survives the graph's own edge
+// ordering (same edge count).
+func TestGraphAttachesQC(t *testing.T) {
+	c := smallQC(t)
+	g := NewGraph(c)
+	if g.QC == nil {
+		t.Fatal("no QC layout on a block-circulant code")
+	}
+	if len(g.QC.Perm) != g.E {
+		t.Fatalf("layout covers %d edges, graph has %d", len(g.QC.Perm), g.E)
+	}
+}

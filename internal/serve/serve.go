@@ -95,6 +95,12 @@ type Config struct {
 	// 8×LaneWidth frames per kernel step with results bit-identical to
 	// every other width.
 	LaneWidth int
+	// Kernel selects the workers' message memory layout (default
+	// batch.KernelAuto: the blocked circulant-run kernels on
+	// quasi-cyclic codes, indexed otherwise). All kernels are
+	// bit-identical; batch.KernelBlocked fails construction on a
+	// non-quasi-cyclic code.
+	Kernel batch.Kernel
 	// MaxBatch is the dispatch width in frames,
 	// 1..SuperBatch×LaneWidth×batch.Lanes (default
 	// SuperBatch×LaneWidth×batch.Lanes; 8 — the paper's packing factor
@@ -346,9 +352,10 @@ func New(cfg Config) (*Server, error) {
 				Shards:     cfg.Shards,
 				SuperBatch: cfg.SuperBatch,
 				LaneWidth:  cfg.LaneWidth,
+				Kernel:     cfg.Kernel,
 			})
 		}
-		return batch.NewDecoderGraph(g, cfg.Params)
+		return batch.NewDecoderGraphKernel(g, cfg.Params, cfg.Kernel)
 	}
 	decs := make([]packedDecoder, cfg.Workers)
 	for w := range decs {
